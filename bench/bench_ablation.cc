@@ -1,0 +1,53 @@
+// Ablation study (ours, per DESIGN.md §5): what each CSC construction
+// optimization buys. Compares the standard build against builds with
+// couple-vertex skipping disabled and with distance pruning disabled.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "csc/csc_index.h"
+#include "graph/ordering.h"
+#include "workload/reporter.h"
+
+int main() {
+  using namespace csc;
+  double scale = BenchScaleFromEnv();
+  // Ablations rebuild the index three times; keep to the two smallest
+  // graphs unless the user filtered explicitly.
+  std::vector<DatasetSpec> datasets = BenchDatasetsFromEnv();
+  if (std::getenv("CSC_BENCH_DATASETS") == nullptr) {
+    datasets = {FindDataset("G04").value(), FindDataset("G30").value()};
+  }
+  bench::PrintBanner("Ablation: CSC construction optimizations", datasets,
+                     scale);
+
+  TableReporter table("Ablation: build time / label entries / BFS dequeues",
+                      {"Graph", "Variant", "time(s)", "entries",
+                       "vertices dequeued", "pruned by distance"});
+  for (const DatasetSpec& spec : datasets) {
+    DiGraph g = MaterializeDataset(spec, scale);
+    VertexOrdering order = DegreeOrdering(g);
+    struct Variant {
+      const char* name;
+      CscAblationConfig config;
+    };
+    const Variant variants[] = {
+        {"standard", {}},
+        {"no couple skipping", {.disable_couple_skipping = true}},
+        {"no distance pruning", {.disable_distance_pruning = true}},
+    };
+    for (const Variant& variant : variants) {
+      CscIndex index = BuildCscAblation(g, order, variant.config);
+      const LabelBuildStats& s = index.build_stats();
+      table.AddRow({spec.name, variant.name,
+                    TableReporter::FormatDouble(s.seconds),
+                    TableReporter::FormatCount(s.entries),
+                    TableReporter::FormatCount(s.vertices_dequeued),
+                    TableReporter::FormatCount(s.pruned_by_distance)});
+      std::printf("[ablation] %s %s: %.3fs\n", spec.name.c_str(),
+                  variant.name, s.seconds);
+    }
+  }
+  table.Print();
+  table.WriteCsv(bench::CsvPath("ablation"));
+  return 0;
+}

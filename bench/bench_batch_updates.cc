@@ -1,0 +1,96 @@
+// Batch maintenance (ours; the paper's §V handles one edge at a time):
+// applying k edge insertions as one ApplyUpdates batch versus k single
+// InsertEdge calls versus a full rebuild, across batch sizes. Quantifies
+// (a) that batching itself adds no overhead beyond dedup, and (b) where the
+// per-edge-repair vs rebuild crossover sits — the rebuild_threshold default
+// comes from this curve.
+//
+// Expected shape: per-edge and batch(no-rebuild) track each other; rebuild
+// is slower for small k but flat in k, so past a churn fraction it wins.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "csc/csc_index.h"
+#include "dynamic/batch.h"
+#include "dynamic/incremental.h"
+#include "graph/ordering.h"
+#include "util/timer.h"
+#include "workload/reporter.h"
+#include "workload/update_workload.h"
+
+int main() {
+  using namespace csc;
+  double scale = BenchScaleFromEnv();
+  auto datasets = BenchDatasetsFromEnv();
+  if (std::getenv("CSC_BENCH_DATASETS") == nullptr) {
+    // An "ours" ablation: default to the three smallest graphs (run time is
+    // dominated by the repeated per-strategy index builds); export
+    // CSC_BENCH_DATASETS to sweep more.
+    datasets = {FindDataset("G04").value(), FindDataset("G30").value(),
+                FindDataset("EME").value()};
+  }
+  bench::PrintBanner("Batch updates: per-edge repair vs batch vs rebuild",
+                     datasets, scale);
+
+  TableReporter table(
+      "Batch insertion strategies (total ms for the whole batch)",
+      {"Graph", "k", "per-edge(ms)", "batch(ms)", "rebuild(ms)",
+       "churn(%)"});
+
+  for (const DatasetSpec& spec : datasets) {
+    DiGraph full = MaterializeDataset(spec, scale);
+    for (size_t k : {10u, 50u, 200u}) {
+      if (k * 4 > full.num_edges()) continue;
+      std::vector<Edge> batch_edges = SampleExistingEdges(full, k, 9001);
+      DiGraph reduced = full;
+      for (const Edge& e : batch_edges) reduced.RemoveEdge(e.from, e.to);
+      VertexOrdering order = DegreeOrdering(reduced);
+
+      // Strategy 1: k independent InsertEdge calls.
+      CscIndex per_edge = CscIndex::Build(reduced, order);
+      Timer timer;
+      for (const Edge& e : batch_edges) {
+        InsertEdge(per_edge, e.from, e.to);
+      }
+      double per_edge_ms = timer.ElapsedMillis();
+
+      // Strategy 2: one ApplyUpdates batch, rebuild disabled.
+      CscIndex batched = CscIndex::Build(reduced, order);
+      std::vector<EdgeUpdate> updates;
+      for (const Edge& e : batch_edges) {
+        updates.push_back(EdgeUpdate::Insert(e.from, e.to));
+      }
+      BatchOptions no_rebuild;
+      no_rebuild.rebuild_threshold = 10.0;
+      timer.Restart();
+      ApplyUpdates(batched, updates, no_rebuild);
+      double batch_ms = timer.ElapsedMillis();
+
+      // Strategy 3: forced rebuild.
+      CscIndex rebuilt = CscIndex::Build(reduced, order);
+      BatchOptions always_rebuild;
+      always_rebuild.rebuild_threshold = 0.0;
+      timer.Restart();
+      ApplyUpdates(rebuilt, updates, always_rebuild);
+      double rebuild_ms = timer.ElapsedMillis();
+
+      double churn =
+          100.0 * static_cast<double>(k) /
+          static_cast<double>(reduced.num_edges());
+      table.AddRow({spec.name, TableReporter::FormatCount(k),
+                    TableReporter::FormatDouble(per_edge_ms, 1),
+                    TableReporter::FormatDouble(batch_ms, 1),
+                    TableReporter::FormatDouble(rebuild_ms, 1),
+                    TableReporter::FormatDouble(churn, 2)});
+      std::printf("[batch] %s k=%zu: per-edge %.1fms, batch %.1fms, rebuild "
+                  "%.1fms\n",
+                  spec.name.c_str(), k, per_edge_ms, batch_ms, rebuild_ms);
+    }
+  }
+
+  table.Print();
+  table.WriteCsv(bench::CsvPath("batch_updates"));
+  return 0;
+}

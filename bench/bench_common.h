@@ -1,0 +1,35 @@
+#ifndef CSC_BENCH_BENCH_COMMON_H_
+#define CSC_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "graph/digraph.h"
+#include "workload/datasets.h"
+
+namespace csc {
+namespace bench {
+
+/// Prints the standard bench banner: which datasets, at which scale.
+inline void PrintBanner(const std::string& what,
+                        const std::vector<DatasetSpec>& datasets,
+                        double scale) {
+  std::printf("# %s\n", what.c_str());
+  std::printf(
+      "# datasets: %zu (CSC_BENCH_DATASETS to filter), scale: %.2f "
+      "(CSC_BENCH_SCALE to change)\n",
+      datasets.size(), scale);
+  std::printf(
+      "# NOTE: graphs are synthetic stand-ins for the paper's SNAP/Konect "
+      "datasets (DESIGN.md §6)\n");
+}
+
+/// Where bench CSV outputs land (created by the harness if missing).
+inline std::string CsvPath(const std::string& name) {
+  return "bench_" + name + ".csv";
+}
+
+}  // namespace bench
+}  // namespace csc
+
+#endif  // CSC_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,78 @@
+// Figure 10 reproduction: average SCCnt query time (microseconds) per
+// min-in-out-degree cluster (High .. Bottom) for BFS, HP-SPC, and CSC, one
+// sub-figure per dataset.
+//
+// Expected shape (paper §VI.B.3): BFS is orders of magnitude slower and
+// degree-independent; HP-SPC degrades on high-degree clusters (its query
+// fans out over min(indeg, outdeg) SPCnt probes); CSC stays flat at
+// microseconds, up to two orders of magnitude faster than HP-SPC on the
+// High cluster.
+#include <cstdio>
+
+#include "baseline/bfs_cycle.h"
+#include "bench/bench_common.h"
+#include "csc/csc_index.h"
+#include "graph/ordering.h"
+#include "hpspc/hpspc_index.h"
+#include "util/timer.h"
+#include "workload/query_workload.h"
+#include "workload/reporter.h"
+
+namespace {
+
+constexpr size_t kMaxQueryVertices = 50000;  // the paper's cap
+// BFS costs O(n + m) per query; cap how many BFS probes each cluster pays.
+constexpr size_t kMaxBfsQueriesPerCluster = 30;
+
+}  // namespace
+
+int main() {
+  using namespace csc;
+  double scale = BenchScaleFromEnv();
+  auto datasets = BenchDatasetsFromEnv();
+  bench::PrintBanner("Figure 10: Query Times (us) per degree cluster",
+                     datasets, scale);
+
+  TableReporter table("Figure 10: Average Query Time (us)",
+                      {"Graph", "Cluster", "#queries", "BFS", "HP-SPC", "CSC",
+                       "HP-SPC/CSC"});
+  for (const DatasetSpec& spec : datasets) {
+    DiGraph g = MaterializeDataset(spec, scale);
+    VertexOrdering order = DegreeOrdering(g);
+    HpSpcIndex hpspc = HpSpcIndex::Build(g, order);
+    CscIndex csc_index = CscIndex::Build(g, order);
+    BfsCycleCounter bfs(g);
+    QueryWorkload workload = MakeQueryWorkload(g, kMaxQueryVertices, 2022);
+
+    for (int c = 0; c < kNumDegreeClusters; ++c) {
+      const auto& queries = workload.queries[c];
+      if (queries.empty()) continue;
+      // BFS on a truncated prefix (it dominates runtime otherwise).
+      size_t bfs_n = std::min(queries.size(), kMaxBfsQueriesPerCluster);
+      Timer timer;
+      for (size_t i = 0; i < bfs_n; ++i) bfs.CountCycles(queries[i]);
+      double bfs_us = timer.ElapsedMicros() / bfs_n;
+
+      timer.Restart();
+      for (Vertex v : queries) hpspc.CountCycles(v);
+      double hpspc_us = timer.ElapsedMicros() / queries.size();
+
+      timer.Restart();
+      for (Vertex v : queries) csc_index.Query(v);
+      double csc_us = timer.ElapsedMicros() / queries.size();
+
+      table.AddRow(
+          {spec.name, DegreeClusterName(static_cast<DegreeCluster>(c)),
+           TableReporter::FormatCount(queries.size()),
+           TableReporter::FormatDouble(bfs_us, 2),
+           TableReporter::FormatDouble(hpspc_us, 2),
+           TableReporter::FormatDouble(csc_us, 2),
+           TableReporter::FormatDouble(csc_us > 0 ? hpspc_us / csc_us : 0,
+                                       1)});
+    }
+    std::printf("[fig10] %s done\n", spec.name.c_str());
+  }
+  table.Print();
+  table.WriteCsv(bench::CsvPath("fig10_query"));
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 9 reproduction: (a) index construction time and (b) index size for
+// HP-SPC (baseline) vs CSC (proposed) on every dataset.
+//
+// Expected shape (paper §VI.B.1-2): construction times within ~1.4x of each
+// other in both directions, and index sizes within a few percent (CSC's
+// size is its §IV.E-reduced form, which is what a deployment stores).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "csc/compact_index.h"
+#include "csc/csc_index.h"
+#include "graph/ordering.h"
+#include "hpspc/hpspc_index.h"
+#include "workload/reporter.h"
+
+int main() {
+  using namespace csc;
+  double scale = BenchScaleFromEnv();
+  auto datasets = BenchDatasetsFromEnv();
+  bench::PrintBanner("Figure 9: Index Time (sec) and Index Size (MB)",
+                     datasets, scale);
+
+  TableReporter table(
+      "Figure 9(a)+(b): Index Construction Time and Index Size",
+      {"Graph", "HP-SPC time(s)", "CSC time(s)", "time ratio",
+       "HP-SPC size(MB)", "CSC size(MB)", "size ratio", "CSC entries"});
+  for (const DatasetSpec& spec : datasets) {
+    DiGraph g = MaterializeDataset(spec, scale);
+    VertexOrdering order = DegreeOrdering(g);
+    HpSpcIndex hpspc = HpSpcIndex::Build(g, order);
+    CscIndex csc_index = CscIndex::Build(g, order);
+    CompactIndex compact = CompactIndex::FromIndex(csc_index);
+
+    double hpspc_time = hpspc.build_stats().seconds;
+    double csc_time = csc_index.build_stats().seconds;
+    double hpspc_mb = hpspc.labeling().SizeBytes() / 1048576.0;
+    double csc_mb = compact.SizeBytes() / 1048576.0;
+    table.AddRow({spec.name, TableReporter::FormatDouble(hpspc_time),
+                  TableReporter::FormatDouble(csc_time),
+                  TableReporter::FormatDouble(
+                      hpspc_time > 0 ? csc_time / hpspc_time : 0, 2),
+                  TableReporter::FormatDouble(hpspc_mb),
+                  TableReporter::FormatDouble(csc_mb),
+                  TableReporter::FormatDouble(
+                      hpspc_mb > 0 ? csc_mb / hpspc_mb : 0, 2),
+                  TableReporter::FormatCount(compact.TotalEntries())});
+    std::printf("[fig9] %s done: HP-SPC %.3fs / CSC %.3fs\n",
+                spec.name.c_str(), hpspc_time, csc_time);
+  }
+  table.Print();
+  table.WriteCsv(bench::CsvPath("fig9_index"));
+  return 0;
+}

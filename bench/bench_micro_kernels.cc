@@ -1,0 +1,175 @@
+// Micro-benchmarks (google-benchmark) of the hot kernels behind every query
+// and construction step: label-entry packing, label-set joins and upserts,
+// and end-to-end SCCnt queries on a built index.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baseline/bfs_cycle.h"
+#include "csc/csc_index.h"
+#include "graph/generators.h"
+#include "graph/ordering.h"
+#include "csc/compact_index.h"
+#include "csc/frozen_index.h"
+#include "labeling/compressed.h"
+#include "labeling/label_set.h"
+#include "util/random.h"
+#include "util/varint.h"
+
+namespace csc {
+namespace {
+
+LabelSet MakeLabelSet(size_t entries, uint64_t seed, Rank stride) {
+  Rng rng(seed);
+  LabelSet labels;
+  Rank rank = 0;
+  for (size_t i = 0; i < entries; ++i) {
+    rank += 1 + static_cast<Rank>(rng.NextBounded(stride));
+    labels.Append(LabelEntry(rank, static_cast<Dist>(rng.NextBounded(50)),
+                             1 + rng.NextBounded(5)));
+  }
+  return labels;
+}
+
+void BM_LabelEntryPackUnpack(benchmark::State& state) {
+  uint64_t acc = 0;
+  Vertex hub = 123;
+  for (auto _ : state) {
+    LabelEntry e(hub, 45, 678);
+    acc += e.hub() + e.dist() + e.count();
+    hub = static_cast<Vertex>(acc & LabelEntry::kMaxHub);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_LabelEntryPackUnpack);
+
+void BM_JoinLabels(benchmark::State& state) {
+  size_t entries = static_cast<size_t>(state.range(0));
+  // Stride 3 gives roughly one common hub per three entries.
+  LabelSet out = MakeLabelSet(entries, 1, 3);
+  LabelSet in = MakeLabelSet(entries, 2, 3);
+  for (auto _ : state) {
+    JoinResult r = JoinLabels(out, in);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * entries * 2);
+}
+BENCHMARK(BM_JoinLabels)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_LabelSetFind(benchmark::State& state) {
+  LabelSet labels = MakeLabelSet(static_cast<size_t>(state.range(0)), 3, 2);
+  Rng rng(4);
+  Rank max_rank = labels.entries().back().hub();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        labels.Find(static_cast<Rank>(rng.NextBounded(max_rank + 1))));
+  }
+}
+BENCHMARK(BM_LabelSetFind)->Arg(32)->Arg(512);
+
+void BM_LabelSetInsertOrReplace(benchmark::State& state) {
+  Rng rng(5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    LabelSet labels = MakeLabelSet(64, 6, 2);
+    state.ResumeTiming();
+    for (int i = 0; i < 16; ++i) {
+      labels.InsertOrReplace(
+          LabelEntry(static_cast<Rank>(rng.NextBounded(256)), 3, 1));
+    }
+    benchmark::DoNotOptimize(labels);
+  }
+}
+BENCHMARK(BM_LabelSetInsertOrReplace);
+
+// End-to-end query kernels on a mid-sized power-law graph.
+class QueryFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    if (!index_) {
+      graph_ = GeneratePreferentialAttachment(20000, 2, 0.1, 99);
+      order_ = DegreeOrdering(graph_);
+      index_ = std::make_unique<CscIndex>(CscIndex::Build(graph_, order_));
+    }
+  }
+
+ protected:
+  static DiGraph graph_;
+  static VertexOrdering order_;
+  static std::unique_ptr<CscIndex> index_;
+};
+DiGraph QueryFixture::graph_;
+VertexOrdering QueryFixture::order_;
+std::unique_ptr<CscIndex> QueryFixture::index_;
+
+BENCHMARK_F(QueryFixture, CscQuery)(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    Vertex v = static_cast<Vertex>(rng.NextBounded(graph_.num_vertices()));
+    benchmark::DoNotOptimize(index_->Query(v));
+  }
+}
+
+BENCHMARK_F(QueryFixture, BfsQuery)(benchmark::State& state) {
+  Rng rng(8);
+  BfsCycleCounter counter(graph_);
+  for (auto _ : state) {
+    Vertex v = static_cast<Vertex>(rng.NextBounded(graph_.num_vertices()));
+    benchmark::DoNotOptimize(counter.CountCycles(v));
+  }
+}
+
+BENCHMARK_F(QueryFixture, FrozenQuery)(benchmark::State& state) {
+  FrozenIndex frozen = FrozenIndex::FromIndex(*index_);
+  Rng rng(9);
+  for (auto _ : state) {
+    Vertex v = static_cast<Vertex>(rng.NextBounded(graph_.num_vertices()));
+    benchmark::DoNotOptimize(frozen.Query(v));
+  }
+}
+
+BENCHMARK_F(QueryFixture, CompressedQuery)(benchmark::State& state) {
+  CompressedIndex compressed =
+      CompressedIndex::FromCompact(CompactIndex::FromIndex(*index_));
+  Rng rng(10);
+  for (auto _ : state) {
+    Vertex v = static_cast<Vertex>(rng.NextBounded(graph_.num_vertices()));
+    benchmark::DoNotOptimize(compressed.Query(v));
+  }
+}
+
+BENCHMARK_F(QueryFixture, EdgeQuery)(benchmark::State& state) {
+  // Through-edge queries on random vertex pairs (present or not: the query
+  // cost is a label join either way).
+  Rng rng(11);
+  for (auto _ : state) {
+    Vertex u = static_cast<Vertex>(rng.NextBounded(graph_.num_vertices()));
+    Vertex v = static_cast<Vertex>(rng.NextBounded(graph_.num_vertices()));
+    benchmark::DoNotOptimize(index_->QueryThroughEdge(u, v));
+  }
+}
+
+void BM_VarintRoundTrip(benchmark::State& state) {
+  // Encode+decode a stream of label-like triples (small rank deltas, small
+  // distances, count 1) — the compressed index's per-entry kernel.
+  std::vector<uint8_t> buffer;
+  Rng rng(12);
+  for (int i = 0; i < 1024; ++i) {
+    AppendVarint(buffer, 1 + rng.NextBounded(16));
+    AppendVarint(buffer, rng.NextBounded(64));
+    AppendVarint(buffer, 1);
+  }
+  for (auto _ : state) {
+    size_t pos = 0;
+    uint64_t sink = 0;
+    while (pos < buffer.size()) sink += DecodeVarint(buffer.data(), pos);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 3072);
+}
+BENCHMARK(BM_VarintRoundTrip);
+
+}  // namespace
+}  // namespace csc
+
+BENCHMARK_MAIN();

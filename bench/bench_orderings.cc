@@ -1,0 +1,66 @@
+// Ordering ablation (ours): how the hub ordering drives CSC index size,
+// build time, and query latency. The paper fixes the degree ordering
+// (Example 4); this bench quantifies that choice against a degree-product
+// ordering, a sampled-betweenness ordering, and a random ordering.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "csc/csc_index.h"
+#include "graph/ordering.h"
+#include "util/timer.h"
+#include "workload/query_workload.h"
+#include "workload/reporter.h"
+
+int main() {
+  using namespace csc;
+  double scale = BenchScaleFromEnv();
+  std::vector<DatasetSpec> datasets = BenchDatasetsFromEnv();
+  if (std::getenv("CSC_BENCH_DATASETS") == nullptr) {
+    datasets = {FindDataset("G04").value(), FindDataset("G30").value()};
+  }
+  bench::PrintBanner("Ordering ablation: degree vs degree-product vs random",
+                     datasets, scale);
+
+  TableReporter table(
+      "Ordering ablation (CSC index)",
+      {"Graph", "Ordering", "build(s)", "entries", "avg query(us)"});
+  for (const DatasetSpec& spec : datasets) {
+    DiGraph g = MaterializeDataset(spec, scale);
+    struct Variant {
+      const char* name;
+      VertexOrdering order;
+    };
+    std::vector<Variant> variants;
+    variants.push_back({"degree", DegreeOrdering(g)});
+    variants.push_back({"degree-product", DegreeProductOrdering(g)});
+    variants.push_back(
+        {"betweenness-32", BetweennessSampleOrdering(g, 32, 11)});
+    if (g.num_vertices() <= 16000) {
+      // A random ordering inflates construction by two to three orders of
+      // magnitude (that is the point of the ablation); only afford it on
+      // the smallest graph.
+      variants.push_back({"random", RandomOrdering(g.num_vertices(), 7)});
+    }
+    QueryWorkload workload = MakeQueryWorkload(g, 20000, 2);
+    for (Variant& variant : variants) {
+      CscIndex index = CscIndex::Build(g, variant.order);
+      Timer timer;
+      size_t queries = 0;
+      for (const auto& cluster : workload.queries) {
+        for (Vertex v : cluster) {
+          index.Query(v);
+          ++queries;
+        }
+      }
+      double query_us = queries > 0 ? timer.ElapsedMicros() / queries : 0;
+      table.AddRow({spec.name, variant.name,
+                    TableReporter::FormatDouble(index.build_stats().seconds),
+                    TableReporter::FormatCount(index.TotalEntries()),
+                    TableReporter::FormatDouble(query_us, 2)});
+      std::printf("[orderings] %s %s done\n", spec.name.c_str(), variant.name);
+    }
+  }
+  table.Print();
+  table.WriteCsv(bench::CsvPath("orderings"));
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Scalability sweep (ours, beyond the paper's fixed nine datasets): build
+// time, index size, query latency and update latency as the graph grows,
+// with the generator family and density held fixed. This isolates the n-
+// dependence the paper's Theorem IV.1 predicts (O(n ω log n) index size,
+// polylog query) from dataset-to-dataset structure changes.
+//
+// Expected shape: build time grows mildly super-linearly, entries/vertex
+// grows ~logarithmically, query latency stays in microseconds, and
+// incremental updates stay far below a rebuild at every size.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "baseline/bfs_cycle.h"
+#include "csc/csc_index.h"
+#include "dynamic/incremental.h"
+#include "graph/generators.h"
+#include "graph/ordering.h"
+#include "util/random.h"
+#include "util/timer.h"
+#include "workload/reporter.h"
+#include "workload/update_workload.h"
+
+namespace {
+
+unsigned StepsFromEnv() {
+  const char* raw = std::getenv("CSC_BENCH_SCALE_STEPS");
+  if (raw == nullptr) return 5;
+  long value = std::strtol(raw, nullptr, 10);
+  return value > 0 && value <= 12 ? static_cast<unsigned>(value) : 5;
+}
+
+}  // namespace
+
+int main() {
+  using namespace csc;
+  double scale = BenchScaleFromEnv();
+  unsigned steps = StepsFromEnv();
+  std::printf("# Scalability sweep: preferential-attachment graphs, n "
+              "doubling %u times from %d (CSC_BENCH_SCALE, "
+              "CSC_BENCH_SCALE_STEPS)\n",
+              steps, static_cast<int>(2000 * scale));
+
+  TableReporter table(
+      "Scalability: build / size / query / update vs n",
+      {"n", "m", "build(s)", "entries", "entr/n", "query(us)", "bfs(us)",
+       "insert(ms)"});
+
+  Vertex n = static_cast<Vertex>(2000 * scale);
+  if (n < 64) n = 64;
+  for (unsigned step = 0; step < steps; ++step, n *= 2) {
+    DiGraph graph = GeneratePreferentialAttachment(n, 2, 0.1, 1234 + step);
+
+    Timer timer;
+    CscIndex index = CscIndex::Build(graph, DegreeOrdering(graph));
+    double build_seconds = timer.ElapsedSeconds();
+
+    // Query latency: 2000 random vertices, index vs BFS baseline.
+    Rng rng(99);
+    std::vector<Vertex> workload;
+    for (int i = 0; i < 2000; ++i) {
+      workload.push_back(static_cast<Vertex>(rng.NextBounded(n)));
+    }
+    timer.Restart();
+    uint64_t sink = 0;
+    for (Vertex v : workload) sink += index.Query(v).count;
+    double query_us = timer.ElapsedMicros() / workload.size();
+
+    BfsCycleCounter bfs(graph);
+    size_t bfs_queries = std::min<size_t>(workload.size(), 200);
+    timer.Restart();
+    for (size_t i = 0; i < bfs_queries; ++i) {
+      sink += bfs.CountCycles(workload[i]).count;
+    }
+    double bfs_us = timer.ElapsedMicros() / bfs_queries;
+    if (sink == 0xdeadbeef) std::printf("!");
+
+    // Update latency: re-insert sampled edges through INCCNT.
+    std::vector<Edge> edges = SampleExistingEdges(graph, 20, 777);
+    DiGraph reduced = graph;
+    for (const Edge& e : edges) reduced.RemoveEdge(e.from, e.to);
+    CscIndex dynamic_index =
+        CscIndex::Build(reduced, DegreeOrdering(reduced));
+    UpdateStats stats;
+    for (const Edge& e : edges) {
+      InsertEdge(dynamic_index, e.from, e.to,
+                 MaintenanceStrategy::kRedundancy, &stats);
+    }
+    double insert_ms = stats.seconds * 1e3 / edges.size();
+
+    table.AddRow(
+        {TableReporter::FormatCount(n),
+         TableReporter::FormatCount(graph.num_edges()),
+         TableReporter::FormatDouble(build_seconds),
+         TableReporter::FormatCount(index.TotalEntries()),
+         TableReporter::FormatDouble(
+             static_cast<double>(index.TotalEntries()) / n, 1),
+         TableReporter::FormatDouble(query_us, 2),
+         TableReporter::FormatDouble(bfs_us, 1),
+         TableReporter::FormatDouble(insert_ms)});
+    std::printf("[scalability] n=%u: build %.2fs, query %.2fus, insert "
+                "%.3fms\n",
+                n, build_seconds, query_us, insert_ms);
+  }
+
+  table.Print();
+  table.WriteCsv(csc::bench::CsvPath("scalability"));
+  return 0;
+}

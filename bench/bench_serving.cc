@@ -1,0 +1,148 @@
+// Serving-tier comparison (ours, beyond the paper): the same built CSC
+// labeling can be served from five in-memory forms with different
+// size/latency/mutability trade-offs. This bench measures, per dataset,
+//
+//   size    — resident index bytes (the paper's 8 B/entry accounting for the
+//             dynamic/compact/frozen forms; actual byte streams for the
+//             compressed form),
+//   query   — mean SCCnt latency over a fixed random workload, and
+//   sweep   — wall time to answer all n queries, single-threaded and via the
+//             parallel batch API.
+//
+// Expected shape: frozen ≲ dynamic < compact in latency (layout only —
+// answers are identical); compressed trades ~2x smaller payload for a
+// decode-bound query; the cached form collapses repeat queries to an array
+// read; the parallel sweep scales with cores until memory-bound.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "csc/cached_index.h"
+#include "csc/compact_index.h"
+#include "csc/csc_index.h"
+#include "csc/frozen_index.h"
+#include "csc/parallel_query.h"
+#include "graph/ordering.h"
+#include "labeling/compressed.h"
+#include "util/env.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+#include "workload/reporter.h"
+
+namespace {
+
+using namespace csc;
+
+// Mean per-query microseconds of `query` over `vertices`, repeated until at
+// least ~20ms of work so fast forms are not noise-dominated.
+template <typename QueryFn>
+double MeanQueryMicros(const std::vector<Vertex>& vertices, QueryFn query) {
+  uint64_t sink = 0;
+  size_t rounds = 0;
+  Timer timer;
+  do {
+    for (Vertex v : vertices) {
+      CycleCount c = query(v);
+      sink += c.count + c.length;
+    }
+    ++rounds;
+  } while (timer.ElapsedSeconds() < 0.02);
+  // Keep the compiler from eliding the query loop.
+  if (sink == 0xdeadbeef) std::printf("!");
+  return timer.ElapsedMicros() / static_cast<double>(rounds * vertices.size());
+}
+
+}  // namespace
+
+int main() {
+  using namespace csc;
+  double scale = BenchScaleFromEnv();
+  auto datasets = BenchDatasetsFromEnv();
+  bench::PrintBanner("Serving tier: index forms (size / latency / sweep)",
+                     datasets, scale);
+
+  ThreadPool pool(ThreadPool::DefaultThreadCount());
+  std::printf("# parallel sweep threads: %u\n", pool.num_threads());
+
+  TableReporter size_table(
+      "Index form sizes",
+      {"Graph", "dynamic", "compact", "frozen", "compressed", "B/entry"});
+  TableReporter latency_table(
+      "Mean SCCnt latency (us) per index form",
+      {"Graph", "dynamic", "compact", "frozen", "compressed", "cached(hot)"});
+  TableReporter sweep_table(
+      "All-vertex sweep (ms)",
+      {"Graph", "sequential", "parallel", "speedup"});
+
+  for (const DatasetSpec& spec : datasets) {
+    DiGraph graph = MaterializeDataset(spec, scale);
+    CscIndex index = CscIndex::Build(graph, DegreeOrdering(graph));
+    CompactIndex compact = CompactIndex::FromIndex(index);
+    FrozenIndex frozen = FrozenIndex::FromCompact(compact);
+    CompressedIndex compressed = CompressedIndex::FromCompact(compact);
+    CachedCscIndex cached(CscIndex::Build(graph, DegreeOrdering(graph)));
+
+    size_table.AddRow({spec.name, HumanBytes(index.SizeBytes()),
+                       HumanBytes(compact.SizeBytes()),
+                       HumanBytes(frozen.SizeBytes()),
+                       HumanBytes(compressed.SizeBytes()),
+                       TableReporter::FormatDouble(
+                           compressed.BytesPerEntry(), 2)});
+
+    // Fixed random query workload (reused for every form).
+    Rng rng(2024);
+    std::vector<Vertex> workload;
+    for (int i = 0; i < 2000; ++i) {
+      workload.push_back(
+          static_cast<Vertex>(rng.NextBounded(graph.num_vertices())));
+    }
+    double dynamic_us =
+        MeanQueryMicros(workload, [&](Vertex v) { return index.Query(v); });
+    double compact_us =
+        MeanQueryMicros(workload, [&](Vertex v) { return compact.Query(v); });
+    double frozen_us =
+        MeanQueryMicros(workload, [&](Vertex v) { return frozen.Query(v); });
+    double compressed_us = MeanQueryMicros(
+        workload, [&](Vertex v) { return compressed.Query(v); });
+    // Warm the cache once, then measure the hot path.
+    for (Vertex v : workload) cached.Query(v);
+    double cached_us =
+        MeanQueryMicros(workload, [&](Vertex v) { return cached.Query(v); });
+
+    latency_table.AddRow({spec.name, TableReporter::FormatDouble(dynamic_us),
+                          TableReporter::FormatDouble(compact_us),
+                          TableReporter::FormatDouble(frozen_us),
+                          TableReporter::FormatDouble(compressed_us),
+                          TableReporter::FormatDouble(cached_us)});
+
+    Timer timer;
+    uint64_t sink = 0;
+    for (Vertex v = 0; v < frozen.num_original_vertices(); ++v) {
+      sink += frozen.Query(v).count;
+    }
+    double sequential_ms = timer.ElapsedMillis();
+    timer.Restart();
+    std::vector<CycleCount> all = QueryAllVertices(frozen, pool);
+    double parallel_ms = timer.ElapsedMillis();
+    sink += all.size();
+    if (sink == 0xdeadbeef) std::printf("!");
+    sweep_table.AddRow(
+        {spec.name, TableReporter::FormatDouble(sequential_ms, 1),
+         TableReporter::FormatDouble(parallel_ms, 1),
+         TableReporter::FormatDouble(
+             parallel_ms > 0 ? sequential_ms / parallel_ms : 0.0, 2)});
+    std::printf("[serving] %s: frozen %.2f us, compressed %.2f us (%.2f "
+                "B/entry)\n",
+                spec.name.c_str(), frozen_us, compressed_us,
+                compressed.BytesPerEntry());
+  }
+
+  size_table.Print();
+  latency_table.Print();
+  sweep_table.Print();
+  size_table.WriteCsv(bench::CsvPath("serving_sizes"));
+  latency_table.WriteCsv(bench::CsvPath("serving_latency"));
+  sweep_table.WriteCsv(bench::CsvPath("serving_sweep"));
+  return 0;
+}

@@ -1,0 +1,263 @@
+// csc_cli — command-line front end for the library:
+//
+//   csc_cli build <graph.edges> <index.csc>        build + persist an index
+//   csc_cli query <index.csc> <v> [v2 ...]         SCCnt queries
+//   csc_cli screen <index.csc> <max_len> <top_k>   fraud-style screening
+//   csc_cli stats <index.csc>                      index statistics
+//   csc_cli girth <index.csc>                      girth + length histogram
+//   csc_cli graphstats <graph.edges>               structural graph stats
+//   csc_cli casestudy <graph.edges> <v> <out.dot>  Figure 13 DOT export
+//
+// Graphs are SNAP-style edge lists (see graph/graph_io.h). Indexes are the
+// compact §IV.E serialization inside the checksummed file envelope of
+// csc/index_io.h (legacy raw serializations still load).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "csc/compact_index.h"
+#include "csc/csc_index.h"
+#include "csc/girth.h"
+#include "csc/index_io.h"
+#include "csc/screening.h"
+#include "graph/dot_export.h"
+#include "graph/graph_io.h"
+#include "graph/ordering.h"
+#include "graph/stats.h"
+#include "graph/subgraph.h"
+#include "util/env.h"
+#include "util/timer.h"
+
+using namespace csc;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  csc_cli build <graph.edges> <index.csc>\n"
+               "  csc_cli query <index.csc> <vertex> [vertex ...]\n"
+               "  csc_cli screen <index.csc> <max_cycle_len> <top_k>\n"
+               "  csc_cli stats <index.csc>\n"
+               "  csc_cli girth <index.csc>\n"
+               "  csc_cli graphstats <graph.edges>\n"
+               "  csc_cli casestudy <graph.edges> <vertex> <out.dot>\n");
+  return 2;
+}
+
+std::optional<CompactIndex> LoadIndex(const std::string& path) {
+  // Preferred: the checksummed envelope. Legacy raw payloads still load.
+  IndexLoadResult result = LoadIndexFromFile(path);
+  if (result.ok()) return std::move(result.index);
+  auto bytes = ReadFileToString(path);
+  if (!bytes) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return std::nullopt;
+  }
+  auto index = CompactIndex::Deserialize(*bytes);
+  if (!index) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), result.error.c_str());
+  }
+  return index;
+}
+
+int CmdBuild(const std::string& graph_path, const std::string& index_path) {
+  auto graph = LoadEdgeListFile(graph_path);
+  if (!graph) {
+    std::fprintf(stderr, "cannot parse %s\n", graph_path.c_str());
+    return 1;
+  }
+  std::printf("loaded %s: %u vertices, %llu edges\n", graph_path.c_str(),
+              graph->num_vertices(),
+              static_cast<unsigned long long>(graph->num_edges()));
+  Timer timer;
+  CscIndex index = CscIndex::Build(*graph, DegreeOrdering(*graph));
+  std::printf("built in %.3f s (%llu entries)\n", timer.ElapsedSeconds(),
+              static_cast<unsigned long long>(index.TotalEntries()));
+  CompactIndex compact = CompactIndex::FromIndex(index);
+  if (!SaveIndexToFile(compact, index_path)) {
+    std::fprintf(stderr, "cannot write %s\n", index_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%s, %llu entries after reduction)\n",
+              index_path.c_str(), HumanBytes(compact.SizeBytes()).c_str(),
+              static_cast<unsigned long long>(compact.TotalEntries()));
+  return 0;
+}
+
+int CmdGirth(const std::string& index_path) {
+  auto index = LoadIndex(index_path);
+  if (!index) return 1;
+  Vertex n = index->num_original_vertices();
+  auto query = [&](Vertex v) { return index->Query(v); };
+  GirthInfo info = ComputeGirth(n, query);
+  if (info.girth == kInfDist) {
+    std::printf("graph is acyclic (no girth)\n");
+    return 0;
+  }
+  std::printf("girth           : %u\n", info.girth);
+  std::printf("girth vertices  : %llu (e.g. vertex %u)\n",
+              static_cast<unsigned long long>(info.num_girth_vertices),
+              info.example_vertex);
+  CycleLengthHistogram histogram = ComputeCycleLengthHistogram(n, query);
+  std::printf("length histogram:\n");
+  for (size_t len = 0; len < histogram.vertices_by_length.size(); ++len) {
+    if (histogram.vertices_by_length[len] == 0) continue;
+    std::printf("  len %-4zu %llu vertices\n", len,
+                static_cast<unsigned long long>(
+                    histogram.vertices_by_length[len]));
+  }
+  std::printf("  acyclic  %llu vertices\n",
+              static_cast<unsigned long long>(histogram.acyclic_vertices));
+  return 0;
+}
+
+int CmdGraphStats(const std::string& graph_path) {
+  auto graph = LoadEdgeListFile(graph_path);
+  if (!graph) {
+    std::fprintf(stderr, "cannot parse %s\n", graph_path.c_str());
+    return 1;
+  }
+  GraphStats stats = ComputeGraphStats(*graph);
+  std::printf("vertices        : %u\n", stats.num_vertices);
+  std::printf("edges           : %llu\n",
+              static_cast<unsigned long long>(stats.num_edges));
+  std::printf("mean degree     : %.2f\n", stats.mean_degree);
+  std::printf("max out/in deg  : %zu / %zu\n", stats.max_out_degree,
+              stats.max_in_degree);
+  std::printf("isolated        : %llu\n",
+              static_cast<unsigned long long>(stats.isolated_vertices));
+  std::printf("reciprocity     : %.3f (%llu edges)\n", stats.reciprocity,
+              static_cast<unsigned long long>(stats.reciprocal_edges));
+  std::printf("avg distance    : ~%.2f (sampled)\n",
+              EstimateAverageDistance(*graph, 16, 42));
+  std::printf("degree histogram (log2 bins):\n");
+  for (size_t bin = 0; bin < stats.degree_histogram.size(); ++bin) {
+    std::printf("  deg in [%d, %d): %llu vertices\n", (1 << bin) - 1,
+                (1 << (bin + 1)) - 1,
+                static_cast<unsigned long long>(stats.degree_histogram[bin]));
+  }
+  return 0;
+}
+
+int CmdCaseStudy(const std::string& graph_path, Vertex center,
+                 const std::string& dot_path) {
+  auto graph = LoadEdgeListFile(graph_path);
+  if (!graph) {
+    std::fprintf(stderr, "cannot parse %s\n", graph_path.c_str());
+    return 1;
+  }
+  if (center >= graph->num_vertices()) {
+    std::fprintf(stderr, "vertex %u out of range (n=%u)\n", center,
+                 graph->num_vertices());
+    return 1;
+  }
+  Subgraph sub = ShortestCycleSubgraph(*graph, center);
+  if (sub.graph.num_vertices() == 0) {
+    std::printf("no cycle passes through vertex %u; nothing to render\n",
+                center);
+    return 0;
+  }
+  CscIndex index = CscIndex::Build(*graph, DegreeOrdering(*graph));
+  std::string dot = RenderCycleStudyDot(
+      sub, [&](Vertex v) { return index.Query(v); },
+      "cycles_through_" + std::to_string(center));
+  if (!WriteStringToFile(dot_path, dot)) {
+    std::fprintf(stderr, "cannot write %s\n", dot_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %u vertices, %llu edges on the shortest cycles "
+              "through %u (render with `dot -Tsvg`)\n",
+              dot_path.c_str(), sub.graph.num_vertices(),
+              static_cast<unsigned long long>(sub.graph.num_edges()), center);
+  return 0;
+}
+
+int CmdQuery(const std::string& index_path, char** vertices, int count) {
+  auto index = LoadIndex(index_path);
+  if (!index) return 1;
+  for (int i = 0; i < count; ++i) {
+    auto v = static_cast<Vertex>(std::strtoul(vertices[i], nullptr, 10));
+    if (v >= index->num_original_vertices()) {
+      std::printf("SCCnt(%u): vertex out of range (n=%u)\n", v,
+                  index->num_original_vertices());
+      continue;
+    }
+    Timer timer;
+    CycleCount cc = index->Query(v);
+    double us = timer.ElapsedMicros();
+    if (cc.count == 0) {
+      std::printf("SCCnt(%u) = 0 (no cycle)            [%.1f us]\n", v, us);
+    } else {
+      std::printf("SCCnt(%u) = %llu, length %u         [%.1f us]\n", v,
+                  static_cast<unsigned long long>(cc.count), cc.length, us);
+    }
+  }
+  return 0;
+}
+
+int CmdScreen(const std::string& index_path, Dist max_len, size_t top_k) {
+  auto compact = LoadIndex(index_path);
+  if (!compact) return 1;
+  // Screening iterates all vertices; run it off the compact index directly.
+  struct Hit {
+    Vertex v;
+    CycleCount cc;
+  };
+  std::vector<Hit> hits;
+  for (Vertex v = 0; v < compact->num_original_vertices(); ++v) {
+    CycleCount cc = compact->Query(v);
+    if (cc.count > 0 && cc.length <= max_len) hits.push_back({v, cc});
+  }
+  std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+    if (a.cc.count != b.cc.count) return a.cc.count > b.cc.count;
+    if (a.cc.length != b.cc.length) return a.cc.length < b.cc.length;
+    return a.v < b.v;
+  });
+  if (hits.size() > top_k) hits.resize(top_k);
+  std::printf("top %zu vertices with shortest cycles of length <= %u:\n",
+              hits.size(), max_len);
+  for (const Hit& hit : hits) {
+    std::printf("  vertex %-8u count=%-6llu length=%u\n", hit.v,
+                static_cast<unsigned long long>(hit.cc.count), hit.cc.length);
+  }
+  return 0;
+}
+
+int CmdStats(const std::string& index_path) {
+  auto index = LoadIndex(index_path);
+  if (!index) return 1;
+  uint64_t entries = index->TotalEntries();
+  Vertex n = index->num_original_vertices();
+  std::printf("vertices        : %u\n", n);
+  std::printf("label entries   : %llu\n",
+              static_cast<unsigned long long>(entries));
+  std::printf("index size      : %s\n", HumanBytes(index->SizeBytes()).c_str());
+  std::printf("avg entries/vtx : %.2f\n",
+              n > 0 ? static_cast<double>(entries) / n : 0.0);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  if (cmd == "build" && argc == 4) return CmdBuild(argv[2], argv[3]);
+  if (cmd == "query" && argc >= 4) return CmdQuery(argv[2], argv + 3, argc - 3);
+  if (cmd == "screen" && argc == 5) {
+    return CmdScreen(argv[2],
+                     static_cast<Dist>(std::strtoul(argv[3], nullptr, 10)),
+                     std::strtoul(argv[4], nullptr, 10));
+  }
+  if (cmd == "stats" && argc == 3) return CmdStats(argv[2]);
+  if (cmd == "girth" && argc == 3) return CmdGirth(argv[2]);
+  if (cmd == "graphstats" && argc == 3) return CmdGraphStats(argv[2]);
+  if (cmd == "casestudy" && argc == 5) {
+    return CmdCaseStudy(argv[2],
+                        static_cast<Vertex>(std::strtoul(argv[3], nullptr, 10)),
+                        argv[4]);
+  }
+  return Usage();
+}

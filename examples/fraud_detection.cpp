@@ -1,0 +1,125 @@
+// Fraud detection (the paper's Application 1 and Figure 13 case study):
+// accounts whose shortest cycles are both short and numerous are flagged as
+// money-laundering suspects. A synthetic transaction network with planted
+// criminal rings stands in for the MAHINDAS economic network, and the demo
+// checks that shortest-cycle counting recovers every planted ring center.
+//
+//   $ ./fraud_detection [num_background_accounts]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+#include "csc/csc_index.h"
+#include "dynamic/incremental.h"
+#include "graph/generators.h"
+#include "graph/ordering.h"
+
+using namespace csc;
+
+namespace {
+
+struct Suspect {
+  Vertex account;
+  CycleCount cycles;
+};
+
+// Screening rule from the paper's introduction and Figure 1: laundering
+// routes are SHORT (funds must round-trip quickly), and in small-world
+// transaction graphs many accounts share the same shortest cycle length —
+// so screen to accounts whose shortest cycle is short, then rank by the
+// NUMBER of shortest cycles, the informative signal.
+std::vector<Suspect> Screen(const CscIndex& index, Vertex num_accounts,
+                            Dist max_cycle_length, size_t top_k) {
+  std::vector<Suspect> suspects;
+  for (Vertex v = 0; v < num_accounts; ++v) {
+    CycleCount cc = index.Query(v);
+    if (cc.count > 0 && cc.length <= max_cycle_length) {
+      suspects.push_back({v, cc});
+    }
+  }
+  std::sort(suspects.begin(), suspects.end(),
+            [](const Suspect& a, const Suspect& b) {
+              if (a.cycles.count != b.cycles.count) {
+                return a.cycles.count > b.cycles.count;
+              }
+              return a.cycles.length < b.cycles.length;
+            });
+  if (suspects.size() > top_k) suspects.resize(top_k);
+  return suspects;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  MoneyLaunderingConfig config;
+  config.num_background = argc > 1 ? std::atoi(argv[1]) : 4000;
+  config.num_rings = 5;
+  config.routes_per_ring = 7;
+  config.route_length = 3;  // planted cycles have length 4, as in Figure 1
+  MoneyLaunderingGraph network = GenerateMoneyLaundering(config, 20220707);
+
+  std::printf(
+      "transaction network: %u accounts, %llu transactions, %u planted "
+      "rings\n",
+      network.graph.num_vertices(),
+      static_cast<unsigned long long>(network.graph.num_edges()),
+      config.num_rings);
+
+  CscIndex index =
+      CscIndex::Build(network.graph, DegreeOrdering(network.graph));
+  std::printf("CSC index built in %.1f ms\n\n",
+              index.build_stats().seconds * 1e3);
+
+  std::vector<Suspect> suspects = Screen(
+      index, network.graph.num_vertices(), config.route_length + 1, 10);
+  std::set<Vertex> planted(network.criminal_accounts.begin(),
+                           network.criminal_accounts.end());
+  std::printf("top suspects by (shortest cycle length, cycle count):\n");
+  size_t recovered = 0;
+  for (const Suspect& s : suspects) {
+    bool is_planted = planted.count(s.account) > 0;
+    recovered += is_planted;
+    std::printf("  account %-6u  len=%u  count=%-4llu  %s\n", s.account,
+                s.cycles.length,
+                static_cast<unsigned long long>(s.cycles.count),
+                is_planted ? "<-- planted criminal" : "");
+  }
+  std::printf("recovered %zu of %zu planted ring centers in the top-%zu\n\n",
+              recovered, planted.size(), suspects.size());
+
+  // Live monitoring: a new laundering route through a fresh account pops it
+  // onto the radar without rebuilding the index.
+  Vertex new_criminal = 17;  // an ordinary background account turning bad
+  std::printf("new laundering routes start flowing through account %u...\n",
+              new_criminal);
+  Vertex next_mule = 100;
+  for (int round = 0; round < 4; ++round) {
+    // Each round adds one parallel length-4 route through three mules.
+    // Background transactions may already connect a candidate mule chain, so
+    // advance until a fully fresh route inserts cleanly.
+    for (;;) {
+      Vertex hop1 = next_mule, hop2 = next_mule + 1, hop3 = next_mule + 2;
+      next_mule += 3;
+      if (hop3 >= config.num_background) break;  // demo-sized safety stop
+      if (!InsertEdge(index, new_criminal, hop1)) continue;
+      if (InsertEdge(index, hop1, hop2) && InsertEdge(index, hop2, hop3) &&
+          InsertEdge(index, hop3, new_criminal)) {
+        break;
+      }
+      // Partially inserted route: leave it (real ledgers only append) and
+      // retry with the next mule chain.
+    }
+    CycleCount cc = index.Query(new_criminal);
+    std::printf("  after route %d: SCCnt(%u) = %llu (length %u)\n", round + 1,
+                new_criminal, static_cast<unsigned long long>(cc.count),
+                cc.length);
+  }
+  CycleCount final_cc = index.Query(new_criminal);
+  if (final_cc.count >= 4 || final_cc.length <= 4) {
+    std::printf("account %u crossed the screening threshold -> flagged\n",
+                new_criminal);
+  }
+  return 0;
+}

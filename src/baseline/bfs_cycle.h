@@ -1,0 +1,45 @@
+#ifndef CSC_BASELINE_BFS_CYCLE_H_
+#define CSC_BASELINE_BFS_CYCLE_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/common.h"
+
+namespace csc {
+
+/// Index-free baseline (Algorithm 1, BFS-CYCLE): a counting BFS from the
+/// query vertex's out-neighbors back to the query vertex. O(n + m) time and
+/// space per query.
+///
+/// The counter owns its scratch arrays so repeated queries (the benchmark
+/// loop) do not pay an O(n) allocation each time; it lazily resets only the
+/// vertices touched by the previous query.
+class BfsCycleCounter {
+ public:
+  explicit BfsCycleCounter(const DiGraph& graph);
+
+  /// SCCnt(vq) with shortest length, by Algorithm 1.
+  CycleCount CountCycles(Vertex vq);
+
+  const DiGraph& graph() const { return *graph_; }
+
+ private:
+  const DiGraph* graph_;
+  std::vector<Dist> dist_;
+  std::vector<Count> count_;
+  std::vector<Vertex> touched_;
+  std::vector<Vertex> queue_;
+};
+
+/// One-shot convenience wrapper over BfsCycleCounter.
+CycleCount BfsCountCycles(const DiGraph& graph, Vertex vq);
+
+/// Exponential-time oracle that enumerates simple cycles through `vq` by
+/// depth-first search, for cross-validating the three real engines on tiny
+/// graphs (tests only; do not call on graphs beyond a few dozen vertices).
+CycleCount NaiveCountCyclesDfs(const DiGraph& graph, Vertex vq);
+
+}  // namespace csc
+
+#endif  // CSC_BASELINE_BFS_CYCLE_H_

@@ -1,0 +1,47 @@
+#include "csc/cached_index.h"
+
+#include <utility>
+
+#include "dynamic/decremental.h"
+#include "dynamic/incremental.h"
+
+namespace csc {
+
+CachedCscIndex::CachedCscIndex(CscIndex index)
+    : index_(std::move(index)), slots_(index_.num_original_vertices()) {}
+
+CycleCount CachedCscIndex::Query(Vertex v) {
+  Slot& slot = slots_[v];
+  if (slot.generation == generation_) {
+    ++hits_;
+    return slot.answer;
+  }
+  ++misses_;
+  slot.answer = index_.Query(v);
+  slot.generation = generation_;
+  return slot.answer;
+}
+
+bool CachedCscIndex::InsertEdge(Vertex a, Vertex b,
+                                MaintenanceStrategy strategy,
+                                UpdateStats* stats) {
+  if (!csc::InsertEdge(index_, a, b, strategy, stats)) return false;
+  ++generation_;
+  return true;
+}
+
+bool CachedCscIndex::RemoveEdge(Vertex a, Vertex b, UpdateStats* stats) {
+  if (!csc::RemoveEdge(index_, a, b, stats)) return false;
+  ++generation_;
+  return true;
+}
+
+uint64_t CachedCscIndex::NumValidEntries() const {
+  uint64_t valid = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.generation == generation_) ++valid;
+  }
+  return valid;
+}
+
+}  // namespace csc

@@ -1,0 +1,213 @@
+#include "csc/compact_index.h"
+
+#include <cstring>
+
+#include "graph/bipartite.h"
+
+namespace csc {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'S', 'C', 'I'};
+constexpr uint32_t kVersion = 1;
+
+void PutU32(std::string& out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.append(buf, 4);
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
+// Sequential reader with bounds checking; any overrun flips `ok`.
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+
+  uint32_t U32() { return Fixed<uint32_t>(); }
+  uint64_t U64() { return Fixed<uint64_t>(); }
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  template <typename T>
+  T Fixed() {
+    if (pos_ + sizeof(T) > bytes_.size()) {
+      ok_ = false;
+      return T{};
+    }
+    T v;
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const std::string& bytes_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+void PutLabelSet(std::string& out, const LabelSet& labels) {
+  PutU32(out, static_cast<uint32_t>(labels.size()));
+  for (const LabelEntry& e : labels.entries()) PutU64(out, e.bits());
+}
+
+bool ReadLabelSet(Reader& reader, LabelSet& labels) {
+  uint32_t size = reader.U32();
+  if (!reader.ok()) return false;
+  Rank prev_rank = 0;
+  for (uint32_t i = 0; i < size; ++i) {
+    LabelEntry e = LabelEntry::FromBits(reader.U64());
+    if (!reader.ok()) return false;
+    // Entries must arrive strictly rank-sorted, or the file is corrupt.
+    if (i > 0 && e.hub() <= prev_rank) return false;
+    prev_rank = e.hub();
+    labels.Append(e);
+  }
+  return true;
+}
+
+}  // namespace
+
+CompactIndex CompactIndex::FromIndex(const CscIndex& index) {
+  CompactIndex compact;
+  Vertex n = index.num_original_vertices();
+  compact.in_labels_.resize(n);
+  compact.out_labels_.resize(n);
+  for (Vertex v = 0; v < n; ++v) {
+    compact.in_labels_[v] = index.labeling().in[InVertex(v)];
+    compact.out_labels_[v] = index.labeling().out[OutVertex(v)];
+  }
+  compact.rank_to_vertex_ = index.bipartite_order().rank_to_vertex;
+  compact.in_vertex_rank_.resize(n);
+  for (Vertex v = 0; v < n; ++v) {
+    compact.in_vertex_rank_[v] =
+        index.bipartite_order().vertex_to_rank[InVertex(v)];
+  }
+  return compact;
+}
+
+CycleCount CompactIndex::Query(Vertex v) const {
+  JoinResult r = JoinLabels(out_labels_[v], in_labels_[v]);
+  if (r.dist == kInfDist) return {};
+  return {(r.dist + 1) / 2, r.count};
+}
+
+CycleCount CompactIndex::QueryThroughEdge(Vertex u, Vertex v) const {
+  if (u == v || u >= num_original_vertices() ||
+      v >= num_original_vertices()) {
+    return {};
+  }
+  JoinResult r = JoinLabels(out_labels_[v], in_labels_[u]);
+  // Couple-skipping correction (see CscIndex::QueryThroughEdge): paths on
+  // which v_o outranks everything are covered only by hub v_i in L_in(u_i).
+  const LabelEntry* couple_entry = in_labels_[u].Find(in_vertex_rank_[v]);
+  if (couple_entry != nullptr) {
+    Dist d = couple_entry->dist() - 1;
+    if (d < r.dist) {
+      r.dist = d;
+      r.count = couple_entry->count();
+    } else if (d == r.dist) {
+      r.count += couple_entry->count();
+    }
+  }
+  if (r.dist == kInfDist) return {};
+  return {(r.dist + 1) / 2 + 1, r.count};
+}
+
+uint64_t CompactIndex::TotalEntries() const {
+  uint64_t total = 0;
+  for (const LabelSet& l : in_labels_) total += l.size();
+  for (const LabelSet& l : out_labels_) total += l.size();
+  return total;
+}
+
+HubLabeling CompactIndex::ExpandToFull() const {
+  Vertex n = num_original_vertices();
+  // Recover each bipartite vertex's rank from the stored permutation.
+  std::vector<Rank> vertex_to_rank(2 * n);
+  for (Rank r = 0; r < rank_to_vertex_.size(); ++r) {
+    vertex_to_rank[rank_to_vertex_[r]] = r;
+  }
+  HubLabeling full;
+  full.Resize(2 * n);
+  for (Vertex v = 0; v < n; ++v) {
+    Rank rank_vi = vertex_to_rank[InVertex(v)];
+    Rank rank_vo = vertex_to_rank[OutVertex(v)];
+    // L_in(v_i): stored verbatim.
+    full.in[InVertex(v)] = in_labels_[v];
+    // L_in(v_o) = shift(L_in(v_i)) ∪ {(v_o, 0, 1)}. Every stored hub ranks
+    // at or above v_i, hence strictly above v_o, so the self entry appends
+    // in sorted position.
+    for (const LabelEntry& e : in_labels_[v].entries()) {
+      full.in[OutVertex(v)].Append(LabelEntry(e.hub(), e.dist() + 1, e.count()));
+    }
+    full.in[OutVertex(v)].Append(LabelEntry(rank_vo, 0, 1));
+    // L_out(v_o): stored verbatim.
+    full.out[OutVertex(v)] = out_labels_[v];
+    // L_out(v_i) = shift(L_out(v_o) minus the v_i-hub cycle entry and the
+    // v_o self entry) ∪ {(v_i, 0, 1)}.
+    for (const LabelEntry& e : out_labels_[v].entries()) {
+      if (e.hub() == rank_vi || e.hub() == rank_vo) continue;
+      full.out[InVertex(v)].Append(
+          LabelEntry(e.hub(), e.dist() + 1, e.count()));
+    }
+    full.out[InVertex(v)].Append(LabelEntry(rank_vi, 0, 1));
+  }
+  return full;
+}
+
+std::string CompactIndex::Serialize() const {
+  std::string out;
+  out.append(kMagic, 4);
+  PutU32(out, kVersion);
+  PutU32(out, num_original_vertices());
+  for (Vertex v : rank_to_vertex_) PutU32(out, v);
+  for (Vertex v = 0; v < num_original_vertices(); ++v) {
+    PutLabelSet(out, in_labels_[v]);
+    PutLabelSet(out, out_labels_[v]);
+  }
+  return out;
+}
+
+std::optional<CompactIndex> CompactIndex::Deserialize(
+    const std::string& bytes) {
+  if (bytes.size() < 4 || std::memcmp(bytes.data(), kMagic, 4) != 0) {
+    return std::nullopt;
+  }
+  const std::string body = bytes.substr(4);
+  Reader reader(body);
+  if (reader.U32() != kVersion) return std::nullopt;
+  uint32_t n = reader.U32();
+  if (!reader.ok()) return std::nullopt;
+  CompactIndex compact;
+  compact.rank_to_vertex_.resize(2 * static_cast<size_t>(n));
+  std::vector<bool> seen(2 * static_cast<size_t>(n), false);
+  for (Vertex& v : compact.rank_to_vertex_) {
+    v = reader.U32();
+    if (!reader.ok() || v >= 2 * n || seen[v]) return std::nullopt;
+    seen[v] = true;
+  }
+  compact.in_labels_.resize(n);
+  compact.out_labels_.resize(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    if (!ReadLabelSet(reader, compact.in_labels_[v])) return std::nullopt;
+    if (!ReadLabelSet(reader, compact.out_labels_[v])) return std::nullopt;
+  }
+  if (!reader.ok() || !reader.AtEnd()) return std::nullopt;
+  // Rebuild the derived couple-hub rank map.
+  compact.in_vertex_rank_.resize(n);
+  for (Rank r = 0; r < compact.rank_to_vertex_.size(); ++r) {
+    Vertex bipartite_vertex = compact.rank_to_vertex_[r];
+    if (IsInVertex(bipartite_vertex)) {
+      compact.in_vertex_rank_[OriginalOf(bipartite_vertex)] = r;
+    }
+  }
+  return compact;
+}
+
+}  // namespace csc

@@ -1,0 +1,77 @@
+#ifndef CSC_CSC_COMPACT_INDEX_H_
+#define CSC_CSC_COMPACT_INDEX_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "csc/csc_index.h"
+#include "labeling/hub_labeling.h"
+
+namespace csc {
+
+/// Index reduction (§IV.E): a read-only CSC index that stores only one label
+/// set per couple pair and direction.
+///
+/// Because couple pairs are rank-consecutive, the labels of a pair are
+/// redundant copies of each other:
+///   L_in(v_o)  = shift(L_in(v_i)) ∪ {(v_o, 0, 1)}
+///   L_out(v_i) = shift(L_out(v_o) \ {hub v_i, hub v_o}) ∪ {(v_i, 0, 1)}
+/// where shift(·) adds 1 to every distance. CompactIndex keeps exactly
+/// L_in(v_i) and L_out(v_o) — which happen to be the two sets SCCnt queries
+/// read — halving the resident size, and can reconstruct the full labeling
+/// ("when the complete index must be recovered, we just need to modify the
+/// distance element and the v_i-hub out-label entry").
+///
+/// Also the serialization format of the library: a CscIndex is persisted by
+/// compacting it, and resumed for dynamic maintenance via ExpandToFull().
+class CompactIndex {
+ public:
+  /// Compacts a built CSC index (drops the redundant couple label sets).
+  static CompactIndex FromIndex(const CscIndex& index);
+
+  /// SCCnt(v) — identical answers to CscIndex::Query.
+  CycleCount Query(Vertex v) const;
+
+  /// Shortest cycles through the edge (u, v) — identical answers to
+  /// CscIndex::QueryThroughEdge (see there for semantics).
+  CycleCount QueryThroughEdge(Vertex u, Vertex v) const;
+
+  Vertex num_original_vertices() const {
+    return static_cast<Vertex>(in_labels_.size());
+  }
+  uint64_t TotalEntries() const;
+  uint64_t SizeBytes() const { return TotalEntries() * sizeof(LabelEntry); }
+
+  /// L_in(v_i) of original vertex v.
+  const LabelSet& InLabels(Vertex v) const { return in_labels_[v]; }
+  /// L_out(v_o) of original vertex v.
+  const LabelSet& OutLabels(Vertex v) const { return out_labels_[v]; }
+
+  /// Reconstructs the full (uncompacted) labeling over G_b's 2n vertices.
+  HubLabeling ExpandToFull() const;
+
+  /// The bipartite rank -> bipartite vertex permutation carried for
+  /// expansion (§IV.E needs hub ranks to rebuild couple entries).
+  const std::vector<Vertex>& bipartite_rank_to_vertex() const {
+    return rank_to_vertex_;
+  }
+
+  /// Binary little-endian serialization (magic + version checked on load).
+  std::string Serialize() const;
+  static std::optional<CompactIndex> Deserialize(const std::string& bytes);
+
+  friend bool operator==(const CompactIndex&, const CompactIndex&) = default;
+
+ private:
+  std::vector<LabelSet> in_labels_;   // L_in(v_i), indexed by original vertex
+  std::vector<LabelSet> out_labels_;  // L_out(v_o), indexed by original vertex
+  std::vector<Vertex> rank_to_vertex_;
+  // Derived (not serialized; rebuilt on load): in_vertex_rank_[v] is the
+  // rank of v_i, the couple-correction hub QueryThroughEdge needs.
+  std::vector<Rank> in_vertex_rank_;
+};
+
+}  // namespace csc
+
+#endif  // CSC_CSC_COMPACT_INDEX_H_

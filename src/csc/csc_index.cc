@@ -1,0 +1,318 @@
+#include "csc/csc_index.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "labeling/pruned_bfs.h"
+#include "util/timer.h"
+
+namespace csc {
+
+namespace {
+
+/// Algorithm 3: per-hub pruned counting BFS over G_b with couple-vertex
+/// skipping. Only V_in vertices act as hubs; forward passes hop
+/// V_in -> V_in (through the dequeued vertex's couple) and backward passes
+/// hop V_out -> V_out, labeling each reached vertex together with its couple.
+class CoupleSkipBuilder {
+ public:
+  CoupleSkipBuilder(const DiGraph& bipartite, const VertexOrdering& order,
+                    HubLabeling& labeling, LabelBuildStats& stats,
+                    bool distance_pruning)
+      : graph_(bipartite),
+        order_(order),
+        labeling_(labeling),
+        stats_(stats),
+        distance_pruning_(distance_pruning),
+        dist_(bipartite.num_vertices(), kInfDist),
+        count_(bipartite.num_vertices(), 0) {}
+
+  void BuildAll() {
+    for (Rank r = 0; r < order_.size(); ++r) {
+      Vertex v = order_.rank_to_vertex[r];
+      if (IsOutVertex(v)) {
+        // Couple-vertex skipping: v_o never roots a BFS; it only records its
+        // own trivial labels (Algorithm 3 lines 6-8).
+        labeling_.in[v].Append(LabelEntry(r, 0, 1));
+        labeling_.out[v].Append(LabelEntry(r, 0, 1));
+        stats_.entries += 2;
+        stats_.canonical_entries += 2;
+        continue;
+      }
+      ForwardPass(v, r);
+      BackwardPass(v, r);
+    }
+  }
+
+ private:
+  // In-label generation for hub v_i (rank hr). Dequeued vertices are always
+  // from V_in; the couple w_o trails at distance +1 and is labeled eagerly.
+  void ForwardPass(Vertex hub, Rank hr) {
+    queue_.clear();
+    dist_[hub] = 0;
+    count_[hub] = 1;
+    touched_.push_back(hub);
+    queue_.push_back(hub);
+    size_t head = 0;
+    while (head < queue_.size()) {
+      Vertex w = queue_[head++];
+      ++stats_.vertices_dequeued;
+      if (distance_pruning_) {
+        JoinResult via = JoinLabels(labeling_.out[hub], labeling_.in[w]);
+        if (via.dist < dist_[w]) {
+          ++stats_.pruned_by_distance;
+          continue;
+        }
+        if (via.dist == dist_[w]) {
+          stats_.non_canonical_entries += 2;
+        } else {
+          stats_.canonical_entries += 2;
+        }
+      }
+      // INSERT_LABEL (Algorithm 4): label w and its couple w_o at +1. The
+      // couple's distance/count are exactly w's shifted because w_o's only
+      // in-edge is the couple edge (w_i, w_o).
+      Vertex couple = CoupleOf(w);
+      labeling_.in[w].Append(LabelEntry(hr, dist_[w], count_[w]));
+      labeling_.in[couple].Append(LabelEntry(hr, dist_[w] + 1, count_[w]));
+      stats_.entries += 2;
+      for (Vertex wn : graph_.OutNeighbors(couple)) {  // wn ∈ V_in
+        if (dist_[wn] == kInfDist) {
+          if (hr < order_.vertex_to_rank[wn]) {  // rank pruning: hub ≺ wn
+            dist_[wn] = dist_[w] + 2;
+            count_[wn] = count_[w];
+            touched_.push_back(wn);
+            queue_.push_back(wn);
+          }
+        } else if (dist_[wn] == dist_[w] + 2) {
+          count_[wn] += count_[w];
+        }
+      }
+    }
+    ResetScratch();
+  }
+
+  // Out-label generation for hub v_i (rank hr), running over the reverse
+  // direction of G_b. After the root, dequeued vertices are always from
+  // V_out; the couple w_i trails at distance +1.
+  void BackwardPass(Vertex hub, Rank hr) {
+    queue_.clear();
+    dist_[hub] = 0;
+    count_[hub] = 1;
+    touched_.push_back(hub);
+    queue_.push_back(hub);
+    size_t head = 0;
+    while (head < queue_.size()) {
+      Vertex w = queue_[head++];
+      ++stats_.vertices_dequeued;
+      if (w == hub) {
+        // Modification (3) of §IV.C: the root only records (v, 0, 1) in its
+        // own out-label, then expands its predecessors directly (the couple
+        // v_o is v's successor, not predecessor, so no couple step here).
+        labeling_.out[hub].Append(LabelEntry(hr, 0, 1));
+        ++stats_.entries;
+        ++stats_.canonical_entries;
+        for (Vertex wn : graph_.InNeighbors(hub)) {  // wn ∈ V_out
+          if (hr < order_.vertex_to_rank[wn]) {
+            dist_[wn] = 1;
+            count_[wn] = 1;
+            touched_.push_back(wn);
+            queue_.push_back(wn);
+          }
+        }
+        continue;
+      }
+      bool is_hub_couple = (w == CoupleOf(hub));
+      if (distance_pruning_) {
+        JoinResult via = JoinLabels(labeling_.out[w], labeling_.in[hub]);
+        if (via.dist < dist_[w]) {
+          ++stats_.pruned_by_distance;
+          continue;
+        }
+        uint64_t produced = is_hub_couple ? 1 : 2;
+        if (via.dist == dist_[w]) {
+          stats_.non_canonical_entries += produced;
+        } else {
+          stats_.canonical_entries += produced;
+        }
+      }
+      labeling_.out[w].Append(LabelEntry(hr, dist_[w], count_[w]));
+      ++stats_.entries;
+      if (is_hub_couple) {
+        // Modification (4) of §IV.C: reaching the hub's own couple v_o means
+        // a cycle through v closed. Record it in L_out(v_o) — this is the
+        // entry SCCnt queries hit — but do not propagate to the couple
+        // (that would be the hub itself) and prune the expansion, since any
+        // continuation walks through the hub and is covered by its labels.
+        continue;
+      }
+      Vertex couple = CoupleOf(w);  // w_i
+      labeling_.out[couple].Append(LabelEntry(hr, dist_[w] + 1, count_[w]));
+      ++stats_.entries;
+      for (Vertex wn : graph_.InNeighbors(couple)) {  // wn ∈ V_out
+        if (dist_[wn] == kInfDist) {
+          if (hr < order_.vertex_to_rank[wn]) {
+            dist_[wn] = dist_[w] + 2;
+            count_[wn] = count_[w];
+            touched_.push_back(wn);
+            queue_.push_back(wn);
+          }
+        } else if (dist_[wn] == dist_[w] + 2) {
+          count_[wn] += count_[w];
+        }
+      }
+    }
+    ResetScratch();
+  }
+
+  void ResetScratch() {
+    for (Vertex v : touched_) {
+      dist_[v] = kInfDist;
+      count_[v] = 0;
+    }
+    touched_.clear();
+  }
+
+  const DiGraph& graph_;
+  const VertexOrdering& order_;
+  HubLabeling& labeling_;
+  LabelBuildStats& stats_;
+  const bool distance_pruning_;
+  std::vector<Dist> dist_;
+  std::vector<Count> count_;
+  std::vector<Vertex> touched_;
+  std::vector<Vertex> queue_;
+};
+
+// Hub ranks must fit LabelEntry's 23-bit field; G_b has 2n vertices.
+void CheckVertexRange(Vertex num_original_vertices) {
+  if (2ull * num_original_vertices > LabelEntry::kMaxHub + 1) {
+    std::fprintf(stderr,
+                 "csc: graph too large for the 23-bit label encoding "
+                 "(%u vertices, limit %llu)\n",
+                 num_original_vertices,
+                 static_cast<unsigned long long>((LabelEntry::kMaxHub + 1) /
+                                                 2));
+    std::abort();
+  }
+}
+
+void PopulateInvertedIndexes(const HubLabeling& labeling, InvertedIndex& inv_in,
+                             InvertedIndex& inv_out) {
+  inv_in.Resize(labeling.num_vertices());
+  inv_out.Resize(labeling.num_vertices());
+  for (Vertex v = 0; v < labeling.num_vertices(); ++v) {
+    for (const LabelEntry& e : labeling.in[v].entries()) inv_in.Add(e.hub(), v);
+    for (const LabelEntry& e : labeling.out[v].entries()) {
+      inv_out.Add(e.hub(), v);
+    }
+  }
+}
+
+}  // namespace
+
+CscIndex CscIndex::Build(const DiGraph& graph, const VertexOrdering& order,
+                         const Options& options) {
+  CheckVertexRange(graph.num_vertices() + options.reserve_vertices);
+  CscIndex index;
+  index.options_ = options;
+  if (options.reserve_vertices > 0) {
+    // Reserved vertices are isolated and ranked below every real vertex, so
+    // they cost two self-labels each and never perturb existing labels.
+    DiGraph extended = graph;
+    Vertex first = extended.AddVertices(options.reserve_vertices);
+    VertexOrdering extended_order = order;
+    for (Vertex v = first; v < extended.num_vertices(); ++v) {
+      extended_order.rank_to_vertex.push_back(v);
+      extended_order.vertex_to_rank.push_back(
+          static_cast<Rank>(extended_order.rank_to_vertex.size() - 1));
+    }
+    index.bipartite_ = BipartiteConversion(extended);
+    index.order_ = BipartiteOrdering(extended_order);
+  } else {
+    index.bipartite_ = BipartiteConversion(graph);
+    index.order_ = BipartiteOrdering(order);
+  }
+  index.labeling_.Resize(index.bipartite_.num_vertices());
+  Timer timer;
+  CoupleSkipBuilder builder(index.bipartite_, index.order_, index.labeling_,
+                            index.stats_, /*distance_pruning=*/true);
+  builder.BuildAll();
+  index.stats_.seconds = timer.ElapsedSeconds();
+  if (options.maintain_inverted_index) {
+    PopulateInvertedIndexes(index.labeling_, index.inv_in_, index.inv_out_);
+  }
+  return index;
+}
+
+void CscIndex::EnsureInvertedIndexes() {
+  if (options_.maintain_inverted_index) return;
+  PopulateInvertedIndexes(labeling_, inv_in_, inv_out_);
+  options_.maintain_inverted_index = true;
+}
+
+CycleCount CscIndex::Query(Vertex v) const {
+  // SCCnt(v) = SPCnt(v_o, v_i) in G_b (§IV.D); a v_o -> v_i distance d in
+  // G_b corresponds to a cycle of length (d + 1) / 2 in the original graph.
+  JoinResult r = labeling_.Query(OutVertex(v), InVertex(v));
+  if (r.dist == kInfDist) return {};
+  return {(r.dist + 1) / 2, r.count};
+}
+
+CycleCount CscIndex::QueryThroughEdge(Vertex u, Vertex v) const {
+  if (u == v || u >= num_original_vertices() ||
+      v >= num_original_vertices()) {
+    return {};
+  }
+  // A cycle through (u, v) is the edge plus a shortest path v -> u, and no
+  // shortest v -> u path can contain the edge itself (it would revisit u).
+  // A length-k original path is a length 2k-1 walk v_o -> u_i in G_b, so
+  // sd(v, u) = (d + 1) / 2 and the cycle adds 1 for the edge.
+  //
+  // Couple-vertex skipping makes one correction necessary: hubs are V_in
+  // vertices only, so paths on which the *start* v_o is the highest-ranked
+  // vertex have no covering hub in the plain join. Exactly those paths are
+  // the ones label (v_i, d+1, c) in L_in(u_i) counts — v_i's sole out-edge
+  // is the couple edge, so v_i-paths are v_o-paths shifted by one, and v_i
+  // outranks the path precisely when v_o does. Merging that entry restores
+  // the exact all-pairs count with no double counting.
+  JoinResult r = labeling_.Query(OutVertex(v), InVertex(u));
+  const LabelEntry* couple_entry =
+      labeling_.in[InVertex(u)].Find(order_.vertex_to_rank[InVertex(v)]);
+  if (couple_entry != nullptr) {
+    Dist d = couple_entry->dist() - 1;
+    if (d < r.dist) {
+      r.dist = d;
+      r.count = couple_entry->count();
+    } else if (d == r.dist) {
+      r.count += couple_entry->count();
+    }
+  }
+  if (r.dist == kInfDist) return {};
+  return {(r.dist + 1) / 2 + 1, r.count};
+}
+
+CscIndex BuildCscAblation(const DiGraph& graph, const VertexOrdering& order,
+                          const CscAblationConfig& config) {
+  CscIndex index;
+  index.bipartite_ = BipartiteConversion(graph);
+  index.order_ = BipartiteOrdering(order);
+  index.labeling_.Resize(index.bipartite_.num_vertices());
+  Timer timer;
+  if (config.disable_couple_skipping) {
+    PrunedBfsOptions options;
+    options.distance_pruning = !config.disable_distance_pruning;
+    BuildPlainHubLabeling(index.bipartite_, index.order_, index.labeling_,
+                          index.stats_, options);
+  } else {
+    CoupleSkipBuilder builder(index.bipartite_, index.order_, index.labeling_,
+                              index.stats_,
+                              !config.disable_distance_pruning);
+    builder.BuildAll();
+  }
+  index.stats_.seconds = timer.ElapsedSeconds();
+  return index;
+}
+
+}  // namespace csc

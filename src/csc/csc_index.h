@@ -1,0 +1,130 @@
+#ifndef CSC_CSC_CSC_INDEX_H_
+#define CSC_CSC_CSC_INDEX_H_
+
+#include <cstdint>
+
+#include "graph/bipartite.h"
+#include "graph/digraph.h"
+#include "graph/ordering.h"
+#include "labeling/hub_labeling.h"
+#include "labeling/inverted_index.h"
+
+namespace csc {
+
+/// The paper's core contribution (§IV): the CSC index, a 2-hop labeling over
+/// the bipartite conversion G_b of the input graph that answers shortest
+/// cycle counting queries SCCnt(v) as the shortest-path-counting query
+/// SPCnt(v_o, v_i) in G_b.
+///
+/// Construction is Algorithm 3 with couple-vertex skipping: only incoming
+/// vertices v_i ever act as BFS roots; a reached vertex and its couple are
+/// labeled together, and the BFS hops couple-to-couple so only one side of
+/// the bipartition is ever enqueued.
+///
+/// The index owns its copy of G_b (dynamic maintenance mutates it) and the
+/// bipartite ordering; the original graph is not retained.
+class CscIndex {
+ public:
+  struct Options {
+    /// Maintain the inverted hub indexes (inv_in / inv_out) needed by the
+    /// minimality cleaning strategy of Algorithm 8. Off by default because
+    /// the paper's preferred configuration is update-with-redundancy (§V.B).
+    bool maintain_inverted_index = false;
+    /// Extra isolated vertices appended to the graph before indexing (with
+    /// the lowest ranks). A vertex insertion is "a series of edge
+    /// insertions" (§V) — reserving slots up front lets applications attach
+    /// brand-new vertices to a live index via InsertEdge alone.
+    Vertex reserve_vertices = 0;
+  };
+
+  /// Builds the index for `graph` under `order` (an ordering of the
+  /// *original* vertices; it is lifted to G_b internally).
+  static CscIndex Build(const DiGraph& graph, const VertexOrdering& order,
+                        const Options& options);
+  static CscIndex Build(const DiGraph& graph, const VertexOrdering& order) {
+    return Build(graph, order, Options());
+  }
+
+  /// SCCnt(v): number and length of shortest cycles through v in the
+  /// original graph. length == kInfDist means no cycle passes through v.
+  CycleCount Query(Vertex v) const;
+
+  /// Shortest cycles through the *edge* (u, v): cycles formed by the edge
+  /// plus a shortest path v -> u (every cycle using the edge decomposes this
+  /// way, and no shortest v -> u path can itself contain the edge). The
+  /// returned length includes the edge. Works whether or not (u, v) is
+  /// currently present — for an absent edge it reports the shortest cycles
+  /// the insertion *would* create, the natural pre-screening query for a
+  /// proposed transaction. Returns {} for u == v or out-of-range ids.
+  CycleCount QueryThroughEdge(Vertex u, Vertex v) const;
+
+  /// Raw 2-hop query in G_b (s, t are bipartite vertex ids). Used by the
+  /// maintenance algorithms and exposed for diagnostics.
+  JoinResult BipartiteQuery(Vertex s, Vertex t) const {
+    return labeling_.Query(s, t);
+  }
+
+  /// Number of vertices in the original graph.
+  Vertex num_original_vertices() const {
+    return static_cast<Vertex>(bipartite_.num_vertices() / 2);
+  }
+
+  const DiGraph& bipartite_graph() const { return bipartite_; }
+  const VertexOrdering& bipartite_order() const { return order_; }
+  const HubLabeling& labeling() const { return labeling_; }
+  const LabelBuildStats& build_stats() const { return stats_; }
+  const Options& options() const { return options_; }
+  uint64_t TotalEntries() const { return labeling_.TotalEntries(); }
+  uint64_t SizeBytes() const { return labeling_.SizeBytes(); }
+
+  /// Inverted indexes (valid only when has_inverted_index()).
+  const InvertedIndex& inv_in() const { return inv_in_; }
+  const InvertedIndex& inv_out() const { return inv_out_; }
+  bool has_inverted_index() const { return options_.maintain_inverted_index; }
+
+  /// Populates the inverted indexes if absent. Minimality-mode maintenance
+  /// calls this lazily; all later label mutations then keep them in sync.
+  void EnsureInvertedIndexes();
+
+  // --- Mutable access for the dynamic-maintenance module (src/dynamic). ---
+  DiGraph& mutable_bipartite_graph() { return bipartite_; }
+  HubLabeling& mutable_labeling() { return labeling_; }
+  InvertedIndex& mutable_inv_in() { return inv_in_; }
+  InvertedIndex& mutable_inv_out() { return inv_out_; }
+
+ private:
+  friend CscIndex BuildCscAblation(const DiGraph& graph,
+                                   const VertexOrdering& order,
+                                   const struct CscAblationConfig& config);
+
+  CscIndex() = default;
+
+  DiGraph bipartite_;
+  VertexOrdering order_;  // over G_b's 2n vertices
+  HubLabeling labeling_;  // indexed by bipartite vertex id
+  InvertedIndex inv_in_;
+  InvertedIndex inv_out_;
+  LabelBuildStats stats_;
+  Options options_;
+};
+
+/// Build-time ablation knobs (bench/bench_ablation exercises these; the
+/// default Build() uses all optimizations). Kept separate from Options so the
+/// public API stays clean.
+struct CscAblationConfig {
+  /// Disable couple-vertex skipping: treat every bipartite vertex as a hub
+  /// and run plain HP-SPC-style passes over G_b.
+  bool disable_couple_skipping = false;
+  /// Disable the distance-pruning query (line 13); BFSs then only stop on
+  /// rank pruning. Labels stay correct but become non-minimal and slow.
+  bool disable_distance_pruning = false;
+};
+
+/// Builds a CSC index with some optimizations disabled, for the ablation
+/// study. Query results are identical to the standard build.
+CscIndex BuildCscAblation(const DiGraph& graph, const VertexOrdering& order,
+                          const CscAblationConfig& config);
+
+}  // namespace csc
+
+#endif  // CSC_CSC_CSC_INDEX_H_

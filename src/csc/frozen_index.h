@@ -1,0 +1,63 @@
+#ifndef CSC_CSC_FROZEN_INDEX_H_
+#define CSC_CSC_FROZEN_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "csc/compact_index.h"
+
+namespace csc {
+
+/// A frozen, query-only CSC index: the compact (§IV.E) labeling flattened
+/// into two contiguous arrays with CSR-style offsets — one allocation per
+/// direction, no per-vertex vector headers, cache-linear scans. This is the
+/// deployment format for read-heavy serving; build/maintain with CscIndex,
+/// freeze for the query tier.
+///
+/// Queries are identical in result to CscIndex::Query / CompactIndex::Query
+/// (tests assert equality); they only differ in memory layout.
+class FrozenIndex {
+ public:
+  FrozenIndex() = default;
+
+  /// Flattens a compact index.
+  static FrozenIndex FromCompact(const CompactIndex& compact);
+
+  /// Convenience: compact + freeze in one step.
+  static FrozenIndex FromIndex(const CscIndex& index) {
+    return FromCompact(CompactIndex::FromIndex(index));
+  }
+
+  /// SCCnt(v).
+  CycleCount Query(Vertex v) const;
+
+  /// Shortest cycles through the edge (u, v) — identical answers to
+  /// CscIndex::QueryThroughEdge (see there for semantics).
+  CycleCount QueryThroughEdge(Vertex u, Vertex v) const;
+
+  Vertex num_original_vertices() const {
+    return in_offsets_.empty() ? 0
+                               : static_cast<Vertex>(in_offsets_.size() - 1);
+  }
+  uint64_t TotalEntries() const {
+    return in_entries_.size() + out_entries_.size();
+  }
+  /// Payload bytes (entries only; offsets excluded, matching how the paper
+  /// accounts index size as 8 bytes per entry).
+  uint64_t SizeBytes() const { return TotalEntries() * sizeof(LabelEntry); }
+
+ private:
+  // entries[offsets[v] .. offsets[v+1]) are vertex v's labels, sorted by
+  // hub rank. `in` holds L_in(v_i), `out` holds L_out(v_o).
+  std::vector<uint32_t> in_offsets_;
+  std::vector<LabelEntry> in_entries_;
+  std::vector<uint32_t> out_offsets_;
+  std::vector<LabelEntry> out_entries_;
+  // in_vertex_rank_[v] = rank of v_i, for QueryThroughEdge's couple-hub
+  // correction.
+  std::vector<Rank> in_vertex_rank_;
+};
+
+}  // namespace csc
+
+#endif  // CSC_CSC_FROZEN_INDEX_H_

@@ -1,0 +1,59 @@
+#include "csc/girth.h"
+
+namespace csc {
+
+GirthInfo ComputeGirth(Vertex num_vertices,
+                       const std::function<CycleCount(Vertex)>& query) {
+  GirthInfo info;
+  for (Vertex v = 0; v < num_vertices; ++v) {
+    CycleCount answer = query(v);
+    if (answer.count == 0) continue;
+    if (answer.length < info.girth) {
+      info.girth = answer.length;
+      info.num_girth_vertices = 1;
+      info.example_vertex = v;
+    } else if (answer.length == info.girth) {
+      ++info.num_girth_vertices;
+    }
+  }
+  return info;
+}
+
+CycleLengthHistogram ComputeCycleLengthHistogram(
+    Vertex num_vertices, const std::function<CycleCount(Vertex)>& query) {
+  CycleLengthHistogram histogram;
+  for (Vertex v = 0; v < num_vertices; ++v) {
+    CycleCount answer = query(v);
+    if (answer.count == 0) {
+      ++histogram.acyclic_vertices;
+      continue;
+    }
+    if (histogram.vertices_by_length.size() <= answer.length) {
+      histogram.vertices_by_length.resize(answer.length + 1, 0);
+    }
+    ++histogram.vertices_by_length[answer.length];
+  }
+  return histogram;
+}
+
+GirthInfo ComputeGirth(const CscIndex& index) {
+  return ComputeGirth(index.num_original_vertices(),
+                      [&](Vertex v) { return index.Query(v); });
+}
+
+GirthInfo ComputeGirth(const FrozenIndex& index) {
+  return ComputeGirth(index.num_original_vertices(),
+                      [&](Vertex v) { return index.Query(v); });
+}
+
+CycleLengthHistogram ComputeCycleLengthHistogram(const CscIndex& index) {
+  return ComputeCycleLengthHistogram(
+      index.num_original_vertices(), [&](Vertex v) { return index.Query(v); });
+}
+
+CycleLengthHistogram ComputeCycleLengthHistogram(const FrozenIndex& index) {
+  return ComputeCycleLengthHistogram(
+      index.num_original_vertices(), [&](Vertex v) { return index.Query(v); });
+}
+
+}  // namespace csc

@@ -1,0 +1,60 @@
+#ifndef CSC_CSC_GIRTH_H_
+#define CSC_CSC_GIRTH_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "csc/csc_index.h"
+#include "csc/frozen_index.h"
+#include "util/common.h"
+
+namespace csc {
+
+/// The girth of the graph (length of its overall shortest cycle) derived
+/// from per-vertex SCCnt answers. The paper motivates SCCnt with girth
+/// analytics ("the length is also called girth of the graph", §I); with a
+/// built index the girth falls out of one O(n) sweep of microsecond queries.
+struct GirthInfo {
+  /// Minimum cycle length in the graph; kInfDist if the graph is acyclic.
+  Dist girth = kInfDist;
+  /// Number of vertices whose shortest cycle realizes the girth.
+  uint64_t num_girth_vertices = 0;
+  /// One such vertex (the smallest id), or kNoVertex.
+  Vertex example_vertex = kNoVertex;
+};
+
+/// Distribution of shortest-cycle lengths over vertices — the statistic the
+/// case study renders as vertex color (Figure 13) and that [16] studies as
+/// "distribution of shortest cycle lengths".
+struct CycleLengthHistogram {
+  /// vertices_by_length[L] = number of vertices whose shortest cycle has
+  /// length exactly L. Index 0..max observed length (entries 0 and 1 are
+  /// always zero on self-loop-free simple graphs).
+  std::vector<uint64_t> vertices_by_length;
+  /// Vertices with no cycle through them.
+  uint64_t acyclic_vertices = 0;
+
+  /// Total vertices on at least one cycle.
+  uint64_t cyclic_vertices() const {
+    uint64_t total = 0;
+    for (uint64_t c : vertices_by_length) total += c;
+    return total;
+  }
+};
+
+/// Generic sweep: `query(v)` must return SCCnt(v) for v in [0, n).
+GirthInfo ComputeGirth(Vertex num_vertices,
+                       const std::function<CycleCount(Vertex)>& query);
+CycleLengthHistogram ComputeCycleLengthHistogram(
+    Vertex num_vertices, const std::function<CycleCount(Vertex)>& query);
+
+/// Convenience overloads for the two index types applications hold.
+GirthInfo ComputeGirth(const CscIndex& index);
+GirthInfo ComputeGirth(const FrozenIndex& index);
+CycleLengthHistogram ComputeCycleLengthHistogram(const CscIndex& index);
+CycleLengthHistogram ComputeCycleLengthHistogram(const FrozenIndex& index);
+
+}  // namespace csc
+
+#endif  // CSC_CSC_GIRTH_H_

@@ -1,0 +1,90 @@
+#include "csc/index_io.h"
+
+#include <cstring>
+
+#include "util/checksum.h"
+#include "util/env.h"
+
+namespace csc {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'S', 'C', 'I', 'D', 'X', '0', '1'};
+constexpr size_t kHeaderSize = sizeof(kMagic) + sizeof(uint64_t);
+constexpr size_t kFooterSize = sizeof(uint32_t);
+
+void AppendU64(std::string& out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU32(std::string& out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+uint64_t ReadU64(const char* p) {
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= uint64_t{static_cast<unsigned char>(p[i])} << (8 * i);
+  }
+  return value;
+}
+
+uint32_t ReadU32(const char* p) {
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= uint32_t{static_cast<unsigned char>(p[i])} << (8 * i);
+  }
+  return value;
+}
+
+IndexLoadResult Fail(std::string message) {
+  IndexLoadResult result;
+  result.error = std::move(message);
+  return result;
+}
+
+}  // namespace
+
+bool SaveIndexToFile(const CompactIndex& index, const std::string& path) {
+  std::string payload = index.Serialize();
+  std::string file;
+  file.reserve(kHeaderSize + payload.size() + kFooterSize);
+  file.append(kMagic, sizeof(kMagic));
+  AppendU64(file, payload.size());
+  file.append(payload);
+  AppendU32(file, Crc32c(payload));
+  return WriteStringToFile(path, file);
+}
+
+IndexLoadResult LoadIndexFromFile(const std::string& path) {
+  std::optional<std::string> file = ReadFileToString(path);
+  if (!file) return Fail("cannot read file: " + path);
+  if (file->size() < kHeaderSize + kFooterSize) {
+    return Fail("file too small to hold an index header");
+  }
+  if (std::memcmp(file->data(), kMagic, sizeof(kMagic)) != 0) {
+    return Fail("bad magic (not a CSC index file)");
+  }
+  uint64_t payload_size = ReadU64(file->data() + sizeof(kMagic));
+  if (file->size() != kHeaderSize + payload_size + kFooterSize) {
+    return Fail("truncated or oversized payload");
+  }
+  const char* payload = file->data() + kHeaderSize;
+  uint32_t stored_crc = ReadU32(payload + payload_size);
+  uint32_t actual_crc = Crc32c(payload, payload_size);
+  if (stored_crc != actual_crc) {
+    return Fail("checksum mismatch (corrupted index file)");
+  }
+  std::optional<CompactIndex> parsed =
+      CompactIndex::Deserialize(std::string(payload, payload_size));
+  if (!parsed) return Fail("payload failed to parse");
+  IndexLoadResult result;
+  result.index = std::move(parsed);
+  return result;
+}
+
+}  // namespace csc

@@ -1,0 +1,42 @@
+#ifndef CSC_CSC_INDEX_IO_H_
+#define CSC_CSC_INDEX_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "csc/compact_index.h"
+
+namespace csc {
+
+/// File persistence for CSC indexes, wrapping CompactIndex's in-memory
+/// serialization in a storage-engine-style envelope:
+///
+///   bytes 0..7   magic "CSCIDX01"
+///   bytes 8..15  payload size (little-endian u64)
+///   bytes 16..   payload (CompactIndex::Serialize())
+///   last 4       CRC-32C of the payload (little-endian u32)
+///
+/// Load verifies the magic, the declared size, and the checksum before
+/// parsing, so truncated files, bit flips, and foreign files are rejected
+/// with a diagnosable error instead of deserializing garbage labels.
+
+/// Outcome of LoadIndexFromFile: exactly one of `index` / `error` is set.
+struct IndexLoadResult {
+  std::optional<CompactIndex> index;
+  /// Empty on success; otherwise a one-line human-readable reason
+  /// ("checksum mismatch", "bad magic", ...).
+  std::string error;
+
+  bool ok() const { return index.has_value(); }
+};
+
+/// Writes `index` to `path` (replacing any existing file). False on I/O
+/// failure.
+bool SaveIndexToFile(const CompactIndex& index, const std::string& path);
+
+/// Reads, verifies, and parses a persisted index.
+IndexLoadResult LoadIndexFromFile(const std::string& path);
+
+}  // namespace csc
+
+#endif  // CSC_CSC_INDEX_IO_H_

@@ -1,0 +1,63 @@
+#include "csc/parallel_query.h"
+
+#include <algorithm>
+
+namespace csc {
+
+namespace {
+
+// Chunk size for ParallelFor: a few hundred microsecond-scale queries per
+// task keeps scheduling overhead negligible without starving the pool.
+constexpr size_t kQueriesPerChunk = 256;
+
+template <typename Index>
+std::vector<CycleCount> BatchQueryImpl(const Index& index,
+                                       const std::vector<Vertex>& vertices,
+                                       ThreadPool& pool) {
+  std::vector<CycleCount> results(vertices.size());
+  ParallelFor(pool, 0, vertices.size(), kQueriesPerChunk,
+              [&](size_t begin, size_t end) {
+                for (size_t i = begin; i < end; ++i) {
+                  results[i] = index.Query(vertices[i]);
+                }
+              });
+  return results;
+}
+
+template <typename Index>
+std::vector<CycleCount> QueryAllImpl(const Index& index, ThreadPool& pool) {
+  const Vertex n = index.num_original_vertices();
+  std::vector<CycleCount> results(n);
+  ParallelFor(pool, 0, n, kQueriesPerChunk, [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      results[v] = index.Query(static_cast<Vertex>(v));
+    }
+  });
+  return results;
+}
+
+}  // namespace
+
+std::vector<CycleCount> BatchQuery(const CscIndex& index,
+                                   const std::vector<Vertex>& vertices,
+                                   ThreadPool& pool) {
+  return BatchQueryImpl(index, vertices, pool);
+}
+
+std::vector<CycleCount> BatchQuery(const FrozenIndex& index,
+                                   const std::vector<Vertex>& vertices,
+                                   ThreadPool& pool) {
+  return BatchQueryImpl(index, vertices, pool);
+}
+
+std::vector<CycleCount> QueryAllVertices(const CscIndex& index,
+                                         ThreadPool& pool) {
+  return QueryAllImpl(index, pool);
+}
+
+std::vector<CycleCount> QueryAllVertices(const FrozenIndex& index,
+                                         ThreadPool& pool) {
+  return QueryAllImpl(index, pool);
+}
+
+}  // namespace csc

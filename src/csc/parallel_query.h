@@ -1,0 +1,35 @@
+#ifndef CSC_CSC_PARALLEL_QUERY_H_
+#define CSC_CSC_PARALLEL_QUERY_H_
+
+#include <vector>
+
+#include "csc/csc_index.h"
+#include "csc/frozen_index.h"
+#include "util/common.h"
+#include "util/thread_pool.h"
+
+namespace csc {
+
+/// Parallel bulk evaluation of SCCnt queries.
+///
+/// Individual 2-hop queries are read-only over immutable arrays, so a batch
+/// parallelizes perfectly; these helpers are what the screening / analytics
+/// paths use when they sweep all n vertices (Figure 13 colors every vertex
+/// by its answer). Results are positionally aligned with the input and
+/// bit-identical to sequential Query calls.
+std::vector<CycleCount> BatchQuery(const CscIndex& index,
+                                   const std::vector<Vertex>& vertices,
+                                   ThreadPool& pool);
+std::vector<CycleCount> BatchQuery(const FrozenIndex& index,
+                                   const std::vector<Vertex>& vertices,
+                                   ThreadPool& pool);
+
+/// SCCnt for every vertex [0, n), in vertex order.
+std::vector<CycleCount> QueryAllVertices(const CscIndex& index,
+                                         ThreadPool& pool);
+std::vector<CycleCount> QueryAllVertices(const FrozenIndex& index,
+                                         ThreadPool& pool);
+
+}  // namespace csc
+
+#endif  // CSC_CSC_PARALLEL_QUERY_H_

@@ -1,0 +1,101 @@
+#include "csc/screening.h"
+
+#include <algorithm>
+
+#include "csc/parallel_query.h"
+#include "graph/bipartite.h"
+
+namespace csc {
+
+namespace {
+
+bool HitBefore(const ScreeningHit& a, const ScreeningHit& b) {
+  if (a.cycles.count != b.cycles.count) {
+    return a.cycles.count > b.cycles.count;
+  }
+  if (a.cycles.length != b.cycles.length) {
+    return a.cycles.length < b.cycles.length;
+  }
+  return a.vertex < b.vertex;
+}
+
+// Filters + ranks per-vertex answers into the top-k hit list.
+std::vector<ScreeningHit> RankAnswers(const std::vector<CycleCount>& answers,
+                                      Dist max_cycle_length, size_t top_k) {
+  std::vector<ScreeningHit> hits;
+  for (Vertex v = 0; v < answers.size(); ++v) {
+    const CycleCount& cc = answers[v];
+    if (cc.count == 0 || cc.length > max_cycle_length) continue;
+    hits.push_back({v, cc});
+  }
+  std::sort(hits.begin(), hits.end(), HitBefore);
+  if (hits.size() > top_k) hits.resize(top_k);
+  return hits;
+}
+
+template <typename Index>
+std::vector<ScreeningHit> ScreenSequential(const Index& index,
+                                           Dist max_cycle_length,
+                                           size_t top_k) {
+  std::vector<ScreeningHit> hits;
+  for (Vertex v = 0; v < index.num_original_vertices(); ++v) {
+    CycleCount cc = index.Query(v);
+    if (cc.count == 0 || cc.length > max_cycle_length) continue;
+    hits.push_back({v, cc});
+  }
+  std::sort(hits.begin(), hits.end(), HitBefore);
+  if (hits.size() > top_k) hits.resize(top_k);
+  return hits;
+}
+
+}  // namespace
+
+std::vector<ScreeningHit> TopKByCycleCount(const CscIndex& index,
+                                           Dist max_cycle_length,
+                                           size_t top_k) {
+  return ScreenSequential(index, max_cycle_length, top_k);
+}
+
+std::vector<ScreeningHit> TopKByCycleCount(const FrozenIndex& index,
+                                           Dist max_cycle_length,
+                                           size_t top_k) {
+  return ScreenSequential(index, max_cycle_length, top_k);
+}
+
+std::vector<ScreeningHit> TopKByCycleCount(const FrozenIndex& index,
+                                           Dist max_cycle_length,
+                                           size_t top_k, ThreadPool& pool) {
+  return RankAnswers(QueryAllVertices(index, pool), max_cycle_length, top_k);
+}
+
+std::vector<EdgeScreeningHit> TopKEdgesByCycleCount(const CscIndex& index,
+                                                    Dist max_cycle_length,
+                                                    size_t top_k) {
+  std::vector<EdgeScreeningHit> hits;
+  const DiGraph& bipartite = index.bipartite_graph();
+  for (Vertex v = 0; v < index.num_original_vertices(); ++v) {
+    for (Vertex target : bipartite.OutNeighbors(OutVertex(v))) {
+      Vertex w = OriginalOf(target);
+      CycleCount cc = index.QueryThroughEdge(v, w);
+      if (cc.count == 0 || cc.length > max_cycle_length) continue;
+      hits.push_back({{v, w}, cc});
+    }
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const EdgeScreeningHit& a, const EdgeScreeningHit& b) {
+              if (a.cycles.count != b.cycles.count) {
+                return a.cycles.count > b.cycles.count;
+              }
+              if (a.cycles.length != b.cycles.length) {
+                return a.cycles.length < b.cycles.length;
+              }
+              if (a.edge.from != b.edge.from) {
+                return a.edge.from < b.edge.from;
+              }
+              return a.edge.to < b.edge.to;
+            });
+  if (hits.size() > top_k) hits.resize(top_k);
+  return hits;
+}
+
+}  // namespace csc

@@ -1,0 +1,37 @@
+#include "csc/trending.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace csc {
+
+TrendReport TrendTracker::Observe(const std::vector<ScreeningHit>& hits) {
+  TrendReport report;
+  report.tick = next_tick_++;
+
+  std::unordered_map<Vertex, CycleCount> previous;
+  previous.reserve(current_.size());
+  for (const ScreeningHit& hit : current_) {
+    previous.emplace(hit.vertex, hit.cycles);
+  }
+
+  for (const ScreeningHit& hit : hits) {
+    auto it = previous.find(hit.vertex);
+    if (it == previous.end()) {
+      report.entered.push_back(hit);
+      continue;
+    }
+    if (hit.cycles.length < it->second.length) {
+      report.shortened.push_back(hit);
+    }
+    previous.erase(it);  // matched; leftovers below are exits
+  }
+  for (const ScreeningHit& hit : current_) {
+    if (previous.count(hit.vertex) > 0) report.exited.push_back(hit);
+  }
+
+  current_ = hits;
+  return report;
+}
+
+}  // namespace csc

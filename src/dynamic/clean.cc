@@ -1,0 +1,79 @@
+#include "dynamic/clean.h"
+
+#include <vector>
+
+namespace csc {
+
+namespace {
+
+// Removes from `labels(owner)` every entry whose stored distance now exceeds
+// the 2-hop distance recomputed under the current index, in the given
+// direction (`in_side`: labels are L_in(owner), distances hub -> owner;
+// otherwise L_out(owner), distances owner -> hub).
+void CleanOwnLabels(CscIndex& index, Vertex owner, bool in_side,
+                    UpdateStats& stats) {
+  HubLabeling& labeling = index.mutable_labeling();
+  const auto& rank_to_vertex = index.bipartite_order().rank_to_vertex;
+  LabelSet& labels = in_side ? labeling.in[owner] : labeling.out[owner];
+  std::vector<Rank> stale;
+  for (const LabelEntry& e : labels.entries()) {
+    Vertex hub_vertex = rank_to_vertex[e.hub()];
+    if (hub_vertex == owner) continue;  // self entries are never redundant
+    JoinResult now = in_side ? index.BipartiteQuery(hub_vertex, owner)
+                             : index.BipartiteQuery(owner, hub_vertex);
+    if (e.dist() > now.dist) stale.push_back(e.hub());
+  }
+  for (Rank hub : stale) {
+    labels.Remove(hub);
+    ++stats.entries_removed;
+    if (in_side) {
+      index.mutable_inv_in().Remove(hub, owner);
+    } else {
+      index.mutable_inv_out().Remove(hub, owner);
+    }
+  }
+}
+
+// Removes stale entries that use `owner` itself as the hub, on the opposite
+// side, located through the inverted index (Algorithm 8 lines 6-11).
+void CleanAsHub(CscIndex& index, Vertex owner, bool owner_is_in_hub,
+                UpdateStats& stats) {
+  HubLabeling& labeling = index.mutable_labeling();
+  Rank owner_rank = index.bipartite_order().vertex_to_rank[owner];
+  // owner_is_in_hub: clean entries (owner, d, c) in L_out(v) where paths run
+  // v -> owner; otherwise entries in L_in(u) where paths run owner -> u.
+  InvertedIndex& inverted =
+      owner_is_in_hub ? index.mutable_inv_out() : index.mutable_inv_in();
+  std::vector<Vertex> holders(inverted.Vertices(owner_rank).begin(),
+                              inverted.Vertices(owner_rank).end());
+  for (Vertex v : holders) {
+    if (v == owner) continue;
+    LabelSet& labels = owner_is_in_hub ? labeling.out[v] : labeling.in[v];
+    const LabelEntry* e = labels.Find(owner_rank);
+    if (e == nullptr) {
+      inverted.Remove(owner_rank, v);  // repair a dangling inverted entry
+      continue;
+    }
+    JoinResult now = owner_is_in_hub ? index.BipartiteQuery(v, owner)
+                                     : index.BipartiteQuery(owner, v);
+    if (e->dist() > now.dist) {
+      labels.Remove(owner_rank);
+      inverted.Remove(owner_rank, v);
+      ++stats.entries_removed;
+    }
+  }
+}
+
+}  // namespace
+
+void CleanAfterInLabelChange(CscIndex& index, Vertex w, UpdateStats& stats) {
+  CleanOwnLabels(index, w, /*in_side=*/true, stats);
+  CleanAsHub(index, w, /*owner_is_in_hub=*/true, stats);
+}
+
+void CleanAfterOutLabelChange(CscIndex& index, Vertex v, UpdateStats& stats) {
+  CleanOwnLabels(index, v, /*in_side=*/false, stats);
+  CleanAsHub(index, v, /*owner_is_in_hub=*/false, stats);
+}
+
+}  // namespace csc

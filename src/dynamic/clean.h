@@ -1,0 +1,25 @@
+#ifndef CSC_DYNAMIC_CLEAN_H_
+#define CSC_DYNAMIC_CLEAN_H_
+
+#include "csc/csc_index.h"
+#include "dynamic/update_stats.h"
+
+namespace csc {
+
+/// CLEAN_LABEL (Algorithm 8) for an in-label change: after L_in(w) gained a
+/// shorter or new entry, removes every label entry made redundant by the new
+/// shorter paths towards `w` —
+///   (1) entries (h, d, c) in L_in(w) with d > current distance h -> w, and
+///   (2) entries (w, d, c) in L_out(v) (found via inv_out(w)) with
+///       d > current distance v -> w.
+/// Requires the index's inverted indexes (EnsureInvertedIndexes()).
+void CleanAfterInLabelChange(CscIndex& index, Vertex w, UpdateStats& stats);
+
+/// Mirror of CleanAfterInLabelChange for an out-label change of `v`: removes
+/// stale entries in L_out(v) and stale (v, d, c) entries in L_in(u) found
+/// via inv_in(v).
+void CleanAfterOutLabelChange(CscIndex& index, Vertex v, UpdateStats& stats);
+
+}  // namespace csc
+
+#endif  // CSC_DYNAMIC_CLEAN_H_

@@ -1,0 +1,216 @@
+#include "dynamic/decremental.h"
+
+#include <algorithm>
+
+#include <vector>
+
+#include "graph/bipartite.h"
+#include "util/timer.h"
+
+namespace csc {
+
+namespace {
+
+// Plain BFS distances from `source` over `graph` (forward or reverse).
+std::vector<Dist> BfsDistances(const DiGraph& graph, Vertex source,
+                               bool forward) {
+  std::vector<Dist> dist(graph.num_vertices(), kInfDist);
+  std::vector<Vertex> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  size_t head = 0;
+  while (head < queue.size()) {
+    Vertex w = queue[head++];
+    const auto& next = forward ? graph.OutNeighbors(w) : graph.InNeighbors(w);
+    for (Vertex u : next) {
+      if (dist[u] == kInfDist) {
+        dist[u] = dist[w] + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+/// Construction-style pruned counting BFS from one affected hub over the
+/// post-deletion graph (step 3). Identical pruning rules to Algorithm 3,
+/// restricted to hubs of strictly higher rank via JoinLabelsBelowRank, with
+/// idempotent InsertOrReplace instead of Append (unaffected entries are
+/// rewritten with their current values).
+class RecoveryPass {
+ public:
+  explicit RecoveryPass(CscIndex& index, UpdateStats& stats)
+      : index_(index),
+        stats_(stats),
+        dist_(index.bipartite_graph().num_vertices(), kInfDist),
+        count_(index.bipartite_graph().num_vertices(), 0) {}
+
+  void Run(Rank hub_rank, bool forward) {
+    const DiGraph& graph = index_.bipartite_graph();
+    const auto& order = index_.bipartite_order();
+    Vertex hub = order.rank_to_vertex[hub_rank];
+    HubLabeling& labeling = index_.mutable_labeling();
+
+    queue_.clear();
+    dist_[hub] = 0;
+    count_[hub] = 1;
+    touched_.push_back(hub);
+    queue_.push_back(hub);
+    size_t head = 0;
+    while (head < queue_.size()) {
+      Vertex w = queue_[head++];
+      ++stats_.vertices_visited;
+      JoinResult via =
+          forward
+              ? JoinLabelsBelowRank(labeling.out[hub], labeling.in[w],
+                                    hub_rank)
+              : JoinLabelsBelowRank(labeling.out[w], labeling.in[hub],
+                                    hub_rank);
+      if (via.dist < dist_[w]) continue;  // hub not highest: prune
+      Upsert(labeling, hub_rank, w, forward);
+      const auto& next =
+          forward ? graph.OutNeighbors(w) : graph.InNeighbors(w);
+      for (Vertex u : next) {
+        if (dist_[u] == kInfDist) {
+          if (hub_rank < order.vertex_to_rank[u]) {
+            dist_[u] = dist_[w] + 1;
+            count_[u] = count_[w];
+            touched_.push_back(u);
+            queue_.push_back(u);
+          }
+        } else if (dist_[u] == dist_[w] + 1) {
+          count_[u] += count_[w];
+        }
+      }
+    }
+    for (Vertex v : touched_) {
+      dist_[v] = kInfDist;
+      count_[v] = 0;
+    }
+    touched_.clear();
+  }
+
+ private:
+  void Upsert(HubLabeling& labeling, Rank hub_rank, Vertex w, bool forward) {
+    LabelSet& labels = forward ? labeling.in[w] : labeling.out[w];
+    LabelEntry entry(hub_rank, dist_[w], count_[w]);
+    const LabelEntry* existing = labels.Find(hub_rank);
+    if (existing != nullptr) {
+      if (*existing != entry) {
+        labels.InsertOrReplace(entry);
+        ++stats_.entries_updated;
+      }
+      return;
+    }
+    labels.InsertOrReplace(entry);
+    ++stats_.entries_added;
+    if (index_.has_inverted_index()) {
+      (forward ? index_.mutable_inv_in() : index_.mutable_inv_out())
+          .Add(hub_rank, w);
+    }
+  }
+
+  CscIndex& index_;
+  UpdateStats& stats_;
+  std::vector<Dist> dist_;
+  std::vector<Count> count_;
+  std::vector<Vertex> touched_;
+  std::vector<Vertex> queue_;
+};
+
+}  // namespace
+
+bool RemoveEdge(CscIndex& index, Vertex a, Vertex b, UpdateStats* stats) {
+  UpdateStats local;
+  Timer timer;
+  if (a == b || a >= index.num_original_vertices() ||
+      b >= index.num_original_vertices()) {
+    return false;
+  }
+  Vertex ao = OutVertex(a);
+  Vertex bi = InVertex(b);
+  DiGraph& graph = index.mutable_bipartite_graph();
+  if (!graph.HasEdge(ao, bi)) return false;
+
+  // Step 1: pre-deletion distance fields around the edge. A vertex x is an
+  // affected source iff its shortest path to b_i runs through (a_o, b_i);
+  // y is an affected target iff a_o's shortest path to y does.
+  std::vector<Dist> to_ao = BfsDistances(graph, ao, /*forward=*/false);
+  std::vector<Dist> from_bi = BfsDistances(graph, bi, /*forward=*/true);
+  std::vector<Dist> to_bi = BfsDistances(graph, bi, /*forward=*/false);
+  std::vector<Dist> from_ao = BfsDistances(graph, ao, /*forward=*/true);
+
+  std::vector<Vertex> affected_sources;  // the paper's hubA candidates
+  std::vector<Vertex> affected_targets;  // the paper's hubB candidates
+  for (Vertex x = 0; x < graph.num_vertices(); ++x) {
+    if (to_ao[x] != kInfDist && to_ao[x] + 1 == to_bi[x]) {
+      affected_sources.push_back(x);
+    }
+    if (from_bi[x] != kInfDist && from_bi[x] + 1 == from_ao[x]) {
+      affected_targets.push_back(x);
+    }
+  }
+
+  // Step 2: delete the superset of out-of-date entries. An entry (h, d, c)
+  // of L_in(y) is deleted iff d equals the through-edge distance
+  // sd(h, a_o) + 1 + sd(b_i, y); symmetrically for L_out(x).
+  HubLabeling& labeling = index.mutable_labeling();
+  const auto& rank_to_vertex = index.bipartite_order().rank_to_vertex;
+  auto delete_matching = [&](Vertex owner, bool in_side) {
+    LabelSet& labels =
+        in_side ? labeling.in[owner] : labeling.out[owner];
+    std::vector<Rank> doomed;
+    for (const LabelEntry& e : labels.entries()) {
+      Vertex hub_vertex = rank_to_vertex[e.hub()];
+      Dist hub_leg = in_side ? to_ao[hub_vertex] : from_bi[hub_vertex];
+      Dist owner_leg = in_side ? from_bi[owner] : to_ao[owner];
+      if (hub_leg == kInfDist || owner_leg == kInfDist) continue;
+      if (static_cast<uint64_t>(hub_leg) + 1 + owner_leg == e.dist()) {
+        doomed.push_back(e.hub());
+      }
+    }
+    for (Rank r : doomed) {
+      labels.Remove(r);
+      ++local.entries_removed;
+      if (index.has_inverted_index()) {
+        (in_side ? index.mutable_inv_in() : index.mutable_inv_out())
+            .Remove(r, owner);
+      }
+    }
+  };
+  for (Vertex y : affected_targets) delete_matching(y, /*in_side=*/true);
+  for (Vertex x : affected_sources) delete_matching(x, /*in_side=*/false);
+
+  graph.RemoveEdge(ao, bi);
+
+  // Step 3: recovery BFS from every affected V_in hub, highest rank first.
+  // Affected sources repair forward (their in-label coverage downstream),
+  // affected targets repair backward.
+  struct WorkItem {
+    Rank hub;
+    bool forward;
+  };
+  std::vector<WorkItem> work;
+  const auto& order = index.bipartite_order();
+  for (Vertex x : affected_sources) {
+    if (IsInVertex(x)) work.push_back({order.vertex_to_rank[x], true});
+  }
+  for (Vertex y : affected_targets) {
+    if (IsInVertex(y)) work.push_back({order.vertex_to_rank[y], false});
+  }
+  std::stable_sort(work.begin(), work.end(),
+                   [](const WorkItem& p, const WorkItem& q) {
+                     if (p.hub != q.hub) return p.hub < q.hub;
+                     return p.forward && !q.forward;
+                   });
+  RecoveryPass pass(index, local);
+  for (const WorkItem& item : work) {
+    ++local.hubs_processed;
+    pass.Run(item.hub, item.forward);
+  }
+  local.seconds = timer.ElapsedSeconds();
+  if (stats != nullptr) stats->Accumulate(local);
+  return true;
+}
+
+}  // namespace csc

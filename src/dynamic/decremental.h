@@ -1,0 +1,34 @@
+#ifndef CSC_DYNAMIC_DECREMENTAL_H_
+#define CSC_DYNAMIC_DECREMENTAL_H_
+
+#include "csc/csc_index.h"
+#include "dynamic/update_stats.h"
+
+namespace csc {
+
+/// Decremental maintenance (§V.C): removes the original-graph edge (a, b)
+/// and repairs the CSC index in the paper's three steps —
+///
+///  1. identify the affected sources A = {x : sd(x, a_o) + 1 = sd(x, b_i)}
+///     and targets B = {y : sd(a_o, y) = 1 + sd(b_i, y)} (distances taken
+///     before the deletion; every label entry that counted a path through
+///     (a_o, b_i) has its hub in A or B and its owner on the other side),
+///  2. delete the superset of out-of-date entries: entries whose stored
+///     distance equals the through-edge distance sd(h, a_o) + 1 + sd(b_i, w)
+///     ("a large number of unaffected label entries are removed and
+///     recovered later"), and
+///  3. recover by re-running construction-style pruned counting BFS from
+///     every affected hub in descending rank order.
+///
+/// The index must be minimal (freshly built, or maintained with
+/// MaintenanceStrategy::kMinimality): with redundant entries present, stored
+/// distances no longer identify out-of-date labels, which is why the paper's
+/// dynamic workloads delete from a fresh index.
+///
+/// Returns false (index untouched) if the edge is absent.
+bool RemoveEdge(CscIndex& index, Vertex a, Vertex b,
+                UpdateStats* stats = nullptr);
+
+}  // namespace csc
+
+#endif  // CSC_DYNAMIC_DECREMENTAL_H_

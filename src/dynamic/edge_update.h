@@ -1,0 +1,32 @@
+#ifndef CSC_DYNAMIC_EDGE_UPDATE_H_
+#define CSC_DYNAMIC_EDGE_UPDATE_H_
+
+#include "util/common.h"
+
+namespace csc {
+
+/// The two structural changes a dynamic graph stream carries (§V: "an
+/// update will be reflected in the graph as an edge insertion or deletion").
+enum class UpdateKind {
+  kInsert,
+  kRemove,
+};
+
+/// One timeless update; batches and streams are sequences of these.
+struct EdgeUpdate {
+  UpdateKind kind = UpdateKind::kInsert;
+  Edge edge;
+
+  static EdgeUpdate Insert(Vertex from, Vertex to) {
+    return {UpdateKind::kInsert, {from, to}};
+  }
+  static EdgeUpdate Remove(Vertex from, Vertex to) {
+    return {UpdateKind::kRemove, {from, to}};
+  }
+
+  friend bool operator==(const EdgeUpdate&, const EdgeUpdate&) = default;
+};
+
+}  // namespace csc
+
+#endif  // CSC_DYNAMIC_EDGE_UPDATE_H_

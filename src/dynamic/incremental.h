@@ -1,0 +1,30 @@
+#ifndef CSC_DYNAMIC_INCREMENTAL_H_
+#define CSC_DYNAMIC_INCREMENTAL_H_
+
+#include "csc/csc_index.h"
+#include "dynamic/update_stats.h"
+
+namespace csc {
+
+/// INCCNT (Algorithm 5): inserts the original-graph edge (a, b) into the
+/// indexed graph and incrementally repairs the CSC index.
+///
+/// The bipartite edge (a_o, b_i) is added, the affected hubs — hubs of
+/// L_in(a_o) and of L_out(b_i) (Definition V.1) — are replayed in descending
+/// rank order, and each runs a resumed counting BFS (FORWARD_PASS /
+/// BACKWARD_PASS, Algorithm 6) seeded with that hub's own label distance and
+/// count (Theorem V.1), updating labels through UPDATE_LABEL (Algorithm 7).
+///
+/// With MaintenanceStrategy::kMinimality the index must have inverted
+/// indexes (CscIndex::Options::maintain_inverted_index); CLEAN_LABEL runs
+/// after every shortening insert, keeping the index minimal.
+///
+/// Returns false (index untouched) if the edge already exists, is a
+/// self-loop, or an endpoint is out of range.
+bool InsertEdge(CscIndex& index, Vertex a, Vertex b,
+                MaintenanceStrategy strategy = MaintenanceStrategy::kRedundancy,
+                UpdateStats* stats = nullptr);
+
+}  // namespace csc
+
+#endif  // CSC_DYNAMIC_INCREMENTAL_H_

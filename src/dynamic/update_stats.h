@@ -1,0 +1,53 @@
+#ifndef CSC_DYNAMIC_UPDATE_STATS_H_
+#define CSC_DYNAMIC_UPDATE_STATS_H_
+
+#include <cstdint>
+
+namespace csc {
+
+/// How InsertEdge maintains the label minimality property (§V.B).
+enum class MaintenanceStrategy {
+  /// Skip redundancy checks (Algorithm 7 without lines 4/9). Out-of-date
+  /// entries with now-too-long distances are left behind; they are provably
+  /// never the minimum of a query join, so answers stay correct while
+  /// updates run orders of magnitude faster. The paper's preferred mode.
+  kRedundancy,
+  /// Run CLEAN_LABEL (Algorithm 8) after every shortening/insert so the
+  /// index stays minimal (Theorem V.3). Requires inverted hub indexes;
+  /// 58-678x slower in the paper's measurements.
+  kMinimality,
+};
+
+/// Counters reported by the maintenance algorithms (Figures 11 and 12).
+struct UpdateStats {
+  double seconds = 0;
+  /// Label entries newly inserted.
+  uint64_t entries_added = 0;
+  /// Existing entries rewritten (shorter distance or accumulated count).
+  uint64_t entries_updated = 0;
+  /// Entries removed (minimality cleaning, or decremental invalidation).
+  uint64_t entries_removed = 0;
+  /// Vertices dequeued across all maintenance BFS passes.
+  uint64_t vertices_visited = 0;
+  /// Affected hubs processed.
+  uint64_t hubs_processed = 0;
+
+  /// Net index growth in label entries (Figure 11(b) / 12(b) report this).
+  int64_t NetEntryDelta() const {
+    return static_cast<int64_t>(entries_added) -
+           static_cast<int64_t>(entries_removed);
+  }
+
+  void Accumulate(const UpdateStats& other) {
+    seconds += other.seconds;
+    entries_added += other.entries_added;
+    entries_updated += other.entries_updated;
+    entries_removed += other.entries_removed;
+    vertices_visited += other.vertices_visited;
+    hubs_processed += other.hubs_processed;
+  }
+};
+
+}  // namespace csc
+
+#endif  // CSC_DYNAMIC_UPDATE_STATS_H_

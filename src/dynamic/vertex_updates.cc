@@ -1,0 +1,59 @@
+#include "dynamic/vertex_updates.h"
+
+#include "dynamic/decremental.h"
+#include "dynamic/incremental.h"
+#include "graph/bipartite.h"
+
+namespace csc {
+
+size_t AttachVertex(CscIndex& index, Vertex v,
+                    const std::vector<Vertex>& in_neighbors,
+                    const std::vector<Vertex>& out_neighbors,
+                    MaintenanceStrategy strategy, UpdateStats* stats) {
+  size_t inserted = 0;
+  for (Vertex u : in_neighbors) {
+    UpdateStats edge_stats;
+    if (InsertEdge(index, u, v, strategy, stats ? &edge_stats : nullptr)) {
+      ++inserted;
+      if (stats) stats->Accumulate(edge_stats);
+    }
+  }
+  for (Vertex w : out_neighbors) {
+    UpdateStats edge_stats;
+    if (InsertEdge(index, v, w, strategy, stats ? &edge_stats : nullptr)) {
+      ++inserted;
+      if (stats) stats->Accumulate(edge_stats);
+    }
+  }
+  return inserted;
+}
+
+size_t DetachVertex(CscIndex& index, Vertex v, UpdateStats* stats) {
+  if (v >= index.num_original_vertices()) return 0;
+  const DiGraph& bipartite = index.bipartite_graph();
+
+  // Snapshot the incident edges first: RemoveEdge mutates the adjacency we
+  // are reading. Out-edges live on v_o; in-edges arrive at v_i from w_o
+  // vertices.
+  std::vector<Edge> incident;
+  for (Vertex target : bipartite.OutNeighbors(OutVertex(v))) {
+    incident.push_back({v, OriginalOf(target)});
+  }
+  for (Vertex source : bipartite.InNeighbors(InVertex(v))) {
+    // Sources of v_i are always w_o vertices (the couple edge points the
+    // other way, v_i -> v_o), so every entry is an original in-edge.
+    incident.push_back({OriginalOf(source), v});
+  }
+
+  size_t removed = 0;
+  for (const Edge& e : incident) {
+    UpdateStats edge_stats;
+    if (RemoveEdge(index, e.from, e.to, stats ? &edge_stats : nullptr)) {
+      ++removed;
+      if (stats) stats->Accumulate(edge_stats);
+    }
+  }
+  return removed;
+}
+
+}  // namespace csc

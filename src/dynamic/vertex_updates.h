@@ -1,0 +1,40 @@
+#ifndef CSC_DYNAMIC_VERTEX_UPDATES_H_
+#define CSC_DYNAMIC_VERTEX_UPDATES_H_
+
+#include <vector>
+
+#include "csc/csc_index.h"
+#include "dynamic/update_stats.h"
+
+namespace csc {
+
+/// Vertex-level maintenance, built exactly as the paper prescribes: "the
+/// insertion or deletion of a vertex can be represented by a series of edge
+/// insertions or deletions" (§II.A, §V).
+///
+/// The index's vertex set is fixed at build time; CscIndex::Options::
+/// reserve_vertices pre-allocates isolated slots so applications can attach
+/// brand-new vertices to a live index. A detached vertex keeps its slot
+/// (queries return (inf, 0)) and can be re-attached later.
+
+/// Connects vertex `v` (typically a reserved, currently isolated slot) with
+/// the given in- and out-neighbors, one incremental insertion each.
+/// Returns the number of edges actually inserted (invalid/duplicate
+/// endpoints are skipped, like InsertEdge).
+size_t AttachVertex(CscIndex& index, Vertex v,
+                    const std::vector<Vertex>& in_neighbors,
+                    const std::vector<Vertex>& out_neighbors,
+                    MaintenanceStrategy strategy =
+                        MaintenanceStrategy::kRedundancy,
+                    UpdateStats* stats = nullptr);
+
+/// Removes every edge incident to `v` through decremental maintenance,
+/// isolating the vertex. Returns the number of edges removed.
+///
+/// Inherits RemoveEdge's precondition: the index must be minimal (freshly
+/// built, minimality-maintained, or rebuilt).
+size_t DetachVertex(CscIndex& index, Vertex v, UpdateStats* stats = nullptr);
+
+}  // namespace csc
+
+#endif  // CSC_DYNAMIC_VERTEX_UPDATES_H_

@@ -1,0 +1,44 @@
+#include "graph/bipartite.h"
+
+namespace csc {
+
+DiGraph BipartiteConversion(const DiGraph& graph) {
+  std::vector<Edge> edges;
+  edges.reserve(graph.num_vertices() + graph.num_edges());
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+    edges.push_back({InVertex(v), OutVertex(v)});
+    for (Vertex w : graph.OutNeighbors(v)) {
+      edges.push_back({OutVertex(v), InVertex(w)});
+    }
+  }
+  return DiGraph::FromEdges(2 * graph.num_vertices(), edges);
+}
+
+VertexOrdering BipartiteOrdering(const VertexOrdering& original) {
+  VertexOrdering order;
+  order.rank_to_vertex.resize(2 * original.size());
+  order.vertex_to_rank.resize(2 * original.size());
+  for (Rank r = 0; r < original.size(); ++r) {
+    Vertex v = original.rank_to_vertex[r];
+    order.rank_to_vertex[2 * r] = InVertex(v);
+    order.rank_to_vertex[2 * r + 1] = OutVertex(v);
+    order.vertex_to_rank[InVertex(v)] = 2 * r;
+    order.vertex_to_rank[OutVertex(v)] = 2 * r + 1;
+  }
+  return order;
+}
+
+DiGraph RecoverOriginalGraph(const DiGraph& bipartite) {
+  std::vector<Edge> edges;
+  const Vertex n = bipartite.num_vertices() / 2;
+  for (Vertex v = 0; v < n; ++v) {
+    for (Vertex target : bipartite.OutNeighbors(OutVertex(v))) {
+      // Out-vertices only point at in-vertices (original edges); the couple
+      // edge goes the other way (v_i -> v_o), so nothing to filter.
+      edges.push_back({v, OriginalOf(target)});
+    }
+  }
+  return DiGraph::FromEdges(n, edges);
+}
+
+}  // namespace csc

@@ -1,0 +1,106 @@
+#include "graph/cycle_enumeration.h"
+
+namespace csc {
+
+namespace {
+
+// Plain BFS distances from `source` (forward) or to `source` (reverse).
+std::vector<Dist> BfsDistances(const DiGraph& graph, Vertex source,
+                               bool forward) {
+  std::vector<Dist> dist(graph.num_vertices(), kInfDist);
+  std::vector<Vertex> queue = {source};
+  dist[source] = 0;
+  size_t head = 0;
+  while (head < queue.size()) {
+    Vertex w = queue[head++];
+    const auto& next = forward ? graph.OutNeighbors(w) : graph.InNeighbors(w);
+    for (Vertex u : next) {
+      if (dist[u] == kInfDist) {
+        dist[u] = dist[w] + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+// Depth-first walk over the shortest-cycle DAG: extend `path` (currently
+// ending at `x`, `remaining` edges from closing at v) along edges that keep
+// the return distance on track.
+void Expand(const DiGraph& graph, const std::vector<Dist>& dist_to_v, Vertex v,
+            Vertex x, Dist remaining, std::vector<Vertex>& path, size_t limit,
+            std::vector<std::vector<Vertex>>& cycles) {
+  if (cycles.size() >= limit) return;
+  if (remaining == 1) {
+    if (graph.HasEdge(x, v)) cycles.push_back(path);
+    return;
+  }
+  for (Vertex y : graph.OutNeighbors(x)) {
+    if (y == v) continue;  // would close early; cycle length is fixed
+    if (dist_to_v[y] != remaining - 1) continue;
+    path.push_back(y);
+    Expand(graph, dist_to_v, v, y, remaining - 1, path, limit, cycles);
+    path.pop_back();
+    if (cycles.size() >= limit) return;
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<Vertex>> EnumerateShortestCycles(const DiGraph& graph,
+                                                         Vertex v,
+                                                         size_t limit) {
+  std::vector<std::vector<Vertex>> cycles;
+  if (limit == 0 || v >= graph.num_vertices()) return cycles;
+  std::vector<Dist> dist_to_v = BfsDistances(graph, v, /*forward=*/false);
+  // Shortest cycle length through v: 1 + min over out-neighbors' distance
+  // back to v (Equation (3)).
+  Dist cycle_len = kInfDist;
+  for (Vertex u : graph.OutNeighbors(v)) {
+    if (dist_to_v[u] != kInfDist && dist_to_v[u] + 1 < cycle_len) {
+      cycle_len = dist_to_v[u] + 1;
+    }
+  }
+  if (cycle_len == kInfDist) return cycles;
+
+  std::vector<Vertex> path = {v};
+  // Walk the shortest-path DAG towards v. Every vertex on a shortest cycle
+  // x_0 = v, x_1, ..., x_{L-1} satisfies dist_to_v(x_i) = L - i, so the DFS
+  // only branches along cycle-consistent edges and every leaf is a distinct
+  // shortest cycle. Intermediate vertices cannot repeat (their dist values
+  // strictly decrease), so no visited set is needed.
+  for (Vertex u : graph.OutNeighbors(v)) {
+    if (dist_to_v[u] != cycle_len - 1) continue;
+    path.push_back(u);
+    Expand(graph, dist_to_v, v, u, cycle_len - 1, path, limit, cycles);
+    path.pop_back();
+    if (cycles.size() >= limit) break;
+  }
+  return cycles;
+}
+
+std::vector<std::vector<Vertex>> EnumerateShortestCyclesThroughEdge(
+    const DiGraph& graph, Vertex u, Vertex v, size_t limit) {
+  std::vector<std::vector<Vertex>> cycles;
+  if (limit == 0 || u >= graph.num_vertices() || v >= graph.num_vertices() ||
+      u == v || !graph.HasEdge(u, v)) {
+    return cycles;
+  }
+  // A shortest cycle through (u, v) is the edge plus a shortest v -> u
+  // path; walk the same distance-consistent DAG as the vertex variant, but
+  // towards u and with the path pinned to start u, v.
+  std::vector<Dist> dist_to_u = BfsDistances(graph, u, /*forward=*/false);
+  if (dist_to_u[v] == kInfDist) return cycles;
+  Dist remaining = dist_to_u[v];  // edges still to walk from v back to u
+
+  std::vector<Vertex> path = {u, v};
+  if (remaining == 1) {
+    // 2-cycle: v -> u directly.
+    if (graph.HasEdge(v, u)) cycles.push_back(path);
+    return cycles;
+  }
+  Expand(graph, dist_to_u, u, v, remaining, path, limit, cycles);
+  return cycles;
+}
+
+}  // namespace csc

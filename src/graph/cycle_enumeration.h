@@ -1,0 +1,41 @@
+#ifndef CSC_GRAPH_CYCLE_ENUMERATION_H_
+#define CSC_GRAPH_CYCLE_ENUMERATION_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/common.h"
+
+namespace csc {
+
+/// Enumerates the shortest cycles through `v` (the follow-up analysis of the
+/// paper's case study: once SCCnt flags a vertex, "we could further analyse
+/// whether there is an exact case ... by enumerating such cycles").
+///
+/// Returns up to `limit` cycles, each as the vertex sequence starting at `v`
+/// (the closing edge back to `v` is implicit); all returned cycles have the
+/// same minimal length. Returns an empty vector when no cycle passes
+/// through `v`.
+///
+/// Complexity: two BFS passes plus output-sensitive DFS over the shortest
+/// path DAG — O(n + m + limit * L) where L is the cycle length, so it is
+/// safe to call even when SCCnt(v) is astronomically large, as long as
+/// `limit` is modest.
+std::vector<std::vector<Vertex>> EnumerateShortestCycles(const DiGraph& graph,
+                                                         Vertex v,
+                                                         size_t limit);
+
+/// Enumerates the shortest cycles through the *edge* (u, v) — the follow-up
+/// when edge screening (TopKEdgesByCycleCount) flags a transaction. Each
+/// returned cycle is the vertex sequence starting `u, v, ...` (the closing
+/// edge back to `u` is implicit); all cycles have the minimal length among
+/// cycles using the edge, i.e. 1 + sd(v, u). Returns an empty vector when
+/// the edge is absent, u == v, or no path leads from v back to u.
+///
+/// Same output-sensitive complexity as EnumerateShortestCycles.
+std::vector<std::vector<Vertex>> EnumerateShortestCyclesThroughEdge(
+    const DiGraph& graph, Vertex u, Vertex v, size_t limit);
+
+}  // namespace csc
+
+#endif  // CSC_GRAPH_CYCLE_ENUMERATION_H_

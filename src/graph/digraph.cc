@@ -1,0 +1,92 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+
+namespace csc {
+
+DiGraph DiGraph::FromEdges(Vertex num_vertices,
+                           const std::vector<Edge>& edges) {
+  DiGraph g(num_vertices);
+  std::vector<Edge> sorted = edges;
+  std::sort(sorted.begin(), sorted.end(), [](const Edge& a, const Edge& b) {
+    return a.from != b.from ? a.from < b.from : a.to < b.to;
+  });
+  Edge prev{kNoVertex, kNoVertex};
+  for (const Edge& e : sorted) {
+    if (e == prev) continue;  // duplicate
+    prev = e;
+    if (e.from == e.to) continue;  // self-loop
+    if (e.from >= num_vertices || e.to >= num_vertices) continue;
+    g.out_[e.from].push_back(e.to);
+    g.in_[e.to].push_back(e.from);
+    ++g.num_edges_;
+  }
+  for (auto& l : g.in_) std::sort(l.begin(), l.end());
+  return g;
+}
+
+bool DiGraph::AddEdge(Vertex u, Vertex v) {
+  if (u == v || u >= num_vertices() || v >= num_vertices()) return false;
+  if (HasEdge(u, v)) return false;
+  out_[u].push_back(v);
+  in_[v].push_back(u);
+  ++num_edges_;
+  return true;
+}
+
+bool DiGraph::RemoveEdge(Vertex u, Vertex v) {
+  if (u >= num_vertices() || v >= num_vertices()) return false;
+  if (!EraseValue(out_[u], v)) return false;
+  EraseValue(in_[v], u);
+  --num_edges_;
+  return true;
+}
+
+bool DiGraph::HasEdge(Vertex u, Vertex v) const {
+  if (u >= num_vertices() || v >= num_vertices()) return false;
+  // Scan whichever endpoint has the smaller list.
+  if (out_[u].size() <= in_[v].size()) {
+    return std::find(out_[u].begin(), out_[u].end(), v) != out_[u].end();
+  }
+  return std::find(in_[v].begin(), in_[v].end(), u) != in_[v].end();
+}
+
+Vertex DiGraph::AddVertices(Vertex count) {
+  Vertex first = num_vertices();
+  out_.resize(out_.size() + count);
+  in_.resize(in_.size() + count);
+  return first;
+}
+
+size_t DiGraph::MinInOutDegree(Vertex v) const {
+  return std::min(OutDegree(v), InDegree(v));
+}
+
+std::vector<Edge> DiGraph::Edges() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges_);
+  for (Vertex u = 0; u < num_vertices(); ++u) {
+    for (Vertex v : out_[u]) edges.push_back({u, v});
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.from != b.from ? a.from < b.from : a.to < b.to;
+  });
+  return edges;
+}
+
+DiGraph DiGraph::Reversed() const {
+  DiGraph r(num_vertices());
+  r.num_edges_ = num_edges_;
+  r.out_ = in_;
+  r.in_ = out_;
+  return r;
+}
+
+bool DiGraph::EraseValue(std::vector<Vertex>& list, Vertex value) {
+  auto it = std::find(list.begin(), list.end(), value);
+  if (it == list.end()) return false;
+  list.erase(it);
+  return true;
+}
+
+}  // namespace csc

@@ -1,0 +1,72 @@
+#ifndef CSC_GRAPH_DIGRAPH_H_
+#define CSC_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+
+namespace csc {
+
+/// A simple directed graph with dynamic edge insertion/deletion.
+///
+/// Both out- and in-adjacency are materialized so that forward and reverse
+/// BFS (both needed by hub labeling) are symmetric. Self-loops and parallel
+/// edges are rejected, matching the paper's dataset preparation ("all graphs
+/// are directed and have no self-loop").
+class DiGraph {
+ public:
+  DiGraph() = default;
+  explicit DiGraph(Vertex num_vertices)
+      : out_(num_vertices), in_(num_vertices) {}
+
+  /// Builds a graph with `num_vertices` vertices from an edge list.
+  /// Self-loops and duplicate edges are silently dropped; adjacency lists are
+  /// sorted so iteration order is deterministic.
+  static DiGraph FromEdges(Vertex num_vertices, const std::vector<Edge>& edges);
+
+  Vertex num_vertices() const { return static_cast<Vertex>(out_.size()); }
+  uint64_t num_edges() const { return num_edges_; }
+
+  /// Inserts edge (u, v). Returns false (graph unchanged) for self-loops,
+  /// out-of-range endpoints, or already-present edges.
+  bool AddEdge(Vertex u, Vertex v);
+
+  /// Removes edge (u, v). Returns false if the edge is absent.
+  bool RemoveEdge(Vertex u, Vertex v);
+
+  bool HasEdge(Vertex u, Vertex v) const;
+
+  /// Appends `count` isolated vertices and returns the id of the first one.
+  Vertex AddVertices(Vertex count);
+
+  const std::vector<Vertex>& OutNeighbors(Vertex v) const { return out_[v]; }
+  const std::vector<Vertex>& InNeighbors(Vertex v) const { return in_[v]; }
+
+  size_t OutDegree(Vertex v) const { return out_[v].size(); }
+  size_t InDegree(Vertex v) const { return in_[v].size(); }
+  /// degree(v) in the paper: sum of in- and out-degree.
+  size_t Degree(Vertex v) const { return OutDegree(v) + InDegree(v); }
+  /// min(|nbr_in(v)|, |nbr_out(v)|), the paper's query-clustering key.
+  size_t MinInOutDegree(Vertex v) const;
+
+  /// All edges, ordered by (from, to).
+  std::vector<Edge> Edges() const;
+
+  /// The reverse graph (all edges flipped).
+  DiGraph Reversed() const;
+
+  friend bool operator==(const DiGraph&, const DiGraph&) = default;
+
+ private:
+  // Removes one occurrence of `value` from `list`; false if absent.
+  static bool EraseValue(std::vector<Vertex>& list, Vertex value);
+
+  std::vector<std::vector<Vertex>> out_;
+  std::vector<std::vector<Vertex>> in_;
+  uint64_t num_edges_ = 0;
+};
+
+}  // namespace csc
+
+#endif  // CSC_GRAPH_DIGRAPH_H_

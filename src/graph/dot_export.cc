@@ -1,0 +1,95 @@
+#include "graph/dot_export.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace csc {
+
+namespace {
+
+void AppendLine(std::string& out, const char* format, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  out += buffer;
+}
+
+}  // namespace
+
+std::string ToDot(const DiGraph& graph, const DotOptions& options) {
+  std::string out;
+  out += "digraph " + options.graph_name + " {\n";
+  out += "  node [shape=circle];\n";
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+    if (options.label_vertices) {
+      AppendLine(out, "  %u [label=\"%u\"];\n", v, v);
+    } else {
+      AppendLine(out, "  %u [label=\"\"];\n", v);
+    }
+  }
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+    for (Vertex w : graph.OutNeighbors(v)) {
+      AppendLine(out, "  %u -> %u;\n", v, w);
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string RenderCycleStudyDot(
+    const Subgraph& sub, const std::function<CycleCount(Vertex)>& query,
+    const std::string& graph_name) {
+  const Vertex n = sub.graph.num_vertices();
+  std::vector<CycleCount> answers(n);
+  Count max_count = 0;
+  Dist min_len = kInfDist, max_len = 0;
+  for (Vertex local = 0; local < n; ++local) {
+    answers[local] = query(sub.to_original[local]);
+    if (answers[local].count == 0) continue;
+    max_count = std::max(max_count, answers[local].count);
+    min_len = std::min(min_len, answers[local].length);
+    max_len = std::max(max_len, answers[local].length);
+  }
+
+  std::string out;
+  out += "digraph " + graph_name + " {\n";
+  out += "  // vertex size ~ shortest-cycle count; darkness ~ cycle length\n";
+  out += "  node [shape=circle, style=filled, fontcolor=black];\n";
+  for (Vertex local = 0; local < n; ++local) {
+    const CycleCount& answer = answers[local];
+    // Width in [0.4, 1.6] scaled by sqrt(count / max_count); acyclic
+    // vertices render smallest.
+    double ratio = (max_count == 0 || answer.count == 0)
+                       ? 0.0
+                       : std::sqrt(static_cast<double>(answer.count) /
+                                   static_cast<double>(max_count));
+    double width = 0.4 + 1.2 * ratio;
+    // Gray level: short cycles light (gray90), the longest dark (gray40).
+    int gray = 90;
+    if (answer.count > 0 && max_len > min_len) {
+      gray = 90 - static_cast<int>(50.0 * (answer.length - min_len) /
+                                   (max_len - min_len));
+    } else if (answer.count > 0) {
+      gray = 65;
+    }
+    AppendLine(out,
+               "  %u [label=\"%u\", width=%.2f, fixedsize=true, "
+               "fillcolor=gray%d];\n",
+               sub.to_original[local], sub.to_original[local], width, gray);
+  }
+  for (Vertex local = 0; local < n; ++local) {
+    for (Vertex target : sub.graph.OutNeighbors(local)) {
+      AppendLine(out, "  %u -> %u;\n", sub.to_original[local],
+                 sub.to_original[target]);
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace csc

@@ -1,0 +1,42 @@
+#ifndef CSC_GRAPH_DOT_EXPORT_H_
+#define CSC_GRAPH_DOT_EXPORT_H_
+
+#include <functional>
+#include <string>
+
+#include "graph/digraph.h"
+#include "graph/subgraph.h"
+#include "util/common.h"
+
+namespace csc {
+
+/// Options for plain Graphviz export.
+struct DotOptions {
+  /// The `digraph <name> { ... }` identifier.
+  std::string graph_name = "csc";
+  /// Emit `v` labels on nodes (off renders bare circles).
+  bool label_vertices = true;
+};
+
+/// Renders a graph as Graphviz DOT text (`dot -Tsvg` renders it). Vertices
+/// are emitted in id order, edges in (from, to) order, so output is
+/// deterministic and diffable.
+std::string ToDot(const DiGraph& graph, const DotOptions& options = {});
+
+/// Renders the paper's case-study figure (Figure 13): a subgraph whose
+/// vertices are sized by their shortest-cycle count and shaded by their
+/// shortest-cycle length ("The bigger a vertex, the more the shortest
+/// cycles pass through it. ... The darker a vertex, the longer the shortest
+/// cycles").
+///
+/// `sub` is typically ShortestCycleSubgraph(...) or EgoSubgraph(...);
+/// `query(original_id)` supplies SCCnt answers — pass the index's Query.
+/// Node labels are *original* vertex ids, matching how Figure 13 annotates
+/// account numbers.
+std::string RenderCycleStudyDot(const Subgraph& sub,
+                                const std::function<CycleCount(Vertex)>& query,
+                                const std::string& graph_name = "case_study");
+
+}  // namespace csc
+
+#endif  // CSC_GRAPH_DOT_EXPORT_H_

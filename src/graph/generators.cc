@@ -1,0 +1,223 @@
+#include "graph/generators.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "util/random.h"
+
+namespace csc {
+
+namespace {
+
+// Packs a directed pair for duplicate detection during sampling.
+uint64_t PairKey(Vertex u, Vertex v) {
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+DiGraph GenerateErdosRenyi(Vertex n, uint64_t m, uint64_t seed) {
+  Rng rng(seed);
+  uint64_t max_edges =
+      static_cast<uint64_t>(n) * (n > 0 ? n - 1 : 0);
+  if (m > max_edges) m = max_edges;
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(m * 2);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  while (edges.size() < m) {
+    Vertex u = static_cast<Vertex>(rng.NextBounded(n));
+    Vertex v = static_cast<Vertex>(rng.NextBounded(n));
+    if (u == v) continue;
+    if (!seen.insert(PairKey(u, v)).second) continue;
+    edges.push_back({u, v});
+  }
+  return DiGraph::FromEdges(n, edges);
+}
+
+DiGraph GeneratePreferentialAttachment(Vertex n, unsigned out_per_vertex,
+                                       double reciprocal_p, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  std::unordered_set<uint64_t> seen;
+  // Repeated-endpoint list: picking a uniform element samples a vertex with
+  // probability proportional to its current degree.
+  std::vector<Vertex> endpoints;
+  auto add_edge = [&](Vertex u, Vertex v) {
+    if (u == v || !seen.insert(PairKey(u, v)).second) return;
+    edges.push_back({u, v});
+    endpoints.push_back(u);
+    endpoints.push_back(v);
+  };
+
+  Vertex seed_size = std::min<Vertex>(n, out_per_vertex + 1);
+  if (seed_size < 2) return DiGraph(n);
+  // Seed: a directed ring so every seed vertex has nonzero degree and the
+  // core is cyclic.
+  for (Vertex v = 0; v < seed_size; ++v) {
+    add_edge(v, (v + 1) % seed_size);
+  }
+  for (Vertex v = seed_size; v < n; ++v) {
+    for (unsigned j = 0; j < out_per_vertex; ++j) {
+      Vertex target = endpoints[rng.NextBounded(endpoints.size())];
+      // Orient uniformly so the result is not a DAG.
+      bool outward = rng.NextBool(0.5);
+      Vertex u = outward ? v : target;
+      Vertex w = outward ? target : v;
+      add_edge(u, w);
+      if (rng.NextBool(reciprocal_p)) add_edge(w, u);
+    }
+  }
+  return DiGraph::FromEdges(n, edges);
+}
+
+DiGraph GenerateSmallWorld(Vertex n, unsigned k, double rewire_p,
+                           uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  std::unordered_set<uint64_t> seen;
+  for (Vertex v = 0; v < n; ++v) {
+    for (unsigned j = 1; j <= k; ++j) {
+      Vertex target = static_cast<Vertex>((v + j) % n);
+      if (rng.NextBool(rewire_p)) {
+        // Retry a few times to find an unused random target.
+        for (int attempt = 0; attempt < 8; ++attempt) {
+          Vertex cand = static_cast<Vertex>(rng.NextBounded(n));
+          if (cand != v && !seen.count(PairKey(v, cand))) {
+            target = cand;
+            break;
+          }
+        }
+      }
+      if (target == v) continue;
+      if (seen.insert(PairKey(v, target)).second) {
+        edges.push_back({v, target});
+      }
+    }
+  }
+  return DiGraph::FromEdges(n, edges);
+}
+
+DiGraph GenerateRmat(const RmatConfig& config, uint64_t seed) {
+  Rng rng(seed);
+  Vertex n = static_cast<Vertex>(uint64_t{1} << config.scale);
+  uint64_t max_edges = static_cast<uint64_t>(n) * (n - 1);
+  uint64_t target = std::min(config.num_edges, max_edges);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(target * 2);
+  std::vector<Edge> edges;
+  edges.reserve(target);
+  // Quadrant cut-offs for one recursion step.
+  double ab = config.a + config.b;
+  double abc = ab + config.c;
+  while (edges.size() < target) {
+    Vertex u = 0, v = 0;
+    for (unsigned bit = 0; bit < config.scale; ++bit) {
+      double r = rng.NextDouble();
+      // Quadrants: a = (0,0), b = (0,1), c = (1,0), d = (1,1).
+      unsigned row = r >= ab ? 1 : 0;
+      unsigned col = (r >= config.a && r < ab) || r >= abc ? 1 : 0;
+      u = (u << 1) | row;
+      v = (v << 1) | col;
+    }
+    if (u == v) continue;
+    if (!seen.insert(PairKey(u, v)).second) continue;
+    edges.push_back({u, v});
+  }
+  return DiGraph::FromEdges(n, edges);
+}
+
+MoneyLaunderingGraph GenerateMoneyLaundering(const MoneyLaunderingConfig& cfg,
+                                             uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  std::unordered_set<uint64_t> seen;
+  auto add_edge = [&](Vertex u, Vertex v) {
+    if (u != v && seen.insert(PairKey(u, v)).second) edges.push_back({u, v});
+  };
+
+  // Background traffic: sparse random transactions among ordinary accounts.
+  Vertex n = cfg.num_background;
+  uint64_t background_edges = static_cast<uint64_t>(
+      cfg.background_out_degree * static_cast<double>(cfg.num_background));
+  for (uint64_t i = 0; i < background_edges && cfg.num_background > 1; ++i) {
+    Vertex u = static_cast<Vertex>(rng.NextBounded(cfg.num_background));
+    Vertex v = static_cast<Vertex>(rng.NextBounded(cfg.num_background));
+    add_edge(u, v);
+  }
+
+  // Planted rings: each criminal account C gets `routes_per_ring` disjoint
+  // C -> m_1 -> ... -> m_len -> C routes; every route is one shortest cycle
+  // through C, so SCCnt(C) >= routes_per_ring while background accounts see
+  // only incidental cycles.
+  MoneyLaunderingGraph result;
+  for (unsigned r = 0; r < cfg.num_rings; ++r) {
+    Vertex criminal = n++;
+    result.criminal_accounts.push_back(criminal);
+    for (unsigned route = 0; route < cfg.routes_per_ring; ++route) {
+      Vertex prev = criminal;
+      for (unsigned hop = 0; hop < cfg.route_length; ++hop) {
+        Vertex middle = n++;
+        add_edge(prev, middle);
+        prev = middle;
+      }
+      add_edge(prev, criminal);
+    }
+    // Tie the ring into the background so it is not a separate component.
+    if (cfg.num_background > 0) {
+      Vertex contact = static_cast<Vertex>(rng.NextBounded(cfg.num_background));
+      add_edge(contact, criminal);
+    }
+  }
+  result.graph = DiGraph::FromEdges(n, edges);
+  return result;
+}
+
+DiGraph GenerateStochasticBlockModel(const SbmConfig& config, uint64_t seed) {
+  Rng rng(seed);
+  const Vertex n = config.num_vertices;
+  const unsigned blocks = config.num_blocks == 0 ? 1 : config.num_blocks;
+  std::vector<Edge> edges;
+  for (Vertex u = 0; u < n; ++u) {
+    unsigned block_u = u % blocks;
+    for (Vertex v = 0; v < n; ++v) {
+      if (u == v) continue;
+      double p = (block_u == v % blocks) ? config.intra_p : config.inter_p;
+      if (rng.NextBool(p)) edges.push_back({u, v});
+    }
+  }
+  return DiGraph::FromEdges(n, edges);
+}
+
+DiGraph GenerateCompleteDigraph(Vertex n) {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(n) * (n - 1));
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = 0; v < n; ++v) {
+      if (u != v) edges.push_back({u, v});
+    }
+  }
+  return DiGraph::FromEdges(n, edges);
+}
+
+DiGraph GenerateRingOfCliques(unsigned num_cliques, unsigned clique_size) {
+  const Vertex n = static_cast<Vertex>(num_cliques) * clique_size;
+  std::vector<Edge> edges;
+  for (unsigned c = 0; c < num_cliques; ++c) {
+    Vertex base = static_cast<Vertex>(c) * clique_size;
+    for (unsigned i = 0; i < clique_size; ++i) {
+      for (unsigned j = 0; j < clique_size; ++j) {
+        if (i != j) edges.push_back({base + i, base + j});
+      }
+    }
+    // One directed bridge to the next clique's first vertex.
+    if (num_cliques > 1) {
+      Vertex next_base =
+          static_cast<Vertex>((c + 1) % num_cliques) * clique_size;
+      edges.push_back({base, next_base});
+    }
+  }
+  return DiGraph::FromEdges(n, edges);
+}
+
+}  // namespace csc

@@ -1,0 +1,107 @@
+#ifndef CSC_GRAPH_GENERATORS_H_
+#define CSC_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace csc {
+
+/// Directed Erdős–Rényi G(n, m): exactly `m` distinct directed non-loop
+/// edges drawn uniformly. Deterministic in `seed`.
+DiGraph GenerateErdosRenyi(Vertex n, uint64_t m, uint64_t seed);
+
+/// Directed preferential-attachment graph (Barabási–Albert flavour) used as
+/// the stand-in for the paper's p2p / email / wiki / social datasets, whose
+/// defining property for hub labeling is a heavy-tailed degree distribution
+/// plus small-world distances.
+///
+/// Each arriving vertex attaches `out_per_vertex` edges to endpoints sampled
+/// proportionally to current degree; each attachment is oriented uniformly at
+/// random (so the graph is cyclic, not a DAG), and with probability
+/// `reciprocal_p` the reverse edge is also inserted (real interaction
+/// networks contain many reciprocal pairs, which is what makes 2-cycles the
+/// common shortest cycle).
+DiGraph GeneratePreferentialAttachment(Vertex n, unsigned out_per_vertex,
+                                       double reciprocal_p, uint64_t seed);
+
+/// Directed Watts–Strogatz small-world graph used as the stand-in for the
+/// paper's web graphs: a ring lattice where each vertex points to its next
+/// `k` successors, with every edge target rewired uniformly with probability
+/// `rewire_p`. The lattice provides abundant medium-length cycles.
+DiGraph GenerateSmallWorld(Vertex n, unsigned k, double rewire_p,
+                           uint64_t seed);
+
+/// R-MAT / Kronecker-style generator (Chakrabarti et al.), the standard
+/// synthetic benchmark family for graph systems: each edge lands in a
+/// quadrant of the adjacency matrix with probabilities (a, b, c, d),
+/// recursively. Produces skewed degrees and community-like structure.
+/// `scale` is log2 of the vertex count; exactly `num_edges` distinct
+/// non-loop edges are emitted (target slots are re-drawn on collision).
+struct RmatConfig {
+  unsigned scale = 14;
+  uint64_t num_edges = 1 << 16;
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;  // d = 1 - a - b - c
+};
+
+DiGraph GenerateRmat(const RmatConfig& config, uint64_t seed);
+
+/// Configuration for the planted money-laundering generator (the Figure 1 /
+/// Figure 13 scenario and the MAHINDAS case-study stand-in).
+struct MoneyLaunderingConfig {
+  /// Ordinary accounts forming background transaction traffic.
+  Vertex num_background = 1000;
+  /// Average out-degree of background accounts.
+  double background_out_degree = 3.0;
+  /// Number of planted criminal rings.
+  unsigned num_rings = 4;
+  /// Disjoint C -> ... -> C routes per ring (each is one shortest cycle
+  /// through the ring's criminal account).
+  unsigned routes_per_ring = 6;
+  /// Intermediaries on each route; the planted cycle length is this + 1.
+  unsigned route_length = 3;
+};
+
+/// A generated money-laundering graph plus the planted criminal accounts
+/// (ring centers), so applications/tests can check they are recovered by
+/// shortest-cycle counting.
+struct MoneyLaunderingGraph {
+  DiGraph graph;
+  std::vector<Vertex> criminal_accounts;
+};
+
+MoneyLaunderingGraph GenerateMoneyLaundering(const MoneyLaunderingConfig& cfg,
+                                             uint64_t seed);
+
+/// Directed stochastic block model: vertices are split evenly into
+/// `num_blocks` communities; each ordered non-loop pair gets an edge with
+/// probability `intra_p` inside a block and `inter_p` across blocks.
+/// Community structure concentrates cycles within blocks, a different
+/// stress for the labeling than pure power-law or lattice graphs.
+struct SbmConfig {
+  Vertex num_vertices = 400;
+  unsigned num_blocks = 4;
+  double intra_p = 0.05;
+  double inter_p = 0.002;
+};
+
+DiGraph GenerateStochasticBlockModel(const SbmConfig& config, uint64_t seed);
+
+/// The complete directed graph on n vertices (every ordered non-loop pair).
+/// The worst case for label counts per vertex pair and the densest source
+/// of length-2 cycles; used by stress tests and count-saturation checks.
+DiGraph GenerateCompleteDigraph(Vertex n);
+
+/// A deterministic "ring of cliques": `num_cliques` complete digraphs of
+/// `clique_size` vertices, joined into one ring by a single directed edge
+/// between consecutive cliques. Every clique vertex lies on a 2-cycle
+/// (girth 2 everywhere), while the ring provides one long cycle — a graph
+/// whose SCCnt answers are all computable by hand.
+DiGraph GenerateRingOfCliques(unsigned num_cliques, unsigned clique_size);
+
+}  // namespace csc
+
+#endif  // CSC_GRAPH_GENERATORS_H_

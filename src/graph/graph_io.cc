@@ -1,0 +1,124 @@
+#include "graph/graph_io.h"
+
+#include <cctype>
+#include <cstdint>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "util/env.h"
+
+namespace csc {
+
+namespace {
+
+// Skips a line comment starting at position i; returns position after the
+// newline (or end of string).
+size_t SkipLine(const std::string& text, size_t i) {
+  while (i < text.size() && text[i] != '\n') ++i;
+  return i < text.size() ? i + 1 : i;
+}
+
+}  // namespace
+
+std::optional<DiGraph> ParseEdgeList(const std::string& text) {
+  std::unordered_map<uint64_t, Vertex> id_map;
+  std::vector<Edge> edges;
+  // SNAP headers carry "# Nodes: N"; when present, vertex ids are taken
+  // verbatim (so save/load round-trips preserve ids and isolated vertices).
+  // Without a header, ids are remapped to [0, n) by first appearance.
+  std::optional<uint64_t> declared_nodes;
+  auto intern = [&](uint64_t raw) {
+    auto [it, inserted] =
+        id_map.emplace(raw, static_cast<Vertex>(id_map.size()));
+    (void)inserted;
+    return it->second;
+  };
+
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == '#' || c == '%') {  // SNAP uses '#', Konect uses '%'.
+      size_t line_end = SkipLine(text, i);
+      std::string line = text.substr(i, line_end - i);
+      size_t pos = line.find("Nodes:");
+      if (pos != std::string::npos) {
+        uint64_t value = 0;
+        size_t k = pos + 6;
+        while (k < line.size() && line[k] == ' ') ++k;
+        bool any = false;
+        while (k < line.size() &&
+               std::isdigit(static_cast<unsigned char>(line[k]))) {
+          value = value * 10 + static_cast<uint64_t>(line[k] - '0');
+          ++k;
+          any = true;
+        }
+        if (any) declared_nodes = value;
+      }
+      i = line_end;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Parse "from to" on one line.
+    uint64_t raw[2];
+    for (int k = 0; k < 2; ++k) {
+      if (i >= text.size() ||
+          !std::isdigit(static_cast<unsigned char>(text[i]))) {
+        return std::nullopt;
+      }
+      uint64_t value = 0;
+      while (i < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[i]))) {
+        value = value * 10 + static_cast<uint64_t>(text[i] - '0');
+        ++i;
+      }
+      raw[k] = value;
+      while (i < text.size() && (text[i] == ' ' || text[i] == '\t' ||
+                                 text[i] == '\r')) {
+        ++i;
+      }
+    }
+    // Anything left on the line (e.g. Konect weight/timestamp columns) is
+    // ignored.
+    i = SkipLine(text, i);
+    if (declared_nodes.has_value()) {
+      if (raw[0] >= *declared_nodes || raw[1] >= *declared_nodes) {
+        return std::nullopt;  // id outside the declared range
+      }
+      edges.push_back(
+          {static_cast<Vertex>(raw[0]), static_cast<Vertex>(raw[1])});
+    } else {
+      edges.push_back({intern(raw[0]), intern(raw[1])});
+    }
+  }
+  Vertex n = declared_nodes.has_value() ? static_cast<Vertex>(*declared_nodes)
+                                        : static_cast<Vertex>(id_map.size());
+  return DiGraph::FromEdges(n, edges);
+}
+
+std::optional<DiGraph> LoadEdgeListFile(const std::string& path) {
+  std::optional<std::string> text = ReadFileToString(path);
+  if (!text) return std::nullopt;
+  return ParseEdgeList(*text);
+}
+
+std::string ToEdgeListText(const DiGraph& graph) {
+  std::ostringstream out;
+  out << "# Directed graph (CSC edge-list format)\n";
+  out << "# Nodes: " << graph.num_vertices() << " Edges: " << graph.num_edges()
+      << "\n";
+  out << "# FromNodeId\tToNodeId\n";
+  for (const Edge& e : graph.Edges()) {
+    out << e.from << '\t' << e.to << '\n';
+  }
+  return out.str();
+}
+
+bool SaveEdgeListFile(const DiGraph& graph, const std::string& path) {
+  return WriteStringToFile(path, ToEdgeListText(graph));
+}
+
+}  // namespace csc

@@ -1,0 +1,32 @@
+#ifndef CSC_GRAPH_GRAPH_IO_H_
+#define CSC_GRAPH_GRAPH_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "graph/digraph.h"
+
+namespace csc {
+
+/// Parses a SNAP-style whitespace-separated edge list ("FromNodeId ToNodeId"
+/// per line, '#'/'%' comments allowed). If a header comment declares
+/// "# Nodes: N", vertex ids are taken verbatim (ids must be < N; isolated
+/// vertices survive), which makes SaveEdgeListFile/LoadEdgeListFile an exact
+/// round trip. Without a header, ids are remapped to [0, n) in order of
+/// first appearance, which is how the paper's SNAP/Konect inputs are
+/// normalized. Self-loops and duplicates are dropped. Returns std::nullopt
+/// on malformed input.
+std::optional<DiGraph> ParseEdgeList(const std::string& text);
+
+/// Loads an edge-list file from disk. std::nullopt on I/O or parse failure.
+std::optional<DiGraph> LoadEdgeListFile(const std::string& path);
+
+/// Serializes a graph back to SNAP edge-list text (with a header comment).
+std::string ToEdgeListText(const DiGraph& graph);
+
+/// Writes ToEdgeListText(graph) to `path`. Returns false on I/O failure.
+bool SaveEdgeListFile(const DiGraph& graph, const std::string& path);
+
+}  // namespace csc
+
+#endif  // CSC_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,102 @@
+#include "graph/kcore.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace csc {
+
+std::vector<Vertex> CoreDecomposition::VerticesInCore(uint32_t k) const {
+  std::vector<Vertex> members;
+  for (Vertex v = 0; v < core.size(); ++v) {
+    if (core[v] >= k) members.push_back(v);
+  }
+  return members;
+}
+
+CoreDecomposition ComputeCores(const DiGraph& graph) {
+  const Vertex n = graph.num_vertices();
+  CoreDecomposition result;
+  result.core.assign(n, 0);
+  if (n == 0) return result;
+
+  // Matula-Beck: bucket vertices by current degree, repeatedly peel a
+  // minimum-degree vertex, decrementing its still-present neighbors.
+  std::vector<uint32_t> degree(n);
+  uint32_t max_degree = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    degree[v] = static_cast<uint32_t>(graph.Degree(v));
+    max_degree = std::max(max_degree, degree[v]);
+  }
+
+  // bucket_start[d] .. : vertices ordered by degree (bin-sort layout).
+  std::vector<uint32_t> bucket_start(max_degree + 2, 0);
+  for (Vertex v = 0; v < n; ++v) ++bucket_start[degree[v] + 1];
+  for (uint32_t d = 1; d < bucket_start.size(); ++d) {
+    bucket_start[d] += bucket_start[d - 1];
+  }
+  std::vector<Vertex> order(n);       // vertices sorted by current degree
+  std::vector<uint32_t> position(n);  // v -> index in `order`
+  {
+    std::vector<uint32_t> cursor(bucket_start.begin(),
+                                 bucket_start.end() - 1);
+    for (Vertex v = 0; v < n; ++v) {
+      position[v] = cursor[degree[v]];
+      order[position[v]] = v;
+      ++cursor[degree[v]];
+    }
+  }
+
+  // Decrements v's bucket degree, swapping it to the front of its bucket.
+  auto decrement = [&](Vertex v) {
+    uint32_t d = degree[v];
+    uint32_t front = bucket_start[d];
+    Vertex other = order[front];
+    if (other != v) {
+      std::swap(order[front], order[position[v]]);
+      std::swap(position[other], position[v]);
+    }
+    ++bucket_start[d];
+    --degree[v];
+  };
+
+  std::vector<bool> peeled(n, false);
+  uint32_t current_core = 0;
+  for (Vertex i = 0; i < n; ++i) {
+    Vertex v = order[i];
+    current_core = std::max(current_core, degree[v]);
+    result.core[v] = current_core;
+    peeled[v] = true;
+    for (Vertex w : graph.OutNeighbors(v)) {
+      if (!peeled[w] && degree[w] > degree[v]) decrement(w);
+    }
+    for (Vertex w : graph.InNeighbors(v)) {
+      if (!peeled[w] && degree[w] > degree[v]) decrement(w);
+    }
+  }
+  result.degeneracy = current_core;
+  return result;
+}
+
+VertexOrdering CoreOrdering(const DiGraph& graph) {
+  CoreDecomposition cores = ComputeCores(graph);
+  VertexOrdering order;
+  order.rank_to_vertex.resize(graph.num_vertices());
+  std::iota(order.rank_to_vertex.begin(), order.rank_to_vertex.end(),
+            Vertex{0});
+  std::stable_sort(order.rank_to_vertex.begin(), order.rank_to_vertex.end(),
+                   [&](Vertex a, Vertex b) {
+                     if (cores.core[a] != cores.core[b]) {
+                       return cores.core[a] > cores.core[b];
+                     }
+                     size_t da = graph.Degree(a);
+                     size_t db = graph.Degree(b);
+                     return da != db ? da > db : a < b;
+                   });
+  order.vertex_to_rank.resize(graph.num_vertices());
+  for (Rank r = 0; r < order.rank_to_vertex.size(); ++r) {
+    order.vertex_to_rank[order.rank_to_vertex[r]] = r;
+  }
+  return order;
+}
+
+}  // namespace csc

@@ -1,0 +1,147 @@
+#include "graph/ordering.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/random.h"
+
+namespace csc {
+
+VertexOrdering DegreeOrdering(const DiGraph& graph) {
+  VertexOrdering order;
+  order.rank_to_vertex.resize(graph.num_vertices());
+  std::iota(order.rank_to_vertex.begin(), order.rank_to_vertex.end(),
+            Vertex{0});
+  std::stable_sort(order.rank_to_vertex.begin(), order.rank_to_vertex.end(),
+                   [&graph](Vertex a, Vertex b) {
+                     size_t da = graph.Degree(a);
+                     size_t db = graph.Degree(b);
+                     return da != db ? da > db : a < b;
+                   });
+  order.vertex_to_rank.resize(graph.num_vertices());
+  for (Rank r = 0; r < order.rank_to_vertex.size(); ++r) {
+    order.vertex_to_rank[order.rank_to_vertex[r]] = r;
+  }
+  return order;
+}
+
+VertexOrdering DegreeProductOrdering(const DiGraph& graph) {
+  VertexOrdering order;
+  order.rank_to_vertex.resize(graph.num_vertices());
+  std::iota(order.rank_to_vertex.begin(), order.rank_to_vertex.end(),
+            Vertex{0});
+  auto key = [&graph](Vertex v) {
+    return (static_cast<uint64_t>(graph.InDegree(v)) + 1) *
+           (graph.OutDegree(v) + 1);
+  };
+  std::stable_sort(order.rank_to_vertex.begin(), order.rank_to_vertex.end(),
+                   [&key](Vertex a, Vertex b) {
+                     uint64_t ka = key(a);
+                     uint64_t kb = key(b);
+                     return ka != kb ? ka > kb : a < b;
+                   });
+  order.vertex_to_rank.resize(graph.num_vertices());
+  for (Rank r = 0; r < order.rank_to_vertex.size(); ++r) {
+    order.vertex_to_rank[order.rank_to_vertex[r]] = r;
+  }
+  return order;
+}
+
+VertexOrdering RandomOrdering(Vertex num_vertices, uint64_t seed) {
+  VertexOrdering order;
+  order.rank_to_vertex.resize(num_vertices);
+  std::iota(order.rank_to_vertex.begin(), order.rank_to_vertex.end(),
+            Vertex{0});
+  Rng rng(seed);
+  rng.Shuffle(order.rank_to_vertex);
+  order.vertex_to_rank.resize(num_vertices);
+  for (Rank r = 0; r < num_vertices; ++r) {
+    order.vertex_to_rank[order.rank_to_vertex[r]] = r;
+  }
+  return order;
+}
+
+VertexOrdering BetweennessSampleOrdering(const DiGraph& graph,
+                                         unsigned samples, uint64_t seed) {
+  const Vertex n = graph.num_vertices();
+  std::vector<double> score(n, 0.0);
+  Rng rng(seed);
+
+  // Brandes' single-source dependency accumulation from sampled sources.
+  // Alternating forward/backward BFS keeps the score symmetric on directed
+  // graphs (a good hub must be traversable both ways).
+  std::vector<uint64_t> sigma(n);      // shortest-path counts from source
+  std::vector<Dist> dist(n);           // BFS distances
+  std::vector<double> delta(n);        // accumulated dependencies
+  std::vector<Vertex> bfs_order;       // dequeue order
+  for (unsigned sample = 0; sample < samples && n > 0; ++sample) {
+    Vertex source = static_cast<Vertex>(rng.NextBounded(n));
+    bool forward = (sample % 2) == 0;
+    std::fill(sigma.begin(), sigma.end(), 0);
+    std::fill(dist.begin(), dist.end(), kInfDist);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    bfs_order.clear();
+
+    sigma[source] = 1;
+    dist[source] = 0;
+    bfs_order.push_back(source);
+    for (size_t head = 0; head < bfs_order.size(); ++head) {
+      Vertex w = bfs_order[head];
+      const std::vector<Vertex>& next =
+          forward ? graph.OutNeighbors(w) : graph.InNeighbors(w);
+      for (Vertex wn : next) {
+        if (dist[wn] == kInfDist) {
+          dist[wn] = dist[w] + 1;
+          bfs_order.push_back(wn);
+        }
+        if (dist[wn] == dist[w] + 1) sigma[wn] += sigma[w];
+      }
+    }
+    // Accumulate dependencies in reverse BFS order: a predecessor w of wn
+    // on a shortest path earns sigma(w)/sigma(wn) * (1 + delta(wn)).
+    for (size_t i = bfs_order.size(); i-- > 1;) {
+      Vertex wn = bfs_order[i];
+      const std::vector<Vertex>& prev =
+          forward ? graph.InNeighbors(wn) : graph.OutNeighbors(wn);
+      for (Vertex w : prev) {
+        if (dist[w] + 1 == dist[wn] && sigma[wn] > 0) {
+          delta[w] += static_cast<double>(sigma[w]) /
+                      static_cast<double>(sigma[wn]) * (1.0 + delta[wn]);
+        }
+      }
+    }
+    for (Vertex v = 0; v < n; ++v) {
+      if (v != source) score[v] += delta[v];
+    }
+  }
+
+  VertexOrdering order;
+  order.rank_to_vertex.resize(n);
+  std::iota(order.rank_to_vertex.begin(), order.rank_to_vertex.end(),
+            Vertex{0});
+  std::stable_sort(order.rank_to_vertex.begin(), order.rank_to_vertex.end(),
+                   [&](Vertex a, Vertex b) {
+                     if (score[a] != score[b]) return score[a] > score[b];
+                     size_t da = graph.Degree(a);
+                     size_t db = graph.Degree(b);
+                     return da != db ? da > db : a < b;
+                   });
+  order.vertex_to_rank.resize(n);
+  for (Rank r = 0; r < order.rank_to_vertex.size(); ++r) {
+    order.vertex_to_rank[order.rank_to_vertex[r]] = r;
+  }
+  return order;
+}
+
+VertexOrdering OrderingFromPermutation(
+    const std::vector<Vertex>& rank_to_vertex) {
+  VertexOrdering order;
+  order.rank_to_vertex = rank_to_vertex;
+  order.vertex_to_rank.resize(rank_to_vertex.size());
+  for (Rank r = 0; r < rank_to_vertex.size(); ++r) {
+    order.vertex_to_rank[rank_to_vertex[r]] = r;
+  }
+  return order;
+}
+
+}  // namespace csc

@@ -1,0 +1,101 @@
+#include "graph/scc.h"
+
+#include <algorithm>
+
+namespace csc {
+
+namespace {
+
+constexpr uint32_t kUnvisited = 0xffffffffu;
+
+}  // namespace
+
+SccResult ComputeScc(const DiGraph& graph) {
+  const Vertex n = graph.num_vertices();
+  SccResult result;
+  result.component.assign(n, kUnvisited);
+
+  std::vector<uint32_t> index(n, kUnvisited);  // DFS discovery order
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<Vertex> scc_stack;  // Tarjan's component stack
+
+  // Explicit DFS frame: the vertex and the position of the next out-edge to
+  // explore. This replaces recursion so depth is bounded by n on the heap.
+  struct Frame {
+    Vertex v;
+    size_t next_edge;
+  };
+  std::vector<Frame> call_stack;
+  uint32_t next_index = 0;
+
+  for (Vertex root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    call_stack.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    scc_stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const std::vector<Vertex>& out = graph.OutNeighbors(frame.v);
+      if (frame.next_edge < out.size()) {
+        Vertex w = out[frame.next_edge++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          scc_stack.push_back(w);
+          on_stack[w] = true;
+          call_stack.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[frame.v] = std::min(lowlink[frame.v], index[w]);
+        }
+        continue;
+      }
+      // All edges of frame.v explored: emit its component if it is a root,
+      // then propagate the lowlink to the caller.
+      Vertex v = frame.v;
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        lowlink[call_stack.back().v] =
+            std::min(lowlink[call_stack.back().v], lowlink[v]);
+      }
+      if (lowlink[v] == index[v]) {
+        uint32_t id = static_cast<uint32_t>(result.component_size.size());
+        uint32_t size = 0;
+        for (;;) {
+          Vertex member = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[member] = false;
+          result.component[member] = id;
+          ++size;
+          if (member == v) break;
+        }
+        result.component_size.push_back(size);
+      }
+    }
+  }
+  return result;
+}
+
+DiGraph Condensation(const DiGraph& graph, const SccResult& scc) {
+  DiGraph dag(scc.num_components());
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+    uint32_t from = scc.component[v];
+    for (Vertex w : graph.OutNeighbors(v)) {
+      uint32_t to = scc.component[w];
+      if (from != to) dag.AddEdge(from, to);  // AddEdge dedupes
+    }
+  }
+  return dag;
+}
+
+std::vector<Vertex> VerticesOnCycles(const DiGraph& graph) {
+  SccResult scc = ComputeScc(graph);
+  std::vector<Vertex> on_cycle;
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+    if (scc.OnCycle(v)) on_cycle.push_back(v);
+  }
+  return on_cycle;
+}
+
+}  // namespace csc

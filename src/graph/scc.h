@@ -1,0 +1,54 @@
+#ifndef CSC_GRAPH_SCC_H_
+#define CSC_GRAPH_SCC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/common.h"
+
+namespace csc {
+
+/// Strongly connected components of a directed graph.
+///
+/// Why this lives in a cycle-counting library: a vertex lies on a directed
+/// cycle (length >= 2; the graphs are self-loop-free) if and only if its SCC
+/// contains at least two vertices. That gives
+///   - an O(n + m) screening pre-filter: vertices outside non-trivial SCCs
+///     can skip the index query entirely (SCCnt is (inf, 0) for them), and
+///   - a structural invariant every engine must satisfy, used by the
+///     property-test suite (`SCCnt(v).count > 0  <=>  OnCycle(v)`).
+struct SccResult {
+  /// vertex -> component id. Ids are assigned in reverse topological order
+  /// of the condensation (Tarjan's emission order): if there is an edge from
+  /// component A to component B (A != B), then id(A) > id(B).
+  std::vector<uint32_t> component;
+  /// component id -> number of member vertices.
+  std::vector<uint32_t> component_size;
+
+  uint32_t num_components() const {
+    return static_cast<uint32_t>(component_size.size());
+  }
+
+  /// True iff `v` lies on some directed cycle of the graph.
+  bool OnCycle(Vertex v) const {
+    return component_size[component[v]] >= 2;
+  }
+};
+
+/// Tarjan's algorithm, implemented iteratively so deep graphs (long paths,
+/// lattice generators) cannot overflow the call stack. O(n + m).
+SccResult ComputeScc(const DiGraph& graph);
+
+/// The condensation of `graph`: one vertex per SCC (using SccResult ids),
+/// one edge per pair of distinct components joined by at least one original
+/// edge. Always a DAG.
+DiGraph Condensation(const DiGraph& graph, const SccResult& scc);
+
+/// All vertices that lie on at least one directed cycle, ascending. The
+/// screening pre-filter (Application 1) iterates this instead of all of V.
+std::vector<Vertex> VerticesOnCycles(const DiGraph& graph);
+
+}  // namespace csc
+
+#endif  // CSC_GRAPH_SCC_H_

@@ -1,0 +1,53 @@
+#ifndef CSC_GRAPH_STATS_H_
+#define CSC_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/common.h"
+
+namespace csc {
+
+/// Structural statistics of a directed graph — the quantities Table IV
+/// reports (n, m) plus the properties that drive hub-labeling behaviour:
+/// degree skew (hub orderings exploit it), reciprocity (reciprocal pairs
+/// are length-2 shortest cycles, the dominant case on interaction
+/// networks), and distance scale (label sizes track the small-world
+/// diameter).
+struct GraphStats {
+  Vertex num_vertices = 0;
+  uint64_t num_edges = 0;
+
+  size_t max_out_degree = 0;
+  size_t max_in_degree = 0;
+  size_t max_degree = 0;  // max over v of indeg(v) + outdeg(v)
+  double mean_degree = 0;
+
+  /// Vertices with no incident edge at all.
+  uint64_t isolated_vertices = 0;
+
+  /// Edges (u, v) whose reverse (v, u) is also present.
+  uint64_t reciprocal_edges = 0;
+  /// reciprocal_edges / num_edges (0 on empty graphs). Every reciprocal
+  /// pair is a shortest cycle of length 2 through both endpoints.
+  double reciprocity = 0;
+
+  /// degree_histogram[b] = number of vertices whose degree d satisfies
+  /// floor(log2(d + 1)) == b — the log-binned degree distribution used to
+  /// eyeball power-law tails.
+  std::vector<uint64_t> degree_histogram;
+};
+
+/// One O(n + m log m)-ish pass over the graph.
+GraphStats ComputeGraphStats(const DiGraph& graph);
+
+/// Monte-Carlo estimate of the mean finite shortest-path distance: BFS from
+/// `samples` random sources, averaging distances to all vertices each
+/// reaches. Deterministic in `seed`. Returns 0 for graphs with no edges.
+double EstimateAverageDistance(const DiGraph& graph, unsigned samples,
+                               uint64_t seed);
+
+}  // namespace csc
+
+#endif  // CSC_GRAPH_STATS_H_

@@ -1,0 +1,118 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+
+namespace csc {
+
+namespace {
+
+// BFS distances from `source` over `graph`, following out-edges when
+// `forward`, in-edges otherwise.
+std::vector<Dist> BfsDistances(const DiGraph& graph, Vertex source,
+                               bool forward) {
+  std::vector<Dist> dist(graph.num_vertices(), kInfDist);
+  std::vector<Vertex> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  size_t head = 0;
+  while (head < queue.size()) {
+    Vertex w = queue[head++];
+    const std::vector<Vertex>& next =
+        forward ? graph.OutNeighbors(w) : graph.InNeighbors(w);
+    for (Vertex wn : next) {
+      if (dist[wn] == kInfDist) {
+        dist[wn] = dist[w] + 1;
+        queue.push_back(wn);
+      }
+    }
+  }
+  return dist;
+}
+
+// Builds the Subgraph scaffolding (sorted unique members, both mappings,
+// empty edge set) for the given member vertices.
+Subgraph MakeScaffold(const DiGraph& graph, std::vector<Vertex> members) {
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+  std::erase_if(members,
+                [&](Vertex v) { return v >= graph.num_vertices(); });
+
+  Subgraph sub;
+  sub.to_original = std::move(members);
+  sub.to_local.assign(graph.num_vertices(), kNoVertex);
+  for (Vertex local = 0; local < sub.to_original.size(); ++local) {
+    sub.to_local[sub.to_original[local]] = local;
+  }
+  sub.graph = DiGraph(static_cast<Vertex>(sub.to_original.size()));
+  return sub;
+}
+
+// Adds every original edge with both endpoints in the subgraph.
+void AddInducedEdges(const DiGraph& graph, Subgraph& sub) {
+  for (Vertex local = 0; local < sub.to_original.size(); ++local) {
+    Vertex original = sub.to_original[local];
+    for (Vertex w : graph.OutNeighbors(original)) {
+      if (sub.to_local[w] != kNoVertex) {
+        sub.graph.AddEdge(local, sub.to_local[w]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Subgraph InducedSubgraph(const DiGraph& graph,
+                         const std::vector<Vertex>& vertices) {
+  Subgraph sub = MakeScaffold(graph, vertices);
+  AddInducedEdges(graph, sub);
+  return sub;
+}
+
+Subgraph EgoSubgraph(const DiGraph& graph, Vertex center, Dist radius) {
+  std::vector<Dist> forward = BfsDistances(graph, center, /*forward=*/true);
+  std::vector<Dist> backward = BfsDistances(graph, center, /*forward=*/false);
+  std::vector<Vertex> members;
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+    if (forward[v] <= radius || backward[v] <= radius) members.push_back(v);
+  }
+  Subgraph sub = MakeScaffold(graph, std::move(members));
+  AddInducedEdges(graph, sub);
+  return sub;
+}
+
+Subgraph ShortestCycleSubgraph(const DiGraph& graph, Vertex v) {
+  // sd(v, .) and sd(., v); the shortest cycle length through v is the
+  // minimum of their sum over all other vertices.
+  std::vector<Dist> from_v = BfsDistances(graph, v, /*forward=*/true);
+  std::vector<Dist> to_v = BfsDistances(graph, v, /*forward=*/false);
+
+  Dist cycle_len = kInfDist;
+  for (Vertex w = 0; w < graph.num_vertices(); ++w) {
+    if (w == v || from_v[w] == kInfDist || to_v[w] == kInfDist) continue;
+    cycle_len = std::min(cycle_len, from_v[w] + to_v[w]);
+  }
+  if (cycle_len == kInfDist) return Subgraph{};  // no cycle through v
+
+  std::vector<Vertex> members = {v};
+  for (Vertex w = 0; w < graph.num_vertices(); ++w) {
+    if (w == v || from_v[w] == kInfDist || to_v[w] == kInfDist) continue;
+    if (from_v[w] + to_v[w] == cycle_len) members.push_back(w);
+  }
+  Subgraph sub = MakeScaffold(graph, std::move(members));
+
+  // Keep only edges on a shortest cycle: (x, y) qualifies when the path
+  // v ->* x -> y ->* v has total length exactly cycle_len.
+  for (Vertex local = 0; local < sub.to_original.size(); ++local) {
+    Vertex x = sub.to_original[local];
+    for (Vertex y : graph.OutNeighbors(x)) {
+      if (sub.to_local[y] == kNoVertex) continue;
+      if (from_v[x] == kInfDist || to_v[y] == kInfDist) continue;
+      if (from_v[x] + 1 + to_v[y] == cycle_len) {
+        sub.graph.AddEdge(local, sub.to_local[y]);
+      }
+    }
+  }
+  return sub;
+}
+
+}  // namespace csc

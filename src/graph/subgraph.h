@@ -1,0 +1,47 @@
+#ifndef CSC_GRAPH_SUBGRAPH_H_
+#define CSC_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/common.h"
+
+namespace csc {
+
+/// A subgraph re-labeled to dense ids [0, k), with the mapping back to the
+/// original graph's vertex ids.
+struct Subgraph {
+  DiGraph graph;
+  /// new id -> original id, ascending in original id.
+  std::vector<Vertex> to_original;
+
+  /// original id -> new id, or kNoVertex if the vertex is not in the
+  /// subgraph. Size equals the original graph's vertex count.
+  std::vector<Vertex> to_local;
+};
+
+/// The subgraph induced by `vertices` (duplicates and out-of-range ids are
+/// ignored): all selected vertices plus every original edge with both
+/// endpoints selected.
+Subgraph InducedSubgraph(const DiGraph& graph,
+                         const std::vector<Vertex>& vertices);
+
+/// The ego network of `center`: all vertices reachable from `center` within
+/// `radius` hops following out-edges, plus all vertices that reach `center`
+/// within `radius` hops, induced. The standard neighborhood extraction for
+/// case-study visualization (Figure 13 shows such a subgraph).
+Subgraph EgoSubgraph(const DiGraph& graph, Vertex center, Dist radius);
+
+/// The union of all shortest cycles through `v` (the exact artifact Figure
+/// 13 renders): vertices w with sd(v,w) + sd(w,v) equal to the shortest
+/// cycle length L through v, and only the edges (x,y) lying on a shortest
+/// cycle, i.e. sd(v,x) + 1 + sd(y,v) == L.
+///
+/// Returns an empty subgraph (zero vertices) if no cycle passes through `v`.
+/// The result is computed with two plain BFS in O(n + m); it does not need
+/// an index.
+Subgraph ShortestCycleSubgraph(const DiGraph& graph, Vertex v);
+
+}  // namespace csc
+
+#endif  // CSC_GRAPH_SUBGRAPH_H_

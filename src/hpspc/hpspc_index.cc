@@ -1,0 +1,41 @@
+#include "hpspc/hpspc_index.h"
+
+#include "labeling/pruned_bfs.h"
+#include "util/timer.h"
+
+namespace csc {
+
+HpSpcIndex HpSpcIndex::Build(const DiGraph& graph,
+                             const VertexOrdering& order) {
+  HpSpcIndex index(graph, order);
+  index.labeling_.Resize(graph.num_vertices());
+  Timer timer;
+  BuildPlainHubLabeling(graph, index.order_, index.labeling_, index.stats_);
+  index.stats_.seconds = timer.ElapsedSeconds();
+  return index;
+}
+
+CycleCount HpSpcIndex::CountCycles(Vertex v) const {
+  // Choose the cheaper side (§III.A): out-neighbors when
+  // |nbr_out(v)| < |nbr_in(v)|, in-neighbors otherwise.
+  bool use_out = graph_->OutDegree(v) < graph_->InDegree(v);
+  const auto& neighbors =
+      use_out ? graph_->OutNeighbors(v) : graph_->InNeighbors(v);
+  CycleCount result;
+  for (Vertex w : neighbors) {
+    // Out side: cycle = edge (v,w) + shortest path w->v, so query w->v.
+    // In side: cycle = shortest path v->w + edge (w,v), so query v->w.
+    JoinResult r = use_out ? CountPaths(w, v) : CountPaths(v, w);
+    if (r.dist == kInfDist) continue;
+    Dist cycle_len = r.dist + 1;
+    if (cycle_len < result.length) {
+      result.length = cycle_len;
+      result.count = r.count;
+    } else if (cycle_len == result.length) {
+      result.count += r.count;
+    }
+  }
+  return result;
+}
+
+}  // namespace csc

@@ -1,0 +1,75 @@
+#ifndef CSC_LABELING_COMPRESSED_H_
+#define CSC_LABELING_COMPRESSED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "csc/compact_index.h"
+#include "util/common.h"
+
+namespace csc {
+
+/// A byte-compressed, query-only CSC index.
+///
+/// The paper accounts index size at a fixed 8 bytes per label entry (§VI.A).
+/// Real entries are highly compressible: within one vertex's label set, hub
+/// ranks are ascending (delta-encode them), distances are small on
+/// small-world graphs, and counts are overwhelmingly 1. CompressedIndex
+/// stores each entry as three LEB128 varints (rank delta, distance, count)
+/// in two contiguous byte arrays — typically 3-4 bytes per entry instead of
+/// 8 — at the cost of decoding during the query merge.
+///
+/// Queries return exactly the same answers as every other index form (the
+/// test suite asserts equality); bench_serving measures the size/latency
+/// trade-off against CscIndex and FrozenIndex.
+class CompressedIndex {
+ public:
+  CompressedIndex() = default;
+
+  /// Compresses a compact (§IV.E) index.
+  static CompressedIndex FromCompact(const CompactIndex& compact);
+
+  /// SCCnt(v), by merge-joining the two varint streams of v.
+  CycleCount Query(Vertex v) const;
+
+  /// Shortest cycles through the edge (u, v) — identical answers to
+  /// CscIndex::QueryThroughEdge (see there for semantics, including the
+  /// couple-skipping coverage correction).
+  CycleCount QueryThroughEdge(Vertex u, Vertex v) const;
+
+  Vertex num_original_vertices() const {
+    return in_offsets_.empty() ? 0
+                               : static_cast<Vertex>(in_offsets_.size() - 1);
+  }
+
+  uint64_t TotalEntries() const { return total_entries_; }
+
+  /// Payload bytes (the two byte arrays; offsets excluded, mirroring how
+  /// FrozenIndex::SizeBytes counts entries only).
+  uint64_t SizeBytes() const { return in_bytes_.size() + out_bytes_.size(); }
+
+  /// Mean encoded bytes per label entry (8.0 for the uncompressed formats).
+  double BytesPerEntry() const {
+    return total_entries_ == 0
+               ? 0.0
+               : static_cast<double>(SizeBytes()) /
+                     static_cast<double>(total_entries_);
+  }
+
+ private:
+  // bytes[offsets[v] .. offsets[v+1]) is the varint stream of vertex v:
+  // per entry (rank_delta, dist, count), rank_delta relative to the
+  // previous entry's rank (first entry: the rank itself).
+  std::vector<uint64_t> in_offsets_;
+  std::vector<uint8_t> in_bytes_;
+  std::vector<uint64_t> out_offsets_;
+  std::vector<uint8_t> out_bytes_;
+  // in_vertex_rank_[v] = rank of v_i, for QueryThroughEdge's couple-hub
+  // correction.
+  std::vector<uint32_t> in_vertex_rank_;
+  uint64_t total_entries_ = 0;
+};
+
+}  // namespace csc
+
+#endif  // CSC_LABELING_COMPRESSED_H_

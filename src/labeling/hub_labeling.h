@@ -1,0 +1,59 @@
+#ifndef CSC_LABELING_HUB_LABELING_H_
+#define CSC_LABELING_HUB_LABELING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "labeling/label_set.h"
+
+namespace csc {
+
+/// Statistics recorded while building a hub labeling (reported by the
+/// Figure 9 benchmark and the ablation bench).
+struct LabelBuildStats {
+  double seconds = 0;
+  uint64_t entries = 0;
+  uint64_t canonical_entries = 0;
+  uint64_t non_canonical_entries = 0;
+  /// Vertices dequeued across all pruned BFSs (a machine-independent proxy
+  /// for construction work).
+  uint64_t vertices_dequeued = 0;
+  /// Dequeued vertices discarded by the distance-pruning query.
+  uint64_t pruned_by_distance = 0;
+};
+
+/// A complete 2-hop labeling: one in-label set and one out-label set per
+/// vertex. Shared by the HP-SPC baseline (over the original graph) and the
+/// CSC index (over the bipartite conversion).
+struct HubLabeling {
+  std::vector<LabelSet> in;
+  std::vector<LabelSet> out;
+
+  void Resize(size_t num_vertices) {
+    in.resize(num_vertices);
+    out.resize(num_vertices);
+  }
+  size_t num_vertices() const { return in.size(); }
+
+  /// Total number of label entries across all vertices and both directions.
+  uint64_t TotalEntries() const {
+    uint64_t total = 0;
+    for (const LabelSet& l : in) total += l.size();
+    for (const LabelSet& l : out) total += l.size();
+    return total;
+  }
+
+  /// Packed index size in bytes (8 bytes per entry, the paper's encoding).
+  uint64_t SizeBytes() const { return TotalEntries() * sizeof(LabelEntry); }
+
+  /// 2-hop query: distance s->t and shortest-path multiplicity.
+  JoinResult Query(Vertex s, Vertex t) const {
+    return JoinLabels(out[s], in[t]);
+  }
+
+  friend bool operator==(const HubLabeling&, const HubLabeling&) = default;
+};
+
+}  // namespace csc
+
+#endif  // CSC_LABELING_HUB_LABELING_H_

@@ -1,0 +1,11 @@
+#include "labeling/inverted_index.h"
+
+namespace csc {
+
+uint64_t InvertedIndex::TotalEntries() const {
+  uint64_t total = 0;
+  for (const auto& s : by_hub_) total += s.size();
+  return total;
+}
+
+}  // namespace csc

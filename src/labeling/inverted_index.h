@@ -1,0 +1,41 @@
+#ifndef CSC_LABELING_INVERTED_INDEX_H_
+#define CSC_LABELING_INVERTED_INDEX_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "graph/ordering.h"
+#include "util/common.h"
+
+namespace csc {
+
+/// Inverted hub index used by minimality cleaning (Algorithm 8, §V.A):
+/// for a hub rank `h`, Vertices(h) is the set of vertices whose label set
+/// (one direction; keep one InvertedIndex per direction) contains `h` as a
+/// hub. The paper calls these inv_in(·) and inv_out(·).
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+  explicit InvertedIndex(size_t num_ranks) : by_hub_(num_ranks) {}
+
+  void Resize(size_t num_ranks) { by_hub_.resize(num_ranks); }
+  size_t num_ranks() const { return by_hub_.size(); }
+
+  void Add(Rank hub, Vertex vertex) { by_hub_[hub].insert(vertex); }
+  void Remove(Rank hub, Vertex vertex) { by_hub_[hub].erase(vertex); }
+
+  const std::unordered_set<Vertex>& Vertices(Rank hub) const {
+    return by_hub_[hub];
+  }
+
+  /// Total number of (hub, vertex) pairs; equals the total label entry count
+  /// when the index is consistent with its labeling (checked in tests).
+  uint64_t TotalEntries() const;
+
+ private:
+  std::vector<std::unordered_set<Vertex>> by_hub_;
+};
+
+}  // namespace csc
+
+#endif  // CSC_LABELING_INVERTED_INDEX_H_

@@ -1,0 +1,104 @@
+#include "labeling/pruned_bfs.h"
+
+#include <vector>
+
+namespace csc {
+
+namespace {
+
+class PlainBuilder {
+ public:
+  PlainBuilder(const DiGraph& graph, const VertexOrdering& order,
+               HubLabeling& labeling, LabelBuildStats& stats,
+               const PrunedBfsOptions& options)
+      : graph_(graph),
+        order_(order),
+        labeling_(labeling),
+        stats_(stats),
+        options_(options),
+        dist_(graph.num_vertices(), kInfDist),
+        count_(graph.num_vertices(), 0) {}
+
+  void BuildAll() {
+    for (Rank r = 0; r < order_.size(); ++r) {
+      Vertex hub = order_.rank_to_vertex[r];
+      RunPass(hub, r, /*forward=*/true);
+      RunPass(hub, r, /*forward=*/false);
+    }
+  }
+
+ private:
+  // Pruned counting BFS from `hub` (rank `hub_rank`). Forward passes create
+  // in-labels of reached vertices; backward passes create out-labels.
+  void RunPass(Vertex hub, Rank hub_rank, bool forward) {
+    queue_.clear();
+    dist_[hub] = 0;
+    count_[hub] = 1;
+    touched_.push_back(hub);
+    queue_.push_back(hub);
+    size_t head = 0;
+    while (head < queue_.size()) {
+      Vertex w = queue_[head++];
+      ++stats_.vertices_dequeued;
+      if (options_.distance_pruning) {
+        // Distance-pruning query (Algorithm 3 line 13): the distance hub->w
+        // (w->hub when backward) through hubs of strictly higher rank.
+        JoinResult via = forward
+                             ? JoinLabels(labeling_.out[hub], labeling_.in[w])
+                             : JoinLabels(labeling_.out[w], labeling_.in[hub]);
+        if (via.dist < dist_[w]) {
+          ++stats_.pruned_by_distance;
+          continue;  // hub is not highest on any shortest path; stop here.
+        }
+        if (via.dist == dist_[w]) {
+          ++stats_.non_canonical_entries;
+        } else {
+          ++stats_.canonical_entries;
+        }
+      }
+      LabelSet& target = forward ? labeling_.in[w] : labeling_.out[w];
+      target.Append(LabelEntry(hub_rank, dist_[w], count_[w]));
+      ++stats_.entries;
+      const auto& next =
+          forward ? graph_.OutNeighbors(w) : graph_.InNeighbors(w);
+      for (Vertex wn : next) {
+        if (dist_[wn] == kInfDist) {
+          if (hub_rank < order_.vertex_to_rank[wn]) {  // rank pruning: hub ≺ wn
+            dist_[wn] = dist_[w] + 1;
+            count_[wn] = count_[w];
+            touched_.push_back(wn);
+            queue_.push_back(wn);
+          }
+        } else if (dist_[wn] == dist_[w] + 1) {
+          count_[wn] += count_[w];
+        }
+      }
+    }
+    for (Vertex v : touched_) {
+      dist_[v] = kInfDist;
+      count_[v] = 0;
+    }
+    touched_.clear();
+  }
+
+  const DiGraph& graph_;
+  const VertexOrdering& order_;
+  HubLabeling& labeling_;
+  LabelBuildStats& stats_;
+  const PrunedBfsOptions options_;
+  std::vector<Dist> dist_;
+  std::vector<Count> count_;
+  std::vector<Vertex> touched_;
+  std::vector<Vertex> queue_;
+};
+
+}  // namespace
+
+void BuildPlainHubLabeling(const DiGraph& graph, const VertexOrdering& order,
+                           HubLabeling& labeling, LabelBuildStats& stats,
+                           const PrunedBfsOptions& options) {
+  PlainBuilder builder(graph, order, labeling, stats, options);
+  builder.BuildAll();
+}
+
+}  // namespace csc

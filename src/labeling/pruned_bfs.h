@@ -1,0 +1,30 @@
+#ifndef CSC_LABELING_PRUNED_BFS_H_
+#define CSC_LABELING_PRUNED_BFS_H_
+
+#include "graph/digraph.h"
+#include "graph/ordering.h"
+#include "labeling/hub_labeling.h"
+
+namespace csc {
+
+/// Options for the generic pruned-BFS labeling builder.
+struct PrunedBfsOptions {
+  /// The distance-pruning query (Algorithm 3 line 13). Disabling it (the
+  /// ablation bench does) keeps queries correct but stops BFSs only on rank
+  /// pruning, so labels get larger and construction slower.
+  bool distance_pruning = true;
+};
+
+/// Builds a plain 2-hop counting labeling over `graph` (no bipartite
+/// structure assumed): for each hub in rank order, one forward pruned
+/// counting BFS appends in-labels and one backward BFS appends out-labels.
+/// This is HP-SPC's construction; CSC's ablation mode runs it over G_b.
+///
+/// `labeling` must be empty and pre-sized to graph.num_vertices().
+void BuildPlainHubLabeling(const DiGraph& graph, const VertexOrdering& order,
+                           HubLabeling& labeling, LabelBuildStats& stats,
+                           const PrunedBfsOptions& options = {});
+
+}  // namespace csc
+
+#endif  // CSC_LABELING_PRUNED_BFS_H_

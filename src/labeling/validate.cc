@@ -1,0 +1,203 @@
+#include "labeling/validate.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace csc {
+
+namespace {
+
+std::string Describe(const char* side, Vertex v, const LabelEntry& e,
+                     const std::string& what) {
+  std::ostringstream out;
+  out << side << "(" << v << ") entry (hub_rank=" << e.hub()
+      << ", d=" << e.dist() << ", c=" << e.count() << "): " << what;
+  return out.str();
+}
+
+/// Rank-restricted counting BFS from `hub`: distances and path counts using
+/// only intermediate vertices ranked strictly below the hub — by definition,
+/// count[w] is the number of shortest hub->w paths on which the hub is the
+/// highest-ranked vertex, and dist[w] is their length (kInfDist when the
+/// hub is not highest on any shortest path... the distance may then exceed
+/// sd, which the caller checks against plain BFS).
+struct RestrictedBfs {
+  std::vector<Dist> dist;
+  std::vector<Count> count;
+};
+
+RestrictedBfs RunRestrictedBfs(const DiGraph& graph,
+                               const VertexOrdering& order, Vertex hub,
+                               bool forward) {
+  RestrictedBfs r;
+  r.dist.assign(graph.num_vertices(), kInfDist);
+  r.count.assign(graph.num_vertices(), 0);
+  std::vector<Vertex> queue = {hub};
+  r.dist[hub] = 0;
+  r.count[hub] = 1;
+  size_t head = 0;
+  Rank hub_rank = order.vertex_to_rank[hub];
+  while (head < queue.size()) {
+    Vertex w = queue[head++];
+    const auto& next = forward ? graph.OutNeighbors(w) : graph.InNeighbors(w);
+    for (Vertex u : next) {
+      if (r.dist[u] == kInfDist) {
+        if (order.vertex_to_rank[u] > hub_rank) {
+          r.dist[u] = r.dist[w] + 1;
+          r.count[u] = r.count[w];
+          queue.push_back(u);
+        }
+      } else if (r.dist[u] == r.dist[w] + 1) {
+        r.count[u] += r.count[w];
+      }
+    }
+  }
+  return r;
+}
+
+std::vector<Dist> PlainBfs(const DiGraph& graph, Vertex source, bool forward) {
+  std::vector<Dist> dist(graph.num_vertices(), kInfDist);
+  std::vector<Vertex> queue = {source};
+  dist[source] = 0;
+  size_t head = 0;
+  while (head < queue.size()) {
+    Vertex w = queue[head++];
+    const auto& next = forward ? graph.OutNeighbors(w) : graph.InNeighbors(w);
+    for (Vertex u : next) {
+      if (dist[u] == kInfDist) {
+        dist[u] = dist[w] + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<std::string> ValidateLabelingStructure(
+    const HubLabeling& labeling, const VertexOrdering& order) {
+  std::vector<std::string> violations;
+  auto check_side = [&](const std::vector<LabelSet>& side, const char* name) {
+    for (Vertex v = 0; v < side.size(); ++v) {
+      const auto& entries = side[v].entries();
+      Rank own_rank = order.vertex_to_rank[v];
+      bool has_self = false;
+      for (size_t i = 0; i < entries.size(); ++i) {
+        const LabelEntry& e = entries[i];
+        if (i > 0 && entries[i - 1].hub() >= e.hub()) {
+          violations.push_back(Describe(name, v, e, "not strictly rank-sorted"));
+        }
+        if (e.hub() >= order.size()) {
+          violations.push_back(Describe(name, v, e, "hub rank out of range"));
+          continue;
+        }
+        if (e.hub() > own_rank) {
+          violations.push_back(
+              Describe(name, v, e, "hub ranked below the owning vertex"));
+        }
+        if (e.hub() == own_rank) {
+          has_self = true;
+          if (e.dist() != 0 || e.count() != 1) {
+            violations.push_back(Describe(name, v, e, "bad self entry"));
+          }
+        }
+        if (e.count() == 0) {
+          violations.push_back(Describe(name, v, e, "zero count"));
+        }
+      }
+      if (!has_self && order.size() > 0) {
+        std::ostringstream out;
+        out << name << "(" << v << "): missing self entry";
+        violations.push_back(out.str());
+      }
+    }
+  };
+  check_side(labeling.in, "L_in");
+  check_side(labeling.out, "L_out");
+  return violations;
+}
+
+std::vector<std::string> ValidateLabelingSemantics(
+    const HubLabeling& labeling, const DiGraph& graph,
+    const VertexOrdering& order, bool expect_minimal,
+    const std::vector<bool>* indexable_hubs) {
+  std::vector<std::string> violations;
+  Vertex n = graph.num_vertices();
+
+  // Per-hub pass: exactness of entries naming this hub, on both sides.
+  for (Vertex hub = 0; hub < n; ++hub) {
+    bool hub_indexable =
+        indexable_hubs == nullptr || (*indexable_hubs)[hub];
+    Rank hub_rank = order.vertex_to_rank[hub];
+    for (int side = 0; side < 2; ++side) {
+      bool forward = side == 0;  // forward covers L_in entries
+      RestrictedBfs restricted =
+          RunRestrictedBfs(graph, order, hub, forward);
+      std::vector<Dist> exact = PlainBfs(graph, hub, forward);
+      const auto& label_side = forward ? labeling.in : labeling.out;
+      const char* name = forward ? "L_in" : "L_out";
+      for (Vertex w = 0; w < n; ++w) {
+        const LabelEntry* e = label_side[w].Find(hub_rank);
+        // The hub is "eligible" for w iff its restricted distance equals the
+        // true distance (then restricted.count counts hub-highest paths).
+        bool eligible =
+            exact[w] != kInfDist && restricted.dist[w] == exact[w];
+        if (e == nullptr) {
+          if (eligible && (hub_indexable || w == hub)) {
+            std::ostringstream out;
+            out << name << "(" << w << ") missing entry for hub rank "
+                << hub_rank << " (cover violated: d=" << exact[w]
+                << " c=" << restricted.count[w] << ")";
+            violations.push_back(out.str());
+          }
+          continue;
+        }
+        if (eligible && e->dist() == exact[w]) {
+          Count expected = LabelEntry::Saturate(restricted.count[w]);
+          if (e->count() != expected) {
+            std::ostringstream out;
+            out << "wrong count (have " << e->count() << ", want " << expected
+                << ")";
+            violations.push_back(Describe(name, w, *e, out.str()));
+          }
+        } else if (e->dist() < (exact[w] == kInfDist
+                                    ? std::numeric_limits<Dist>::max()
+                                    : exact[w])) {
+          violations.push_back(
+              Describe(name, w, *e, "distance below the true distance"));
+        } else if (expect_minimal) {
+          // Entry exists but is stale (d > sd) or the hub is not eligible.
+          violations.push_back(
+              Describe(name, w, *e, "redundant entry in minimal labeling"));
+        }
+      }
+    }
+  }
+  return violations;
+}
+
+LabelingStats ComputeLabelingStats(const HubLabeling& labeling) {
+  LabelingStats stats;
+  auto absorb = [&stats](const std::vector<LabelSet>& side, uint64_t& bucket) {
+    for (const LabelSet& labels : side) {
+      bucket += labels.size();
+      stats.max_label_size = std::max(stats.max_label_size, labels.size());
+      size_t log2 = 0;
+      for (size_t s = labels.size(); s > 1; s >>= 1) ++log2;
+      if (stats.size_histogram.size() <= log2) {
+        stats.size_histogram.resize(log2 + 1, 0);
+      }
+      ++stats.size_histogram[log2];
+    }
+  };
+  absorb(labeling.in, stats.in_entries);
+  absorb(labeling.out, stats.out_entries);
+  stats.total_entries = stats.in_entries + stats.out_entries;
+  size_t sets = labeling.in.size() + labeling.out.size();
+  stats.avg_label_size =
+      sets > 0 ? static_cast<double>(stats.total_entries) / sets : 0;
+  return stats;
+}
+
+}  // namespace csc

@@ -1,0 +1,57 @@
+#ifndef CSC_LABELING_VALIDATE_H_
+#define CSC_LABELING_VALIDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/ordering.h"
+#include "labeling/hub_labeling.h"
+
+namespace csc {
+
+/// Structural check of a labeling: entries sorted strictly by hub rank,
+/// hub ranks in range, every vertex carrying its own self entry (rank, 0, 1),
+/// and no hub ranked below its owner. Returns human-readable violation
+/// descriptions (empty == valid). Cheap: O(total entries).
+std::vector<std::string> ValidateLabelingStructure(const HubLabeling& labeling,
+                                                   const VertexOrdering& order);
+
+/// Semantic check of a labeling against its graph: every entry's distance is
+/// exact (d == sd(hub, w) resp. sd(w, hub)) and its count equals the number
+/// of shortest paths on which the hub is the highest-ranked vertex, and
+/// every reachable pair is covered at its exact distance. This is the Exact
+/// Shortest Path Covering constraint, verified by one rank-restricted
+/// counting BFS per vertex — O(n·m); use on test-sized graphs only.
+///
+/// When `expect_minimal` is set, additionally reports entries that a fresh
+/// construction would not produce (redundant/stale entries are violations).
+/// With it unset, entries with d > sd are tolerated (the redundancy
+/// strategy's harmless leftovers) but wrong counts at exact distances are
+/// still reported.
+/// `indexable_hubs`, when non-null, marks which vertices are expected to act
+/// as hubs: coverage gaps are only reported for marked hubs. CSC labelings
+/// over the bipartite graph pass the V_in mask (couple-vertex skipping never
+/// indexes V_out hubs); plain HP-SPC labelings pass nullptr (all vertices).
+std::vector<std::string> ValidateLabelingSemantics(
+    const HubLabeling& labeling, const DiGraph& graph,
+    const VertexOrdering& order, bool expect_minimal,
+    const std::vector<bool>* indexable_hubs = nullptr);
+
+/// Size/shape statistics of a labeling (stats CLI, benches, EXPERIMENTS).
+struct LabelingStats {
+  uint64_t total_entries = 0;
+  uint64_t in_entries = 0;
+  uint64_t out_entries = 0;
+  size_t max_label_size = 0;
+  double avg_label_size = 0;  // per (vertex, direction)
+  /// label-size histogram in powers of two: bucket[i] counts label sets with
+  /// size in [2^i, 2^{i+1}).
+  std::vector<uint64_t> size_histogram;
+};
+
+LabelingStats ComputeLabelingStats(const HubLabeling& labeling);
+
+}  // namespace csc
+
+#endif  // CSC_LABELING_VALIDATE_H_

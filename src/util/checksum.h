@@ -1,0 +1,30 @@
+#ifndef CSC_UTIL_CHECKSUM_H_
+#define CSC_UTIL_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace csc {
+
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+/// checksum family storage engines use for on-disk block integrity. The
+/// persisted-index format (csc/index_io.h) stamps every file with one so a
+/// truncated or bit-flipped index is rejected at load instead of serving
+/// wrong counts.
+///
+/// Software table-driven implementation (no SSE4.2 dependency), byte-at-a-
+/// time; plenty for index files that are read once at startup.
+uint32_t Crc32c(const void* data, size_t size);
+
+inline uint32_t Crc32c(std::string_view bytes) {
+  return Crc32c(bytes.data(), bytes.size());
+}
+
+/// Extends a running CRC with more bytes: Crc32cExtend(Crc32c(a), b) equals
+/// Crc32c(a + b). Streaming writers use this to checksum without buffering.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size);
+
+}  // namespace csc
+
+#endif  // CSC_UTIL_CHECKSUM_H_

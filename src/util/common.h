@@ -1,0 +1,50 @@
+#ifndef CSC_UTIL_COMMON_H_
+#define CSC_UTIL_COMMON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace csc {
+
+using size_t = std::size_t;
+
+/// Vertex identifier. The paper packs vertex ids into 23 bits inside label
+/// entries (see LabelEntry); graphs larger than 2^23 vertices are rejected at
+/// index-build time, but the in-memory graph itself uses a full 32-bit id.
+using Vertex = uint32_t;
+
+/// Distance in edges. 32-bit in working arrays; 17 bits in packed entries.
+using Dist = uint32_t;
+
+/// Shortest-path multiplicity. 64-bit in working arrays so intermediate BFS
+/// accumulation cannot overflow; saturated to 24 bits when packed.
+using Count = uint64_t;
+
+/// Sentinel meaning "unreached / no path".
+inline constexpr Dist kInfDist = std::numeric_limits<Dist>::max();
+
+/// Sentinel vertex id meaning "none".
+inline constexpr Vertex kNoVertex = std::numeric_limits<Vertex>::max();
+
+/// A directed edge (from, to) in the original graph.
+struct Edge {
+  Vertex from = kNoVertex;
+  Vertex to = kNoVertex;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// A shortest-cycle answer: the length of the shortest cycles through the
+/// query vertex and how many there are. `length == kInfDist` (count 0) means
+/// no cycle passes through the vertex.
+struct CycleCount {
+  Dist length = kInfDist;
+  Count count = 0;
+
+  friend bool operator==(const CycleCount&, const CycleCount&) = default;
+};
+
+}  // namespace csc
+
+#endif  // CSC_UTIL_COMMON_H_

@@ -1,0 +1,60 @@
+#include "util/env.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace csc {
+
+std::optional<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream out;
+  out << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return out.str();
+}
+
+bool WriteStringToFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << contents;
+  out.flush();
+  return out.good();
+}
+
+namespace {
+
+std::string FormatScaled(double value, const char* const* units, int n_units,
+                         double step) {
+  int unit = 0;
+  while (value >= step && unit + 1 < n_units) {
+    value /= step;
+    ++unit;
+  }
+  char buf[64];
+  if (value >= 100 || value == static_cast<int64_t>(value)) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", value, units[unit]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, units[unit]);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string HumanBytes(uint64_t bytes) {
+  static const char* const kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  return FormatScaled(static_cast<double>(bytes), kUnits, 5, 1024.0);
+}
+
+std::string HumanSeconds(double seconds) {
+  static const char* const kUnits[] = {"ns", "us", "ms", "s"};
+  double nanos = seconds * 1e9;
+  if (nanos < 0) nanos = 0;
+  std::string s = FormatScaled(nanos, kUnits, 4, 1000.0);
+  return s;
+}
+
+}  // namespace csc

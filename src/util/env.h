@@ -1,0 +1,24 @@
+#ifndef CSC_UTIL_ENV_H_
+#define CSC_UTIL_ENV_H_
+
+#include <optional>
+#include <string>
+
+namespace csc {
+
+/// Reads an entire file; std::nullopt on I/O failure.
+std::optional<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `contents` to `path`, replacing any existing file. Returns false on
+/// I/O failure.
+bool WriteStringToFile(const std::string& path, const std::string& contents);
+
+/// "1.23 KB" / "4.56 MB" style rendering used by bench reporters.
+std::string HumanBytes(uint64_t bytes);
+
+/// "123 us" / "4.5 ms" / "6.7 s" style rendering used by bench reporters.
+std::string HumanSeconds(double seconds);
+
+}  // namespace csc
+
+#endif  // CSC_UTIL_ENV_H_

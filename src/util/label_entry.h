@@ -1,0 +1,76 @@
+#ifndef CSC_UTIL_LABEL_ENTRY_H_
+#define CSC_UTIL_LABEL_ENTRY_H_
+
+#include <cstdint>
+
+#include "util/common.h"
+
+namespace csc {
+
+/// One hub-label entry `(hub, distance, count)` packed into a single 64-bit
+/// word, using exactly the paper's encoding (§VI.A): 23 bits of vertex id,
+/// 17 bits of distance, 24 bits of count. Counts saturate at the 24-bit
+/// maximum instead of wrapping. Callers are responsible for the hub and
+/// distance ranges: index builders check that the (bipartite) vertex count
+/// fits 23 bits, and BFS distances stay far below 2^17 on the small-world
+/// graphs this index targets.
+class LabelEntry {
+ public:
+  static constexpr int kHubBits = 23;
+  static constexpr int kDistBits = 17;
+  static constexpr int kCountBits = 24;
+  static constexpr uint64_t kMaxHub = (uint64_t{1} << kHubBits) - 1;
+  static constexpr uint64_t kMaxDist = (uint64_t{1} << kDistBits) - 1;
+  static constexpr uint64_t kMaxCount = (uint64_t{1} << kCountBits) - 1;
+
+  LabelEntry() = default;
+  LabelEntry(Vertex hub, Dist dist, Count count)
+      : bits_((uint64_t{hub} << (kDistBits + kCountBits)) |
+              (uint64_t{dist} << kCountBits) | Saturate(count)) {}
+
+  Vertex hub() const {
+    return static_cast<Vertex>(bits_ >> (kDistBits + kCountBits));
+  }
+  Dist dist() const {
+    return static_cast<Dist>((bits_ >> kCountBits) & kMaxDist);
+  }
+  Count count() const { return bits_ & kMaxCount; }
+
+  /// Replaces the distance and count, keeping the hub.
+  void SetDistCount(Dist dist, Count count) {
+    bits_ = (bits_ & (kMaxHub << (kDistBits + kCountBits))) |
+            (uint64_t{dist} << kCountBits) | Saturate(count);
+  }
+
+  /// Adds `delta` to the stored count, saturating at the 24-bit maximum.
+  void AddCount(Count delta) {
+    SetDistCount(dist(), count() + delta);
+  }
+
+  /// Raw packed representation (used by serialization and size accounting).
+  uint64_t bits() const { return bits_; }
+  static LabelEntry FromBits(uint64_t bits) {
+    LabelEntry e;
+    e.bits_ = bits;
+    return e;
+  }
+
+  /// Clamps a working 64-bit count into the 24-bit stored range.
+  static uint64_t Saturate(Count count) {
+    return count > kMaxCount ? kMaxCount : count;
+  }
+
+  friend bool operator==(const LabelEntry&, const LabelEntry&) = default;
+
+ private:
+  uint64_t bits_ = 0;
+};
+
+static_assert(sizeof(LabelEntry) == 8, "label entries are one 64-bit word");
+static_assert(LabelEntry::kHubBits + LabelEntry::kDistBits +
+                  LabelEntry::kCountBits ==
+              64);
+
+}  // namespace csc
+
+#endif  // CSC_UTIL_LABEL_ENTRY_H_

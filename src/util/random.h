@@ -1,0 +1,46 @@
+#ifndef CSC_UTIL_RANDOM_H_
+#define CSC_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace csc {
+
+/// Deterministic pseudo-random generator (splitmix64 core). All generators,
+/// workloads and tests seed through this class so every experiment is
+/// reproducible from a single integer seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + kGolden) {}
+
+  /// Uniform 64-bit word.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with probability `p`.
+  bool NextBool(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = NextBounded(i);
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  static constexpr uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+  uint64_t state_;
+};
+
+}  // namespace csc
+
+#endif  // CSC_UTIL_RANDOM_H_

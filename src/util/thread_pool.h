@@ -1,0 +1,70 @@
+#ifndef CSC_UTIL_THREAD_POOL_H_
+#define CSC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace csc {
+
+/// A fixed-size worker pool for embarrassingly parallel library operations
+/// (batch queries, parallel validation, multi-graph benchmark sweeps).
+///
+/// Semantics are deliberately minimal: Submit() enqueues a task, Wait()
+/// blocks until every submitted task has finished. Tasks must not Submit()
+/// into the pool they run on (no nested parallelism); use ParallelFor for
+/// the common blocked-range case instead of managing tasks directly.
+///
+/// The index structures themselves are single-writer: the pool is only ever
+/// handed read-only work over a built index (queries), never maintenance.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers. Zero is coerced to 1.
+  explicit ThreadPool(unsigned num_threads);
+
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has completed.
+  void Wait();
+
+  unsigned num_threads() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Hardware concurrency, clamped to [1, 64] (0 is reported by some
+  /// containers; 64 caps the worst case for a library default).
+  static unsigned DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently running tasks
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Splits [begin, end) into chunks of at most `grain` items and runs
+/// `body(chunk_begin, chunk_end)` across the pool, blocking until all chunks
+/// finish. `grain == 0` is coerced to 1. Chunks run in unspecified order;
+/// the body must be safe to run concurrently against itself.
+void ParallelFor(ThreadPool& pool, size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& body);
+
+}  // namespace csc
+
+#endif  // CSC_UTIL_THREAD_POOL_H_

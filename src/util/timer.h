@@ -1,0 +1,27 @@
+#ifndef CSC_UTIL_TIMER_H_
+#define CSC_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace csc {
+
+/// Wall-clock stopwatch used by benches and maintenance statistics.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const;
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace csc
+
+#endif  // CSC_UTIL_TIMER_H_

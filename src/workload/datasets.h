@@ -1,0 +1,56 @@
+#ifndef CSC_WORKLOAD_DATASETS_H_
+#define CSC_WORKLOAD_DATASETS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace csc {
+
+/// Families of synthetic stand-ins for the paper's SNAP/Konect datasets.
+enum class DatasetFamily {
+  /// Preferential attachment: heavy-tailed degrees (p2p, email, wiki, social).
+  kPowerLaw,
+  /// Directed small-world lattice: web-graph-like locality.
+  kSmallWorld,
+};
+
+/// One named dataset from Table IV, with the synthetic configuration that
+/// stands in for it (the real graphs are not redistributable offline; see
+/// DESIGN.md §6). Sizes default to a laptop-scale fraction of the originals;
+/// the paper-scale n/m are kept for reporting.
+struct DatasetSpec {
+  std::string name;         // the paper's notation, e.g. "G04"
+  std::string description;  // the paper's dataset, e.g. "p2p-Gnutella04"
+  DatasetFamily family = DatasetFamily::kPowerLaw;
+  Vertex num_vertices = 0;       // stand-in size at scale 1.0
+  unsigned degree_param = 2;     // PA: out-edges per vertex; SW: ring step k
+  double extra_param = 0.1;      // PA: reciprocal prob; SW: rewire prob
+  uint64_t paper_n = 0;          // Table IV's n
+  uint64_t paper_m = 0;          // Table IV's m
+};
+
+/// All nine Table IV datasets, in the paper's order.
+const std::vector<DatasetSpec>& AllDatasets();
+
+/// Looks a dataset up by its paper notation (e.g. "WKT").
+std::optional<DatasetSpec> FindDataset(const std::string& name);
+
+/// Generates the stand-in graph. `scale` multiplies the vertex count
+/// (0 < scale <= 1 recommended); generation is deterministic per spec.
+DiGraph MaterializeDataset(const DatasetSpec& spec, double scale = 1.0);
+
+/// Reads the CSC_BENCH_SCALE environment variable (default 1.0, clamped to
+/// [0.01, 10]); every bench binary applies it so a CI machine can shrink or
+/// grow all nine datasets uniformly.
+double BenchScaleFromEnv();
+
+/// Reads CSC_BENCH_DATASETS (comma-separated names, default: all) so bench
+/// runs can be restricted to a subset of graphs.
+std::vector<DatasetSpec> BenchDatasetsFromEnv();
+
+}  // namespace csc
+
+#endif  // CSC_WORKLOAD_DATASETS_H_

@@ -1,0 +1,49 @@
+#include "workload/degree_clusters.h"
+
+#include <algorithm>
+
+namespace csc {
+
+const std::string& DegreeClusterName(DegreeCluster cluster) {
+  static const std::string kNames[kNumDegreeClusters] = {
+      "High", "Mid-high", "Mid-low", "Low", "Bottom"};
+  return kNames[static_cast<int>(cluster)];
+}
+
+DegreeClustering DegreeClustering::ByMinInOutDegree(const DiGraph& graph) {
+  std::vector<size_t> keys(graph.num_vertices());
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+    keys[v] = graph.MinInOutDegree(v);
+  }
+  return ByKeys(keys);
+}
+
+DegreeClustering DegreeClustering::ByKeys(const std::vector<size_t>& keys) {
+  DegreeClustering clustering;
+  clustering.assignment_.resize(keys.size(), DegreeCluster::kBottom);
+  if (keys.empty()) return clustering;
+  auto [min_it, max_it] = std::minmax_element(keys.begin(), keys.end());
+  clustering.min_key_ = *min_it;
+  clustering.max_key_ = *max_it;
+  double width =
+      static_cast<double>(clustering.max_key_ - clustering.min_key_) /
+      kNumDegreeClusters;
+  for (Vertex i = 0; i < keys.size(); ++i) {
+    int band;
+    if (width == 0) {
+      band = kNumDegreeClusters - 1;  // degenerate range: everything Bottom
+    } else {
+      // Band 0 is the lowest key range; flip so High gets the top band.
+      band = static_cast<int>(
+          static_cast<double>(keys[i] - clustering.min_key_) / width);
+      band = std::min(band, kNumDegreeClusters - 1);
+      band = kNumDegreeClusters - 1 - band;
+    }
+    auto cluster = static_cast<DegreeCluster>(band);
+    clustering.assignment_[i] = cluster;
+    clustering.members_[band].push_back(i);
+  }
+  return clustering;
+}
+
+}  // namespace csc

@@ -1,0 +1,60 @@
+#ifndef CSC_WORKLOAD_DEGREE_CLUSTERS_H_
+#define CSC_WORKLOAD_DEGREE_CLUSTERS_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace csc {
+
+/// The paper's five query clusters (§VI.A): the min-in-out-degree range of a
+/// graph is divided evenly into five bands, High down to Bottom, and each
+/// vertex is assigned by its min(|nbr_in|, |nbr_out|).
+enum class DegreeCluster : int {
+  kHigh = 0,
+  kMidHigh = 1,
+  kMidLow = 2,
+  kLow = 3,
+  kBottom = 4,
+};
+
+inline constexpr int kNumDegreeClusters = 5;
+
+/// Display names matching the paper's figures.
+const std::string& DegreeClusterName(DegreeCluster cluster);
+
+/// Partition of a graph's vertices into the five min-in-out-degree clusters.
+class DegreeClustering {
+ public:
+  /// Clusters every vertex of `graph` by min-in-out degree. The degree range
+  /// [min, max] over all vertices is split into five equal-width bands;
+  /// the top band is High.
+  static DegreeClustering ByMinInOutDegree(const DiGraph& graph);
+
+  /// Clusters `items` by an arbitrary degree key (used for Figure 12's edge
+  /// clustering, where the key is indeg(from) + outdeg(to)).
+  static DegreeClustering ByKeys(const std::vector<size_t>& keys);
+
+  /// Item indexes (vertex ids, or positions into the key vector) in
+  /// `cluster`.
+  const std::vector<Vertex>& Members(DegreeCluster cluster) const {
+    return members_[static_cast<int>(cluster)];
+  }
+
+  DegreeCluster ClusterOf(Vertex item) const { return assignment_[item]; }
+
+  size_t min_key() const { return min_key_; }
+  size_t max_key() const { return max_key_; }
+
+ private:
+  std::array<std::vector<Vertex>, kNumDegreeClusters> members_;
+  std::vector<DegreeCluster> assignment_;
+  size_t min_key_ = 0;
+  size_t max_key_ = 0;
+};
+
+}  // namespace csc
+
+#endif  // CSC_WORKLOAD_DEGREE_CLUSTERS_H_

@@ -1,0 +1,30 @@
+#include "workload/query_workload.h"
+
+#include "util/random.h"
+
+namespace csc {
+
+QueryWorkload MakeQueryWorkload(const DiGraph& graph, size_t max_vertices,
+                                uint64_t seed) {
+  DegreeClustering clustering = DegreeClustering::ByMinInOutDegree(graph);
+  QueryWorkload workload;
+  Rng rng(seed);
+  size_t n = graph.num_vertices();
+  for (int c = 0; c < kNumDegreeClusters; ++c) {
+    std::vector<Vertex> members =
+        clustering.Members(static_cast<DegreeCluster>(c));
+    if (n > max_vertices && !members.empty()) {
+      // Proportional sample, at least one query per non-empty cluster.
+      size_t want = std::max<size_t>(
+          1, members.size() * max_vertices / std::max<size_t>(n, 1));
+      if (want < members.size()) {
+        rng.Shuffle(members);
+        members.resize(want);
+      }
+    }
+    workload.queries[c] = std::move(members);
+  }
+  return workload;
+}
+
+}  // namespace csc

@@ -1,0 +1,36 @@
+#ifndef CSC_WORKLOAD_QUERY_WORKLOAD_H_
+#define CSC_WORKLOAD_QUERY_WORKLOAD_H_
+
+#include <array>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "workload/degree_clusters.h"
+
+namespace csc {
+
+/// The paper's query workload (§VI.A): all vertices of the graph, or a
+/// random sample of at least `max_vertices` (the paper uses 50,000), grouped
+/// into the five min-in-out-degree clusters.
+struct QueryWorkload {
+  /// Query vertices per cluster (some clusters may be empty on skewed
+  /// graphs, exactly as in the paper's figures).
+  std::array<std::vector<Vertex>, kNumDegreeClusters> queries;
+
+  size_t TotalQueries() const {
+    size_t total = 0;
+    for (const auto& c : queries) total += c.size();
+    return total;
+  }
+};
+
+/// Builds the workload: clusters every vertex, then (if the graph has more
+/// than `max_vertices` vertices) samples each cluster proportionally so the
+/// total is about `max_vertices`, keeping at least one query per non-empty
+/// cluster. Deterministic in `seed`.
+QueryWorkload MakeQueryWorkload(const DiGraph& graph, size_t max_vertices,
+                                uint64_t seed);
+
+}  // namespace csc
+
+#endif  // CSC_WORKLOAD_QUERY_WORKLOAD_H_

@@ -1,0 +1,105 @@
+#include "workload/reporter.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "util/env.h"
+
+namespace csc {
+
+TableReporter::TableReporter(std::string title,
+                             std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void TableReporter::AddRow(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TableReporter::Print() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  out << "\n== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      out << row[c];
+      for (size_t pad = row[c].size(); pad < widths[c]; ++pad) out << ' ';
+    }
+    out << '\n';
+  };
+  print_row(columns_);
+  std::string rule;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    rule.append(widths[c], '-');
+    if (c + 1 < columns_.size()) rule.append(2, '-');
+  }
+  out << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+  std::cout << out.str() << std::flush;
+}
+
+std::string TableReporter::ToCsv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (char ch : cell) {
+      if (ch == '"') quoted += '"';
+      quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  std::ostringstream out;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    out << (c ? "," : "") << escape(columns_[c]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << (c ? "," : "") << escape(row[c]);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+bool TableReporter::WriteCsv(const std::string& path) const {
+  if (!WriteStringToFile(path, ToCsv())) {
+    std::cerr << "failed to write " << path << '\n';
+    return false;
+  }
+  std::cout << "[csv] " << path << '\n';
+  return true;
+}
+
+std::string TableReporter::FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TableReporter::FormatCount(uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string grouped;
+  int since_sep = (3 - static_cast<int>(digits.size() % 3)) % 3;
+  for (char ch : digits) {
+    if (since_sep == 3) {
+      grouped += ',';
+      since_sep = 0;
+    }
+    grouped += ch;
+    ++since_sep;
+  }
+  return grouped;
+}
+
+}  // namespace csc

@@ -1,0 +1,39 @@
+#ifndef CSC_WORKLOAD_REPORTER_H_
+#define CSC_WORKLOAD_REPORTER_H_
+
+#include <string>
+#include <vector>
+
+namespace csc {
+
+/// A fixed-width console table + CSV writer used by every bench binary so
+/// paper-figure reproductions print uniformly and can be post-processed.
+class TableReporter {
+ public:
+  /// `title` is printed as a banner (e.g. "Figure 9(a): Index Time (sec)").
+  TableReporter(std::string title, std::vector<std::string> columns);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the banner and an aligned table to stdout.
+  void Print() const;
+
+  /// Serializes the table (header + rows) as CSV.
+  std::string ToCsv() const;
+
+  /// Writes ToCsv() to `path` and logs the location. False on I/O failure.
+  bool WriteCsv(const std::string& path) const;
+
+  /// Formats helpers for uniform numeric rendering.
+  static std::string FormatDouble(double value, int precision = 3);
+  static std::string FormatCount(uint64_t value);
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace csc
+
+#endif  // CSC_WORKLOAD_REPORTER_H_

@@ -1,0 +1,83 @@
+#include "workload/temporal_stream.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/random.h"
+
+namespace csc {
+
+std::vector<TemporalEdge> ArrivalsFromGraph(const DiGraph& graph,
+                                            uint64_t seed) {
+  std::vector<Edge> edges = graph.Edges();
+  Rng rng(seed);
+  rng.Shuffle(edges);
+  std::vector<TemporalEdge> arrivals;
+  arrivals.reserve(edges.size());
+  for (size_t i = 0; i < edges.size(); ++i) {
+    arrivals.push_back({i + 1, edges[i]});
+  }
+  return arrivals;
+}
+
+std::vector<StreamEvent> SlidingWindowEvents(
+    const std::vector<TemporalEdge>& arrivals, uint64_t window) {
+  // Per edge, merge overlapping liveness intervals [t, t + window]: a
+  // re-arrival while the edge is alive refreshes its expiry instead of
+  // emitting a redundant insert/premature remove pair.
+  std::unordered_map<uint64_t, std::vector<uint64_t>> times_by_edge;
+  for (const TemporalEdge& arrival : arrivals) {
+    uint64_t key =
+        (uint64_t{arrival.edge.from} << 32) | arrival.edge.to;
+    times_by_edge[key].push_back(arrival.time);
+  }
+
+  std::vector<StreamEvent> events;
+  events.reserve(2 * arrivals.size());
+  for (auto& [key, times] : times_by_edge) {
+    std::sort(times.begin(), times.end());
+    Edge edge{static_cast<Vertex>(key >> 32),
+              static_cast<Vertex>(key & 0xffffffffu)};
+    uint64_t interval_start = times.front();
+    uint64_t expiry = times.front() + window;
+    for (size_t i = 1; i < times.size(); ++i) {
+      if (times[i] <= expiry) {
+        expiry = times[i] + window;  // refresh
+        continue;
+      }
+      events.push_back({interval_start, EdgeUpdate::Insert(edge.from, edge.to)});
+      events.push_back({expiry, EdgeUpdate::Remove(edge.from, edge.to)});
+      interval_start = times[i];
+      expiry = times[i] + window;
+    }
+    events.push_back({interval_start, EdgeUpdate::Insert(edge.from, edge.to)});
+    events.push_back({expiry, EdgeUpdate::Remove(edge.from, edge.to)});
+  }
+  // Time-ordered; removals first at equal times so the window is the
+  // half-open interval (t - window, t]. stable_sort keeps the arrival order
+  // of same-time same-kind events deterministic.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const StreamEvent& a, const StreamEvent& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.update.kind == UpdateKind::kRemove &&
+                            b.update.kind == UpdateKind::kInsert;
+                   });
+  return events;
+}
+
+DiGraph GraphAtTime(Vertex num_vertices,
+                    const std::vector<StreamEvent>& events, uint64_t until) {
+  DiGraph graph(num_vertices);
+  for (const StreamEvent& event : events) {
+    if (event.time > until) break;
+    const Edge& e = event.update.edge;
+    if (event.update.kind == UpdateKind::kInsert) {
+      graph.AddEdge(e.from, e.to);
+    } else {
+      graph.RemoveEdge(e.from, e.to);
+    }
+  }
+  return graph;
+}
+
+}  // namespace csc

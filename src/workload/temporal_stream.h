@@ -1,0 +1,56 @@
+#ifndef CSC_WORKLOAD_TEMPORAL_STREAM_H_
+#define CSC_WORKLOAD_TEMPORAL_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dynamic/edge_update.h"
+#include "graph/digraph.h"
+
+namespace csc {
+
+/// An edge arrival with a synthetic timestamp. The paper's target
+/// applications (transaction networks, file-sharing traffic) are temporal
+/// streams observed through a sliding window: a transaction is relevant for
+/// the last W time units and then ages out.
+struct TemporalEdge {
+  uint64_t time = 0;
+  Edge edge;
+
+  friend bool operator==(const TemporalEdge&, const TemporalEdge&) = default;
+};
+
+/// One timestamped stream event, ready to feed into index maintenance.
+struct StreamEvent {
+  uint64_t time = 0;
+  EdgeUpdate update;
+
+  friend bool operator==(const StreamEvent&, const StreamEvent&) = default;
+};
+
+/// Turns a static graph into an arrival sequence: its edges in a random
+/// order (deterministic in `seed`), stamped with times 1, 2, ..., m. The
+/// standard way to derive a temporal workload from a SNAP snapshot when the
+/// original timestamps are not distributed.
+std::vector<TemporalEdge> ArrivalsFromGraph(const DiGraph& graph,
+                                            uint64_t seed);
+
+/// Expands arrivals into a sliding-window event stream: an arrival at time
+/// t makes the edge live through t + `window`; a re-arrival while it is
+/// live *refreshes* the expiry (one insert when the edge first appears, one
+/// remove when its last covering arrival expires — per-edge liveness
+/// intervals are merged). Events are ordered by time; at equal times,
+/// removals sort before insertions, so the live set after processing time T
+/// is exactly the edges with an arrival in (T - window, T].
+std::vector<StreamEvent> SlidingWindowEvents(
+    const std::vector<TemporalEdge>& arrivals, uint64_t window);
+
+/// Replays a prefix of `events` (all events with time <= `until`) onto an
+/// empty graph with `num_vertices` vertices and returns the resulting live
+/// graph — the reference a maintained index must agree with at any point.
+DiGraph GraphAtTime(Vertex num_vertices,
+                    const std::vector<StreamEvent>& events, uint64_t until);
+
+}  // namespace csc
+
+#endif  // CSC_WORKLOAD_TEMPORAL_STREAM_H_

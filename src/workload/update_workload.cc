@@ -1,0 +1,44 @@
+#include "workload/update_workload.h"
+
+#include "util/random.h"
+
+namespace csc {
+
+std::vector<Edge> SampleExistingEdges(const DiGraph& graph, size_t count,
+                                      uint64_t seed) {
+  std::vector<Edge> edges = graph.Edges();
+  Rng rng(seed);
+  rng.Shuffle(edges);
+  if (edges.size() > count) edges.resize(count);
+  return edges;
+}
+
+size_t EdgeDegree(const DiGraph& graph, const Edge& edge) {
+  return graph.InDegree(edge.from) + graph.OutDegree(edge.to);
+}
+
+std::vector<Edge> SampleNewEdges(const DiGraph& graph, size_t count,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  Vertex n = graph.num_vertices();
+  if (n < 2) return edges;
+  size_t attempts = 0;
+  while (edges.size() < count && attempts < count * 100 + 1000) {
+    ++attempts;
+    Vertex u = static_cast<Vertex>(rng.NextBounded(n));
+    Vertex v = static_cast<Vertex>(rng.NextBounded(n));
+    if (u == v || graph.HasEdge(u, v)) continue;
+    bool duplicate = false;
+    for (const Edge& e : edges) {
+      if (e.from == u && e.to == v) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) edges.push_back({u, v});
+  }
+  return edges;
+}
+
+}  // namespace csc

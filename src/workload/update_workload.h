@@ -1,0 +1,26 @@
+#ifndef CSC_WORKLOAD_UPDATE_WORKLOAD_H_
+#define CSC_WORKLOAD_UPDATE_WORKLOAD_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace csc {
+
+/// The paper's dynamic-maintenance workload (§VI.A): "[200,500] random edges
+/// were removed and then inserted back". Picks `count` distinct existing
+/// edges uniformly at random, deterministic in `seed`.
+std::vector<Edge> SampleExistingEdges(const DiGraph& graph, size_t count,
+                                      uint64_t seed);
+
+/// Edge degree as defined for Figure 12: indeg(from) + outdeg(to).
+size_t EdgeDegree(const DiGraph& graph, const Edge& edge);
+
+/// Samples `count` non-existing candidate edges (no self-loops), for pure
+/// insertion workloads. Deterministic in `seed`.
+std::vector<Edge> SampleNewEdges(const DiGraph& graph, size_t count,
+                                 uint64_t seed);
+
+}  // namespace csc
+
+#endif  // CSC_WORKLOAD_UPDATE_WORKLOAD_H_

@@ -1,0 +1,233 @@
+#include "dynamic/batch.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/bfs_cycle.h"
+#include "dynamic/incremental.h"
+#include "graph/bipartite.h"
+#include "graph/ordering.h"
+#include "tests/test_util.h"
+#include "workload/update_workload.h"
+
+namespace csc {
+namespace {
+
+CscIndex BuildIndex(const DiGraph& graph) {
+  return CscIndex::Build(graph, DegreeOrdering(graph));
+}
+
+// Asserts that `index` answers every vertex like a BFS oracle on `graph`.
+void ExpectMatchesOracle(const CscIndex& index, const DiGraph& graph) {
+  BfsCycleCounter oracle(graph);
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+    ASSERT_EQ(index.Query(v), oracle.CountCycles(v)) << "vertex " << v;
+  }
+}
+
+TEST(RecoverOriginalGraphTest, RoundTripsConversion) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    DiGraph graph = RandomGraph(60, 2.5, seed);
+    EXPECT_EQ(RecoverOriginalGraph(BipartiteConversion(graph)), graph);
+  }
+}
+
+TEST(BatchTest, EmptyBatchIsNoOp) {
+  DiGraph graph = Figure2Graph();
+  CscIndex index = BuildIndex(graph);
+  BatchResult result = ApplyUpdates(index, {});
+  EXPECT_EQ(result.inserted, 0u);
+  EXPECT_EQ(result.removed, 0u);
+  EXPECT_EQ(result.skipped, 0u);
+  EXPECT_FALSE(result.rebuilt);
+  ExpectMatchesOracle(index, graph);
+}
+
+TEST(BatchTest, InsertOnlyBatchMatchesSequential) {
+  DiGraph graph = RandomGraph(50, 2.0, 3);
+  CscIndex index = BuildIndex(graph);
+  std::vector<Edge> new_edges = SampleNewEdges(graph, 8, 1);
+
+  std::vector<EdgeUpdate> updates;
+  DiGraph target = graph;
+  for (const Edge& e : new_edges) {
+    updates.push_back(EdgeUpdate::Insert(e.from, e.to));
+    target.AddEdge(e.from, e.to);
+  }
+  BatchOptions options;
+  options.rebuild_threshold = 2.0;  // force the per-edge path
+  BatchResult result = ApplyUpdates(index, updates, options);
+  EXPECT_EQ(result.inserted, new_edges.size());
+  EXPECT_FALSE(result.rebuilt);
+  ExpectMatchesOracle(index, target);
+}
+
+TEST(BatchTest, RemoveThenInsertBatch) {
+  DiGraph graph = RandomGraph(50, 2.5, 5);
+  CscIndex index = BuildIndex(graph);
+  std::vector<Edge> removals = SampleExistingEdges(graph, 5, 2);
+  std::vector<Edge> inserts = SampleNewEdges(graph, 5, 3);
+
+  std::vector<EdgeUpdate> updates;
+  DiGraph target = graph;
+  for (const Edge& e : removals) {
+    updates.push_back(EdgeUpdate::Remove(e.from, e.to));
+    target.RemoveEdge(e.from, e.to);
+  }
+  for (const Edge& e : inserts) {
+    updates.push_back(EdgeUpdate::Insert(e.from, e.to));
+    target.AddEdge(e.from, e.to);
+  }
+  BatchOptions options;
+  options.rebuild_threshold = 2.0;
+  BatchResult result = ApplyUpdates(index, updates, options);
+  EXPECT_EQ(result.removed, removals.size());
+  EXPECT_EQ(result.inserted, inserts.size());
+  EXPECT_EQ(result.inserted + result.removed + result.skipped,
+            updates.size());
+  ExpectMatchesOracle(index, target);
+}
+
+TEST(BatchTest, CancellingPairsAreSkipped) {
+  DiGraph graph = Figure2Graph();
+  CscIndex index = BuildIndex(graph);
+  // Insert a new edge then remove it again inside one batch; and remove an
+  // existing edge then re-insert it. Net effect: nothing.
+  std::vector<EdgeUpdate> updates = {
+      EdgeUpdate::Insert(7, 0), EdgeUpdate::Remove(7, 0),
+      EdgeUpdate::Remove(0, 2), EdgeUpdate::Insert(0, 2)};
+  BatchResult result = ApplyUpdates(index, updates);
+  EXPECT_EQ(result.inserted, 0u);
+  EXPECT_EQ(result.removed, 0u);
+  EXPECT_EQ(result.skipped, 4u);
+  EXPECT_FALSE(result.rebuilt);
+  ExpectMatchesOracle(index, graph);
+}
+
+TEST(BatchTest, InvalidUpdatesAreSkipped) {
+  DiGraph graph = Figure2Graph();
+  CscIndex index = BuildIndex(graph);
+  std::vector<EdgeUpdate> updates = {
+      EdgeUpdate::Insert(3, 3),     // self-loop
+      EdgeUpdate::Insert(0, 2),     // already present
+      EdgeUpdate::Remove(7, 0),     // absent
+      EdgeUpdate::Insert(0, 9999),  // out of range
+  };
+  BatchResult result = ApplyUpdates(index, updates);
+  EXPECT_EQ(result.skipped, 4u);
+  EXPECT_EQ(result.inserted + result.removed, 0u);
+  ExpectMatchesOracle(index, graph);
+}
+
+TEST(BatchTest, DuplicateInsertsCollapseToOne) {
+  DiGraph graph = Figure2Graph();
+  CscIndex index = BuildIndex(graph);
+  std::vector<EdgeUpdate> updates = {
+      EdgeUpdate::Insert(7, 0), EdgeUpdate::Insert(7, 0),
+      EdgeUpdate::Insert(7, 0)};
+  BatchOptions options;
+  options.rebuild_threshold = 2.0;
+  BatchResult result = ApplyUpdates(index, updates, options);
+  EXPECT_EQ(result.inserted, 1u);
+  EXPECT_EQ(result.skipped, 2u);
+  DiGraph target = graph;
+  target.AddEdge(7, 0);
+  ExpectMatchesOracle(index, target);
+}
+
+TEST(BatchTest, LargeBatchTriggersRebuild) {
+  DiGraph graph = RandomGraph(40, 2.0, 7);
+  CscIndex index = BuildIndex(graph);
+  std::vector<Edge> inserts = SampleNewEdges(graph, 40, 4);
+  std::vector<EdgeUpdate> updates;
+  DiGraph target = graph;
+  for (const Edge& e : inserts) {
+    updates.push_back(EdgeUpdate::Insert(e.from, e.to));
+    target.AddEdge(e.from, e.to);
+  }
+  BatchOptions options;
+  options.rebuild_threshold = 0.25;  // 40 new edges on ~80: way past it
+  BatchResult result = ApplyUpdates(index, updates, options);
+  EXPECT_TRUE(result.rebuilt);
+  EXPECT_EQ(result.inserted, inserts.size());
+  ExpectMatchesOracle(index, target);
+}
+
+TEST(BatchTest, RebuiltIndexSupportsFurtherMaintenance) {
+  DiGraph graph = RandomGraph(40, 2.0, 9);
+  CscIndex index = BuildIndex(graph);
+  std::vector<Edge> inserts = SampleNewEdges(graph, 30, 5);
+  std::vector<EdgeUpdate> updates;
+  DiGraph target = graph;
+  for (const Edge& e : inserts) {
+    updates.push_back(EdgeUpdate::Insert(e.from, e.to));
+    target.AddEdge(e.from, e.to);
+  }
+  BatchOptions options;
+  options.rebuild_threshold = 0.0;  // always rebuild
+  ASSERT_TRUE(ApplyUpdates(index, updates, options).rebuilt);
+
+  // The rebuilt index is fresh (minimal): removals must work on it.
+  std::vector<Edge> removals = SampleExistingEdges(target, 4, 6);
+  std::vector<EdgeUpdate> removal_batch;
+  for (const Edge& e : removals) {
+    removal_batch.push_back(EdgeUpdate::Remove(e.from, e.to));
+    target.RemoveEdge(e.from, e.to);
+  }
+  BatchOptions per_edge;
+  per_edge.rebuild_threshold = 2.0;
+  BatchResult result = ApplyUpdates(index, removal_batch, per_edge);
+  EXPECT_EQ(result.removed, removals.size());
+  ExpectMatchesOracle(index, target);
+}
+
+TEST(BatchTest, MinimalityStrategyKeepsIndexMinimalAcrossBatches) {
+  DiGraph graph = RandomGraph(40, 2.5, 11);
+  CscIndex::Options build_options;
+  build_options.maintain_inverted_index = true;
+  CscIndex index = CscIndex::Build(graph, DegreeOrdering(graph), build_options);
+
+  BatchOptions options;
+  options.strategy = MaintenanceStrategy::kMinimality;
+  options.rebuild_threshold = 2.0;
+
+  DiGraph target = graph;
+  for (uint64_t round = 0; round < 3; ++round) {
+    std::vector<Edge> inserts = SampleNewEdges(target, 3, 20 + round);
+    std::vector<EdgeUpdate> updates;
+    for (const Edge& e : inserts) {
+      updates.push_back(EdgeUpdate::Insert(e.from, e.to));
+      target.AddEdge(e.from, e.to);
+    }
+    // Minimality-maintained index admits removals in a later batch.
+    std::vector<Edge> removals = SampleExistingEdges(target, 2, 30 + round);
+    for (const Edge& e : removals) {
+      updates.push_back(EdgeUpdate::Remove(e.from, e.to));
+      target.RemoveEdge(e.from, e.to);
+    }
+    ApplyUpdates(index, updates, options);
+    ExpectMatchesOracle(index, target);
+  }
+}
+
+TEST(RebuildIndexTest, PreservesAnswersAndRestoresMinimality) {
+  DiGraph graph = RandomGraph(50, 2.5, 13);
+  CscIndex index = BuildIndex(graph);
+  // Pile up redundancy-mode insertions.
+  DiGraph target = graph;
+  for (const Edge& e : SampleNewEdges(graph, 10, 14)) {
+    InsertEdge(index, e.from, e.to);
+    target.AddEdge(e.from, e.to);
+  }
+  uint64_t entries_before = index.TotalEntries();
+  RebuildIndex(index);
+  // A fresh build is never larger than the redundancy-maintained index.
+  EXPECT_LE(index.TotalEntries(), entries_before);
+  ExpectMatchesOracle(index, target);
+
+  // And the rebuilt index equals a from-scratch build entry-for-entry.
+  CscIndex fresh = BuildIndex(target);
+  EXPECT_EQ(index.labeling(), fresh.labeling());
+}
+
+}  // namespace
+}  // namespace csc

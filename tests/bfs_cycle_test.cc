@@ -1,0 +1,101 @@
+#include "baseline/bfs_cycle.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace csc {
+namespace {
+
+TEST(BfsCycleTest, PaperExample1) {
+  // "There are three shortest cycles in Figure 2 with length 6 through v7."
+  DiGraph g = Figure2Graph();
+  CycleCount cc = BfsCountCycles(g, 6);  // v7
+  EXPECT_EQ(cc.length, 6u);
+  EXPECT_EQ(cc.count, 3u);
+}
+
+TEST(BfsCycleTest, Figure2AllVertices) {
+  DiGraph g = Figure2Graph();
+  // Hand-derived from the figure (v1..v10 are ids 0..9).
+  const CycleCount expected[10] = {
+      {6, 2},  // v1: via v4 and v5
+      {6, 1},  // v2: v2->v4->v7->v8->v9->v10->v2
+      {7, 1},  // v3: the v3->v6 detour adds one hop
+      {6, 2},  // v4: closed via v1 or v2
+      {6, 1},  // v5
+      {7, 1},  // v6
+      {6, 3},  // v7 (Example 1)
+      {6, 3},  // v8: all three 6-cycles pass the v7..v10 chain
+      {6, 3},  // v9
+      {6, 3},  // v10
+  };
+  for (Vertex v = 0; v < 10; ++v) {
+    EXPECT_EQ(BfsCountCycles(g, v), expected[v]) << "vertex " << v;
+  }
+}
+
+TEST(BfsCycleTest, NoCycleMeansInfinity) {
+  DiGraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  for (Vertex v = 0; v < 3; ++v) {
+    CycleCount cc = BfsCountCycles(g, v);
+    EXPECT_EQ(cc.length, kInfDist);
+    EXPECT_EQ(cc.count, 0u);
+  }
+}
+
+TEST(BfsCycleTest, TwoCycleIsCounted) {
+  DiGraph g(2);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  EXPECT_EQ(BfsCountCycles(g, 0), (CycleCount{2, 1}));
+  EXPECT_EQ(BfsCountCycles(g, 1), (CycleCount{2, 1}));
+}
+
+TEST(BfsCycleTest, ParallelShortestCyclesAccumulate) {
+  // Two disjoint length-3 routes 0 -> x -> y -> 0.
+  DiGraph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  g.AddEdge(0, 3);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 0);
+  EXPECT_EQ(BfsCountCycles(g, 0), (CycleCount{3, 2}));
+  EXPECT_EQ(BfsCountCycles(g, 1), (CycleCount{3, 1}));
+}
+
+TEST(BfsCycleTest, CounterReusableAcrossQueries) {
+  DiGraph g = Figure2Graph();
+  BfsCycleCounter counter(g);
+  // Interleave queries; reused scratch must not leak state.
+  EXPECT_EQ(counter.CountCycles(6), (CycleCount{6, 3}));
+  EXPECT_EQ(counter.CountCycles(2), (CycleCount{7, 1}));
+  EXPECT_EQ(counter.CountCycles(6), (CycleCount{6, 3}));
+  EXPECT_EQ(counter.CountCycles(0), (CycleCount{6, 2}));
+}
+
+TEST(BfsCycleTest, MatchesNaiveDfsOnRandomGraphs) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    DiGraph g = RandomGraph(14, 2.2, seed);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(BfsCountCycles(g, v), NaiveCountCyclesDfs(g, v))
+          << "seed " << seed << " vertex " << v;
+    }
+  }
+}
+
+TEST(BfsCycleTest, DenseRandomGraphsMatchNaiveDfs) {
+  for (uint64_t seed = 100; seed < 106; ++seed) {
+    DiGraph g = RandomGraph(10, 4.0, seed);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(BfsCountCycles(g, v), NaiveCountCyclesDfs(g, v))
+          << "seed " << seed << " vertex " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace csc

@@ -1,0 +1,89 @@
+#include "graph/bipartite.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace csc {
+namespace {
+
+TEST(BipartiteTest, VertexEncodingHelpers) {
+  EXPECT_EQ(InVertex(5), 10u);
+  EXPECT_EQ(OutVertex(5), 11u);
+  EXPECT_EQ(CoupleOf(10u), 11u);
+  EXPECT_EQ(CoupleOf(11u), 10u);
+  EXPECT_EQ(OriginalOf(10u), 5u);
+  EXPECT_EQ(OriginalOf(11u), 5u);
+  EXPECT_TRUE(IsInVertex(10u));
+  EXPECT_TRUE(IsOutVertex(11u));
+}
+
+TEST(BipartiteTest, ConversionHasPaperSizes) {
+  // Algorithm 2: G_b has 2n vertices and n + m edges.
+  DiGraph g = Figure2Graph();
+  DiGraph gb = BipartiteConversion(g);
+  EXPECT_EQ(gb.num_vertices(), 2 * g.num_vertices());
+  EXPECT_EQ(gb.num_edges(), g.num_vertices() + g.num_edges());
+}
+
+TEST(BipartiteTest, CoupleEdgesPresent) {
+  DiGraph gb = BipartiteConversion(Figure2Graph());
+  for (Vertex v = 0; v < 10; ++v) {
+    EXPECT_TRUE(gb.HasEdge(InVertex(v), OutVertex(v)));
+    EXPECT_FALSE(gb.HasEdge(OutVertex(v), InVertex(v)));
+  }
+}
+
+TEST(BipartiteTest, OriginalEdgesBecomeOutToIn) {
+  DiGraph g = Figure2Graph();
+  DiGraph gb = BipartiteConversion(g);
+  for (const Edge& e : g.Edges()) {
+    EXPECT_TRUE(gb.HasEdge(OutVertex(e.from), InVertex(e.to)));
+  }
+}
+
+TEST(BipartiteTest, GraphIsBipartiteBetweenSides) {
+  // Every edge goes V_in -> V_out (couple) or V_out -> V_in (original).
+  DiGraph gb = BipartiteConversion(RandomGraph(100, 3.0, 3));
+  for (const Edge& e : gb.Edges()) {
+    EXPECT_NE(IsInVertex(e.from), IsInVertex(e.to));
+  }
+}
+
+TEST(BipartiteTest, InVertexDegreesMirrorOriginal) {
+  DiGraph g = Figure2Graph();
+  DiGraph gb = BipartiteConversion(g);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    // v_i carries v's in-edges plus the couple edge out.
+    EXPECT_EQ(gb.InDegree(InVertex(v)), g.InDegree(v));
+    EXPECT_EQ(gb.OutDegree(InVertex(v)), 1u);
+    // v_o carries v's out-edges plus the couple edge in.
+    EXPECT_EQ(gb.OutDegree(OutVertex(v)), g.OutDegree(v));
+    EXPECT_EQ(gb.InDegree(OutVertex(v)), 1u);
+  }
+}
+
+TEST(BipartiteTest, OrderingKeepsCouplesConsecutive) {
+  VertexOrdering original = DegreeOrdering(Figure2Graph());
+  VertexOrdering lifted = BipartiteOrdering(original);
+  ASSERT_EQ(lifted.size(), 2 * original.size());
+  for (Rank r = 0; r < original.size(); ++r) {
+    Vertex v = original.rank_to_vertex[r];
+    EXPECT_EQ(lifted.vertex_to_rank[InVertex(v)], 2 * r);
+    EXPECT_EQ(lifted.vertex_to_rank[OutVertex(v)], 2 * r + 1);
+    EXPECT_TRUE(lifted.Precedes(InVertex(v), OutVertex(v)));
+  }
+}
+
+TEST(BipartiteTest, OrderingPreservesOriginalRelativeOrder) {
+  VertexOrdering original = DegreeOrdering(Figure2Graph());
+  VertexOrdering lifted = BipartiteOrdering(original);
+  // v1 ≺ v7 in G implies all four lifted comparisons.
+  EXPECT_TRUE(lifted.Precedes(InVertex(0), InVertex(6)));
+  EXPECT_TRUE(lifted.Precedes(OutVertex(0), InVertex(6)));
+  EXPECT_TRUE(lifted.Precedes(InVertex(0), OutVertex(6)));
+  EXPECT_TRUE(lifted.Precedes(OutVertex(0), OutVertex(6)));
+}
+
+}  // namespace
+}  // namespace csc

@@ -1,0 +1,100 @@
+#include "csc/cached_index.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/bfs_cycle.h"
+#include "graph/ordering.h"
+#include "tests/test_util.h"
+#include "workload/update_workload.h"
+
+namespace csc {
+namespace {
+
+CachedCscIndex BuildCached(const DiGraph& graph) {
+  return CachedCscIndex(CscIndex::Build(graph, DegreeOrdering(graph)));
+}
+
+TEST(CachedIndexTest, FirstQueryMissesThenHits) {
+  CachedCscIndex cached = BuildCached(Figure2Graph());
+  EXPECT_EQ(cached.cache_misses(), 0u);
+  CycleCount first = cached.Query(6);
+  EXPECT_EQ(first, (CycleCount{6, 3}));  // Example 1
+  EXPECT_EQ(cached.cache_misses(), 1u);
+  EXPECT_EQ(cached.cache_hits(), 0u);
+  CycleCount second = cached.Query(6);
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(cached.cache_hits(), 1u);
+  EXPECT_EQ(cached.NumValidEntries(), 1u);
+}
+
+TEST(CachedIndexTest, InsertInvalidatesAllEntries) {
+  DiGraph graph(3);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 2);
+  CachedCscIndex cached = BuildCached(graph);
+  EXPECT_EQ(cached.Query(0).count, 0u);
+  EXPECT_EQ(cached.NumValidEntries(), 1u);
+
+  ASSERT_TRUE(cached.InsertEdge(2, 0));  // closes the triangle
+  EXPECT_EQ(cached.NumValidEntries(), 0u);
+  // Fresh (correct) answer after the update, counted as a miss.
+  EXPECT_EQ(cached.Query(0), (CycleCount{3, 1}));
+  EXPECT_EQ(cached.cache_misses(), 2u);
+}
+
+TEST(CachedIndexTest, RemoveInvalidatesAllEntries) {
+  DiGraph triangle(3);
+  triangle.AddEdge(0, 1);
+  triangle.AddEdge(1, 2);
+  triangle.AddEdge(2, 0);
+  CachedCscIndex cached = BuildCached(triangle);
+  EXPECT_EQ(cached.Query(1), (CycleCount{3, 1}));
+  ASSERT_TRUE(cached.RemoveEdge(2, 0));
+  EXPECT_EQ(cached.NumValidEntries(), 0u);
+  EXPECT_EQ(cached.Query(1).count, 0u);
+}
+
+TEST(CachedIndexTest, RejectedUpdateKeepsCacheValid) {
+  DiGraph graph = Figure2Graph();
+  CachedCscIndex cached = BuildCached(graph);
+  cached.Query(6);
+  // Already-present edge and self-loop: no maintenance, no invalidation.
+  EXPECT_FALSE(cached.InsertEdge(0, 2));
+  EXPECT_FALSE(cached.InsertEdge(3, 3));
+  EXPECT_FALSE(cached.RemoveEdge(5, 0));  // absent edge
+  EXPECT_EQ(cached.NumValidEntries(), 1u);
+  cached.Query(6);
+  EXPECT_EQ(cached.cache_hits(), 1u);
+}
+
+TEST(CachedIndexTest, AnswersStayCorrectAcrossUpdateSequence) {
+  DiGraph graph = RandomGraph(50, 2.5, 77);
+  CachedCscIndex cached = BuildCached(graph);
+
+  std::vector<Edge> removals = SampleExistingEdges(graph, 10, 1);
+  // Interleave removals/insertions with full query sweeps; every cached
+  // answer must match the BFS oracle on the current graph.
+  DiGraph live = graph;
+  auto verify_all = [&]() {
+    BfsCycleCounter oracle(live);
+    for (Vertex v = 0; v < live.num_vertices(); ++v) {
+      ASSERT_EQ(cached.Query(v), oracle.CountCycles(v)) << "vertex " << v;
+      // Second read must hit the cache and agree.
+      ASSERT_EQ(cached.Query(v), oracle.CountCycles(v));
+    }
+  };
+  verify_all();
+  for (const Edge& e : removals) {
+    ASSERT_TRUE(cached.RemoveEdge(e.from, e.to));
+    live.RemoveEdge(e.from, e.to);
+    verify_all();
+  }
+  for (const Edge& e : removals) {
+    ASSERT_TRUE(cached.InsertEdge(e.from, e.to));
+    live.AddEdge(e.from, e.to);
+    verify_all();
+  }
+}
+
+}  // namespace
+}  // namespace csc

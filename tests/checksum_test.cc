@@ -1,0 +1,61 @@
+#include "util/checksum.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace csc {
+namespace {
+
+TEST(Crc32cTest, EmptyInputIsZero) {
+  EXPECT_EQ(Crc32c("", 0), 0u);
+}
+
+TEST(Crc32cTest, KnownTestVector) {
+  // The RFC 3720 / standard CRC-32C check value.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+}
+
+TEST(Crc32cTest, AllZeros32Bytes) {
+  // Second classic vector (iSCSI test pattern).
+  unsigned char zeros[32] = {};
+  EXPECT_EQ(Crc32c(zeros, sizeof(zeros)), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, AllOnes32Bytes) {
+  unsigned char ones[32];
+  for (unsigned char& b : ones) b = 0xff;
+  EXPECT_EQ(Crc32c(ones, sizeof(ones)), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, SingleBitFlipChangesChecksum) {
+  std::string data(100, 'x');
+  uint32_t original = Crc32c(data);
+  for (size_t byte = 0; byte < data.size(); byte += 13) {
+    std::string mutated = data;
+    mutated[byte] ^= 1;
+    EXPECT_NE(Crc32c(mutated), original) << "flip at byte " << byte;
+  }
+}
+
+TEST(Crc32cTest, ExtendComposesWithConcatenation) {
+  std::string a = "hello, ";
+  std::string b = "world";
+  uint32_t whole = Crc32c(a + b);
+  uint32_t extended = Crc32cExtend(Crc32c(a), b.data(), b.size());
+  EXPECT_EQ(extended, whole);
+}
+
+TEST(Crc32cTest, ExtendWithEmptyIsIdentity) {
+  std::string data = "payload";
+  uint32_t crc = Crc32c(data);
+  EXPECT_EQ(Crc32cExtend(crc, "", 0), crc);
+}
+
+TEST(Crc32cTest, StringViewOverloadMatchesPointerForm) {
+  std::string data = "some index bytes";
+  EXPECT_EQ(Crc32c(std::string_view(data)), Crc32c(data.data(), data.size()));
+}
+
+}  // namespace
+}  // namespace csc

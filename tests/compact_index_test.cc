@@ -1,0 +1,98 @@
+#include "csc/compact_index.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/bfs_cycle.h"
+#include "tests/test_util.h"
+
+namespace csc {
+namespace {
+
+TEST(CompactIndexTest, QueriesMatchFullIndex) {
+  DiGraph g = RandomGraph(80, 2.5, 3);
+  CscIndex full = CscIndex::Build(g, DegreeOrdering(g));
+  CompactIndex compact = CompactIndex::FromIndex(full);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(compact.Query(v), full.Query(v)) << "vertex " << v;
+  }
+}
+
+TEST(CompactIndexTest, HalvesTheEntryCountRoughly) {
+  DiGraph g = RandomGraph(100, 3.0, 5);
+  CscIndex full = CscIndex::Build(g, DegreeOrdering(g));
+  CompactIndex compact = CompactIndex::FromIndex(full);
+  EXPECT_LT(compact.TotalEntries(), full.TotalEntries() * 6 / 10);
+  EXPECT_GT(compact.TotalEntries(), 0u);
+}
+
+TEST(CompactIndexTest, ExpandToFullReconstructsExactLabeling) {
+  // §IV.E round trip: compact then expand must equal the built labeling —
+  // this validates both the reduction rule and the couple-label claims the
+  // construction makes.
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    DiGraph g = RandomGraph(60, 2.5, seed);
+    CscIndex full = CscIndex::Build(g, DegreeOrdering(g));
+    CompactIndex compact = CompactIndex::FromIndex(full);
+    HubLabeling expanded = compact.ExpandToFull();
+    ASSERT_EQ(expanded, full.labeling()) << "seed " << seed;
+  }
+}
+
+TEST(CompactIndexTest, ExpandFigure2) {
+  DiGraph g = Figure2Graph();
+  CscIndex full = CscIndex::Build(g, Figure2Ordering());
+  HubLabeling expanded = CompactIndex::FromIndex(full).ExpandToFull();
+  EXPECT_EQ(expanded, full.labeling());
+}
+
+TEST(CompactIndexTest, SerializeDeserializeRoundTrip) {
+  DiGraph g = RandomGraph(70, 2.0, 9);
+  CscIndex full = CscIndex::Build(g, DegreeOrdering(g));
+  CompactIndex compact = CompactIndex::FromIndex(full);
+  std::string bytes = compact.Serialize();
+  auto back = CompactIndex::Deserialize(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, compact);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(back->Query(v), full.Query(v));
+  }
+}
+
+TEST(CompactIndexTest, DeserializeRejectsCorruptInput) {
+  DiGraph g = RandomGraph(30, 2.0, 11);
+  CompactIndex compact =
+      CompactIndex::FromIndex(CscIndex::Build(g, DegreeOrdering(g)));
+  std::string bytes = compact.Serialize();
+  EXPECT_FALSE(CompactIndex::Deserialize("").has_value());
+  EXPECT_FALSE(CompactIndex::Deserialize("JUNK").has_value());
+  EXPECT_FALSE(
+      CompactIndex::Deserialize(bytes.substr(0, bytes.size() / 2)).has_value());
+  std::string wrong_magic = bytes;
+  wrong_magic[0] = 'X';
+  EXPECT_FALSE(CompactIndex::Deserialize(wrong_magic).has_value());
+  std::string trailing = bytes + "x";
+  EXPECT_FALSE(CompactIndex::Deserialize(trailing).has_value());
+}
+
+TEST(CompactIndexTest, DeserializeRejectsCorruptPermutation) {
+  DiGraph g = RandomGraph(20, 2.0, 13);
+  CompactIndex compact =
+      CompactIndex::FromIndex(CscIndex::Build(g, DegreeOrdering(g)));
+  std::string bytes = compact.Serialize();
+  // Duplicate the first permutation entry into the second slot.
+  // Layout: magic(4) + version(4) + n(4) + perm entries...
+  for (int i = 0; i < 4; ++i) bytes[16 + i] = bytes[12 + i];
+  EXPECT_FALSE(CompactIndex::Deserialize(bytes).has_value());
+}
+
+TEST(CompactIndexTest, EmptyGraphSerializes) {
+  DiGraph g;
+  CompactIndex compact =
+      CompactIndex::FromIndex(CscIndex::Build(g, DegreeOrdering(g)));
+  auto back = CompactIndex::Deserialize(compact.Serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->num_original_vertices(), 0u);
+}
+
+}  // namespace
+}  // namespace csc

@@ -1,0 +1,120 @@
+#include "labeling/compressed.h"
+
+#include <gtest/gtest.h>
+
+#include "csc/csc_index.h"
+#include "csc/frozen_index.h"
+#include "graph/generators.h"
+#include "graph/ordering.h"
+#include "tests/test_util.h"
+#include "util/varint.h"
+
+namespace csc {
+namespace {
+
+TEST(VarintTest, RoundTripsBoundaryValues) {
+  const uint64_t values[] = {0,
+                             1,
+                             0x7f,
+                             0x80,
+                             0x3fff,
+                             0x4000,
+                             0xffffffffull,
+                             0x123456789abcdefull,
+                             ~uint64_t{0}};
+  std::vector<uint8_t> buffer;
+  for (uint64_t v : values) AppendVarint(buffer, v);
+  size_t pos = 0;
+  for (uint64_t v : values) {
+    EXPECT_EQ(DecodeVarint(buffer.data(), pos), v);
+  }
+  EXPECT_EQ(pos, buffer.size());
+}
+
+TEST(VarintTest, SizeMatchesEncoding) {
+  std::vector<uint8_t> buffer;
+  for (uint64_t v : {uint64_t{0}, uint64_t{127}, uint64_t{128},
+                     uint64_t{1} << 21, ~uint64_t{0}}) {
+    buffer.clear();
+    AppendVarint(buffer, v);
+    EXPECT_EQ(buffer.size(), VarintSize(v)) << "value " << v;
+  }
+}
+
+TEST(VarintTest, SmallValuesAreOneByte) {
+  for (uint64_t v = 0; v < 128; ++v) EXPECT_EQ(VarintSize(v), 1u);
+  EXPECT_EQ(VarintSize(128), 2u);
+}
+
+CompressedIndex Compress(const CscIndex& index) {
+  return CompressedIndex::FromCompact(CompactIndex::FromIndex(index));
+}
+
+TEST(CompressedIndexTest, EmptyGraph) {
+  CscIndex index = CscIndex::Build(DiGraph(), DegreeOrdering(DiGraph()));
+  CompressedIndex compressed = Compress(index);
+  EXPECT_EQ(compressed.num_original_vertices(), 0u);
+  EXPECT_EQ(compressed.TotalEntries(), 0u);
+  EXPECT_EQ(compressed.SizeBytes(), 0u);
+  EXPECT_EQ(compressed.BytesPerEntry(), 0.0);
+}
+
+TEST(CompressedIndexTest, MatchesPaperExample) {
+  DiGraph graph = Figure2Graph();
+  CscIndex index = CscIndex::Build(graph, Figure2Ordering());
+  CompressedIndex compressed = Compress(index);
+  // Example 1 / Example 6: SCCnt(v7) = 3 with length 6 (v7 is id 6).
+  EXPECT_EQ(compressed.Query(6), (CycleCount{6, 3}));
+}
+
+TEST(CompressedIndexTest, QueriesMatchEveryOtherForm) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    DiGraph graph = RandomGraph(70, 2.5, seed + 5);
+    CscIndex index = CscIndex::Build(graph, DegreeOrdering(graph));
+    FrozenIndex frozen = FrozenIndex::FromIndex(index);
+    CompressedIndex compressed = Compress(index);
+    for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+      CycleCount expected = index.Query(v);
+      EXPECT_EQ(compressed.Query(v), expected)
+          << "seed " << seed << " vertex " << v;
+      EXPECT_EQ(frozen.Query(v), expected);
+    }
+  }
+}
+
+TEST(CompressedIndexTest, EntryCountMatchesCompactForm) {
+  DiGraph graph = RandomGraph(80, 3.0, 42);
+  CscIndex index = CscIndex::Build(graph, DegreeOrdering(graph));
+  CompactIndex compact = CompactIndex::FromIndex(index);
+  CompressedIndex compressed = CompressedIndex::FromCompact(compact);
+  EXPECT_EQ(compressed.TotalEntries(), compact.TotalEntries());
+}
+
+TEST(CompressedIndexTest, CompressesBelowEightBytesPerEntry) {
+  // On small-world graphs ranks/distances/counts are small, so the varint
+  // stream must beat the fixed 8-byte packing. This is the module's raison
+  // d'être; fail loudly if encoding regresses.
+  DiGraph graph = GenerateSmallWorld(2000, 3, 0.1, 9);
+  CscIndex index = CscIndex::Build(graph, DegreeOrdering(graph));
+  CompressedIndex compressed = Compress(index);
+  ASSERT_GT(compressed.TotalEntries(), 0u);
+  EXPECT_LT(compressed.BytesPerEntry(), 8.0);
+  FrozenIndex frozen = FrozenIndex::FromIndex(index);
+  EXPECT_LT(compressed.SizeBytes(), frozen.SizeBytes());
+}
+
+TEST(CompressedIndexTest, HandlesVerticesWithNoCycles) {
+  DiGraph dag(5);
+  dag.AddEdge(0, 1);
+  dag.AddEdge(1, 2);
+  dag.AddEdge(2, 3);
+  dag.AddEdge(3, 4);
+  CscIndex index = CscIndex::Build(dag, DegreeOrdering(dag));
+  CompressedIndex compressed = Compress(index);
+  for (Vertex v = 0; v < 5; ++v) {
+    EXPECT_EQ(compressed.Query(v), (CycleCount{kInfDist, 0}));
+  }
+}
+
+}  // namespace
+}  // namespace csc

@@ -1,0 +1,125 @@
+// The load-bearing oracle-equivalence property (DESIGN.md §7): on randomized
+// graphs from every generator family, CSC, HP-SPC and BFS-CYCLE agree on
+// (shortest cycle length, count) for every vertex.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baseline/bfs_cycle.h"
+#include "csc/csc_index.h"
+#include "graph/generators.h"
+#include "hpspc/hpspc_index.h"
+#include "tests/test_util.h"
+
+namespace csc {
+namespace {
+
+enum class Family { kErdosRenyi, kPowerLaw, kSmallWorld, kMoneyLaundering };
+
+std::string FamilyName(Family family) {
+  switch (family) {
+    case Family::kErdosRenyi:
+      return "ErdosRenyi";
+    case Family::kPowerLaw:
+      return "PowerLaw";
+    case Family::kSmallWorld:
+      return "SmallWorld";
+    case Family::kMoneyLaundering:
+      return "MoneyLaundering";
+  }
+  return "?";
+}
+
+DiGraph MakeGraph(Family family, Vertex n, uint64_t seed) {
+  switch (family) {
+    case Family::kErdosRenyi:
+      return GenerateErdosRenyi(n, static_cast<uint64_t>(2.5 * n), seed);
+    case Family::kPowerLaw:
+      return GeneratePreferentialAttachment(n, 2, 0.15, seed);
+    case Family::kSmallWorld:
+      return GenerateSmallWorld(n, 2, 0.2, seed);
+    case Family::kMoneyLaundering: {
+      MoneyLaunderingConfig cfg;
+      cfg.num_background = n;
+      cfg.num_rings = 3;
+      cfg.routes_per_ring = 4;
+      cfg.route_length = 3;
+      return GenerateMoneyLaundering(cfg, seed).graph;
+    }
+  }
+  return DiGraph();
+}
+
+using Param = std::tuple<Family, Vertex, uint64_t>;  // family, n, seed
+
+class EngineEquivalenceTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(EngineEquivalenceTest, AllEnginesAgreeOnEveryVertex) {
+  auto [family, n, seed] = GetParam();
+  DiGraph g = MakeGraph(family, n, seed);
+  VertexOrdering order = DegreeOrdering(g);
+  CscIndex csc_index = CscIndex::Build(g, order);
+  HpSpcIndex hpspc_index = HpSpcIndex::Build(g, order);
+  BfsCycleCounter bfs(g);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    CycleCount truth = bfs.CountCycles(v);
+    ASSERT_EQ(csc_index.Query(v), truth)
+        << FamilyName(family) << " n=" << n << " seed=" << seed
+        << " vertex=" << v << " (CSC)";
+    ASSERT_EQ(hpspc_index.CountCycles(v), truth)
+        << FamilyName(family) << " n=" << n << " seed=" << seed
+        << " vertex=" << v << " (HP-SPC)";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SweepFamiliesSizesSeeds, EngineEquivalenceTest,
+    ::testing::Combine(
+        ::testing::Values(Family::kErdosRenyi, Family::kPowerLaw,
+                          Family::kSmallWorld, Family::kMoneyLaundering),
+        ::testing::Values<Vertex>(24, 60, 120),
+        ::testing::Values<uint64_t>(1, 2, 3, 4)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return FamilyName(std::get<0>(info.param)) + "_n" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// Degenerate orderings must not break correctness: hub labeling is valid for
+// ANY total order, so even an adversarially bad (identity / reversed) order
+// has to produce exact answers.
+class OrderingRobustnessTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(OrderingRobustnessTest, ArbitraryOrderingsStayExact) {
+  bool reversed = GetParam();
+  DiGraph g = MakeGraph(Family::kErdosRenyi, 50, 99);
+  std::vector<Vertex> perm(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    perm[v] = reversed ? g.num_vertices() - 1 - v : v;
+  }
+  CscIndex index = CscIndex::Build(g, OrderingFromPermutation(perm));
+  BfsCycleCounter bfs(g);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(index.Query(v), bfs.CountCycles(v)) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(IdentityAndReversed, OrderingRobustnessTest,
+                         ::testing::Bool());
+
+// Denser graphs stress the counting paths (many equal-length shortest
+// cycles) rather than the distance machinery.
+TEST(DenseEquivalenceTest, DenseRandomGraphs) {
+  for (uint64_t seed = 10; seed < 14; ++seed) {
+    DiGraph g = GenerateErdosRenyi(30, 30 * 8, seed);
+    CscIndex index = CscIndex::Build(g, DegreeOrdering(g));
+    BfsCycleCounter bfs(g);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(index.Query(v), bfs.CountCycles(v))
+          << "seed " << seed << " vertex " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace csc

@@ -1,0 +1,96 @@
+#include "graph/cycle_enumeration.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baseline/bfs_cycle.h"
+#include "tests/test_util.h"
+
+namespace csc {
+namespace {
+
+TEST(CycleEnumerationTest, Figure2V7HasThreeKnownCycles) {
+  DiGraph g = Figure2Graph();
+  auto cycles = EnumerateShortestCycles(g, 6, 100);  // v7
+  ASSERT_EQ(cycles.size(), 3u);
+  std::set<std::vector<Vertex>> found(cycles.begin(), cycles.end());
+  // v7->v8->v9->v10->{v1->v4 | v1->v5 | v2->v4}->v7 (0-based ids).
+  EXPECT_TRUE(found.count({6, 7, 8, 9, 0, 3}));
+  EXPECT_TRUE(found.count({6, 7, 8, 9, 0, 4}));
+  EXPECT_TRUE(found.count({6, 7, 8, 9, 1, 3}));
+}
+
+TEST(CycleEnumerationTest, CyclesAreValidAndShortest) {
+  DiGraph g = RandomGraph(40, 3.0, 3);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    CycleCount expected = BfsCountCycles(g, v);
+    auto cycles = EnumerateShortestCycles(g, v, 10000);
+    if (expected.count == 0) {
+      EXPECT_TRUE(cycles.empty());
+      continue;
+    }
+    ASSERT_EQ(cycles.size(), expected.count) << "vertex " << v;
+    for (const auto& cycle : cycles) {
+      ASSERT_EQ(cycle.size(), expected.length) << "vertex " << v;
+      EXPECT_EQ(cycle.front(), v);
+      // Consecutive edges exist and the cycle closes.
+      for (size_t i = 0; i + 1 < cycle.size(); ++i) {
+        EXPECT_TRUE(g.HasEdge(cycle[i], cycle[i + 1]));
+      }
+      EXPECT_TRUE(g.HasEdge(cycle.back(), v));
+      // Simple: no repeated vertices.
+      std::set<Vertex> unique(cycle.begin(), cycle.end());
+      EXPECT_EQ(unique.size(), cycle.size());
+    }
+    // All enumerated cycles are distinct.
+    std::set<std::vector<Vertex>> unique_cycles(cycles.begin(), cycles.end());
+    EXPECT_EQ(unique_cycles.size(), cycles.size());
+  }
+}
+
+TEST(CycleEnumerationTest, CountAgreesWithBfsAcrossSeeds) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    DiGraph g = RandomGraph(30, 2.5, seed + 100);
+    for (Vertex v = 0; v < g.num_vertices(); v += 3) {
+      CycleCount expected = BfsCountCycles(g, v);
+      auto cycles = EnumerateShortestCycles(g, v, 100000);
+      EXPECT_EQ(cycles.size(), expected.count)
+          << "seed " << seed << " vertex " << v;
+    }
+  }
+}
+
+TEST(CycleEnumerationTest, LimitTruncatesOutput) {
+  // A vertex with many parallel shortest cycles.
+  DiGraph g(12);
+  for (Vertex i = 2; i < 12; ++i) {
+    g.AddEdge(0, i);
+    g.AddEdge(i, 1);
+  }
+  g.AddEdge(1, 0);
+  EXPECT_EQ(BfsCountCycles(g, 0).count, 10u);
+  EXPECT_EQ(EnumerateShortestCycles(g, 0, 4).size(), 4u);
+  EXPECT_EQ(EnumerateShortestCycles(g, 0, 0).size(), 0u);
+  EXPECT_EQ(EnumerateShortestCycles(g, 0, 100).size(), 10u);
+}
+
+TEST(CycleEnumerationTest, TwoCycleEnumerates) {
+  DiGraph g(2);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  auto cycles = EnumerateShortestCycles(g, 0, 10);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0], (std::vector<Vertex>{0, 1}));
+}
+
+TEST(CycleEnumerationTest, NoCycleAndOutOfRange) {
+  DiGraph g(3);
+  g.AddEdge(0, 1);
+  EXPECT_TRUE(EnumerateShortestCycles(g, 0, 10).empty());
+  EXPECT_TRUE(EnumerateShortestCycles(g, 42, 10).empty());
+}
+
+}  // namespace
+}  // namespace csc

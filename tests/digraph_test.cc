@@ -1,0 +1,121 @@
+#include "graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace csc {
+namespace {
+
+TEST(DiGraphTest, EmptyGraph) {
+  DiGraph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(DiGraphTest, AddEdgeUpdatesBothAdjacencies) {
+  DiGraph g(3);
+  EXPECT_TRUE(g.AddEdge(0, 1));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.OutNeighbors(0).size(), 1u);
+  EXPECT_EQ(g.InNeighbors(1).size(), 1u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+}
+
+TEST(DiGraphTest, RejectsSelfLoopsAndDuplicates) {
+  DiGraph g(3);
+  EXPECT_FALSE(g.AddEdge(1, 1));
+  EXPECT_TRUE(g.AddEdge(0, 1));
+  EXPECT_FALSE(g.AddEdge(0, 1));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(DiGraphTest, RejectsOutOfRange) {
+  DiGraph g(3);
+  EXPECT_FALSE(g.AddEdge(0, 3));
+  EXPECT_FALSE(g.AddEdge(3, 0));
+  EXPECT_FALSE(g.HasEdge(5, 7));
+}
+
+TEST(DiGraphTest, RemoveEdge) {
+  DiGraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  EXPECT_TRUE(g.RemoveEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.RemoveEdge(0, 1));  // already gone
+  EXPECT_TRUE(g.HasEdge(1, 2));
+}
+
+TEST(DiGraphTest, AddRemoveAddRoundTrip) {
+  DiGraph g(4);
+  g.AddEdge(2, 3);
+  g.RemoveEdge(2, 3);
+  EXPECT_TRUE(g.AddEdge(2, 3));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+}
+
+TEST(DiGraphTest, FromEdgesDropsLoopsAndDuplicates) {
+  std::vector<Edge> edges = {{0, 1}, {0, 1}, {1, 1}, {1, 2}, {9, 9}};
+  DiGraph g = DiGraph::FromEdges(3, edges);  // (9,9) also out of range
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+}
+
+TEST(DiGraphTest, DegreesMatchPaperDefinitions) {
+  DiGraph g = Figure2Graph();
+  // v1 (id 0): out {v3,v4,v5}, in {v10}; degree = 4, min-in-out = 1.
+  EXPECT_EQ(g.OutDegree(0), 3u);
+  EXPECT_EQ(g.InDegree(0), 1u);
+  EXPECT_EQ(g.Degree(0), 4u);
+  EXPECT_EQ(g.MinInOutDegree(0), 1u);
+  // v7 (id 6): in {v4,v5,v6}, out {v8}.
+  EXPECT_EQ(g.InDegree(6), 3u);
+  EXPECT_EQ(g.OutDegree(6), 1u);
+}
+
+TEST(DiGraphTest, EdgesReturnsSortedEdgeList) {
+  DiGraph g(4);
+  g.AddEdge(2, 1);
+  g.AddEdge(0, 3);
+  g.AddEdge(0, 1);
+  std::vector<Edge> edges = g.Edges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], (Edge{0, 1}));
+  EXPECT_EQ(edges[1], (Edge{0, 3}));
+  EXPECT_EQ(edges[2], (Edge{2, 1}));
+}
+
+TEST(DiGraphTest, ReversedFlipsAllEdges) {
+  DiGraph g = Figure2Graph();
+  DiGraph r = g.Reversed();
+  EXPECT_EQ(r.num_edges(), g.num_edges());
+  for (const Edge& e : g.Edges()) {
+    EXPECT_TRUE(r.HasEdge(e.to, e.from));
+  }
+  EXPECT_EQ(r.Reversed(), g);
+}
+
+TEST(DiGraphTest, AddVerticesExtendsGraph) {
+  DiGraph g(2);
+  g.AddEdge(0, 1);
+  Vertex first = g.AddVertices(3);
+  EXPECT_EQ(first, 2u);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_TRUE(g.AddEdge(4, 0));
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(DiGraphTest, FromEdgesMatchesIncrementalConstruction) {
+  DiGraph incremental(10);
+  DiGraph g = Figure2Graph();
+  for (const Edge& e : g.Edges()) incremental.AddEdge(e.from, e.to);
+  EXPECT_EQ(incremental.Edges(), g.Edges());
+  EXPECT_EQ(incremental.num_edges(), g.num_edges());
+}
+
+}  // namespace
+}  // namespace csc

@@ -1,0 +1,102 @@
+#include "graph/dot_export.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "csc/csc_index.h"
+#include "graph/ordering.h"
+#include "graph/subgraph.h"
+#include "tests/test_util.h"
+
+namespace csc {
+namespace {
+
+size_t CountOccurrences(const std::string& text, const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(ToDotTest, EmitsHeaderAllVerticesAndAllEdges) {
+  DiGraph graph = Figure2Graph();
+  std::string dot = ToDot(graph);
+  EXPECT_NE(dot.find("digraph csc {"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+  // One "->" per edge.
+  EXPECT_EQ(CountOccurrences(dot, "->"), graph.num_edges());
+  // Every vertex declared with a label.
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+    EXPECT_NE(dot.find("  " + std::to_string(v) + " [label=\"" +
+                       std::to_string(v) + "\"];"),
+              std::string::npos)
+        << "vertex " << v;
+  }
+}
+
+TEST(ToDotTest, CustomNameAndUnlabeled) {
+  DiGraph graph(2);
+  graph.AddEdge(0, 1);
+  DotOptions options;
+  options.graph_name = "payments";
+  options.label_vertices = false;
+  std::string dot = ToDot(graph, options);
+  EXPECT_NE(dot.find("digraph payments {"), std::string::npos);
+  EXPECT_NE(dot.find("[label=\"\"]"), std::string::npos);
+}
+
+TEST(ToDotTest, EmptyGraphIsValidDot) {
+  std::string dot = ToDot(DiGraph());
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("}"), std::string::npos);
+  EXPECT_EQ(CountOccurrences(dot, "->"), 0u);
+}
+
+TEST(RenderCycleStudyDotTest, UsesOriginalIdsAndStyles) {
+  DiGraph graph = Figure2Graph();
+  CscIndex index = CscIndex::Build(graph, DegreeOrdering(graph));
+  Subgraph sub = ShortestCycleSubgraph(graph, 6);  // v7's shortest cycles
+  ASSERT_GT(sub.graph.num_vertices(), 0u);
+
+  std::string dot = RenderCycleStudyDot(
+      sub, [&](Vertex v) { return index.Query(v); });
+  // Node lines carry original vertex ids, size and gray fill.
+  EXPECT_NE(dot.find("6 [label=\"6\""), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=gray"), std::string::npos);
+  EXPECT_NE(dot.find("width="), std::string::npos);
+  EXPECT_EQ(CountOccurrences(dot, "->"), sub.graph.num_edges());
+}
+
+TEST(RenderCycleStudyDotTest, BiggestVertexHasLargestCount) {
+  // Two reciprocal pairs sharing vertex 0: SCCnt(0) = 2, others 1. Vertex 0
+  // must get the maximal width (1.60); the count-1 vertices something
+  // strictly smaller.
+  DiGraph graph(3);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 0);
+  graph.AddEdge(0, 2);
+  graph.AddEdge(2, 0);
+  CscIndex index = CscIndex::Build(graph, DegreeOrdering(graph));
+  ASSERT_EQ(index.Query(0).count, 2u);
+
+  std::vector<Vertex> all = {0, 1, 2};
+  Subgraph sub = InducedSubgraph(graph, all);
+  std::string dot = RenderCycleStudyDot(
+      sub, [&](Vertex v) { return index.Query(v); });
+  EXPECT_NE(dot.find("0 [label=\"0\", width=1.60"), std::string::npos);
+  EXPECT_EQ(dot.find("1 [label=\"1\", width=1.60"), std::string::npos);
+}
+
+TEST(RenderCycleStudyDotTest, EmptySubgraphRendersEmptyDigraph) {
+  Subgraph empty;
+  std::string dot =
+      RenderCycleStudyDot(empty, [](Vertex) { return CycleCount{}; });
+  EXPECT_NE(dot.find("digraph case_study {"), std::string::npos);
+  EXPECT_EQ(CountOccurrences(dot, "->"), 0u);
+}
+
+}  // namespace
+}  // namespace csc

@@ -1,0 +1,102 @@
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "csc/csc_index.h"
+#include "graph/cycle_enumeration.h"
+#include "graph/ordering.h"
+#include "tests/test_util.h"
+
+namespace csc {
+namespace {
+
+// Checks that `cycle` is a simple directed cycle in `graph` starting with
+// the edge (u, v).
+void ExpectValidEdgeCycle(const DiGraph& graph, Vertex u, Vertex v,
+                          const std::vector<Vertex>& cycle) {
+  ASSERT_GE(cycle.size(), 2u);
+  EXPECT_EQ(cycle[0], u);
+  EXPECT_EQ(cycle[1], v);
+  std::set<Vertex> distinct(cycle.begin(), cycle.end());
+  EXPECT_EQ(distinct.size(), cycle.size()) << "repeated vertex";
+  for (size_t i = 0; i + 1 < cycle.size(); ++i) {
+    EXPECT_TRUE(graph.HasEdge(cycle[i], cycle[i + 1]))
+        << cycle[i] << "->" << cycle[i + 1] << " missing";
+  }
+  EXPECT_TRUE(graph.HasEdge(cycle.back(), cycle.front()));
+}
+
+TEST(EdgeEnumerationTest, TwoCycle) {
+  DiGraph graph(2);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 0);
+  auto cycles = EnumerateShortestCyclesThroughEdge(graph, 0, 1, 10);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0], (std::vector<Vertex>{0, 1}));
+}
+
+TEST(EdgeEnumerationTest, AbsentEdgeInvalidArgsAndNoReturnPath) {
+  DiGraph graph(3);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 2);
+  EXPECT_TRUE(EnumerateShortestCyclesThroughEdge(graph, 0, 2, 5).empty());
+  EXPECT_TRUE(EnumerateShortestCyclesThroughEdge(graph, 1, 1, 5).empty());
+  EXPECT_TRUE(EnumerateShortestCyclesThroughEdge(graph, 0, 99, 5).empty());
+  EXPECT_TRUE(EnumerateShortestCyclesThroughEdge(graph, 0, 1, 0).empty());
+  // Edge exists but nothing returns to 0.
+  EXPECT_TRUE(EnumerateShortestCyclesThroughEdge(graph, 0, 1, 5).empty());
+}
+
+TEST(EdgeEnumerationTest, FunnelEdgeEnumeratesEveryRoute) {
+  // criminal 0 -> mules {2,3,4} -> collector 1 -> 0: edge (1, 0) lies on
+  // exactly three 3-cycles.
+  DiGraph graph(5);
+  for (Vertex mule : {2u, 3u, 4u}) {
+    graph.AddEdge(0, mule);
+    graph.AddEdge(mule, 1);
+  }
+  graph.AddEdge(1, 0);
+  auto cycles = EnumerateShortestCyclesThroughEdge(graph, 1, 0, 10);
+  ASSERT_EQ(cycles.size(), 3u);
+  std::set<Vertex> mules;
+  for (const auto& cycle : cycles) {
+    ExpectValidEdgeCycle(graph, 1, 0, cycle);
+    ASSERT_EQ(cycle.size(), 3u);
+    mules.insert(cycle[2]);
+  }
+  EXPECT_EQ(mules, (std::set<Vertex>{2, 3, 4}));
+}
+
+TEST(EdgeEnumerationTest, CountMatchesIndexQueryOnRandomGraphs) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    DiGraph graph = RandomGraph(40, 2.5, seed + 600);
+    CscIndex index = CscIndex::Build(graph, DegreeOrdering(graph));
+    for (const Edge& e : graph.Edges()) {
+      CycleCount expected = index.QueryThroughEdge(e.from, e.to);
+      auto cycles =
+          EnumerateShortestCyclesThroughEdge(graph, e.from, e.to, 100000);
+      ASSERT_EQ(cycles.size(), expected.count)
+          << "seed " << seed << " edge " << e.from << "->" << e.to;
+      for (const auto& cycle : cycles) {
+        ExpectValidEdgeCycle(graph, e.from, e.to, cycle);
+        EXPECT_EQ(cycle.size(), expected.length);
+      }
+    }
+  }
+}
+
+TEST(EdgeEnumerationTest, LimitTruncates) {
+  // A funnel with 8 routes, limit 3.
+  DiGraph graph(10);
+  for (Vertex mule = 2; mule < 10; ++mule) {
+    graph.AddEdge(0, mule);
+    graph.AddEdge(mule, 1);
+  }
+  graph.AddEdge(1, 0);
+  auto cycles = EnumerateShortestCyclesThroughEdge(graph, 1, 0, 3);
+  EXPECT_EQ(cycles.size(), 3u);
+}
+
+}  // namespace
+}  // namespace csc

@@ -1,0 +1,62 @@
+#include "util/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace csc {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(EnvTest, WriteThenReadRoundTrips) {
+  std::string path = TempPath("env_roundtrip.txt");
+  ASSERT_TRUE(WriteStringToFile(path, "hello\nworld\n"));
+  auto back = ReadFileToString(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, "hello\nworld\n");
+  std::remove(path.c_str());
+}
+
+TEST(EnvTest, ReadMissingFileFails) {
+  EXPECT_FALSE(ReadFileToString("/nonexistent/definitely/missing").has_value());
+}
+
+TEST(EnvTest, WriteToBadPathFails) {
+  EXPECT_FALSE(WriteStringToFile("/nonexistent/dir/file.txt", "x"));
+}
+
+TEST(EnvTest, WriteOverwritesExisting) {
+  std::string path = TempPath("env_overwrite.txt");
+  ASSERT_TRUE(WriteStringToFile(path, "first"));
+  ASSERT_TRUE(WriteStringToFile(path, "second"));
+  EXPECT_EQ(ReadFileToString(path).value(), "second");
+  std::remove(path.c_str());
+}
+
+TEST(EnvTest, RoundTripsBinaryContent) {
+  std::string path = TempPath("env_binary.bin");
+  std::string data;
+  for (int i = 0; i < 256; ++i) data.push_back(static_cast<char>(i));
+  ASSERT_TRUE(WriteStringToFile(path, data));
+  EXPECT_EQ(ReadFileToString(path).value(), data);
+  std::remove(path.c_str());
+}
+
+TEST(EnvTest, HumanBytesScales) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2 KB");
+  EXPECT_EQ(HumanBytes(5ull * 1024 * 1024), "5 MB");
+}
+
+TEST(EnvTest, HumanSecondsScales) {
+  EXPECT_EQ(HumanSeconds(2.0), "2 s");
+  EXPECT_EQ(HumanSeconds(0.002), "2 ms");
+  EXPECT_EQ(HumanSeconds(2e-6), "2 us");
+}
+
+}  // namespace
+}  // namespace csc

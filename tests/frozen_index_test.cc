@@ -1,0 +1,70 @@
+#include "csc/frozen_index.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/bfs_cycle.h"
+#include "tests/test_util.h"
+
+namespace csc {
+namespace {
+
+TEST(FrozenIndexTest, QueriesMatchLiveIndex) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    DiGraph g = RandomGraph(80, 2.5, seed);
+    CscIndex live = CscIndex::Build(g, DegreeOrdering(g));
+    FrozenIndex frozen = FrozenIndex::FromIndex(live);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(frozen.Query(v), live.Query(v))
+          << "seed " << seed << " vertex " << v;
+    }
+  }
+}
+
+TEST(FrozenIndexTest, MatchesBfsGroundTruth) {
+  DiGraph g = RandomGraph(60, 3.0, 42);
+  FrozenIndex frozen =
+      FrozenIndex::FromIndex(CscIndex::Build(g, DegreeOrdering(g)));
+  BfsCycleCounter bfs(g);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(frozen.Query(v), bfs.CountCycles(v)) << "vertex " << v;
+  }
+}
+
+TEST(FrozenIndexTest, SizeMatchesCompact) {
+  DiGraph g = RandomGraph(50, 2.0, 7);
+  CscIndex live = CscIndex::Build(g, DegreeOrdering(g));
+  CompactIndex compact = CompactIndex::FromIndex(live);
+  FrozenIndex frozen = FrozenIndex::FromCompact(compact);
+  EXPECT_EQ(frozen.TotalEntries(), compact.TotalEntries());
+  EXPECT_EQ(frozen.SizeBytes(), compact.SizeBytes());
+  EXPECT_EQ(frozen.num_original_vertices(), compact.num_original_vertices());
+}
+
+TEST(FrozenIndexTest, OutOfRangeAndEmpty) {
+  FrozenIndex empty;
+  EXPECT_EQ(empty.num_original_vertices(), 0u);
+  EXPECT_EQ(empty.Query(0), (CycleCount{kInfDist, 0}));
+
+  DiGraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  FrozenIndex frozen =
+      FrozenIndex::FromIndex(CscIndex::Build(g, DegreeOrdering(g)));
+  EXPECT_EQ(frozen.Query(99), (CycleCount{kInfDist, 0}));
+  EXPECT_EQ(frozen.Query(0), (CycleCount{2, 1}));
+}
+
+TEST(FrozenIndexTest, SurvivesSerializationRoundTrip) {
+  DiGraph g = RandomGraph(40, 2.5, 13);
+  CscIndex live = CscIndex::Build(g, DegreeOrdering(g));
+  auto reloaded =
+      CompactIndex::Deserialize(CompactIndex::FromIndex(live).Serialize());
+  ASSERT_TRUE(reloaded.has_value());
+  FrozenIndex frozen = FrozenIndex::FromCompact(*reloaded);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(frozen.Query(v), live.Query(v));
+  }
+}
+
+}  // namespace
+}  // namespace csc

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "baseline/bfs_cycle.h"
+#include "csc/csc_index.h"
+#include "graph/generators.h"
+#include "graph/ordering.h"
+#include "graph/scc.h"
+
+namespace csc {
+namespace {
+
+TEST(SbmTest, DeterministicAndSeedSensitive) {
+  SbmConfig config;
+  config.num_vertices = 100;
+  EXPECT_EQ(GenerateStochasticBlockModel(config, 1),
+            GenerateStochasticBlockModel(config, 1));
+  EXPECT_NE(GenerateStochasticBlockModel(config, 1),
+            GenerateStochasticBlockModel(config, 2));
+}
+
+TEST(SbmTest, IntraBlockDensityExceedsInterBlock) {
+  SbmConfig config;
+  config.num_vertices = 200;
+  config.num_blocks = 4;
+  config.intra_p = 0.2;
+  config.inter_p = 0.01;
+  DiGraph graph = GenerateStochasticBlockModel(config, 7);
+  uint64_t intra = 0, inter = 0;
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+    for (Vertex w : graph.OutNeighbors(v)) {
+      if (v % config.num_blocks == w % config.num_blocks) {
+        ++intra;
+      } else {
+        ++inter;
+      }
+    }
+  }
+  // 50 vertices per block: ~0.2 * 50 * 49 * 4 intra vs ~0.01 * 200*150 inter.
+  EXPECT_GT(intra, inter);
+}
+
+TEST(SbmTest, NoSelfLoops) {
+  SbmConfig config;
+  config.num_vertices = 80;
+  config.intra_p = 0.5;  // dense enough that a self-loop bug would show
+  DiGraph graph = GenerateStochasticBlockModel(config, 3);
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+    EXPECT_FALSE(graph.HasEdge(v, v));
+  }
+}
+
+TEST(SbmTest, ZeroBlocksCoercedToOne) {
+  SbmConfig config;
+  config.num_vertices = 20;
+  config.num_blocks = 0;
+  config.intra_p = 0.3;
+  DiGraph graph = GenerateStochasticBlockModel(config, 5);
+  EXPECT_EQ(graph.num_vertices(), 20u);
+  EXPECT_GT(graph.num_edges(), 0u);
+}
+
+TEST(CompleteDigraphTest, HasAllOrderedPairs) {
+  DiGraph complete = GenerateCompleteDigraph(7);
+  EXPECT_EQ(complete.num_vertices(), 7u);
+  EXPECT_EQ(complete.num_edges(), 42u);
+  for (Vertex u = 0; u < 7; ++u) {
+    for (Vertex v = 0; v < 7; ++v) {
+      EXPECT_EQ(complete.HasEdge(u, v), u != v);
+    }
+  }
+}
+
+TEST(CompleteDigraphTest, EveryVertexHasNMinusTwoTwoCycles) {
+  // In K_n (directed), every vertex v has a 2-cycle with each other vertex.
+  DiGraph complete = GenerateCompleteDigraph(6);
+  for (Vertex v = 0; v < 6; ++v) {
+    CycleCount c = BfsCountCycles(complete, v);
+    EXPECT_EQ(c.length, 2u);
+    EXPECT_EQ(c.count, 5u);
+  }
+}
+
+TEST(CompleteDigraphTest, IndexAgreesOnDensestCase) {
+  DiGraph complete = GenerateCompleteDigraph(10);
+  CscIndex index = CscIndex::Build(complete, DegreeOrdering(complete));
+  for (Vertex v = 0; v < 10; ++v) {
+    EXPECT_EQ(index.Query(v), (CycleCount{2, 9}));
+  }
+}
+
+TEST(RingOfCliquesTest, StructureIsExact) {
+  DiGraph ring = GenerateRingOfCliques(4, 3);
+  EXPECT_EQ(ring.num_vertices(), 12u);
+  // 4 cliques x 6 intra edges + 4 bridges.
+  EXPECT_EQ(ring.num_edges(), 4u * 6 + 4);
+}
+
+TEST(RingOfCliquesTest, EveryVertexHasKnownAnswer) {
+  // Within a clique of size s, every vertex has s-1 two-cycles.
+  const unsigned s = 4;
+  DiGraph ring = GenerateRingOfCliques(3, s);
+  CscIndex index = CscIndex::Build(ring, DegreeOrdering(ring));
+  for (Vertex v = 0; v < ring.num_vertices(); ++v) {
+    EXPECT_EQ(index.Query(v), (CycleCount{2, s - 1})) << "vertex " << v;
+  }
+}
+
+TEST(RingOfCliquesTest, SingleCliqueHasNoBridge) {
+  DiGraph clique = GenerateRingOfCliques(1, 5);
+  EXPECT_EQ(clique.num_edges(), 20u);
+  EXPECT_EQ(clique, GenerateCompleteDigraph(5));
+}
+
+TEST(RingOfCliquesTest, CliqueSizeOneIsARingCycle) {
+  // Degenerate cliques: the graph is a directed n-cycle; every vertex lies
+  // on exactly one shortest cycle of length n.
+  DiGraph ring = GenerateRingOfCliques(6, 1);
+  EXPECT_EQ(ring.num_edges(), 6u);
+  SccResult scc = ComputeScc(ring);
+  EXPECT_EQ(scc.num_components(), 1u);
+  for (Vertex v = 0; v < 6; ++v) {
+    EXPECT_EQ(BfsCountCycles(ring, v), (CycleCount{6, 1}));
+  }
+}
+
+TEST(RingOfCliquesTest, WholeRingIsOneScc) {
+  DiGraph ring = GenerateRingOfCliques(5, 3);
+  SccResult scc = ComputeScc(ring);
+  EXPECT_EQ(scc.num_components(), 1u);
+}
+
+}  // namespace
+}  // namespace csc

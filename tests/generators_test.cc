@@ -1,0 +1,159 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/bfs_cycle.h"
+
+namespace csc {
+namespace {
+
+void ExpectSimpleDirected(const DiGraph& g) {
+  std::set<std::pair<Vertex, Vertex>> seen;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    for (Vertex w : g.OutNeighbors(v)) {
+      ASSERT_NE(v, w) << "self-loop at " << v;
+      ASSERT_TRUE(seen.emplace(v, w).second)
+          << "duplicate edge " << v << "->" << w;
+    }
+  }
+}
+
+TEST(ErdosRenyiTest, ProducesRequestedEdgeCount) {
+  DiGraph g = GenerateErdosRenyi(100, 400, 1);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  EXPECT_EQ(g.num_edges(), 400u);
+  ExpectSimpleDirected(g);
+}
+
+TEST(ErdosRenyiTest, DeterministicPerSeed) {
+  EXPECT_EQ(GenerateErdosRenyi(50, 120, 7).Edges(),
+            GenerateErdosRenyi(50, 120, 7).Edges());
+  EXPECT_NE(GenerateErdosRenyi(50, 120, 7).Edges(),
+            GenerateErdosRenyi(50, 120, 8).Edges());
+}
+
+TEST(ErdosRenyiTest, ClampsToMaxPossibleEdges) {
+  DiGraph g = GenerateErdosRenyi(5, 1000, 3);
+  EXPECT_EQ(g.num_edges(), 20u);  // 5 * 4 directed pairs
+}
+
+TEST(PreferentialAttachmentTest, BasicShape) {
+  DiGraph g = GeneratePreferentialAttachment(2000, 2, 0.1, 11);
+  EXPECT_EQ(g.num_vertices(), 2000u);
+  EXPECT_GT(g.num_edges(), 2000u);
+  ExpectSimpleDirected(g);
+}
+
+TEST(PreferentialAttachmentTest, DegreeDistributionIsSkewed) {
+  DiGraph g = GeneratePreferentialAttachment(5000, 2, 0.1, 13);
+  size_t max_degree = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    max_degree = std::max(max_degree, g.Degree(v));
+  }
+  double avg_degree = 2.0 * g.num_edges() / g.num_vertices();
+  // Power-law-ish: the hub's degree dwarfs the average.
+  EXPECT_GT(max_degree, 10 * avg_degree);
+}
+
+TEST(PreferentialAttachmentTest, ContainsCycles) {
+  DiGraph g = GeneratePreferentialAttachment(500, 2, 0.2, 17);
+  size_t with_cycles = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (BfsCountCycles(g, v).count > 0) ++with_cycles;
+  }
+  EXPECT_GT(with_cycles, g.num_vertices() / 10);
+}
+
+TEST(SmallWorldTest, LatticeWithoutRewiringIsRegular) {
+  DiGraph g = GenerateSmallWorld(100, 3, 0.0, 19);
+  EXPECT_EQ(g.num_edges(), 300u);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(g.OutDegree(v), 3u);
+    EXPECT_TRUE(g.HasEdge(v, (v + 1) % 100));
+  }
+}
+
+TEST(SmallWorldTest, RewiringKeepsGraphSimple) {
+  DiGraph g = GenerateSmallWorld(1000, 4, 0.3, 23);
+  ExpectSimpleDirected(g);
+  EXPECT_GT(g.num_edges(), 3500u);
+}
+
+TEST(SmallWorldTest, RingProvidesCyclesThroughEveryVertex) {
+  DiGraph g = GenerateSmallWorld(60, 2, 0.0, 29);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_GT(BfsCountCycles(g, v).count, 0u);
+  }
+}
+
+TEST(RmatTest, ProducesRequestedShape) {
+  RmatConfig config;
+  config.scale = 10;
+  config.num_edges = 4000;
+  DiGraph g = GenerateRmat(config, 7);
+  EXPECT_EQ(g.num_vertices(), 1024u);
+  EXPECT_EQ(g.num_edges(), 4000u);
+  ExpectSimpleDirected(g);
+}
+
+TEST(RmatTest, DeterministicAndSeedSensitive) {
+  RmatConfig config;
+  config.scale = 8;
+  config.num_edges = 1000;
+  EXPECT_EQ(GenerateRmat(config, 1).Edges(), GenerateRmat(config, 1).Edges());
+  EXPECT_NE(GenerateRmat(config, 1).Edges(), GenerateRmat(config, 2).Edges());
+}
+
+TEST(RmatTest, SkewedQuadrantsProduceSkewedDegrees) {
+  RmatConfig config;
+  config.scale = 12;
+  config.num_edges = 20000;
+  DiGraph g = GenerateRmat(config, 9);
+  size_t max_degree = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    max_degree = std::max(max_degree, g.Degree(v));
+  }
+  double avg = 2.0 * g.num_edges() / g.num_vertices();
+  EXPECT_GT(max_degree, 8 * avg);
+}
+
+TEST(MoneyLaunderingTest, PlantedRingCountsAreExact) {
+  MoneyLaunderingConfig cfg;
+  cfg.num_background = 300;
+  cfg.num_rings = 3;
+  cfg.routes_per_ring = 5;
+  cfg.route_length = 3;
+  MoneyLaunderingGraph ml = GenerateMoneyLaundering(cfg, 31);
+  ASSERT_EQ(ml.criminal_accounts.size(), 3u);
+  for (Vertex criminal : ml.criminal_accounts) {
+    CycleCount cc = BfsCountCycles(ml.graph, criminal);
+    // Each route is one shortest cycle of length route_length + 1; criminal
+    // accounts have no other outgoing routes, so the counts are exact.
+    EXPECT_EQ(cc.length, cfg.route_length + 1);
+    EXPECT_EQ(cc.count, cfg.routes_per_ring);
+  }
+}
+
+TEST(MoneyLaunderingTest, CriminalsStandOutFromBackground) {
+  MoneyLaunderingConfig cfg;
+  cfg.num_background = 500;
+  cfg.num_rings = 2;
+  cfg.routes_per_ring = 8;
+  cfg.route_length = 3;
+  MoneyLaunderingGraph ml = GenerateMoneyLaundering(cfg, 37);
+  uint64_t max_background = 0;
+  for (Vertex v = 0; v < cfg.num_background; ++v) {
+    CycleCount cc = BfsCountCycles(ml.graph, v);
+    if (cc.length == cfg.route_length + 1) {
+      max_background = std::max<uint64_t>(max_background, cc.count);
+    }
+  }
+  for (Vertex criminal : ml.criminal_accounts) {
+    EXPECT_GT(BfsCountCycles(ml.graph, criminal).count, max_background);
+  }
+}
+
+}  // namespace
+}  // namespace csc

@@ -1,0 +1,158 @@
+#include "csc/girth.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/bfs_cycle.h"
+#include "csc/csc_index.h"
+#include "csc/frozen_index.h"
+#include "graph/digraph.h"
+#include "graph/ordering.h"
+#include "tests/test_util.h"
+
+namespace csc {
+namespace {
+
+CscIndex BuildIndex(const DiGraph& graph) {
+  return CscIndex::Build(graph, DegreeOrdering(graph));
+}
+
+TEST(GirthTest, AcyclicGraphHasInfiniteGirth) {
+  DiGraph dag(4);
+  dag.AddEdge(0, 1);
+  dag.AddEdge(1, 2);
+  dag.AddEdge(2, 3);
+  CscIndex index = BuildIndex(dag);
+  GirthInfo info = ComputeGirth(index);
+  EXPECT_EQ(info.girth, kInfDist);
+  EXPECT_EQ(info.num_girth_vertices, 0u);
+  EXPECT_EQ(info.example_vertex, kNoVertex);
+}
+
+TEST(GirthTest, TriangleGirthIsThree) {
+  DiGraph triangle(3);
+  triangle.AddEdge(0, 1);
+  triangle.AddEdge(1, 2);
+  triangle.AddEdge(2, 0);
+  CscIndex index = BuildIndex(triangle);
+  GirthInfo info = ComputeGirth(index);
+  EXPECT_EQ(info.girth, 3u);
+  EXPECT_EQ(info.num_girth_vertices, 3u);
+  EXPECT_EQ(info.example_vertex, 0u);
+}
+
+TEST(GirthTest, ReciprocalEdgeDominatesLongerCycles) {
+  // Triangle {0,1,2} plus reciprocal pair {3,4}: girth is 2.
+  DiGraph graph(5);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 2);
+  graph.AddEdge(2, 0);
+  graph.AddEdge(3, 4);
+  graph.AddEdge(4, 3);
+  CscIndex index = BuildIndex(graph);
+  GirthInfo info = ComputeGirth(index);
+  EXPECT_EQ(info.girth, 2u);
+  EXPECT_EQ(info.num_girth_vertices, 2u);
+  EXPECT_EQ(info.example_vertex, 3u);
+}
+
+TEST(GirthTest, Figure2GirthMatchesOracleSweep) {
+  DiGraph graph = Figure2Graph();
+  CscIndex index = BuildIndex(graph);
+  GirthInfo info = ComputeGirth(index);
+
+  BfsCycleCounter counter(graph);
+  Dist oracle_girth = kInfDist;
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+    CycleCount c = counter.CountCycles(v);
+    if (c.count > 0 && c.length < oracle_girth) oracle_girth = c.length;
+  }
+  EXPECT_EQ(info.girth, oracle_girth);
+}
+
+TEST(GirthTest, FrozenIndexGivesSameGirth) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    DiGraph graph = RandomGraph(60, 2.5, seed + 3);
+    CscIndex index = BuildIndex(graph);
+    FrozenIndex frozen = FrozenIndex::FromIndex(index);
+    GirthInfo a = ComputeGirth(index);
+    GirthInfo b = ComputeGirth(frozen);
+    EXPECT_EQ(a.girth, b.girth);
+    EXPECT_EQ(a.num_girth_vertices, b.num_girth_vertices);
+    EXPECT_EQ(a.example_vertex, b.example_vertex);
+  }
+}
+
+TEST(HistogramTest, CountsPartitionVertices) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    DiGraph graph = RandomGraph(70, 2.0, seed + 9);
+    CscIndex index = BuildIndex(graph);
+    CycleLengthHistogram histogram = ComputeCycleLengthHistogram(index);
+    EXPECT_EQ(histogram.cyclic_vertices() + histogram.acyclic_vertices,
+              graph.num_vertices());
+  }
+}
+
+TEST(HistogramTest, MatchesPerVertexOracle) {
+  DiGraph graph = RandomGraph(60, 3.0, 17);
+  CscIndex index = BuildIndex(graph);
+  CycleLengthHistogram histogram = ComputeCycleLengthHistogram(index);
+
+  BfsCycleCounter counter(graph);
+  std::vector<uint64_t> expected;
+  uint64_t acyclic = 0;
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+    CycleCount c = counter.CountCycles(v);
+    if (c.count == 0) {
+      ++acyclic;
+      continue;
+    }
+    if (expected.size() <= c.length) expected.resize(c.length + 1, 0);
+    ++expected[c.length];
+  }
+  EXPECT_EQ(histogram.vertices_by_length, expected);
+  EXPECT_EQ(histogram.acyclic_vertices, acyclic);
+}
+
+TEST(HistogramTest, NoLengthZeroOrOneOnSimpleGraphs) {
+  DiGraph graph = RandomGraph(80, 3.0, 23);
+  CscIndex index = BuildIndex(graph);
+  CycleLengthHistogram histogram = ComputeCycleLengthHistogram(index);
+  if (histogram.vertices_by_length.size() > 0) {
+    EXPECT_EQ(histogram.vertices_by_length[0], 0u);
+  }
+  if (histogram.vertices_by_length.size() > 1) {
+    EXPECT_EQ(histogram.vertices_by_length[1], 0u);
+  }
+}
+
+TEST(HistogramTest, EmptyGraphHistogram) {
+  CscIndex index = BuildIndex(DiGraph());
+  CycleLengthHistogram histogram = ComputeCycleLengthHistogram(index);
+  EXPECT_TRUE(histogram.vertices_by_length.empty());
+  EXPECT_EQ(histogram.acyclic_vertices, 0u);
+  EXPECT_EQ(histogram.cyclic_vertices(), 0u);
+}
+
+TEST(GirthTest, GirthIsMinOfHistogramSupport) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    DiGraph graph = RandomGraph(50, 2.5, seed + 31);
+    CscIndex index = BuildIndex(graph);
+    GirthInfo info = ComputeGirth(index);
+    CycleLengthHistogram histogram = ComputeCycleLengthHistogram(index);
+    Dist min_support = kInfDist;
+    for (size_t len = 0; len < histogram.vertices_by_length.size(); ++len) {
+      if (histogram.vertices_by_length[len] > 0) {
+        min_support = static_cast<Dist>(len);
+        break;
+      }
+    }
+    EXPECT_EQ(info.girth, min_support) << "seed " << seed;
+    if (info.girth != kInfDist) {
+      EXPECT_EQ(info.num_girth_vertices,
+                histogram.vertices_by_length[info.girth]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace csc

@@ -1,0 +1,100 @@
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "tests/test_util.h"
+#include "util/env.h"
+
+namespace csc {
+namespace {
+
+TEST(GraphIoTest, ParsesSnapFormat) {
+  auto g = ParseEdgeList(
+      "# Directed graph\n"
+      "# FromNodeId\tToNodeId\n"
+      "0\t1\n"
+      "1\t2\n"
+      "2\t0\n");
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->num_vertices(), 3u);
+  EXPECT_EQ(g->num_edges(), 3u);
+  EXPECT_TRUE(g->HasEdge(0, 1));
+  EXPECT_TRUE(g->HasEdge(2, 0));
+}
+
+TEST(GraphIoTest, RemapsNonContiguousIds) {
+  auto g = ParseEdgeList("100 200\n200 7\n");
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->num_vertices(), 3u);
+  // 100 -> 0, 200 -> 1, 7 -> 2 in order of first appearance.
+  EXPECT_TRUE(g->HasEdge(0, 1));
+  EXPECT_TRUE(g->HasEdge(1, 2));
+}
+
+TEST(GraphIoTest, ParsesKonectCommentsAndExtraColumns) {
+  auto g = ParseEdgeList(
+      "% asym unweighted\n"
+      "1 2 1 1370000000\n"
+      "2 3 1 1370000001\n");
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->num_vertices(), 3u);
+  EXPECT_EQ(g->num_edges(), 2u);
+}
+
+TEST(GraphIoTest, DropsSelfLoopsAndDuplicates) {
+  auto g = ParseEdgeList("0 0\n0 1\n0 1\n");
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->num_edges(), 1u);
+}
+
+TEST(GraphIoTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseEdgeList("0 x\n").has_value());
+  EXPECT_FALSE(ParseEdgeList("abc def\n").has_value());
+  EXPECT_FALSE(ParseEdgeList("1\n").has_value());
+}
+
+TEST(GraphIoTest, EmptyInputYieldsEmptyGraph) {
+  auto g = ParseEdgeList("# nothing but comments\n\n");
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->num_vertices(), 0u);
+  EXPECT_EQ(g->num_edges(), 0u);
+}
+
+TEST(GraphIoTest, SaveLoadRoundTripsFigure2) {
+  DiGraph g = Figure2Graph();
+  std::string path = testing::TempDir() + "/fig2.edges";
+  ASSERT_TRUE(SaveEdgeListFile(g, path));
+  auto back = LoadEdgeListFile(path);
+  ASSERT_TRUE(back.has_value());
+  // The emitted "# Nodes:" header makes the round trip id-exact.
+  EXPECT_EQ(*back, g);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, NodesHeaderPreservesIdsAndIsolatedVertices) {
+  auto g = ParseEdgeList("# Nodes: 6 Edges: 2\n5 3\n3 5\n");
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->num_vertices(), 6u);
+  EXPECT_TRUE(g->HasEdge(5, 3));
+  EXPECT_TRUE(g->HasEdge(3, 5));
+  EXPECT_EQ(g->Degree(0), 0u);  // isolated vertex retained
+}
+
+TEST(GraphIoTest, NodesHeaderRejectsOutOfRangeIds) {
+  EXPECT_FALSE(ParseEdgeList("# Nodes: 3\n0 5\n").has_value());
+}
+
+TEST(GraphIoTest, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadEdgeListFile("/no/such/file.edges").has_value());
+}
+
+TEST(GraphIoTest, HandlesCrLfLineEndings) {
+  auto g = ParseEdgeList("0 1\r\n1 2\r\n");
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->num_edges(), 2u);
+}
+
+}  // namespace
+}  // namespace csc

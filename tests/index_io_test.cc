@@ -1,0 +1,136 @@
+#include "csc/index_io.h"
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "csc/csc_index.h"
+#include "graph/ordering.h"
+#include "tests/test_util.h"
+#include "util/env.h"
+
+namespace csc {
+namespace {
+
+// A unique temp path per test; removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag)
+      : path_(::testing::TempDir() + "csc_index_io_" + tag + ".idx") {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+CompactIndex BuildCompact(uint64_t seed) {
+  DiGraph graph = RandomGraph(50, 2.5, seed);
+  CscIndex index = CscIndex::Build(graph, DegreeOrdering(graph));
+  return CompactIndex::FromIndex(index);
+}
+
+TEST(IndexIoTest, RoundTripPreservesIndex) {
+  TempFile file("roundtrip");
+  CompactIndex original = BuildCompact(1);
+  ASSERT_TRUE(SaveIndexToFile(original, file.path()));
+  IndexLoadResult loaded = LoadIndexFromFile(file.path());
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  EXPECT_EQ(*loaded.index, original);
+}
+
+TEST(IndexIoTest, RoundTripServesIdenticalQueries) {
+  TempFile file("queries");
+  DiGraph graph = RandomGraph(60, 3.0, 7);
+  CscIndex index = CscIndex::Build(graph, DegreeOrdering(graph));
+  CompactIndex compact = CompactIndex::FromIndex(index);
+  ASSERT_TRUE(SaveIndexToFile(compact, file.path()));
+  IndexLoadResult loaded = LoadIndexFromFile(file.path());
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+    EXPECT_EQ(loaded.index->Query(v), index.Query(v)) << "vertex " << v;
+  }
+}
+
+TEST(IndexIoTest, MissingFileReportsIoError) {
+  IndexLoadResult result = LoadIndexFromFile("/nonexistent/path/index.idx");
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("cannot read"), std::string::npos);
+}
+
+TEST(IndexIoTest, EmptyFileRejected) {
+  TempFile file("empty");
+  ASSERT_TRUE(WriteStringToFile(file.path(), ""));
+  IndexLoadResult result = LoadIndexFromFile(file.path());
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("too small"), std::string::npos);
+}
+
+TEST(IndexIoTest, ForeignFileRejectedByMagic) {
+  TempFile file("foreign");
+  ASSERT_TRUE(WriteStringToFile(file.path(),
+                                std::string(64, 'A')));  // no magic
+  IndexLoadResult result = LoadIndexFromFile(file.path());
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("bad magic"), std::string::npos);
+}
+
+TEST(IndexIoTest, TruncationDetected) {
+  TempFile file("truncated");
+  ASSERT_TRUE(SaveIndexToFile(BuildCompact(2), file.path()));
+  std::optional<std::string> bytes = ReadFileToString(file.path());
+  ASSERT_TRUE(bytes.has_value());
+  // Cut the file short (drop the last 8 bytes).
+  ASSERT_GT(bytes->size(), 8u);
+  ASSERT_TRUE(
+      WriteStringToFile(file.path(), bytes->substr(0, bytes->size() - 8)));
+  IndexLoadResult result = LoadIndexFromFile(file.path());
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("truncated"), std::string::npos);
+}
+
+TEST(IndexIoTest, EveryPayloadBitFlipIsCaught) {
+  // Failure injection: flip one bit at a stride of payload positions; each
+  // corruption must be rejected by the checksum (never parsed as valid).
+  TempFile file("bitflip");
+  ASSERT_TRUE(SaveIndexToFile(BuildCompact(3), file.path()));
+  std::optional<std::string> pristine = ReadFileToString(file.path());
+  ASSERT_TRUE(pristine.has_value());
+  const size_t header = 16;  // magic + size
+  const size_t footer = 4;   // crc
+  ASSERT_GT(pristine->size(), header + footer);
+  for (size_t pos = header; pos + footer < pristine->size(); pos += 97) {
+    std::string corrupted = *pristine;
+    corrupted[pos] ^= 0x10;
+    ASSERT_TRUE(WriteStringToFile(file.path(), corrupted));
+    IndexLoadResult result = LoadIndexFromFile(file.path());
+    EXPECT_FALSE(result.ok()) << "undetected bit flip at byte " << pos;
+    EXPECT_NE(result.error.find("checksum"), std::string::npos);
+  }
+}
+
+TEST(IndexIoTest, CorruptedCrcFieldDetected) {
+  TempFile file("crc");
+  ASSERT_TRUE(SaveIndexToFile(BuildCompact(4), file.path()));
+  std::optional<std::string> bytes = ReadFileToString(file.path());
+  ASSERT_TRUE(bytes.has_value());
+  bytes->back() ^= 0xff;  // damage the stored checksum itself
+  ASSERT_TRUE(WriteStringToFile(file.path(), *bytes));
+  IndexLoadResult result = LoadIndexFromFile(file.path());
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(IndexIoTest, EmptyGraphIndexRoundTrips) {
+  TempFile file("emptygraph");
+  CscIndex index = CscIndex::Build(DiGraph(), DegreeOrdering(DiGraph()));
+  CompactIndex compact = CompactIndex::FromIndex(index);
+  ASSERT_TRUE(SaveIndexToFile(compact, file.path()));
+  IndexLoadResult loaded = LoadIndexFromFile(file.path());
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  EXPECT_EQ(loaded.index->num_original_vertices(), 0u);
+}
+
+}  // namespace
+}  // namespace csc

@@ -1,0 +1,137 @@
+#include "graph/kcore.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "baseline/bfs_cycle.h"
+#include "csc/csc_index.h"
+#include "graph/generators.h"
+#include "tests/test_util.h"
+
+namespace csc {
+namespace {
+
+// Reference O(n^2 m)-ish core computation: repeatedly delete all vertices
+// of degree < k in an induced-subgraph simulation.
+std::vector<uint32_t> NaiveCores(const DiGraph& graph) {
+  const Vertex n = graph.num_vertices();
+  std::vector<uint32_t> core(n, 0);
+  for (uint32_t k = 1;; ++k) {
+    std::vector<bool> alive(n, true);
+    // Peel everything below k to a fixed point.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (Vertex v = 0; v < n; ++v) {
+        if (!alive[v]) continue;
+        size_t degree = 0;
+        for (Vertex w : graph.OutNeighbors(v)) degree += alive[w];
+        for (Vertex w : graph.InNeighbors(v)) degree += alive[w];
+        if (degree < k) {
+          alive[v] = false;
+          changed = true;
+        }
+      }
+    }
+    bool any = false;
+    for (Vertex v = 0; v < n; ++v) {
+      if (alive[v]) {
+        core[v] = k;
+        any = true;
+      }
+    }
+    if (!any) return core;
+  }
+}
+
+TEST(KCoreTest, EmptyAndEdgelessGraphs) {
+  EXPECT_EQ(ComputeCores(DiGraph()).degeneracy, 0u);
+  CoreDecomposition cores = ComputeCores(DiGraph(5));
+  EXPECT_EQ(cores.degeneracy, 0u);
+  for (uint32_t c : cores.core) EXPECT_EQ(c, 0u);
+}
+
+TEST(KCoreTest, CompleteDigraphCore) {
+  // K_6 directed: every vertex has total degree 10; core = 10 everywhere.
+  DiGraph complete = GenerateCompleteDigraph(6);
+  CoreDecomposition cores = ComputeCores(complete);
+  EXPECT_EQ(cores.degeneracy, 10u);
+  for (uint32_t c : cores.core) EXPECT_EQ(c, 10u);
+}
+
+TEST(KCoreTest, PathHasCoreOne) {
+  DiGraph path(4);
+  path.AddEdge(0, 1);
+  path.AddEdge(1, 2);
+  path.AddEdge(2, 3);
+  CoreDecomposition cores = ComputeCores(path);
+  EXPECT_EQ(cores.degeneracy, 1u);
+  for (uint32_t c : cores.core) EXPECT_EQ(c, 1u);
+}
+
+TEST(KCoreTest, CliqueWithTailSeparatesCores) {
+  // 4-clique (total degree 6 inside) with a pendant path attached.
+  DiGraph graph = GenerateCompleteDigraph(4);
+  Vertex tail = graph.AddVertices(2);
+  graph.AddEdge(0, tail);
+  graph.AddEdge(tail, tail + 1);
+  CoreDecomposition cores = ComputeCores(graph);
+  for (Vertex v = 0; v < 4; ++v) EXPECT_EQ(cores.core[v], 6u);
+  EXPECT_LE(cores.core[tail], 2u);
+  EXPECT_EQ(cores.core[tail + 1], 1u);
+  EXPECT_EQ(cores.VerticesInCore(6), (std::vector<Vertex>{0, 1, 2, 3}));
+}
+
+TEST(KCoreTest, MatchesNaivePeelingOnRandomGraphs) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    DiGraph graph = RandomGraph(60, 3.0, seed + 800);
+    CoreDecomposition fast = ComputeCores(graph);
+    std::vector<uint32_t> naive = NaiveCores(graph);
+    EXPECT_EQ(fast.core, naive) << "seed " << seed;
+    EXPECT_EQ(fast.degeneracy,
+              *std::max_element(naive.begin(), naive.end()));
+  }
+}
+
+TEST(KCoreTest, CoreIsMonotoneUnderEdgeInsertion) {
+  DiGraph graph = RandomGraph(50, 2.0, 900);
+  CoreDecomposition before = ComputeCores(graph);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(2, 3);
+  CoreDecomposition after = ComputeCores(graph);
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+    EXPECT_GE(after.core[v], before.core[v]) << "vertex " << v;
+  }
+}
+
+TEST(CoreOrderingTest, IsAValidPermutationAndIndexStaysExact) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    DiGraph graph = RandomGraph(60, 2.5, seed + 950);
+    VertexOrdering order = CoreOrdering(graph);
+    ASSERT_EQ(order.rank_to_vertex.size(), graph.num_vertices());
+    std::vector<bool> seen(graph.num_vertices(), false);
+    for (Vertex v : order.rank_to_vertex) {
+      ASSERT_FALSE(seen[v]);
+      seen[v] = true;
+    }
+    CscIndex index = CscIndex::Build(graph, order);
+    BfsCycleCounter oracle(graph);
+    for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+      ASSERT_EQ(index.Query(v), oracle.CountCycles(v))
+          << "seed " << seed << " vertex " << v;
+    }
+  }
+}
+
+TEST(CoreOrderingTest, HigherCoreRanksFirst) {
+  DiGraph graph = GenerateCompleteDigraph(4);
+  Vertex tail = graph.AddVertices(1);
+  graph.AddEdge(0, tail);
+  VertexOrdering order = CoreOrdering(graph);
+  // The tail vertex (core 1) must rank last.
+  EXPECT_EQ(order.rank_to_vertex.back(), tail);
+}
+
+}  // namespace
+}  // namespace csc

@@ -1,0 +1,81 @@
+#include "util/label_entry.h"
+
+#include <gtest/gtest.h>
+
+namespace csc {
+namespace {
+
+TEST(LabelEntryTest, RoundTripsFields) {
+  LabelEntry e(/*hub=*/12345, /*dist=*/678, /*count=*/90123);
+  EXPECT_EQ(e.hub(), 12345u);
+  EXPECT_EQ(e.dist(), 678u);
+  EXPECT_EQ(e.count(), 90123u);
+}
+
+TEST(LabelEntryTest, ZeroEntryIsAllZero) {
+  LabelEntry e;
+  EXPECT_EQ(e.hub(), 0u);
+  EXPECT_EQ(e.dist(), 0u);
+  EXPECT_EQ(e.count(), 0u);
+  EXPECT_EQ(e.bits(), 0u);
+}
+
+TEST(LabelEntryTest, MaximaFitTheirBitWidths) {
+  LabelEntry e(static_cast<Vertex>(LabelEntry::kMaxHub),
+               static_cast<Dist>(LabelEntry::kMaxDist), LabelEntry::kMaxCount);
+  EXPECT_EQ(e.hub(), LabelEntry::kMaxHub);
+  EXPECT_EQ(e.dist(), LabelEntry::kMaxDist);
+  EXPECT_EQ(e.count(), LabelEntry::kMaxCount);
+}
+
+TEST(LabelEntryTest, PaperBitLayoutIs23_17_24) {
+  EXPECT_EQ(LabelEntry::kHubBits, 23);
+  EXPECT_EQ(LabelEntry::kDistBits, 17);
+  EXPECT_EQ(LabelEntry::kCountBits, 24);
+  EXPECT_EQ(sizeof(LabelEntry), 8u);
+}
+
+TEST(LabelEntryTest, CountSaturatesInsteadOfWrapping) {
+  LabelEntry e(/*hub=*/1, /*dist=*/2, /*count=*/LabelEntry::kMaxCount + 99);
+  EXPECT_EQ(e.count(), LabelEntry::kMaxCount);
+  EXPECT_EQ(e.hub(), 1u);
+  EXPECT_EQ(e.dist(), 2u);
+}
+
+TEST(LabelEntryTest, AddCountAccumulatesAndSaturates) {
+  LabelEntry e(/*hub=*/7, /*dist=*/3, /*count=*/10);
+  e.AddCount(5);
+  EXPECT_EQ(e.count(), 15u);
+  e.AddCount(LabelEntry::kMaxCount);
+  EXPECT_EQ(e.count(), LabelEntry::kMaxCount);
+  EXPECT_EQ(e.hub(), 7u);
+  EXPECT_EQ(e.dist(), 3u);
+}
+
+TEST(LabelEntryTest, SetDistCountKeepsHub) {
+  LabelEntry e(/*hub=*/42, /*dist=*/1, /*count=*/1);
+  e.SetDistCount(9, 1234);
+  EXPECT_EQ(e.hub(), 42u);
+  EXPECT_EQ(e.dist(), 9u);
+  EXPECT_EQ(e.count(), 1234u);
+}
+
+TEST(LabelEntryTest, BitsRoundTrip) {
+  LabelEntry e(/*hub=*/999, /*dist=*/111, /*count=*/222);
+  LabelEntry back = LabelEntry::FromBits(e.bits());
+  EXPECT_EQ(back, e);
+}
+
+TEST(LabelEntryTest, NeighboringFieldsDoNotBleed) {
+  // Max dist must not spill into hub or count.
+  LabelEntry e(/*hub=*/0, static_cast<Dist>(LabelEntry::kMaxDist),
+               /*count=*/0);
+  EXPECT_EQ(e.hub(), 0u);
+  EXPECT_EQ(e.count(), 0u);
+  LabelEntry f(/*hub=*/0, /*dist=*/0, LabelEntry::kMaxCount);
+  EXPECT_EQ(f.hub(), 0u);
+  EXPECT_EQ(f.dist(), 0u);
+}
+
+}  // namespace
+}  // namespace csc

@@ -1,0 +1,109 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/bfs_cycle.h"
+#include "csc/csc_index.h"
+#include "graph/generators.h"
+#include "graph/ordering.h"
+#include "tests/test_util.h"
+
+namespace csc {
+namespace {
+
+// A valid ordering is a permutation with consistent inverse.
+void ExpectValidOrdering(const VertexOrdering& order, Vertex n) {
+  ASSERT_EQ(order.rank_to_vertex.size(), n);
+  ASSERT_EQ(order.vertex_to_rank.size(), n);
+  std::vector<bool> seen(n, false);
+  for (Rank r = 0; r < n; ++r) {
+    Vertex v = order.rank_to_vertex[r];
+    ASSERT_LT(v, n);
+    EXPECT_FALSE(seen[v]) << "vertex " << v << " appears twice";
+    seen[v] = true;
+    EXPECT_EQ(order.vertex_to_rank[v], r);
+  }
+}
+
+TEST(BetweennessOrderingTest, IsAValidPermutation) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    DiGraph graph = RandomGraph(80, 2.5, seed);
+    ExpectValidOrdering(BetweennessSampleOrdering(graph, 16, seed),
+                        graph.num_vertices());
+  }
+}
+
+TEST(BetweennessOrderingTest, DeterministicInSeed) {
+  DiGraph graph = RandomGraph(60, 3.0, 1);
+  VertexOrdering a = BetweennessSampleOrdering(graph, 8, 5);
+  VertexOrdering b = BetweennessSampleOrdering(graph, 8, 5);
+  EXPECT_EQ(a.rank_to_vertex, b.rank_to_vertex);
+}
+
+TEST(BetweennessOrderingTest, StarCenterRanksFirst) {
+  // Bidirectional star: every shortest path between leaves crosses the
+  // center, so any sampling must rank it highest.
+  const Vertex n = 20;
+  DiGraph star(n);
+  for (Vertex leaf = 1; leaf < n; ++leaf) {
+    star.AddEdge(0, leaf);
+    star.AddEdge(leaf, 0);
+  }
+  VertexOrdering order = BetweennessSampleOrdering(star, 8, 3);
+  EXPECT_EQ(order.rank_to_vertex[0], 0u);
+}
+
+TEST(BetweennessOrderingTest, BridgeVertexBeatsCliqueMembers) {
+  // Two 5-cliques joined through a single cut vertex: the cut vertex lies
+  // on every inter-clique shortest path; with enough samples it must rank
+  // above all ordinary clique members.
+  DiGraph graph(11);
+  auto add_clique = [&](Vertex base) {
+    for (Vertex i = 0; i < 5; ++i) {
+      for (Vertex j = 0; j < 5; ++j) {
+        if (i != j) graph.AddEdge(base + i, base + j);
+      }
+    }
+  };
+  add_clique(0);
+  add_clique(5);
+  const Vertex bridge = 10;
+  graph.AddEdge(0, bridge);
+  graph.AddEdge(bridge, 0);
+  graph.AddEdge(5, bridge);
+  graph.AddEdge(bridge, 5);
+
+  VertexOrdering order = BetweennessSampleOrdering(graph, 64, 7);
+  // The bridge and its two clique contacts carry all crossing paths; the
+  // bridge must outrank every non-contact clique member.
+  for (Vertex v : {1u, 2u, 3u, 4u, 6u, 7u, 8u, 9u}) {
+    EXPECT_TRUE(order.Precedes(bridge, v)) << "vertex " << v;
+  }
+}
+
+TEST(BetweennessOrderingTest, IndexStaysExactUnderIt) {
+  // Hub labeling must stay exact under any total order; betweenness is just
+  // a different (usually better) one.
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    DiGraph graph = RandomGraph(60, 2.5, seed + 500);
+    VertexOrdering order = BetweennessSampleOrdering(graph, 12, seed);
+    CscIndex index = CscIndex::Build(graph, order);
+    BfsCycleCounter oracle(graph);
+    for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+      ASSERT_EQ(index.Query(v), oracle.CountCycles(v))
+          << "seed " << seed << " vertex " << v;
+    }
+  }
+}
+
+TEST(BetweennessOrderingTest, EmptyGraphAndZeroSamples) {
+  ExpectValidOrdering(BetweennessSampleOrdering(DiGraph(), 8, 1), 0);
+  DiGraph graph = RandomGraph(20, 2.0, 3);
+  // Zero samples degrade to degree/id tie-breaking but stay valid.
+  ExpectValidOrdering(BetweennessSampleOrdering(graph, 0, 1),
+                      graph.num_vertices());
+}
+
+}  // namespace
+}  // namespace csc

@@ -1,0 +1,89 @@
+#include "graph/ordering.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace csc {
+namespace {
+
+TEST(OrderingTest, DegreeOrderingReproducesPaperExample4) {
+  // Example 4: v1 ≺ v7 ≺ v4 ≺ v10 ≺ v2 ≺ v3 ≺ v5 ≺ v6 ≺ v8 ≺ v9.
+  VertexOrdering order = DegreeOrdering(Figure2Graph());
+  std::vector<Vertex> expected = {0, 6, 3, 9, 1, 2, 4, 5, 7, 8};
+  EXPECT_EQ(order.rank_to_vertex, expected);
+}
+
+TEST(OrderingTest, RankAndVertexArraysAreInverse) {
+  VertexOrdering order = DegreeOrdering(RandomGraph(200, 4.0, 5));
+  ASSERT_EQ(order.rank_to_vertex.size(), 200u);
+  for (Rank r = 0; r < order.size(); ++r) {
+    EXPECT_EQ(order.vertex_to_rank[order.rank_to_vertex[r]], r);
+  }
+}
+
+TEST(OrderingTest, PrecedesMatchesRankValues) {
+  VertexOrdering order = DegreeOrdering(Figure2Graph());
+  EXPECT_TRUE(order.Precedes(0, 6));   // v1 ≺ v7
+  EXPECT_FALSE(order.Precedes(6, 0));
+  EXPECT_FALSE(order.Precedes(0, 0));  // not reflexive (strict)
+}
+
+TEST(OrderingTest, DegreesAreNonIncreasingAlongRanks) {
+  DiGraph g = RandomGraph(300, 3.0, 9);
+  VertexOrdering order = DegreeOrdering(g);
+  for (Rank r = 1; r < order.size(); ++r) {
+    EXPECT_GE(g.Degree(order.rank_to_vertex[r - 1]),
+              g.Degree(order.rank_to_vertex[r]));
+  }
+}
+
+TEST(OrderingTest, TiesBrokenByVertexId) {
+  DiGraph g(4);  // all degrees zero
+  VertexOrdering order = DegreeOrdering(g);
+  std::vector<Vertex> expected = {0, 1, 2, 3};
+  EXPECT_EQ(order.rank_to_vertex, expected);
+}
+
+TEST(OrderingTest, DegreeProductPrefersBidirectionalHubs) {
+  // Vertex 0: in 3 / out 0 (product 4); vertex 4: in 1 / out 1 (product 4);
+  // vertex 5: in 2 / out 2 (product 9) -> 5 must rank first.
+  DiGraph g(9);
+  g.AddEdge(1, 0);
+  g.AddEdge(2, 0);
+  g.AddEdge(3, 0);
+  g.AddEdge(4, 5);
+  g.AddEdge(6, 5);
+  g.AddEdge(5, 7);
+  g.AddEdge(5, 8);
+  g.AddEdge(8, 4);
+  VertexOrdering order = DegreeProductOrdering(g);
+  EXPECT_EQ(order.rank_to_vertex[0], 5u);
+  // Inverse property holds.
+  for (Rank r = 0; r < order.size(); ++r) {
+    EXPECT_EQ(order.vertex_to_rank[order.rank_to_vertex[r]], r);
+  }
+}
+
+TEST(OrderingTest, RandomOrderingIsAPermutation) {
+  VertexOrdering order = RandomOrdering(100, 42);
+  std::vector<bool> seen(100, false);
+  for (Vertex v : order.rank_to_vertex) {
+    ASSERT_LT(v, 100u);
+    ASSERT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+  EXPECT_EQ(RandomOrdering(100, 42).rank_to_vertex, order.rank_to_vertex);
+  EXPECT_NE(RandomOrdering(100, 43).rank_to_vertex, order.rank_to_vertex);
+}
+
+TEST(OrderingTest, FromPermutationRoundTrips) {
+  std::vector<Vertex> perm = {3, 1, 0, 2};
+  VertexOrdering order = OrderingFromPermutation(perm);
+  EXPECT_EQ(order.rank_to_vertex, perm);
+  EXPECT_EQ(order.vertex_to_rank[3], 0u);
+  EXPECT_EQ(order.vertex_to_rank[2], 3u);
+}
+
+}  // namespace
+}  // namespace csc

@@ -1,0 +1,83 @@
+#include "csc/parallel_query.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/ordering.h"
+#include "tests/test_util.h"
+
+namespace csc {
+namespace {
+
+TEST(ParallelQueryTest, BatchMatchesSequentialOnCscIndex) {
+  ThreadPool pool(4);
+  DiGraph graph = RandomGraph(300, 3.0, 3);
+  CscIndex index = CscIndex::Build(graph, DegreeOrdering(graph));
+
+  std::vector<Vertex> vertices;
+  for (Vertex v = 0; v < graph.num_vertices(); v += 2) vertices.push_back(v);
+  std::vector<CycleCount> batch = BatchQuery(index, vertices, pool);
+  ASSERT_EQ(batch.size(), vertices.size());
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    EXPECT_EQ(batch[i], index.Query(vertices[i])) << "i=" << i;
+  }
+}
+
+TEST(ParallelQueryTest, BatchMatchesSequentialOnFrozenIndex) {
+  ThreadPool pool(4);
+  DiGraph graph = RandomGraph(300, 3.0, 4);
+  CscIndex index = CscIndex::Build(graph, DegreeOrdering(graph));
+  FrozenIndex frozen = FrozenIndex::FromIndex(index);
+
+  std::vector<Vertex> vertices(graph.num_vertices());
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) vertices[v] = v;
+  std::vector<CycleCount> batch = BatchQuery(frozen, vertices, pool);
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+    EXPECT_EQ(batch[v], frozen.Query(v));
+  }
+}
+
+TEST(ParallelQueryTest, EmptyBatch) {
+  ThreadPool pool(2);
+  DiGraph graph = Figure2Graph();
+  CscIndex index = CscIndex::Build(graph, DegreeOrdering(graph));
+  EXPECT_TRUE(BatchQuery(index, {}, pool).empty());
+}
+
+TEST(ParallelQueryTest, RepeatedVerticesAllowed) {
+  ThreadPool pool(2);
+  DiGraph graph = Figure2Graph();
+  CscIndex index = CscIndex::Build(graph, DegreeOrdering(graph));
+  std::vector<Vertex> vertices(1000, 6);  // v7 a thousand times
+  std::vector<CycleCount> batch = BatchQuery(index, vertices, pool);
+  for (const CycleCount& c : batch) EXPECT_EQ(c, (CycleCount{6, 3}));
+}
+
+TEST(ParallelQueryTest, QueryAllVerticesCoversEveryVertex) {
+  ThreadPool pool(ThreadPool::DefaultThreadCount());
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    DiGraph graph = RandomGraph(200, 2.5, seed + 60);
+    CscIndex index = CscIndex::Build(graph, DegreeOrdering(graph));
+    FrozenIndex frozen = FrozenIndex::FromIndex(index);
+    std::vector<CycleCount> from_dynamic = QueryAllVertices(index, pool);
+    std::vector<CycleCount> from_frozen = QueryAllVertices(frozen, pool);
+    ASSERT_EQ(from_dynamic.size(), graph.num_vertices());
+    ASSERT_EQ(from_frozen.size(), graph.num_vertices());
+    for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+      EXPECT_EQ(from_dynamic[v], index.Query(v));
+      EXPECT_EQ(from_frozen[v], from_dynamic[v]);
+    }
+  }
+}
+
+TEST(ParallelQueryTest, SingleThreadPoolWorks) {
+  ThreadPool pool(1);
+  DiGraph graph = RandomGraph(100, 2.0, 90);
+  CscIndex index = CscIndex::Build(graph, DegreeOrdering(graph));
+  std::vector<CycleCount> all = QueryAllVertices(index, pool);
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+    EXPECT_EQ(all[v], index.Query(v));
+  }
+}
+
+}  // namespace
+}  // namespace csc

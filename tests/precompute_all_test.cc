@@ -1,0 +1,81 @@
+#include "baseline/precompute_all.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/bfs_cycle.h"
+#include "graph/digraph.h"
+#include "tests/test_util.h"
+#include "util/thread_pool.h"
+
+namespace csc {
+namespace {
+
+TEST(PrecomputeAllTest, EmptyGraph) {
+  PrecomputeAllIndex index = PrecomputeAllIndex::Build(DiGraph());
+  EXPECT_EQ(index.num_vertices(), 0u);
+  EXPECT_EQ(index.SizeBytes(), 0u);
+}
+
+TEST(PrecomputeAllTest, MatchesPaperExample) {
+  PrecomputeAllIndex index = PrecomputeAllIndex::Build(Figure2Graph());
+  // Example 1: SCCnt(v7) = 3 with length 6.
+  EXPECT_EQ(index.Query(6), (CycleCount{6, 3}));
+}
+
+TEST(PrecomputeAllTest, AgreesWithBfsOracleEverywhere) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    DiGraph graph = RandomGraph(80, 2.5, seed);
+    PrecomputeAllIndex index = PrecomputeAllIndex::Build(graph);
+    BfsCycleCounter counter(graph);
+    for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+      EXPECT_EQ(index.Query(v), counter.CountCycles(v))
+          << "seed " << seed << " vertex " << v;
+    }
+  }
+}
+
+TEST(PrecomputeAllTest, ParallelBuildIsIdentical) {
+  ThreadPool pool(4);
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    DiGraph graph = RandomGraph(120, 3.0, seed + 40);
+    PrecomputeAllIndex sequential = PrecomputeAllIndex::Build(graph);
+    PrecomputeAllIndex parallel =
+        PrecomputeAllIndex::BuildParallel(graph, pool);
+    ASSERT_EQ(parallel.num_vertices(), sequential.num_vertices());
+    for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+      EXPECT_EQ(parallel.Query(v), sequential.Query(v))
+          << "seed " << seed << " vertex " << v;
+    }
+  }
+}
+
+TEST(PrecomputeAllTest, ParallelBuildOnEmptyGraph) {
+  ThreadPool pool(2);
+  PrecomputeAllIndex index =
+      PrecomputeAllIndex::BuildParallel(DiGraph(), pool);
+  EXPECT_EQ(index.num_vertices(), 0u);
+}
+
+TEST(PrecomputeAllTest, UpdateRequiresFullRecompute) {
+  // The point of the straw-man: after an edge change, the only way to stay
+  // correct is a full rebuild; ApplyUpdate must deliver fresh answers.
+  DiGraph graph(3);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 2);
+  PrecomputeAllIndex index = PrecomputeAllIndex::Build(graph);
+  EXPECT_EQ(index.Query(0).count, 0u);
+
+  graph.AddEdge(2, 0);  // closes the triangle
+  index.ApplyUpdate(graph);
+  EXPECT_EQ(index.Query(0), (CycleCount{3, 1}));
+  EXPECT_EQ(index.Query(1), (CycleCount{3, 1}));
+  EXPECT_EQ(index.Query(2), (CycleCount{3, 1}));
+}
+
+TEST(PrecomputeAllTest, BuildSecondsIsPopulated) {
+  PrecomputeAllIndex index = PrecomputeAllIndex::Build(Figure2Graph());
+  EXPECT_GE(index.build_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace csc

@@ -1,0 +1,100 @@
+#include "graph/stats.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "tests/test_util.h"
+
+namespace csc {
+namespace {
+
+TEST(GraphStatsTest, EmptyGraph) {
+  GraphStats stats = ComputeGraphStats(DiGraph());
+  EXPECT_EQ(stats.num_vertices, 0u);
+  EXPECT_EQ(stats.num_edges, 0u);
+  EXPECT_EQ(stats.mean_degree, 0.0);
+  EXPECT_EQ(stats.reciprocity, 0.0);
+}
+
+TEST(GraphStatsTest, HandComputedSmallGraph) {
+  // 0 <-> 1 (reciprocal), 0 -> 2, 3 isolated.
+  DiGraph graph(4);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 0);
+  graph.AddEdge(0, 2);
+  GraphStats stats = ComputeGraphStats(graph);
+  EXPECT_EQ(stats.num_vertices, 4u);
+  EXPECT_EQ(stats.num_edges, 3u);
+  EXPECT_EQ(stats.max_out_degree, 2u);  // vertex 0
+  EXPECT_EQ(stats.max_in_degree, 1u);
+  EXPECT_EQ(stats.max_degree, 3u);  // vertex 0: out 2 + in 1
+  EXPECT_EQ(stats.isolated_vertices, 1u);
+  EXPECT_EQ(stats.reciprocal_edges, 2u);  // both directions of 0<->1
+  EXPECT_DOUBLE_EQ(stats.reciprocity, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(stats.mean_degree, 2.0 * 3 / 4);
+}
+
+TEST(GraphStatsTest, DegreeHistogramPartitionsVertices) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    DiGraph graph = RandomGraph(120, 2.5, seed);
+    GraphStats stats = ComputeGraphStats(graph);
+    uint64_t total = std::accumulate(stats.degree_histogram.begin(),
+                                     stats.degree_histogram.end(),
+                                     uint64_t{0});
+    EXPECT_EQ(total, graph.num_vertices());
+  }
+}
+
+TEST(GraphStatsTest, CompleteDigraphIsFullyReciprocal) {
+  DiGraph complete = GenerateCompleteDigraph(6);
+  GraphStats stats = ComputeGraphStats(complete);
+  EXPECT_EQ(stats.num_edges, 30u);
+  EXPECT_DOUBLE_EQ(stats.reciprocity, 1.0);
+  EXPECT_EQ(stats.max_degree, 10u);  // 5 out + 5 in
+  EXPECT_EQ(stats.isolated_vertices, 0u);
+}
+
+TEST(GraphStatsTest, PureDagHasZeroReciprocity) {
+  DiGraph dag(5);
+  for (Vertex u = 0; u < 5; ++u) {
+    for (Vertex v = u + 1; v < 5; ++v) dag.AddEdge(u, v);
+  }
+  GraphStats stats = ComputeGraphStats(dag);
+  EXPECT_EQ(stats.reciprocal_edges, 0u);
+  EXPECT_EQ(stats.reciprocity, 0.0);
+}
+
+TEST(AverageDistanceTest, PathGraphExactFromSingleSource) {
+  // 0 -> 1 -> 2 -> 3; from source 0 distances are 1, 2, 3 -> mean 2.
+  DiGraph path(4);
+  path.AddEdge(0, 1);
+  path.AddEdge(1, 2);
+  path.AddEdge(2, 3);
+  // Enough samples that source 0 is drawn; every source's mean over
+  // reachable targets is (k+1)/2, so the estimate stays in [1, 2].
+  double estimate = EstimateAverageDistance(path, 32, 5);
+  EXPECT_GE(estimate, 1.0);
+  EXPECT_LE(estimate, 2.0);
+}
+
+TEST(AverageDistanceTest, EdgelessGraphIsZero) {
+  EXPECT_EQ(EstimateAverageDistance(DiGraph(10), 4, 1), 0.0);
+}
+
+TEST(AverageDistanceTest, DeterministicInSeed) {
+  DiGraph graph = RandomGraph(80, 3.0, 2);
+  EXPECT_EQ(EstimateAverageDistance(graph, 8, 9),
+            EstimateAverageDistance(graph, 8, 9));
+}
+
+TEST(AverageDistanceTest, SmallWorldIsSmall) {
+  DiGraph graph = GenerateSmallWorld(500, 4, 0.2, 3);
+  double estimate = EstimateAverageDistance(graph, 16, 4);
+  EXPECT_GT(estimate, 1.0);
+  EXPECT_LT(estimate, 20.0);  // small-world: far below n / k
+}
+
+}  // namespace
+}  // namespace csc

@@ -1,0 +1,149 @@
+// Structured-graph edge cases where expected answers are known in closed
+// form: rings, stars, paths, complete graphs, disjoint components.
+#include <gtest/gtest.h>
+
+#include "baseline/bfs_cycle.h"
+#include "csc/csc_index.h"
+#include "graph/ordering.h"
+#include "hpspc/hpspc_index.h"
+#include "tests/test_util.h"
+
+namespace csc {
+namespace {
+
+DiGraph Ring(Vertex n) {
+  DiGraph g(n);
+  for (Vertex v = 0; v < n; ++v) g.AddEdge(v, (v + 1) % n);
+  return g;
+}
+
+TEST(StructureTest, RingHasOneCycleOfLengthNThroughEveryVertex) {
+  for (Vertex n : {3u, 5u, 12u, 40u}) {
+    DiGraph g = Ring(n);
+    CscIndex index = CscIndex::Build(g, DegreeOrdering(g));
+    for (Vertex v = 0; v < n; ++v) {
+      EXPECT_EQ(index.Query(v), (CycleCount{n, 1})) << "n=" << n;
+    }
+  }
+}
+
+TEST(StructureTest, TwoRingsSharingAVertex) {
+  // Vertex 0 sits on a 3-ring {0,1,2} and a 5-ring {0,3,4,5,6}.
+  DiGraph g(7);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  g.AddEdge(0, 3);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 5);
+  g.AddEdge(5, 6);
+  g.AddEdge(6, 0);
+  CscIndex index = CscIndex::Build(g, DegreeOrdering(g));
+  EXPECT_EQ(index.Query(0), (CycleCount{3, 1}));  // the 3-ring wins at 0
+  EXPECT_EQ(index.Query(1), (CycleCount{3, 1}));
+  EXPECT_EQ(index.Query(4), (CycleCount{5, 1}));  // 5-ring members
+}
+
+TEST(StructureTest, StarHasNoCycles) {
+  DiGraph g(10);
+  for (Vertex v = 1; v < 10; ++v) g.AddEdge(0, v);
+  CscIndex index = CscIndex::Build(g, DegreeOrdering(g));
+  for (Vertex v = 0; v < 10; ++v) {
+    EXPECT_EQ(index.Query(v).count, 0u);
+  }
+}
+
+TEST(StructureTest, CompleteDigraphAllTwoCycles) {
+  // K_n with all reciprocal edges: every vertex lies on (n-1) 2-cycles.
+  const Vertex n = 6;
+  DiGraph g(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = 0; v < n; ++v) {
+      if (u != v) g.AddEdge(u, v);
+    }
+  }
+  CscIndex index = CscIndex::Build(g, DegreeOrdering(g));
+  HpSpcIndex hpspc = HpSpcIndex::Build(g, DegreeOrdering(g));
+  for (Vertex v = 0; v < n; ++v) {
+    EXPECT_EQ(index.Query(v), (CycleCount{2, n - 1}));
+    EXPECT_EQ(hpspc.CountCycles(v), (CycleCount{2, n - 1}));
+  }
+}
+
+TEST(StructureTest, DirectedPathNoCycles) {
+  DiGraph g(50);
+  for (Vertex v = 0; v + 1 < 50; ++v) g.AddEdge(v, v + 1);
+  CscIndex index = CscIndex::Build(g, DegreeOrdering(g));
+  for (Vertex v = 0; v < 50; ++v) EXPECT_EQ(index.Query(v).count, 0u);
+}
+
+TEST(StructureTest, DisjointComponentsDoNotInterfere) {
+  // A 3-ring and a 4-ring in separate components.
+  DiGraph g(7);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 5);
+  g.AddEdge(5, 6);
+  g.AddEdge(6, 3);
+  CscIndex index = CscIndex::Build(g, DegreeOrdering(g));
+  for (Vertex v = 0; v < 3; ++v) EXPECT_EQ(index.Query(v), (CycleCount{3, 1}));
+  for (Vertex v = 3; v < 7; ++v) EXPECT_EQ(index.Query(v), (CycleCount{4, 1}));
+}
+
+TEST(StructureTest, ManyParallelShortestCyclesCountExactly) {
+  // k disjoint 0 -> x_i -> 0' routes... realized as 0 -> x_i -> 1 -> 0:
+  // SCCnt(0) = k with length 3.
+  const Vertex k = 20;
+  DiGraph g(2 + k);
+  for (Vertex i = 0; i < k; ++i) {
+    g.AddEdge(0, 2 + i);
+    g.AddEdge(2 + i, 1);
+  }
+  g.AddEdge(1, 0);
+  CscIndex index = CscIndex::Build(g, DegreeOrdering(g));
+  EXPECT_EQ(index.Query(0), (CycleCount{3, k}));
+  EXPECT_EQ(index.Query(1), (CycleCount{3, k}));
+  EXPECT_EQ(index.Query(2), (CycleCount{3, 1}));
+}
+
+TEST(StructureTest, CountMultiplicationAcrossStages) {
+  // 0 -> {a1,a2,a3} -> {b1,b2} -> 0 complete between stages:
+  // shortest cycles through 0 have length 3 and count 3*2 = 6.
+  DiGraph g(6);
+  for (Vertex a = 1; a <= 3; ++a) {
+    g.AddEdge(0, a);
+    for (Vertex b = 4; b <= 5; ++b) g.AddEdge(a, b);
+  }
+  g.AddEdge(4, 0);
+  g.AddEdge(5, 0);
+  CscIndex index = CscIndex::Build(g, DegreeOrdering(g));
+  EXPECT_EQ(index.Query(0), (CycleCount{3, 6}));
+  // Each a_i lies on 2 of them; each b_j on 3.
+  EXPECT_EQ(index.Query(1), (CycleCount{3, 2}));
+  EXPECT_EQ(index.Query(4), (CycleCount{3, 3}));
+}
+
+TEST(StructureTest, IsolatedVerticesSurviveIndexing) {
+  DiGraph g(10);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  CscIndex index = CscIndex::Build(g, DegreeOrdering(g));
+  EXPECT_EQ(index.Query(0), (CycleCount{2, 1}));
+  for (Vertex v = 2; v < 10; ++v) {
+    EXPECT_EQ(index.Query(v), (CycleCount{kInfDist, 0}));
+  }
+}
+
+TEST(StructureTest, HpSpcNonCanonicalCountOnFigure2IsSeven) {
+  // Hand-derived from Table II: exactly seven entries count a strict subset
+  // of their pair's shortest paths — L_in(v4):(v7,5,1); L_out(v8):(v7,5,1),
+  // (v4,4,1); L_out(v9):(v7,4,1),(v4,3,1); L_out(v10):(v7,3,1),(v4,2,1).
+  DiGraph g = Figure2Graph();
+  HpSpcIndex index = HpSpcIndex::Build(g, Figure2Ordering());
+  EXPECT_EQ(index.build_stats().non_canonical_entries, 7u);
+}
+
+}  // namespace
+}  // namespace csc

@@ -1,0 +1,147 @@
+#include "graph/subgraph.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/bfs_cycle.h"
+#include "graph/digraph.h"
+#include "tests/test_util.h"
+
+namespace csc {
+namespace {
+
+TEST(InducedSubgraphTest, KeepsOnlyInternalEdges) {
+  // 0 -> 1 -> 2 -> 3; select {1, 2}.
+  DiGraph graph(4);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 2);
+  graph.AddEdge(2, 3);
+  Subgraph sub = InducedSubgraph(graph, {1, 2});
+  ASSERT_EQ(sub.graph.num_vertices(), 2u);
+  EXPECT_EQ(sub.graph.num_edges(), 1u);
+  EXPECT_EQ(sub.to_original, (std::vector<Vertex>{1, 2}));
+  EXPECT_TRUE(sub.graph.HasEdge(sub.to_local[1], sub.to_local[2]));
+}
+
+TEST(InducedSubgraphTest, MappingsAreInverse) {
+  DiGraph graph = Figure2Graph();
+  Subgraph sub = InducedSubgraph(graph, {0, 3, 6, 9});
+  for (Vertex local = 0; local < sub.graph.num_vertices(); ++local) {
+    EXPECT_EQ(sub.to_local[sub.to_original[local]], local);
+  }
+  for (Vertex original = 0; original < graph.num_vertices(); ++original) {
+    Vertex local = sub.to_local[original];
+    if (local != kNoVertex) {
+      EXPECT_EQ(sub.to_original[local], original);
+    }
+  }
+}
+
+TEST(InducedSubgraphTest, IgnoresDuplicatesAndOutOfRange) {
+  DiGraph graph(3);
+  graph.AddEdge(0, 1);
+  Subgraph sub = InducedSubgraph(graph, {1, 1, 0, 99, 0});
+  EXPECT_EQ(sub.graph.num_vertices(), 2u);
+  EXPECT_EQ(sub.to_original, (std::vector<Vertex>{0, 1}));
+}
+
+TEST(InducedSubgraphTest, FullSelectionReproducesGraph) {
+  DiGraph graph = Figure2Graph();
+  std::vector<Vertex> all(graph.num_vertices());
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) all[v] = v;
+  Subgraph sub = InducedSubgraph(graph, all);
+  EXPECT_EQ(sub.graph, graph);
+}
+
+TEST(EgoSubgraphTest, RadiusZeroIsJustTheCenter) {
+  DiGraph graph = Figure2Graph();
+  Subgraph sub = EgoSubgraph(graph, 0, 0);
+  EXPECT_EQ(sub.to_original, (std::vector<Vertex>{0}));
+  EXPECT_EQ(sub.graph.num_edges(), 0u);
+}
+
+TEST(EgoSubgraphTest, RadiusOneIsCenterPlusBothNeighborhoods) {
+  // in1 -> c -> out1; unrelated u.
+  DiGraph graph(4);
+  graph.AddEdge(0, 1);  // in-neighbor 0 of center 1
+  graph.AddEdge(1, 2);  // out-neighbor 2
+  graph.AddEdge(2, 3);  // distance 2: excluded
+  Subgraph sub = EgoSubgraph(graph, 1, 1);
+  EXPECT_EQ(sub.to_original, (std::vector<Vertex>{0, 1, 2}));
+}
+
+TEST(EgoSubgraphTest, LargeRadiusCoversReachableSet) {
+  DiGraph graph = Figure2Graph();
+  Subgraph sub = EgoSubgraph(graph, 0, 1000);
+  // Figure 2's graph is one connected cycle structure: everything reachable.
+  EXPECT_EQ(sub.graph.num_vertices(), graph.num_vertices());
+  EXPECT_EQ(sub.graph, graph);  // induced on all vertices = original
+}
+
+TEST(ShortestCycleSubgraphTest, EmptyWhenNoCycle) {
+  DiGraph dag(3);
+  dag.AddEdge(0, 1);
+  dag.AddEdge(1, 2);
+  Subgraph sub = ShortestCycleSubgraph(dag, 1);
+  EXPECT_EQ(sub.graph.num_vertices(), 0u);
+  EXPECT_TRUE(sub.to_original.empty());
+}
+
+TEST(ShortestCycleSubgraphTest, TwoCycleIsExtractedExactly) {
+  DiGraph graph(4);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 0);
+  graph.AddEdge(1, 2);  // dangling
+  graph.AddEdge(3, 0);  // dangling
+  Subgraph sub = ShortestCycleSubgraph(graph, 0);
+  EXPECT_EQ(sub.to_original, (std::vector<Vertex>{0, 1}));
+  EXPECT_EQ(sub.graph.num_edges(), 2u);
+}
+
+TEST(ShortestCycleSubgraphTest, Figure2CyclesThroughV7) {
+  // Example 1: three shortest cycles of length 6 through v7 (id 6). The
+  // extracted subgraph must contain exactly those cycles, so re-counting
+  // inside it reproduces the global answer.
+  DiGraph graph = Figure2Graph();
+  Subgraph sub = ShortestCycleSubgraph(graph, 6);
+  ASSERT_GT(sub.graph.num_vertices(), 0u);
+
+  // v7 itself is present.
+  ASSERT_NE(sub.to_local[6], kNoVertex);
+
+  // The local shortest cycle count through v7 inside the subgraph must match
+  // the global one (the subgraph contains exactly the shortest cycles).
+  CycleCount global = BfsCountCycles(graph, 6);
+  CycleCount local = BfsCountCycles(sub.graph, sub.to_local[6]);
+  EXPECT_EQ(local, global);
+  EXPECT_EQ(global.length, 6u);
+  EXPECT_EQ(global.count, 3u);
+}
+
+TEST(ShortestCycleSubgraphTest, SubgraphPreservesCountOnRandomGraphs) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    DiGraph graph = RandomGraph(50, 2.5, seed + 11);
+    BfsCycleCounter counter(graph);
+    for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+      CycleCount global = counter.CountCycles(v);
+      Subgraph sub = ShortestCycleSubgraph(graph, v);
+      if (global.count == 0) {
+        EXPECT_EQ(sub.graph.num_vertices(), 0u);
+        continue;
+      }
+      ASSERT_NE(sub.to_local[v], kNoVertex);
+      CycleCount local = BfsCountCycles(sub.graph, sub.to_local[v]);
+      EXPECT_EQ(local, global) << "seed " << seed << " vertex " << v;
+      // Every edge of the subgraph lies on some shortest cycle, so every
+      // subgraph vertex must itself be on a cycle of length <= global.
+      for (Vertex lv = 0; lv < sub.graph.num_vertices(); ++lv) {
+        CycleCount through = BfsCountCycles(sub.graph, lv);
+        EXPECT_LE(through.length, global.length);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace csc

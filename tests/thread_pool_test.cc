@@ -1,0 +1,106 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace csc {
+namespace {
+
+TEST(ThreadPoolTest, ZeroThreadsCoercedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, WaitCanBeRepeated) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // No Wait(): the destructor must still run all 50.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositiveAndBounded) {
+  unsigned count = ThreadPool::DefaultThreadCount();
+  EXPECT_GE(count, 1u);
+  EXPECT_LE(count, 64u);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(pool, 0, hits.size(), 37, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeRunsNothing) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  ParallelFor(pool, 5, 5, 10,
+              [&](size_t, size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, ZeroGrainCoercedToOne) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  ParallelFor(pool, 0, 10, 0, [&](size_t begin, size_t end) {
+    EXPECT_EQ(end, begin + 1);  // grain 1 -> single-element chunks
+    total.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST(ParallelForTest, MatchesSequentialReduction) {
+  ThreadPool pool(ThreadPool::DefaultThreadCount());
+  std::vector<int> data(10000);
+  std::iota(data.begin(), data.end(), 0);
+  std::atomic<long long> parallel_sum{0};
+  ParallelFor(pool, 0, data.size(), 128, [&](size_t begin, size_t end) {
+    long long local = 0;
+    for (size_t i = begin; i < end; ++i) local += data[i];
+    parallel_sum.fetch_add(local);
+  });
+  long long sequential = std::accumulate(data.begin(), data.end(), 0LL);
+  EXPECT_EQ(parallel_sum.load(), sequential);
+}
+
+}  // namespace
+}  // namespace csc

@@ -1,0 +1,108 @@
+#include "csc/trending.h"
+
+#include <gtest/gtest.h>
+
+#include "csc/csc_index.h"
+#include "dynamic/incremental.h"
+#include "graph/ordering.h"
+#include "tests/test_util.h"
+
+namespace csc {
+namespace {
+
+ScreeningHit Hit(Vertex v, Dist length, Count count) {
+  return {v, {length, count}};
+}
+
+TEST(TrendTrackerTest, FirstSnapshotIsAllEntries) {
+  TrendTracker tracker(3);
+  TrendReport report = tracker.Observe({Hit(1, 2, 5), Hit(2, 3, 4)});
+  EXPECT_EQ(report.tick, 0u);
+  ASSERT_EQ(report.entered.size(), 2u);
+  EXPECT_TRUE(report.exited.empty());
+  EXPECT_TRUE(report.shortened.empty());
+  EXPECT_TRUE(report.HasAlerts());
+  EXPECT_EQ(tracker.ticks_observed(), 1u);
+}
+
+TEST(TrendTrackerTest, StableSnapshotHasNoAlerts) {
+  TrendTracker tracker(3);
+  std::vector<ScreeningHit> hits = {Hit(1, 2, 5), Hit(2, 3, 4)};
+  tracker.Observe(hits);
+  TrendReport report = tracker.Observe(hits);
+  EXPECT_EQ(report.tick, 1u);
+  EXPECT_FALSE(report.HasAlerts());
+}
+
+TEST(TrendTrackerTest, DetectsEnterExitAndShortening) {
+  TrendTracker tracker(3);
+  tracker.Observe({Hit(1, 4, 5), Hit(2, 3, 4), Hit(3, 5, 1)});
+  // 1 shortens (4 -> 2), 2 stays, 3 exits, 9 enters.
+  TrendReport report =
+      tracker.Observe({Hit(1, 2, 7), Hit(2, 3, 4), Hit(9, 2, 2)});
+  ASSERT_EQ(report.entered.size(), 1u);
+  EXPECT_EQ(report.entered[0].vertex, 9u);
+  ASSERT_EQ(report.exited.size(), 1u);
+  EXPECT_EQ(report.exited[0].vertex, 3u);
+  ASSERT_EQ(report.shortened.size(), 1u);
+  EXPECT_EQ(report.shortened[0].vertex, 1u);
+  EXPECT_EQ(report.shortened[0].cycles.length, 2u);
+}
+
+TEST(TrendTrackerTest, CountOnlyChangeIsNotAnAlert) {
+  TrendTracker tracker(2);
+  tracker.Observe({Hit(1, 3, 5)});
+  TrendReport report = tracker.Observe({Hit(1, 3, 50)});
+  EXPECT_FALSE(report.HasAlerts());
+}
+
+TEST(TrendTrackerTest, LengtheningIsNotShortening) {
+  // A cycle getting longer (e.g. after a deletion elsewhere) is an exit
+  // signal handled by the caller's threshold, not a `shortened` alert.
+  TrendTracker tracker(2);
+  tracker.Observe({Hit(1, 3, 5)});
+  TrendReport report = tracker.Observe({Hit(1, 6, 5)});
+  EXPECT_TRUE(report.shortened.empty());
+  EXPECT_TRUE(report.entered.empty());
+  EXPECT_TRUE(report.exited.empty());
+}
+
+TEST(TrendTrackerTest, EndToEndWithLiveIndex) {
+  // Close a long cycle, then shortcut it: the affected vertex must first
+  // enter the board, then appear as `shortened`.
+  DiGraph graph(6);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 2);
+  graph.AddEdge(2, 3);
+  graph.AddEdge(3, 4);
+  graph.AddEdge(4, 5);
+  CscIndex index = CscIndex::Build(graph, DegreeOrdering(graph));
+  TrendTracker tracker(6);
+
+  TrendReport quiet = tracker.Observe(TopKByCycleCount(index, kInfDist, 6));
+  EXPECT_FALSE(quiet.HasAlerts());  // DAG: nothing on the board
+
+  InsertEdge(index, 5, 0);  // 6-cycle through everything
+  TrendReport closed = tracker.Observe(TopKByCycleCount(index, kInfDist, 6));
+  EXPECT_EQ(closed.entered.size(), 6u);
+  EXPECT_TRUE(closed.shortened.empty());
+
+  InsertEdge(index, 2, 0);  // 3-cycle 0-1-2 shortcuts part of the board
+  TrendReport shortcut =
+      tracker.Observe(TopKByCycleCount(index, kInfDist, 6));
+  // 0, 1, 2 now have length-3 cycles: reported as shortened, not entered.
+  ASSERT_EQ(shortcut.shortened.size(), 3u);
+  EXPECT_TRUE(shortcut.entered.empty());
+  EXPECT_TRUE(shortcut.exited.empty());
+}
+
+TEST(TrendTrackerTest, CurrentReflectsLatestSnapshot) {
+  TrendTracker tracker(2);
+  EXPECT_TRUE(tracker.current().empty());
+  std::vector<ScreeningHit> hits = {Hit(4, 2, 1)};
+  tracker.Observe(hits);
+  EXPECT_EQ(tracker.current(), hits);
+}
+
+}  // namespace
+}  // namespace csc

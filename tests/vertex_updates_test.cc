@@ -1,0 +1,116 @@
+#include "dynamic/vertex_updates.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/bfs_cycle.h"
+#include "graph/ordering.h"
+#include "tests/test_util.h"
+
+namespace csc {
+namespace {
+
+void ExpectMatchesOracle(const CscIndex& index, const DiGraph& graph) {
+  BfsCycleCounter oracle(graph);
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+    ASSERT_EQ(index.Query(v), oracle.CountCycles(v)) << "vertex " << v;
+  }
+}
+
+TEST(AttachVertexTest, ReservedSlotJoinsTheGraph) {
+  DiGraph graph = Figure2Graph();
+  CscIndex::Options options;
+  options.reserve_vertices = 2;
+  CscIndex index = CscIndex::Build(graph, DegreeOrdering(graph), options);
+  const Vertex fresh = graph.num_vertices();  // first reserved slot
+
+  // Fresh vertex starts isolated.
+  EXPECT_EQ(index.Query(fresh).count, 0u);
+
+  // Attach it on the v7->v8 path: in from v7 (id 6), out to v8 (id 7).
+  size_t inserted = AttachVertex(index, fresh, {6}, {7});
+  EXPECT_EQ(inserted, 2u);
+
+  DiGraph reference = graph;
+  reference.AddVertices(2);
+  reference.AddEdge(6, fresh);
+  reference.AddEdge(fresh, 7);
+  ExpectMatchesOracle(index, reference);
+  EXPECT_GT(index.Query(fresh).count, 0u);  // now on v7's cycle structure
+}
+
+TEST(AttachVertexTest, SkipsInvalidEndpoints) {
+  DiGraph graph = Figure2Graph();
+  CscIndex::Options options;
+  options.reserve_vertices = 1;
+  CscIndex index = CscIndex::Build(graph, DegreeOrdering(graph), options);
+  const Vertex fresh = graph.num_vertices();
+
+  // Self-loop and out-of-range neighbors are skipped, valid one applied.
+  size_t inserted = AttachVertex(index, fresh, {fresh, 9999}, {0});
+  EXPECT_EQ(inserted, 1u);
+  DiGraph reference = graph;
+  reference.AddVertices(1);
+  reference.AddEdge(fresh, 0);
+  ExpectMatchesOracle(index, reference);
+}
+
+TEST(DetachVertexTest, IsolatesTheVertex) {
+  DiGraph graph = Figure2Graph();
+  CscIndex index = CscIndex::Build(graph, DegreeOrdering(graph));
+  // v7 (id 6) has in-degree 3 and out-degree 1.
+  size_t removed = DetachVertex(index, 6);
+  EXPECT_EQ(removed, 4u);
+
+  DiGraph reference = graph;
+  for (Vertex u : {3u, 4u, 5u}) reference.RemoveEdge(u, 6);
+  reference.RemoveEdge(6, 7);
+  ExpectMatchesOracle(index, reference);
+  EXPECT_EQ(index.Query(6).count, 0u);
+}
+
+TEST(DetachVertexTest, OutOfRangeIsNoOp) {
+  DiGraph graph = Figure2Graph();
+  CscIndex index = CscIndex::Build(graph, DegreeOrdering(graph));
+  EXPECT_EQ(DetachVertex(index, 9999), 0u);
+  ExpectMatchesOracle(index, graph);
+}
+
+TEST(DetachVertexTest, IsolatedVertexRemovesNothing) {
+  DiGraph graph(3);
+  graph.AddEdge(0, 1);
+  CscIndex index = CscIndex::Build(graph, DegreeOrdering(graph));
+  EXPECT_EQ(DetachVertex(index, 2), 0u);
+}
+
+TEST(VertexUpdatesTest, DetachThenReattachRoundTrips) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    DiGraph graph = RandomGraph(40, 2.5, seed + 70);
+    CscIndex index = CscIndex::Build(graph, DegreeOrdering(graph));
+    const Vertex victim = static_cast<Vertex>(seed * 7 % graph.num_vertices());
+
+    std::vector<Vertex> in_neighbors = graph.InNeighbors(victim);
+    std::vector<Vertex> out_neighbors = graph.OutNeighbors(victim);
+    DetachVertex(index, victim);
+
+    DiGraph detached = graph;
+    for (Vertex u : in_neighbors) detached.RemoveEdge(u, victim);
+    for (Vertex w : out_neighbors) detached.RemoveEdge(victim, w);
+    ExpectMatchesOracle(index, detached);
+
+    AttachVertex(index, victim, in_neighbors, out_neighbors);
+    ExpectMatchesOracle(index, graph);
+  }
+}
+
+TEST(VertexUpdatesTest, StatsAccumulateAcrossEdges) {
+  DiGraph graph = Figure2Graph();
+  CscIndex index = CscIndex::Build(graph, DegreeOrdering(graph));
+  UpdateStats stats;
+  size_t removed = DetachVertex(index, 6, &stats);
+  EXPECT_EQ(removed, 4u);
+  EXPECT_GT(stats.hubs_processed, 0u);
+  EXPECT_GE(stats.seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace csc

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tests/test_util.h"
+#include "workload/datasets.h"
+#include "workload/degree_clusters.h"
+#include "workload/query_workload.h"
+#include "workload/reporter.h"
+#include "workload/update_workload.h"
+
+namespace csc {
+namespace {
+
+TEST(DegreeClustersTest, EveryVertexAssignedExactlyOnce) {
+  DiGraph g = RandomGraph(500, 3.0, 1);
+  DegreeClustering clustering = DegreeClustering::ByMinInOutDegree(g);
+  size_t total = 0;
+  for (int c = 0; c < kNumDegreeClusters; ++c) {
+    total += clustering.Members(static_cast<DegreeCluster>(c)).size();
+  }
+  EXPECT_EQ(total, g.num_vertices());
+}
+
+TEST(DegreeClustersTest, HighClusterHasHigherKeysThanBottom) {
+  DiGraph g = GeneratePreferentialAttachment(2000, 2, 0.2, 3);
+  DegreeClustering clustering = DegreeClustering::ByMinInOutDegree(g);
+  const auto& high = clustering.Members(DegreeCluster::kHigh);
+  const auto& bottom = clustering.Members(DegreeCluster::kBottom);
+  ASSERT_FALSE(bottom.empty());
+  for (Vertex v : high) {
+    for (Vertex w : bottom) {
+      EXPECT_GT(g.MinInOutDegree(v), g.MinInOutDegree(w));
+    }
+  }
+}
+
+TEST(DegreeClustersTest, BandsSplitRangeEvenly) {
+  // Keys 0..99: bands of width 20 -> key 95 High, key 5 Bottom.
+  std::vector<size_t> keys(100);
+  for (size_t i = 0; i < 100; ++i) keys[i] = i;
+  DegreeClustering clustering = DegreeClustering::ByKeys(keys);
+  EXPECT_EQ(clustering.ClusterOf(95), DegreeCluster::kHigh);
+  EXPECT_EQ(clustering.ClusterOf(99), DegreeCluster::kHigh);
+  EXPECT_EQ(clustering.ClusterOf(5), DegreeCluster::kBottom);
+  EXPECT_EQ(clustering.ClusterOf(50), DegreeCluster::kMidLow);
+}
+
+TEST(DegreeClustersTest, UniformKeysAllBottom) {
+  std::vector<size_t> keys(10, 7);
+  DegreeClustering clustering = DegreeClustering::ByKeys(keys);
+  EXPECT_EQ(clustering.Members(DegreeCluster::kBottom).size(), 10u);
+}
+
+TEST(DegreeClustersTest, ClusterNamesMatchPaper) {
+  EXPECT_EQ(DegreeClusterName(DegreeCluster::kHigh), "High");
+  EXPECT_EQ(DegreeClusterName(DegreeCluster::kMidHigh), "Mid-high");
+  EXPECT_EQ(DegreeClusterName(DegreeCluster::kMidLow), "Mid-low");
+  EXPECT_EQ(DegreeClusterName(DegreeCluster::kLow), "Low");
+  EXPECT_EQ(DegreeClusterName(DegreeCluster::kBottom), "Bottom");
+}
+
+TEST(QueryWorkloadTest, SmallGraphUsesAllVertices) {
+  DiGraph g = RandomGraph(200, 3.0, 5);
+  QueryWorkload workload = MakeQueryWorkload(g, 50000, 1);
+  EXPECT_EQ(workload.TotalQueries(), g.num_vertices());
+}
+
+TEST(QueryWorkloadTest, LargeGraphSampledDown) {
+  DiGraph g = RandomGraph(2000, 3.0, 7);
+  QueryWorkload workload = MakeQueryWorkload(g, 500, 1);
+  EXPECT_LE(workload.TotalQueries(), 600u);
+  EXPECT_GE(workload.TotalQueries(), 400u);
+  // No duplicates within a cluster.
+  for (const auto& cluster : workload.queries) {
+    std::set<Vertex> unique(cluster.begin(), cluster.end());
+    EXPECT_EQ(unique.size(), cluster.size());
+  }
+}
+
+TEST(QueryWorkloadTest, DeterministicPerSeed) {
+  DiGraph g = RandomGraph(2000, 3.0, 9);
+  QueryWorkload a = MakeQueryWorkload(g, 300, 42);
+  QueryWorkload b = MakeQueryWorkload(g, 300, 42);
+  EXPECT_EQ(a.queries, b.queries);
+}
+
+TEST(UpdateWorkloadTest, SampleExistingEdgesAreReal) {
+  DiGraph g = RandomGraph(300, 3.0, 11);
+  std::vector<Edge> sample = SampleExistingEdges(g, 100, 13);
+  EXPECT_EQ(sample.size(), 100u);
+  std::set<std::pair<Vertex, Vertex>> seen;
+  for (const Edge& e : sample) {
+    EXPECT_TRUE(g.HasEdge(e.from, e.to));
+    EXPECT_TRUE(seen.emplace(e.from, e.to).second);
+  }
+}
+
+TEST(UpdateWorkloadTest, SampleNewEdgesAreAbsent) {
+  DiGraph g = RandomGraph(300, 3.0, 15);
+  std::vector<Edge> sample = SampleNewEdges(g, 50, 17);
+  EXPECT_EQ(sample.size(), 50u);
+  for (const Edge& e : sample) {
+    EXPECT_FALSE(g.HasEdge(e.from, e.to));
+    EXPECT_NE(e.from, e.to);
+  }
+}
+
+TEST(UpdateWorkloadTest, EdgeDegreeDefinition) {
+  DiGraph g = Figure2Graph();
+  // Edge v7->v8 (6->7): indeg(v7) = 3, outdeg(v8) = 1.
+  EXPECT_EQ(EdgeDegree(g, {6, 7}), 4u);
+}
+
+TEST(ReporterTest, CsvEscapesAndRoundTrips) {
+  TableReporter reporter("Test Table", {"name", "value"});
+  reporter.AddRow({"plain", "1"});
+  reporter.AddRow({"with,comma", "2"});
+  reporter.AddRow({"with\"quote", "3"});
+  std::string csv = reporter.ToCsv();
+  EXPECT_NE(csv.find("name,value"), std::string::npos);
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(ReporterTest, FormatHelpers) {
+  EXPECT_EQ(TableReporter::FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(TableReporter::FormatCount(0), "0");
+  EXPECT_EQ(TableReporter::FormatCount(999), "999");
+  EXPECT_EQ(TableReporter::FormatCount(1000), "1,000");
+  EXPECT_EQ(TableReporter::FormatCount(1234567), "1,234,567");
+}
+
+TEST(DatasetsTest, AllNineTableIVGraphsPresent) {
+  const auto& datasets = AllDatasets();
+  ASSERT_EQ(datasets.size(), 9u);
+  EXPECT_EQ(datasets.front().name, "G04");
+  EXPECT_EQ(datasets.back().name, "WSR");
+  // Paper-scale edge counts are ordered as in Table IV.
+  for (size_t i = 1; i < datasets.size(); ++i) {
+    EXPECT_GT(datasets[i].paper_m, datasets[i - 1].paper_m);
+  }
+}
+
+TEST(DatasetsTest, FindByName) {
+  auto spec = FindDataset("WKT");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->description, "wiki-Talk");
+  EXPECT_FALSE(FindDataset("NOPE").has_value());
+}
+
+TEST(DatasetsTest, MaterializeIsDeterministicAndScaled) {
+  auto spec = FindDataset("G04").value();
+  DiGraph a = MaterializeDataset(spec, 0.1);
+  DiGraph b = MaterializeDataset(spec, 0.1);
+  EXPECT_EQ(a.Edges(), b.Edges());
+  DiGraph small = MaterializeDataset(spec, 0.05);
+  EXPECT_LT(small.num_vertices(), a.num_vertices());
+  EXPECT_GT(small.num_vertices(), 0u);
+}
+
+}  // namespace
+}  // namespace csc
