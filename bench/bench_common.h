@@ -2,8 +2,11 @@
 #define CSC_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "core/cycle_index.h"
 #include "graph/digraph.h"
 #include "workload/datasets.h"
 
@@ -27,6 +30,35 @@ inline void PrintBanner(const std::string& what,
 /// Where bench CSV outputs land (created by the harness if missing).
 inline std::string CsvPath(const std::string& name) {
   return "bench_" + name + ".csv";
+}
+
+/// Reads CSC_BENCH_BACKENDS (comma-separated CycleIndex registry names) so a
+/// single bench binary can measure any backend subset; unknown names are
+/// skipped with a warning. `defaults` is used when the variable is unset or
+/// empty — pass the backend set the paper figure compares.
+inline std::vector<std::string> BenchBackendsFromEnv(
+    std::vector<std::string> defaults) {
+  const char* env = std::getenv("CSC_BENCH_BACKENDS");
+  if (env == nullptr || *env == '\0') return defaults;
+  std::vector<std::string> names;
+  std::string current;
+  for (const char* p = env;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!current.empty()) {
+        if (MakeBackend(current) != nullptr) {
+          names.push_back(current);
+        } else {
+          std::fprintf(stderr, "# CSC_BENCH_BACKENDS: unknown backend '%s'\n",
+                       current.c_str());
+        }
+        current.clear();
+      }
+      if (*p == '\0') break;
+    } else {
+      current.push_back(*p);
+    }
+  }
+  return names.empty() ? defaults : names;
 }
 
 }  // namespace bench

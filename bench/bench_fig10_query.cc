@@ -1,19 +1,21 @@
 // Figure 10 reproduction: average SCCnt query time (microseconds) per
-// min-in-out-degree cluster (High .. Bottom) for BFS, HP-SPC, and CSC, one
-// sub-figure per dataset.
+// min-in-out-degree cluster (High .. Bottom), one sub-figure per dataset —
+// generalized over the CycleIndex registry, so one binary reports any
+// backend subset (CSC_BENCH_BACKENDS selects; default is the paper's
+// BFS / HP-SPC / CSC comparison plus the flat serving forms).
 //
 // Expected shape (paper §VI.B.3): BFS is orders of magnitude slower and
 // degree-independent; HP-SPC degrades on high-degree clusters (its query
-// fans out over min(indeg, outdeg) SPCnt probes); CSC stays flat at
-// microseconds, up to two orders of magnitude faster than HP-SPC on the
-// High cluster.
+// fans out over min(indeg, outdeg) SPCnt probes); CSC and its serving forms
+// stay flat at microseconds, up to two orders of magnitude faster than
+// HP-SPC on the High cluster.
+#include <algorithm>
 #include <cstdio>
+#include <memory>
+#include <vector>
 
-#include "baseline/bfs_cycle.h"
 #include "bench/bench_common.h"
-#include "csc/csc_index.h"
-#include "graph/ordering.h"
-#include "hpspc/hpspc_index.h"
+#include "core/cycle_index.h"
 #include "util/timer.h"
 #include "workload/query_workload.h"
 #include "workload/reporter.h"
@@ -21,8 +23,13 @@
 namespace {
 
 constexpr size_t kMaxQueryVertices = 50000;  // the paper's cap
-// BFS costs O(n + m) per query; cap how many BFS probes each cluster pays.
-constexpr size_t kMaxBfsQueriesPerCluster = 30;
+// BFS costs O(n + m) per query; cap how many probes each cluster pays for
+// backends without an index.
+constexpr size_t kMaxUnindexedQueriesPerCluster = 30;
+
+bool IsUnindexed(const csc::BackendStats& stats) {
+  return stats.label_entries == 0;
+}
 
 }  // namespace
 
@@ -30,45 +37,53 @@ int main() {
   using namespace csc;
   double scale = BenchScaleFromEnv();
   auto datasets = BenchDatasetsFromEnv();
+  // "precompute" is excluded by default: its build is n BFS sweeps, far
+  // slower than anything measured here. Opt in via CSC_BENCH_BACKENDS.
+  auto backends = bench::BenchBackendsFromEnv(
+      {"bfs", "hpspc", "csc", "compact", "frozen", "compressed"});
   bench::PrintBanner("Figure 10: Query Times (us) per degree cluster",
                      datasets, scale);
+  std::printf("# backends: ");
+  for (const auto& name : backends) std::printf("%s ", name.c_str());
+  std::printf("(CSC_BENCH_BACKENDS to change)\n");
 
-  TableReporter table("Figure 10: Average Query Time (us)",
-                      {"Graph", "Cluster", "#queries", "BFS", "HP-SPC", "CSC",
-                       "HP-SPC/CSC"});
+  std::vector<std::string> columns = {"Graph", "Cluster", "#queries"};
+  columns.insert(columns.end(), backends.begin(), backends.end());
+  TableReporter table("Figure 10: Average Query Time (us)", columns);
+
   for (const DatasetSpec& spec : datasets) {
     DiGraph g = MaterializeDataset(spec, scale);
-    VertexOrdering order = DegreeOrdering(g);
-    HpSpcIndex hpspc = HpSpcIndex::Build(g, order);
-    CscIndex csc_index = CscIndex::Build(g, order);
-    BfsCycleCounter bfs(g);
     QueryWorkload workload = MakeQueryWorkload(g, kMaxQueryVertices, 2022);
+
+    // Build every backend once per dataset, then sweep the clusters.
+    std::vector<std::unique_ptr<CycleIndex>> built;
+    for (const auto& name : backends) {
+      auto backend = MakeBackend(name);
+      backend->Build(g);
+      built.push_back(std::move(backend));
+    }
 
     for (int c = 0; c < kNumDegreeClusters; ++c) {
       const auto& queries = workload.queries[c];
       if (queries.empty()) continue;
-      // BFS on a truncated prefix (it dominates runtime otherwise).
-      size_t bfs_n = std::min(queries.size(), kMaxBfsQueriesPerCluster);
-      Timer timer;
-      for (size_t i = 0; i < bfs_n; ++i) bfs.CountCycles(queries[i]);
-      double bfs_us = timer.ElapsedMicros() / bfs_n;
-
-      timer.Restart();
-      for (Vertex v : queries) hpspc.CountCycles(v);
-      double hpspc_us = timer.ElapsedMicros() / queries.size();
-
-      timer.Restart();
-      for (Vertex v : queries) csc_index.Query(v);
-      double csc_us = timer.ElapsedMicros() / queries.size();
-
-      table.AddRow(
-          {spec.name, DegreeClusterName(static_cast<DegreeCluster>(c)),
-           TableReporter::FormatCount(queries.size()),
-           TableReporter::FormatDouble(bfs_us, 2),
-           TableReporter::FormatDouble(hpspc_us, 2),
-           TableReporter::FormatDouble(csc_us, 2),
-           TableReporter::FormatDouble(csc_us > 0 ? hpspc_us / csc_us : 0,
-                                       1)});
+      std::vector<std::string> row = {
+          spec.name, DegreeClusterName(static_cast<DegreeCluster>(c)),
+          TableReporter::FormatCount(queries.size())};
+      for (auto& backend : built) {
+        // Unindexed backends answer on a truncated prefix (they dominate
+        // runtime otherwise); indexed ones take the full cluster.
+        size_t limit = IsUnindexed(backend->Stats())
+                           ? std::min(queries.size(),
+                                      kMaxUnindexedQueriesPerCluster)
+                           : queries.size();
+        Timer timer;
+        for (size_t i = 0; i < limit; ++i) {
+          backend->CountShortestCycles(queries[i]);
+        }
+        row.push_back(
+            TableReporter::FormatDouble(timer.ElapsedMicros() / limit, 2));
+      }
+      table.AddRow(std::move(row));
     }
     std::printf("[fig10] %s done\n", spec.name.c_str());
   }

@@ -1,29 +1,26 @@
 // Serving-tier comparison (ours, beyond the paper): the same built CSC
-// labeling can be served from five in-memory forms with different
-// size/latency/mutability trade-offs. This bench measures, per dataset,
+// labeling can be served from several in-memory forms with different
+// size/latency/mutability trade-offs — now enumerated through the
+// CycleIndex registry, so adding a backend automatically adds a row. This
+// bench measures, per dataset and backend,
 //
-//   size    — resident index bytes (the paper's 8 B/entry accounting for the
-//             dynamic/compact/frozen forms; actual byte streams for the
-//             compressed form),
-//   query   — mean SCCnt latency over a fixed random workload, and
-//   sweep   — wall time to answer all n queries, single-threaded and via the
-//             parallel batch API.
+//   size    — resident index bytes (MemoryBytes) and label entries,
+//   query   — mean SCCnt latency over a fixed random workload (the cached
+//             backend is measured hot, i.e. after a warming pass), and
+//   sweep   — wall time to answer all n queries, single-threaded vs. the
+//             Engine's parallel batch dispatch.
 //
-// Expected shape: frozen ≲ dynamic < compact in latency (layout only —
-// answers are identical); compressed trades ~2x smaller payload for a
-// decode-bound query; the cached form collapses repeat queries to an array
-// read; the parallel sweep scales with cores until memory-bound.
+// Expected shape: frozen ≲ csc < compact in latency (layout only — answers
+// are identical); compressed trades a ~2x smaller payload for a
+// decode-bound query; cached collapses repeat queries to an array read; the
+// parallel sweep scales with cores until memory-bound.
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench/bench_common.h"
-#include "csc/cached_index.h"
-#include "csc/compact_index.h"
-#include "csc/csc_index.h"
-#include "csc/frozen_index.h"
-#include "csc/parallel_query.h"
-#include "graph/ordering.h"
-#include "labeling/compressed.h"
+#include "core/cycle_index.h"
+#include "serving/engine.h"
 #include "util/env.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -34,16 +31,16 @@ namespace {
 
 using namespace csc;
 
-// Mean per-query microseconds of `query` over `vertices`, repeated until at
-// least ~20ms of work so fast forms are not noise-dominated.
-template <typename QueryFn>
-double MeanQueryMicros(const std::vector<Vertex>& vertices, QueryFn query) {
+// Mean per-query microseconds of `backend` over `vertices`, repeated until
+// at least ~20ms of work so fast forms are not noise-dominated.
+double MeanQueryMicros(const std::vector<Vertex>& vertices,
+                       CycleIndex& backend) {
   uint64_t sink = 0;
   size_t rounds = 0;
   Timer timer;
   do {
     for (Vertex v : vertices) {
-      CycleCount c = query(v);
+      CycleCount c = backend.CountShortestCycles(v);
       sink += c.count + c.length;
     }
     ++rounds;
@@ -56,74 +53,77 @@ double MeanQueryMicros(const std::vector<Vertex>& vertices, QueryFn query) {
 }  // namespace
 
 int main() {
-  using namespace csc;
   double scale = BenchScaleFromEnv();
   auto datasets = BenchDatasetsFromEnv();
-  bench::PrintBanner("Serving tier: index forms (size / latency / sweep)",
+  // The serving-tier forms; "bfs"/"precompute"/"hpspc" are selectable via
+  // CSC_BENCH_BACKENDS but are baseline, not serving, configurations.
+  auto backends = bench::BenchBackendsFromEnv(
+      {"csc", "compact", "frozen", "compressed", "cached"});
+  bench::PrintBanner("Serving tier: index backends (size / latency / sweep)",
                      datasets, scale);
-
-  ThreadPool pool(ThreadPool::DefaultThreadCount());
-  std::printf("# parallel sweep threads: %u\n", pool.num_threads());
+  unsigned threads = ThreadPool::DefaultThreadCount();
+  std::printf("# parallel sweep threads: %u\n", threads);
 
   TableReporter size_table(
-      "Index form sizes",
-      {"Graph", "dynamic", "compact", "frozen", "compressed", "B/entry"});
-  TableReporter latency_table(
-      "Mean SCCnt latency (us) per index form",
-      {"Graph", "dynamic", "compact", "frozen", "compressed", "cached(hot)"});
+      "Index backend sizes",
+      {"Graph", "Backend", "entries", "resident", "B/entry", "build(s)"});
+  TableReporter latency_table("Mean SCCnt latency (us) per backend",
+                              {"Graph", "Backend", "latency"});
   TableReporter sweep_table(
-      "All-vertex sweep (ms)",
-      {"Graph", "sequential", "parallel", "speedup"});
+      "All-vertex sweep (ms), frozen backend",
+      {"Graph", "sequential", "engine-parallel", "speedup"});
 
   for (const DatasetSpec& spec : datasets) {
     DiGraph graph = MaterializeDataset(spec, scale);
-    CscIndex index = CscIndex::Build(graph, DegreeOrdering(graph));
-    CompactIndex compact = CompactIndex::FromIndex(index);
-    FrozenIndex frozen = FrozenIndex::FromCompact(compact);
-    CompressedIndex compressed = CompressedIndex::FromCompact(compact);
-    CachedCscIndex cached(CscIndex::Build(graph, DegreeOrdering(graph)));
 
-    size_table.AddRow({spec.name, HumanBytes(index.SizeBytes()),
-                       HumanBytes(compact.SizeBytes()),
-                       HumanBytes(frozen.SizeBytes()),
-                       HumanBytes(compressed.SizeBytes()),
-                       TableReporter::FormatDouble(
-                           compressed.BytesPerEntry(), 2)});
-
-    // Fixed random query workload (reused for every form).
+    // Fixed random query workload (reused for every backend).
     Rng rng(2024);
     std::vector<Vertex> workload;
     for (int i = 0; i < 2000; ++i) {
       workload.push_back(
           static_cast<Vertex>(rng.NextBounded(graph.num_vertices())));
     }
-    double dynamic_us =
-        MeanQueryMicros(workload, [&](Vertex v) { return index.Query(v); });
-    double compact_us =
-        MeanQueryMicros(workload, [&](Vertex v) { return compact.Query(v); });
-    double frozen_us =
-        MeanQueryMicros(workload, [&](Vertex v) { return frozen.Query(v); });
-    double compressed_us = MeanQueryMicros(
-        workload, [&](Vertex v) { return compressed.Query(v); });
-    // Warm the cache once, then measure the hot path.
-    for (Vertex v : workload) cached.Query(v);
-    double cached_us =
-        MeanQueryMicros(workload, [&](Vertex v) { return cached.Query(v); });
 
-    latency_table.AddRow({spec.name, TableReporter::FormatDouble(dynamic_us),
-                          TableReporter::FormatDouble(compact_us),
-                          TableReporter::FormatDouble(frozen_us),
-                          TableReporter::FormatDouble(compressed_us),
-                          TableReporter::FormatDouble(cached_us)});
+    for (const auto& name : backends) {
+      std::unique_ptr<CycleIndex> backend = MakeBackend(name);
+      backend->Build(graph);
+      BackendStats stats = backend->Stats();
+      double per_entry =
+          stats.label_entries == 0
+              ? 0.0
+              : static_cast<double>(stats.memory_bytes) /
+                    static_cast<double>(stats.label_entries);
+      size_table.AddRow({spec.name, name,
+                         TableReporter::FormatCount(stats.label_entries),
+                         HumanBytes(stats.memory_bytes),
+                         TableReporter::FormatDouble(per_entry, 2),
+                         TableReporter::FormatDouble(stats.build_seconds)});
 
+      // Warm memoizing backends once, then measure the hot path.
+      if (name == "cached") {
+        for (Vertex v : workload) backend->CountShortestCycles(v);
+      }
+      latency_table.AddRow(
+          {spec.name, name,
+           TableReporter::FormatDouble(MeanQueryMicros(workload, *backend))});
+    }
+
+    // Sweep: sequential loop vs. the Engine's batched parallel dispatch,
+    // both over the frozen serving form.
+    EngineOptions options;
+    options.backend = "frozen";
+    options.num_threads = threads;
+    Engine engine(options);
+    engine.Build(graph);
+    std::shared_ptr<CycleIndex> frozen = engine.snapshot();
     Timer timer;
     uint64_t sink = 0;
-    for (Vertex v = 0; v < frozen.num_original_vertices(); ++v) {
-      sink += frozen.Query(v).count;
+    for (Vertex v = 0; v < frozen->num_vertices(); ++v) {
+      sink += frozen->CountShortestCycles(v).count;
     }
     double sequential_ms = timer.ElapsedMillis();
     timer.Restart();
-    std::vector<CycleCount> all = QueryAllVertices(frozen, pool);
+    std::vector<CycleCount> all = engine.QueryAll();
     double parallel_ms = timer.ElapsedMillis();
     sink += all.size();
     if (sink == 0xdeadbeef) std::printf("!");
@@ -132,10 +132,7 @@ int main() {
          TableReporter::FormatDouble(parallel_ms, 1),
          TableReporter::FormatDouble(
              parallel_ms > 0 ? sequential_ms / parallel_ms : 0.0, 2)});
-    std::printf("[serving] %s: frozen %.2f us, compressed %.2f us (%.2f "
-                "B/entry)\n",
-                spec.name.c_str(), frozen_us, compressed_us,
-                compressed.BytesPerEntry());
+    std::printf("[serving] %s done\n", spec.name.c_str());
   }
 
   size_table.Print();

@@ -1,26 +1,36 @@
 // csc_cli — command-line front end for the library:
 //
 //   csc_cli build <graph.edges> <index.csc>        build + persist an index
-//   csc_cli query <index.csc> <v> [v2 ...]         SCCnt queries
-//   csc_cli screen <index.csc> <max_len> <top_k>   fraud-style screening
-//   csc_cli stats <index.csc>                      index statistics
-//   csc_cli girth <index.csc>                      girth + length histogram
+//   csc_cli query <index-or-graph> <v> [v2 ...]    SCCnt queries
+//   csc_cli screen <index-or-graph> <max_len> <top_k>  fraud-style screening
+//   csc_cli stats <index-or-graph>                 index statistics
+//   csc_cli girth <index-or-graph>                 girth + length histogram
+//   csc_cli backends                               list registered backends
 //   csc_cli graphstats <graph.edges>               structural graph stats
 //   csc_cli casestudy <graph.edges> <v> <out.dot>  Figure 13 DOT export
 //
-// Graphs are SNAP-style edge lists (see graph/graph_io.h). Indexes are the
-// compact §IV.E serialization inside the checksummed file envelope of
-// csc/index_io.h (legacy raw serializations still load).
+// Every index-serving command accepts `--backend NAME` (default "csc"; see
+// `csc_cli backends`) and goes through the polymorphic CycleIndex
+// interface, so engines are a runtime flag rather than a compile-time
+// choice. Commands taking <index-or-graph> accept either a persisted index
+// file (loaded when the backend has a load path) or a SNAP-style edge list
+// (the backend is then built in-process — the only option for index-free
+// backends like "bfs").
+//
+// Graphs are SNAP-style edge lists (see graph/graph_io.h). Indexes are
+// CycleIndex::SaveTo payloads inside the checksummed file envelope of
+// csc/index_io.h (legacy raw compact serializations still load).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <memory>
 #include <string>
+#include <vector>
 
-#include "csc/compact_index.h"
-#include "csc/csc_index.h"
+#include "core/cycle_index.h"
 #include "csc/girth.h"
 #include "csc/index_io.h"
-#include "csc/screening.h"
 #include "graph/dot_export.h"
 #include "graph/graph_io.h"
 #include "graph/ordering.h"
@@ -34,35 +44,113 @@ using namespace csc;
 namespace {
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  csc_cli build <graph.edges> <index.csc>\n"
-               "  csc_cli query <index.csc> <vertex> [vertex ...]\n"
-               "  csc_cli screen <index.csc> <max_cycle_len> <top_k>\n"
-               "  csc_cli stats <index.csc>\n"
-               "  csc_cli girth <index.csc>\n"
-               "  csc_cli graphstats <graph.edges>\n"
-               "  csc_cli casestudy <graph.edges> <vertex> <out.dot>\n");
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  csc_cli [--backend NAME] build <graph.edges> <index.csc>\n"
+      "  csc_cli [--backend NAME] query <index-or-graph> <vertex> [...]\n"
+      "  csc_cli [--backend NAME] screen <index-or-graph> <max_len> <top_k>\n"
+      "  csc_cli [--backend NAME] stats <index-or-graph>\n"
+      "  csc_cli [--backend NAME] girth <index-or-graph>\n"
+      "  csc_cli backends\n"
+      "  csc_cli graphstats <graph.edges>\n"
+      "  csc_cli casestudy <graph.edges> <vertex> <out.dot>\n"
+      "backends: ");
+  for (const std::string& name : AllBackendNames()) {
+    std::fprintf(stderr, "%s ", name.c_str());
+  }
+  std::fprintf(stderr, "(default %s)\n", kDefaultBackendName);
   return 2;
 }
 
-std::optional<CompactIndex> LoadIndex(const std::string& path) {
-  // Preferred: the checksummed envelope. Legacy raw payloads still load.
-  IndexLoadResult result = LoadIndexFromFile(path);
-  if (result.ok()) return std::move(result.index);
+// Loads a persisted index or builds the backend from an edge list,
+// whichever `path` holds. The file is read (and CRC-verified) once; the
+// payload is then routed to the right backend.
+std::unique_ptr<CycleIndex> LoadOrBuild(const std::string& path,
+                                        const std::string& backend_name) {
+  std::unique_ptr<CycleIndex> backend = MakeBackend(backend_name);
+  if (backend == nullptr) {
+    std::fprintf(stderr, "unknown backend '%s' (see `csc_cli backends`)\n",
+                 backend_name.c_str());
+    return nullptr;
+  }
+  // 1. The checksummed envelope.
+  std::string envelope_error;
+  std::optional<std::string> payload =
+      ReadVerifiedPayload(path, &envelope_error);
+  if (payload) {
+    if (backend->LoadFrom(*payload)) return backend;
+    // A valid index file, but the chosen backend has no load path (e.g.
+    // the default "csc" needs the graph for maintenance): serve the file
+    // through the compact interchange backend instead of failing the
+    // canonical `build` -> `query` flow.
+    if (backend_name != "compact") {
+      std::unique_ptr<CycleIndex> fallback = MakeBackend("compact");
+      if (fallback->LoadFrom(*payload)) {
+        std::fprintf(
+            stderr,
+            "note: backend '%s' cannot load index files; serving %s "
+            "via 'compact' (pass --backend compact/frozen/compressed "
+            "to choose explicitly, or a graph file to build '%s')\n",
+            backend_name.c_str(), path.c_str(), backend_name.c_str());
+        return fallback;
+      }
+    }
+    envelope_error = "backend '" + backend_name +
+                     "' cannot load this payload format";
+  }
   auto bytes = ReadFileToString(path);
   if (!bytes) {
     std::fprintf(stderr, "cannot read %s\n", path.c_str());
-    return std::nullopt;
+    return nullptr;
   }
-  auto index = CompactIndex::Deserialize(*bytes);
-  if (!index) {
-    std::fprintf(stderr, "%s: %s\n", path.c_str(), result.error.c_str());
+  // 2. A legacy raw payload (no envelope).
+  if (backend->LoadFrom(*bytes)) return backend;
+  // 3. An edge-list graph: build in-process.
+  auto graph = LoadEdgeListFile(path);
+  if (graph) {
+    Timer timer;
+    backend->Build(*graph);
+    std::fprintf(stderr, "built backend '%s' from %s in %.3f s\n",
+                 backend_name.c_str(), path.c_str(), timer.ElapsedSeconds());
+    return backend;
   }
-  return index;
+  std::fprintf(stderr, "%s: not a loadable index for backend '%s' (%s) and "
+               "not an edge list\n",
+               path.c_str(), backend_name.c_str(), envelope_error.c_str());
+  return nullptr;
 }
 
-int CmdBuild(const std::string& graph_path, const std::string& index_path) {
+const char* BackendDescription(const std::string& name) {
+  if (name == "csc") return "the paper's dynamic 2-hop CSC index";
+  if (name == "compact") return "§IV.E half-size reduction; the interchange format";
+  if (name == "frozen") return "packed flat arena, cache-linear serving";
+  if (name == "compressed") return "varint flat arena, ~2x smaller payload";
+  if (name == "cached") return "memoizing dynamic front for hot watchlists";
+  if (name == "bfs") return "index-free Algorithm 1 baseline";
+  if (name == "precompute") return "O(1)-query straw-man, full rebuild per update";
+  if (name == "hpspc") return "HP-SPC baseline labeling (SIGMOD'20)";
+  return "";
+}
+
+int CmdBackends() {
+  std::printf("%-12s %-8s %-6s %s\n", "backend", "updates", "save",
+              "description");
+  // Driven by the registry, so newly registered backends appear here
+  // without touching the CLI.
+  for (const std::string& name : AllBackendNames()) {
+    std::unique_ptr<CycleIndex> backend = MakeBackend(name);
+    if (backend == nullptr) continue;
+    std::printf("%-12s %-8s %-6s %s\n", name.c_str(),
+                backend->supports_updates() ? "yes" : "no",
+                backend->supports_save() ? "yes" : "no",
+                BackendDescription(name));
+  }
+  return 0;
+}
+
+int CmdBuild(const std::string& backend_name, const std::string& graph_path,
+             const std::string& index_path) {
   auto graph = LoadEdgeListFile(graph_path);
   if (!graph) {
     std::fprintf(stderr, "cannot parse %s\n", graph_path.c_str());
@@ -71,27 +159,42 @@ int CmdBuild(const std::string& graph_path, const std::string& index_path) {
   std::printf("loaded %s: %u vertices, %llu edges\n", graph_path.c_str(),
               graph->num_vertices(),
               static_cast<unsigned long long>(graph->num_edges()));
+  std::unique_ptr<CycleIndex> backend = MakeBackend(backend_name);
+  if (backend == nullptr) {
+    std::fprintf(stderr, "unknown backend '%s'\n", backend_name.c_str());
+    return 1;
+  }
+  if (!backend->supports_save()) {
+    // Reject before paying for the build.
+    std::fprintf(stderr,
+                 "backend '%s' has no persistent form; use csc, compact, "
+                 "frozen, or compressed for `build`\n",
+                 backend_name.c_str());
+    return 1;
+  }
   Timer timer;
-  CscIndex index = CscIndex::Build(*graph, DegreeOrdering(*graph));
-  std::printf("built in %.3f s (%llu entries)\n", timer.ElapsedSeconds(),
-              static_cast<unsigned long long>(index.TotalEntries()));
-  CompactIndex compact = CompactIndex::FromIndex(index);
-  if (!SaveIndexToFile(compact, index_path)) {
+  backend->Build(*graph);
+  BackendStats stats = backend->Stats();
+  std::printf("built backend '%s' in %.3f s (%llu entries, %s resident)\n",
+              backend_name.c_str(), timer.ElapsedSeconds(),
+              static_cast<unsigned long long>(stats.label_entries),
+              HumanBytes(stats.memory_bytes).c_str());
+  if (!SaveBackendToFile(*backend, index_path)) {
     std::fprintf(stderr, "cannot write %s\n", index_path.c_str());
     return 1;
   }
-  std::printf("wrote %s (%s, %llu entries after reduction)\n",
-              index_path.c_str(), HumanBytes(compact.SizeBytes()).c_str(),
-              static_cast<unsigned long long>(compact.TotalEntries()));
+  std::error_code ec;
+  uintmax_t on_disk = std::filesystem::file_size(index_path, ec);
+  std::printf("wrote %s (%s on disk)\n", index_path.c_str(),
+              HumanBytes(ec ? 0 : on_disk).c_str());
   return 0;
 }
 
-int CmdGirth(const std::string& index_path) {
-  auto index = LoadIndex(index_path);
+int CmdGirth(const std::string& backend_name, const std::string& path) {
+  auto index = LoadOrBuild(path, backend_name);
   if (!index) return 1;
-  Vertex n = index->num_original_vertices();
-  auto query = [&](Vertex v) { return index->Query(v); };
-  GirthInfo info = ComputeGirth(n, query);
+  Vertex n = index->num_vertices();
+  GirthInfo info = index->Girth();
   if (info.girth == kInfDist) {
     std::printf("graph is acyclic (no girth)\n");
     return 0;
@@ -100,7 +203,8 @@ int CmdGirth(const std::string& index_path) {
   std::printf("girth vertices  : %llu (e.g. vertex %u)\n",
               static_cast<unsigned long long>(info.num_girth_vertices),
               info.example_vertex);
-  CycleLengthHistogram histogram = ComputeCycleLengthHistogram(n, query);
+  CycleLengthHistogram histogram = ComputeCycleLengthHistogram(
+      n, [&](Vertex v) { return index->CountShortestCycles(v); });
   std::printf("length histogram:\n");
   for (size_t len = 0; len < histogram.vertices_by_length.size(); ++len) {
     if (histogram.vertices_by_length[len] == 0) continue;
@@ -159,9 +263,10 @@ int CmdCaseStudy(const std::string& graph_path, Vertex center,
                 center);
     return 0;
   }
-  CscIndex index = CscIndex::Build(*graph, DegreeOrdering(*graph));
+  std::unique_ptr<CycleIndex> index = MakeBackend(kDefaultBackendName);
+  index->Build(*graph);
   std::string dot = RenderCycleStudyDot(
-      sub, [&](Vertex v) { return index.Query(v); },
+      sub, [&](Vertex v) { return index->CountShortestCycles(v); },
       "cycles_through_" + std::to_string(center));
   if (!WriteStringToFile(dot_path, dot)) {
     std::fprintf(stderr, "cannot write %s\n", dot_path.c_str());
@@ -174,18 +279,19 @@ int CmdCaseStudy(const std::string& graph_path, Vertex center,
   return 0;
 }
 
-int CmdQuery(const std::string& index_path, char** vertices, int count) {
-  auto index = LoadIndex(index_path);
+int CmdQuery(const std::string& backend_name, const std::string& path,
+             char** vertices, int count) {
+  auto index = LoadOrBuild(path, backend_name);
   if (!index) return 1;
   for (int i = 0; i < count; ++i) {
     auto v = static_cast<Vertex>(std::strtoul(vertices[i], nullptr, 10));
-    if (v >= index->num_original_vertices()) {
+    if (v >= index->num_vertices()) {
       std::printf("SCCnt(%u): vertex out of range (n=%u)\n", v,
-                  index->num_original_vertices());
+                  index->num_vertices());
       continue;
     }
     Timer timer;
-    CycleCount cc = index->Query(v);
+    CycleCount cc = index->CountShortestCycles(v);
     double us = timer.ElapsedMicros();
     if (cc.count == 0) {
       std::printf("SCCnt(%u) = 0 (no cycle)            [%.1f us]\n", v, us);
@@ -197,17 +303,17 @@ int CmdQuery(const std::string& index_path, char** vertices, int count) {
   return 0;
 }
 
-int CmdScreen(const std::string& index_path, Dist max_len, size_t top_k) {
-  auto compact = LoadIndex(index_path);
-  if (!compact) return 1;
-  // Screening iterates all vertices; run it off the compact index directly.
+int CmdScreen(const std::string& backend_name, const std::string& path,
+              Dist max_len, size_t top_k) {
+  auto index = LoadOrBuild(path, backend_name);
+  if (!index) return 1;
   struct Hit {
     Vertex v;
     CycleCount cc;
   };
   std::vector<Hit> hits;
-  for (Vertex v = 0; v < compact->num_original_vertices(); ++v) {
-    CycleCount cc = compact->Query(v);
+  for (Vertex v = 0; v < index->num_vertices(); ++v) {
+    CycleCount cc = index->CountShortestCycles(v);
     if (cc.count > 0 && cc.length <= max_len) hits.push_back({v, cc});
   }
   std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
@@ -225,39 +331,66 @@ int CmdScreen(const std::string& index_path, Dist max_len, size_t top_k) {
   return 0;
 }
 
-int CmdStats(const std::string& index_path) {
-  auto index = LoadIndex(index_path);
+int CmdStats(const std::string& backend_name, const std::string& path) {
+  auto index = LoadOrBuild(path, backend_name);
   if (!index) return 1;
-  uint64_t entries = index->TotalEntries();
-  Vertex n = index->num_original_vertices();
-  std::printf("vertices        : %u\n", n);
+  BackendStats stats = index->Stats();
+  std::printf("backend         : %s\n", stats.name.c_str());
+  std::printf("vertices        : %llu\n",
+              static_cast<unsigned long long>(stats.num_vertices));
   std::printf("label entries   : %llu\n",
-              static_cast<unsigned long long>(entries));
-  std::printf("index size      : %s\n", HumanBytes(index->SizeBytes()).c_str());
+              static_cast<unsigned long long>(stats.label_entries));
+  std::printf("resident size   : %s\n",
+              HumanBytes(stats.memory_bytes).c_str());
   std::printf("avg entries/vtx : %.2f\n",
-              n > 0 ? static_cast<double>(entries) / n : 0.0);
+              stats.num_vertices > 0
+                  ? static_cast<double>(stats.label_entries) /
+                        static_cast<double>(stats.num_vertices)
+                  : 0.0);
+  std::printf("supports        : updates=%s save=%s parallel-queries=%s\n",
+              stats.supports_updates ? "yes" : "no",
+              stats.supports_save ? "yes" : "no",
+              stats.thread_safe_queries ? "yes" : "no");
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  std::string cmd = argv[1];
-  if (cmd == "build" && argc == 4) return CmdBuild(argv[2], argv[3]);
-  if (cmd == "query" && argc >= 4) return CmdQuery(argv[2], argv + 3, argc - 3);
-  if (cmd == "screen" && argc == 5) {
-    return CmdScreen(argv[2],
-                     static_cast<Dist>(std::strtoul(argv[3], nullptr, 10)),
-                     std::strtoul(argv[4], nullptr, 10));
+  // Strip the global --backend flag wherever it appears.
+  std::string backend = kDefaultBackendName;
+  std::vector<char*> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--backend") {
+      if (i + 1 >= argc) return Usage();
+      backend = argv[++i];
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      backend = arg.substr(10);
+    } else {
+      args.push_back(argv[i]);
+    }
   }
-  if (cmd == "stats" && argc == 3) return CmdStats(argv[2]);
-  if (cmd == "girth" && argc == 3) return CmdGirth(argv[2]);
-  if (cmd == "graphstats" && argc == 3) return CmdGraphStats(argv[2]);
-  if (cmd == "casestudy" && argc == 5) {
-    return CmdCaseStudy(argv[2],
-                        static_cast<Vertex>(std::strtoul(argv[3], nullptr, 10)),
-                        argv[4]);
+  int n = static_cast<int>(args.size());
+  if (n < 1) return Usage();
+  std::string cmd = args[0];
+  if (cmd == "backends" && n == 1) return CmdBackends();
+  if (cmd == "build" && n == 3) return CmdBuild(backend, args[1], args[2]);
+  if (cmd == "query" && n >= 3) {
+    return CmdQuery(backend, args[1], args.data() + 2, n - 2);
+  }
+  if (cmd == "screen" && n == 4) {
+    return CmdScreen(backend, args[1],
+                     static_cast<Dist>(std::strtoul(args[2], nullptr, 10)),
+                     std::strtoul(args[3], nullptr, 10));
+  }
+  if (cmd == "stats" && n == 2) return CmdStats(backend, args[1]);
+  if (cmd == "girth" && n == 2) return CmdGirth(backend, args[1]);
+  if (cmd == "graphstats" && n == 2) return CmdGraphStats(args[1]);
+  if (cmd == "casestudy" && n == 4) {
+    return CmdCaseStudy(args[1],
+                        static_cast<Vertex>(std::strtoul(args[2], nullptr, 10)),
+                        args[3]);
   }
   return Usage();
 }

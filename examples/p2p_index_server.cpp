@@ -5,16 +5,20 @@
 // cycle-based choice against a plain highest-degree heuristic by a simple
 // reachability-latency score.
 //
-//   $ ./p2p_index_server [num_hosts]
+// Served through the Engine facade: the all-host scan is one batched
+// QueryAll over the thread pool, the backend is a runtime choice, and host
+// churn flows through ApplyUpdates — in-place repair on dynamic backends,
+// warm snapshot swap on static ones.
+//
+//   $ ./p2p_index_server [num_hosts] [backend]
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
-#include "csc/csc_index.h"
-#include "dynamic/decremental.h"
+#include "dynamic/edge_update.h"
 #include "graph/generators.h"
-#include "graph/ordering.h"
+#include "serving/engine.h"
 
 using namespace csc;
 
@@ -52,17 +56,26 @@ int main(int argc, char** argv) {
               network.num_vertices(),
               static_cast<unsigned long long>(network.num_edges()));
 
-  CscIndex index = CscIndex::Build(network, DegreeOrdering(network));
-  std::printf("CSC index built in %.1f ms\n\n",
-              index.build_stats().seconds * 1e3);
+  EngineOptions options;
+  if (argc > 2) options.backend = argv[2];
+  Engine engine(options);
+  if (!engine.valid()) {
+    std::fprintf(stderr, "unknown backend '%s'\n", options.backend.c_str());
+    return 1;
+  }
+  engine.Build(network);
+  BackendStats stats = engine.Stats();
+  std::printf("engine: backend '%s' built in %.1f ms\n\n", stats.name.c_str(),
+              stats.build_seconds * 1e3);
 
   // Candidate 1: the host with the most shortest file-sharing cycles — the
   // paper's index-server criterion (failure tolerance needs many disjoint
-  // feedback routes; ties broken toward shorter routes).
+  // feedback routes; ties broken toward shorter routes). One batched sweep.
+  std::vector<CycleCount> answers = engine.QueryAll();
   Vertex best_cycle_host = 0;
   CycleCount best_cc;
   for (Vertex v = 0; v < network.num_vertices(); ++v) {
-    CycleCount cc = index.Query(v);
+    const CycleCount& cc = answers[v];
     if (cc.count == 0) continue;
     bool better = cc.count > best_cc.count ||
                   (cc.count == best_cc.count && cc.length < best_cc.length);
@@ -94,14 +107,17 @@ int main(int argc, char** argv) {
   std::printf("  via degree-based index server: %.2f\n", degree_latency);
 
   // Hosts churn constantly in P2P networks; drop the chosen server's
-  // heaviest link and confirm monitoring keeps working.
+  // heaviest link and confirm monitoring keeps working (dynamic backends
+  // repair in place, static backends get a warm snapshot swap).
   if (!network.OutNeighbors(best_cycle_host).empty()) {
     Vertex peer = network.OutNeighbors(best_cycle_host).front();
-    RemoveEdge(index, best_cycle_host, peer);
-    CycleCount after = index.Query(best_cycle_host);
+    size_t applied =
+        engine.ApplyUpdates({EdgeUpdate::Remove(best_cycle_host, peer)});
+    CycleCount after = engine.Query(best_cycle_host);
     std::printf(
-        "\nafter link %u->%u churned away: SCCnt(%u) = %llu (len %u)\n",
-        best_cycle_host, peer, best_cycle_host,
+        "\nafter link %u->%u churned away (%zu update applied): "
+        "SCCnt(%u) = %llu (len %u)\n",
+        best_cycle_host, peer, applied, best_cycle_host,
         static_cast<unsigned long long>(after.count), after.length);
   }
   return 0;

@@ -1,17 +1,15 @@
 // Quickstart: build a CSC index over a small transaction graph, answer
-// shortest-cycle counting queries, apply live edge updates, and persist the
-// index to disk.
+// shortest-cycle counting queries, apply live edge updates, persist the
+// index to disk — then serve the same index through the batched Engine
+// facade with a runtime-selected backend.
 //
 //   $ ./quickstart
 #include <cstdio>
 
-#include "csc/compact_index.h"
-#include "csc/csc_index.h"
 #include "csc/index_io.h"
-#include "dynamic/decremental.h"
-#include "dynamic/incremental.h"
+#include "dynamic/edge_update.h"
 #include "graph/digraph.h"
-#include "graph/ordering.h"
+#include "serving/engine.h"
 #include "util/env.h"
 
 using namespace csc;
@@ -37,44 +35,52 @@ int main() {
   std::printf("graph: %u vertices, %llu edges\n", graph.num_vertices(),
               static_cast<unsigned long long>(graph.num_edges()));
 
-  // 1. Build the index. The degree ordering is the paper's default.
-  CscIndex index = CscIndex::Build(graph, DegreeOrdering(graph));
-  std::printf("index built in %.3f ms (%llu label entries)\n",
-              index.build_stats().seconds * 1e3,
-              static_cast<unsigned long long>(index.TotalEntries()));
+  // 1. Stand up a serving engine on the dynamic CSC backend (the default;
+  //    any registered backend name works — see `csc_cli backends`).
+  Engine engine;
+  engine.Build(graph);
+  BackendStats stats = engine.Stats();
+  std::printf("engine built backend '%s' in %.3f ms (%llu label entries)\n",
+              stats.name.c_str(), stats.build_seconds * 1e3,
+              static_cast<unsigned long long>(stats.label_entries));
 
   // 2. Query: vertex 6 is the paper's v7 with three shortest 6-cycles.
-  PrintAnswer("initial graph:", 6, index.Query(6));
+  PrintAnswer("initial graph:", 6, engine.Query(6));
 
-  // 3. Dynamic update: a new edge 7 -> 6 (v8 -> v7) closes a 2-cycle.
-  InsertEdge(index, 7, 6);
-  PrintAnswer("after inserting 7->6:", 6, index.Query(6));
+  // 3. Dynamic update: a new edge 7 -> 6 (v8 -> v7) closes a 2-cycle. The
+  //    dynamic backend repairs its labels in place (INCCNT).
+  engine.ApplyUpdates({EdgeUpdate::Insert(7, 6)});
+  PrintAnswer("after inserting 7->6:", 6, engine.Query(6));
 
   // 4. Remove it again; the answer returns to the original.
-  RemoveEdge(index, 7, 6);
-  PrintAnswer("after removing 7->6:", 6, index.Query(6));
+  engine.ApplyUpdates({EdgeUpdate::Remove(7, 6)});
+  PrintAnswer("after removing 7->6:", 6, engine.Query(6));
 
-  // 5. Edge-level query: how many shortest cycles run through the specific
-  //    transaction 9 -> 0 (v10 -> v1)?
-  CycleCount through = index.QueryThroughEdge(9, 0);
-  std::printf("%-28s %llu shortest cycle(s) of length %u use edge 9->0\n",
-              "through-edge query:",
-              static_cast<unsigned long long>(through.count), through.length);
+  // 5. Batched queries fan out across the engine's thread pool when the
+  //    backend's queries are thread-safe.
+  std::vector<CycleCount> all = engine.QueryAll();
+  uint64_t cyclic = 0;
+  for (const CycleCount& cc : all) cyclic += cc.count > 0 ? 1 : 0;
+  std::printf("%-28s %llu of %zu vertices lie on a cycle\n",
+              "batched sweep:", static_cast<unsigned long long>(cyclic),
+              all.size());
 
-  // 6. Persist the compact (§IV.E-reduced) index — the file carries a
-  //    CRC-32C so corruption is rejected at load — and read it back.
-  CompactIndex compact = CompactIndex::FromIndex(index);
+  // 6. Persist through the interface — the file carries a CRC-32C so
+  //    corruption is rejected at load — and serve the reloaded index from
+  //    the read-optimized frozen backend.
   std::string path = "quickstart.cscindex";
-  if (!SaveIndexToFile(compact, path)) {
+  std::shared_ptr<CycleIndex> built = engine.snapshot();
+  if (!SaveBackendToFile(*built, path)) {
     std::fprintf(stderr, "failed to write %s\n", path.c_str());
     return 1;
   }
-  IndexLoadResult reloaded = LoadIndexFromFile(path);
+  BackendLoadResult reloaded = LoadBackendFromFile(path, "frozen");
   if (!reloaded.ok()) {
     std::fprintf(stderr, "reload failed: %s\n", reloaded.error.c_str());
     return 1;
   }
-  PrintAnswer("reloaded from disk:", 6, reloaded.index->Query(6));
+  PrintAnswer("reloaded into 'frozen':", 6,
+              reloaded.index->CountShortestCycles(6));
   std::printf("index file: %s (%s)\n", path.c_str(),
               HumanBytes(ReadFileToString(path)->size()).c_str());
   return 0;

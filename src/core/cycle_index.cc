@@ -1,0 +1,24 @@
+#include "core/cycle_index.h"
+
+#include "csc/girth.h"
+
+namespace csc {
+
+GirthInfo CycleIndex::Girth() {
+  return ComputeGirth(num_vertices(),
+                      [this](Vertex v) { return CountShortestCycles(v); });
+}
+
+CycleIndex::UpdateResult CycleIndex::InsertEdge(Vertex, Vertex) {
+  return UpdateResult::kUnsupported;
+}
+
+CycleIndex::UpdateResult CycleIndex::DeleteEdge(Vertex, Vertex) {
+  return UpdateResult::kUnsupported;
+}
+
+bool CycleIndex::SaveTo(std::string&) const { return false; }
+
+bool CycleIndex::LoadFrom(const std::string&) { return false; }
+
+}  // namespace csc

@@ -1,0 +1,128 @@
+#ifndef CSC_CORE_CYCLE_INDEX_H_
+#define CSC_CORE_CYCLE_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/common.h"
+
+namespace csc {
+
+struct GirthInfo;  // csc/girth.h
+
+/// Snapshot of a backend's identity and capabilities, for reporters and the
+/// serving tier's dispatch decisions.
+struct BackendStats {
+  std::string name;
+  uint64_t num_vertices = 0;
+  /// Label entries resident (0 for index-free backends like "bfs").
+  uint64_t label_entries = 0;
+  /// Full resident footprint of the index structure.
+  uint64_t memory_bytes = 0;
+  /// Seconds spent by the last Build/LoadFrom.
+  double build_seconds = 0;
+  bool supports_updates = false;
+  bool supports_save = false;
+  bool thread_safe_queries = false;
+};
+
+/// The polymorphic backend interface every shortest-cycle-counting engine in
+/// this library implements: the four CSC index variants (dynamic, compact,
+/// frozen, compressed), the memoizing cached form, and the baselines (BFS,
+/// precompute-all, HP-SPC). A backend is chosen by name at runtime through
+/// MakeBackend, so serving, benches, and the CLI switch engines with a flag
+/// instead of a rebuild.
+///
+/// Threading contract: Build / InsertEdge / DeleteEdge / LoadFrom are
+/// single-writer. CountShortestCycles may run concurrently with itself iff
+/// thread_safe_queries() — backends with per-query scratch ("bfs") or
+/// memoization ("cached") return false and must be externally serialized.
+class CycleIndex {
+ public:
+  struct BuildOptions {
+    /// Maintain the inverted hub indexes needed by the minimality cleaning
+    /// strategy (Algorithm 8). Only meaningful for dynamic CSC backends;
+    /// when set, "csc" applies updates with MaintenanceStrategy::kMinimality.
+    bool maintain_inverted_index = false;
+    /// Extra isolated vertices appended before indexing so brand-new
+    /// vertices can be attached to a live index via InsertEdge alone.
+    Vertex reserve_vertices = 0;
+  };
+
+  enum class UpdateResult {
+    /// The update was applied and the index repaired.
+    kApplied,
+    /// The update is a no-op (edge already present/absent, bad endpoints);
+    /// the index is unchanged but remains consistent with the graph.
+    kRejected,
+    /// This backend cannot apply in-place updates; rebuild instead (the
+    /// serving Engine does this automatically via snapshot swap).
+    kUnsupported,
+  };
+
+  virtual ~CycleIndex() = default;
+
+  /// The registry name this backend was created under ("csc", "frozen", ...).
+  virtual const std::string& name() const = 0;
+
+  /// (Re)builds the index from `graph`. Invalidates previous contents.
+  virtual void Build(const DiGraph& graph, const BuildOptions& options) = 0;
+  void Build(const DiGraph& graph) { Build(graph, BuildOptions()); }
+
+  /// SCCnt(v): number and length of shortest cycles through v. Out-of-range
+  /// vertices return {} (no cycle). Non-const because memoizing backends
+  /// update their cache; read-only backends do not mutate.
+  virtual CycleCount CountShortestCycles(Vertex v) = 0;
+
+  /// Girth of the indexed graph (overall shortest cycle), by a full
+  /// per-vertex sweep unless the backend can do better.
+  virtual GirthInfo Girth();
+
+  /// Inserts / deletes the original-graph edge (u, v), repairing the index
+  /// when the backend supports in-place maintenance.
+  virtual UpdateResult InsertEdge(Vertex u, Vertex v);
+  virtual UpdateResult DeleteEdge(Vertex u, Vertex v);
+
+  /// Serializes the index into `bytes`; false if this backend has no
+  /// persistent form. The payload self-describes its format (magic bytes).
+  /// The compact §IV.E payload (saved by "csc", "cached", and "compact") is
+  /// the interchange format: "compact", "frozen", and "compressed" all load
+  /// it. The flat forms save their native arena payloads, loadable only by
+  /// themselves.
+  virtual bool SaveTo(std::string& bytes) const;
+
+  /// Restores the index from a SaveTo payload; false on format mismatch or
+  /// if this backend cannot be loaded without the graph ("csc" and "cached"
+  /// need it for maintenance, "bfs"/"precompute"/"hpspc" for queries —
+  /// save with them, serve the payload from a loadable backend).
+  virtual bool LoadFrom(const std::string& bytes);
+
+  virtual Vertex num_vertices() const = 0;
+
+  /// Full resident footprint in bytes.
+  virtual uint64_t MemoryBytes() const = 0;
+
+  virtual BackendStats Stats() const = 0;
+
+  virtual bool supports_updates() const { return false; }
+  virtual bool supports_save() const { return false; }
+  virtual bool thread_safe_queries() const { return false; }
+};
+
+/// Creates a backend by registry name; nullptr for unknown names. Names:
+/// "csc" (dynamic 2-hop index), "compact" (§IV.E reduction), "frozen"
+/// (packed arena), "compressed" (varint arena), "cached" (memoizing dynamic),
+/// "bfs" (index-free baseline), "precompute" (precompute-all straw-man),
+/// "hpspc" (HP-SPC baseline).
+std::unique_ptr<CycleIndex> MakeBackend(const std::string& name);
+
+/// All registry names, in the order benches report them.
+const std::vector<std::string>& AllBackendNames();
+
+inline constexpr const char* kDefaultBackendName = "csc";
+
+}  // namespace csc
+
+#endif  // CSC_CORE_CYCLE_INDEX_H_

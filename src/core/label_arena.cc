@@ -1,0 +1,304 @@
+#include "core/label_arena.h"
+
+#include <cstring>
+
+#include "util/varint.h"
+
+namespace csc {
+
+namespace {
+
+// Encodes one label set as (rank_delta, dist, count) varint triples.
+void EncodeRun(const LabelSet& labels, std::vector<uint8_t>& out) {
+  uint64_t previous_rank = 0;
+  bool first = true;
+  for (const LabelEntry& entry : labels.entries()) {
+    uint64_t rank = entry.hub();  // label sets store hubs by rank
+    AppendVarint(out, first ? rank : rank - previous_rank);
+    AppendVarint(out, entry.dist());
+    AppendVarint(out, entry.count());
+    previous_rank = rank;
+    first = false;
+  }
+}
+
+}  // namespace
+
+LabelArena LabelArena::Build(
+    Vertex num_vertices,
+    const std::function<const LabelSet&(Vertex)>& labels_of,
+    ArenaEncoding encoding) {
+  LabelArena arena;
+  arena.encoding_ = encoding;
+  arena.offsets_.assign(num_vertices + 1, 0);
+  if (encoding == ArenaEncoding::kPacked) {
+    uint64_t total = 0;
+    for (Vertex v = 0; v < num_vertices; ++v) total += labels_of(v).size();
+    arena.entries_.reserve(total);
+    for (Vertex v = 0; v < num_vertices; ++v) {
+      const LabelSet& labels = labels_of(v);
+      arena.entries_.insert(arena.entries_.end(), labels.entries().begin(),
+                            labels.entries().end());
+      arena.offsets_[v + 1] = arena.entries_.size();
+    }
+    arena.total_entries_ = arena.entries_.size();
+  } else {
+    for (Vertex v = 0; v < num_vertices; ++v) {
+      const LabelSet& labels = labels_of(v);
+      EncodeRun(labels, arena.bytes_);
+      arena.offsets_[v + 1] = arena.bytes_.size();
+      arena.total_entries_ += labels.size();
+    }
+  }
+  return arena;
+}
+
+LabelArena LabelArena::FromLabelSets(const std::vector<LabelSet>& sets,
+                                     ArenaEncoding encoding) {
+  return Build(
+      static_cast<Vertex>(sets.size()),
+      [&sets](Vertex v) -> const LabelSet& { return sets[v]; }, encoding);
+}
+
+bool LabelArena::Cursor::Next() {
+  if (packed_) {
+    if (p_ == end_) return false;
+    rank_ = p_->hub();
+    dist_ = p_->dist();
+    count_ = p_->count();
+    ++p_;
+    return true;
+  }
+  if (pos_ >= byte_end_) return false;
+  uint64_t delta = DecodeVarint(data_, pos_);
+  rank_ = first_ ? static_cast<Rank>(delta) : rank_ + static_cast<Rank>(delta);
+  first_ = false;
+  dist_ = static_cast<Dist>(DecodeVarint(data_, pos_));
+  count_ = DecodeVarint(data_, pos_);
+  return true;
+}
+
+LabelArena::Cursor LabelArena::RunCursor(Vertex v) const {
+  Cursor cursor;
+  cursor.packed_ = packed();
+  if (cursor.packed_) {
+    cursor.p_ = PackedBegin(v);
+    cursor.end_ = PackedEnd(v);
+  } else {
+    cursor.data_ = bytes_.data();
+    cursor.pos_ = offsets_[v];
+    cursor.byte_end_ = offsets_[v + 1];
+  }
+  return cursor;
+}
+
+uint64_t LabelArena::RunSize(Vertex v) const {
+  if (packed()) return offsets_[v + 1] - offsets_[v];
+  uint64_t n = 0;
+  for (Cursor c = RunCursor(v); c.Next();) ++n;
+  return n;
+}
+
+LabelSet LabelArena::DecodeRun(Vertex v) const {
+  LabelSet labels;
+  for (Cursor c = RunCursor(v); c.Next();) {
+    labels.Append(LabelEntry(static_cast<Vertex>(c.rank()), c.dist(),
+                             c.count()));
+  }
+  return labels;
+}
+
+namespace {
+
+// Linear merge of two rank-sorted packed runs: min distance through any
+// common hub plus the multiplicity at that distance.
+JoinResult JoinPacked(const LabelEntry* a, const LabelEntry* a_end,
+                      const LabelEntry* b, const LabelEntry* b_end) {
+  JoinResult result;
+  while (a != a_end && b != b_end) {
+    Rank ra = a->hub();
+    Rank rb = b->hub();
+    if (ra < rb) {
+      ++a;
+    } else if (rb < ra) {
+      ++b;
+    } else {
+      Dist d = a->dist() + b->dist();
+      if (d < result.dist) {
+        result.dist = d;
+        result.count = a->count() * b->count();
+      } else if (d == result.dist) {
+        result.count += a->count() * b->count();
+      }
+      ++a;
+      ++b;
+    }
+  }
+  return result;
+}
+
+// The same merge over decoding cursors (either side may be varint).
+JoinResult JoinCursors(LabelArena::Cursor out, LabelArena::Cursor in) {
+  JoinResult result;
+  bool out_valid = out.Next();
+  bool in_valid = in.Next();
+  while (out_valid && in_valid) {
+    if (out.rank() < in.rank()) {
+      out_valid = out.Next();
+    } else if (in.rank() < out.rank()) {
+      in_valid = in.Next();
+    } else {
+      Dist through = out.dist() + in.dist();
+      if (through < result.dist) {
+        result.dist = through;
+        result.count = out.count() * in.count();
+      } else if (through == result.dist) {
+        result.count += out.count() * in.count();
+      }
+      out_valid = out.Next();
+      in_valid = in.Next();
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+JoinResult LabelArena::Join(const LabelArena& out_arena, Vertex s,
+                            const LabelArena& in_arena, Vertex t) {
+  if (out_arena.packed() && in_arena.packed()) {
+    return JoinPacked(out_arena.PackedBegin(s), out_arena.PackedEnd(s),
+                      in_arena.PackedBegin(t), in_arena.PackedEnd(t));
+  }
+  return JoinCursors(out_arena.RunCursor(s), in_arena.RunCursor(t));
+}
+
+std::optional<std::pair<Dist, Count>> LabelArena::FindHub(
+    Vertex v, Rank hub_rank) const {
+  if (packed()) {
+    const LabelEntry* lo = PackedBegin(v);
+    const LabelEntry* end = PackedEnd(v);
+    const LabelEntry* hi = end;
+    while (lo < hi) {
+      const LabelEntry* mid = lo + (hi - lo) / 2;
+      if (mid->hub() < hub_rank) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo < end && lo->hub() == hub_rank) return {{lo->dist(), lo->count()}};
+    return std::nullopt;
+  }
+  for (Cursor c = RunCursor(v); c.Next();) {
+    if (c.rank() < hub_rank) continue;
+    if (c.rank() == hub_rank) return {{c.dist(), c.count()}};
+    break;  // runs are rank-sorted
+  }
+  return std::nullopt;
+}
+
+uint64_t LabelArena::SizeBytes() const {
+  return packed() ? entries_.size() * sizeof(LabelEntry) : bytes_.size();
+}
+
+uint64_t LabelArena::MemoryBytes() const {
+  return SizeBytes() + offsets_.size() * sizeof(uint64_t);
+}
+
+void LabelArena::AppendTo(std::string& out) const {
+  out.push_back(static_cast<char>(encoding_));
+  uint32_t n = num_vertices();
+  char buf[4];
+  std::memcpy(buf, &n, 4);
+  out.append(buf, 4);
+  std::vector<uint8_t> varints;
+  for (Vertex v = 0; v < n; ++v) {
+    AppendVarint(varints, offsets_[v + 1] - offsets_[v]);
+  }
+  out.append(reinterpret_cast<const char*>(varints.data()), varints.size());
+  if (packed()) {
+    for (const LabelEntry& e : entries_) {
+      uint64_t bits = e.bits();
+      char ebuf[8];
+      std::memcpy(ebuf, &bits, 8);
+      out.append(ebuf, 8);
+    }
+  } else {
+    out.append(reinterpret_cast<const char*>(bytes_.data()), bytes_.size());
+  }
+}
+
+std::optional<LabelArena> LabelArena::Parse(const std::string& bytes,
+                                            size_t& pos) {
+  if (pos + 5 > bytes.size()) return std::nullopt;
+  auto enc = static_cast<uint8_t>(bytes[pos++]);
+  if (enc > static_cast<uint8_t>(ArenaEncoding::kVarint)) return std::nullopt;
+  uint32_t n;
+  std::memcpy(&n, bytes.data() + pos, 4);
+  pos += 4;
+  // Each vertex contributes at least one run-length byte, so a count the
+  // remaining buffer cannot describe is malformed — reject before sizing
+  // the offsets table from attacker-controlled input.
+  if (n > bytes.size() - pos) return std::nullopt;
+  LabelArena arena;
+  arena.encoding_ = static_cast<ArenaEncoding>(enc);
+  arena.offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  const auto* data = reinterpret_cast<const uint8_t*>(bytes.data());
+  for (uint32_t v = 0; v < n; ++v) {
+    // Bounded varint decode: never read past the buffer.
+    uint64_t run = 0;
+    int shift = 0;
+    for (;;) {
+      if (pos >= bytes.size() || shift > 63) return std::nullopt;
+      uint8_t byte = data[pos++];
+      run |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+    }
+    // No run (and hence no offset sum) can exceed what the buffer could
+    // possibly hold; rejecting here keeps the arithmetic below overflow-free.
+    if (run > bytes.size() || arena.offsets_[v] + run > bytes.size()) {
+      return std::nullopt;
+    }
+    arena.offsets_[v + 1] = arena.offsets_[v] + run;
+  }
+  uint64_t payload = arena.offsets_[n];
+  if (arena.packed()) {
+    if (payload > (bytes.size() - pos) / 8) return std::nullopt;
+    arena.entries_.resize(payload);
+    for (uint64_t i = 0; i < payload; ++i) {
+      uint64_t bits;
+      std::memcpy(&bits, bytes.data() + pos, 8);
+      pos += 8;
+      arena.entries_[i] = LabelEntry::FromBits(bits);
+    }
+    arena.total_entries_ = payload;
+  } else {
+    if (payload > bytes.size() - pos) return std::nullopt;
+    arena.bytes_.assign(data + pos, data + pos + payload);
+    pos += payload;
+    // Recount entries by decoding; also validates the streams terminate on
+    // their run boundaries.
+    for (uint32_t v = 0; v < n; ++v) {
+      size_t p = arena.offsets_[v];
+      const size_t end = arena.offsets_[v + 1];
+      while (p < end) {
+        for (int field = 0; field < 3; ++field) {
+          int shift = 0;
+          for (;;) {
+            if (p >= end || shift > 63) return std::nullopt;
+            uint8_t byte = arena.bytes_[p++];
+            if ((byte & 0x80) == 0) break;
+            shift += 7;
+          }
+        }
+        ++arena.total_entries_;
+      }
+      if (p != end) return std::nullopt;
+    }
+  }
+  return arena;
+}
+
+}  // namespace csc

@@ -1,0 +1,140 @@
+#ifndef CSC_CORE_LABEL_ARENA_H_
+#define CSC_CORE_LABEL_ARENA_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "labeling/label_set.h"
+#include "util/common.h"
+#include "util/label_entry.h"
+
+namespace csc {
+
+/// How a LabelArena stores its entry payload.
+enum class ArenaEncoding : uint8_t {
+  /// One packed 64-bit LabelEntry per entry in a contiguous array — the
+  /// cache-linear serving layout (what FrozenIndex used to hand-roll).
+  kPacked = 0,
+  /// LEB128 varint triples (hub-rank delta, distance, count) — typically
+  /// 3-4 bytes per entry instead of 8, decoded during the query merge (what
+  /// CompressedIndex used to hand-roll).
+  kVarint = 1,
+};
+
+/// A flat, read-only label store: the label sets of all vertices laid out in
+/// one arena with CSR-style offsets. This is the shared storage layer under
+/// every flat serving-tier index form; building one is a single pass over
+/// per-vertex LabelSets, and querying is a linear merge of two runs.
+///
+/// Entries within a run are sorted by hub rank (inherited from LabelSet's
+/// invariant), which both the merge join and the varint delta encoding rely
+/// on.
+class LabelArena {
+ public:
+  LabelArena() = default;
+
+  /// Flattens `labels_of(v)` for v in [0, num_vertices) into one arena.
+  static LabelArena Build(Vertex num_vertices,
+                          const std::function<const LabelSet&(Vertex)>& labels_of,
+                          ArenaEncoding encoding);
+
+  /// Convenience: flattens a materialized vector of label sets.
+  static LabelArena FromLabelSets(const std::vector<LabelSet>& sets,
+                                  ArenaEncoding encoding);
+
+  Vertex num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<Vertex>(offsets_.size() - 1);
+  }
+  uint64_t total_entries() const { return total_entries_; }
+  uint64_t RunSize(Vertex v) const;  // entries in v's run
+  ArenaEncoding encoding() const { return encoding_; }
+  bool packed() const { return encoding_ == ArenaEncoding::kPacked; }
+
+  /// Direct run access, packed encoding only (undefined for kVarint).
+  const LabelEntry* PackedBegin(Vertex v) const {
+    return entries_.data() + offsets_[v];
+  }
+  const LabelEntry* PackedEnd(Vertex v) const {
+    return entries_.data() + offsets_[v + 1];
+  }
+
+  /// A decoding cursor over one vertex's run, valid for either encoding.
+  /// Usage: `for (Cursor c = arena.RunCursor(v); c.Next();) use(c.rank()...)`.
+  class Cursor {
+   public:
+    bool Next();
+    Rank rank() const { return rank_; }
+    Dist dist() const { return dist_; }
+    Count count() const { return count_; }
+
+   private:
+    friend class LabelArena;
+    // Packed state.
+    const LabelEntry* p_ = nullptr;
+    const LabelEntry* end_ = nullptr;
+    // Varint state.
+    const uint8_t* data_ = nullptr;
+    size_t pos_ = 0;
+    size_t byte_end_ = 0;
+    bool first_ = true;
+    bool packed_ = true;
+    Rank rank_ = 0;
+    Dist dist_ = 0;
+    Count count_ = 0;
+  };
+  Cursor RunCursor(Vertex v) const;
+
+  /// Decodes run `v` back into a LabelSet (round-trip testing, expansion).
+  LabelSet DecodeRun(Vertex v) const;
+
+  /// 2-hop join: min over common hubs of dist(s->h) + dist(h->t) with the
+  /// multiplicity at the minimum, between run `s` of `out_arena` and run `t`
+  /// of `in_arena`. Takes the pointer-merge fast path when both arenas are
+  /// packed.
+  static JoinResult Join(const LabelArena& out_arena, Vertex s,
+                         const LabelArena& in_arena, Vertex t);
+
+  /// Locates hub `hub_rank` in run `v`: (dist, count) or nullopt. Binary
+  /// search for packed runs, linear decode for varint runs.
+  std::optional<std::pair<Dist, Count>> FindHub(Vertex v, Rank hub_rank) const;
+
+  /// Payload bytes only — 8 per entry when packed, the actual byte-stream
+  /// size when varint (the paper's Figure 9(b) accounting).
+  uint64_t SizeBytes() const;
+  /// Payload plus offsets: the true resident footprint.
+  uint64_t MemoryBytes() const;
+  double BytesPerEntry() const {
+    return total_entries_ == 0 ? 0.0
+                               : static_cast<double>(SizeBytes()) /
+                                     static_cast<double>(total_entries_);
+  }
+
+  /// Binary serialization, appended to `out`:
+  ///   u8 encoding | u32 num_vertices | per-vertex varint run length
+  ///   (entries if packed, bytes if varint) | payload.
+  /// Fixed-width fields are native-endian (little-endian on every platform
+  /// this library targets; matches the CompactIndex wire format).
+  void AppendTo(std::string& out) const;
+  /// Parses one serialized arena from `bytes` starting at `pos`, advancing
+  /// `pos` past it. nullopt on malformed input (pos then unspecified).
+  static std::optional<LabelArena> Parse(const std::string& bytes, size_t& pos);
+
+  friend bool operator==(const LabelArena&, const LabelArena&) = default;
+
+ private:
+  ArenaEncoding encoding_ = ArenaEncoding::kPacked;
+  // offsets_[v] .. offsets_[v+1]: entry indexes into entries_ (packed) or
+  // byte indexes into bytes_ (varint). Size n+1 once built, empty before.
+  std::vector<uint64_t> offsets_;
+  std::vector<LabelEntry> entries_;  // packed payload
+  std::vector<uint8_t> bytes_;       // varint payload
+  uint64_t total_entries_ = 0;
+};
+
+}  // namespace csc
+
+#endif  // CSC_CORE_LABEL_ARENA_H_

@@ -200,14 +200,8 @@ void CheckVertexRange(Vertex num_original_vertices) {
 
 void PopulateInvertedIndexes(const HubLabeling& labeling, InvertedIndex& inv_in,
                              InvertedIndex& inv_out) {
-  inv_in.Resize(labeling.num_vertices());
-  inv_out.Resize(labeling.num_vertices());
-  for (Vertex v = 0; v < labeling.num_vertices(); ++v) {
-    for (const LabelEntry& e : labeling.in[v].entries()) inv_in.Add(e.hub(), v);
-    for (const LabelEntry& e : labeling.out[v].entries()) {
-      inv_out.Add(e.hub(), v);
-    }
-  }
+  inv_in.BuildFrom(labeling, LabelDirection::kIn);
+  inv_out.BuildFrom(labeling, LabelDirection::kOut);
 }
 
 }  // namespace

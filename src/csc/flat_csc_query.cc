@@ -1,0 +1,98 @@
+#include "csc/flat_csc_query.h"
+
+#include <cstring>
+
+#include "graph/bipartite.h"
+
+namespace csc {
+namespace flat {
+
+CycleCount Query(const LabelArena& out_arena, const LabelArena& in_arena,
+                 Vertex v) {
+  if (v >= in_arena.num_vertices()) return {};
+  JoinResult r = LabelArena::Join(out_arena, v, in_arena, v);
+  if (r.dist == kInfDist) return {};
+  return {(r.dist + 1) / 2, r.count};
+}
+
+CycleCount QueryThroughEdge(const LabelArena& out_arena,
+                            const LabelArena& in_arena,
+                            const std::vector<Rank>& in_vertex_rank, Vertex u,
+                            Vertex v) {
+  if (u == v || u >= in_arena.num_vertices() ||
+      v >= in_arena.num_vertices()) {
+    return {};
+  }
+  JoinResult r = LabelArena::Join(out_arena, v, in_arena, u);
+  // Couple-skipping correction: paths on which v_o outranks everything are
+  // covered only by hub v_i in L_in(u_i).
+  if (auto hit = in_arena.FindHub(u, in_vertex_rank[v])) {
+    Dist d = hit->first - 1;
+    if (d < r.dist) {
+      r.dist = d;
+      r.count = hit->second;
+    } else if (d == r.dist) {
+      r.count += hit->second;
+    }
+  }
+  if (r.dist == kInfDist) return {};
+  return {(r.dist + 1) / 2 + 1, r.count};
+}
+
+std::vector<Rank> CoupleRanksFromCompact(const CompactIndex& compact) {
+  const std::vector<Vertex>& rank_to_vertex =
+      compact.bipartite_rank_to_vertex();
+  std::vector<Rank> in_vertex_rank(compact.num_original_vertices());
+  for (Rank r = 0; r < rank_to_vertex.size(); ++r) {
+    if (IsInVertex(rank_to_vertex[r])) {
+      in_vertex_rank[OriginalOf(rank_to_vertex[r])] = r;
+    }
+  }
+  return in_vertex_rank;
+}
+
+std::string SerializeFlat(const char magic[4], const LabelArena& in_arena,
+                          const LabelArena& out_arena,
+                          const std::vector<Rank>& in_vertex_rank) {
+  std::string out;
+  out.append(magic, 4);
+  in_arena.AppendTo(out);
+  out_arena.AppendTo(out);
+  for (Rank r : in_vertex_rank) {
+    char buf[4];
+    std::memcpy(buf, &r, 4);
+    out.append(buf, 4);
+  }
+  return out;
+}
+
+std::optional<FlatParts> DeserializeFlat(const char magic[4],
+                                         const std::string& bytes) {
+  if (bytes.size() < 4 || std::memcmp(bytes.data(), magic, 4) != 0) {
+    return std::nullopt;
+  }
+  size_t pos = 4;
+  auto in_arena = LabelArena::Parse(bytes, pos);
+  if (!in_arena) return std::nullopt;
+  auto out_arena = LabelArena::Parse(bytes, pos);
+  if (!out_arena) return std::nullopt;
+  const Vertex n = in_arena->num_vertices();
+  if (out_arena->num_vertices() != n) return std::nullopt;
+  if (pos + 4ull * n != bytes.size()) return std::nullopt;
+  FlatParts parts;
+  parts.in = std::move(*in_arena);
+  parts.out = std::move(*out_arena);
+  parts.in_vertex_rank.resize(n);
+  for (Vertex v = 0; v < n; ++v) {
+    Rank r;
+    std::memcpy(&r, bytes.data() + pos, 4);
+    pos += 4;
+    // Couple ranks index the 2n bipartite ranks.
+    if (r >= 2ull * n) return std::nullopt;
+    parts.in_vertex_rank[v] = r;
+  }
+  return parts;
+}
+
+}  // namespace flat
+}  // namespace csc

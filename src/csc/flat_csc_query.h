@@ -1,0 +1,58 @@
+#ifndef CSC_CSC_FLAT_CSC_QUERY_H_
+#define CSC_CSC_FLAT_CSC_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/label_arena.h"
+#include "csc/compact_index.h"
+#include "util/common.h"
+
+namespace csc {
+namespace flat {
+
+/// The shared query/serialization kernel of the flat (arena-backed) CSC
+/// serving forms — FrozenIndex (packed arenas) and CompressedIndex (varint
+/// arenas) are thin wrappers over these functions, so the SCCnt semantics
+/// (bipartite distance -> cycle length mapping, couple-skipping correction)
+/// exist exactly once.
+
+/// SCCnt(v) from the two arenas: join L_out(v_o) with L_in(v_i) and map the
+/// bipartite distance d to a cycle length (d + 1) / 2.
+CycleCount Query(const LabelArena& out_arena, const LabelArena& in_arena,
+                 Vertex v);
+
+/// Shortest cycles through the edge (u, v): join L_out(v_o) with L_in(u_i)
+/// plus the couple-hub correction — paths on which v_o outranks everything
+/// are covered only by hub v_i in L_in(u_i) (see CscIndex::QueryThroughEdge).
+CycleCount QueryThroughEdge(const LabelArena& out_arena,
+                            const LabelArena& in_arena,
+                            const std::vector<Rank>& in_vertex_rank, Vertex u,
+                            Vertex v);
+
+/// in_vertex_rank[v] = bipartite rank of v_i, extracted from a compact
+/// index's rank permutation.
+std::vector<Rank> CoupleRanksFromCompact(const CompactIndex& compact);
+
+/// Serialization envelope shared by the flat forms:
+///   4-byte magic | in arena | out arena | couple-rank vector.
+std::string SerializeFlat(const char magic[4], const LabelArena& in_arena,
+                          const LabelArena& out_arena,
+                          const std::vector<Rank>& in_vertex_rank);
+
+struct FlatParts {
+  LabelArena in;
+  LabelArena out;
+  std::vector<Rank> in_vertex_rank;
+};
+
+/// Parses SerializeFlat output; checks the magic and structural invariants
+/// (matching vertex counts). nullopt on malformed input.
+std::optional<FlatParts> DeserializeFlat(const char magic[4],
+                                         const std::string& bytes);
+
+}  // namespace flat
+}  // namespace csc
+
+#endif  // CSC_CSC_FLAT_CSC_QUERY_H_

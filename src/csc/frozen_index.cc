@@ -1,122 +1,49 @@
 #include "csc/frozen_index.h"
 
+#include "csc/flat_csc_query.h"
+
 namespace csc {
 
 namespace {
-
-void Flatten(const CompactIndex& compact, bool in_side,
-             std::vector<uint32_t>& offsets, std::vector<LabelEntry>& entries) {
-  Vertex n = compact.num_original_vertices();
-  offsets.resize(n + 1);
-  uint64_t total = 0;
-  for (Vertex v = 0; v < n; ++v) {
-    offsets[v] = static_cast<uint32_t>(total);
-    total += in_side ? compact.InLabels(v).size() : compact.OutLabels(v).size();
-  }
-  offsets[n] = static_cast<uint32_t>(total);
-  entries.reserve(total);
-  for (Vertex v = 0; v < n; ++v) {
-    const LabelSet& labels =
-        in_side ? compact.InLabels(v) : compact.OutLabels(v);
-    entries.insert(entries.end(), labels.entries().begin(),
-                   labels.entries().end());
-  }
-}
-
+constexpr char kFrozenMagic[4] = {'C', 'S', 'C', 'F'};
 }  // namespace
 
 FrozenIndex FrozenIndex::FromCompact(const CompactIndex& compact) {
   FrozenIndex frozen;
-  Flatten(compact, /*in_side=*/true, frozen.in_offsets_, frozen.in_entries_);
-  Flatten(compact, /*in_side=*/false, frozen.out_offsets_,
-          frozen.out_entries_);
-  const std::vector<Vertex>& rank_to_vertex =
-      compact.bipartite_rank_to_vertex();
-  frozen.in_vertex_rank_.resize(compact.num_original_vertices());
-  for (Rank r = 0; r < rank_to_vertex.size(); ++r) {
-    if (IsInVertex(rank_to_vertex[r])) {
-      frozen.in_vertex_rank_[OriginalOf(rank_to_vertex[r])] = r;
-    }
-  }
+  Vertex n = compact.num_original_vertices();
+  frozen.in_ = LabelArena::Build(
+      n, [&](Vertex v) -> const LabelSet& { return compact.InLabels(v); },
+      ArenaEncoding::kPacked);
+  frozen.out_ = LabelArena::Build(
+      n, [&](Vertex v) -> const LabelSet& { return compact.OutLabels(v); },
+      ArenaEncoding::kPacked);
+  frozen.in_vertex_rank_ = flat::CoupleRanksFromCompact(compact);
   return frozen;
 }
 
-namespace {
-
-// Linear merge of two rank-sorted entry ranges: min distance through any
-// common hub plus the multiplicity at that distance.
-JoinResult JoinRanges(const LabelEntry* a, const LabelEntry* a_end,
-                      const LabelEntry* b, const LabelEntry* b_end) {
-  JoinResult result;
-  while (a != a_end && b != b_end) {
-    Rank ra = a->hub();
-    Rank rb = b->hub();
-    if (ra < rb) {
-      ++a;
-    } else if (rb < ra) {
-      ++b;
-    } else {
-      Dist d = a->dist() + b->dist();
-      if (d < result.dist) {
-        result.dist = d;
-        result.count = a->count() * b->count();
-      } else if (d == result.dist) {
-        result.count += a->count() * b->count();
-      }
-      ++a;
-      ++b;
-    }
-  }
-  return result;
-}
-
-}  // namespace
-
 CycleCount FrozenIndex::Query(Vertex v) const {
-  if (v >= num_original_vertices()) return {};
-  JoinResult r = JoinRanges(out_entries_.data() + out_offsets_[v],
-                            out_entries_.data() + out_offsets_[v + 1],
-                            in_entries_.data() + in_offsets_[v],
-                            in_entries_.data() + in_offsets_[v + 1]);
-  if (r.dist == kInfDist) return {};
-  return {(r.dist + 1) / 2, r.count};
+  return flat::Query(out_, in_, v);
 }
 
 CycleCount FrozenIndex::QueryThroughEdge(Vertex u, Vertex v) const {
-  if (u == v || u >= num_original_vertices() ||
-      v >= num_original_vertices()) {
-    return {};
+  return flat::QueryThroughEdge(out_, in_, in_vertex_rank_, u, v);
+}
+
+std::string FrozenIndex::Serialize() const {
+  return flat::SerializeFlat(kFrozenMagic, in_, out_, in_vertex_rank_);
+}
+
+std::optional<FrozenIndex> FrozenIndex::Deserialize(const std::string& bytes) {
+  auto parts = flat::DeserializeFlat(kFrozenMagic, bytes);
+  if (!parts || parts->in.encoding() != ArenaEncoding::kPacked ||
+      parts->out.encoding() != ArenaEncoding::kPacked) {
+    return std::nullopt;
   }
-  JoinResult r = JoinRanges(out_entries_.data() + out_offsets_[v],
-                            out_entries_.data() + out_offsets_[v + 1],
-                            in_entries_.data() + in_offsets_[u],
-                            in_entries_.data() + in_offsets_[u + 1]);
-  // Couple-skipping correction (see CscIndex::QueryThroughEdge): paths on
-  // which v_o outranks everything are covered only by hub v_i in L_in(u_i).
-  // Binary-search L_in(u_i) for that hub rank.
-  const LabelEntry* lo = in_entries_.data() + in_offsets_[u];
-  const LabelEntry* end = in_entries_.data() + in_offsets_[u + 1];
-  const LabelEntry* hi = end;
-  Rank want = in_vertex_rank_[v];
-  while (lo < hi) {
-    const LabelEntry* mid = lo + (hi - lo) / 2;
-    if (mid->hub() < want) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
-  }
-  if (lo < end && lo->hub() == want) {
-    Dist d = lo->dist() - 1;
-    if (d < r.dist) {
-      r.dist = d;
-      r.count = lo->count();
-    } else if (d == r.dist) {
-      r.count += lo->count();
-    }
-  }
-  if (r.dist == kInfDist) return {};
-  return {(r.dist + 1) / 2 + 1, r.count};
+  FrozenIndex frozen;
+  frozen.in_ = std::move(parts->in);
+  frozen.out_ = std::move(parts->out);
+  frozen.in_vertex_rank_ = std::move(parts->in_vertex_rank);
+  return frozen;
 }
 
 }  // namespace csc

@@ -2,14 +2,17 @@
 #define CSC_CSC_FROZEN_INDEX_H_
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
+#include "core/label_arena.h"
 #include "csc/compact_index.h"
 
 namespace csc {
 
 /// A frozen, query-only CSC index: the compact (§IV.E) labeling flattened
-/// into two contiguous arrays with CSR-style offsets — one allocation per
+/// into two packed LabelArenas (one per direction) — one allocation per
 /// direction, no per-vertex vector headers, cache-linear scans. This is the
 /// deployment format for read-heavy serving; build/maintain with CscIndex,
 /// freeze for the query tier.
@@ -35,24 +38,35 @@ class FrozenIndex {
   /// CscIndex::QueryThroughEdge (see there for semantics).
   CycleCount QueryThroughEdge(Vertex u, Vertex v) const;
 
-  Vertex num_original_vertices() const {
-    return in_offsets_.empty() ? 0
-                               : static_cast<Vertex>(in_offsets_.size() - 1);
-  }
+  Vertex num_original_vertices() const { return in_.num_vertices(); }
   uint64_t TotalEntries() const {
-    return in_entries_.size() + out_entries_.size();
+    return in_.total_entries() + out_.total_entries();
   }
   /// Payload bytes (entries only; offsets excluded, matching how the paper
   /// accounts index size as 8 bytes per entry).
-  uint64_t SizeBytes() const { return TotalEntries() * sizeof(LabelEntry); }
+  uint64_t SizeBytes() const { return in_.SizeBytes() + out_.SizeBytes(); }
+  /// Full resident footprint including offsets and the couple-rank map.
+  uint64_t MemoryBytes() const {
+    return in_.MemoryBytes() + out_.MemoryBytes() +
+           in_vertex_rank_.size() * sizeof(Rank);
+  }
+
+  /// The underlying arenas (L_in(v_i) / L_out(v_o) runs by original vertex).
+  const LabelArena& in_arena() const { return in_; }
+  const LabelArena& out_arena() const { return out_; }
+
+  /// Binary serialization (magic + arenas + couple-rank map; fixed-width
+  /// fields native-endian, matching the CompactIndex wire format).
+  std::string Serialize() const;
+  static std::optional<FrozenIndex> Deserialize(const std::string& bytes);
+
+  friend bool operator==(const FrozenIndex&, const FrozenIndex&) = default;
 
  private:
-  // entries[offsets[v] .. offsets[v+1]) are vertex v's labels, sorted by
-  // hub rank. `in` holds L_in(v_i), `out` holds L_out(v_o).
-  std::vector<uint32_t> in_offsets_;
-  std::vector<LabelEntry> in_entries_;
-  std::vector<uint32_t> out_offsets_;
-  std::vector<LabelEntry> out_entries_;
+  friend class CompressedIndex;
+
+  LabelArena in_;   // L_in(v_i), indexed by original vertex
+  LabelArena out_;  // L_out(v_o), indexed by original vertex
   // in_vertex_rank_[v] = rank of v_i, for QueryThroughEdge's couple-hub
   // correction.
   std::vector<Rank> in_vertex_rank_;

@@ -41,6 +41,17 @@ uint32_t ReadU32(const char* p) {
   return value;
 }
 
+// Wraps a payload in the magic + size + CRC envelope.
+std::string WrapPayload(const std::string& payload) {
+  std::string file;
+  file.reserve(kHeaderSize + payload.size() + kFooterSize);
+  file.append(kMagic, sizeof(kMagic));
+  AppendU64(file, payload.size());
+  file.append(payload);
+  AppendU32(file, Crc32c(payload));
+  return file;
+}
+
 IndexLoadResult Fail(std::string message) {
   IndexLoadResult result;
   result.error = std::move(message);
@@ -49,41 +60,75 @@ IndexLoadResult Fail(std::string message) {
 
 }  // namespace
 
-bool SaveIndexToFile(const CompactIndex& index, const std::string& path) {
-  std::string payload = index.Serialize();
-  std::string file;
-  file.reserve(kHeaderSize + payload.size() + kFooterSize);
-  file.append(kMagic, sizeof(kMagic));
-  AppendU64(file, payload.size());
-  file.append(payload);
-  AppendU32(file, Crc32c(payload));
-  return WriteStringToFile(path, file);
-}
-
-IndexLoadResult LoadIndexFromFile(const std::string& path) {
+std::optional<std::string> ReadVerifiedPayload(const std::string& path,
+                                               std::string* error) {
   std::optional<std::string> file = ReadFileToString(path);
-  if (!file) return Fail("cannot read file: " + path);
+  if (!file) {
+    if (error) *error = "cannot read file: " + path;
+    return std::nullopt;
+  }
   if (file->size() < kHeaderSize + kFooterSize) {
-    return Fail("file too small to hold an index header");
+    if (error) *error = "file too small to hold an index header";
+    return std::nullopt;
   }
   if (std::memcmp(file->data(), kMagic, sizeof(kMagic)) != 0) {
-    return Fail("bad magic (not a CSC index file)");
+    if (error) *error = "bad magic (not a CSC index file)";
+    return std::nullopt;
   }
   uint64_t payload_size = ReadU64(file->data() + sizeof(kMagic));
   if (file->size() != kHeaderSize + payload_size + kFooterSize) {
-    return Fail("truncated or oversized payload");
+    if (error) *error = "truncated or oversized payload";
+    return std::nullopt;
   }
   const char* payload = file->data() + kHeaderSize;
   uint32_t stored_crc = ReadU32(payload + payload_size);
   uint32_t actual_crc = Crc32c(payload, payload_size);
   if (stored_crc != actual_crc) {
-    return Fail("checksum mismatch (corrupted index file)");
+    if (error) *error = "checksum mismatch (corrupted index file)";
+    return std::nullopt;
   }
-  std::optional<CompactIndex> parsed =
-      CompactIndex::Deserialize(std::string(payload, payload_size));
+  return std::string(payload, payload_size);
+}
+
+bool SaveIndexToFile(const CompactIndex& index, const std::string& path) {
+  return WriteStringToFile(path, WrapPayload(index.Serialize()));
+}
+
+IndexLoadResult LoadIndexFromFile(const std::string& path) {
+  std::string error;
+  std::optional<std::string> payload = ReadVerifiedPayload(path, &error);
+  if (!payload) return Fail(std::move(error));
+  std::optional<CompactIndex> parsed = CompactIndex::Deserialize(*payload);
   if (!parsed) return Fail("payload failed to parse");
   IndexLoadResult result;
   result.index = std::move(parsed);
+  return result;
+}
+
+bool SaveBackendToFile(const CycleIndex& index, const std::string& path) {
+  std::string payload;
+  if (!index.SaveTo(payload)) return false;
+  return WriteStringToFile(path, WrapPayload(payload));
+}
+
+BackendLoadResult LoadBackendFromFile(const std::string& path,
+                                      const std::string& backend_name) {
+  BackendLoadResult result;
+  std::optional<std::string> payload =
+      ReadVerifiedPayload(path, &result.error);
+  if (!payload) return result;
+  std::unique_ptr<CycleIndex> backend = MakeBackend(backend_name);
+  if (!backend) {
+    result.error = "unknown backend: " + backend_name;
+    return result;
+  }
+  if (!backend->LoadFrom(*payload)) {
+    result.error = "backend '" + backend_name +
+                   "' cannot load this payload (incompatible format or "
+                   "backend has no load path)";
+    return result;
+  }
+  result.index = std::move(backend);
   return result;
 }
 

@@ -1,19 +1,24 @@
 #ifndef CSC_CSC_INDEX_IO_H_
 #define CSC_CSC_INDEX_IO_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 
+#include "core/cycle_index.h"
 #include "csc/compact_index.h"
 
 namespace csc {
 
-/// File persistence for CSC indexes, wrapping CompactIndex's in-memory
+/// File persistence for CSC indexes, wrapping an index's in-memory
 /// serialization in a storage-engine-style envelope:
 ///
 ///   bytes 0..7   magic "CSCIDX01"
 ///   bytes 8..15  payload size (little-endian u64)
-///   bytes 16..   payload (CompactIndex::Serialize())
+///   bytes 16..   payload (a CycleIndex::SaveTo serialization; the payload
+///                self-describes its format via its own magic — "CSCI" for
+///                the compact interchange form, "CSCF"/"CSCZ" for the flat
+///                arena forms)
 ///   last 4       CRC-32C of the payload (little-endian u32)
 ///
 /// Load verifies the magic, the declared size, and the checksum before
@@ -34,8 +39,36 @@ struct IndexLoadResult {
 /// failure.
 bool SaveIndexToFile(const CompactIndex& index, const std::string& path);
 
-/// Reads, verifies, and parses a persisted index.
+/// Reads, verifies, and parses a persisted compact index.
 IndexLoadResult LoadIndexFromFile(const std::string& path);
+
+// --- Backend-generic persistence (the CycleIndex interface path). ---
+
+/// Serializes `index` (via SaveTo) into the checksummed envelope at `path`.
+/// False if the backend has no persistent form or on I/O failure.
+bool SaveBackendToFile(const CycleIndex& index, const std::string& path);
+
+/// Outcome of LoadBackendFromFile: `index` is set iff `error` is empty.
+struct BackendLoadResult {
+  std::unique_ptr<CycleIndex> index;
+  std::string error;
+
+  bool ok() const { return index != nullptr; }
+};
+
+/// Reads and verifies the envelope at `path`, creates backend
+/// `backend_name`, and restores it from the payload (LoadFrom). The payload
+/// format and the backend must be compatible — any CSC-family backend loads
+/// the compact interchange payload; the flat forms additionally load their
+/// native arena payloads.
+BackendLoadResult LoadBackendFromFile(const std::string& path,
+                                      const std::string& backend_name);
+
+/// Reads and verifies the envelope, returning the raw payload (for callers
+/// that route format detection themselves). nullopt with `error` set on any
+/// verification failure.
+std::optional<std::string> ReadVerifiedPayload(const std::string& path,
+                                               std::string* error);
 
 }  // namespace csc
 

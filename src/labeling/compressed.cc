@@ -1,148 +1,50 @@
 #include "labeling/compressed.h"
 
-#include "graph/bipartite.h"
-#include "labeling/label_set.h"
-#include "util/varint.h"
+#include "csc/flat_csc_query.h"
 
 namespace csc {
 
 namespace {
-
-// Encodes one label set as (rank_delta, dist, count) varint triples.
-void EncodeLabelSet(const LabelSet& labels, std::vector<uint8_t>& out) {
-  uint64_t previous_rank = 0;
-  bool first = true;
-  for (const LabelEntry& entry : labels.entries()) {
-    uint64_t rank = entry.hub();  // label sets store hubs by rank
-    AppendVarint(out, first ? rank : rank - previous_rank);
-    AppendVarint(out, entry.dist());
-    AppendVarint(out, entry.count());
-    previous_rank = rank;
-    first = false;
-  }
-}
-
-// A decoding cursor over one vertex's varint stream.
-class Cursor {
- public:
-  Cursor(const uint8_t* data, size_t begin, size_t end)
-      : data_(data), pos_(begin), end_(end) {}
-
-  bool Next() {
-    if (pos_ >= end_) return false;
-    uint64_t delta = DecodeVarint(data_, pos_);
-    rank = first_ ? delta : rank + delta;
-    first_ = false;
-    dist = static_cast<Dist>(DecodeVarint(data_, pos_));
-    count = DecodeVarint(data_, pos_);
-    return true;
-  }
-
-  uint64_t rank = 0;
-  Dist dist = 0;
-  Count count = 0;
-
- private:
-  const uint8_t* data_;
-  size_t pos_;
-  size_t end_;
-  bool first_ = true;
-};
-
+constexpr char kCompressedMagic[4] = {'C', 'S', 'C', 'Z'};
 }  // namespace
 
 CompressedIndex CompressedIndex::FromCompact(const CompactIndex& compact) {
   CompressedIndex index;
-  const Vertex n = compact.num_original_vertices();
-  index.in_offsets_.assign(n + 1, 0);
-  index.out_offsets_.assign(n + 1, 0);
-  for (Vertex v = 0; v < n; ++v) {
-    EncodeLabelSet(compact.InLabels(v), index.in_bytes_);
-    index.in_offsets_[v + 1] = index.in_bytes_.size();
-    EncodeLabelSet(compact.OutLabels(v), index.out_bytes_);
-    index.out_offsets_[v + 1] = index.out_bytes_.size();
-    index.total_entries_ +=
-        compact.InLabels(v).size() + compact.OutLabels(v).size();
-  }
-  const std::vector<Vertex>& rank_to_vertex =
-      compact.bipartite_rank_to_vertex();
-  index.in_vertex_rank_.resize(n);
-  for (uint32_t r = 0; r < rank_to_vertex.size(); ++r) {
-    if (IsInVertex(rank_to_vertex[r])) {
-      index.in_vertex_rank_[OriginalOf(rank_to_vertex[r])] = r;
-    }
-  }
+  Vertex n = compact.num_original_vertices();
+  index.in_ = LabelArena::Build(
+      n, [&](Vertex v) -> const LabelSet& { return compact.InLabels(v); },
+      ArenaEncoding::kVarint);
+  index.out_ = LabelArena::Build(
+      n, [&](Vertex v) -> const LabelSet& { return compact.OutLabels(v); },
+      ArenaEncoding::kVarint);
+  index.in_vertex_rank_ = flat::CoupleRanksFromCompact(compact);
   return index;
 }
 
-namespace {
-
-// Merge-joins two cursors, returning the best (dist, count) through common
-// hubs — the shared kernel of Query and QueryThroughEdge.
-JoinResult JoinCursors(Cursor out, Cursor in) {
-  JoinResult result;
-  bool out_valid = out.Next();
-  bool in_valid = in.Next();
-  while (out_valid && in_valid) {
-    if (out.rank < in.rank) {
-      out_valid = out.Next();
-    } else if (in.rank < out.rank) {
-      in_valid = in.Next();
-    } else {
-      Dist through = out.dist + in.dist;
-      if (through < result.dist) {
-        result.dist = through;
-        result.count = out.count * in.count;
-      } else if (through == result.dist) {
-        result.count += out.count * in.count;
-      }
-      out_valid = out.Next();
-      in_valid = in.Next();
-    }
-  }
-  return result;
-}
-
-}  // namespace
-
 CycleCount CompressedIndex::Query(Vertex v) const {
-  // Merge-join the out stream (L_out(v_o)) with the in stream (L_in(v_i))
-  // on hub rank, exactly as JoinLabels does over unpacked entries.
-  JoinResult r =
-      JoinCursors(Cursor(out_bytes_.data(), out_offsets_[v], out_offsets_[v + 1]),
-                  Cursor(in_bytes_.data(), in_offsets_[v], in_offsets_[v + 1]));
-  if (r.dist == kInfDist) return {};
-  return {(r.dist + 1) / 2, r.count};
+  return flat::Query(out_, in_, v);
 }
 
 CycleCount CompressedIndex::QueryThroughEdge(Vertex u, Vertex v) const {
-  if (u == v || u >= num_original_vertices() ||
-      v >= num_original_vertices()) {
-    return {};
+  return flat::QueryThroughEdge(out_, in_, in_vertex_rank_, u, v);
+}
+
+std::string CompressedIndex::Serialize() const {
+  return flat::SerializeFlat(kCompressedMagic, in_, out_, in_vertex_rank_);
+}
+
+std::optional<CompressedIndex> CompressedIndex::Deserialize(
+    const std::string& bytes) {
+  auto parts = flat::DeserializeFlat(kCompressedMagic, bytes);
+  if (!parts || parts->in.encoding() != ArenaEncoding::kVarint ||
+      parts->out.encoding() != ArenaEncoding::kVarint) {
+    return std::nullopt;
   }
-  JoinResult r =
-      JoinCursors(Cursor(out_bytes_.data(), out_offsets_[v], out_offsets_[v + 1]),
-                  Cursor(in_bytes_.data(), in_offsets_[u], in_offsets_[u + 1]));
-  // Couple-skipping correction (see CscIndex::QueryThroughEdge): scan u's
-  // in stream for hub v_i. The stream is decode-only, so this is a linear
-  // pass like the join itself.
-  Cursor in(in_bytes_.data(), in_offsets_[u], in_offsets_[u + 1]);
-  uint64_t want = in_vertex_rank_[v];
-  while (in.Next()) {
-    if (in.rank < want) continue;
-    if (in.rank == want) {
-      Dist d = in.dist - 1;
-      if (d < r.dist) {
-        r.dist = d;
-        r.count = in.count;
-      } else if (d == r.dist) {
-        r.count += in.count;
-      }
-    }
-    break;
-  }
-  if (r.dist == kInfDist) return {};
-  return {(r.dist + 1) / 2 + 1, r.count};
+  CompressedIndex index;
+  index.in_ = std::move(parts->in);
+  index.out_ = std::move(parts->out);
+  index.in_vertex_rank_ = std::move(parts->in_vertex_rank);
+  return index;
 }
 
 }  // namespace csc

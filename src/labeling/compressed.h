@@ -2,8 +2,11 @@
 #define CSC_LABELING_COMPRESSED_H_
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
+#include "core/label_arena.h"
 #include "csc/compact_index.h"
 #include "util/common.h"
 
@@ -14,10 +17,10 @@ namespace csc {
 /// The paper accounts index size at a fixed 8 bytes per label entry (§VI.A).
 /// Real entries are highly compressible: within one vertex's label set, hub
 /// ranks are ascending (delta-encode them), distances are small on
-/// small-world graphs, and counts are overwhelmingly 1. CompressedIndex
-/// stores each entry as three LEB128 varints (rank delta, distance, count)
-/// in two contiguous byte arrays — typically 3-4 bytes per entry instead of
-/// 8 — at the cost of decoding during the query merge.
+/// small-world graphs, and counts are overwhelmingly 1. CompressedIndex is
+/// two varint-encoded LabelArenas — each entry stored as three LEB128
+/// varints (rank delta, distance, count), typically 3-4 bytes per entry
+/// instead of 8 — at the cost of decoding during the query merge.
 ///
 /// Queries return exactly the same answers as every other index form (the
 /// test suite asserts equality); bench_serving measures the size/latency
@@ -37,37 +40,47 @@ class CompressedIndex {
   /// couple-skipping coverage correction).
   CycleCount QueryThroughEdge(Vertex u, Vertex v) const;
 
-  Vertex num_original_vertices() const {
-    return in_offsets_.empty() ? 0
-                               : static_cast<Vertex>(in_offsets_.size() - 1);
-  }
+  Vertex num_original_vertices() const { return in_.num_vertices(); }
 
-  uint64_t TotalEntries() const { return total_entries_; }
+  uint64_t TotalEntries() const {
+    return in_.total_entries() + out_.total_entries();
+  }
 
   /// Payload bytes (the two byte arrays; offsets excluded, mirroring how
   /// FrozenIndex::SizeBytes counts entries only).
-  uint64_t SizeBytes() const { return in_bytes_.size() + out_bytes_.size(); }
+  uint64_t SizeBytes() const { return in_.SizeBytes() + out_.SizeBytes(); }
+  /// Full resident footprint including offsets and the couple-rank map.
+  uint64_t MemoryBytes() const {
+    return in_.MemoryBytes() + out_.MemoryBytes() +
+           in_vertex_rank_.size() * sizeof(Rank);
+  }
 
   /// Mean encoded bytes per label entry (8.0 for the uncompressed formats).
   double BytesPerEntry() const {
-    return total_entries_ == 0
-               ? 0.0
-               : static_cast<double>(SizeBytes()) /
-                     static_cast<double>(total_entries_);
+    uint64_t entries = TotalEntries();
+    return entries == 0 ? 0.0
+                        : static_cast<double>(SizeBytes()) /
+                              static_cast<double>(entries);
   }
 
+  /// The underlying varint arenas.
+  const LabelArena& in_arena() const { return in_; }
+  const LabelArena& out_arena() const { return out_; }
+
+  /// Binary serialization (magic + arenas + couple-rank map; fixed-width
+  /// fields native-endian, matching the CompactIndex wire format).
+  std::string Serialize() const;
+  static std::optional<CompressedIndex> Deserialize(const std::string& bytes);
+
+  friend bool operator==(const CompressedIndex&,
+                         const CompressedIndex&) = default;
+
  private:
-  // bytes[offsets[v] .. offsets[v+1]) is the varint stream of vertex v:
-  // per entry (rank_delta, dist, count), rank_delta relative to the
-  // previous entry's rank (first entry: the rank itself).
-  std::vector<uint64_t> in_offsets_;
-  std::vector<uint8_t> in_bytes_;
-  std::vector<uint64_t> out_offsets_;
-  std::vector<uint8_t> out_bytes_;
+  LabelArena in_;   // L_in(v_i) varint runs, indexed by original vertex
+  LabelArena out_;  // L_out(v_o) varint runs, indexed by original vertex
   // in_vertex_rank_[v] = rank of v_i, for QueryThroughEdge's couple-hub
   // correction.
-  std::vector<uint32_t> in_vertex_rank_;
-  uint64_t total_entries_ = 0;
+  std::vector<Rank> in_vertex_rank_;
 };
 
 }  // namespace csc

@@ -1,0 +1,161 @@
+#include "serving/engine.h"
+
+#include <utility>
+
+#include "csc/girth.h"
+
+namespace csc {
+
+Engine::Engine(EngineOptions options)
+    : options_(std::move(options)),
+      pool_(options_.num_threads == 0 ? ThreadPool::DefaultThreadCount()
+                                      : options_.num_threads) {
+  active_ = MakeFresh();
+}
+
+std::shared_ptr<CycleIndex> Engine::MakeFresh() const {
+  return MakeBackend(options_.backend);
+}
+
+void Engine::Swap(std::shared_ptr<CycleIndex> next) {
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  active_ = std::move(next);
+}
+
+std::shared_ptr<CycleIndex> Engine::snapshot() const {
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  return active_;
+}
+
+bool Engine::Build(const DiGraph& graph) {
+  std::shared_ptr<CycleIndex> next = MakeFresh();
+  if (!next) return false;
+  next->Build(graph, options_.build);
+  // The retained copy only feeds the rebuild-and-swap update path of
+  // static backends; dynamic backends maintain their own graph in place,
+  // so don't double the adjacency footprint for them.
+  has_graph_ = !next->supports_updates();
+  graph_ = has_graph_ ? graph : DiGraph();
+  Swap(std::move(next));
+  return true;
+}
+
+bool Engine::LoadFrom(const std::string& bytes) {
+  std::shared_ptr<CycleIndex> next = MakeFresh();
+  if (!next || !next->LoadFrom(bytes)) return false;
+  has_graph_ = false;
+  graph_ = DiGraph();  // release any copy retained by an earlier Build
+  Swap(std::move(next));
+  return true;
+}
+
+bool Engine::SaveTo(std::string& bytes) const {
+  std::shared_ptr<CycleIndex> index = snapshot();
+  return index && index->SaveTo(bytes);
+}
+
+CycleCount Engine::Query(Vertex v) {
+  std::shared_ptr<CycleIndex> index = snapshot();
+  if (!index) return {};
+  if (index->thread_safe_queries()) {
+    std::shared_lock<std::shared_mutex> lock(query_mu_);
+    return index->CountShortestCycles(v);
+  }
+  std::unique_lock<std::shared_mutex> lock(query_mu_);
+  return index->CountShortestCycles(v);
+}
+
+std::vector<CycleCount> Engine::BatchQuery(
+    const std::vector<Vertex>& vertices) {
+  std::vector<CycleCount> results(vertices.size());
+  std::shared_ptr<CycleIndex> index = snapshot();
+  if (!index) return results;
+  if (index->thread_safe_queries() && pool_.num_threads() > 1 &&
+      vertices.size() > options_.batch_grain) {
+    // The calling thread holds the reader lock for the whole fan-out, so
+    // no in-place update can start while worker chunks are scanning.
+    std::shared_lock<std::shared_mutex> lock(query_mu_);
+    ParallelFor(pool_, 0, vertices.size(), options_.batch_grain,
+                [&](size_t begin, size_t end) {
+                  for (size_t i = begin; i < end; ++i) {
+                    results[i] = index->CountShortestCycles(vertices[i]);
+                  }
+                });
+    return results;
+  }
+  std::unique_lock<std::shared_mutex> lock(query_mu_);
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    results[i] = index->CountShortestCycles(vertices[i]);
+  }
+  return results;
+}
+
+std::vector<CycleCount> Engine::QueryAll() {
+  Vertex n = num_vertices();
+  std::vector<Vertex> vertices(n);
+  for (Vertex v = 0; v < n; ++v) vertices[v] = v;
+  return BatchQuery(vertices);
+}
+
+GirthInfo Engine::Girth() {
+  std::shared_ptr<CycleIndex> index = snapshot();
+  if (!index) return {};
+  if (index->thread_safe_queries()) {
+    std::shared_lock<std::shared_mutex> lock(query_mu_);
+    return index->Girth();
+  }
+  std::unique_lock<std::shared_mutex> lock(query_mu_);
+  return index->Girth();
+}
+
+size_t Engine::ApplyUpdates(const std::vector<EdgeUpdate>& updates) {
+  std::shared_ptr<CycleIndex> index = snapshot();
+  if (!index) return 0;
+  size_t applied = 0;
+  if (index->supports_updates()) {
+    // In-place repair under the writer lock: excludes both the parallel
+    // reader pool and serialized queries, so no query ever observes a
+    // half-applied update.
+    std::unique_lock<std::shared_mutex> lock(query_mu_);
+    for (const EdgeUpdate& update : updates) {
+      CycleIndex::UpdateResult result =
+          update.kind == UpdateKind::kInsert
+              ? index->InsertEdge(update.edge.from, update.edge.to)
+              : index->DeleteEdge(update.edge.from, update.edge.to);
+      if (result == CycleIndex::UpdateResult::kApplied) ++applied;
+    }
+    return applied;
+  }
+  // Static serving form: mutate the retained graph, rebuild off to the
+  // side, swap once. Readers keep the old snapshot until the swap.
+  if (!has_graph_) return 0;
+  for (const EdgeUpdate& update : updates) {
+    bool ok = update.kind == UpdateKind::kInsert
+                  ? graph_.AddEdge(update.edge.from, update.edge.to)
+                  : graph_.RemoveEdge(update.edge.from, update.edge.to);
+    if (ok) ++applied;
+  }
+  if (applied > 0) {
+    std::shared_ptr<CycleIndex> next = MakeFresh();
+    next->Build(graph_, options_.build);
+    Swap(std::move(next));
+  }
+  return applied;
+}
+
+Vertex Engine::num_vertices() const {
+  std::shared_ptr<CycleIndex> index = snapshot();
+  return index ? index->num_vertices() : 0;
+}
+
+uint64_t Engine::MemoryBytes() const {
+  std::shared_ptr<CycleIndex> index = snapshot();
+  return index ? index->MemoryBytes() : 0;
+}
+
+BackendStats Engine::Stats() const {
+  std::shared_ptr<CycleIndex> index = snapshot();
+  return index ? index->Stats() : BackendStats{};
+}
+
+}  // namespace csc

@@ -1,0 +1,112 @@
+#ifndef CSC_SERVING_ENGINE_H_
+#define CSC_SERVING_ENGINE_H_
+
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/cycle_index.h"
+#include "dynamic/edge_update.h"
+#include "util/thread_pool.h"
+
+namespace csc {
+
+struct GirthInfo;  // csc/girth.h
+
+struct EngineOptions {
+  /// Registry name of the backend to serve ("csc", "frozen", ...).
+  std::string backend = kDefaultBackendName;
+  /// Worker threads for batched queries; 0 = ThreadPool::DefaultThreadCount().
+  unsigned num_threads = 0;
+  /// Vertices per parallel batch chunk.
+  size_t batch_grain = 256;
+  CycleIndex::BuildOptions build;
+};
+
+/// The serving facade: owns one CycleIndex backend chosen by name, fans
+/// batched queries out across a thread pool, and keeps dynamic updates and
+/// readers consistent through warm snapshot swaps.
+///
+/// Concurrency model: readers obtain the active index via an atomic
+/// shared_ptr snapshot, so a query never observes a half-applied swap and an
+/// in-flight batch keeps its snapshot alive after a swap retires it. Update
+/// entry points (Build / ApplyUpdates / LoadFrom) are single-writer —
+/// serialize them externally. Backends with thread-safe queries run reads
+/// in parallel under a reader lock; in-place updates take the matching
+/// writer lock, so queries never race a label mutation. Backends whose
+/// queries mutate internal state ("cached", "bfs") are serialized through
+/// the writer lock on every query.
+///
+/// Updates: a backend that supports in-place maintenance ("csc", "cached",
+/// "bfs", "precompute") repairs itself; for static serving forms ("frozen",
+/// "compressed", "compact", "hpspc") the engine mutates its retained graph,
+/// rebuilds a fresh index off to the side, and swaps it in atomically — the
+/// warm snapshot swap. Readers are never blocked by a rebuild.
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+
+  /// False if the configured backend name is unknown.
+  bool valid() const { return active_ != nullptr; }
+  const std::string& backend_name() const { return options_.backend; }
+
+  /// Builds the active index from `graph` (synchronous). For static
+  /// backends the graph is retained to feed rebuild-style updates; dynamic
+  /// backends maintain their own copy, so none is kept.
+  bool Build(const DiGraph& graph);
+
+  /// Restores the index from a persisted payload. Static-backend updates
+  /// are unavailable after LoadFrom (no graph retained) until Build is
+  /// called.
+  bool LoadFrom(const std::string& bytes);
+  bool SaveTo(std::string& bytes) const;
+
+  /// SCCnt(v) against the current snapshot.
+  CycleCount Query(Vertex v);
+
+  /// Batched SCCnt, positionally aligned with `vertices`. Parallel across
+  /// the pool when the backend's queries are thread-safe, sequential
+  /// otherwise; results are identical either way.
+  std::vector<CycleCount> BatchQuery(const std::vector<Vertex>& vertices);
+
+  /// SCCnt for every vertex [0, n).
+  std::vector<CycleCount> QueryAll();
+
+  GirthInfo Girth();
+
+  /// Applies a batch of edge updates; returns how many were applied
+  /// (rejected no-ops are skipped). In-place for dynamic backends; for
+  /// static backends the whole batch is applied to the retained graph and
+  /// one rebuilt snapshot is swapped in at the end.
+  size_t ApplyUpdates(const std::vector<EdgeUpdate>& updates);
+
+  /// The current snapshot; stays valid (and queryable, subject to the
+  /// backend's thread-safety) even after a later swap retires it.
+  std::shared_ptr<CycleIndex> snapshot() const;
+
+  Vertex num_vertices() const;
+  uint64_t MemoryBytes() const;
+  BackendStats Stats() const;
+
+  ThreadPool& pool() { return pool_; }
+
+ private:
+  std::shared_ptr<CycleIndex> MakeFresh() const;
+  void Swap(std::shared_ptr<CycleIndex> next);
+
+  EngineOptions options_;
+  ThreadPool pool_;
+  mutable std::mutex swap_mu_;  // guards active_ pointer swaps/reads
+  // Readers of thread-safe backends hold it shared; in-place updates and
+  // queries of state-mutating backends hold it exclusive.
+  std::shared_mutex query_mu_;
+  std::shared_ptr<CycleIndex> active_;
+  DiGraph graph_;     // retained for static-backend rebuilds
+  bool has_graph_ = false;
+};
+
+}  // namespace csc
+
+#endif  // CSC_SERVING_ENGINE_H_

@@ -1,0 +1,218 @@
+// Backend conformance: every CycleIndex implementation must answer the same
+// query/update scenario identically (the BFS baseline recomputed from
+// scratch is the ground truth). New backends get this coverage for free by
+// registering in AllBackendNames().
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "baseline/bfs_cycle.h"
+#include "core/cycle_index.h"
+#include "csc/girth.h"
+#include "graph/digraph.h"
+#include "tests/test_util.h"
+
+namespace csc {
+namespace {
+
+class BackendConformanceTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<CycleIndex> Make() {
+    std::unique_ptr<CycleIndex> backend = MakeBackend(GetParam());
+    EXPECT_NE(backend, nullptr) << "unregistered backend " << GetParam();
+    return backend;
+  }
+
+  static void ExpectMatchesBfs(CycleIndex& backend, const DiGraph& graph,
+                               const char* when) {
+    ASSERT_EQ(backend.num_vertices(), graph.num_vertices()) << when;
+    BfsCycleCounter reference(graph);
+    for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+      EXPECT_EQ(backend.CountShortestCycles(v), reference.CountCycles(v))
+          << when << ": backend " << backend.name() << ", vertex " << v;
+    }
+  }
+};
+
+TEST_P(BackendConformanceTest, RegistryNameMatches) {
+  auto backend = Make();
+  EXPECT_EQ(backend->name(), GetParam());
+  BackendStats stats = backend->Stats();
+  EXPECT_EQ(stats.name, GetParam());
+  EXPECT_EQ(stats.supports_updates, backend->supports_updates());
+  EXPECT_EQ(stats.supports_save, backend->supports_save());
+}
+
+TEST_P(BackendConformanceTest, AnswersMatchBfsOnFigure2) {
+  auto backend = Make();
+  DiGraph graph = Figure2Graph();
+  backend->Build(graph);
+  ExpectMatchesBfs(*backend, graph, "figure2");
+  // The paper's worked example: SCCnt(v7) = 3 shortest cycles of length 6.
+  CycleCount v7 = backend->CountShortestCycles(6);
+  EXPECT_EQ(v7.count, 3u);
+  EXPECT_EQ(v7.length, 6u);
+  // Out-of-range queries are empty answers, not crashes.
+  EXPECT_EQ(backend->CountShortestCycles(10), CycleCount{});
+  EXPECT_EQ(backend->CountShortestCycles(kNoVertex), CycleCount{});
+}
+
+TEST_P(BackendConformanceTest, AnswersMatchBfsOnRandomGraphs) {
+  auto backend = Make();
+  for (uint64_t seed : {1u, 2u}) {
+    DiGraph graph = RandomGraph(60, 2.5, seed);
+    backend->Build(graph);
+    ExpectMatchesBfs(*backend, graph, "random");
+  }
+}
+
+TEST_P(BackendConformanceTest, GirthMatchesSweep) {
+  auto backend = Make();
+  DiGraph graph = RandomGraph(50, 2.0, 42);
+  backend->Build(graph);
+  BfsCycleCounter reference(graph);
+  GirthInfo expected = ComputeGirth(
+      graph.num_vertices(), [&](Vertex v) { return reference.CountCycles(v); });
+  GirthInfo actual = backend->Girth();
+  EXPECT_EQ(actual.girth, expected.girth);
+  EXPECT_EQ(actual.num_girth_vertices, expected.num_girth_vertices);
+  EXPECT_EQ(actual.example_vertex, expected.example_vertex);
+}
+
+// The shared update scenario: close a 2-cycle, retract it, then grow a new
+// cycle elsewhere. Backends with in-place maintenance repair themselves;
+// static backends must report kUnsupported (never silently wrong answers)
+// and stay correct after an explicit rebuild.
+TEST_P(BackendConformanceTest, SharedUpdateScenario) {
+  auto backend = Make();
+  DiGraph graph = Figure2Graph();
+  backend->Build(graph);
+
+  const std::vector<std::pair<bool, Edge>> scenario = {
+      {true, {7, 6}},   // insert: closes a 2-cycle at the paper's v7/v8
+      {false, {7, 6}},  // remove it again
+      {true, {6, 0}},   // insert: a shortcut creating shorter cycles
+      {false, {0, 2}},  // remove an original edge
+  };
+
+  for (const auto& [insert, edge] : scenario) {
+    CycleIndex::UpdateResult result =
+        insert ? backend->InsertEdge(edge.from, edge.to)
+               : backend->DeleteEdge(edge.from, edge.to);
+    if (backend->supports_updates()) {
+      ASSERT_EQ(result, CycleIndex::UpdateResult::kApplied);
+      bool ok = insert ? graph.AddEdge(edge.from, edge.to)
+                       : graph.RemoveEdge(edge.from, edge.to);
+      ASSERT_TRUE(ok);
+      ExpectMatchesBfs(*backend, graph, "after in-place update");
+    } else {
+      ASSERT_EQ(result, CycleIndex::UpdateResult::kUnsupported);
+      bool ok = insert ? graph.AddEdge(edge.from, edge.to)
+                       : graph.RemoveEdge(edge.from, edge.to);
+      ASSERT_TRUE(ok);
+      backend->Build(graph);  // static form: rebuild is the update path
+      ExpectMatchesBfs(*backend, graph, "after rebuild");
+    }
+  }
+
+  if (backend->supports_updates()) {
+    // No-op updates are rejected, not applied.
+    EXPECT_EQ(backend->InsertEdge(6, 7), CycleIndex::UpdateResult::kRejected)
+        << "edge already present";
+    EXPECT_EQ(backend->DeleteEdge(0, 2), CycleIndex::UpdateResult::kRejected)
+        << "edge already absent";
+    EXPECT_EQ(backend->InsertEdge(3, 3), CycleIndex::UpdateResult::kRejected)
+        << "self-loop";
+  }
+}
+
+TEST_P(BackendConformanceTest, SaveLoadRoundTripsThroughInterface) {
+  auto backend = Make();
+  DiGraph graph = RandomGraph(40, 2.0, 9);
+  backend->Build(graph);
+  std::string bytes;
+  if (!backend->SaveTo(bytes)) {
+    EXPECT_FALSE(backend->supports_save());
+    return;
+  }
+  EXPECT_TRUE(backend->supports_save());
+  // The compact interchange payload (saved by csc/cached/compact) loads
+  // into every flat serving form; the flat forms save their native arena
+  // payloads, which round-trip through their own backend.
+  std::vector<std::string> loaders;
+  if (GetParam() == "frozen" || GetParam() == "compressed") {
+    loaders = {GetParam()};
+  } else {
+    loaders = {"compact", "frozen", "compressed"};
+  }
+  BfsCycleCounter reference(graph);
+  for (const std::string& loader : loaders) {
+    auto loaded = MakeBackend(loader);
+    ASSERT_TRUE(loaded->LoadFrom(bytes))
+        << backend->name() << " payload into " << loader;
+    for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+      EXPECT_EQ(loaded->CountShortestCycles(v), reference.CountCycles(v))
+          << loader << " vertex " << v;
+    }
+  }
+  // Incompatible payloads are rejected cleanly, never half-loaded.
+  if (GetParam() == "frozen") {
+    EXPECT_FALSE(MakeBackend("compact")->LoadFrom(bytes));
+    EXPECT_FALSE(MakeBackend("compressed")->LoadFrom(bytes));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendConformanceTest,
+                         ::testing::ValuesIn(AllBackendNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(BackendRegistryTest, UnknownNameReturnsNull) {
+  EXPECT_EQ(MakeBackend("no-such-backend"), nullptr);
+  EXPECT_EQ(MakeBackend(""), nullptr);
+}
+
+TEST(BackendRegistryTest, DefaultBackendIsRegistered) {
+  EXPECT_NE(MakeBackend(kDefaultBackendName), nullptr);
+}
+
+// Minimality maintenance (Algorithm 8) through the interface: building with
+// maintain_inverted_index makes "csc" apply updates with the cleaning
+// strategy, exercising the inverted hub indexes.
+TEST(BackendBuildOptionsTest, MinimalityMaintenanceStaysCorrect) {
+  auto backend = MakeBackend("csc");
+  DiGraph graph = Figure2Graph();
+  CycleIndex::BuildOptions options;
+  options.maintain_inverted_index = true;
+  backend->Build(graph, options);
+  ASSERT_EQ(backend->InsertEdge(7, 6), CycleIndex::UpdateResult::kApplied);
+  graph.AddEdge(7, 6);
+  ASSERT_EQ(backend->InsertEdge(6, 0), CycleIndex::UpdateResult::kApplied);
+  graph.AddEdge(6, 0);
+  BfsCycleCounter reference(graph);
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+    EXPECT_EQ(backend->CountShortestCycles(v), reference.CountCycles(v));
+  }
+}
+
+TEST(BackendBuildOptionsTest, ReservedVerticesAttachViaInsertEdge) {
+  auto backend = MakeBackend("csc");
+  DiGraph graph = Figure2Graph();
+  CycleIndex::BuildOptions options;
+  options.reserve_vertices = 2;
+  backend->Build(graph, options);
+  EXPECT_EQ(backend->num_vertices(), 12u);
+  // Attach vertex 10 on a detour of the main cycle: 9 -> 10 -> 0.
+  ASSERT_EQ(backend->InsertEdge(9, 10), CycleIndex::UpdateResult::kApplied);
+  ASSERT_EQ(backend->InsertEdge(10, 0), CycleIndex::UpdateResult::kApplied);
+  graph.AddVertices(2);
+  graph.AddEdge(9, 10);
+  graph.AddEdge(10, 0);
+  BfsCycleCounter reference(graph);
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+    EXPECT_EQ(backend->CountShortestCycles(v), reference.CountCycles(v));
+  }
+}
+
+}  // namespace
+}  // namespace csc

@@ -1,0 +1,150 @@
+#include "serving/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "baseline/bfs_cycle.h"
+#include "csc/girth.h"
+#include "tests/test_util.h"
+
+namespace csc {
+namespace {
+
+std::vector<CycleCount> BfsReference(const DiGraph& graph) {
+  BfsCycleCounter reference(graph);
+  std::vector<CycleCount> answers(graph.num_vertices());
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+    answers[v] = reference.CountCycles(v);
+  }
+  return answers;
+}
+
+TEST(EngineTest, UnknownBackendIsInvalid) {
+  EngineOptions options;
+  options.backend = "no-such-backend";
+  Engine engine(options);
+  EXPECT_FALSE(engine.valid());
+  EXPECT_FALSE(engine.Build(Figure2Graph()));
+  EXPECT_EQ(engine.Query(0), CycleCount{});
+}
+
+TEST(EngineTest, BuildAndQueryEveryBackend) {
+  DiGraph graph = RandomGraph(50, 2.0, 3);
+  std::vector<CycleCount> expected = BfsReference(graph);
+  for (const std::string& name : AllBackendNames()) {
+    EngineOptions options;
+    options.backend = name;
+    options.num_threads = 2;
+    Engine engine(options);
+    ASSERT_TRUE(engine.valid()) << name;
+    ASSERT_TRUE(engine.Build(graph)) << name;
+    EXPECT_EQ(engine.num_vertices(), graph.num_vertices());
+    for (Vertex v = 0; v < graph.num_vertices(); v += 5) {
+      EXPECT_EQ(engine.Query(v), expected[v]) << name << " vertex " << v;
+    }
+    EXPECT_EQ(engine.QueryAll(), expected) << name;
+    EXPECT_EQ(engine.Stats().name, name);
+  }
+}
+
+TEST(EngineTest, BatchQueryMatchesSequentialAcrossGrains) {
+  DiGraph graph = RandomGraph(120, 2.5, 5);
+  std::vector<Vertex> workload;
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+    workload.push_back(v);
+    workload.push_back(graph.num_vertices() - 1 - v);
+  }
+  EngineOptions options;
+  options.backend = "frozen";
+  options.num_threads = 4;
+  options.batch_grain = 16;  // force multiple parallel chunks
+  Engine engine(options);
+  ASSERT_TRUE(engine.Build(graph));
+  std::vector<CycleCount> batched = engine.BatchQuery(workload);
+  ASSERT_EQ(batched.size(), workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    EXPECT_EQ(batched[i], engine.Query(workload[i])) << "i=" << i;
+  }
+}
+
+TEST(EngineTest, InPlaceUpdatesOnDynamicBackend) {
+  DiGraph graph = Figure2Graph();
+  EngineOptions options;
+  options.backend = "csc";
+  Engine engine(options);
+  ASSERT_TRUE(engine.Build(graph));
+  std::vector<EdgeUpdate> updates = {EdgeUpdate::Insert(7, 6),
+                                     EdgeUpdate::Insert(6, 0),
+                                     EdgeUpdate::Insert(7, 6)};  // duplicate
+  EXPECT_EQ(engine.ApplyUpdates(updates), 2u);
+  graph.AddEdge(7, 6);
+  graph.AddEdge(6, 0);
+  EXPECT_EQ(engine.QueryAll(), BfsReference(graph));
+}
+
+TEST(EngineTest, WarmSnapshotSwapOnStaticBackend) {
+  DiGraph graph = Figure2Graph();
+  EngineOptions options;
+  options.backend = "frozen";
+  Engine engine(options);
+  ASSERT_TRUE(engine.Build(graph));
+  std::shared_ptr<CycleIndex> before = engine.snapshot();
+  CycleCount before_answer = before->CountShortestCycles(6);
+
+  std::vector<EdgeUpdate> updates = {EdgeUpdate::Insert(7, 6)};
+  EXPECT_EQ(engine.ApplyUpdates(updates), 1u);
+  graph.AddEdge(7, 6);
+
+  // The engine swapped in a fresh snapshot...
+  std::shared_ptr<CycleIndex> after = engine.snapshot();
+  EXPECT_NE(before.get(), after.get());
+  EXPECT_EQ(engine.QueryAll(), BfsReference(graph));
+  // ...while the retired snapshot keeps answering with its own (old) view.
+  EXPECT_EQ(before->CountShortestCycles(6), before_answer);
+
+  // Rejected-only batches do not rebuild.
+  std::shared_ptr<CycleIndex> current = engine.snapshot();
+  EXPECT_EQ(engine.ApplyUpdates({EdgeUpdate::Insert(7, 6)}), 0u);
+  EXPECT_EQ(engine.snapshot().get(), current.get());
+}
+
+TEST(EngineTest, SaveLoadRoundTrip) {
+  DiGraph graph = RandomGraph(40, 2.0, 8);
+  EngineOptions build_options;
+  build_options.backend = "csc";
+  Engine builder(build_options);
+  ASSERT_TRUE(builder.Build(graph));
+  std::string bytes;
+  ASSERT_TRUE(builder.SaveTo(bytes));
+
+  for (const char* serving : {"compact", "frozen", "compressed"}) {
+    EngineOptions options;
+    options.backend = serving;
+    Engine engine(options);
+    ASSERT_TRUE(engine.LoadFrom(bytes)) << serving;
+    EXPECT_EQ(engine.QueryAll(), BfsReference(graph)) << serving;
+    // No graph retained after LoadFrom: static updates cannot apply.
+    EXPECT_EQ(engine.ApplyUpdates({EdgeUpdate::Insert(0, 1)}), 0u);
+  }
+}
+
+TEST(EngineTest, GirthMatchesReference) {
+  DiGraph graph = RandomGraph(60, 2.0, 12);
+  BfsCycleCounter reference(graph);
+  GirthInfo expected = ComputeGirth(
+      graph.num_vertices(), [&](Vertex v) { return reference.CountCycles(v); });
+  for (const char* name : {"frozen", "cached", "bfs"}) {
+    EngineOptions options;
+    options.backend = name;
+    Engine engine(options);
+    ASSERT_TRUE(engine.Build(graph));
+    GirthInfo actual = engine.Girth();
+    EXPECT_EQ(actual.girth, expected.girth) << name;
+    EXPECT_EQ(actual.num_girth_vertices, expected.num_girth_vertices) << name;
+  }
+}
+
+}  // namespace
+}  // namespace csc

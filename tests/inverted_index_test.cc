@@ -1,0 +1,95 @@
+#include "labeling/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include "csc/csc_index.h"
+#include "dynamic/decremental.h"
+#include "dynamic/incremental.h"
+#include "graph/ordering.h"
+#include "tests/test_util.h"
+
+namespace csc {
+namespace {
+
+TEST(InvertedIndexTest, AddRemoveContains) {
+  InvertedIndex inverted(4);
+  inverted.Add(2, 7);
+  inverted.Add(2, 9);
+  EXPECT_TRUE(inverted.Contains(2, 7));
+  EXPECT_FALSE(inverted.Contains(2, 8));
+  EXPECT_FALSE(inverted.Contains(3, 7));
+  EXPECT_EQ(inverted.TotalEntries(), 2u);
+  inverted.Remove(2, 7);
+  EXPECT_FALSE(inverted.Contains(2, 7));
+  // Out-of-range removals are no-ops, not crashes.
+  inverted.Remove(100, 7);
+  EXPECT_EQ(inverted.TotalEntries(), 1u);
+}
+
+TEST(InvertedIndexTest, AddGrowsRankTableOnDemand) {
+  InvertedIndex inverted;
+  EXPECT_TRUE(inverted.empty());
+  inverted.Add(10, 3);
+  EXPECT_GE(inverted.num_ranks(), 11u);
+  EXPECT_TRUE(inverted.Contains(10, 3));
+  EXPECT_TRUE(inverted.Vertices(5).empty());
+  EXPECT_TRUE(inverted.Vertices(999).empty());  // past the table: empty view
+}
+
+TEST(InvertedIndexTest, BuildFromMirrorsLabeling) {
+  CscIndex::Options options;
+  options.maintain_inverted_index = true;
+  CscIndex index = CscIndex::Build(Figure2Graph(), Figure2Ordering(), options);
+  EXPECT_TRUE(
+      index.inv_in().ConsistentWith(index.labeling(), LabelDirection::kIn));
+  EXPECT_TRUE(
+      index.inv_out().ConsistentWith(index.labeling(), LabelDirection::kOut));
+  EXPECT_EQ(index.inv_in().TotalEntries() + index.inv_out().TotalEntries(),
+            index.TotalEntries());
+}
+
+TEST(InvertedIndexTest, ConsistentWithDetectsDrift) {
+  CscIndex::Options options;
+  options.maintain_inverted_index = true;
+  CscIndex index = CscIndex::Build(Figure2Graph(), Figure2Ordering(), options);
+  InvertedIndex copy = index.inv_in();
+  ASSERT_TRUE(copy.ConsistentWith(index.labeling(), LabelDirection::kIn));
+  // A stale extra pair and a missing pair must both be caught.
+  copy.Add(0, 1000);  // vertex id no labeling covers
+  EXPECT_FALSE(copy.ConsistentWith(index.labeling(), LabelDirection::kIn));
+  copy.Remove(0, 1000);
+  Rank some_hub = index.labeling().in[2].entries().front().hub();
+  copy.Remove(some_hub, 2);
+  EXPECT_FALSE(copy.ConsistentWith(index.labeling(), LabelDirection::kIn));
+}
+
+// The satellite requirement: inverted-hub maintenance is exercised when the
+// index is built with maintain_inverted_index and updated under the
+// minimality strategy — the mirrors must track every label mutation.
+TEST(InvertedIndexTest, StaysConsistentThroughMinimalityMaintenance) {
+  CscIndex::Options options;
+  options.maintain_inverted_index = true;
+  DiGraph graph = Figure2Graph();
+  CscIndex index = CscIndex::Build(graph, DegreeOrdering(graph), options);
+
+  const std::vector<std::pair<bool, Edge>> scenario = {
+      {true, {7, 6}}, {true, {6, 0}}, {false, {7, 6}}, {false, {0, 2}}};
+  for (const auto& [insert, edge] : scenario) {
+    bool applied =
+        insert ? InsertEdge(index, edge.from, edge.to,
+                            MaintenanceStrategy::kMinimality)
+               : RemoveEdge(index, edge.from, edge.to);
+    ASSERT_TRUE(applied);
+    EXPECT_TRUE(
+        index.inv_in().ConsistentWith(index.labeling(), LabelDirection::kIn))
+        << (insert ? "insert" : "remove") << " " << edge.from << "->"
+        << edge.to;
+    EXPECT_TRUE(
+        index.inv_out().ConsistentWith(index.labeling(), LabelDirection::kOut))
+        << (insert ? "insert" : "remove") << " " << edge.from << "->"
+        << edge.to;
+  }
+}
+
+}  // namespace
+}  // namespace csc

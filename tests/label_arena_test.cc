@@ -1,0 +1,173 @@
+#include "core/label_arena.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "labeling/hub_labeling.h"
+#include "util/random.h"
+
+namespace csc {
+namespace {
+
+// Deterministic random label sets with ascending hub ranks, realistic small
+// distances, and mostly-1 counts.
+std::vector<LabelSet> RandomLabelSets(Vertex n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LabelSet> sets(n);
+  for (Vertex v = 0; v < n; ++v) {
+    Rank rank = 0;
+    size_t entries = rng.NextBounded(8);  // some vertices stay empty
+    for (size_t i = 0; i < entries; ++i) {
+      rank += 1 + static_cast<Rank>(rng.NextBounded(50));
+      auto dist = static_cast<Dist>(rng.NextBounded(12));
+      auto count = static_cast<Count>(1 + rng.NextBounded(4));
+      sets[v].Append(LabelEntry(rank, dist, count));
+    }
+  }
+  return sets;
+}
+
+class LabelArenaEncodingTest : public ::testing::TestWithParam<ArenaEncoding> {
+};
+
+TEST_P(LabelArenaEncodingTest, RoundTripsLabelSets) {
+  std::vector<LabelSet> sets = RandomLabelSets(40, 7);
+  LabelArena arena = LabelArena::FromLabelSets(sets, GetParam());
+  ASSERT_EQ(arena.num_vertices(), 40u);
+  uint64_t expected_entries = 0;
+  for (Vertex v = 0; v < 40; ++v) {
+    EXPECT_EQ(arena.DecodeRun(v), sets[v]) << "vertex " << v;
+    EXPECT_EQ(arena.RunSize(v), sets[v].size());
+    expected_entries += sets[v].size();
+  }
+  EXPECT_EQ(arena.total_entries(), expected_entries);
+}
+
+TEST_P(LabelArenaEncodingTest, JoinMatchesJoinLabels) {
+  std::vector<LabelSet> outs = RandomLabelSets(30, 11);
+  std::vector<LabelSet> ins = RandomLabelSets(30, 13);
+  LabelArena out_arena = LabelArena::FromLabelSets(outs, GetParam());
+  LabelArena in_arena = LabelArena::FromLabelSets(ins, GetParam());
+  for (Vertex s = 0; s < 30; ++s) {
+    for (Vertex t = 0; t < 30; t += 3) {
+      EXPECT_EQ(LabelArena::Join(out_arena, s, in_arena, t),
+                JoinLabels(outs[s], ins[t]))
+          << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST_P(LabelArenaEncodingTest, FindHubMatchesLabelSetFind) {
+  std::vector<LabelSet> sets = RandomLabelSets(25, 17);
+  LabelArena arena = LabelArena::FromLabelSets(sets, GetParam());
+  for (Vertex v = 0; v < 25; ++v) {
+    for (Rank r = 0; r < 300; r += 7) {
+      const LabelEntry* expected = sets[v].Find(r);
+      auto actual = arena.FindHub(v, r);
+      if (expected == nullptr) {
+        EXPECT_FALSE(actual.has_value()) << "v=" << v << " r=" << r;
+      } else {
+        ASSERT_TRUE(actual.has_value()) << "v=" << v << " r=" << r;
+        EXPECT_EQ(actual->first, expected->dist());
+        EXPECT_EQ(actual->second, expected->count());
+      }
+    }
+  }
+}
+
+TEST_P(LabelArenaEncodingTest, SerializationRoundTrips) {
+  std::vector<LabelSet> sets = RandomLabelSets(32, 23);
+  LabelArena arena = LabelArena::FromLabelSets(sets, GetParam());
+  std::string bytes;
+  arena.AppendTo(bytes);
+  size_t pos = 0;
+  auto parsed = LabelArena::Parse(bytes, pos);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(pos, bytes.size());
+  EXPECT_EQ(*parsed, arena);
+}
+
+TEST_P(LabelArenaEncodingTest, ParseRejectsTruncation) {
+  LabelArena arena =
+      LabelArena::FromLabelSets(RandomLabelSets(16, 29), GetParam());
+  std::string bytes;
+  arena.AppendTo(bytes);
+  for (size_t cut = 0; cut + 1 < bytes.size(); cut += 9) {
+    std::string truncated = bytes.substr(0, cut);
+    size_t pos = 0;
+    EXPECT_FALSE(LabelArena::Parse(truncated, pos).has_value())
+        << "cut=" << cut;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Encodings, LabelArenaEncodingTest,
+                         ::testing::Values(ArenaEncoding::kPacked,
+                                           ArenaEncoding::kVarint),
+                         [](const auto& info) {
+                           return info.param == ArenaEncoding::kPacked
+                                      ? "Packed"
+                                      : "Varint";
+                         });
+
+TEST(LabelArenaTest, ParseRejectsOversizedVertexCountWithoutAllocating) {
+  // A crafted header claiming 2^32-1 vertices in a 5-byte payload must be
+  // rejected as malformed, not sized into a giant offsets table.
+  std::string evil = {'\x00', '\xff', '\xff', '\xff', '\xff'};
+  size_t pos = 0;
+  EXPECT_FALSE(LabelArena::Parse(evil, pos).has_value());
+  // Same with a run length that overflows the offset arithmetic.
+  std::string big_run = {'\x00', '\x01', '\x00', '\x00', '\x00',
+                         '\xff', '\xff', '\xff', '\xff', '\xff',
+                         '\xff', '\xff', '\xff', '\xff', '\x01'};
+  pos = 0;
+  EXPECT_FALSE(LabelArena::Parse(big_run, pos).has_value());
+}
+
+TEST(LabelArenaTest, PackedAndVarintAgreeOnEveryJoin) {
+  std::vector<LabelSet> outs = RandomLabelSets(20, 31);
+  std::vector<LabelSet> ins = RandomLabelSets(20, 37);
+  LabelArena packed_out =
+      LabelArena::FromLabelSets(outs, ArenaEncoding::kPacked);
+  LabelArena packed_in = LabelArena::FromLabelSets(ins, ArenaEncoding::kPacked);
+  LabelArena varint_out =
+      LabelArena::FromLabelSets(outs, ArenaEncoding::kVarint);
+  LabelArena varint_in = LabelArena::FromLabelSets(ins, ArenaEncoding::kVarint);
+  for (Vertex s = 0; s < 20; ++s) {
+    for (Vertex t = 0; t < 20; ++t) {
+      JoinResult expected = LabelArena::Join(packed_out, s, packed_in, t);
+      EXPECT_EQ(LabelArena::Join(varint_out, s, varint_in, t), expected);
+      // Mixed encodings route through the cursor merge.
+      EXPECT_EQ(LabelArena::Join(packed_out, s, varint_in, t), expected);
+      EXPECT_EQ(LabelArena::Join(varint_out, s, packed_in, t), expected);
+    }
+  }
+}
+
+TEST(LabelArenaTest, VarintIsSmallerOnRealisticLabels) {
+  std::vector<LabelSet> sets = RandomLabelSets(200, 41);
+  LabelArena packed = LabelArena::FromLabelSets(sets, ArenaEncoding::kPacked);
+  LabelArena varint = LabelArena::FromLabelSets(sets, ArenaEncoding::kVarint);
+  ASSERT_GT(packed.total_entries(), 0u);
+  EXPECT_EQ(packed.BytesPerEntry(), 8.0);
+  EXPECT_LT(varint.SizeBytes(), packed.SizeBytes());
+  EXPECT_EQ(varint.total_entries(), packed.total_entries());
+}
+
+TEST(LabelArenaTest, EmptyArena) {
+  LabelArena arena;
+  EXPECT_EQ(arena.num_vertices(), 0u);
+  EXPECT_EQ(arena.total_entries(), 0u);
+  EXPECT_EQ(arena.SizeBytes(), 0u);
+  LabelArena built = LabelArena::FromLabelSets({}, ArenaEncoding::kPacked);
+  EXPECT_EQ(built.num_vertices(), 0u);
+  std::string bytes;
+  built.AppendTo(bytes);
+  size_t pos = 0;
+  auto parsed = LabelArena::Parse(bytes, pos);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->num_vertices(), 0u);
+}
+
+}  // namespace
+}  // namespace csc
