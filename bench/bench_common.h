@@ -1,6 +1,7 @@
 #ifndef CSC_BENCH_BENCH_COMMON_H_
 #define CSC_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -34,7 +35,9 @@ inline std::string CsvPath(const std::string& name) {
 
 /// Reads CSC_BENCH_BACKENDS (comma-separated CycleIndex registry names) so a
 /// single bench binary can measure any backend subset; unknown names are
-/// skipped with a warning. `defaults` is used when the variable is unset or
+/// skipped with a warning and repeated names are measured once. Validation
+/// is a registry lookup (IsRegisteredBackend) — no backend is constructed
+/// just to be thrown away. `defaults` is used when the variable is unset or
 /// empty — pass the backend set the paper figure compares.
 inline std::vector<std::string> BenchBackendsFromEnv(
     std::vector<std::string> defaults) {
@@ -45,11 +48,16 @@ inline std::vector<std::string> BenchBackendsFromEnv(
   for (const char* p = env;; ++p) {
     if (*p == ',' || *p == '\0') {
       if (!current.empty()) {
-        if (MakeBackend(current) != nullptr) {
-          names.push_back(current);
-        } else {
+        if (!IsRegisteredBackend(current)) {
           std::fprintf(stderr, "# CSC_BENCH_BACKENDS: unknown backend '%s'\n",
                        current.c_str());
+        } else if (std::find(names.begin(), names.end(), current) !=
+                   names.end()) {
+          std::fprintf(stderr,
+                       "# CSC_BENCH_BACKENDS: duplicate backend '%s' ignored\n",
+                       current.c_str());
+        } else {
+          names.push_back(current);
         }
         current.clear();
       }

@@ -14,6 +14,10 @@
 // are identical); compressed trades a ~2x smaller payload for a
 // decode-bound query; cached collapses repeat queries to an array read; the
 // parallel sweep scales with cores until memory-bound.
+// A sharded section measures the same backends behind ShardedEngine at
+// 1/2/4/8 shards (batched-query throughput over the routed fan-out); its
+// per-backend × per-shard-count rows are also emitted as BENCH_serving.json
+// so CI tracks the serving-tier trajectory.
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -21,6 +25,7 @@
 #include "bench/bench_common.h"
 #include "core/cycle_index.h"
 #include "serving/engine.h"
+#include "serving/sharded_engine.h"
 #include "util/env.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -72,6 +77,11 @@ int main() {
   TableReporter sweep_table(
       "All-vertex sweep (ms), frozen backend",
       {"Graph", "sequential", "engine-parallel", "speedup"});
+  TableReporter shard_table(
+      "ShardedEngine batched-query throughput (kq/s) by shard count",
+      {"Graph", "Backend", "shards", "build(s)", "kq/s"});
+  JsonBenchReporter json("serving");
+  const std::vector<uint32_t> shard_counts = {1, 2, 4, 8};
 
   for (const DatasetSpec& spec : datasets) {
     DiGraph graph = MaterializeDataset(spec, scale);
@@ -132,14 +142,54 @@ int main() {
          TableReporter::FormatDouble(parallel_ms, 1),
          TableReporter::FormatDouble(
              parallel_ms > 0 ? sequential_ms / parallel_ms : 0.0, 2)});
+
+    // Sharded serving matrix: each backend behind ShardedEngine at 1/2/4/8
+    // shards, measuring routed BatchQuery throughput over the same fixed
+    // workload. Every shard replicates the build (the closure is the full
+    // graph), so this section costs sum(shard_counts) builds per backend —
+    // trim with CSC_BENCH_BACKENDS / CSC_BENCH_SCALE when iterating.
+    for (const auto& name : backends) {
+      for (uint32_t shards : shard_counts) {
+        ShardedEngineOptions sharded_options;
+        sharded_options.backend = name;
+        sharded_options.num_shards = shards;
+        ShardedEngine sharded(sharded_options);
+        Timer build_timer;
+        if (!sharded.Build(graph)) continue;
+        double build_s = build_timer.ElapsedSeconds();
+        uint64_t queries = 0;
+        uint64_t batch_sink = 0;
+        Timer query_timer;
+        do {
+          std::vector<CycleCount> answers = sharded.BatchQuery(workload);
+          batch_sink += answers.back().count;
+          queries += answers.size();
+        } while (query_timer.ElapsedSeconds() < 0.05);
+        if (batch_sink == 0xdeadbeef) std::printf("!");
+        double qps = queries / query_timer.ElapsedSeconds();
+        shard_table.AddRow({spec.name, name, std::to_string(shards),
+                            TableReporter::FormatDouble(build_s),
+                            TableReporter::FormatDouble(qps / 1e3, 1)});
+        json.BeginRow()
+            .Field("dataset", spec.name)
+            .Field("backend", name)
+            .Field("shards", static_cast<uint64_t>(shards))
+            .Field("build_seconds", build_s)
+            .Field("batch_qps", qps)
+            .Field("resident_bytes", sharded.MemoryBytes());
+      }
+    }
     std::printf("[serving] %s done\n", spec.name.c_str());
   }
 
   size_table.Print();
   latency_table.Print();
   sweep_table.Print();
+  shard_table.Print();
   size_table.WriteCsv(bench::CsvPath("serving_sizes"));
   latency_table.WriteCsv(bench::CsvPath("serving_latency"));
   sweep_table.WriteCsv(bench::CsvPath("serving_sweep"));
+  shard_table.WriteCsv(bench::CsvPath("serving_sharded"));
+  json.Write("BENCH_serving.json");
   return 0;
 }

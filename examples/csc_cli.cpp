@@ -17,6 +17,12 @@
 // (the backend is then built in-process — the only option for index-free
 // backends like "bfs").
 //
+// `--shards N` serves through the sharded tier (serving/sharded_engine.h):
+// `build` writes one multi-shard bundle of N per-shard payloads, and the
+// serving commands route queries by vertex owner and fan sweeps across the
+// shards. Multi-shard index files are auto-detected on load (their own
+// shard count wins over the flag).
+//
 // Graphs are SNAP-style edge lists (see graph/graph_io.h). Indexes are
 // CycleIndex::SaveTo payloads inside the checksummed file envelope of
 // csc/index_io.h (legacy raw compact serializations still load).
@@ -36,6 +42,7 @@
 #include "graph/ordering.h"
 #include "graph/stats.h"
 #include "graph/subgraph.h"
+#include "serving/sharded_engine.h"
 #include "util/env.h"
 #include "util/timer.h"
 
@@ -47,14 +54,16 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  csc_cli [--backend NAME] build <graph.edges> <index.csc>\n"
-      "  csc_cli [--backend NAME] query <index-or-graph> <vertex> [...]\n"
-      "  csc_cli [--backend NAME] screen <index-or-graph> <max_len> <top_k>\n"
-      "  csc_cli [--backend NAME] stats <index-or-graph>\n"
-      "  csc_cli [--backend NAME] girth <index-or-graph>\n"
+      "  csc_cli [--backend NAME] [--shards N] build <graph.edges> <index.csc>\n"
+      "  csc_cli [--backend NAME] [--shards N] query <index-or-graph> <vertex> [...]\n"
+      "  csc_cli [--backend NAME] [--shards N] screen <index-or-graph> <max_len> <top_k>\n"
+      "  csc_cli [--backend NAME] [--shards N] stats <index-or-graph>\n"
+      "  csc_cli [--backend NAME] [--shards N] girth <index-or-graph>\n"
       "  csc_cli backends\n"
       "  csc_cli graphstats <graph.edges>\n"
       "  csc_cli casestudy <graph.edges> <vertex> <out.dot>\n"
+      "--shards N builds/serves through the sharded engine (N per-shard\n"
+      "backends; multi-shard index files are auto-detected on load)\n"
       "backends: ");
   for (const std::string& name : AllBackendNames()) {
     std::fprintf(stderr, "%s ", name.c_str());
@@ -121,6 +130,108 @@ std::unique_ptr<CycleIndex> LoadOrBuild(const std::string& path,
   return nullptr;
 }
 
+// The serving handle the index-serving commands run against: one backend
+// (the classic path) or a ShardedEngine (--shards N, or a multi-shard index
+// file, which is auto-detected by its magic).
+struct Serving {
+  std::unique_ptr<CycleIndex> single;
+  std::unique_ptr<ShardedEngine> sharded;
+
+  Vertex num_vertices() const {
+    return sharded ? sharded->num_vertices() : single->num_vertices();
+  }
+  CycleCount Query(Vertex v) {
+    return sharded ? sharded->Query(v) : single->CountShortestCycles(v);
+  }
+  GirthInfo Girth() { return sharded ? sharded->Girth() : single->Girth(); }
+};
+
+std::optional<Serving> LoadOrBuildServing(const std::string& path,
+                                          const std::string& backend_name,
+                                          uint32_t shards) {
+  Serving serving;
+  // A multi-shard index file routes to the sharded engine regardless of
+  // --shards: the bundle's own shard count wins.
+  std::string envelope_error;
+  std::optional<std::string> payload =
+      ReadVerifiedPayload(path, &envelope_error);
+  if (payload && IsShardedPayload(*payload)) {
+    ShardedEngineOptions options;
+    options.backend = backend_name;
+    auto engine = std::make_unique<ShardedEngine>(options);
+    if (!engine->valid()) {
+      std::fprintf(stderr, "unknown backend '%s' (see `csc_cli backends`)\n",
+                   backend_name.c_str());
+      return std::nullopt;
+    }
+    if (!engine->LoadFrom(*payload)) {
+      // Same fallback as the single-backend path: backends without a load
+      // path (e.g. the default "csc") serve the bundle via "compact".
+      bool recovered = false;
+      if (backend_name != "compact") {
+        ShardedEngineOptions fallback_options;
+        fallback_options.backend = "compact";
+        auto fallback = std::make_unique<ShardedEngine>(fallback_options);
+        if (fallback->LoadFrom(*payload)) {
+          std::fprintf(stderr,
+                       "note: backend '%s' cannot load shard payloads; "
+                       "serving %s via 'compact' (pass --backend "
+                       "compact/frozen/compressed to choose explicitly)\n",
+                       backend_name.c_str(), path.c_str());
+          engine = std::move(fallback);
+          recovered = true;
+        }
+      }
+      if (!recovered) {
+        std::fprintf(stderr,
+                     "%s: multi-shard bundle does not load into backend '%s' "
+                     "(try --backend compact/frozen/compressed)\n",
+                     path.c_str(), backend_name.c_str());
+        return std::nullopt;
+      }
+    }
+    std::fprintf(stderr, "loaded %u-shard index from %s\n",
+                 engine->num_shards(), path.c_str());
+    serving.sharded = std::move(engine);
+    return serving;
+  }
+  if (shards <= 1) {
+    serving.single = LoadOrBuild(path, backend_name);
+    if (!serving.single) return std::nullopt;
+    return serving;
+  }
+  // --shards N over anything else requires a graph to partition.
+  auto graph = LoadEdgeListFile(path);
+  if (!graph) {
+    std::fprintf(stderr,
+                 "%s: --shards needs a multi-shard index file or an "
+                 "edge-list graph (single-shard index files cannot be "
+                 "re-partitioned without the graph)\n",
+                 path.c_str());
+    return std::nullopt;
+  }
+  ShardedEngineOptions options;
+  options.backend = backend_name;
+  options.num_shards = shards;
+  auto engine = std::make_unique<ShardedEngine>(options);
+  if (!engine->valid()) {
+    std::fprintf(stderr, "unknown backend '%s' (see `csc_cli backends`)\n",
+                 backend_name.c_str());
+    return std::nullopt;
+  }
+  Timer timer;
+  if (!engine->Build(*graph)) {
+    std::fprintf(stderr, "failed to build %u-shard '%s' from %s\n", shards,
+                 backend_name.c_str(), path.c_str());
+    return std::nullopt;
+  }
+  std::fprintf(stderr, "built %u-shard backend '%s' from %s in %.3f s\n",
+               shards, backend_name.c_str(), path.c_str(),
+               timer.ElapsedSeconds());
+  serving.sharded = std::move(engine);
+  return serving;
+}
+
 const char* BackendDescription(const std::string& name) {
   if (name == "csc") return "the paper's dynamic 2-hop CSC index";
   if (name == "compact") return "§IV.E half-size reduction; the interchange format";
@@ -149,8 +260,8 @@ int CmdBackends() {
   return 0;
 }
 
-int CmdBuild(const std::string& backend_name, const std::string& graph_path,
-             const std::string& index_path) {
+int CmdBuild(const std::string& backend_name, uint32_t shards,
+             const std::string& graph_path, const std::string& index_path) {
   auto graph = LoadEdgeListFile(graph_path);
   if (!graph) {
     std::fprintf(stderr, "cannot parse %s\n", graph_path.c_str());
@@ -159,6 +270,43 @@ int CmdBuild(const std::string& backend_name, const std::string& graph_path,
   std::printf("loaded %s: %u vertices, %llu edges\n", graph_path.c_str(),
               graph->num_vertices(),
               static_cast<unsigned long long>(graph->num_edges()));
+  if (shards > 1) {
+    // Sharded build: K per-shard payloads in one multi-shard bundle.
+    ShardedEngineOptions options;
+    options.backend = backend_name;
+    options.num_shards = shards;
+    ShardedEngine engine(options);
+    if (!engine.valid()) {
+      std::fprintf(stderr, "unknown backend '%s'\n", backend_name.c_str());
+      return 1;
+    }
+    Timer timer;
+    if (!engine.Build(*graph)) {
+      std::fprintf(stderr, "failed to build %u-shard '%s'\n", shards,
+                   backend_name.c_str());
+      return 1;
+    }
+    std::string payload;
+    if (!engine.SaveTo(payload)) {
+      std::fprintf(stderr,
+                   "backend '%s' has no persistent form; use csc, compact, "
+                   "frozen, or compressed for `build`\n",
+                   backend_name.c_str());
+      return 1;
+    }
+    std::printf("built %u-shard backend '%s' in %.3f s (%s resident)\n",
+                shards, backend_name.c_str(), timer.ElapsedSeconds(),
+                HumanBytes(engine.MemoryBytes()).c_str());
+    if (!SavePayloadToFile(payload, index_path)) {
+      std::fprintf(stderr, "cannot write %s\n", index_path.c_str());
+      return 1;
+    }
+    std::error_code ec;
+    uintmax_t on_disk = std::filesystem::file_size(index_path, ec);
+    std::printf("wrote %s (%u shards, %s on disk)\n", index_path.c_str(),
+                shards, HumanBytes(ec ? 0 : on_disk).c_str());
+    return 0;
+  }
   std::unique_ptr<CycleIndex> backend = MakeBackend(backend_name);
   if (backend == nullptr) {
     std::fprintf(stderr, "unknown backend '%s'\n", backend_name.c_str());
@@ -190,11 +338,12 @@ int CmdBuild(const std::string& backend_name, const std::string& graph_path,
   return 0;
 }
 
-int CmdGirth(const std::string& backend_name, const std::string& path) {
-  auto index = LoadOrBuild(path, backend_name);
-  if (!index) return 1;
-  Vertex n = index->num_vertices();
-  GirthInfo info = index->Girth();
+int CmdGirth(const std::string& backend_name, uint32_t shards,
+             const std::string& path) {
+  auto serving = LoadOrBuildServing(path, backend_name, shards);
+  if (!serving) return 1;
+  Vertex n = serving->num_vertices();
+  GirthInfo info = serving->Girth();
   if (info.girth == kInfDist) {
     std::printf("graph is acyclic (no girth)\n");
     return 0;
@@ -204,7 +353,7 @@ int CmdGirth(const std::string& backend_name, const std::string& path) {
               static_cast<unsigned long long>(info.num_girth_vertices),
               info.example_vertex);
   CycleLengthHistogram histogram = ComputeCycleLengthHistogram(
-      n, [&](Vertex v) { return index->CountShortestCycles(v); });
+      n, [&](Vertex v) { return serving->Query(v); });
   std::printf("length histogram:\n");
   for (size_t len = 0; len < histogram.vertices_by_length.size(); ++len) {
     if (histogram.vertices_by_length[len] == 0) continue;
@@ -279,19 +428,19 @@ int CmdCaseStudy(const std::string& graph_path, Vertex center,
   return 0;
 }
 
-int CmdQuery(const std::string& backend_name, const std::string& path,
-             char** vertices, int count) {
-  auto index = LoadOrBuild(path, backend_name);
-  if (!index) return 1;
+int CmdQuery(const std::string& backend_name, uint32_t shards,
+             const std::string& path, char** vertices, int count) {
+  auto serving = LoadOrBuildServing(path, backend_name, shards);
+  if (!serving) return 1;
   for (int i = 0; i < count; ++i) {
     auto v = static_cast<Vertex>(std::strtoul(vertices[i], nullptr, 10));
-    if (v >= index->num_vertices()) {
+    if (v >= serving->num_vertices()) {
       std::printf("SCCnt(%u): vertex out of range (n=%u)\n", v,
-                  index->num_vertices());
+                  serving->num_vertices());
       continue;
     }
     Timer timer;
-    CycleCount cc = index->CountShortestCycles(v);
+    CycleCount cc = serving->Query(v);
     double us = timer.ElapsedMicros();
     if (cc.count == 0) {
       std::printf("SCCnt(%u) = 0 (no cycle)            [%.1f us]\n", v, us);
@@ -303,38 +452,57 @@ int CmdQuery(const std::string& backend_name, const std::string& path,
   return 0;
 }
 
-int CmdScreen(const std::string& backend_name, const std::string& path,
-              Dist max_len, size_t top_k) {
-  auto index = LoadOrBuild(path, backend_name);
-  if (!index) return 1;
-  struct Hit {
-    Vertex v;
-    CycleCount cc;
-  };
-  std::vector<Hit> hits;
-  for (Vertex v = 0; v < index->num_vertices(); ++v) {
-    CycleCount cc = index->CountShortestCycles(v);
-    if (cc.count > 0 && cc.length <= max_len) hits.push_back({v, cc});
+int CmdScreen(const std::string& backend_name, uint32_t shards,
+              const std::string& path, Dist max_len, size_t top_k) {
+  auto serving = LoadOrBuildServing(path, backend_name, shards);
+  if (!serving) return 1;
+  std::vector<ScreeningHit> hits;
+  if (serving->sharded) {
+    // The sharded engine fans the sweep across shards and merges the
+    // per-shard survivor sets, ranked identically to the loop below.
+    hits = serving->sharded->Screen(max_len, top_k);
+  } else {
+    for (Vertex v = 0; v < serving->num_vertices(); ++v) {
+      CycleCount cc = serving->Query(v);
+      if (cc.count > 0 && cc.length <= max_len) hits.push_back({v, cc});
+    }
+    std::sort(hits.begin(), hits.end(), ScreeningHitBefore);
+    if (hits.size() > top_k) hits.resize(top_k);
   }
-  std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
-    if (a.cc.count != b.cc.count) return a.cc.count > b.cc.count;
-    if (a.cc.length != b.cc.length) return a.cc.length < b.cc.length;
-    return a.v < b.v;
-  });
-  if (hits.size() > top_k) hits.resize(top_k);
   std::printf("top %zu vertices with shortest cycles of length <= %u:\n",
               hits.size(), max_len);
-  for (const Hit& hit : hits) {
-    std::printf("  vertex %-8u count=%-6llu length=%u\n", hit.v,
-                static_cast<unsigned long long>(hit.cc.count), hit.cc.length);
+  for (const ScreeningHit& hit : hits) {
+    std::printf("  vertex %-8u count=%-6llu length=%u\n", hit.vertex,
+                static_cast<unsigned long long>(hit.cycles.count),
+                hit.cycles.length);
   }
   return 0;
 }
 
-int CmdStats(const std::string& backend_name, const std::string& path) {
-  auto index = LoadOrBuild(path, backend_name);
-  if (!index) return 1;
-  BackendStats stats = index->Stats();
+int CmdStats(const std::string& backend_name, uint32_t shards,
+             const std::string& path) {
+  auto serving = LoadOrBuildServing(path, backend_name, shards);
+  if (!serving) return 1;
+  if (serving->sharded) {
+    const ShardedEngine& engine = *serving->sharded;
+    std::printf("backend         : %s x %u shards\n",
+                engine.backend_name().c_str(), engine.num_shards());
+    std::printf("vertices        : %u\n", engine.num_vertices());
+    std::printf("resident size   : %s (all shards)\n",
+                HumanBytes(engine.MemoryBytes()).c_str());
+    std::printf("%-6s %-10s %-12s %-12s %-12s %s\n", "shard", "owned",
+                "internal-e", "cross-e", "entries", "resident");
+    for (const ShardInfo& info : engine.Stats()) {
+      std::printf("%-6u %-10u %-12llu %-12llu %-12llu %s\n", info.shard,
+                  info.owned_vertices,
+                  static_cast<unsigned long long>(info.internal_edges),
+                  static_cast<unsigned long long>(info.cross_shard_edges),
+                  static_cast<unsigned long long>(info.backend.label_entries),
+                  HumanBytes(info.backend.memory_bytes).c_str());
+    }
+    return 0;
+  }
+  BackendStats stats = serving->single->Stats();
   std::printf("backend         : %s\n", stats.name.c_str());
   std::printf("vertices        : %llu\n",
               static_cast<unsigned long long>(stats.num_vertices));
@@ -357,8 +525,9 @@ int CmdStats(const std::string& backend_name, const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip the global --backend flag wherever it appears.
+  // Strip the global --backend/--shards flags wherever they appear.
   std::string backend = kDefaultBackendName;
+  uint32_t shards = 1;
   std::vector<char*> args;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -367,25 +536,34 @@ int main(int argc, char** argv) {
       backend = argv[++i];
     } else if (arg.rfind("--backend=", 0) == 0) {
       backend = arg.substr(10);
+    } else if (arg == "--shards") {
+      if (i + 1 >= argc) return Usage();
+      shards = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      shards = static_cast<uint32_t>(
+          std::strtoul(arg.c_str() + 9, nullptr, 10));
     } else {
       args.push_back(argv[i]);
     }
   }
+  if (shards == 0) shards = 1;
   int n = static_cast<int>(args.size());
   if (n < 1) return Usage();
   std::string cmd = args[0];
   if (cmd == "backends" && n == 1) return CmdBackends();
-  if (cmd == "build" && n == 3) return CmdBuild(backend, args[1], args[2]);
+  if (cmd == "build" && n == 3) {
+    return CmdBuild(backend, shards, args[1], args[2]);
+  }
   if (cmd == "query" && n >= 3) {
-    return CmdQuery(backend, args[1], args.data() + 2, n - 2);
+    return CmdQuery(backend, shards, args[1], args.data() + 2, n - 2);
   }
   if (cmd == "screen" && n == 4) {
-    return CmdScreen(backend, args[1],
+    return CmdScreen(backend, shards, args[1],
                      static_cast<Dist>(std::strtoul(args[2], nullptr, 10)),
                      std::strtoul(args[3], nullptr, 10));
   }
-  if (cmd == "stats" && n == 2) return CmdStats(backend, args[1]);
-  if (cmd == "girth" && n == 2) return CmdGirth(backend, args[1]);
+  if (cmd == "stats" && n == 2) return CmdStats(backend, shards, args[1]);
+  if (cmd == "girth" && n == 2) return CmdGirth(backend, shards, args[1]);
   if (cmd == "graphstats" && n == 2) return CmdGraphStats(args[1]);
   if (cmd == "casestudy" && n == 4) {
     return CmdCaseStudy(args[1],

@@ -5,12 +5,13 @@
 // cycle-based choice against a plain highest-degree heuristic by a simple
 // reachability-latency score.
 //
-// Served through the Engine facade: the all-host scan is one batched
-// QueryAll over the thread pool, the backend is a runtime choice, and host
-// churn flows through ApplyUpdates — in-place repair on dynamic backends,
-// warm snapshot swap on static ones.
+// Served through the sharded serving tier: hosts are partitioned across
+// per-shard engines, the all-host scan is a QueryAll fanned across the
+// shards, per-host queries route to their owner, and host churn flows
+// through ApplyUpdates — in-place repair on dynamic backends, warm snapshot
+// swap on static ones, per shard.
 //
-//   $ ./p2p_index_server [num_hosts] [backend]
+//   $ ./p2p_index_server [num_hosts] [backend] [shards]
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -18,7 +19,7 @@
 
 #include "dynamic/edge_update.h"
 #include "graph/generators.h"
-#include "serving/engine.h"
+#include "serving/sharded_engine.h"
 
 using namespace csc;
 
@@ -56,17 +57,29 @@ int main(int argc, char** argv) {
               network.num_vertices(),
               static_cast<unsigned long long>(network.num_edges()));
 
-  EngineOptions options;
+  ShardedEngineOptions options;
   if (argc > 2) options.backend = argv[2];
-  Engine engine(options);
+  options.num_shards =
+      argc > 3 ? static_cast<uint32_t>(std::atoi(argv[3])) : 2;
+  ShardedEngine engine(options);
   if (!engine.valid()) {
     std::fprintf(stderr, "unknown backend '%s'\n", options.backend.c_str());
     return 1;
   }
   engine.Build(network);
-  BackendStats stats = engine.Stats();
-  std::printf("engine: backend '%s' built in %.1f ms\n\n", stats.name.c_str(),
-              stats.build_seconds * 1e3);
+  std::vector<ShardInfo> shards = engine.Stats();
+  std::printf("engine: backend '%s' across %u shards\n",
+              engine.backend_name().c_str(), engine.num_shards());
+  for (const ShardInfo& info : shards) {
+    std::printf(
+        "  shard %u: %u owned hosts, %llu internal + %llu cross-shard "
+        "interactions, built in %.1f ms\n",
+        info.shard, info.owned_vertices,
+        static_cast<unsigned long long>(info.internal_edges),
+        static_cast<unsigned long long>(info.cross_shard_edges),
+        info.backend.build_seconds * 1e3);
+  }
+  std::printf("\n");
 
   // Candidate 1: the host with the most shortest file-sharing cycles — the
   // paper's index-server criterion (failure tolerance needs many disjoint

@@ -3,6 +3,7 @@
 // their engine (and, when maintenance needs it, a copy of the graph) so a
 // backend can be built, queried, updated, and persisted through the
 // interface alone.
+#include <algorithm>
 #include <optional>
 #include <utility>
 
@@ -456,6 +457,11 @@ const std::vector<std::string>& AllBackendNames() {
       "csc",    "compact", "frozen",     "compressed",
       "cached", "bfs",     "precompute", "hpspc"};
   return kNames;
+}
+
+bool IsRegisteredBackend(const std::string& name) {
+  const std::vector<std::string>& names = AllBackendNames();
+  return std::find(names.begin(), names.end(), name) != names.end();
 }
 
 }  // namespace csc

@@ -121,6 +121,10 @@ std::unique_ptr<CycleIndex> MakeBackend(const std::string& name);
 /// All registry names, in the order benches report them.
 const std::vector<std::string>& AllBackendNames();
 
+/// True if `name` is a registered backend — a registry lookup only, without
+/// constructing a backend (MakeBackend(name) != nullptr iff this).
+bool IsRegisteredBackend(const std::string& name);
+
 inline constexpr const char* kDefaultBackendName = "csc";
 
 }  // namespace csc

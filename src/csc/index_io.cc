@@ -105,10 +105,104 @@ IndexLoadResult LoadIndexFromFile(const std::string& path) {
   return result;
 }
 
+bool SavePayloadToFile(const std::string& payload, const std::string& path) {
+  return WriteStringToFile(path, WrapPayload(payload));
+}
+
 bool SaveBackendToFile(const CycleIndex& index, const std::string& path) {
   std::string payload;
   if (!index.SaveTo(payload)) return false;
   return WriteStringToFile(path, WrapPayload(payload));
+}
+
+namespace {
+
+constexpr char kShardedMagic[8] = {'C', 'S', 'C', 'S', 'H', 'R', 'D', '1'};
+
+std::optional<ShardedPayload> ShardedFail(std::string message,
+                                          std::string* error) {
+  if (error) *error = std::move(message);
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string WrapShardedPayload(const std::vector<std::string>& shard_payloads,
+                               Vertex num_vertices) {
+  std::string out;
+  size_t total = sizeof(kShardedMagic) + 2 * sizeof(uint32_t);
+  for (const std::string& payload : shard_payloads) {
+    total += sizeof(uint64_t) + payload.size() + sizeof(uint32_t);
+  }
+  out.reserve(total);
+  out.append(kShardedMagic, sizeof(kShardedMagic));
+  AppendU32(out, static_cast<uint32_t>(shard_payloads.size()));
+  AppendU32(out, num_vertices);
+  for (const std::string& payload : shard_payloads) {
+    AppendU64(out, payload.size());
+    out.append(payload);
+    AppendU32(out, Crc32c(payload));
+  }
+  return out;
+}
+
+bool IsShardedPayload(const std::string& payload) {
+  return payload.size() >= sizeof(kShardedMagic) &&
+         std::memcmp(payload.data(), kShardedMagic, sizeof(kShardedMagic)) == 0;
+}
+
+std::optional<ShardedPayload> ParseShardedPayload(const std::string& payload,
+                                                  std::string* error) {
+  if (!IsShardedPayload(payload)) {
+    return ShardedFail("bad magic (not a multi-shard bundle)", error);
+  }
+  size_t pos = sizeof(kShardedMagic);
+  if (payload.size() < pos + 2 * sizeof(uint32_t)) {
+    return ShardedFail("bundle too small to hold a shard header", error);
+  }
+  uint32_t shard_count = ReadU32(payload.data() + pos);
+  pos += sizeof(uint32_t);
+  ShardedPayload result;
+  result.num_vertices = ReadU32(payload.data() + pos);
+  pos += sizeof(uint32_t);
+  if (shard_count == 0) {
+    return ShardedFail("bundle declares zero shards", error);
+  }
+  // Each shard record costs at least its size field plus CRC; a declared
+  // count beyond what the payload could hold is corrupt — reject before
+  // reserving (a crafted count must not become a giant allocation).
+  constexpr size_t kMinShardRecord = sizeof(uint64_t) + sizeof(uint32_t);
+  if (shard_count > (payload.size() - pos) / kMinShardRecord) {
+    return ShardedFail("bundle declares more shards than it could hold",
+                       error);
+  }
+  result.shards.reserve(shard_count);
+  for (uint32_t s = 0; s < shard_count; ++s) {
+    if (payload.size() - pos < sizeof(uint64_t)) {
+      return ShardedFail("truncated shard size field", error);
+    }
+    uint64_t size = ReadU64(payload.data() + pos);
+    pos += sizeof(uint64_t);
+    if (payload.size() - pos < size ||
+        payload.size() - pos - size < sizeof(uint32_t)) {
+      return ShardedFail("truncated shard payload", error);
+    }
+    const char* bytes = payload.data() + pos;
+    pos += size;
+    uint32_t stored_crc = ReadU32(payload.data() + pos);
+    pos += sizeof(uint32_t);
+    if (stored_crc != Crc32c(bytes, size)) {
+      return ShardedFail(
+          "checksum mismatch in shard " + std::to_string(s) +
+              " (corrupted bundle)",
+          error);
+    }
+    result.shards.emplace_back(bytes, size);
+  }
+  if (pos != payload.size()) {
+    return ShardedFail("trailing bytes after the last shard", error);
+  }
+  return result;
 }
 
 BackendLoadResult LoadBackendFromFile(const std::string& path,

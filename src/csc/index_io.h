@@ -4,6 +4,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/cycle_index.h"
 #include "csc/compact_index.h"
@@ -69,6 +70,46 @@ BackendLoadResult LoadBackendFromFile(const std::string& path,
 /// verification failure.
 std::optional<std::string> ReadVerifiedPayload(const std::string& path,
                                                std::string* error);
+
+/// Writes an already-serialized payload inside the standard checksummed
+/// file envelope (the counterpart of ReadVerifiedPayload for callers — like
+/// the sharded serving tier — that produce payload bytes themselves).
+bool SavePayloadToFile(const std::string& payload, const std::string& path);
+
+// --- Multi-shard envelope (persistence of the sharded serving tier). ---
+//
+// A ShardedEngine persists as one payload bundling its K per-shard backend
+// payloads:
+//
+//   bytes 0..7  magic "CSCSHRD1"
+//   u32         shard count K
+//   u32         partition domain (total vertices across the vertex space)
+//   K times:    u64 payload size | payload | u32 CRC-32C of the payload
+//
+// Each shard payload is an ordinary CycleIndex::SaveTo serialization and is
+// individually checksummed, so a corrupted shard is pinpointed instead of
+// poisoning the whole bundle. The bundle itself is typically wrapped in the
+// file envelope above (SavePayloadToFile / ReadVerifiedPayload).
+
+/// One parsed multi-shard bundle.
+struct ShardedPayload {
+  std::vector<std::string> shards;
+  /// The vertex-space size the partition was computed over.
+  Vertex num_vertices = 0;
+};
+
+/// Bundles per-shard payloads into the multi-shard envelope.
+std::string WrapShardedPayload(const std::vector<std::string>& shard_payloads,
+                               Vertex num_vertices);
+
+/// True if `payload` starts with the multi-shard magic (cheap routing test;
+/// does not validate the rest).
+bool IsShardedPayload(const std::string& payload);
+
+/// Parses and CRC-verifies a multi-shard bundle. nullopt with `error` set
+/// (when non-null) on malformed input or a per-shard checksum mismatch.
+std::optional<ShardedPayload> ParseShardedPayload(const std::string& payload,
+                                                  std::string* error);
 
 }  // namespace csc
 

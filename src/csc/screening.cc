@@ -9,16 +9,6 @@ namespace csc {
 
 namespace {
 
-bool HitBefore(const ScreeningHit& a, const ScreeningHit& b) {
-  if (a.cycles.count != b.cycles.count) {
-    return a.cycles.count > b.cycles.count;
-  }
-  if (a.cycles.length != b.cycles.length) {
-    return a.cycles.length < b.cycles.length;
-  }
-  return a.vertex < b.vertex;
-}
-
 // Filters + ranks per-vertex answers into the top-k hit list.
 std::vector<ScreeningHit> RankAnswers(const std::vector<CycleCount>& answers,
                                       Dist max_cycle_length, size_t top_k) {
@@ -28,7 +18,7 @@ std::vector<ScreeningHit> RankAnswers(const std::vector<CycleCount>& answers,
     if (cc.count == 0 || cc.length > max_cycle_length) continue;
     hits.push_back({v, cc});
   }
-  std::sort(hits.begin(), hits.end(), HitBefore);
+  std::sort(hits.begin(), hits.end(), ScreeningHitBefore);
   if (hits.size() > top_k) hits.resize(top_k);
   return hits;
 }
@@ -43,12 +33,22 @@ std::vector<ScreeningHit> ScreenSequential(const Index& index,
     if (cc.count == 0 || cc.length > max_cycle_length) continue;
     hits.push_back({v, cc});
   }
-  std::sort(hits.begin(), hits.end(), HitBefore);
+  std::sort(hits.begin(), hits.end(), ScreeningHitBefore);
   if (hits.size() > top_k) hits.resize(top_k);
   return hits;
 }
 
 }  // namespace
+
+bool ScreeningHitBefore(const ScreeningHit& a, const ScreeningHit& b) {
+  if (a.cycles.count != b.cycles.count) {
+    return a.cycles.count > b.cycles.count;
+  }
+  if (a.cycles.length != b.cycles.length) {
+    return a.cycles.length < b.cycles.length;
+  }
+  return a.vertex < b.vertex;
+}
 
 std::vector<ScreeningHit> TopKByCycleCount(const CscIndex& index,
                                            Dist max_cycle_length,

@@ -17,6 +17,13 @@ struct ScreeningHit {
   friend bool operator==(const ScreeningHit&, const ScreeningHit&) = default;
 };
 
+/// The screening rank order — count descending, then shorter cycles, then
+/// lower vertex id. A strict total order (no ties survive), so any ranked
+/// screening — sequential, pool-parallel, or the sharded tier's per-shard
+/// merge — produces the identical hit list. Every ranking site must use
+/// this one comparator.
+bool ScreeningHitBefore(const ScreeningHit& a, const ScreeningHit& b);
+
 /// The paper's anomaly-screening primitive (Application 1, Figure 13):
 /// among vertices whose shortest cycle has length <= `max_cycle_length`,
 /// the `top_k` with the most shortest cycles, ordered by count descending

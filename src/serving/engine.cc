@@ -31,11 +31,25 @@ bool Engine::Build(const DiGraph& graph) {
   std::shared_ptr<CycleIndex> next = MakeFresh();
   if (!next) return false;
   next->Build(graph, options_.build);
+  // A backend that did not materialize the requested vertex space (graph
+  // plus reserve) must not become the active snapshot; keep serving the
+  // previous one.
+  if (next->num_vertices() !=
+      graph.num_vertices() + options_.build.reserve_vertices) {
+    return false;
+  }
   // The retained copy only feeds the rebuild-and-swap update path of
   // static backends; dynamic backends maintain their own graph in place,
   // so don't double the adjacency footprint for them.
   has_graph_ = !next->supports_updates();
-  graph_ = has_graph_ ? graph : DiGraph();
+  if (has_graph_) {
+    graph_ = graph;
+    // Mirror the reserve in the retained graph so the static update path
+    // accepts exactly the endpoints dynamic backends accept.
+    graph_.AddVertices(options_.build.reserve_vertices);
+  } else {
+    graph_ = DiGraph();
+  }
   Swap(std::move(next));
   return true;
 }
@@ -108,7 +122,9 @@ GirthInfo Engine::Girth() {
   return index->Girth();
 }
 
-size_t Engine::ApplyUpdates(const std::vector<EdgeUpdate>& updates) {
+size_t Engine::ApplyUpdates(const std::vector<EdgeUpdate>& updates,
+                            std::vector<bool>* verdicts) {
+  if (verdicts) verdicts->assign(updates.size(), false);
   std::shared_ptr<CycleIndex> index = snapshot();
   if (!index) return 0;
   size_t applied = 0;
@@ -117,29 +133,60 @@ size_t Engine::ApplyUpdates(const std::vector<EdgeUpdate>& updates) {
     // reader pool and serialized queries, so no query ever observes a
     // half-applied update.
     std::unique_lock<std::shared_mutex> lock(query_mu_);
-    for (const EdgeUpdate& update : updates) {
+    for (size_t i = 0; i < updates.size(); ++i) {
+      const EdgeUpdate& update = updates[i];
       CycleIndex::UpdateResult result =
           update.kind == UpdateKind::kInsert
               ? index->InsertEdge(update.edge.from, update.edge.to)
               : index->DeleteEdge(update.edge.from, update.edge.to);
-      if (result == CycleIndex::UpdateResult::kApplied) ++applied;
+      if (result == CycleIndex::UpdateResult::kApplied) {
+        ++applied;
+        if (verdicts) (*verdicts)[i] = true;
+      }
     }
     return applied;
   }
   // Static serving form: mutate the retained graph, rebuild off to the
   // side, swap once. Readers keep the old snapshot until the swap.
   if (!has_graph_) return 0;
-  for (const EdgeUpdate& update : updates) {
+  std::vector<size_t> applied_at;  // for rollback on a failed rebuild
+  for (size_t i = 0; i < updates.size(); ++i) {
+    const EdgeUpdate& update = updates[i];
     bool ok = update.kind == UpdateKind::kInsert
                   ? graph_.AddEdge(update.edge.from, update.edge.to)
                   : graph_.RemoveEdge(update.edge.from, update.edge.to);
-    if (ok) ++applied;
+    if (ok) {
+      ++applied;
+      applied_at.push_back(i);
+      if (verdicts) (*verdicts)[i] = true;
+    }
   }
-  if (applied > 0) {
-    std::shared_ptr<CycleIndex> next = MakeFresh();
-    next->Build(graph_, options_.build);
-    Swap(std::move(next));
+  if (applied == 0) return 0;
+  std::shared_ptr<CycleIndex> next = MakeFresh();
+  bool rebuilt = next != nullptr;
+  if (rebuilt) {
+    // graph_ already carries the reserved vertices from Build; reserving
+    // again on every rebuild would grow the vertex space without bound.
+    CycleIndex::BuildOptions rebuild_options = options_.build;
+    rebuild_options.reserve_vertices = 0;
+    next->Build(graph_, rebuild_options);
+    rebuilt = next->num_vertices() == graph_.num_vertices();
   }
+  if (!rebuilt) {
+    // Leave the old snapshot serving and undo the graph mutations so a
+    // later batch starts from the state the snapshot answers for.
+    for (auto it = applied_at.rbegin(); it != applied_at.rend(); ++it) {
+      const EdgeUpdate& update = updates[*it];
+      if (update.kind == UpdateKind::kInsert) {
+        graph_.RemoveEdge(update.edge.from, update.edge.to);
+      } else {
+        graph_.AddEdge(update.edge.from, update.edge.to);
+      }
+    }
+    if (verdicts) verdicts->assign(updates.size(), false);
+    return 0;
+  }
+  Swap(std::move(next));
   return applied;
 }
 

@@ -54,7 +54,9 @@ class Engine {
 
   /// Builds the active index from `graph` (synchronous). For static
   /// backends the graph is retained to feed rebuild-style updates; dynamic
-  /// backends maintain their own copy, so none is kept.
+  /// backends maintain their own copy, so none is kept. On failure (unknown
+  /// backend, or a backend that failed to materialize the expected vertex
+  /// space) the previous snapshot, if any, stays active.
   bool Build(const DiGraph& graph);
 
   /// Restores the index from a persisted payload. Static-backend updates
@@ -79,8 +81,20 @@ class Engine {
   /// Applies a batch of edge updates; returns how many were applied
   /// (rejected no-ops are skipped). In-place for dynamic backends; for
   /// static backends the whole batch is applied to the retained graph and
-  /// one rebuilt snapshot is swapped in at the end.
-  size_t ApplyUpdates(const std::vector<EdgeUpdate>& updates);
+  /// one rebuilt snapshot is swapped in at the end. If the rebuild fails,
+  /// the graph mutations are rolled back, the old snapshot stays active,
+  /// and 0 is returned — callers never observe a half-updated index.
+  ///
+  /// Both paths accept exactly the same updates: endpoints in
+  /// [0, num_vertices()) — including vertices added via
+  /// BuildOptions::reserve_vertices — with out-of-range endpoints,
+  /// self-loops, and present/absent no-ops uniformly rejected.
+  ///
+  /// When `verdicts` is non-null it is resized to `updates.size()` with
+  /// verdicts[i] = whether update i was applied (all false after a failed
+  /// rebuild). The sharded serving tier uses this for per-owner accounting.
+  size_t ApplyUpdates(const std::vector<EdgeUpdate>& updates,
+                      std::vector<bool>* verdicts = nullptr);
 
   /// The current snapshot; stays valid (and queryable, subject to the
   /// backend's thread-safety) even after a later swap retires it.

@@ -1,0 +1,282 @@
+#include "serving/sharded_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "csc/girth.h"
+#include "csc/index_io.h"
+
+namespace csc {
+
+uint32_t ContiguousRangeShard(Vertex v, uint32_t num_shards,
+                              Vertex num_vertices) {
+  if (num_shards <= 1 || num_vertices == 0) return 0;
+  Vertex per_shard = (num_vertices + num_shards - 1) / num_shards;
+  return std::min(v / per_shard, num_shards - 1);
+}
+
+ShardedEngine::ShardedEngine(ShardedEngineOptions options)
+    : options_(std::move(options)) {
+  if (options_.num_shards == 0) options_.num_shards = 1;
+  pool_ = std::make_unique<ThreadPool>(options_.num_threads != 0
+                                           ? options_.num_threads
+                                           : options_.num_shards);
+  // Divide the default worker budget across the shards so K shard engines
+  // do not multiply the machine's thread count by K.
+  unsigned shard_threads =
+      options_.shard_threads != 0
+          ? options_.shard_threads
+          : std::max(1u, ThreadPool::DefaultThreadCount() / options_.num_shards);
+  EngineOptions shard_options;
+  shard_options.backend = options_.backend;
+  shard_options.num_threads = shard_threads;
+  shard_options.batch_grain = options_.batch_grain;
+  shard_options.build = options_.build;
+  shards_.reserve(options_.num_shards);
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<Engine>(shard_options));
+  }
+}
+
+bool ShardedEngine::valid() const {
+  if (shards_.empty()) return false;
+  for (const auto& shard : shards_) {
+    if (!shard->valid()) return false;
+  }
+  return true;
+}
+
+uint32_t ShardedEngine::ShardOf(Vertex v) const {
+  uint32_t shard = options_.shard_fn
+                       ? options_.shard_fn(v, num_shards(), num_vertices_)
+                       : ContiguousRangeShard(v, num_shards(), num_vertices_);
+  return std::min(shard, num_shards() - 1);
+}
+
+void ShardedEngine::ForEachShard(const std::function<void(uint32_t)>& body) {
+  if (shards_.size() == 1) {
+    body(0);
+    return;
+  }
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    pool_->Submit([&body, s] { body(s); });
+  }
+  pool_->Wait();
+}
+
+void ShardedEngine::RecomputeOwnership() {
+  owned_.assign(num_shards(), {});
+  for (Vertex v = 0; v < num_vertices_; ++v) {
+    owned_[ShardOf(v)].push_back(v);
+  }
+  shard_info_.assign(num_shards(), {});
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    shard_info_[s].shard = s;
+    shard_info_[s].owned_vertices = static_cast<Vertex>(owned_[s].size());
+  }
+}
+
+bool ShardedEngine::Build(const DiGraph& graph) {
+  if (!valid()) return false;
+  // The partition domain includes reserved vertices so queries and updates
+  // addressing them route to a well-defined owner.
+  num_vertices_ = graph.num_vertices() + options_.build.reserve_vertices;
+  RecomputeOwnership();
+  // Ownership accounting: an edge belongs to the shard owning its source;
+  // edges whose target lives elsewhere are the cross-shard ones (they stay
+  // in every shard's closure — exactness — but are accounted once, here).
+  for (Vertex u = 0; u < graph.num_vertices(); ++u) {
+    uint32_t owner = ShardOf(u);
+    for (Vertex w : graph.OutNeighbors(u)) {
+      if (ShardOf(w) == owner) {
+        ++shard_info_[owner].internal_edges;
+      } else {
+        ++shard_info_[owner].cross_shard_edges;
+      }
+    }
+  }
+  std::vector<char> ok(num_shards(), 0);
+  ForEachShard([&](uint32_t s) { ok[s] = shards_[s]->Build(graph) ? 1 : 0; });
+  return std::all_of(ok.begin(), ok.end(), [](char c) { return c != 0; });
+}
+
+bool ShardedEngine::LoadFrom(const std::string& bytes) {
+  std::optional<ShardedPayload> parsed = ParseShardedPayload(bytes, nullptr);
+  if (!parsed) return false;
+  // Adopt the bundle's shard count: re-create the engines to match, and
+  // only commit once every shard payload restored cleanly.
+  EngineOptions shard_options;
+  shard_options.backend = options_.backend;
+  shard_options.num_threads =
+      options_.shard_threads != 0
+          ? options_.shard_threads
+          : std::max(1u, ThreadPool::DefaultThreadCount() /
+                             static_cast<unsigned>(parsed->shards.size()));
+  shard_options.batch_grain = options_.batch_grain;
+  shard_options.build = options_.build;
+  std::vector<std::unique_ptr<Engine>> next;
+  next.reserve(parsed->shards.size());
+  for (const std::string& payload : parsed->shards) {
+    auto engine = std::make_unique<Engine>(shard_options);
+    if (!engine->LoadFrom(payload) ||
+        engine->num_vertices() != parsed->num_vertices) {
+      return false;
+    }
+    next.push_back(std::move(engine));
+  }
+  shards_ = std::move(next);
+  // Adopting a different shard count re-sizes the router pool too, so the
+  // fan-out stays one concurrent task per shard (LoadFrom requires
+  // exclusive access, so swapping the pool here is safe).
+  uint32_t adopted = static_cast<uint32_t>(shards_.size());
+  if (options_.num_threads == 0 && adopted != options_.num_shards) {
+    pool_ = std::make_unique<ThreadPool>(adopted);
+  }
+  options_.num_shards = adopted;
+  num_vertices_ = parsed->num_vertices;
+  RecomputeOwnership();  // edge stats stay zero: no graph is retained
+  return true;
+}
+
+bool ShardedEngine::SaveTo(std::string& bytes) const {
+  std::vector<std::string> payloads(num_shards());
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    if (!shards_[s]->SaveTo(payloads[s])) return false;
+  }
+  bytes = WrapShardedPayload(payloads, num_vertices_);
+  return true;
+}
+
+CycleCount ShardedEngine::Query(Vertex v) {
+  if (num_vertices_ == 0 || v >= num_vertices_) return {};
+  return shards_[ShardOf(v)]->Query(v);
+}
+
+std::vector<CycleCount> ShardedEngine::BatchQuery(
+    const std::vector<Vertex>& vertices) {
+  std::vector<CycleCount> results(vertices.size());
+  if (shards_.empty() || num_vertices_ == 0) return results;
+  // Split positions by owner; out-of-range vertices keep the empty answer
+  // (the same thing every backend returns for them).
+  std::vector<std::vector<size_t>> positions(num_shards());
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    if (vertices[i] < num_vertices_) {
+      positions[ShardOf(vertices[i])].push_back(i);
+    }
+  }
+  ForEachShard([&](uint32_t s) {
+    if (positions[s].empty()) return;
+    std::vector<Vertex> sub;
+    sub.reserve(positions[s].size());
+    for (size_t i : positions[s]) sub.push_back(vertices[i]);
+    std::vector<CycleCount> answers = shards_[s]->BatchQuery(sub);
+    for (size_t k = 0; k < positions[s].size(); ++k) {
+      results[positions[s][k]] = answers[k];
+    }
+  });
+  return results;
+}
+
+std::vector<CycleCount> ShardedEngine::QueryAll() {
+  std::vector<CycleCount> results(num_vertices_);
+  ForEachShard([&](uint32_t s) {
+    std::vector<CycleCount> answers = shards_[s]->BatchQuery(owned_[s]);
+    for (size_t k = 0; k < owned_[s].size(); ++k) {
+      results[owned_[s][k]] = answers[k];
+    }
+  });
+  return results;
+}
+
+GirthInfo ShardedEngine::Girth() {
+  // Each shard sweeps only its owned vertices (in ascending id order);
+  // merging local minima reproduces ComputeGirth over [0, n) exactly.
+  std::vector<GirthInfo> local(num_shards());
+  ForEachShard([&](uint32_t s) {
+    std::vector<CycleCount> answers = shards_[s]->BatchQuery(owned_[s]);
+    GirthInfo info;
+    for (size_t k = 0; k < answers.size(); ++k) {
+      const CycleCount& answer = answers[k];
+      if (answer.count == 0) continue;
+      if (answer.length < info.girth) {
+        info.girth = answer.length;
+        info.num_girth_vertices = 1;
+        info.example_vertex = owned_[s][k];
+      } else if (answer.length == info.girth) {
+        ++info.num_girth_vertices;
+      }
+    }
+    local[s] = info;
+  });
+  GirthInfo merged;
+  for (const GirthInfo& info : local) {
+    merged.girth = std::min(merged.girth, info.girth);
+  }
+  for (const GirthInfo& info : local) {
+    if (info.girth != merged.girth || info.girth == kInfDist) continue;
+    merged.num_girth_vertices += info.num_girth_vertices;
+    merged.example_vertex = std::min(merged.example_vertex, info.example_vertex);
+  }
+  return merged;
+}
+
+std::vector<ScreeningHit> ShardedEngine::Screen(Dist max_cycle_length,
+                                                size_t top_k) {
+  // Per-shard survivor sets, each already truncated to top_k (a global
+  // top-k hit is necessarily in its own shard's top-k), merged and ranked.
+  std::vector<std::vector<ScreeningHit>> local(num_shards());
+  ForEachShard([&](uint32_t s) {
+    std::vector<CycleCount> answers = shards_[s]->BatchQuery(owned_[s]);
+    std::vector<ScreeningHit>& hits = local[s];
+    for (size_t k = 0; k < answers.size(); ++k) {
+      const CycleCount& cc = answers[k];
+      if (cc.count == 0 || cc.length > max_cycle_length) continue;
+      hits.push_back({owned_[s][k], cc});
+    }
+    std::sort(hits.begin(), hits.end(), ScreeningHitBefore);
+    if (hits.size() > top_k) hits.resize(top_k);
+  });
+  std::vector<ScreeningHit> merged;
+  for (std::vector<ScreeningHit>& hits : local) {
+    merged.insert(merged.end(), hits.begin(), hits.end());
+  }
+  std::sort(merged.begin(), merged.end(), ScreeningHitBefore);
+  if (merged.size() > top_k) merged.resize(top_k);
+  return merged;
+}
+
+size_t ShardedEngine::ApplyUpdates(const std::vector<EdgeUpdate>& updates) {
+  if (shards_.empty()) return 0;
+  // Every shard holds the full closure, so every shard applies the full
+  // ordered batch (deterministic backends keep the replicas identical).
+  // The grouping by owning shard is the accounting: update i counts as
+  // applied iff the shard owning its edge applied it.
+  std::vector<std::vector<bool>> verdicts(num_shards());
+  ForEachShard(
+      [&](uint32_t s) { shards_[s]->ApplyUpdates(updates, &verdicts[s]); });
+  size_t applied = 0;
+  for (size_t i = 0; i < updates.size(); ++i) {
+    Vertex from = updates[i].edge.from;
+    uint32_t owner = from < num_vertices_ ? ShardOf(from) : 0;
+    if (verdicts[owner][i]) ++applied;
+  }
+  return applied;
+}
+
+uint64_t ShardedEngine::MemoryBytes() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->MemoryBytes();
+  return total;
+}
+
+std::vector<ShardInfo> ShardedEngine::Stats() const {
+  std::vector<ShardInfo> stats = shard_info_;
+  if (stats.size() != shards_.size()) stats.resize(shards_.size());
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    stats[s].shard = s;
+    stats[s].backend = shards_[s]->Stats();
+  }
+  return stats;
+}
+
+}  // namespace csc

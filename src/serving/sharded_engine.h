@@ -1,0 +1,170 @@
+#ifndef CSC_SERVING_SHARDED_ENGINE_H_
+#define CSC_SERVING_SHARDED_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cycle_index.h"
+#include "csc/screening.h"
+#include "dynamic/edge_update.h"
+#include "serving/engine.h"
+#include "util/thread_pool.h"
+
+namespace csc {
+
+struct GirthInfo;  // csc/girth.h
+
+/// Maps a vertex to its owning shard. Must be pure, total over
+/// [0, num_vertices), and return values in [0, num_shards).
+using ShardFn =
+    std::function<uint32_t(Vertex v, uint32_t num_shards, Vertex num_vertices)>;
+
+/// The default partitioner: K contiguous, near-equal vertex ranges (the
+/// natural layout for the flat LabelArena forms, whose runs are laid out in
+/// vertex order).
+uint32_t ContiguousRangeShard(Vertex v, uint32_t num_shards,
+                              Vertex num_vertices);
+
+struct ShardedEngineOptions {
+  /// Registry name of the backend every shard serves.
+  std::string backend = kDefaultBackendName;
+  /// Number of per-shard Engine instances; 0 is coerced to 1.
+  uint32_t num_shards = 1;
+  /// Router threads fanning work across shards; 0 = one per shard.
+  unsigned num_threads = 0;
+  /// Worker threads inside each shard's Engine; 0 divides
+  /// ThreadPool::DefaultThreadCount() across the shards.
+  unsigned shard_threads = 0;
+  /// Vertices per parallel batch chunk inside each shard Engine.
+  size_t batch_grain = 256;
+  CycleIndex::BuildOptions build;
+  /// Vertex -> owning shard; empty = ContiguousRangeShard.
+  ShardFn shard_fn;
+};
+
+/// Per-shard slice of ShardedEngine::Stats().
+struct ShardInfo {
+  uint32_t shard = 0;
+  /// Vertices this shard owns (answers queries for).
+  Vertex owned_vertices = 0;
+  /// Edges with both endpoints owned by this shard.
+  uint64_t internal_edges = 0;
+  /// Edges owned here (source owned) whose target lives on another shard.
+  uint64_t cross_shard_edges = 0;
+  BackendStats backend;
+};
+
+/// The sharded serving tier: the vertex space is partitioned across K
+/// per-shard Engine instances, per-vertex queries are routed to the owner,
+/// and whole-graph sweeps (QueryAll / Girth / screening) are decomposed
+/// into K owned-range sweeps that run concurrently and merge exactly —
+/// girth is the min over shards, screening is the ranked union of the
+/// per-shard survivor sets. Answers are bit-identical to a single Engine on
+/// the same graph for every shard count.
+///
+/// Ownership rule: vertex v is owned by shard_fn(v); edge (u, v) is owned
+/// by the shard owning u, which is where the edge is accounted (update
+/// verdicts, cross-shard stats). Because a shortest cycle can traverse any
+/// part of the graph, each shard's induced subgraph is transitively closed
+/// over everything its owned cycles can touch — i.e. every shard retains
+/// the full edge set (cross-shard edges included) so its answers for owned
+/// vertices stay exact. Sharding therefore partitions *work* (sweeps split
+/// K ways, routed queries hit disjoint engines with independent locks and
+/// pools) while replicating storage; slicing the label arena down to owned
+/// runs is the planned follow-up (see ROADMAP).
+///
+/// Updates: every shard must observe every edge update (an edge anywhere
+/// can change any vertex's count), so ApplyUpdates groups the batch by
+/// owning shard for accounting, then applies the full ordered batch on all
+/// shards concurrently; the aggregate "applied" count is taken from each
+/// update's owning shard. Dynamic backends repair in place per shard;
+/// static backends rebuild-and-swap per shard, all K rebuilds in parallel.
+///
+/// Concurrency contract: queries and sweeps may run concurrently with one
+/// ApplyUpdates writer (each shard's Engine swaps snapshots under its own
+/// locks). Build and LoadFrom, however, replace the shard engines and the
+/// ownership tables themselves and require exclusive access — quiesce all
+/// readers before calling them (unlike Engine, whose snapshot indirection
+/// lets Build/LoadFrom overlap reads).
+class ShardedEngine {
+ public:
+  explicit ShardedEngine(ShardedEngineOptions options = {});
+
+  /// False if the backend name is unknown (no shard engine is usable).
+  bool valid() const;
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+  const std::string& backend_name() const { return options_.backend; }
+
+  /// The shard owning vertex `v` (undefined for v >= num_vertices()).
+  uint32_t ShardOf(Vertex v) const;
+
+  /// Builds all K shard engines from `graph`, concurrently.
+  bool Build(const DiGraph& graph);
+
+  /// Restores from a multi-shard bundle (WrapShardedPayload). The bundle's
+  /// shard count is adopted — engines are re-created to match it. As with
+  /// Engine::LoadFrom, static-backend updates are unavailable afterwards.
+  bool LoadFrom(const std::string& bytes);
+
+  /// Serializes all shards into one multi-shard bundle (each shard payload
+  /// individually checksummed). False if the backend cannot save.
+  bool SaveTo(std::string& bytes) const;
+
+  /// SCCnt(v), routed to the owning shard.
+  CycleCount Query(Vertex v);
+
+  /// Batched SCCnt, positionally aligned with `vertices`; the batch is
+  /// split by owner and the per-shard sub-batches run concurrently.
+  std::vector<CycleCount> BatchQuery(const std::vector<Vertex>& vertices);
+
+  /// SCCnt for every vertex: each shard sweeps its owned range in parallel.
+  std::vector<CycleCount> QueryAll();
+
+  /// Girth as the exact merge of per-shard owned-range sweeps.
+  GirthInfo Girth();
+
+  /// The screening sweep (TopKByCycleCount semantics) decomposed across
+  /// shards: per-shard survivor sets are merged, ranked by (count desc,
+  /// length asc, vertex asc), and truncated to `top_k`.
+  std::vector<ScreeningHit> Screen(Dist max_cycle_length, size_t top_k);
+
+  /// Applies the batch on every shard (concurrently); returns how many
+  /// updates were applied according to each update's owning shard.
+  size_t ApplyUpdates(const std::vector<EdgeUpdate>& updates);
+
+  Vertex num_vertices() const { return num_vertices_; }
+
+  /// Sum of the shard engines' resident footprints.
+  uint64_t MemoryBytes() const;
+
+  /// Per-shard ownership and backend stats (edge counts are populated by
+  /// Build; zero after LoadFrom, which retains no graph).
+  std::vector<ShardInfo> Stats() const;
+
+  /// Direct access to one shard's Engine (tests, per-shard reporting).
+  Engine& shard(uint32_t s) { return *shards_[s]; }
+  const Engine& shard(uint32_t s) const { return *shards_[s]; }
+
+ private:
+  /// Runs body(s) for every shard on the router pool and waits.
+  void ForEachShard(const std::function<void(uint32_t)>& body);
+  void RecomputeOwnership();
+
+  ShardedEngineOptions options_;
+  // Router pool: one task per shard fan-out. Behind a pointer so LoadFrom
+  // can re-size it when it adopts a bundle's shard count.
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<Engine>> shards_;
+  Vertex num_vertices_ = 0;
+  std::vector<std::vector<Vertex>> owned_;  // owned_[s]: sorted owned ids
+  std::vector<ShardInfo> shard_info_;
+};
+
+}  // namespace csc
+
+#endif  // CSC_SERVING_SHARDED_ENGINE_H_

@@ -87,6 +87,102 @@ std::string TableReporter::FormatDouble(double value, int precision) {
   return buf;
 }
 
+namespace {
+
+std::string JsonEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (char ch : raw) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonBenchReporter::JsonBenchReporter(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {}
+
+JsonBenchReporter& JsonBenchReporter::BeginRow() {
+  rows_.emplace_back();
+  return *this;
+}
+
+JsonBenchReporter& JsonBenchReporter::Field(const std::string& key,
+                                            const std::string& value) {
+  std::string fragment = "\"";
+  fragment.append(JsonEscape(key)).append("\": \"");
+  fragment.append(JsonEscape(value)).append("\"");
+  rows_.back().push_back(std::move(fragment));
+  return *this;
+}
+
+JsonBenchReporter& JsonBenchReporter::Field(const std::string& key,
+                                            double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  std::string fragment = "\"";
+  fragment.append(JsonEscape(key)).append("\": ").append(buf);
+  rows_.back().push_back(std::move(fragment));
+  return *this;
+}
+
+JsonBenchReporter& JsonBenchReporter::Field(const std::string& key,
+                                            uint64_t value) {
+  std::string fragment = "\"";
+  fragment.append(JsonEscape(key)).append("\": ").append(std::to_string(value));
+  rows_.back().push_back(std::move(fragment));
+  return *this;
+}
+
+std::string JsonBenchReporter::ToJson() const {
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"" << JsonEscape(bench_name_) << "\",\n"
+      << "  \"rows\": [\n";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    out << "    {";
+    for (size_t f = 0; f < rows_[r].size(); ++f) {
+      out << (f ? ", " : "") << rows_[r][f];
+    }
+    out << (r + 1 < rows_.size() ? "},\n" : "}\n");
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+bool JsonBenchReporter::Write(const std::string& path) const {
+  if (!WriteStringToFile(path, ToJson())) {
+    std::cerr << "failed to write " << path << '\n';
+    return false;
+  }
+  std::cout << "[json] " << path << '\n';
+  return true;
+}
+
 std::string TableReporter::FormatCount(uint64_t value) {
   std::string digits = std::to_string(value);
   std::string grouped;

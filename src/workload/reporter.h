@@ -34,6 +34,35 @@ class TableReporter {
   std::vector<std::vector<std::string>> rows_;
 };
 
+/// Emitter for the BENCH_*.json perf-trajectory files: one flat object per
+/// row under {"bench": <name>, "rows": [...]}, so CI can track a metric by
+/// filtering rows on their identifying fields across commits.
+///
+///   JsonBenchReporter json("serving");
+///   json.BeginRow().Field("backend", "frozen").Field("shards", 4u)
+///       .Field("batch_qps", qps);
+///   json.Write("BENCH_serving.json");
+class JsonBenchReporter {
+ public:
+  explicit JsonBenchReporter(std::string bench_name);
+
+  /// Starts a new row; subsequent Field calls attach to it.
+  JsonBenchReporter& BeginRow();
+  JsonBenchReporter& Field(const std::string& key, const std::string& value);
+  JsonBenchReporter& Field(const std::string& key, double value);
+  JsonBenchReporter& Field(const std::string& key, uint64_t value);
+
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path` and logs the location. False on I/O failure.
+  bool Write(const std::string& path) const;
+
+ private:
+  std::string bench_name_;
+  // Each row is a sequence of pre-rendered "key": value fragments.
+  std::vector<std::vector<std::string>> rows_;
+};
+
 }  // namespace csc
 
 #endif  // CSC_WORKLOAD_REPORTER_H_

@@ -127,6 +127,32 @@ TEST_P(BackendConformanceTest, SharedUpdateScenario) {
   }
 }
 
+// Updates addressing out-of-range vertices are rejected — never applied,
+// never a crash — and leave the index untouched, on every backend that
+// supports updates. The serving Engine relies on this agreeing with the
+// DiGraph-based static path (which rejects the same endpoints), so the
+// in-place and rebuild update paths count "applied" identically.
+TEST_P(BackendConformanceTest, OutOfRangeUpdatesRejectedUniformly) {
+  auto backend = Make();
+  DiGraph graph = Figure2Graph();
+  backend->Build(graph);
+  if (!backend->supports_updates()) {
+    EXPECT_EQ(backend->InsertEdge(100, 0), CycleIndex::UpdateResult::kUnsupported);
+    EXPECT_EQ(backend->DeleteEdge(0, 100), CycleIndex::UpdateResult::kUnsupported);
+    return;
+  }
+  const Vertex n = graph.num_vertices();
+  EXPECT_EQ(backend->InsertEdge(n, 0), CycleIndex::UpdateResult::kRejected);
+  EXPECT_EQ(backend->InsertEdge(0, n), CycleIndex::UpdateResult::kRejected);
+  EXPECT_EQ(backend->InsertEdge(kNoVertex, kNoVertex),
+            CycleIndex::UpdateResult::kRejected);
+  EXPECT_EQ(backend->DeleteEdge(n, 0), CycleIndex::UpdateResult::kRejected);
+  EXPECT_EQ(backend->DeleteEdge(0, n), CycleIndex::UpdateResult::kRejected);
+  EXPECT_EQ(backend->DeleteEdge(kNoVertex, 0),
+            CycleIndex::UpdateResult::kRejected);
+  ExpectMatchesBfs(*backend, graph, "after out-of-range updates");
+}
+
 TEST_P(BackendConformanceTest, SaveLoadRoundTripsThroughInterface) {
   auto backend = Make();
   DiGraph graph = RandomGraph(40, 2.0, 9);

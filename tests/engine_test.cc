@@ -130,6 +130,59 @@ TEST(EngineTest, SaveLoadRoundTrip) {
   }
 }
 
+// The dynamic (in-place) and static (graph + rebuild) update paths must
+// agree on what counts as "applied" — including edges touching vertices
+// added through BuildOptions::reserve_vertices and out-of-range endpoints —
+// and converge to the same answers.
+TEST(EngineTest, UpdatePathsAgreeOnReserveAndOutOfRange) {
+  DiGraph graph = Figure2Graph();  // 10 vertices; 10 and 11 are reserved
+  const std::vector<EdgeUpdate> updates = {
+      EdgeUpdate::Insert(9, 10),   // attach a reserved vertex
+      EdgeUpdate::Insert(10, 0),   // close a cycle through it
+      EdgeUpdate::Insert(50, 0),   // out of range: rejected on every path
+      EdgeUpdate::Remove(0, 50),   // out of range: rejected on every path
+      EdgeUpdate::Remove(11, 10),  // absent edge between reserved vertices
+  };
+  DiGraph expected_graph = graph;
+  expected_graph.AddVertices(2);
+  expected_graph.AddEdge(9, 10);
+  expected_graph.AddEdge(10, 0);
+  std::vector<CycleCount> expected = BfsReference(expected_graph);
+
+  for (const std::string& name : AllBackendNames()) {
+    EngineOptions options;
+    options.backend = name;
+    options.build.reserve_vertices = 2;
+    Engine engine(options);
+    ASSERT_TRUE(engine.Build(graph)) << name;
+    ASSERT_EQ(engine.num_vertices(), 12u) << name;
+    std::vector<bool> verdicts;
+    EXPECT_EQ(engine.ApplyUpdates(updates, &verdicts), 2u) << name;
+    EXPECT_EQ(verdicts,
+              (std::vector<bool>{true, true, false, false, false}))
+        << name;
+    EXPECT_EQ(engine.QueryAll(), expected) << name;
+  }
+}
+
+// A batch that is rejected in full must not swap snapshots on the static
+// path, and repeated batches must not grow the reserved vertex space (the
+// rebuild re-reserving on every swap was the bug).
+TEST(EngineTest, StaticRebuildKeepsVertexSpaceStable) {
+  EngineOptions options;
+  options.backend = "frozen";
+  options.build.reserve_vertices = 3;
+  Engine engine(options);
+  ASSERT_TRUE(engine.Build(Figure2Graph()));
+  ASSERT_EQ(engine.num_vertices(), 13u);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(engine.ApplyUpdates({EdgeUpdate::Insert(0, 1)}), 1u);
+    EXPECT_EQ(engine.num_vertices(), 13u) << "round " << round;
+    EXPECT_EQ(engine.ApplyUpdates({EdgeUpdate::Remove(0, 1)}), 1u);
+    EXPECT_EQ(engine.num_vertices(), 13u) << "round " << round;
+  }
+}
+
 TEST(EngineTest, GirthMatchesReference) {
   DiGraph graph = RandomGraph(60, 2.0, 12);
   BfsCycleCounter reference(graph);

@@ -1,0 +1,296 @@
+// Sharded serving conformance: for every registered backend, a
+// ShardedEngine must return bit-identical answers to a single Engine on the
+// same graph for every shard count — per-vertex, whole-graph sweeps, girth,
+// and screening, before and after a mixed insert/delete update batch. Plus
+// the multi-shard envelope: round trip, shard-count adoption, and per-shard
+// corruption detection.
+#include "serving/sharded_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "csc/girth.h"
+#include "csc/index_io.h"
+#include "tests/test_util.h"
+
+namespace csc {
+namespace {
+
+std::vector<EdgeUpdate> MixedBatch() {
+  // Against Figure2Graph: two fresh inserts, one real delete, a duplicate
+  // insert (rejected), an absent delete (rejected), and two out-of-range
+  // endpoints (rejected on every path).
+  return {EdgeUpdate::Insert(7, 6),   EdgeUpdate::Insert(6, 0),
+          EdgeUpdate::Remove(0, 2),   EdgeUpdate::Insert(7, 6),
+          EdgeUpdate::Remove(4, 5),   EdgeUpdate::Insert(100, 0),
+          EdgeUpdate::Remove(0, 100)};
+}
+
+void ExpectSameGirth(GirthInfo expected, GirthInfo actual,
+                     const std::string& context) {
+  EXPECT_EQ(actual.girth, expected.girth) << context;
+  EXPECT_EQ(actual.num_girth_vertices, expected.num_girth_vertices) << context;
+  EXPECT_EQ(actual.example_vertex, expected.example_vertex) << context;
+}
+
+class ShardedConformanceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ShardedConformanceTest, MatchesSingleEngineAcrossShardCounts) {
+  const std::string& backend = GetParam();
+  DiGraph graph = Figure2Graph();
+  for (uint32_t shards : {1u, 2u, 4u}) {
+    SCOPED_TRACE(backend + " shards=" + std::to_string(shards));
+    EngineOptions single_options;
+    single_options.backend = backend;
+    Engine single(single_options);
+    ASSERT_TRUE(single.Build(graph));
+
+    ShardedEngineOptions options;
+    options.backend = backend;
+    options.num_shards = shards;
+    ShardedEngine sharded(options);
+    ASSERT_TRUE(sharded.valid());
+    ASSERT_TRUE(sharded.Build(graph));
+    ASSERT_EQ(sharded.num_shards(), shards);
+    EXPECT_EQ(sharded.num_vertices(), single.num_vertices());
+
+    EXPECT_EQ(sharded.QueryAll(), single.QueryAll());
+    ExpectSameGirth(single.Girth(), sharded.Girth(), "before updates");
+    for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+      EXPECT_EQ(sharded.Query(v), single.Query(v)) << "vertex " << v;
+    }
+
+    std::vector<EdgeUpdate> updates = MixedBatch();
+    size_t single_applied = single.ApplyUpdates(updates);
+    size_t sharded_applied = sharded.ApplyUpdates(updates);
+    EXPECT_EQ(sharded_applied, single_applied);
+    EXPECT_EQ(single_applied, 3u);  // both fresh inserts + the real delete
+
+    EXPECT_EQ(sharded.QueryAll(), single.QueryAll());
+    ExpectSameGirth(single.Girth(), sharded.Girth(), "after updates");
+  }
+}
+
+TEST_P(ShardedConformanceTest, RandomGraphSweepsMatch) {
+  const std::string& backend = GetParam();
+  DiGraph graph = RandomGraph(60, 2.5, 17);
+  EngineOptions single_options;
+  single_options.backend = backend;
+  Engine single(single_options);
+  ASSERT_TRUE(single.Build(graph));
+  std::vector<CycleCount> expected = single.QueryAll();
+
+  ShardedEngineOptions options;
+  options.backend = backend;
+  options.num_shards = 4;
+  ShardedEngine sharded(options);
+  ASSERT_TRUE(sharded.Build(graph));
+  EXPECT_EQ(sharded.QueryAll(), expected);
+  ExpectSameGirth(single.Girth(), sharded.Girth(), backend);
+
+  // Batched routing with shuffled, repeated, and out-of-range vertices.
+  std::vector<Vertex> workload;
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+    workload.push_back(graph.num_vertices() - 1 - v);
+    workload.push_back(v / 2);
+  }
+  workload.push_back(graph.num_vertices() + 5);  // out of range -> {}
+  std::vector<CycleCount> batched = sharded.BatchQuery(workload);
+  ASSERT_EQ(batched.size(), workload.size());
+  for (size_t i = 0; i + 1 < workload.size(); ++i) {
+    EXPECT_EQ(batched[i], expected[workload[i]]) << "i=" << i;
+  }
+  EXPECT_EQ(batched.back(), CycleCount{});
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, ShardedConformanceTest,
+                         ::testing::ValuesIn(AllBackendNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(ShardedEngineTest, ContiguousRangePartitionCoversAndBalances) {
+  ShardedEngineOptions options;
+  options.backend = "frozen";
+  options.num_shards = 4;
+  ShardedEngine engine(options);
+  ASSERT_TRUE(engine.Build(RandomGraph(50, 2.0, 3)));
+  std::vector<Vertex> owned(4, 0);
+  for (Vertex v = 0; v < engine.num_vertices(); ++v) {
+    uint32_t s = engine.ShardOf(v);
+    ASSERT_LT(s, 4u);
+    ++owned[s];
+  }
+  Vertex total = 0;
+  for (uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(owned[s], engine.Stats()[s].owned_vertices);
+    EXPECT_LE(owned[s], (engine.num_vertices() + 3) / 4);
+    total += owned[s];
+  }
+  EXPECT_EQ(total, engine.num_vertices());
+}
+
+TEST(ShardedEngineTest, MoreShardsThanVertices) {
+  ShardedEngineOptions options;
+  options.backend = "bfs";
+  options.num_shards = 8;
+  ShardedEngine engine(options);
+  DiGraph graph = DiGraph::FromEdges(3, {{0, 1}, {1, 2}, {2, 0}});
+  ASSERT_TRUE(engine.Build(graph));
+  std::vector<CycleCount> all = engine.QueryAll();
+  ASSERT_EQ(all.size(), 3u);
+  for (Vertex v = 0; v < 3; ++v) {
+    EXPECT_EQ(all[v], (CycleCount{3, 1}));
+  }
+  EXPECT_EQ(engine.Girth().girth, 3u);
+}
+
+TEST(ShardedEngineTest, PluggableShardFnStaysExact) {
+  DiGraph graph = RandomGraph(40, 2.5, 9);
+  EngineOptions single_options;
+  single_options.backend = "frozen";
+  Engine single(single_options);
+  ASSERT_TRUE(single.Build(graph));
+
+  ShardedEngineOptions options;
+  options.backend = "frozen";
+  options.num_shards = 3;
+  options.shard_fn = [](Vertex v, uint32_t num_shards, Vertex) {
+    return v % num_shards;  // round-robin instead of contiguous ranges
+  };
+  ShardedEngine sharded(options);
+  ASSERT_TRUE(sharded.Build(graph));
+  EXPECT_EQ(sharded.QueryAll(), single.QueryAll());
+  ExpectSameGirth(single.Girth(), sharded.Girth(), "round-robin");
+}
+
+TEST(ShardedEngineTest, ScreeningMergeMatchesSingleEngineRanking) {
+  DiGraph graph = RandomGraph(60, 3.0, 21);
+  EngineOptions single_options;
+  single_options.backend = "frozen";
+  Engine single(single_options);
+  ASSERT_TRUE(single.Build(graph));
+  std::vector<CycleCount> answers = single.QueryAll();
+
+  ShardedEngineOptions options;
+  options.backend = "frozen";
+  options.num_shards = 4;
+  ShardedEngine sharded(options);
+  ASSERT_TRUE(sharded.Build(graph));
+
+  for (Dist max_len : {Dist{3}, Dist{5}, kInfDist}) {
+    for (size_t top_k : {size_t{1}, size_t{5}, size_t{1000}}) {
+      // Reference ranking straight from the single-engine answers.
+      std::vector<ScreeningHit> expected;
+      for (Vertex v = 0; v < answers.size(); ++v) {
+        if (answers[v].count == 0 || answers[v].length > max_len) continue;
+        expected.push_back({v, answers[v]});
+      }
+      std::sort(expected.begin(), expected.end(),
+                [](const ScreeningHit& a, const ScreeningHit& b) {
+                  if (a.cycles.count != b.cycles.count) {
+                    return a.cycles.count > b.cycles.count;
+                  }
+                  if (a.cycles.length != b.cycles.length) {
+                    return a.cycles.length < b.cycles.length;
+                  }
+                  return a.vertex < b.vertex;
+                });
+      if (expected.size() > top_k) expected.resize(top_k);
+      EXPECT_EQ(sharded.Screen(max_len, top_k), expected)
+          << "max_len=" << max_len << " top_k=" << top_k;
+    }
+  }
+}
+
+TEST(ShardedEngineTest, MultiShardEnvelopeRoundTrip) {
+  DiGraph graph = RandomGraph(40, 2.0, 5);
+  ShardedEngineOptions options;
+  options.backend = "frozen";
+  options.num_shards = 3;
+  ShardedEngine engine(options);
+  ASSERT_TRUE(engine.Build(graph));
+  std::vector<CycleCount> expected = engine.QueryAll();
+
+  std::string bytes;
+  ASSERT_TRUE(engine.SaveTo(bytes));
+  ASSERT_TRUE(IsShardedPayload(bytes));
+
+  // A loader configured for a different shard count adopts the bundle's.
+  ShardedEngineOptions load_options;
+  load_options.backend = "frozen";
+  load_options.num_shards = 1;
+  ShardedEngine loaded(load_options);
+  ASSERT_TRUE(loaded.LoadFrom(bytes));
+  EXPECT_EQ(loaded.num_shards(), 3u);
+  EXPECT_EQ(loaded.num_vertices(), engine.num_vertices());
+  EXPECT_EQ(loaded.QueryAll(), expected);
+
+  // Static updates are unavailable after LoadFrom (no graph retained) —
+  // exactly like Engine::LoadFrom.
+  EXPECT_EQ(loaded.ApplyUpdates({EdgeUpdate::Insert(0, 1)}), 0u);
+}
+
+TEST(ShardedEngineTest, CorruptedShardPayloadIsRejected) {
+  ShardedEngineOptions options;
+  options.backend = "compressed";
+  options.num_shards = 2;
+  ShardedEngine engine(options);
+  ASSERT_TRUE(engine.Build(RandomGraph(30, 2.0, 8)));
+  std::string bytes;
+  ASSERT_TRUE(engine.SaveTo(bytes));
+
+  std::string error;
+  ASSERT_TRUE(ParseShardedPayload(bytes, &error)) << error;
+
+  // Flip one byte inside the second half (some shard payload): the
+  // per-shard CRC pinpoints it.
+  std::string corrupted = bytes;
+  corrupted[corrupted.size() / 2] ^= 0x40;
+  EXPECT_FALSE(ParseShardedPayload(corrupted, &error));
+  EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+  ShardedEngine reloaded(options);
+  EXPECT_FALSE(reloaded.LoadFrom(corrupted));
+
+  // Truncation and foreign bytes are rejected, not half-loaded.
+  EXPECT_FALSE(ParseShardedPayload(bytes.substr(0, bytes.size() - 3), &error));
+  EXPECT_FALSE(IsShardedPayload("not an envelope"));
+  EXPECT_FALSE(ParseShardedPayload("not an envelope", &error));
+
+  // A crafted header declaring 2^32-1 shards is rejected by the size bound
+  // before any allocation sized by the attacker-controlled count.
+  std::string crafted = bytes.substr(0, 8);
+  crafted.append("\xff\xff\xff\xff", 4);  // shard count
+  crafted.append(4, '\0');                // num_vertices
+  EXPECT_FALSE(ParseShardedPayload(crafted, &error));
+  EXPECT_NE(error.find("more shards"), std::string::npos) << error;
+}
+
+TEST(ShardedEngineTest, UnknownBackendIsInvalid) {
+  ShardedEngineOptions options;
+  options.backend = "no-such-backend";
+  options.num_shards = 2;
+  ShardedEngine engine(options);
+  EXPECT_FALSE(engine.valid());
+  EXPECT_FALSE(engine.Build(Figure2Graph()));
+}
+
+TEST(ShardedEngineTest, OwnershipStatsAccountEveryEdgeOnce) {
+  DiGraph graph = RandomGraph(50, 2.5, 12);
+  ShardedEngineOptions options;
+  options.backend = "frozen";
+  options.num_shards = 4;
+  ShardedEngine engine(options);
+  ASSERT_TRUE(engine.Build(graph));
+  uint64_t internal = 0, cross = 0;
+  for (const ShardInfo& info : engine.Stats()) {
+    internal += info.internal_edges;
+    cross += info.cross_shard_edges;
+  }
+  // Every edge is accounted exactly once, on the shard owning its source.
+  EXPECT_EQ(internal + cross, graph.num_edges());
+  EXPECT_GT(cross, 0u);  // 4 contiguous ranges on a random graph must mix
+}
+
+}  // namespace
+}  // namespace csc
