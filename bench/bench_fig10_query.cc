@@ -2,7 +2,9 @@
 // min-in-out-degree cluster (High .. Bottom), one sub-figure per dataset —
 // generalized over the CycleIndex registry, so one binary reports any
 // backend subset (CSC_BENCH_BACKENDS selects; default is the paper's
-// BFS / HP-SPC / CSC comparison plus the flat serving forms).
+// BFS / HP-SPC / CSC comparison plus the flat serving forms). Every
+// (dataset, cluster, backend) cell is also emitted to
+// BENCH_fig10_query.json so perf history tracks the paper figure.
 //
 // Expected shape (paper §VI.B.3): BFS is orders of magnitude slower and
 // degree-independent; HP-SPC degrades on high-degree clusters (its query
@@ -50,6 +52,9 @@ int main() {
   std::vector<std::string> columns = {"Graph", "Cluster", "#queries"};
   columns.insert(columns.end(), backends.begin(), backends.end());
   TableReporter table("Figure 10: Average Query Time (us)", columns);
+  // One flat row per (dataset, cluster, backend) so CI tracks every
+  // backend's query-latency trajectory per degree cluster.
+  JsonBenchReporter json("fig10_query");
 
   for (const DatasetSpec& spec : datasets) {
     DiGraph g = MaterializeDataset(spec, scale);
@@ -69,19 +74,26 @@ int main() {
       std::vector<std::string> row = {
           spec.name, DegreeClusterName(static_cast<DegreeCluster>(c)),
           TableReporter::FormatCount(queries.size())};
-      for (auto& backend : built) {
+      for (size_t b = 0; b < built.size(); ++b) {
+        CycleIndex& backend = *built[b];
         // Unindexed backends answer on a truncated prefix (they dominate
         // runtime otherwise); indexed ones take the full cluster.
-        size_t limit = IsUnindexed(backend->Stats())
+        size_t limit = IsUnindexed(backend.Stats())
                            ? std::min(queries.size(),
                                       kMaxUnindexedQueriesPerCluster)
                            : queries.size();
         Timer timer;
         for (size_t i = 0; i < limit; ++i) {
-          backend->CountShortestCycles(queries[i]);
+          backend.CountShortestCycles(queries[i]);
         }
-        row.push_back(
-            TableReporter::FormatDouble(timer.ElapsedMicros() / limit, 2));
+        double avg_us = timer.ElapsedMicros() / limit;
+        row.push_back(TableReporter::FormatDouble(avg_us, 2));
+        json.BeginRow()
+            .Field("dataset", spec.name)
+            .Field("cluster", DegreeClusterName(static_cast<DegreeCluster>(c)))
+            .Field("backend", backends[b])
+            .Field("queries", static_cast<uint64_t>(limit))
+            .Field("avg_query_us", avg_us);
       }
       table.AddRow(std::move(row));
     }
@@ -89,5 +101,6 @@ int main() {
   }
   table.Print();
   table.WriteCsv(bench::CsvPath("fig10_query"));
+  json.Write("BENCH_fig10_query.json");
   return 0;
 }

@@ -1,11 +1,19 @@
 // Micro-benchmarks (google-benchmark) of the hot kernels behind every query
 // and construction step: label-entry packing, label-set joins and upserts,
-// and end-to-end SCCnt queries on a built index.
+// the packed-arena join kernels (linear baseline vs. the SIMD/galloping
+// fast path, across run-length skews), and end-to-end SCCnt queries on a
+// built index.
+//
+// CI runs this binary in smoke mode (--benchmark_min_time=0.01) on both
+// architectures so every kernel variant (scalar / SSE2 / NEON / galloping)
+// compiles and executes; build with -DCSC_NO_SIMD=ON to pin the scalar
+// fallback.
 #include <benchmark/benchmark.h>
 
 #include <memory>
 
 #include "baseline/bfs_cycle.h"
+#include "core/label_arena.h"
 #include "csc/csc_index.h"
 #include "graph/generators.h"
 #include "graph/ordering.h"
@@ -55,6 +63,80 @@ void BM_JoinLabels(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * entries * 2);
 }
 BENCHMARK(BM_JoinLabels)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+// A label set of `entries` ranks spread across a shared universe, so two
+// runs of different lengths still interleave end to end — the shape where
+// the join kernels' skipping actually matters (same-stride runs of skewed
+// lengths would just exhaust the short side early).
+LabelSet RunSpanningUniverse(size_t entries, Rank universe, uint64_t seed) {
+  Rng rng(seed);
+  LabelSet labels;
+  Rank stride = universe / static_cast<Rank>(entries);
+  if (stride < 1) stride = 1;
+  Rank rank = 0;
+  for (size_t i = 0; i < entries; ++i) {
+    rank += 1 + static_cast<Rank>(rng.NextBounded(2 * stride - 1));
+    labels.Append(LabelEntry(rank, static_cast<Dist>(rng.NextBounded(50)),
+                             1 + rng.NextBounded(5)));
+  }
+  return labels;
+}
+
+// The packed-packed arena join across run-length skews: Args({na, nb}).
+// BM_ArenaJoin runs the shipped kernel (SIMD-skip merge, galloping past
+// kGallopSkewRatio); BM_ArenaJoinLinear is the reference linear merge the
+// acceptance speedup is measured against.
+void ArenaJoinBench(benchmark::State& state, bool linear) {
+  size_t na = static_cast<size_t>(state.range(0));
+  size_t nb = static_cast<size_t>(state.range(1));
+  Rank universe = static_cast<Rank>(4 * (na > nb ? na : nb));
+  LabelArena a = LabelArena::FromLabelSets(
+      {RunSpanningUniverse(na, universe, 21)}, ArenaEncoding::kPacked);
+  LabelArena b = LabelArena::FromLabelSets(
+      {RunSpanningUniverse(nb, universe, 22)}, ArenaEncoding::kPacked);
+  for (auto _ : state) {
+    JoinResult r = linear ? LabelArena::JoinLinear(a, 0, b, 0)
+                          : LabelArena::Join(a, 0, b, 0);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * (na + nb));
+}
+
+void BM_ArenaJoin(benchmark::State& state) { ArenaJoinBench(state, false); }
+void BM_ArenaJoinLinear(benchmark::State& state) {
+  ArenaJoinBench(state, true);
+}
+#define CSC_ARENA_JOIN_ARGS               \
+  Args({16, 16})                          \
+      ->Args({64, 64})                    \
+      ->Args({256, 256})                  \
+      ->Args({1024, 1024})                \
+      ->Args({32, 64})                    \
+      ->Args({64, 256})                   \
+      ->Args({64, 512})                   \
+      ->Args({64, 2048})                  \
+      ->Args({16, 256})                 \
+      ->Args({16, 4096})                  \
+      ->Args({64, 4096})                  \
+      ->Args({256, 16384})
+BENCHMARK(BM_ArenaJoin)->CSC_ARENA_JOIN_ARGS;
+BENCHMARK(BM_ArenaJoinLinear)->CSC_ARENA_JOIN_ARGS;
+#undef CSC_ARENA_JOIN_ARGS
+
+// The same join through the varint decode path (CompressedIndex's kernel).
+void BM_ArenaJoinVarint(benchmark::State& state) {
+  size_t entries = static_cast<size_t>(state.range(0));
+  Rank universe = static_cast<Rank>(4 * entries);
+  LabelArena a = LabelArena::FromLabelSets(
+      {RunSpanningUniverse(entries, universe, 23)}, ArenaEncoding::kVarint);
+  LabelArena b = LabelArena::FromLabelSets(
+      {RunSpanningUniverse(entries, universe, 24)}, ArenaEncoding::kVarint);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LabelArena::Join(a, 0, b, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * entries * 2);
+}
+BENCHMARK(BM_ArenaJoinVarint)->Arg(64)->Arg(512);
 
 void BM_LabelSetFind(benchmark::State& state) {
   LabelSet labels = MakeLabelSet(static_cast<size_t>(state.range(0)), 3, 2);

@@ -18,12 +18,24 @@
 // 1/2/4/8 shards (batched-query throughput over the routed fan-out); its
 // per-backend × per-shard-count rows are also emitted as BENCH_serving.json
 // so CI tracks the serving-tier trajectory.
+//
+// A cold-start section times load-to-first-query for each persistable
+// serving form through both load paths: the copying Parse path and the
+// zero-copy mmap path (Engine::LoadFromFile). Pass --mmap to also serve
+// the sharded matrix from a saved bundle through one shared mapping
+// (ShardedEngine::LoadFromFile) instead of the freshly built engines.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "core/cycle_index.h"
+#include "csc/index_io.h"
 #include "serving/engine.h"
 #include "serving/sharded_engine.h"
 #include "util/env.h"
@@ -55,9 +67,28 @@ double MeanQueryMicros(const std::vector<Vertex>& vertices,
   return timer.ElapsedMicros() / static_cast<double>(rounds * vertices.size());
 }
 
+// Load-to-first-query milliseconds through `load`, or -1 on failure.
+double ColdStartMillis(const std::function<bool(Engine&)>& load,
+                       const std::string& backend, Vertex probe) {
+  EngineOptions options;
+  options.backend = backend;
+  options.num_threads = 1;
+  Engine engine(options);
+  Timer timer;
+  if (!load(engine)) return -1;
+  CycleCount first = engine.Query(probe);
+  double ms = timer.ElapsedMillis();
+  if (first.count == 0xdeadbeef) std::printf("!");
+  return ms;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool mmap_shards = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--mmap") == 0) mmap_shards = true;
+  }
   double scale = BenchScaleFromEnv();
   auto datasets = BenchDatasetsFromEnv();
   // The serving-tier forms; "bfs"/"precompute"/"hpspc" are selectable via
@@ -80,8 +111,17 @@ int main() {
   TableReporter shard_table(
       "ShardedEngine batched-query throughput (kq/s) by shard count",
       {"Graph", "Backend", "shards", "build(s)", "kq/s"});
+  TableReporter cold_table(
+      "Cold start: load-to-first-query (ms), parse vs. mmap",
+      {"Graph", "Backend", "parse(ms)", "mmap(ms)", "speedup"});
   JsonBenchReporter json("serving");
   const std::vector<uint32_t> shard_counts = {1, 2, 4, 8};
+  // The persistable serving forms with a load path (cold-start section).
+  const std::vector<std::string> loadable = {"compact", "frozen", "compressed"};
+  if (mmap_shards) {
+    std::printf("# --mmap: sharded throughput measured over engines serving "
+                "a saved bundle from one shared mapping\n");
+  }
 
   for (const DatasetSpec& spec : datasets) {
     DiGraph graph = MaterializeDataset(spec, scale);
@@ -143,6 +183,40 @@ int main() {
          TableReporter::FormatDouble(
              parallel_ms > 0 ? sequential_ms / parallel_ms : 0.0, 2)});
 
+    // Cold start: persist each loadable serving form once, then time
+    // load-to-first-query through the copying Parse path and the zero-copy
+    // mmap path. (The file is freshly written, so both paths read warm
+    // pages — this isolates the deserialization cost the mmap path
+    // removes.)
+    for (const auto& name : loadable) {
+      std::unique_ptr<CycleIndex> backend = MakeBackend(name);
+      backend->Build(graph);
+      const std::string path = "bench_serving_cold." + name + ".idx";
+      if (!SaveBackendToFile(*backend, path)) continue;
+      Vertex probe = workload.front();
+      double parse_ms = ColdStartMillis(
+          [&path](Engine& engine) {
+            std::optional<std::string> payload =
+                ReadVerifiedPayload(path, nullptr);
+            return payload && engine.LoadFrom(*payload);
+          },
+          name, probe);
+      double mmap_ms = ColdStartMillis(
+          [&path](Engine& engine) { return engine.LoadFromFile(path); },
+          name, probe);
+      std::remove(path.c_str());
+      cold_table.AddRow(
+          {spec.name, name, TableReporter::FormatDouble(parse_ms, 2),
+           TableReporter::FormatDouble(mmap_ms, 2),
+           TableReporter::FormatDouble(
+               mmap_ms > 0 ? parse_ms / mmap_ms : 0.0, 2)});
+      json.BeginRow()
+          .Field("dataset", spec.name)
+          .Field("backend", name)
+          .Field("cold_parse_ms", parse_ms)
+          .Field("cold_mmap_ms", mmap_ms);
+    }
+
     // Sharded serving matrix: each backend behind ShardedEngine at 1/2/4/8
     // shards, measuring routed BatchQuery throughput over the same fixed
     // workload. Every shard replicates the build (the closure is the full
@@ -157,11 +231,29 @@ int main() {
         Timer build_timer;
         if (!sharded.Build(graph)) continue;
         double build_s = build_timer.ElapsedSeconds();
+        // --mmap: measure over engines serving a saved bundle through one
+        // shared read-only mapping instead of the freshly built shards
+        // (backends without a persistent form keep the built engines).
+        ShardedEngine* serving = &sharded;
+        std::unique_ptr<ShardedEngine> mapped;
+        if (mmap_shards) {
+          std::string payload;
+          const std::string path = "bench_serving_shards.idx";
+          if (sharded.SaveTo(payload) && SavePayloadToFile(payload, path)) {
+            mapped = std::make_unique<ShardedEngine>(sharded_options);
+            if (mapped->LoadFromFile(path)) {
+              serving = mapped.get();
+            } else {
+              mapped.reset();
+            }
+          }
+          std::remove(path.c_str());
+        }
         uint64_t queries = 0;
         uint64_t batch_sink = 0;
         Timer query_timer;
         do {
-          std::vector<CycleCount> answers = sharded.BatchQuery(workload);
+          std::vector<CycleCount> answers = serving->BatchQuery(workload);
           batch_sink += answers.back().count;
           queries += answers.size();
         } while (query_timer.ElapsedSeconds() < 0.05);
@@ -174,9 +266,11 @@ int main() {
             .Field("dataset", spec.name)
             .Field("backend", name)
             .Field("shards", static_cast<uint64_t>(shards))
+            .Field("mode", serving == &sharded ? std::string("build")
+                                               : std::string("mmap"))
             .Field("build_seconds", build_s)
             .Field("batch_qps", qps)
-            .Field("resident_bytes", sharded.MemoryBytes());
+            .Field("resident_bytes", serving->MemoryBytes());
       }
     }
     std::printf("[serving] %s done\n", spec.name.c_str());
@@ -185,10 +279,12 @@ int main() {
   size_table.Print();
   latency_table.Print();
   sweep_table.Print();
+  cold_table.Print();
   shard_table.Print();
   size_table.WriteCsv(bench::CsvPath("serving_sizes"));
   latency_table.WriteCsv(bench::CsvPath("serving_latency"));
   sweep_table.WriteCsv(bench::CsvPath("serving_sweep"));
+  cold_table.WriteCsv(bench::CsvPath("serving_cold_start"));
   shard_table.WriteCsv(bench::CsvPath("serving_sharded"));
   json.Write("BENCH_serving.json");
   return 0;

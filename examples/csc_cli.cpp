@@ -55,15 +55,17 @@ int Usage() {
       stderr,
       "usage:\n"
       "  csc_cli [--backend NAME] [--shards N] build <graph.edges> <index.csc>\n"
-      "  csc_cli [--backend NAME] [--shards N] query <index-or-graph> <vertex> [...]\n"
-      "  csc_cli [--backend NAME] [--shards N] screen <index-or-graph> <max_len> <top_k>\n"
-      "  csc_cli [--backend NAME] [--shards N] stats <index-or-graph>\n"
-      "  csc_cli [--backend NAME] [--shards N] girth <index-or-graph>\n"
+      "  csc_cli [--backend NAME] [--shards N] [--mmap] query <index-or-graph> <vertex> [...]\n"
+      "  csc_cli [--backend NAME] [--shards N] [--mmap] screen <index-or-graph> <max_len> <top_k>\n"
+      "  csc_cli [--backend NAME] [--shards N] [--mmap] stats <index-or-graph>\n"
+      "  csc_cli [--backend NAME] [--shards N] [--mmap] girth <index-or-graph>\n"
       "  csc_cli backends\n"
       "  csc_cli graphstats <graph.edges>\n"
       "  csc_cli casestudy <graph.edges> <vertex> <out.dot>\n"
       "--shards N builds/serves through the sharded engine (N per-shard\n"
       "backends; multi-shard index files are auto-detected on load)\n"
+      "--mmap serves index files from a shared read-only mapping (zero\n"
+      "deserialization copy for the flat arena backends)\n"
       "backends: ");
   for (const std::string& name : AllBackendNames()) {
     std::fprintf(stderr, "%s ", name.c_str());
@@ -148,8 +150,51 @@ struct Serving {
 
 std::optional<Serving> LoadOrBuildServing(const std::string& path,
                                           const std::string& backend_name,
-                                          uint32_t shards) {
+                                          uint32_t shards, bool use_mmap) {
   Serving serving;
+  // The zero-copy path (--mmap): map and CRC-verify the file once, then
+  // route on the payload — K shard engines share the one mapping, single
+  // indexes serve it directly. Anything that does not resolve here (edge
+  // lists, backends without a view path) falls through to the classic
+  // copying path and its fallback chain.
+  if (use_mmap) {
+    std::string map_error;
+    std::shared_ptr<IndexFile> file = IndexFile::Open(path, &map_error);
+    if (file) {
+      if (IsShardedPayload(file->payload(), file->payload_size())) {
+        ShardedEngineOptions options;
+        options.backend = backend_name;
+        auto engine = std::make_unique<ShardedEngine>(options);
+        if (!engine->valid()) {
+          map_error = "unknown backend '" + backend_name + "'";
+        } else if (engine->LoadFromMapping(file, &map_error)) {
+          std::fprintf(stderr,
+                       "loaded %u-shard index from %s (shards share one "
+                       "read-only mapping)\n",
+                       engine->num_shards(), path.c_str());
+          serving.sharded = std::move(engine);
+          return serving;
+        }
+      } else if (shards <= 1) {
+        BackendLoadResult mapped = LoadBackendFromMapping(file, backend_name);
+        if (mapped.ok()) {
+          std::fprintf(stderr, "serving %s from a %s (%zu-byte payload)\n",
+                       path.c_str(),
+                       file->mapped() ? "read-only mapping" : "heap buffer",
+                       file->payload_size());
+          serving.single = std::move(mapped.index);
+          return serving;
+        }
+        map_error = mapped.error;
+      }
+    }
+    if (!map_error.empty()) {
+      std::fprintf(stderr,
+                   "note: --mmap could not serve %s zero-copy (%s); "
+                   "falling back to the copying load path\n",
+                   path.c_str(), map_error.c_str());
+    }
+  }
   // A multi-shard index file routes to the sharded engine regardless of
   // --shards: the bundle's own shard count wins.
   std::string envelope_error;
@@ -339,8 +384,8 @@ int CmdBuild(const std::string& backend_name, uint32_t shards,
 }
 
 int CmdGirth(const std::string& backend_name, uint32_t shards,
-             const std::string& path) {
-  auto serving = LoadOrBuildServing(path, backend_name, shards);
+             bool use_mmap, const std::string& path) {
+  auto serving = LoadOrBuildServing(path, backend_name, shards, use_mmap);
   if (!serving) return 1;
   Vertex n = serving->num_vertices();
   GirthInfo info = serving->Girth();
@@ -429,8 +474,9 @@ int CmdCaseStudy(const std::string& graph_path, Vertex center,
 }
 
 int CmdQuery(const std::string& backend_name, uint32_t shards,
-             const std::string& path, char** vertices, int count) {
-  auto serving = LoadOrBuildServing(path, backend_name, shards);
+             bool use_mmap, const std::string& path, char** vertices,
+             int count) {
+  auto serving = LoadOrBuildServing(path, backend_name, shards, use_mmap);
   if (!serving) return 1;
   for (int i = 0; i < count; ++i) {
     auto v = static_cast<Vertex>(std::strtoul(vertices[i], nullptr, 10));
@@ -453,8 +499,9 @@ int CmdQuery(const std::string& backend_name, uint32_t shards,
 }
 
 int CmdScreen(const std::string& backend_name, uint32_t shards,
-              const std::string& path, Dist max_len, size_t top_k) {
-  auto serving = LoadOrBuildServing(path, backend_name, shards);
+              bool use_mmap, const std::string& path, Dist max_len,
+              size_t top_k) {
+  auto serving = LoadOrBuildServing(path, backend_name, shards, use_mmap);
   if (!serving) return 1;
   std::vector<ScreeningHit> hits;
   if (serving->sharded) {
@@ -480,8 +527,8 @@ int CmdScreen(const std::string& backend_name, uint32_t shards,
 }
 
 int CmdStats(const std::string& backend_name, uint32_t shards,
-             const std::string& path) {
-  auto serving = LoadOrBuildServing(path, backend_name, shards);
+             bool use_mmap, const std::string& path) {
+  auto serving = LoadOrBuildServing(path, backend_name, shards, use_mmap);
   if (!serving) return 1;
   if (serving->sharded) {
     const ShardedEngine& engine = *serving->sharded;
@@ -525,9 +572,10 @@ int CmdStats(const std::string& backend_name, uint32_t shards,
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip the global --backend/--shards flags wherever they appear.
+  // Strip the global --backend/--shards/--mmap flags wherever they appear.
   std::string backend = kDefaultBackendName;
   uint32_t shards = 1;
+  bool use_mmap = false;
   std::vector<char*> args;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -542,6 +590,8 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--shards=", 0) == 0) {
       shards = static_cast<uint32_t>(
           std::strtoul(arg.c_str() + 9, nullptr, 10));
+    } else if (arg == "--mmap") {
+      use_mmap = true;
     } else {
       args.push_back(argv[i]);
     }
@@ -555,15 +605,20 @@ int main(int argc, char** argv) {
     return CmdBuild(backend, shards, args[1], args[2]);
   }
   if (cmd == "query" && n >= 3) {
-    return CmdQuery(backend, shards, args[1], args.data() + 2, n - 2);
+    return CmdQuery(backend, shards, use_mmap, args[1], args.data() + 2,
+                    n - 2);
   }
   if (cmd == "screen" && n == 4) {
-    return CmdScreen(backend, shards, args[1],
+    return CmdScreen(backend, shards, use_mmap, args[1],
                      static_cast<Dist>(std::strtoul(args[2], nullptr, 10)),
                      std::strtoul(args[3], nullptr, 10));
   }
-  if (cmd == "stats" && n == 2) return CmdStats(backend, shards, args[1]);
-  if (cmd == "girth" && n == 2) return CmdGirth(backend, shards, args[1]);
+  if (cmd == "stats" && n == 2) {
+    return CmdStats(backend, shards, use_mmap, args[1]);
+  }
+  if (cmd == "girth" && n == 2) {
+    return CmdGirth(backend, shards, use_mmap, args[1]);
+  }
   if (cmd == "graphstats" && n == 2) return CmdGraphStats(args[1]);
   if (cmd == "casestudy" && n == 4) {
     return CmdCaseStudy(args[1],

@@ -290,6 +290,24 @@ class FlatBackend : public BackendBase {
     return false;
   }
 
+  bool LoadView(const uint8_t* data, size_t size,
+                std::shared_ptr<const void> keep_alive) override {
+    Timer timer;
+    // Native payloads serve zero-copy straight from the mapping; anything
+    // else (the compact interchange format) takes the copying path.
+    if (auto native = Index::FromView(data, size, std::move(keep_alive))) {
+      index_ = std::move(*native);
+      build_seconds_ = timer.ElapsedSeconds();
+      return true;
+    }
+    return CycleIndex::LoadView(data, size, nullptr);
+  }
+
+  bool SliceLabels(const std::function<bool(Vertex)>& keep) override {
+    index_.SliceTo(keep);
+    return true;
+  }
+
   Vertex num_vertices() const override {
     return index_.num_original_vertices();
   }

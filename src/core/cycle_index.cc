@@ -21,4 +21,15 @@ bool CycleIndex::SaveTo(std::string&) const { return false; }
 
 bool CycleIndex::LoadFrom(const std::string&) { return false; }
 
+bool CycleIndex::LoadView(const uint8_t* data, size_t size,
+                          std::shared_ptr<const void> /*keep_alive*/) {
+  // Copying fallback: backends without a zero-copy form still load the
+  // mapped payload, they just materialize it.
+  return LoadFrom(std::string(reinterpret_cast<const char*>(data), size));
+}
+
+bool CycleIndex::SliceLabels(const std::function<bool(Vertex)>&) {
+  return false;
+}
+
 }  // namespace csc

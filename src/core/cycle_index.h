@@ -1,6 +1,7 @@
 #ifndef CSC_CORE_CYCLE_INDEX_H_
 #define CSC_CORE_CYCLE_INDEX_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -98,6 +99,23 @@ class CycleIndex {
   /// need it for maintenance, "bfs"/"precompute"/"hpspc" for queries —
   /// save with them, serve the payload from a loadable backend).
   virtual bool LoadFrom(const std::string& bytes);
+
+  /// Restores the index from an externally owned payload — typically the
+  /// verified body of a read-only file mapping (csc/index_io.h IndexFile) —
+  /// retaining `keep_alive` for as long as the index references the buffer.
+  /// The flat arena backends serve the mapping zero-copy (label payloads
+  /// stay in the file pages, shared across any number of loads); the base
+  /// implementation falls back to a copying LoadFrom.
+  virtual bool LoadView(const uint8_t* data, size_t size,
+                        std::shared_ptr<const void> keep_alive);
+
+  /// Drops the label runs of vertices not selected by `keep`, shrinking
+  /// resident label storage while preserving the vertex space; queries for
+  /// dropped vertices then report no cycle. The sharded serving tier uses
+  /// this to keep only shard-owned runs (~n/K of the labels per shard).
+  /// False when this backend's storage is not per-vertex label runs — the
+  /// index is then unchanged and still serves every vertex.
+  virtual bool SliceLabels(const std::function<bool(Vertex)>& keep);
 
   virtual Vertex num_vertices() const = 0;
 

@@ -4,6 +4,19 @@
 
 #include "util/varint.h"
 
+// SIMD selection for the packed join kernel. CSC_NO_SIMD (a CMake option)
+// forces the scalar fallback everywhere — the escape hatch for odd
+// toolchains and for A/B-ing the kernels.
+#if !defined(CSC_NO_SIMD)
+#if defined(__SSE2__) || defined(_M_X64)
+#define CSC_ARENA_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif defined(__ARM_NEON) || defined(__aarch64__)
+#define CSC_ARENA_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+#endif
+
 namespace csc {
 
 namespace {
@@ -63,10 +76,11 @@ LabelArena LabelArena::FromLabelSets(const std::vector<LabelSet>& sets,
 bool LabelArena::Cursor::Next() {
   if (packed_) {
     if (p_ == end_) return false;
-    rank_ = p_->hub();
-    dist_ = p_->dist();
-    count_ = p_->count();
-    ++p_;
+    LabelEntry e = LoadPackedEntry(p_);
+    rank_ = e.hub();
+    dist_ = e.dist();
+    count_ = e.count();
+    p_ += sizeof(LabelEntry);
     return true;
   }
   if (pos_ >= byte_end_) return false;
@@ -82,10 +96,10 @@ LabelArena::Cursor LabelArena::RunCursor(Vertex v) const {
   Cursor cursor;
   cursor.packed_ = packed();
   if (cursor.packed_) {
-    cursor.p_ = PackedBegin(v);
-    cursor.end_ = PackedEnd(v);
+    cursor.p_ = PackedRunBegin(v);
+    cursor.end_ = PackedRunBegin(v + 1);
   } else {
-    cursor.data_ = bytes_.data();
+    cursor.data_ = payload_data();
     cursor.pos_ = offsets_[v];
     cursor.byte_end_ = offsets_[v + 1];
   }
@@ -110,31 +124,197 @@ LabelSet LabelArena::DecodeRun(Vertex v) const {
 
 namespace {
 
-// Linear merge of two rank-sorted packed runs: min distance through any
-// common hub plus the multiplicity at that distance.
-JoinResult JoinPacked(const LabelEntry* a, const LabelEntry* a_end,
-                      const LabelEntry* b, const LabelEntry* b_end) {
+// ---- The packed-packed join kernels. ----
+//
+// Runs are arrays of 8-byte entry words sorted by hub rank (the top
+// kHubBits of each word), addressed as byte pointers because a view-backed
+// payload has no alignment guarantee.
+
+constexpr int kRankShift = LabelEntry::kDistBits + LabelEntry::kCountBits;
+constexpr size_t kEntry = sizeof(LabelEntry);
+
+inline uint64_t LoadBits(const uint8_t* p) {
+  uint64_t bits;
+  std::memcpy(&bits, p, sizeof(bits));
+  return bits;
+}
+
+inline Rank RankAt(const uint8_t* p) {
+  return static_cast<Rank>(LoadBits(p) >> kRankShift);
+}
+
+// Folds one common-hub hit into the running (min-dist, count-sum) result.
+inline void Accumulate(JoinResult& result, uint64_t a_bits, uint64_t b_bits) {
+  Dist d = static_cast<Dist>((a_bits >> LabelEntry::kCountBits) &
+                             LabelEntry::kMaxDist) +
+           static_cast<Dist>((b_bits >> LabelEntry::kCountBits) &
+                             LabelEntry::kMaxDist);
+  Count c = (a_bits & LabelEntry::kMaxCount) * (b_bits & LabelEntry::kMaxCount);
+  if (d < result.dist) {
+    result.dist = d;
+    result.count = c;
+  } else if (d == result.dist) {
+    result.count += c;
+  }
+}
+
+// Advances `p` to the first entry with rank >= bound, comparing four ranks
+// per step once the advance proves long. The SIMD variants shift the rank
+// field out of four entry words, narrow to one 32-bit lane each (ranks fit
+// kHubBits < 31 bits, so signed compares are safe), and turn the lane mask
+// into the exact stop offset; the scalar fallback exploits sortedness (if
+// the 4th rank is below the bound, all four are).
+inline const uint8_t* SkipBelow(const uint8_t* p, const uint8_t* end,
+                                Rank bound) {
+  // Scalar prefix: most advances in a balanced merge are 1-3 entries, and
+  // a 4-wide block setup costs more than it skips there. Only fall through
+  // to the block loop while the advance is still going.
+  for (int step = 0; step < 3; ++step) {
+    if (p == end || RankAt(p) >= bound) return p;
+    p += kEntry;
+  }
+#if defined(CSC_ARENA_SIMD_SSE2)
+  const __m128i vbound = _mm_set1_epi32(static_cast<int>(bound));
+  while (static_cast<size_t>(end - p) >= 4 * kEntry) {
+    __m128i lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    __m128i hi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 16));
+    lo = _mm_srli_epi64(lo, kRankShift);
+    hi = _mm_srli_epi64(hi, kRankShift);
+    __m128i ranks = _mm_castps_si128(_mm_shuffle_ps(
+        _mm_castsi128_ps(lo), _mm_castsi128_ps(hi), _MM_SHUFFLE(2, 0, 2, 0)));
+    int below = _mm_movemask_ps(
+        _mm_castsi128_ps(_mm_cmplt_epi32(ranks, vbound)));
+    if (below != 0xF) return p + kEntry * __builtin_ctz(~below);
+    p += 4 * kEntry;
+  }
+#elif defined(CSC_ARENA_SIMD_NEON)
+  const uint32x4_t vbound = vdupq_n_u32(bound);
+  while (static_cast<size_t>(end - p) >= 4 * kEntry) {
+    uint64x2_t lo = vreinterpretq_u64_u8(vld1q_u8(p));
+    uint64x2_t hi = vreinterpretq_u64_u8(vld1q_u8(p + 16));
+    uint32x4_t ranks = vcombine_u32(vmovn_u64(vshrq_n_u64(lo, kRankShift)),
+                                    vmovn_u64(vshrq_n_u64(hi, kRankShift)));
+    uint64_t below = vget_lane_u64(
+        vreinterpret_u64_u16(vmovn_u32(vcltq_u32(ranks, vbound))), 0);
+    if (below != ~uint64_t{0}) {
+      return p + kEntry * (__builtin_ctzll(~below) / 16);
+    }
+    p += 4 * kEntry;
+  }
+#else
+  while (static_cast<size_t>(end - p) >= 4 * kEntry &&
+         RankAt(p + 3 * kEntry) < bound) {
+    p += 4 * kEntry;
+  }
+#endif
+  while (p < end && RankAt(p) < bound) p += kEntry;
+  return p;
+}
+
+// First entry in [p, end) with rank >= bound, by exponential probe then
+// binary search: O(log gap) per advance. The skewed-join workhorse.
+inline const uint8_t* GallopTo(const uint8_t* p, const uint8_t* end,
+                               Rank bound) {
+  size_t n = static_cast<size_t>(end - p) / kEntry;
+  if (n == 0 || RankAt(p) >= bound) return p;
+  size_t prev = 0;  // largest index known < bound
+  size_t step = 1;
+  while (step < n && RankAt(p + step * kEntry) < bound) {
+    prev = step;
+    step = step * 2 + 1;
+  }
+  size_t lo = prev + 1;
+  size_t hi = step < n ? step : n;  // hi is >= bound, or n (one past the run)
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (RankAt(p + mid * kEntry) < bound) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return p + lo * kEntry;
+}
+
+// Reference linear merge of two rank-sorted packed runs — the conformance
+// oracle and microbenchmark baseline for the kernels below.
+JoinResult JoinPackedLinear(const uint8_t* a, const uint8_t* a_end,
+                            const uint8_t* b, const uint8_t* b_end) {
   JoinResult result;
   while (a != a_end && b != b_end) {
-    Rank ra = a->hub();
-    Rank rb = b->hub();
+    Rank ra = RankAt(a);
+    Rank rb = RankAt(b);
     if (ra < rb) {
-      ++a;
+      a += kEntry;
     } else if (rb < ra) {
-      ++b;
+      b += kEntry;
     } else {
-      Dist d = a->dist() + b->dist();
-      if (d < result.dist) {
-        result.dist = d;
-        result.count = a->count() * b->count();
-      } else if (d == result.dist) {
-        result.count += a->count() * b->count();
-      }
-      ++a;
-      ++b;
+      Accumulate(result, LoadBits(a), LoadBits(b));
+      a += kEntry;
+      b += kEntry;
     }
   }
   return result;
+}
+
+// Branch-reduced merge whose advances skip with 4-wide rank comparisons —
+// the balanced-length fast path.
+JoinResult JoinPackedMerge(const uint8_t* a, const uint8_t* a_end,
+                           const uint8_t* b, const uint8_t* b_end) {
+  JoinResult result;
+  while (a != a_end && b != b_end) {
+    Rank ra = RankAt(a);
+    Rank rb = RankAt(b);
+    if (ra == rb) {
+      Accumulate(result, LoadBits(a), LoadBits(b));
+      a += kEntry;
+      b += kEntry;
+    } else if (ra < rb) {
+      a = SkipBelow(a + kEntry, a_end, rb);
+    } else {
+      b = SkipBelow(b + kEntry, b_end, ra);
+    }
+  }
+  return result;
+}
+
+// Skewed-length path: walk the short run, gallop the long one.
+JoinResult JoinPackedSkewed(const uint8_t* s, const uint8_t* s_end,
+                            const uint8_t* l, const uint8_t* l_end) {
+  JoinResult result;
+  for (; s != s_end && l != l_end; s += kEntry) {
+    uint64_t s_bits = LoadBits(s);
+    Rank rs = static_cast<Rank>(s_bits >> kRankShift);
+    l = GallopTo(l, l_end, rs);
+    if (l == l_end) break;
+    uint64_t l_bits = LoadBits(l);
+    if (static_cast<Rank>(l_bits >> kRankShift) != rs) continue;
+    Accumulate(result, s_bits, l_bits);
+    l += kEntry;
+  }
+  return result;
+}
+
+// Kernel dispatch by run-length skew (cutoffs measured by
+// bench_micro_kernels; see the header). The join is symmetric (dist sums
+// and count products commute), so the shorter run always drives.
+JoinResult JoinPacked(const uint8_t* a, size_t na, const uint8_t* b,
+                      size_t nb) {
+  if (na > nb) {
+    std::swap(a, b);
+    std::swap(na, nb);
+  }
+  if (na == 0) return {};
+  if (nb >= LabelArena::kGallopMinLongerRun) {
+    size_t skew = nb / na;
+    if (skew >= LabelArena::kGallopSkewRatio) {
+      return JoinPackedSkewed(a, a + na * kEntry, b, b + nb * kEntry);
+    }
+    if (skew >= LabelArena::kSimdSkewRatio) {
+      return JoinPackedMerge(a, a + na * kEntry, b, b + nb * kEntry);
+    }
+  }
+  return JoinPackedLinear(a, a + na * kEntry, b, b + nb * kEntry);
 }
 
 // The same merge over decoding cursors (either side may be varint).
@@ -167,8 +347,21 @@ JoinResult JoinCursors(LabelArena::Cursor out, LabelArena::Cursor in) {
 JoinResult LabelArena::Join(const LabelArena& out_arena, Vertex s,
                             const LabelArena& in_arena, Vertex t) {
   if (out_arena.packed() && in_arena.packed()) {
-    return JoinPacked(out_arena.PackedBegin(s), out_arena.PackedEnd(s),
-                      in_arena.PackedBegin(t), in_arena.PackedEnd(t));
+    return JoinPacked(out_arena.PackedRunBegin(s),
+                      out_arena.offsets_[s + 1] - out_arena.offsets_[s],
+                      in_arena.PackedRunBegin(t),
+                      in_arena.offsets_[t + 1] - in_arena.offsets_[t]);
+  }
+  return JoinCursors(out_arena.RunCursor(s), in_arena.RunCursor(t));
+}
+
+JoinResult LabelArena::JoinLinear(const LabelArena& out_arena, Vertex s,
+                                  const LabelArena& in_arena, Vertex t) {
+  if (out_arena.packed() && in_arena.packed()) {
+    return JoinPackedLinear(out_arena.PackedRunBegin(s),
+                            out_arena.PackedRunBegin(s + 1),
+                            in_arena.PackedRunBegin(t),
+                            in_arena.PackedRunBegin(t + 1));
   }
   return JoinCursors(out_arena.RunCursor(s), in_arena.RunCursor(t));
 }
@@ -176,18 +369,22 @@ JoinResult LabelArena::Join(const LabelArena& out_arena, Vertex s,
 std::optional<std::pair<Dist, Count>> LabelArena::FindHub(
     Vertex v, Rank hub_rank) const {
   if (packed()) {
-    const LabelEntry* lo = PackedBegin(v);
-    const LabelEntry* end = PackedEnd(v);
-    const LabelEntry* hi = end;
+    const uint8_t* base = PackedRunBegin(v);
+    size_t n = offsets_[v + 1] - offsets_[v];
+    size_t lo = 0;
+    size_t hi = n;
     while (lo < hi) {
-      const LabelEntry* mid = lo + (hi - lo) / 2;
-      if (mid->hub() < hub_rank) {
+      size_t mid = lo + (hi - lo) / 2;
+      if (RankAt(base + mid * kEntry) < hub_rank) {
         lo = mid + 1;
       } else {
         hi = mid;
       }
     }
-    if (lo < end && lo->hub() == hub_rank) return {{lo->dist(), lo->count()}};
+    if (lo < n) {
+      LabelEntry e = LoadPackedEntry(base + lo * kEntry);
+      if (e.hub() == hub_rank) return {{e.dist(), e.count()}};
+    }
     return std::nullopt;
   }
   for (Cursor c = RunCursor(v); c.Next();) {
@@ -198,12 +395,48 @@ std::optional<std::pair<Dist, Count>> LabelArena::FindHub(
   return std::nullopt;
 }
 
-uint64_t LabelArena::SizeBytes() const {
-  return packed() ? entries_.size() * sizeof(LabelEntry) : bytes_.size();
-}
-
-uint64_t LabelArena::MemoryBytes() const {
-  return SizeBytes() + offsets_.size() * sizeof(uint64_t);
+void LabelArena::Slice(const std::function<bool(Vertex)>& keep) {
+  Vertex n = num_vertices();
+  if (n == 0) return;
+  const uint8_t* payload = payload_data();
+  const size_t unit = packed() ? kEntry : 1;
+  // Pass 1: the new run boundaries (one keep() call per vertex; varint
+  // runs also need a decode to recount entries).
+  std::vector<uint64_t> new_offsets(static_cast<size_t>(n) + 1, 0);
+  uint64_t kept_entries = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    uint64_t run = keep(v) ? offsets_[v + 1] - offsets_[v] : 0;
+    new_offsets[v + 1] = new_offsets[v] + run;
+    if (run > 0) kept_entries += packed() ? run : RunSize(v);
+  }
+  // Pass 2: copy the kept runs into fresh owned storage. The source may be
+  // an unaligned mapping view, so packed entries move by memcpy only —
+  // never through LabelEntry lvalues (the file-wide unaligned-load rule).
+  std::vector<LabelEntry> kept_words;
+  std::vector<uint8_t> kept_bytes;
+  if (packed()) {
+    kept_words.resize(new_offsets[n]);
+  } else {
+    kept_bytes.reserve(new_offsets[n]);
+  }
+  uint64_t written = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    uint64_t run = new_offsets[v + 1] - new_offsets[v];
+    if (run == 0) continue;
+    const uint8_t* src = payload + offsets_[v] * unit;
+    if (packed()) {
+      std::memcpy(kept_words.data() + written, src, run * kEntry);
+      written += run;
+    } else {
+      kept_bytes.insert(kept_bytes.end(), src, src + run);
+    }
+  }
+  offsets_ = std::move(new_offsets);
+  entries_ = std::move(kept_words);
+  bytes_ = std::move(kept_bytes);
+  view_payload_ = nullptr;
+  external_.reset();
+  total_entries_ = kept_entries;
 }
 
 void LabelArena::AppendTo(std::string& out) const {
@@ -217,40 +450,34 @@ void LabelArena::AppendTo(std::string& out) const {
     AppendVarint(varints, offsets_[v + 1] - offsets_[v]);
   }
   out.append(reinterpret_cast<const char*>(varints.data()), varints.size());
-  if (packed()) {
-    for (const LabelEntry& e : entries_) {
-      uint64_t bits = e.bits();
-      char ebuf[8];
-      std::memcpy(ebuf, &bits, 8);
-      out.append(ebuf, 8);
-    }
-  } else {
-    out.append(reinterpret_cast<const char*>(bytes_.data()), bytes_.size());
+  uint64_t payload_size = SizeBytes();
+  if (payload_size > 0) {
+    out.append(reinterpret_cast<const char*>(payload_data()), payload_size);
   }
 }
 
-std::optional<LabelArena> LabelArena::Parse(const std::string& bytes,
-                                            size_t& pos) {
-  if (pos + 5 > bytes.size()) return std::nullopt;
-  auto enc = static_cast<uint8_t>(bytes[pos++]);
+std::optional<LabelArena> LabelArena::ParseImpl(
+    const uint8_t* data, size_t size, size_t& pos, bool view,
+    std::shared_ptr<const void> keep_alive) {
+  if (size < pos || size - pos < 5) return std::nullopt;
+  uint8_t enc = data[pos++];
   if (enc > static_cast<uint8_t>(ArenaEncoding::kVarint)) return std::nullopt;
   uint32_t n;
-  std::memcpy(&n, bytes.data() + pos, 4);
+  std::memcpy(&n, data + pos, 4);
   pos += 4;
   // Each vertex contributes at least one run-length byte, so a count the
   // remaining buffer cannot describe is malformed — reject before sizing
   // the offsets table from attacker-controlled input.
-  if (n > bytes.size() - pos) return std::nullopt;
+  if (n > size - pos) return std::nullopt;
   LabelArena arena;
   arena.encoding_ = static_cast<ArenaEncoding>(enc);
   arena.offsets_.assign(static_cast<size_t>(n) + 1, 0);
-  const auto* data = reinterpret_cast<const uint8_t*>(bytes.data());
   for (uint32_t v = 0; v < n; ++v) {
     // Bounded varint decode: never read past the buffer.
     uint64_t run = 0;
     int shift = 0;
     for (;;) {
-      if (pos >= bytes.size() || shift > 63) return std::nullopt;
+      if (pos >= size || shift > 63) return std::nullopt;
       uint8_t byte = data[pos++];
       run |= static_cast<uint64_t>(byte & 0x7f) << shift;
       if ((byte & 0x80) == 0) break;
@@ -258,28 +485,38 @@ std::optional<LabelArena> LabelArena::Parse(const std::string& bytes,
     }
     // No run (and hence no offset sum) can exceed what the buffer could
     // possibly hold; rejecting here keeps the arithmetic below overflow-free.
-    if (run > bytes.size() || arena.offsets_[v] + run > bytes.size()) {
+    if (run > size || arena.offsets_[v] + run > size) {
       return std::nullopt;
     }
     arena.offsets_[v + 1] = arena.offsets_[v] + run;
   }
   uint64_t payload = arena.offsets_[n];
   if (arena.packed()) {
-    if (payload > (bytes.size() - pos) / 8) return std::nullopt;
-    arena.entries_.resize(payload);
-    for (uint64_t i = 0; i < payload; ++i) {
-      uint64_t bits;
-      std::memcpy(&bits, bytes.data() + pos, 8);
-      pos += 8;
-      arena.entries_[i] = LabelEntry::FromBits(bits);
+    if (payload > (size - pos) / sizeof(LabelEntry)) return std::nullopt;
+    if (view) {
+      arena.view_payload_ = data + pos;
+      arena.external_ = std::move(keep_alive);
+    } else {
+      arena.entries_.resize(payload);
+      if (payload > 0) {
+        std::memcpy(arena.entries_.data(), data + pos,
+                    payload * sizeof(LabelEntry));
+      }
     }
+    pos += payload * sizeof(LabelEntry);
     arena.total_entries_ = payload;
   } else {
-    if (payload > bytes.size() - pos) return std::nullopt;
-    arena.bytes_.assign(data + pos, data + pos + payload);
+    if (payload > size - pos) return std::nullopt;
+    const uint8_t* stream = data + pos;
+    if (view) {
+      arena.view_payload_ = stream;
+      arena.external_ = std::move(keep_alive);
+    } else {
+      arena.bytes_.assign(stream, stream + payload);
+    }
     pos += payload;
-    // Recount entries by decoding; also validates the streams terminate on
-    // their run boundaries.
+    // Count entries by decoding; also validates the streams terminate on
+    // their run boundaries (so a view never walks past a run mid-triple).
     for (uint32_t v = 0; v < n; ++v) {
       size_t p = arena.offsets_[v];
       const size_t end = arena.offsets_[v + 1];
@@ -288,7 +525,7 @@ std::optional<LabelArena> LabelArena::Parse(const std::string& bytes,
           int shift = 0;
           for (;;) {
             if (p >= end || shift > 63) return std::nullopt;
-            uint8_t byte = arena.bytes_[p++];
+            uint8_t byte = stream[p++];
             if ((byte & 0x80) == 0) break;
             shift += 7;
           }
@@ -299,6 +536,23 @@ std::optional<LabelArena> LabelArena::Parse(const std::string& bytes,
     }
   }
   return arena;
+}
+
+std::optional<LabelArena> LabelArena::Parse(const std::string& bytes,
+                                            size_t& pos) {
+  return ParseImpl(reinterpret_cast<const uint8_t*>(bytes.data()),
+                   bytes.size(), pos, /*view=*/false, nullptr);
+}
+
+std::optional<LabelArena> LabelArena::Parse(const uint8_t* data, size_t size,
+                                            size_t& pos) {
+  return ParseImpl(data, size, pos, /*view=*/false, nullptr);
+}
+
+std::optional<LabelArena> LabelArena::ParseView(
+    const uint8_t* data, size_t size, size_t& pos,
+    std::shared_ptr<const void> keep_alive) {
+  return ParseImpl(data, size, pos, /*view=*/true, std::move(keep_alive));
 }
 
 }  // namespace csc

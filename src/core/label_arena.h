@@ -2,7 +2,9 @@
 #define CSC_CORE_LABEL_ARENA_H_
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -28,11 +30,20 @@ enum class ArenaEncoding : uint8_t {
 /// A flat, read-only label store: the label sets of all vertices laid out in
 /// one arena with CSR-style offsets. This is the shared storage layer under
 /// every flat serving-tier index form; building one is a single pass over
-/// per-vertex LabelSets, and querying is a linear merge of two runs.
+/// per-vertex LabelSets, and querying is a merge of two runs.
 ///
 /// Entries within a run are sorted by hub rank (inherited from LabelSet's
-/// invariant), which both the merge join and the varint delta encoding rely
-/// on.
+/// invariant), which the merge join, the galloping skip path, and the varint
+/// delta encoding all rely on.
+///
+/// Storage is accessed through a payload view that points either at vectors
+/// the arena owns (Build / Parse) or at an externally owned buffer — e.g. a
+/// read-only file mapping (ParseView). View-backed arenas keep the mapping
+/// alive through a shared handle, so copies and the engines serving them
+/// stay valid for as long as any of them exists. The external buffer has no
+/// alignment guarantee, so packed entries are always decoded through
+/// unaligned 8-byte loads (LoadPackedEntry); compilers lower these to single
+/// mov/ldur instructions.
 class LabelArena {
  public:
   LabelArena() = default;
@@ -53,13 +64,29 @@ class LabelArena {
   uint64_t RunSize(Vertex v) const;  // entries in v's run
   ArenaEncoding encoding() const { return encoding_; }
   bool packed() const { return encoding_ == ArenaEncoding::kPacked; }
+  /// True when the payload lives in an externally owned buffer (ParseView).
+  bool is_view() const { return view_payload_ != nullptr; }
 
-  /// Direct run access, packed encoding only (undefined for kVarint).
-  const LabelEntry* PackedBegin(Vertex v) const {
-    return entries_.data() + offsets_[v];
+  /// The raw payload: packed entry words or varint bytes, wherever they
+  /// live. Never null for a built arena; may be unaligned when viewing a
+  /// mapping.
+  const uint8_t* payload_data() const {
+    if (view_payload_ != nullptr) return view_payload_;
+    return packed() ? reinterpret_cast<const uint8_t*>(entries_.data())
+                    : bytes_.data();
   }
-  const LabelEntry* PackedEnd(Vertex v) const {
-    return entries_.data() + offsets_[v + 1];
+
+  /// Decodes the packed entry word at `p` (unaligned-safe).
+  static LabelEntry LoadPackedEntry(const uint8_t* p) {
+    uint64_t bits;
+    std::memcpy(&bits, p, sizeof(bits));
+    return LabelEntry::FromBits(bits);
+  }
+
+  /// Start of run `v`'s packed payload, 8 bytes per entry (packed encoding
+  /// only; decode through LoadPackedEntry or RunCursor).
+  const uint8_t* PackedRunBegin(Vertex v) const {
+    return payload_data() + offsets_[v] * sizeof(LabelEntry);
   }
 
   /// A decoding cursor over one vertex's run, valid for either encoding.
@@ -73,9 +100,10 @@ class LabelArena {
 
    private:
     friend class LabelArena;
-    // Packed state.
-    const LabelEntry* p_ = nullptr;
-    const LabelEntry* end_ = nullptr;
+    // Packed state: byte pointers with 8-byte stride (the payload may live
+    // in an unaligned mapping).
+    const uint8_t* p_ = nullptr;
+    const uint8_t* end_ = nullptr;
     // Varint state.
     const uint8_t* data_ = nullptr;
     size_t pos_ = 0;
@@ -93,20 +121,59 @@ class LabelArena {
 
   /// 2-hop join: min over common hubs of dist(s->h) + dist(h->t) with the
   /// multiplicity at the minimum, between run `s` of `out_arena` and run `t`
-  /// of `in_arena`. Takes the pointer-merge fast path when both arenas are
-  /// packed.
+  /// of `in_arena`. When both arenas are packed the kernel is picked by
+  /// run-length skew: near-balanced runs take the plain linear merge
+  /// (densely interleaved advances are 1-2 entries, skipping machinery only
+  /// costs there), moderately skewed runs a merge whose advances skip four
+  /// ranks at a time with SIMD compares, and badly skewed runs gallop
+  /// (exponential probe + binary search) over the long side.
   static JoinResult Join(const LabelArena& out_arena, Vertex s,
                          const LabelArena& in_arena, Vertex t);
+
+  /// The reference linear merge over the same runs — the pre-optimization
+  /// kernel, kept as the conformance oracle and the microbenchmark baseline.
+  static JoinResult JoinLinear(const LabelArena& out_arena, Vertex s,
+                               const LabelArena& in_arena, Vertex t);
+
+  /// Kernel-dispatch cutoffs, chosen by bench_micro_kernels' ArenaJoin skew
+  /// matrix (see README "Storage layout"): the SIMD-skip merge starts
+  /// beating the linear merge once the longer run is ~8x the shorter
+  /// (1.4-1.8x there), and galloping overtakes it from ~32x (up to ~17x at
+  /// 256x skew). Short runs never leave the linear merge — skip setup
+  /// costs more than it saves under kGallopMinLongerRun entries.
+  static constexpr size_t kSimdSkewRatio = 8;
+  static constexpr size_t kGallopSkewRatio = 32;
+  static constexpr size_t kGallopMinLongerRun = 64;
 
   /// Locates hub `hub_rank` in run `v`: (dist, count) or nullopt. Binary
   /// search for packed runs, linear decode for varint runs.
   std::optional<std::pair<Dist, Count>> FindHub(Vertex v, Rank hub_rank) const;
 
+  /// Rebuilds the arena so only the runs selected by `keep` remain; every
+  /// other run becomes empty while the vertex space stays [0, n). The
+  /// result always owns its payload (slicing a view materializes just the
+  /// kept runs). The sharded serving tier uses this to cut each shard's
+  /// resident labels to its owned vertices.
+  void Slice(const std::function<bool(Vertex)>& keep);
+
   /// Payload bytes only — 8 per entry when packed, the actual byte-stream
   /// size when varint (the paper's Figure 9(b) accounting).
-  uint64_t SizeBytes() const;
-  /// Payload plus offsets: the true resident footprint.
-  uint64_t MemoryBytes() const;
+  uint64_t SizeBytes() const {
+    if (offsets_.empty()) return 0;
+    return packed() ? offsets_.back() * sizeof(LabelEntry) : offsets_.back();
+  }
+  /// Payload plus offsets: the true resident footprint. A view-backed
+  /// arena's payload is file-backed and shared across every arena viewing
+  /// the same mapping, but is still counted here (it occupies page cache
+  /// once resident); OwnedBytes excludes it.
+  uint64_t MemoryBytes() const {
+    return SizeBytes() + offsets_.size() * sizeof(uint64_t);
+  }
+  /// Heap bytes this arena owns itself (offsets always; payload unless the
+  /// arena views an external mapping).
+  uint64_t OwnedBytes() const {
+    return offsets_.size() * sizeof(uint64_t) + (is_view() ? 0 : SizeBytes());
+  }
   double BytesPerEntry() const {
     return total_entries_ == 0 ? 0.0
                                : static_cast<double>(SizeBytes()) /
@@ -120,18 +187,50 @@ class LabelArena {
   /// this library targets; matches the CompactIndex wire format).
   void AppendTo(std::string& out) const;
   /// Parses one serialized arena from `bytes` starting at `pos`, advancing
-  /// `pos` past it. nullopt on malformed input (pos then unspecified).
+  /// `pos` past it; the result owns its payload. nullopt on malformed input
+  /// (pos then unspecified).
   static std::optional<LabelArena> Parse(const std::string& bytes, size_t& pos);
+  static std::optional<LabelArena> Parse(const uint8_t* data, size_t size,
+                                         size_t& pos);
 
-  friend bool operator==(const LabelArena&, const LabelArena&) = default;
+  /// As Parse, but the payload stays in `[data, data + size)` and the arena
+  /// only records a view into it — the zero-copy load path for read-only
+  /// file mappings. Validation is identical to Parse (offsets bounds, and a
+  /// full varint-stream walk for kVarint, which also counts entries), so a
+  /// truncated or corrupt mapping is rejected the same way. `keep_alive` is
+  /// retained for the life of the arena and every copy of it; pass the
+  /// mapping handle.
+  static std::optional<LabelArena> ParseView(
+      const uint8_t* data, size_t size, size_t& pos,
+      std::shared_ptr<const void> keep_alive);
+
+  /// Logical equality: encoding, run boundaries, and payload bytes — where
+  /// the payload lives (owned or viewed) does not matter.
+  friend bool operator==(const LabelArena& a, const LabelArena& b) {
+    if (a.encoding_ != b.encoding_ || a.offsets_ != b.offsets_) return false;
+    uint64_t size = a.SizeBytes();
+    if (size != b.SizeBytes()) return false;
+    return size == 0 ||
+           std::memcmp(a.payload_data(), b.payload_data(), size) == 0;
+  }
 
  private:
+  static std::optional<LabelArena> ParseImpl(
+      const uint8_t* data, size_t size, size_t& pos, bool view,
+      std::shared_ptr<const void> keep_alive);
+
   ArenaEncoding encoding_ = ArenaEncoding::kPacked;
-  // offsets_[v] .. offsets_[v+1]: entry indexes into entries_ (packed) or
-  // byte indexes into bytes_ (varint). Size n+1 once built, empty before.
+  // offsets_[v] .. offsets_[v+1]: entry indexes into the packed payload or
+  // byte indexes into the varint payload. Size n+1 once built, empty
+  // before. Always materialized (owned) — the wire format stores varint run
+  // lengths, so a view load reconstructs these in one pass.
   std::vector<uint64_t> offsets_;
-  std::vector<LabelEntry> entries_;  // packed payload
-  std::vector<uint8_t> bytes_;       // varint payload
+  std::vector<LabelEntry> entries_;  // owned packed payload
+  std::vector<uint8_t> bytes_;       // owned varint payload
+  // When non-null, the payload lives in an external buffer (file mapping)
+  // and the vectors above stay empty; external_ keeps the buffer alive.
+  const uint8_t* view_payload_ = nullptr;
+  std::shared_ptr<const void> external_;
   uint64_t total_entries_ = 0;
 };
 

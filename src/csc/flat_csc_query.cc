@@ -66,32 +66,62 @@ std::string SerializeFlat(const char magic[4], const LabelArena& in_arena,
   return out;
 }
 
-std::optional<FlatParts> DeserializeFlat(const char magic[4],
-                                         const std::string& bytes) {
-  if (bytes.size() < 4 || std::memcmp(bytes.data(), magic, 4) != 0) {
-    return std::nullopt;
+namespace {
+
+// Decodes the trailing couple-rank vector: one bulk memcpy of the 4n-byte
+// block, then a single validation pass (couple ranks index the 2n bipartite
+// ranks). Shared by the copying and mmap-view load paths.
+bool ParseCoupleRanks(const uint8_t* p, Vertex n, std::vector<Rank>& out) {
+  out.resize(n);
+  if (n > 0) {
+    std::memcpy(out.data(), p, sizeof(Rank) * static_cast<size_t>(n));
   }
+  for (Vertex v = 0; v < n; ++v) {
+    if (out[v] >= 2ull * n) return false;
+  }
+  return true;
+}
+
+std::optional<FlatParts> DeserializeImpl(
+    const char magic[4], const uint8_t* data, size_t size, bool view,
+    std::shared_ptr<const void> keep_alive) {
+  if (size < 4 || std::memcmp(data, magic, 4) != 0) return std::nullopt;
   size_t pos = 4;
-  auto in_arena = LabelArena::Parse(bytes, pos);
+  auto in_arena = view ? LabelArena::ParseView(data, size, pos, keep_alive)
+                       : LabelArena::Parse(data, size, pos);
   if (!in_arena) return std::nullopt;
-  auto out_arena = LabelArena::Parse(bytes, pos);
+  auto out_arena =
+      view ? LabelArena::ParseView(data, size, pos, std::move(keep_alive))
+           : LabelArena::Parse(data, size, pos);
   if (!out_arena) return std::nullopt;
   const Vertex n = in_arena->num_vertices();
   if (out_arena->num_vertices() != n) return std::nullopt;
-  if (pos + 4ull * n != bytes.size()) return std::nullopt;
+  if (pos + sizeof(Rank) * static_cast<uint64_t>(n) != size) {
+    return std::nullopt;
+  }
   FlatParts parts;
   parts.in = std::move(*in_arena);
   parts.out = std::move(*out_arena);
-  parts.in_vertex_rank.resize(n);
-  for (Vertex v = 0; v < n; ++v) {
-    Rank r;
-    std::memcpy(&r, bytes.data() + pos, 4);
-    pos += 4;
-    // Couple ranks index the 2n bipartite ranks.
-    if (r >= 2ull * n) return std::nullopt;
-    parts.in_vertex_rank[v] = r;
+  if (!ParseCoupleRanks(data + pos, n, parts.in_vertex_rank)) {
+    return std::nullopt;
   }
   return parts;
+}
+
+}  // namespace
+
+std::optional<FlatParts> DeserializeFlat(const char magic[4],
+                                         const std::string& bytes) {
+  return DeserializeImpl(magic,
+                         reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size(), /*view=*/false, nullptr);
+}
+
+std::optional<FlatParts> DeserializeFlatView(
+    const char magic[4], const uint8_t* data, size_t size,
+    std::shared_ptr<const void> keep_alive) {
+  return DeserializeImpl(magic, data, size, /*view=*/true,
+                         std::move(keep_alive));
 }
 
 }  // namespace flat

@@ -1,6 +1,8 @@
 #ifndef CSC_CSC_FLAT_CSC_QUERY_H_
 #define CSC_CSC_FLAT_CSC_QUERY_H_
 
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -51,6 +53,14 @@ struct FlatParts {
 /// (matching vertex counts). nullopt on malformed input.
 std::optional<FlatParts> DeserializeFlat(const char magic[4],
                                          const std::string& bytes);
+
+/// As DeserializeFlat, but over an externally owned buffer (a verified file
+/// mapping): the arenas become zero-copy views into `[data, data + size)`
+/// kept alive by `keep_alive`; only the couple-rank vector (4 bytes/vertex)
+/// is materialized — with one bulk memcpy and a single validation pass.
+std::optional<FlatParts> DeserializeFlatView(
+    const char magic[4], const uint8_t* data, size_t size,
+    std::shared_ptr<const void> keep_alive);
 
 }  // namespace flat
 }  // namespace csc

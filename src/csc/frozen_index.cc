@@ -46,4 +46,24 @@ std::optional<FrozenIndex> FrozenIndex::Deserialize(const std::string& bytes) {
   return frozen;
 }
 
+std::optional<FrozenIndex> FrozenIndex::FromView(
+    const uint8_t* data, size_t size, std::shared_ptr<const void> keep_alive) {
+  auto parts =
+      flat::DeserializeFlatView(kFrozenMagic, data, size, std::move(keep_alive));
+  if (!parts || parts->in.encoding() != ArenaEncoding::kPacked ||
+      parts->out.encoding() != ArenaEncoding::kPacked) {
+    return std::nullopt;
+  }
+  FrozenIndex frozen;
+  frozen.in_ = std::move(parts->in);
+  frozen.out_ = std::move(parts->out);
+  frozen.in_vertex_rank_ = std::move(parts->in_vertex_rank);
+  return frozen;
+}
+
+void FrozenIndex::SliceTo(const std::function<bool(Vertex)>& keep) {
+  in_.Slice(keep);
+  out_.Slice(keep);
+}
+
 }  // namespace csc

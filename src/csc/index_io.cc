@@ -1,9 +1,18 @@
 #include "csc/index_io.h"
 
 #include <cstring>
+#include <utility>
 
 #include "util/checksum.h"
 #include "util/env.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CSC_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 namespace csc {
 
@@ -60,6 +69,34 @@ IndexLoadResult Fail(std::string message) {
 
 }  // namespace
 
+std::optional<std::pair<const uint8_t*, size_t>> VerifyEnvelope(
+    const uint8_t* data, size_t size, std::string* error) {
+  if (size < kHeaderSize + kFooterSize) {
+    if (error) *error = "file too small to hold an index header";
+    return std::nullopt;
+  }
+  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    if (error) *error = "bad magic (not a CSC index file)";
+    return std::nullopt;
+  }
+  uint64_t payload_size =
+      ReadU64(reinterpret_cast<const char*>(data) + sizeof(kMagic));
+  if (size != kHeaderSize + payload_size + kFooterSize) {
+    if (error) *error = "truncated or oversized payload";
+    return std::nullopt;
+  }
+  const uint8_t* payload = data + kHeaderSize;
+  uint32_t stored_crc =
+      ReadU32(reinterpret_cast<const char*>(payload) + payload_size);
+  uint32_t actual_crc =
+      Crc32c(reinterpret_cast<const char*>(payload), payload_size);
+  if (stored_crc != actual_crc) {
+    if (error) *error = "checksum mismatch (corrupted index file)";
+    return std::nullopt;
+  }
+  return {{payload, static_cast<size_t>(payload_size)}};
+}
+
 std::optional<std::string> ReadVerifiedPayload(const std::string& path,
                                                std::string* error) {
   std::optional<std::string> file = ReadFileToString(path);
@@ -67,27 +104,86 @@ std::optional<std::string> ReadVerifiedPayload(const std::string& path,
     if (error) *error = "cannot read file: " + path;
     return std::nullopt;
   }
-  if (file->size() < kHeaderSize + kFooterSize) {
-    if (error) *error = "file too small to hold an index header";
-    return std::nullopt;
+  auto payload = VerifyEnvelope(
+      reinterpret_cast<const uint8_t*>(file->data()), file->size(), error);
+  if (!payload) return std::nullopt;
+  return std::string(reinterpret_cast<const char*>(payload->first),
+                     payload->second);
+}
+
+std::shared_ptr<IndexFile> IndexFile::Open(const std::string& path,
+                                           std::string* error) {
+  // shared_ptr with custom deletion via the destructor; the constructor is
+  // private so Open is the only way in.
+  std::shared_ptr<IndexFile> file(new IndexFile());
+  const uint8_t* data = nullptr;
+  size_t size = 0;
+#if defined(CSC_HAVE_MMAP)
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st;
+    if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+      void* base = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
+                          MAP_PRIVATE, fd, 0);
+      if (base != MAP_FAILED) {
+        file->map_base_ = base;
+        file->map_size_ = static_cast<size_t>(st.st_size);
+        data = static_cast<const uint8_t*>(base);
+        size = file->map_size_;
+      }
+    }
+    ::close(fd);  // the mapping survives the descriptor
   }
-  if (std::memcmp(file->data(), kMagic, sizeof(kMagic)) != 0) {
-    if (error) *error = "bad magic (not a CSC index file)";
-    return std::nullopt;
+#endif
+  if (data == nullptr) {
+    // Heap fallback: same verified-view API, one copy of the file.
+    std::optional<std::string> bytes = ReadFileToString(path);
+    if (!bytes) {
+      if (error) *error = "cannot read file: " + path;
+      return nullptr;
+    }
+    file->heap_ = std::move(*bytes);
+    data = reinterpret_cast<const uint8_t*>(file->heap_.data());
+    size = file->heap_.size();
   }
-  uint64_t payload_size = ReadU64(file->data() + sizeof(kMagic));
-  if (file->size() != kHeaderSize + payload_size + kFooterSize) {
-    if (error) *error = "truncated or oversized payload";
-    return std::nullopt;
+  auto payload = VerifyEnvelope(data, size, error);
+  if (!payload) return nullptr;
+  file->payload_ = payload->first;
+  file->payload_size_ = payload->second;
+  return file;
+}
+
+IndexFile::~IndexFile() {
+#if defined(CSC_HAVE_MMAP)
+  if (map_base_ != nullptr) ::munmap(map_base_, map_size_);
+#endif
+}
+
+BackendLoadResult LoadBackendFromMapping(const std::shared_ptr<IndexFile>& file,
+                                         const std::string& backend_name) {
+  BackendLoadResult result;
+  if (!file) {
+    result.error = "no mapping";
+    return result;
   }
-  const char* payload = file->data() + kHeaderSize;
-  uint32_t stored_crc = ReadU32(payload + payload_size);
-  uint32_t actual_crc = Crc32c(payload, payload_size);
-  if (stored_crc != actual_crc) {
-    if (error) *error = "checksum mismatch (corrupted index file)";
-    return std::nullopt;
+  if (IsShardedPayload(file->payload(), file->payload_size())) {
+    result.error =
+        "multi-shard bundle (serve it through ShardedEngine::LoadFromFile)";
+    return result;
   }
-  return std::string(payload, payload_size);
+  std::unique_ptr<CycleIndex> backend = MakeBackend(backend_name);
+  if (!backend) {
+    result.error = "unknown backend: " + backend_name;
+    return result;
+  }
+  if (!backend->LoadView(file->payload(), file->payload_size(), file)) {
+    result.error = "backend '" + backend_name +
+                   "' cannot load this payload (incompatible format or "
+                   "backend has no load path)";
+    return result;
+  }
+  result.index = std::move(backend);
+  return result;
 }
 
 bool SaveIndexToFile(const CompactIndex& index, const std::string& path) {
@@ -119,12 +215,6 @@ namespace {
 
 constexpr char kShardedMagic[8] = {'C', 'S', 'C', 'S', 'H', 'R', 'D', '1'};
 
-std::optional<ShardedPayload> ShardedFail(std::string message,
-                                          std::string* error) {
-  if (error) *error = std::move(message);
-  return std::nullopt;
-}
-
 }  // namespace
 
 std::string WrapShardedPayload(const std::vector<std::string>& shard_payloads,
@@ -147,60 +237,83 @@ std::string WrapShardedPayload(const std::vector<std::string>& shard_payloads,
 }
 
 bool IsShardedPayload(const std::string& payload) {
-  return payload.size() >= sizeof(kShardedMagic) &&
-         std::memcmp(payload.data(), kShardedMagic, sizeof(kShardedMagic)) == 0;
+  return IsShardedPayload(reinterpret_cast<const uint8_t*>(payload.data()),
+                          payload.size());
 }
 
-std::optional<ShardedPayload> ParseShardedPayload(const std::string& payload,
-                                                  std::string* error) {
-  if (!IsShardedPayload(payload)) {
-    return ShardedFail("bad magic (not a multi-shard bundle)", error);
+bool IsShardedPayload(const uint8_t* data, size_t size) {
+  return size >= sizeof(kShardedMagic) &&
+         std::memcmp(data, kShardedMagic, sizeof(kShardedMagic)) == 0;
+}
+
+std::optional<ShardedPayloadView> ParseShardedPayloadView(const uint8_t* data,
+                                                          size_t size,
+                                                          std::string* error) {
+  auto fail = [error](std::string message) -> std::optional<ShardedPayloadView> {
+    if (error) *error = std::move(message);
+    return std::nullopt;
+  };
+  if (!IsShardedPayload(data, size)) {
+    return fail("bad magic (not a multi-shard bundle)");
   }
   size_t pos = sizeof(kShardedMagic);
-  if (payload.size() < pos + 2 * sizeof(uint32_t)) {
-    return ShardedFail("bundle too small to hold a shard header", error);
+  if (size < pos + 2 * sizeof(uint32_t)) {
+    return fail("bundle too small to hold a shard header");
   }
-  uint32_t shard_count = ReadU32(payload.data() + pos);
+  const char* chars = reinterpret_cast<const char*>(data);
+  uint32_t shard_count = ReadU32(chars + pos);
   pos += sizeof(uint32_t);
-  ShardedPayload result;
-  result.num_vertices = ReadU32(payload.data() + pos);
+  ShardedPayloadView result;
+  result.num_vertices = ReadU32(chars + pos);
   pos += sizeof(uint32_t);
   if (shard_count == 0) {
-    return ShardedFail("bundle declares zero shards", error);
+    return fail("bundle declares zero shards");
   }
   // Each shard record costs at least its size field plus CRC; a declared
   // count beyond what the payload could hold is corrupt — reject before
   // reserving (a crafted count must not become a giant allocation).
   constexpr size_t kMinShardRecord = sizeof(uint64_t) + sizeof(uint32_t);
-  if (shard_count > (payload.size() - pos) / kMinShardRecord) {
-    return ShardedFail("bundle declares more shards than it could hold",
-                       error);
+  if (shard_count > (size - pos) / kMinShardRecord) {
+    return fail("bundle declares more shards than it could hold");
   }
   result.shards.reserve(shard_count);
   for (uint32_t s = 0; s < shard_count; ++s) {
-    if (payload.size() - pos < sizeof(uint64_t)) {
-      return ShardedFail("truncated shard size field", error);
+    if (size - pos < sizeof(uint64_t)) {
+      return fail("truncated shard size field");
     }
-    uint64_t size = ReadU64(payload.data() + pos);
+    uint64_t shard_size = ReadU64(chars + pos);
     pos += sizeof(uint64_t);
-    if (payload.size() - pos < size ||
-        payload.size() - pos - size < sizeof(uint32_t)) {
-      return ShardedFail("truncated shard payload", error);
+    if (size - pos < shard_size ||
+        size - pos - shard_size < sizeof(uint32_t)) {
+      return fail("truncated shard payload");
     }
-    const char* bytes = payload.data() + pos;
-    pos += size;
-    uint32_t stored_crc = ReadU32(payload.data() + pos);
+    const uint8_t* bytes = data + pos;
+    pos += shard_size;
+    uint32_t stored_crc = ReadU32(chars + pos);
     pos += sizeof(uint32_t);
-    if (stored_crc != Crc32c(bytes, size)) {
-      return ShardedFail(
-          "checksum mismatch in shard " + std::to_string(s) +
-              " (corrupted bundle)",
-          error);
+    if (stored_crc != Crc32c(reinterpret_cast<const char*>(bytes),
+                             shard_size)) {
+      return fail("checksum mismatch in shard " + std::to_string(s) +
+                  " (corrupted bundle)");
     }
-    result.shards.emplace_back(bytes, size);
+    result.shards.emplace_back(bytes, static_cast<size_t>(shard_size));
   }
-  if (pos != payload.size()) {
-    return ShardedFail("trailing bytes after the last shard", error);
+  if (pos != size) {
+    return fail("trailing bytes after the last shard");
+  }
+  return result;
+}
+
+std::optional<ShardedPayload> ParseShardedPayload(const std::string& payload,
+                                                  std::string* error) {
+  auto view = ParseShardedPayloadView(
+      reinterpret_cast<const uint8_t*>(payload.data()), payload.size(), error);
+  if (!view) return std::nullopt;
+  ShardedPayload result;
+  result.num_vertices = view->num_vertices;
+  result.shards.reserve(view->shards.size());
+  for (const auto& [bytes, size] : view->shards) {
+    result.shards.emplace_back(reinterpret_cast<const char*>(bytes), size);
   }
   return result;
 }

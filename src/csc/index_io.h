@@ -1,9 +1,11 @@
 #ifndef CSC_CSC_INDEX_IO_H_
 #define CSC_CSC_INDEX_IO_H_
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/cycle_index.h"
@@ -71,6 +73,64 @@ BackendLoadResult LoadBackendFromFile(const std::string& path,
 std::optional<std::string> ReadVerifiedPayload(const std::string& path,
                                                std::string* error);
 
+/// Verifies the file envelope over an in-memory buffer (magic, declared
+/// size, CRC) and returns the payload span inside it; nullopt with `error`
+/// set (when non-null) on any verification failure. ReadVerifiedPayload and
+/// the mmap loader below are both built on this.
+std::optional<std::pair<const uint8_t*, size_t>> VerifyEnvelope(
+    const uint8_t* data, size_t size, std::string* error);
+
+// --- Zero-copy loading: serve a frozen index straight from a mapping. ---
+
+/// A read-only mapping of one checksummed index file, verified at open.
+/// The envelope (magic, declared size, CRC-32C) is checked over the mapped
+/// bytes before any caller sees the payload, exactly like
+/// ReadVerifiedPayload — but the payload is never copied: arena-backed
+/// backends serve their label runs directly out of the file pages. Open it
+/// once and share the handle — any number of engines (e.g. K shard
+/// replicas) can view the same mapping, and the pages are paid for once.
+///
+/// On platforms without mmap (or when mapping fails) the file is read into
+/// a heap buffer instead; the zero-copy view API is unchanged, only
+/// `mapped()` reports the difference.
+class IndexFile {
+ public:
+  /// Maps (or reads) and verifies `path`; nullptr with `error` set (when
+  /// non-null) on I/O or verification failure.
+  static std::shared_ptr<IndexFile> Open(const std::string& path,
+                                         std::string* error = nullptr);
+  ~IndexFile();
+
+  IndexFile(const IndexFile&) = delete;
+  IndexFile& operator=(const IndexFile&) = delete;
+
+  /// The verified payload (the CycleIndex::SaveTo serialization, or a
+  /// multi-shard bundle), inside the mapping.
+  const uint8_t* payload() const { return payload_; }
+  size_t payload_size() const { return payload_size_; }
+
+  /// True when backed by a real file mapping, false on the heap fallback.
+  bool mapped() const { return map_base_ != nullptr; }
+
+ private:
+  IndexFile() = default;
+
+  void* map_base_ = nullptr;  // munmap target (nullptr on heap fallback)
+  size_t map_size_ = 0;
+  std::string heap_;  // fallback storage
+  const uint8_t* payload_ = nullptr;
+  size_t payload_size_ = 0;
+};
+
+/// Creates backend `backend_name` and restores it from `file`'s payload via
+/// the zero-copy view path (CycleIndex::LoadView): flat arena backends keep
+/// their label payloads in the mapping, which stays alive for as long as
+/// the returned index does; other backends copy. The payload must be a
+/// single-index serialization (for multi-shard bundles use
+/// ShardedEngine::LoadFromFile).
+BackendLoadResult LoadBackendFromMapping(const std::shared_ptr<IndexFile>& file,
+                                         const std::string& backend_name);
+
 /// Writes an already-serialized payload inside the standard checksummed
 /// file envelope (the counterpart of ReadVerifiedPayload for callers — like
 /// the sharded serving tier — that produce payload bytes themselves).
@@ -98,6 +158,13 @@ struct ShardedPayload {
   Vertex num_vertices = 0;
 };
 
+/// A parsed multi-shard bundle whose per-shard payloads are spans into the
+/// parsed buffer (no copies) — the mmap serving path's view of a bundle.
+struct ShardedPayloadView {
+  std::vector<std::pair<const uint8_t*, size_t>> shards;
+  Vertex num_vertices = 0;
+};
+
 /// Bundles per-shard payloads into the multi-shard envelope.
 std::string WrapShardedPayload(const std::vector<std::string>& shard_payloads,
                                Vertex num_vertices);
@@ -105,11 +172,19 @@ std::string WrapShardedPayload(const std::vector<std::string>& shard_payloads,
 /// True if `payload` starts with the multi-shard magic (cheap routing test;
 /// does not validate the rest).
 bool IsShardedPayload(const std::string& payload);
+bool IsShardedPayload(const uint8_t* data, size_t size);
 
 /// Parses and CRC-verifies a multi-shard bundle. nullopt with `error` set
 /// (when non-null) on malformed input or a per-shard checksum mismatch.
 std::optional<ShardedPayload> ParseShardedPayload(const std::string& payload,
                                                   std::string* error);
+
+/// As ParseShardedPayload, but the shard payloads stay in
+/// `[data, data + size)` — the buffer must outlive the returned view (for a
+/// mapping, hold the IndexFile).
+std::optional<ShardedPayloadView> ParseShardedPayloadView(const uint8_t* data,
+                                                          size_t size,
+                                                          std::string* error);
 
 }  // namespace csc
 

@@ -47,4 +47,24 @@ std::optional<CompressedIndex> CompressedIndex::Deserialize(
   return index;
 }
 
+std::optional<CompressedIndex> CompressedIndex::FromView(
+    const uint8_t* data, size_t size, std::shared_ptr<const void> keep_alive) {
+  auto parts = flat::DeserializeFlatView(kCompressedMagic, data, size,
+                                         std::move(keep_alive));
+  if (!parts || parts->in.encoding() != ArenaEncoding::kVarint ||
+      parts->out.encoding() != ArenaEncoding::kVarint) {
+    return std::nullopt;
+  }
+  CompressedIndex index;
+  index.in_ = std::move(parts->in);
+  index.out_ = std::move(parts->out);
+  index.in_vertex_rank_ = std::move(parts->in_vertex_rank);
+  return index;
+}
+
+void CompressedIndex::SliceTo(const std::function<bool(Vertex)>& keep) {
+  in_.Slice(keep);
+  out_.Slice(keep);
+}
+
 }  // namespace csc

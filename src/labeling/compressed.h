@@ -2,6 +2,8 @@
 #define CSC_LABELING_COMPRESSED_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -71,6 +73,19 @@ class CompressedIndex {
   /// fields native-endian, matching the CompactIndex wire format).
   std::string Serialize() const;
   static std::optional<CompressedIndex> Deserialize(const std::string& bytes);
+
+  /// As Deserialize, but zero-copy over an externally owned buffer (a
+  /// verified file mapping): the varint streams stay in `[data, data+size)`,
+  /// kept alive by `keep_alive`; only offsets and the couple-rank map are
+  /// materialized.
+  static std::optional<CompressedIndex> FromView(
+      const uint8_t* data, size_t size,
+      std::shared_ptr<const void> keep_alive);
+
+  /// Drops the runs of vertices not selected by `keep` from both arenas
+  /// (queries for them then report no cycle), keeping the vertex space —
+  /// the shard-local storage form of the sharded serving tier.
+  void SliceTo(const std::function<bool(Vertex)>& keep);
 
   friend bool operator==(const CompressedIndex&,
                          const CompressedIndex&) = default;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "csc/girth.h"
+#include "csc/index_io.h"
 
 namespace csc {
 
@@ -38,6 +39,7 @@ bool Engine::Build(const DiGraph& graph) {
       graph.num_vertices() + options_.build.reserve_vertices) {
     return false;
   }
+  if (options_.slice_keep) next->SliceLabels(options_.slice_keep);
   // The retained copy only feeds the rebuild-and-swap update path of
   // static backends; dynamic backends maintain their own graph in place,
   // so don't double the adjacency footprint for them.
@@ -54,12 +56,43 @@ bool Engine::Build(const DiGraph& graph) {
   return true;
 }
 
-bool Engine::LoadFrom(const std::string& bytes) {
-  std::shared_ptr<CycleIndex> next = MakeFresh();
-  if (!next || !next->LoadFrom(bytes)) return false;
+// Commits a freshly loaded index: no graph is retained (static-backend
+// updates need a Build first), and the configured slice applies to loads
+// exactly as it does to builds.
+void Engine::AdoptLoaded(std::shared_ptr<CycleIndex> next) {
+  if (options_.slice_keep) next->SliceLabels(options_.slice_keep);
   has_graph_ = false;
   graph_ = DiGraph();  // release any copy retained by an earlier Build
   Swap(std::move(next));
+}
+
+bool Engine::LoadFrom(const std::string& bytes) {
+  std::shared_ptr<CycleIndex> next = MakeFresh();
+  if (!next || !next->LoadFrom(bytes)) return false;
+  AdoptLoaded(std::move(next));
+  return true;
+}
+
+bool Engine::LoadFromFile(const std::string& path, std::string* error) {
+  std::shared_ptr<IndexFile> file = IndexFile::Open(path, error);
+  if (!file) return false;
+  // The shared mapping loader owns bundle rejection and error wording.
+  BackendLoadResult loaded = LoadBackendFromMapping(file, options_.backend);
+  if (!loaded.ok()) {
+    if (error) *error = std::move(loaded.error);
+    return false;
+  }
+  AdoptLoaded(std::move(loaded.index));
+  return true;
+}
+
+bool Engine::LoadView(const uint8_t* data, size_t size,
+                      std::shared_ptr<const void> keep_alive) {
+  std::shared_ptr<CycleIndex> next = MakeFresh();
+  if (!next || !next->LoadView(data, size, std::move(keep_alive))) {
+    return false;
+  }
+  AdoptLoaded(std::move(next));
   return true;
 }
 
@@ -171,6 +204,7 @@ size_t Engine::ApplyUpdates(const std::vector<EdgeUpdate>& updates,
     rebuild_options.reserve_vertices = 0;
     next->Build(graph_, rebuild_options);
     rebuilt = next->num_vertices() == graph_.num_vertices();
+    if (rebuilt && options_.slice_keep) next->SliceLabels(options_.slice_keep);
   }
   if (!rebuilt) {
     // Leave the old snapshot serving and undo the graph mutations so a

@@ -1,10 +1,12 @@
 #ifndef CSC_SERVING_ENGINE_H_
 #define CSC_SERVING_ENGINE_H_
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/cycle_index.h"
@@ -23,6 +25,13 @@ struct EngineOptions {
   /// Vertices per parallel batch chunk.
   size_t batch_grain = 256;
   CycleIndex::BuildOptions build;
+  /// When set, label storage is sliced to the selected vertices after every
+  /// successful Build / rebuild / load (CycleIndex::SliceLabels): queries
+  /// for unselected vertices then report no cycle. The sharded tier sets
+  /// this to each shard's ownership predicate so a shard holds only ~n/K
+  /// labels. Backends that cannot slice serve unsliced — still correct,
+  /// just unshrunk.
+  std::function<bool(Vertex)> slice_keep;
 };
 
 /// The serving facade: owns one CycleIndex backend chosen by name, fans
@@ -63,6 +72,26 @@ class Engine {
   /// are unavailable after LoadFrom (no graph retained) until Build is
   /// called.
   bool LoadFrom(const std::string& bytes);
+
+  /// Serves the checksummed index file at `path` directly from a shared
+  /// read-only file mapping (csc/index_io.h IndexFile): arena-backed
+  /// backends keep their label payloads in the file pages — no
+  /// deserialization copy, cold-start is bounded by the envelope CRC pass —
+  /// and the mapping stays alive for as long as any snapshot references it.
+  /// Same post-state as LoadFrom (static-backend updates unavailable until
+  /// Build). False with `error` set (when non-null) on I/O, verification,
+  /// or format failure; multi-shard bundles are rejected here — serve them
+  /// via ShardedEngine::LoadFromFile.
+  bool LoadFromFile(const std::string& path, std::string* error = nullptr);
+
+  /// Restores the index from an externally owned, already-verified payload
+  /// span, retaining `keep_alive` while any snapshot references it —
+  /// zero-copy for arena-backed backends. The sharded tier uses this to
+  /// point K shard engines at one shared mapping; LoadFromFile is the
+  /// single-file convenience over it.
+  bool LoadView(const uint8_t* data, size_t size,
+                std::shared_ptr<const void> keep_alive);
+
   bool SaveTo(std::string& bytes) const;
 
   /// SCCnt(v) against the current snapshot.
@@ -106,9 +135,17 @@ class Engine {
 
   ThreadPool& pool() { return pool_; }
 
+  /// Replaces the slicing predicate (see EngineOptions::slice_keep). Takes
+  /// effect on the next Build / load / rebuild; call only from the
+  /// single-writer side (the sharded tier sets it right before Build).
+  void set_slice_keep(std::function<bool(Vertex)> keep) {
+    options_.slice_keep = std::move(keep);
+  }
+
  private:
   std::shared_ptr<CycleIndex> MakeFresh() const;
   void Swap(std::shared_ptr<CycleIndex> next);
+  void AdoptLoaded(std::shared_ptr<CycleIndex> next);
 
   EngineOptions options_;
   ThreadPool pool_;

@@ -95,14 +95,34 @@ bool ShardedEngine::Build(const DiGraph& graph) {
       }
     }
   }
+  // Shard-local storage: each shard's engine slices its label arenas to
+  // the runs it owns after every build/rebuild, so per-shard resident
+  // labels are ~n/K instead of the full closure replicated K times.
+  if (options_.slice_labels) {
+    for (uint32_t s = 0; s < num_shards(); ++s) {
+      shards_[s]->set_slice_keep(
+          OwnershipPredicate(s, num_shards(), num_vertices_));
+    }
+  }
   std::vector<char> ok(num_shards(), 0);
   ForEachShard([&](uint32_t s) { ok[s] = shards_[s]->Build(graph) ? 1 : 0; });
   return std::all_of(ok.begin(), ok.end(), [](char c) { return c != 0; });
 }
 
-bool ShardedEngine::LoadFrom(const std::string& bytes) {
-  std::optional<ShardedPayload> parsed = ParseShardedPayload(bytes, nullptr);
-  if (!parsed) return false;
+std::function<bool(Vertex)> ShardedEngine::OwnershipPredicate(
+    uint32_t s, uint32_t shards, Vertex n) const {
+  // Self-contained (no reference to *this), so the predicate stays valid
+  // inside shard engines across later rebuilds.
+  ShardFn fn = options_.shard_fn;
+  return [fn, s, shards, n](Vertex v) {
+    uint32_t shard = fn ? fn(v, shards, n) : ContiguousRangeShard(v, shards, n);
+    return std::min(shard, shards - 1) == s;
+  };
+}
+
+bool ShardedEngine::AdoptShards(
+    size_t num_shards, Vertex num_vertices,
+    const std::function<bool(Engine&, uint32_t)>& load) {
   // Adopt the bundle's shard count: re-create the engines to match, and
   // only commit once every shard payload restored cleanly.
   EngineOptions shard_options;
@@ -111,31 +131,73 @@ bool ShardedEngine::LoadFrom(const std::string& bytes) {
       options_.shard_threads != 0
           ? options_.shard_threads
           : std::max(1u, ThreadPool::DefaultThreadCount() /
-                             static_cast<unsigned>(parsed->shards.size()));
+                             static_cast<unsigned>(num_shards));
   shard_options.batch_grain = options_.batch_grain;
   shard_options.build = options_.build;
   std::vector<std::unique_ptr<Engine>> next;
-  next.reserve(parsed->shards.size());
-  for (const std::string& payload : parsed->shards) {
+  next.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
     auto engine = std::make_unique<Engine>(shard_options);
-    if (!engine->LoadFrom(payload) ||
-        engine->num_vertices() != parsed->num_vertices) {
+    if (options_.slice_labels) {
+      engine->set_slice_keep(OwnershipPredicate(
+          s, static_cast<uint32_t>(num_shards), num_vertices));
+    }
+    if (!load(*engine, s) || engine->num_vertices() != num_vertices) {
       return false;
     }
     next.push_back(std::move(engine));
   }
   shards_ = std::move(next);
   // Adopting a different shard count re-sizes the router pool too, so the
-  // fan-out stays one concurrent task per shard (LoadFrom requires
-  // exclusive access, so swapping the pool here is safe).
+  // fan-out stays one concurrent task per shard (loads require exclusive
+  // access, so swapping the pool here is safe).
   uint32_t adopted = static_cast<uint32_t>(shards_.size());
   if (options_.num_threads == 0 && adopted != options_.num_shards) {
     pool_ = std::make_unique<ThreadPool>(adopted);
   }
   options_.num_shards = adopted;
-  num_vertices_ = parsed->num_vertices;
+  num_vertices_ = num_vertices;
   RecomputeOwnership();  // edge stats stay zero: no graph is retained
   return true;
+}
+
+bool ShardedEngine::LoadFrom(const std::string& bytes) {
+  std::optional<ShardedPayload> parsed = ParseShardedPayload(bytes, nullptr);
+  if (!parsed) return false;
+  return AdoptShards(parsed->shards.size(), parsed->num_vertices,
+                     [&parsed](Engine& engine, uint32_t s) {
+                       return engine.LoadFrom(parsed->shards[s]);
+                     });
+}
+
+bool ShardedEngine::LoadFromFile(const std::string& path, std::string* error) {
+  std::shared_ptr<IndexFile> file = IndexFile::Open(path, error);
+  if (!file) return false;
+  return LoadFromMapping(file, error);
+}
+
+bool ShardedEngine::LoadFromMapping(const std::shared_ptr<IndexFile>& file,
+                                    std::string* error) {
+  if (!file) {
+    if (error) *error = "no mapping";
+    return false;
+  }
+  std::optional<ShardedPayloadView> parsed =
+      ParseShardedPayloadView(file->payload(), file->payload_size(), error);
+  if (!parsed) return false;
+  // Every shard engine views its span of the one shared mapping; the
+  // mapping stays alive until the last shard snapshot referencing it dies.
+  bool ok = AdoptShards(parsed->shards.size(), parsed->num_vertices,
+                        [&parsed, &file](Engine& engine, uint32_t s) {
+                          return engine.LoadView(parsed->shards[s].first,
+                                                 parsed->shards[s].second,
+                                                 file);
+                        });
+  if (!ok && error && error->empty()) {
+    *error = "bundle shard does not load into backend '" + options_.backend +
+             "'";
+  }
+  return ok;
 }
 
 bool ShardedEngine::SaveTo(std::string& bytes) const {

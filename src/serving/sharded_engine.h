@@ -15,6 +15,7 @@
 namespace csc {
 
 struct GirthInfo;  // csc/girth.h
+class IndexFile;   // csc/index_io.h
 
 /// Maps a vertex to its owning shard. Must be pure, total over
 /// [0, num_vertices), and return values in [0, num_shards).
@@ -42,6 +43,15 @@ struct ShardedEngineOptions {
   CycleIndex::BuildOptions build;
   /// Vertex -> owning shard; empty = ContiguousRangeShard.
   ShardFn shard_fn;
+  /// Slice each shard's label storage down to its owned runs after Build /
+  /// load / rebuild: per-shard resident labels drop to ~n/K while every
+  /// routed query stays bit-identical (queries only ever read the queried
+  /// vertex's runs, and those live on the owner). Only arena-backed
+  /// backends ("frozen", "compressed") can slice; others serve the full
+  /// closure as before. A bundle saved from sliced shards must be reloaded
+  /// with the same shard count and shard_fn (it always carries its own K;
+  /// re-partitioning requires the graph).
+  bool slice_labels = false;
 };
 
 /// Per-shard slice of ShardedEngine::Stats().
@@ -68,12 +78,13 @@ struct ShardInfo {
 /// by the shard owning u, which is where the edge is accounted (update
 /// verdicts, cross-shard stats). Because a shortest cycle can traverse any
 /// part of the graph, each shard's induced subgraph is transitively closed
-/// over everything its owned cycles can touch — i.e. every shard retains
+/// over everything its owned cycles can touch — i.e. every shard indexes
 /// the full edge set (cross-shard edges included) so its answers for owned
 /// vertices stay exact. Sharding therefore partitions *work* (sweeps split
 /// K ways, routed queries hit disjoint engines with independent locks and
-/// pools) while replicating storage; slicing the label arena down to owned
-/// runs is the planned follow-up (see ROADMAP).
+/// pools); with `slice_labels` the *storage* is partitioned too — each
+/// shard's label arenas are cut to its owned runs after build, since a
+/// routed query only ever reads the queried vertex's runs.
 ///
 /// Updates: every shard must observe every edge update (an edge anywhere
 /// can change any vertex's count), so ApplyUpdates groups the batch by
@@ -110,6 +121,21 @@ class ShardedEngine {
   /// shard count is adopted — engines are re-created to match it. As with
   /// Engine::LoadFrom, static-backend updates are unavailable afterwards.
   bool LoadFrom(const std::string& bytes);
+
+  /// Restores from a multi-shard bundle file, all K shard engines viewing
+  /// one shared read-only mapping (csc/index_io.h IndexFile): the arena
+  /// payloads are never copied and the file pages are paid for once, not
+  /// K times. Same semantics as LoadFrom otherwise (bundle shard count
+  /// adopted, exclusive access required, static updates unavailable).
+  /// False with `error` set (when non-null) on I/O / verification /
+  /// format failure.
+  bool LoadFromFile(const std::string& path, std::string* error = nullptr);
+
+  /// As LoadFromFile over an already-opened (and therefore already
+  /// CRC-verified) mapping — callers that route on the payload themselves
+  /// (the CLI) avoid mapping and verifying the file twice.
+  bool LoadFromMapping(const std::shared_ptr<IndexFile>& file,
+                       std::string* error = nullptr);
 
   /// Serializes all shards into one multi-shard bundle (each shard payload
   /// individually checksummed). False if the backend cannot save.
@@ -154,6 +180,15 @@ class ShardedEngine {
   /// Runs body(s) for every shard on the router pool and waits.
   void ForEachShard(const std::function<void(uint32_t)>& body);
   void RecomputeOwnership();
+  /// Shard s's ownership predicate over a fixed (K, n) partition — the
+  /// slice_keep handed to shard engines (self-contained, so it stays valid
+  /// across later rebuilds).
+  std::function<bool(Vertex)> OwnershipPredicate(uint32_t s, uint32_t shards,
+                                                 Vertex n) const;
+  /// Restores all shards through `load`, recreating engines to match
+  /// `num_shards` (the shared tail of LoadFrom / LoadFromFile).
+  bool AdoptShards(size_t num_shards, Vertex num_vertices,
+                   const std::function<bool(Engine&, uint32_t)>& load);
 
   ShardedEngineOptions options_;
   // Router pool: one task per shard fan-out. Behind a pointer so LoadFrom

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "labeling/hub_labeling.h"
@@ -109,6 +111,219 @@ INSTANTIATE_TEST_SUITE_P(Encodings, LabelArenaEncodingTest,
                                       ? "Packed"
                                       : "Varint";
                          });
+
+// Label sets of `entries` ranks spread across a shared `universe`, so runs
+// of very different lengths still interleave end to end — the shapes that
+// cross the join kernel's dispatch cutoffs (linear / SIMD merge / gallop).
+LabelSet SpanningSet(size_t entries, Rank universe, uint64_t seed) {
+  Rng rng(seed);
+  LabelSet labels;
+  Rank stride = entries == 0 ? 1 : universe / static_cast<Rank>(entries);
+  if (stride < 1) stride = 1;
+  Rank rank = 0;
+  for (size_t i = 0; i < entries; ++i) {
+    rank += 1 + static_cast<Rank>(rng.NextBounded(2 * stride - 1));
+    labels.Append(LabelEntry(rank, static_cast<Dist>(rng.NextBounded(12)),
+                             1 + rng.NextBounded(4)));
+  }
+  return labels;
+}
+
+TEST(LabelArenaJoinKernelTest, AllKernelsAgreeAcrossSkews) {
+  // Sizes straddling every dispatch boundary: below kGallopMinLongerRun,
+  // at the SIMD skew cutoff, past the gallop cutoff, plus empty runs.
+  const size_t sizes[] = {0, 1, 3, 15, 63, 64, 192, 512, 2048};
+  int pair_index = 0;
+  for (size_t na : sizes) {
+    for (size_t nb : sizes) {
+      Rank universe = static_cast<Rank>(4 * (na > nb ? na : nb) + 4);
+      LabelSet a_set = SpanningSet(na, universe, 101 + pair_index);
+      LabelSet b_set = SpanningSet(nb, universe, 207 + pair_index);
+      ++pair_index;
+      LabelArena a =
+          LabelArena::FromLabelSets({a_set}, ArenaEncoding::kPacked);
+      LabelArena b =
+          LabelArena::FromLabelSets({b_set}, ArenaEncoding::kPacked);
+      JoinResult expected = JoinLabels(a_set, b_set);
+      EXPECT_EQ(LabelArena::JoinLinear(a, 0, b, 0), expected)
+          << "na=" << na << " nb=" << nb;
+      EXPECT_EQ(LabelArena::Join(a, 0, b, 0), expected)
+          << "na=" << na << " nb=" << nb;
+      EXPECT_EQ(LabelArena::Join(b, 0, a, 0), expected)
+          << "swapped na=" << na << " nb=" << nb;
+    }
+  }
+}
+
+TEST(LabelArenaJoinKernelTest, SkewedKernelsHandleDegenerateOverlaps) {
+  // Identical runs (every rank matches), disjoint rank ranges (long run
+  // entirely above / below the short one), and a single common hub at the
+  // very end — the galloping path's corner geometries.
+  LabelSet small;
+  for (Rank r = 5000; r < 5016; ++r) small.Append(LabelEntry(r, 2, 1));
+  LabelSet identical = small;
+  LabelSet below;
+  for (Rank r = 0; r < 1024; ++r) below.Append(LabelEntry(r, 3, 2));
+  LabelSet above;
+  for (Rank r = 10000; r < 11024; ++r) above.Append(LabelEntry(r, 4, 1));
+  LabelSet tail = below;
+  tail.Append(LabelEntry(5015, 7, 3));  // one hit, last entry of `small`
+  for (const LabelSet& other : {identical, below, above, tail}) {
+    LabelArena a = LabelArena::FromLabelSets({small}, ArenaEncoding::kPacked);
+    LabelArena b = LabelArena::FromLabelSets({other}, ArenaEncoding::kPacked);
+    JoinResult expected = JoinLabels(small, other);
+    EXPECT_EQ(LabelArena::Join(a, 0, b, 0), expected);
+    EXPECT_EQ(LabelArena::Join(b, 0, a, 0), expected);
+    EXPECT_EQ(LabelArena::JoinLinear(a, 0, b, 0), expected);
+  }
+}
+
+class LabelArenaViewTest : public ::testing::TestWithParam<ArenaEncoding> {};
+
+TEST_P(LabelArenaViewTest, ParseViewMatchesParseAndOwnedArena) {
+  std::vector<LabelSet> sets = RandomLabelSets(40, 53);
+  LabelArena arena = LabelArena::FromLabelSets(sets, GetParam());
+  auto bytes = std::make_shared<std::string>();
+  arena.AppendTo(*bytes);
+  size_t pos = 0;
+  auto parsed = LabelArena::Parse(*bytes, pos);
+  ASSERT_TRUE(parsed.has_value());
+  pos = 0;
+  auto view = LabelArena::ParseView(
+      reinterpret_cast<const uint8_t*>(bytes->data()), bytes->size(), pos,
+      bytes);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(pos, bytes->size());
+  EXPECT_TRUE(view->is_view());
+  EXPECT_FALSE(parsed->is_view());
+  EXPECT_EQ(*view, arena);
+  EXPECT_EQ(*view, *parsed);
+  EXPECT_EQ(view->total_entries(), arena.total_entries());
+  EXPECT_LT(view->OwnedBytes(), view->MemoryBytes());
+  for (Vertex v = 0; v < arena.num_vertices(); ++v) {
+    EXPECT_EQ(view->DecodeRun(v), sets[v]) << "vertex " << v;
+    EXPECT_EQ(LabelArena::Join(*view, v, arena, v),
+              LabelArena::Join(arena, v, arena, v));
+  }
+  // Serializing a view reproduces the original wire bytes.
+  std::string reserialized;
+  view->AppendTo(reserialized);
+  EXPECT_EQ(reserialized, *bytes);
+}
+
+TEST_P(LabelArenaViewTest, ParseViewRejectsTruncation) {
+  LabelArena arena =
+      LabelArena::FromLabelSets(RandomLabelSets(16, 59), GetParam());
+  std::string bytes;
+  arena.AppendTo(bytes);
+  for (size_t cut = 0; cut + 1 < bytes.size(); cut += 7) {
+    size_t pos = 0;
+    EXPECT_FALSE(LabelArena::ParseView(
+                     reinterpret_cast<const uint8_t*>(bytes.data()), cut, pos,
+                     nullptr)
+                     .has_value())
+        << "cut=" << cut;
+  }
+}
+
+TEST_P(LabelArenaViewTest, ViewOutlivesTheOriginalHandle) {
+  std::vector<LabelSet> sets = RandomLabelSets(10, 61);
+  LabelArena arena = LabelArena::FromLabelSets(sets, GetParam());
+  auto bytes = std::make_shared<std::string>();
+  arena.AppendTo(*bytes);
+  size_t pos = 0;
+  auto view = LabelArena::ParseView(
+      reinterpret_cast<const uint8_t*>(bytes->data()), bytes->size(), pos,
+      bytes);
+  ASSERT_TRUE(view.has_value());
+  LabelArena copy = *view;  // copies share the keep-alive
+  view.reset();
+  bytes.reset();  // the arena's own reference must keep the buffer alive
+  for (Vertex v = 0; v < copy.num_vertices(); ++v) {
+    EXPECT_EQ(copy.DecodeRun(v), sets[v]);
+  }
+}
+
+TEST_P(LabelArenaViewTest, SliceKeepsOnlySelectedRuns) {
+  std::vector<LabelSet> sets = RandomLabelSets(30, 67);
+  LabelArena arena = LabelArena::FromLabelSets(sets, GetParam());
+  uint64_t full_bytes = arena.SizeBytes();
+  LabelArena sliced = arena;
+  auto keep = [](Vertex v) { return v % 3 == 0; };
+  sliced.Slice(keep);
+  EXPECT_EQ(sliced.num_vertices(), arena.num_vertices());
+  uint64_t kept_entries = 0;
+  for (Vertex v = 0; v < arena.num_vertices(); ++v) {
+    if (keep(v)) {
+      EXPECT_EQ(sliced.DecodeRun(v), sets[v]) << "vertex " << v;
+      kept_entries += sets[v].size();
+      EXPECT_EQ(LabelArena::Join(sliced, v, arena, v),
+                LabelArena::Join(arena, v, arena, v));
+    } else {
+      EXPECT_EQ(sliced.RunSize(v), 0u) << "vertex " << v;
+    }
+  }
+  EXPECT_EQ(sliced.total_entries(), kept_entries);
+  EXPECT_LT(sliced.SizeBytes(), full_bytes);
+}
+
+TEST_P(LabelArenaViewTest, SlicingAViewMaterializesTheKeptRuns) {
+  std::vector<LabelSet> sets = RandomLabelSets(20, 71);
+  LabelArena arena = LabelArena::FromLabelSets(sets, GetParam());
+  auto bytes = std::make_shared<std::string>();
+  arena.AppendTo(*bytes);
+  size_t pos = 0;
+  auto view = LabelArena::ParseView(
+      reinterpret_cast<const uint8_t*>(bytes->data()), bytes->size(), pos,
+      bytes);
+  ASSERT_TRUE(view.has_value());
+  view->Slice([](Vertex v) { return v < 10; });
+  EXPECT_FALSE(view->is_view());
+  bytes.reset();  // sliced arenas own their payload; the mapping can go
+  for (Vertex v = 0; v < 10; ++v) {
+    EXPECT_EQ(view->DecodeRun(v), sets[v]);
+  }
+  for (Vertex v = 10; v < 20; ++v) {
+    EXPECT_EQ(view->RunSize(v), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Encodings, LabelArenaViewTest,
+                         ::testing::Values(ArenaEncoding::kPacked,
+                                           ArenaEncoding::kVarint),
+                         [](const auto& info) {
+                           return info.param == ArenaEncoding::kPacked
+                                      ? "Packed"
+                                      : "Varint";
+                         });
+
+TEST(LabelArenaCursorTest, VarintCursorEdgeCases) {
+  // Empty run, single-entry run, and maximum-delta ranks (rank 0 then the
+  // 23-bit maximum — the widest delta the varint stream can encode).
+  std::vector<LabelSet> sets(4);
+  sets[1].Append(LabelEntry(7, 3, 2));
+  sets[2].Append(LabelEntry(0, 1, 1));
+  sets[2].Append(LabelEntry(static_cast<Vertex>(LabelEntry::kMaxHub), 5, 9));
+  sets[3].Append(LabelEntry(static_cast<Vertex>(LabelEntry::kMaxHub), 2, 1));
+  LabelArena arena = LabelArena::FromLabelSets(sets, ArenaEncoding::kVarint);
+  EXPECT_EQ(arena.RunSize(0), 0u);
+  LabelArena::Cursor empty = arena.RunCursor(0);
+  EXPECT_FALSE(empty.Next());
+  for (Vertex v = 0; v < 4; ++v) {
+    EXPECT_EQ(arena.DecodeRun(v), sets[v]) << "vertex " << v;
+  }
+  EXPECT_EQ(arena.FindHub(2, static_cast<Rank>(LabelEntry::kMaxHub))->first,
+            5u);
+  EXPECT_EQ(arena.FindHub(3, 0), std::nullopt);
+  // The wide-delta runs survive a serialization round trip (both the owned
+  // and the view parse re-validate the stream).
+  std::string bytes;
+  arena.AppendTo(bytes);
+  size_t pos = 0;
+  auto parsed = LabelArena::Parse(bytes, pos);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, arena);
+}
 
 TEST(LabelArenaTest, ParseRejectsOversizedVertexCountWithoutAllocating) {
   // A crafted header claiming 2^32-1 vertices in a 5-byte payload must be
