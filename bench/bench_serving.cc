@@ -24,6 +24,14 @@
 // zero-copy mmap path (Engine::LoadFromFile). Pass --mmap to also serve
 // the sharded matrix from a saved bundle through one shared mapping
 // (ShardedEngine::LoadFromFile) instead of the freshly built engines.
+//
+// A churn section measures the writer-visible ApplyUpdates latency of the
+// static serving forms under repeated toggle batches, synchronous
+// (rebuild on the caller's thread) vs. asynchronous
+// (ShardedEngineOptions::async_updates: return after validation, rebuilds
+// land off-thread) — plus the drain time that separates admission from the
+// landed swaps. Rows go into BENCH_serving.json so CI tracks the async
+// pipeline's admission speedup.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,6 +51,7 @@
 #include "util/thread_pool.h"
 #include "util/timer.h"
 #include "workload/reporter.h"
+#include "workload/update_workload.h"
 
 namespace {
 
@@ -114,6 +123,10 @@ int main(int argc, char** argv) {
   TableReporter cold_table(
       "Cold start: load-to-first-query (ms), parse vs. mmap",
       {"Graph", "Backend", "parse(ms)", "mmap(ms)", "speedup"});
+  TableReporter churn_table(
+      "Churn: writer-visible ApplyUpdates latency (ms), sync vs. async",
+      {"Graph", "Backend", "shards", "mode", "mean-admit", "max-admit",
+       "drain(ms)", "admit-speedup"});
   JsonBenchReporter json("serving");
   const std::vector<uint32_t> shard_counts = {1, 2, 4, 8};
   // The persistable serving forms with a load path (cold-start section).
@@ -273,6 +286,76 @@ int main(int argc, char** argv) {
             .Field("resident_bytes", serving->MemoryBytes());
       }
     }
+    // Churn vs. writer latency: every selected *static* serving form (the
+    // ones whose updates go through rebuild-and-swap) under repeated
+    // toggle batches. Sync admission pays the full rebuild per batch on
+    // the writer thread; async admission returns after validation and
+    // graph mutation, with the rebuild worker coalescing the backlog —
+    // the drain column is where the rebuilds actually happen.
+    constexpr size_t kChurnRounds = 6;
+    constexpr size_t kChurnBatchEdges = 16;
+    std::vector<Edge> churn_edges = SampleNewEdges(graph, kChurnBatchEdges, 7);
+    std::vector<EdgeUpdate> churn_inserts, churn_removes;
+    for (const Edge& e : churn_edges) {
+      churn_inserts.push_back(EdgeUpdate::Insert(e.from, e.to));
+      churn_removes.push_back(EdgeUpdate::Remove(e.from, e.to));
+    }
+    for (const auto& name : backends) {
+      if (churn_edges.empty()) break;
+      if (std::unique_ptr<CycleIndex> probe = MakeBackend(name);
+          !probe || probe->supports_updates()) {
+        continue;  // dynamic backends repair in place; nothing to offload
+      }
+      for (uint32_t shards : {1u, 4u}) {
+        double sync_mean_ms = 0;
+        for (bool async_mode : {false, true}) {
+          ShardedEngineOptions churn_options;
+          churn_options.backend = name;
+          churn_options.num_shards = shards;
+          churn_options.async_updates = async_mode;
+          ShardedEngine engine(churn_options);
+          if (!engine.Build(graph)) continue;
+          double total_admit_ms = 0, max_admit_ms = 0;
+          for (size_t round = 0; round < kChurnRounds; ++round) {
+            const std::vector<EdgeUpdate>& batch =
+                round % 2 == 0 ? churn_inserts : churn_removes;
+            Timer admit;
+            engine.ApplyUpdates(batch);
+            double ms = admit.ElapsedMillis();
+            total_admit_ms += ms;
+            max_admit_ms = std::max(max_admit_ms, ms);
+          }
+          Timer drain_timer;
+          engine.Drain();
+          double drain_ms = drain_timer.ElapsedMillis();
+          double mean_admit_ms =
+              total_admit_ms / static_cast<double>(kChurnRounds);
+          if (!async_mode) sync_mean_ms = mean_admit_ms;
+          double speedup = async_mode && mean_admit_ms > 0
+                               ? sync_mean_ms / mean_admit_ms
+                               : 1.0;
+          churn_table.AddRow(
+              {spec.name, name, std::to_string(shards),
+               async_mode ? "async" : "sync",
+               TableReporter::FormatDouble(mean_admit_ms, 3),
+               TableReporter::FormatDouble(max_admit_ms, 3),
+               TableReporter::FormatDouble(drain_ms, 3),
+               TableReporter::FormatDouble(speedup, 1)});
+          json.BeginRow()
+              .Field("dataset", spec.name)
+              .Field("backend", name)
+              .Field("shards", static_cast<uint64_t>(shards))
+              .Field("mode", async_mode ? std::string("churn_async")
+                                        : std::string("churn_sync"))
+              .Field("churn_rounds", static_cast<uint64_t>(kChurnRounds))
+              .Field("churn_batch_edges",
+                     static_cast<uint64_t>(churn_edges.size()))
+              .Field("churn_mean_admit_ms", mean_admit_ms)
+              .Field("churn_max_admit_ms", max_admit_ms)
+              .Field("churn_drain_ms", drain_ms);
+        }
+      }
+    }
     std::printf("[serving] %s done\n", spec.name.c_str());
   }
 
@@ -281,11 +364,13 @@ int main(int argc, char** argv) {
   sweep_table.Print();
   cold_table.Print();
   shard_table.Print();
+  churn_table.Print();
   size_table.WriteCsv(bench::CsvPath("serving_sizes"));
   latency_table.WriteCsv(bench::CsvPath("serving_latency"));
   sweep_table.WriteCsv(bench::CsvPath("serving_sweep"));
   cold_table.WriteCsv(bench::CsvPath("serving_cold_start"));
   shard_table.WriteCsv(bench::CsvPath("serving_sharded"));
+  churn_table.WriteCsv(bench::CsvPath("serving_churn"));
   json.Write("BENCH_serving.json");
   return 0;
 }

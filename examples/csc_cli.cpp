@@ -8,6 +8,7 @@
 //   csc_cli backends                               list registered backends
 //   csc_cli graphstats <graph.edges>               structural graph stats
 //   csc_cli casestudy <graph.edges> <v> <out.dot>  Figure 13 DOT export
+//   csc_cli churn <graph.edges> <rounds> <k>       update-churn demo/smoke
 //
 // Every index-serving command accepts `--backend NAME` (default "csc"; see
 // `csc_cli backends`) and goes through the polymorphic CycleIndex
@@ -23,6 +24,11 @@
 // shards. Multi-shard index files are auto-detected on load (their own
 // shard count wins over the flag).
 //
+// `--async-updates` (with the `churn` command) lands static-backend
+// rebuilds off the writer thread: each ApplyUpdates batch returns after
+// validation with an epoch token and the snapshot swap follows
+// asynchronously, with Drain() as the read-your-writes barrier.
+//
 // Graphs are SNAP-style edge lists (see graph/graph_io.h). Indexes are
 // CycleIndex::SaveTo payloads inside the checksummed file envelope of
 // csc/index_io.h (legacy raw compact serializations still load).
@@ -37,6 +43,7 @@
 #include "core/cycle_index.h"
 #include "csc/girth.h"
 #include "csc/index_io.h"
+#include "dynamic/edge_update.h"
 #include "graph/dot_export.h"
 #include "graph/graph_io.h"
 #include "graph/ordering.h"
@@ -45,6 +52,7 @@
 #include "serving/sharded_engine.h"
 #include "util/env.h"
 #include "util/timer.h"
+#include "workload/update_workload.h"
 
 using namespace csc;
 
@@ -62,10 +70,14 @@ int Usage() {
       "  csc_cli backends\n"
       "  csc_cli graphstats <graph.edges>\n"
       "  csc_cli casestudy <graph.edges> <vertex> <out.dot>\n"
+      "  csc_cli [--backend NAME] [--shards N] [--async-updates] churn "
+      "<graph.edges> <rounds> <batch_edges>\n"
       "--shards N builds/serves through the sharded engine (N per-shard\n"
       "backends; multi-shard index files are auto-detected on load)\n"
       "--mmap serves index files from a shared read-only mapping (zero\n"
       "deserialization copy for the flat arena backends)\n"
+      "--async-updates applies churn batches asynchronously: ApplyUpdates\n"
+      "returns after validation, rebuilds land off the writer thread\n"
       "backends: ");
   for (const std::string& name : AllBackendNames()) {
     std::fprintf(stderr, "%s ", name.c_str());
@@ -569,13 +581,86 @@ int CmdStats(const std::string& backend_name, uint32_t shards,
   return 0;
 }
 
+// Update-churn demo/smoke: repeated insert/remove toggle batches through
+// the sharded serving tier, reporting writer-visible admission latency and
+// — in async mode — the drain time separating admission from the landed
+// snapshot swaps.
+int CmdChurn(const std::string& backend_name, uint32_t shards,
+             bool async_updates, const std::string& graph_path, size_t rounds,
+             size_t batch_edges) {
+  auto graph = LoadEdgeListFile(graph_path);
+  if (!graph) {
+    std::fprintf(stderr, "cannot parse %s\n", graph_path.c_str());
+    return 1;
+  }
+  ShardedEngineOptions options;
+  options.backend = backend_name;
+  options.num_shards = shards;
+  options.async_updates = async_updates;
+  ShardedEngine engine(options);
+  if (!engine.valid()) {
+    std::fprintf(stderr, "unknown backend '%s'\n", backend_name.c_str());
+    return 1;
+  }
+  Timer build_timer;
+  if (!engine.Build(*graph)) {
+    std::fprintf(stderr, "failed to build '%s'\n", backend_name.c_str());
+    return 1;
+  }
+  std::printf("built %u-shard '%s' in %.3f s; churning %zu rounds x %zu "
+              "edges (%s updates)\n",
+              engine.num_shards(), backend_name.c_str(),
+              build_timer.ElapsedSeconds(), rounds, batch_edges,
+              async_updates ? "async" : "sync");
+  std::vector<Edge> toggles = SampleNewEdges(*graph, batch_edges, 1234);
+  if (toggles.empty()) {
+    std::fprintf(stderr, "graph too dense to sample absent edges\n");
+    return 1;
+  }
+  std::vector<EdgeUpdate> inserts, removes;
+  for (const Edge& e : toggles) {
+    inserts.push_back(EdgeUpdate::Insert(e.from, e.to));
+    removes.push_back(EdgeUpdate::Remove(e.from, e.to));
+  }
+  double total_admit_ms = 0, max_admit_ms = 0;
+  size_t applied = 0;
+  Timer wall;
+  for (size_t round = 0; round < rounds; ++round) {
+    const std::vector<EdgeUpdate>& batch =
+        round % 2 == 0 ? inserts : removes;
+    Timer admit;
+    applied += engine.ApplyUpdates(batch);
+    double ms = admit.ElapsedMillis();
+    total_admit_ms += ms;
+    max_admit_ms = std::max(max_admit_ms, ms);
+  }
+  Timer drain_timer;
+  engine.Drain();
+  std::printf("admission   : mean %.3f ms, max %.3f ms per batch "
+              "(%zu net updates applied)\n",
+              rounds > 0 ? total_admit_ms / static_cast<double>(rounds) : 0.0,
+              max_admit_ms, applied);
+  std::printf("drain       : %.3f ms (wall %.3f ms)\n",
+              drain_timer.ElapsedMillis(), wall.ElapsedMillis());
+  GirthInfo info = engine.Girth();
+  if (info.girth == kInfDist) {
+    std::printf("final girth : acyclic\n");
+  } else {
+    std::printf("final girth : %u\n", info.girth);
+  }
+  std::printf("churn ok\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip the global --backend/--shards/--mmap flags wherever they appear.
+  // Strip the global --backend/--shards/--mmap/--async-updates flags
+  // wherever they appear.
   std::string backend = kDefaultBackendName;
   uint32_t shards = 1;
   bool use_mmap = false;
+  bool async_updates = false;
   std::vector<char*> args;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -592,6 +677,8 @@ int main(int argc, char** argv) {
           std::strtoul(arg.c_str() + 9, nullptr, 10));
     } else if (arg == "--mmap") {
       use_mmap = true;
+    } else if (arg == "--async-updates") {
+      async_updates = true;
     } else {
       args.push_back(argv[i]);
     }
@@ -618,6 +705,11 @@ int main(int argc, char** argv) {
   }
   if (cmd == "girth" && n == 2) {
     return CmdGirth(backend, shards, use_mmap, args[1]);
+  }
+  if (cmd == "churn" && n == 4) {
+    return CmdChurn(backend, shards, async_updates, args[1],
+                    std::strtoul(args[2], nullptr, 10),
+                    std::strtoul(args[3], nullptr, 10));
   }
   if (cmd == "graphstats" && n == 2) return CmdGraphStats(args[1]);
   if (cmd == "casestudy" && n == 4) {

@@ -8,8 +8,10 @@
 // Served through the sharded serving tier: hosts are partitioned across
 // per-shard engines, the all-host scan is a QueryAll fanned across the
 // shards, per-host queries route to their owner, and host churn flows
-// through ApplyUpdates — in-place repair on dynamic backends, warm snapshot
-// swap on static ones, per shard.
+// through ApplyUpdates with async_updates on — the writer returns after
+// validation (in-place repair on dynamic backends is visible immediately;
+// static-backend rebuilds land off-thread), and Drain() is the
+// read-your-writes barrier before the post-churn query.
 //
 //   $ ./p2p_index_server [num_hosts] [backend] [shards]
 #include <algorithm>
@@ -61,6 +63,9 @@ int main(int argc, char** argv) {
   if (argc > 2) options.backend = argv[2];
   options.num_shards =
       argc > 3 ? static_cast<uint32_t>(std::atoi(argv[3])) : 2;
+  // Churn must never stall the monitoring loop: admit updates and let the
+  // per-shard rebuild workers land static-index swaps asynchronously.
+  options.async_updates = true;
   ShardedEngine engine(options);
   if (!engine.valid()) {
     std::fprintf(stderr, "unknown backend '%s'\n", options.backend.c_str());
@@ -126,10 +131,13 @@ int main(int argc, char** argv) {
     Vertex peer = network.OutNeighbors(best_cycle_host).front();
     size_t applied =
         engine.ApplyUpdates({EdgeUpdate::Remove(best_cycle_host, peer)});
+    // The monitoring query needs read-your-writes: drain the async rebuild
+    // pipeline so the answer reflects the churned link.
+    engine.Drain();
     CycleCount after = engine.Query(best_cycle_host);
     std::printf(
-        "\nafter link %u->%u churned away (%zu update applied): "
-        "SCCnt(%u) = %llu (len %u)\n",
+        "\nafter link %u->%u churned away (%zu update applied, pipeline "
+        "drained): SCCnt(%u) = %llu (len %u)\n",
         best_cycle_host, peer, applied, best_cycle_host,
         static_cast<unsigned long long>(after.count), after.length);
   }

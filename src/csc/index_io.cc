@@ -213,21 +213,32 @@ bool SaveBackendToFile(const CycleIndex& index, const std::string& path) {
 
 namespace {
 
-constexpr char kShardedMagic[8] = {'C', 'S', 'C', 'S', 'H', 'R', 'D', '1'};
+// Revision 1 carried no flags word; revision 2 appended it after the
+// vertex count. Writers emit revision 2; both still load.
+constexpr char kShardedMagicV1[8] = {'C', 'S', 'C', 'S', 'H', 'R', 'D', '1'};
+constexpr char kShardedMagicV2[8] = {'C', 'S', 'C', 'S', 'H', 'R', 'D', '2'};
+
+constexpr uint32_t kShardedFlagSliced = 1u << 0;
+constexpr uint32_t kShardedFlagCustomShardFn = 1u << 1;
 
 }  // namespace
 
 std::string WrapShardedPayload(const std::vector<std::string>& shard_payloads,
-                               Vertex num_vertices) {
+                               Vertex num_vertices,
+                               const ShardedBundleInfo& info) {
   std::string out;
-  size_t total = sizeof(kShardedMagic) + 2 * sizeof(uint32_t);
+  size_t total = sizeof(kShardedMagicV2) + 3 * sizeof(uint32_t);
   for (const std::string& payload : shard_payloads) {
     total += sizeof(uint64_t) + payload.size() + sizeof(uint32_t);
   }
   out.reserve(total);
-  out.append(kShardedMagic, sizeof(kShardedMagic));
+  out.append(kShardedMagicV2, sizeof(kShardedMagicV2));
   AppendU32(out, static_cast<uint32_t>(shard_payloads.size()));
   AppendU32(out, num_vertices);
+  uint32_t flags = 0;
+  if (info.sliced) flags |= kShardedFlagSliced;
+  if (info.custom_shard_fn) flags |= kShardedFlagCustomShardFn;
+  AppendU32(out, flags);
   for (const std::string& payload : shard_payloads) {
     AppendU64(out, payload.size());
     out.append(payload);
@@ -242,8 +253,9 @@ bool IsShardedPayload(const std::string& payload) {
 }
 
 bool IsShardedPayload(const uint8_t* data, size_t size) {
-  return size >= sizeof(kShardedMagic) &&
-         std::memcmp(data, kShardedMagic, sizeof(kShardedMagic)) == 0;
+  return size >= sizeof(kShardedMagicV2) &&
+         (std::memcmp(data, kShardedMagicV2, sizeof(kShardedMagicV2)) == 0 ||
+          std::memcmp(data, kShardedMagicV1, sizeof(kShardedMagicV1)) == 0);
 }
 
 std::optional<ShardedPayloadView> ParseShardedPayloadView(const uint8_t* data,
@@ -256,8 +268,10 @@ std::optional<ShardedPayloadView> ParseShardedPayloadView(const uint8_t* data,
   if (!IsShardedPayload(data, size)) {
     return fail("bad magic (not a multi-shard bundle)");
   }
-  size_t pos = sizeof(kShardedMagic);
-  if (size < pos + 2 * sizeof(uint32_t)) {
+  const bool has_flags =
+      std::memcmp(data, kShardedMagicV2, sizeof(kShardedMagicV2)) == 0;
+  size_t pos = sizeof(kShardedMagicV2);
+  if (size < pos + (has_flags ? 3 : 2) * sizeof(uint32_t)) {
     return fail("bundle too small to hold a shard header");
   }
   const char* chars = reinterpret_cast<const char*>(data);
@@ -266,6 +280,12 @@ std::optional<ShardedPayloadView> ParseShardedPayloadView(const uint8_t* data,
   ShardedPayloadView result;
   result.num_vertices = ReadU32(chars + pos);
   pos += sizeof(uint32_t);
+  if (has_flags) {
+    uint32_t flags = ReadU32(chars + pos);
+    pos += sizeof(uint32_t);
+    result.info.sliced = (flags & kShardedFlagSliced) != 0;
+    result.info.custom_shard_fn = (flags & kShardedFlagCustomShardFn) != 0;
+  }
   if (shard_count == 0) {
     return fail("bundle declares zero shards");
   }
@@ -311,6 +331,7 @@ std::optional<ShardedPayload> ParseShardedPayload(const std::string& payload,
   if (!view) return std::nullopt;
   ShardedPayload result;
   result.num_vertices = view->num_vertices;
+  result.info = view->info;
   result.shards.reserve(view->shards.size());
   for (const auto& [bytes, size] : view->shards) {
     result.shards.emplace_back(reinterpret_cast<const char*>(bytes), size);

@@ -141,21 +141,42 @@ bool SavePayloadToFile(const std::string& payload, const std::string& path);
 // A ShardedEngine persists as one payload bundling its K per-shard backend
 // payloads:
 //
-//   bytes 0..7  magic "CSCSHRD1"
+//   bytes 0..7  magic "CSCSHRD2"
 //   u32         shard count K
 //   u32         partition domain (total vertices across the vertex space)
+//   u32         partition flags (bit 0: label-sliced shards; bit 1: saved
+//               under a caller-provided ShardFn) — see ShardedBundleInfo
 //   K times:    u64 payload size | payload | u32 CRC-32C of the payload
 //
-// Each shard payload is an ordinary CycleIndex::SaveTo serialization and is
+// The previous revision ("CSCSHRD1", identical except for the missing
+// flags word) still parses — its flags read as all-clear. Each shard
+// payload is an ordinary CycleIndex::SaveTo serialization and is
 // individually checksummed, so a corrupted shard is pinpointed instead of
 // poisoning the whole bundle. The bundle itself is typically wrapped in the
 // file envelope above (SavePayloadToFile / ReadVerifiedPayload).
+
+/// Partition properties a bundle records so load time can verify
+/// compatibility: a bundle saved from label-sliced shards only answers
+/// correctly under the exact partition it was sliced with, so the loader
+/// must be able to tell "re-partitioning this would silently lose runs"
+/// from "any shard count serves this fine".
+struct ShardedBundleInfo {
+  /// Shards were sliced to their owned label runs at save time
+  /// (ShardedEngineOptions::slice_labels).
+  bool sliced = false;
+  /// The partition used a caller-provided ShardFn. Functions cannot be
+  /// serialized, so only their presence is recorded — enough to reject the
+  /// common footgun of reloading a custom-partitioned sliced bundle with
+  /// the default partitioner (or vice versa).
+  bool custom_shard_fn = false;
+};
 
 /// One parsed multi-shard bundle.
 struct ShardedPayload {
   std::vector<std::string> shards;
   /// The vertex-space size the partition was computed over.
   Vertex num_vertices = 0;
+  ShardedBundleInfo info;
 };
 
 /// A parsed multi-shard bundle whose per-shard payloads are spans into the
@@ -163,11 +184,13 @@ struct ShardedPayload {
 struct ShardedPayloadView {
   std::vector<std::pair<const uint8_t*, size_t>> shards;
   Vertex num_vertices = 0;
+  ShardedBundleInfo info;
 };
 
 /// Bundles per-shard payloads into the multi-shard envelope.
 std::string WrapShardedPayload(const std::vector<std::string>& shard_payloads,
-                               Vertex num_vertices);
+                               Vertex num_vertices,
+                               const ShardedBundleInfo& info = {});
 
 /// True if `payload` starts with the multi-shard magic (cheap routing test;
 /// does not validate the rest).

@@ -1,5 +1,7 @@
 #include "serving/engine.h"
 
+#include <algorithm>
+#include <unordered_map>
 #include <utility>
 
 #include "csc/girth.h"
@@ -7,11 +9,70 @@
 
 namespace csc {
 
+namespace {
+
+uint64_t EdgeKey(const Edge& e) {
+  return (uint64_t{e.from} << 32) | e.to;
+}
+
+/// Collapses per-update raw successes to the batch's net effect per edge:
+/// successful ops on one edge strictly alternate its presence, so an even
+/// chain cancels entirely and an odd chain nets to its final op. Returns
+/// the net-applied count; `verdicts` (when non-null, pre-sized to
+/// kRejected) gets kApplied exactly on each net-changed edge's deciding
+/// update. This is the verdict-side mirror of dynamic/batch.h's net-effect
+/// reduction, so the two accountings agree on duplicate edges in a batch.
+size_t NetEffectVerdicts(const std::vector<EdgeUpdate>& updates,
+                         const std::vector<char>& success,
+                         std::vector<UpdateVerdict>* verdicts) {
+  struct Chain {
+    size_t toggles = 0;
+    size_t last = 0;
+  };
+  std::unordered_map<uint64_t, Chain> chains;
+  for (size_t i = 0; i < updates.size(); ++i) {
+    if (!success[i]) continue;
+    Chain& chain = chains[EdgeKey(updates[i].edge)];
+    ++chain.toggles;
+    chain.last = i;
+  }
+  size_t net = 0;
+  for (const auto& [key, chain] : chains) {
+    if (chain.toggles % 2 == 0) continue;  // cancelled out within the batch
+    ++net;
+    if (verdicts) (*verdicts)[chain.last] = UpdateVerdict::kApplied;
+  }
+  return net;
+}
+
+/// The inverse ops of the batch's successful mutations, in reverse
+/// admission order — replaying them restores the graph exactly.
+std::vector<EdgeUpdate> InverseOps(const std::vector<EdgeUpdate>& updates,
+                                   const std::vector<char>& success) {
+  std::vector<EdgeUpdate> undo;
+  for (size_t i = updates.size(); i-- > 0;) {
+    if (!success[i]) continue;
+    const EdgeUpdate& update = updates[i];
+    undo.push_back(update.kind == UpdateKind::kInsert
+                       ? EdgeUpdate::Remove(update.edge.from, update.edge.to)
+                       : EdgeUpdate::Insert(update.edge.from, update.edge.to));
+  }
+  return undo;
+}
+
+}  // namespace
+
 Engine::Engine(EngineOptions options)
     : options_(std::move(options)),
       pool_(options_.num_threads == 0 ? ThreadPool::DefaultThreadCount()
                                       : options_.num_threads) {
   active_ = MakeFresh();
+}
+
+Engine::~Engine() {
+  // Queued rebuild tasks touch graph_/active_; finish them while the
+  // members are still alive.
+  rebuild_worker_.reset();
 }
 
 std::shared_ptr<CycleIndex> Engine::MakeFresh() const {
@@ -29,6 +90,9 @@ std::shared_ptr<CycleIndex> Engine::snapshot() const {
 }
 
 bool Engine::Build(const DiGraph& graph) {
+  // A queued async rebuild captures the pre-Build graph; let it resolve
+  // before the graph and snapshot are replaced under it.
+  Drain();
   std::shared_ptr<CycleIndex> next = MakeFresh();
   if (!next) return false;
   next->Build(graph, options_.build);
@@ -40,29 +104,36 @@ bool Engine::Build(const DiGraph& graph) {
     return false;
   }
   if (options_.slice_keep) next->SliceLabels(options_.slice_keep);
-  // The retained copy only feeds the rebuild-and-swap update path of
-  // static backends; dynamic backends maintain their own graph in place,
-  // so don't double the adjacency footprint for them.
-  has_graph_ = !next->supports_updates();
-  if (has_graph_) {
-    graph_ = graph;
-    // Mirror the reserve in the retained graph so the static update path
-    // accepts exactly the endpoints dynamic backends accept.
-    graph_.AddVertices(options_.build.reserve_vertices);
-  } else {
-    graph_ = DiGraph();
+  {
+    std::lock_guard<std::mutex> lock(update_mu_);
+    // The retained copy only feeds the rebuild-and-swap update path of
+    // static backends; dynamic backends maintain their own graph in place,
+    // so don't double the adjacency footprint for them.
+    has_graph_ = !next->supports_updates();
+    if (has_graph_) {
+      graph_ = graph;
+      // Mirror the reserve in the retained graph so the static update path
+      // accepts exactly the endpoints dynamic backends accept.
+      graph_.AddVertices(options_.build.reserve_vertices);
+    } else {
+      graph_ = DiGraph();
+    }
   }
   Swap(std::move(next));
   return true;
 }
 
 // Commits a freshly loaded index: no graph is retained (static-backend
-// updates need a Build first), and the configured slice applies to loads
-// exactly as it does to builds.
+// updates report kNoGraph until Build), and the configured slice applies to
+// loads exactly as it does to builds.
 void Engine::AdoptLoaded(std::shared_ptr<CycleIndex> next) {
+  Drain();
   if (options_.slice_keep) next->SliceLabels(options_.slice_keep);
-  has_graph_ = false;
-  graph_ = DiGraph();  // release any copy retained by an earlier Build
+  {
+    std::lock_guard<std::mutex> lock(update_mu_);
+    has_graph_ = false;
+    graph_ = DiGraph();  // release any copy retained by an earlier Build
+  }
   Swap(std::move(next));
 }
 
@@ -155,73 +226,199 @@ GirthInfo Engine::Girth() {
   return index->Girth();
 }
 
+std::shared_ptr<CycleIndex> Engine::RebuildStatic(const DiGraph& graph) const {
+  if (options_.fail_rebuild_for_testing && options_.fail_rebuild_for_testing()) {
+    return nullptr;
+  }
+  std::shared_ptr<CycleIndex> next = MakeFresh();
+  if (!next) return nullptr;
+  // graph_ already carries the reserved vertices from Build; reserving
+  // again on every rebuild would grow the vertex space without bound.
+  CycleIndex::BuildOptions rebuild_options = options_.build;
+  rebuild_options.reserve_vertices = 0;
+  next->Build(graph, rebuild_options);
+  if (next->num_vertices() != graph.num_vertices()) return nullptr;
+  if (options_.slice_keep) next->SliceLabels(options_.slice_keep);
+  return next;
+}
+
+void Engine::ApplyUndoLocked(const std::vector<EdgeUpdate>& undo) {
+  for (const EdgeUpdate& update : undo) {
+    if (update.kind == UpdateKind::kInsert) {
+      graph_.AddEdge(update.edge.from, update.edge.to);
+    } else {
+      graph_.RemoveEdge(update.edge.from, update.edge.to);
+    }
+  }
+}
+
+void Engine::MarkFailedLocked(uint64_t first, uint64_t last) {
+  // Rollbacks only ever cover epochs above everything recorded so far, so
+  // a new range either extends the last one or appends after it.
+  if (!failed_ranges_.empty() && failed_ranges_.back().second + 1 >= first) {
+    failed_ranges_.back().second = std::max(failed_ranges_.back().second, last);
+  } else {
+    failed_ranges_.push_back({first, last});
+  }
+}
+
+bool Engine::IsFailedLocked(uint64_t epoch) const {
+  auto it = std::upper_bound(
+      failed_ranges_.begin(), failed_ranges_.end(), epoch,
+      [](uint64_t e, const std::pair<uint64_t, uint64_t>& range) {
+        return e < range.first;
+      });
+  return it != failed_ranges_.begin() && epoch <= std::prev(it)->second;
+}
+
+void Engine::RebuildEpochTask() {
+  uint64_t target;
+  DiGraph graph_copy;
+  {
+    std::unique_lock<std::mutex> lock(update_mu_);
+    // An earlier task's rebuild already covered every admitted epoch (the
+    // coalescing fast path: one queued task per batch, one rebuild per
+    // backlog).
+    if (resolved_epoch_ >= submitted_epoch_) return;
+    target = submitted_epoch_;
+    graph_copy = graph_;
+  }
+  // The expensive part runs with no engine lock held: admissions and
+  // queries proceed while the fresh index builds off to the side.
+  std::shared_ptr<CycleIndex> next = RebuildStatic(graph_copy);
+  std::unique_lock<std::mutex> lock(update_mu_);
+  if (next) {
+    Swap(std::move(next));
+    while (!unlanded_.empty() && unlanded_.front().epoch <= target) {
+      unlanded_.pop_front();
+    }
+    resolved_epoch_ = target;
+    landed_epoch_ = target;
+  } else {
+    // Rollback: the failed rebuild covered the state up to `target`, and
+    // any batch admitted after the graph copy was validated on top of that
+    // state — its verdicts are void too. Undo every unlanded batch in
+    // reverse admission order, restoring the exact graph the still-active
+    // snapshot answers for, and report all of them failed.
+    for (auto it = unlanded_.rbegin(); it != unlanded_.rend(); ++it) {
+      ApplyUndoLocked(it->undo);
+    }
+    MarkFailedLocked(unlanded_.front().epoch, submitted_epoch_);
+    unlanded_.clear();
+    resolved_epoch_ = submitted_epoch_;
+  }
+  epoch_cv_.notify_all();
+}
+
 size_t Engine::ApplyUpdates(const std::vector<EdgeUpdate>& updates,
-                            std::vector<bool>* verdicts) {
-  if (verdicts) verdicts->assign(updates.size(), false);
+                            std::vector<UpdateVerdict>* verdicts,
+                            uint64_t* epoch) {
+  if (verdicts) verdicts->assign(updates.size(), UpdateVerdict::kRejected);
   std::shared_ptr<CycleIndex> index = snapshot();
-  if (!index) return 0;
-  size_t applied = 0;
+  // Trivially-resolved paths hand out the newest *landed* epoch: it is
+  // already resolved and never a rolled-back one, so WaitForEpoch on it
+  // reports true instead of inheriting an earlier batch's failure.
+  auto resolved_now = [this, epoch] {
+    if (!epoch) return;
+    std::lock_guard<std::mutex> lock(update_mu_);
+    *epoch = landed_epoch_;
+  };
+  if (!index) {
+    resolved_now();
+    return 0;
+  }
   if (index->supports_updates()) {
     // In-place repair under the writer lock: excludes both the parallel
     // reader pool and serialized queries, so no query ever observes a
-    // half-applied update.
-    std::unique_lock<std::shared_mutex> lock(query_mu_);
-    for (size_t i = 0; i < updates.size(); ++i) {
-      const EdgeUpdate& update = updates[i];
-      CycleIndex::UpdateResult result =
-          update.kind == UpdateKind::kInsert
-              ? index->InsertEdge(update.edge.from, update.edge.to)
-              : index->DeleteEdge(update.edge.from, update.edge.to);
-      if (result == CycleIndex::UpdateResult::kApplied) {
-        ++applied;
-        if (verdicts) (*verdicts)[i] = true;
+    // half-applied update. Effects are visible at return, so the epoch
+    // token is already resolved.
+    std::vector<char> success(updates.size(), 0);
+    {
+      std::unique_lock<std::shared_mutex> lock(query_mu_);
+      for (size_t i = 0; i < updates.size(); ++i) {
+        const EdgeUpdate& update = updates[i];
+        CycleIndex::UpdateResult result =
+            update.kind == UpdateKind::kInsert
+                ? index->InsertEdge(update.edge.from, update.edge.to)
+                : index->DeleteEdge(update.edge.from, update.edge.to);
+        success[i] = result == CycleIndex::UpdateResult::kApplied ? 1 : 0;
       }
     }
-    return applied;
+    size_t net = NetEffectVerdicts(updates, success, verdicts);
+    resolved_now();
+    return net;
   }
   // Static serving form: mutate the retained graph, rebuild off to the
   // side, swap once. Readers keep the old snapshot until the swap.
-  if (!has_graph_) return 0;
-  std::vector<size_t> applied_at;  // for rollback on a failed rebuild
+  std::unique_lock<std::mutex> lock(update_mu_);
+  if (!has_graph_) {
+    if (verdicts) verdicts->assign(updates.size(), UpdateVerdict::kNoGraph);
+    if (epoch) *epoch = landed_epoch_;
+    return 0;
+  }
+  std::vector<char> success(updates.size(), 0);
   for (size_t i = 0; i < updates.size(); ++i) {
     const EdgeUpdate& update = updates[i];
-    bool ok = update.kind == UpdateKind::kInsert
-                  ? graph_.AddEdge(update.edge.from, update.edge.to)
-                  : graph_.RemoveEdge(update.edge.from, update.edge.to);
-    if (ok) {
-      ++applied;
-      applied_at.push_back(i);
-      if (verdicts) (*verdicts)[i] = true;
-    }
+    success[i] = (update.kind == UpdateKind::kInsert
+                      ? graph_.AddEdge(update.edge.from, update.edge.to)
+                      : graph_.RemoveEdge(update.edge.from, update.edge.to))
+                     ? 1
+                     : 0;
   }
-  if (applied == 0) return 0;
-  std::shared_ptr<CycleIndex> next = MakeFresh();
-  bool rebuilt = next != nullptr;
-  if (rebuilt) {
-    // graph_ already carries the reserved vertices from Build; reserving
-    // again on every rebuild would grow the vertex space without bound.
-    CycleIndex::BuildOptions rebuild_options = options_.build;
-    rebuild_options.reserve_vertices = 0;
-    next->Build(graph_, rebuild_options);
-    rebuilt = next->num_vertices() == graph_.num_vertices();
-    if (rebuilt && options_.slice_keep) next->SliceLabels(options_.slice_keep);
+  size_t net = NetEffectVerdicts(updates, success, verdicts);
+  if (net == 0) {
+    // Either nothing changed, or every change cancelled within the batch —
+    // the graph is back to the state the snapshot answers for either way,
+    // so there is nothing to rebuild (and no new epoch to hand out).
+    if (epoch) *epoch = landed_epoch_;
+    return 0;
   }
-  if (!rebuilt) {
+  if (options_.async_updates) {
+    // Admission only: hand out the epoch, remember how to undo this batch,
+    // and let the rebuild worker land it. One task per batch — a task that
+    // finds its epoch already covered by a predecessor's rebuild no-ops.
+    uint64_t admitted = ++submitted_epoch_;
+    unlanded_.push_back({admitted, InverseOps(updates, success)});
+    if (epoch) *epoch = admitted;
+    if (!rebuild_worker_) rebuild_worker_ = std::make_unique<SerialWorker>();
+    rebuild_worker_->Submit([this] { RebuildEpochTask(); });
+    return net;
+  }
+  uint64_t admitted = ++submitted_epoch_;
+  if (epoch) *epoch = admitted;
+  std::shared_ptr<CycleIndex> next = RebuildStatic(graph_);
+  if (!next) {
     // Leave the old snapshot serving and undo the graph mutations so a
     // later batch starts from the state the snapshot answers for.
-    for (auto it = applied_at.rbegin(); it != applied_at.rend(); ++it) {
-      const EdgeUpdate& update = updates[*it];
-      if (update.kind == UpdateKind::kInsert) {
-        graph_.RemoveEdge(update.edge.from, update.edge.to);
-      } else {
-        graph_.AddEdge(update.edge.from, update.edge.to);
-      }
-    }
-    if (verdicts) verdicts->assign(updates.size(), false);
+    ApplyUndoLocked(InverseOps(updates, success));
+    MarkFailedLocked(admitted, admitted);
+    resolved_epoch_ = admitted;
+    epoch_cv_.notify_all();
+    if (verdicts) verdicts->assign(updates.size(), UpdateVerdict::kRejected);
     return 0;
   }
   Swap(std::move(next));
-  return applied;
+  resolved_epoch_ = admitted;
+  landed_epoch_ = admitted;
+  epoch_cv_.notify_all();
+  return net;
+}
+
+bool Engine::WaitForEpoch(uint64_t epoch) {
+  std::unique_lock<std::mutex> lock(update_mu_);
+  epoch_cv_.wait(lock, [this, epoch] { return resolved_epoch_ >= epoch; });
+  return !IsFailedLocked(epoch);
+}
+
+void Engine::Drain() {
+  std::unique_lock<std::mutex> lock(update_mu_);
+  epoch_cv_.wait(lock,
+                 [this] { return resolved_epoch_ >= submitted_epoch_; });
+}
+
+uint64_t Engine::resolved_epoch() const {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  return resolved_epoch_;
 }
 
 Vertex Engine::num_vertices() const {

@@ -1,6 +1,9 @@
 #ifndef CSC_SERVING_ENGINE_H_
 #define CSC_SERVING_ENGINE_H_
 
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -32,6 +35,37 @@ struct EngineOptions {
   /// labels. Backends that cannot slice serve unsliced — still correct,
   /// just unshrunk.
   std::function<bool(Vertex)> slice_keep;
+  /// Land static-backend rebuilds off the writer thread: ApplyUpdates
+  /// validates the batch, mutates the retained graph, and returns with an
+  /// epoch token; a background worker rebuilds and swaps the snapshot,
+  /// coalescing batches that arrive mid-rebuild into the next rebuild. Use
+  /// WaitForEpoch / Drain for read-your-writes. Dynamic (in-place) backends
+  /// are unaffected — their updates are already visible on return.
+  bool async_updates = false;
+  /// Test-only fault injection: when set, every static rebuild consults it
+  /// and fails — with the full rollback protocol — while it returns true.
+  /// Lets tests exercise sync and async rollback without a corrupt backend.
+  /// Never set in production.
+  std::function<bool()> fail_rebuild_for_testing;
+};
+
+/// Per-update outcome of Engine::ApplyUpdates.
+enum class UpdateVerdict : uint8_t {
+  /// Not applied: out-of-range endpoint, self-loop, a present/absent no-op,
+  /// an update whose effect was cancelled by another update on the same
+  /// edge inside the batch, or a batch rolled back by a failed rebuild.
+  kRejected = 0,
+  /// The net effect of the batch on this update's edge — exactly one update
+  /// per net-changed edge is marked applied. Under async_updates the
+  /// verdict is provisional until WaitForEpoch(epoch) returns true (a
+  /// failed rebuild rolls the batch back and reports false there).
+  kApplied,
+  /// A static backend with no retained graph: the engine was restored via
+  /// LoadFrom / LoadFromFile / LoadView, which keeps no graph to rebuild
+  /// from, so updates cannot apply until Build is called. Distinct from
+  /// kRejected so callers can tell "invalid update" from "engine cannot
+  /// update at all right now".
+  kNoGraph,
 };
 
 /// The serving facade: owns one CycleIndex backend chosen by name, fans
@@ -42,35 +76,46 @@ struct EngineOptions {
 /// shared_ptr snapshot, so a query never observes a half-applied swap and an
 /// in-flight batch keeps its snapshot alive after a swap retires it. Update
 /// entry points (Build / ApplyUpdates / LoadFrom) are single-writer —
-/// serialize them externally. Backends with thread-safe queries run reads
-/// in parallel under a reader lock; in-place updates take the matching
-/// writer lock, so queries never race a label mutation. Backends whose
-/// queries mutate internal state ("cached", "bfs") are serialized through
-/// the writer lock on every query.
+/// serialize them externally. (With async_updates the engine's own rebuild
+/// worker is internal to that contract: it serializes itself against the
+/// writer entry points; WaitForEpoch / Drain may be called from any
+/// thread.) Backends with thread-safe queries run reads in parallel under a
+/// reader lock; in-place updates take the matching writer lock, so queries
+/// never race a label mutation. Backends whose queries mutate internal
+/// state ("cached", "bfs") are serialized through the writer lock on every
+/// query.
 ///
 /// Updates: a backend that supports in-place maintenance ("csc", "cached",
 /// "bfs", "precompute") repairs itself; for static serving forms ("frozen",
 /// "compressed", "compact", "hpspc") the engine mutates its retained graph,
 /// rebuilds a fresh index off to the side, and swaps it in atomically — the
-/// warm snapshot swap. Readers are never blocked by a rebuild.
+/// warm snapshot swap. Readers are never blocked by a rebuild. With
+/// async_updates the rebuild itself leaves the writer thread too: the
+/// writer returns after validation and the swap lands asynchronously under
+/// an epoch token.
 class Engine {
  public:
   explicit Engine(EngineOptions options = {});
+
+  /// Completes any queued asynchronous rebuilds, then tears down.
+  ~Engine();
 
   /// False if the configured backend name is unknown.
   bool valid() const { return active_ != nullptr; }
   const std::string& backend_name() const { return options_.backend; }
 
-  /// Builds the active index from `graph` (synchronous). For static
-  /// backends the graph is retained to feed rebuild-style updates; dynamic
-  /// backends maintain their own copy, so none is kept. On failure (unknown
-  /// backend, or a backend that failed to materialize the expected vertex
-  /// space) the previous snapshot, if any, stays active.
+  /// Builds the active index from `graph` (synchronous; drains any pending
+  /// asynchronous rebuilds first). For static backends the graph is
+  /// retained to feed rebuild-style updates; dynamic backends maintain
+  /// their own copy, so none is kept. On failure (unknown backend, or a
+  /// backend that failed to materialize the expected vertex space) the
+  /// previous snapshot, if any, stays active.
   bool Build(const DiGraph& graph);
 
-  /// Restores the index from a persisted payload. Static-backend updates
-  /// are unavailable after LoadFrom (no graph retained) until Build is
-  /// called.
+  /// Restores the index from a persisted payload. No graph is retained, so
+  /// static-backend updates are unavailable after LoadFrom — ApplyUpdates
+  /// returns 0 with every verdict kNoGraph — until Build is called with
+  /// the graph.
   bool LoadFrom(const std::string& bytes);
 
   /// Serves the checksummed index file at `path` directly from a shared
@@ -78,10 +123,10 @@ class Engine {
   /// backends keep their label payloads in the file pages — no
   /// deserialization copy, cold-start is bounded by the envelope CRC pass —
   /// and the mapping stays alive for as long as any snapshot references it.
-  /// Same post-state as LoadFrom (static-backend updates unavailable until
-  /// Build). False with `error` set (when non-null) on I/O, verification,
-  /// or format failure; multi-shard bundles are rejected here — serve them
-  /// via ShardedEngine::LoadFromFile.
+  /// Same post-state as LoadFrom (static-backend updates report kNoGraph
+  /// until Build). False with `error` set (when non-null) on I/O,
+  /// verification, or format failure; multi-shard bundles are rejected here
+  /// — serve them via ShardedEngine::LoadFromFile.
   bool LoadFromFile(const std::string& path, std::string* error = nullptr);
 
   /// Restores the index from an externally owned, already-verified payload
@@ -107,23 +152,53 @@ class Engine {
 
   GirthInfo Girth();
 
-  /// Applies a batch of edge updates; returns how many were applied
-  /// (rejected no-ops are skipped). In-place for dynamic backends; for
-  /// static backends the whole batch is applied to the retained graph and
-  /// one rebuilt snapshot is swapped in at the end. If the rebuild fails,
-  /// the graph mutations are rolled back, the old snapshot stays active,
-  /// and 0 is returned — callers never observe a half-updated index.
+  /// Applies a batch of edge updates; returns the batch's net-applied count
+  /// (rejected no-ops are skipped, and updates on the same edge collapse to
+  /// their net effect — an insert/remove pair inside one batch cancels and
+  /// counts 0, matching dynamic/batch.h's net-effect reduction). In-place
+  /// for dynamic backends; for static backends the whole batch is applied
+  /// to the retained graph and one rebuilt snapshot is swapped in — on the
+  /// caller's thread by default, by the background rebuild worker under
+  /// EngineOptions::async_updates (the call then returns right after
+  /// validation and graph mutation). If a rebuild fails, the graph
+  /// mutations are rolled back and the old snapshot stays active — callers
+  /// never observe a half-updated index. Synchronously that means 0 is
+  /// returned with all-kRejected verdicts; asynchronously the failure is
+  /// reported through WaitForEpoch (the failed epoch — and any epoch
+  /// admitted on top of it before the failure — rolls back and reports
+  /// false).
   ///
   /// Both paths accept exactly the same updates: endpoints in
   /// [0, num_vertices()) — including vertices added via
   /// BuildOptions::reserve_vertices — with out-of-range endpoints,
   /// self-loops, and present/absent no-ops uniformly rejected.
   ///
-  /// When `verdicts` is non-null it is resized to `updates.size()` with
-  /// verdicts[i] = whether update i was applied (all false after a failed
-  /// rebuild). The sharded serving tier uses this for per-owner accounting.
+  /// When `verdicts` is non-null it is resized to `updates.size()` with the
+  /// per-update UpdateVerdict; the sharded serving tier uses this for
+  /// per-owner accounting. When `epoch` is non-null it receives the epoch
+  /// token this batch lands under: pass it to WaitForEpoch for
+  /// read-your-writes. On paths whose effect is already visible at return
+  /// (dynamic backends, successful synchronous static rebuilds) the token
+  /// is already resolved and WaitForEpoch returns immediately; a batch
+  /// that admits nothing (fully rejected, net-zero, kNoGraph) receives the
+  /// newest successfully landed epoch, which always reports true.
   size_t ApplyUpdates(const std::vector<EdgeUpdate>& updates,
-                      std::vector<bool>* verdicts = nullptr);
+                      std::vector<UpdateVerdict>* verdicts = nullptr,
+                      uint64_t* epoch = nullptr);
+
+  /// Blocks until `epoch` (an ApplyUpdates token) has resolved. True when
+  /// the batch's effect is visible to queries; false when its rebuild
+  /// failed and the batch was rolled back (the snapshot still answers for
+  /// the pre-batch state).
+  bool WaitForEpoch(uint64_t epoch);
+
+  /// Blocks until every update admitted so far has resolved (landed or
+  /// rolled back) — the coarse read-your-writes barrier.
+  void Drain();
+
+  /// The newest epoch whose outcome is visible to queries. Epochs are
+  /// engine-local and monotonically increasing from 0.
+  uint64_t resolved_epoch() const;
 
   /// The current snapshot; stays valid (and queryable, subject to the
   /// backend's thread-safety) even after a later swap retires it.
@@ -143,9 +218,29 @@ class Engine {
   }
 
  private:
+  /// One admitted-but-unresolved async batch: its epoch plus the inverse
+  /// ops (reverse admission order) that restore the retained graph if the
+  /// covering rebuild fails.
+  struct PendingBatch {
+    uint64_t epoch = 0;
+    std::vector<EdgeUpdate> undo;
+  };
+
   std::shared_ptr<CycleIndex> MakeFresh() const;
   void Swap(std::shared_ptr<CycleIndex> next);
   void AdoptLoaded(std::shared_ptr<CycleIndex> next);
+  /// Builds a fresh static snapshot over `graph` (reserve already
+  /// materialized in it); nullptr on failure. Does not touch engine state.
+  std::shared_ptr<CycleIndex> RebuildStatic(const DiGraph& graph) const;
+  /// The body of one queued async rebuild: coalesces every epoch admitted
+  /// so far into a single rebuild-and-swap (or a rollback on failure).
+  void RebuildEpochTask();
+  /// Replays `undo` onto the retained graph. Caller holds update_mu_.
+  void ApplyUndoLocked(const std::vector<EdgeUpdate>& undo);
+  /// Records [first, last] as rolled back / IsFailedLocked(epoch). Callers
+  /// hold update_mu_.
+  void MarkFailedLocked(uint64_t first, uint64_t last);
+  bool IsFailedLocked(uint64_t epoch) const;
 
   EngineOptions options_;
   ThreadPool pool_;
@@ -154,8 +249,28 @@ class Engine {
   // queries of state-mutating backends hold it exclusive.
   std::shared_mutex query_mu_;
   std::shared_ptr<CycleIndex> active_;
+
+  // --- Retained graph + epoch state, guarded by update_mu_. The async
+  // rebuild worker and the writer thread meet here; readers never do.
+  // Lock order: update_mu_ before swap_mu_ (the worker swaps while holding
+  // update_mu_); query_mu_ is never held together with update_mu_.
+  mutable std::mutex update_mu_;
+  std::condition_variable epoch_cv_;
   DiGraph graph_;     // retained for static-backend rebuilds
   bool has_graph_ = false;
+  uint64_t submitted_epoch_ = 0;  // newest epoch handed out
+  uint64_t resolved_epoch_ = 0;   // every epoch <= this landed or rolled back
+  uint64_t landed_epoch_ = 0;     // newest epoch a swap actually landed
+  // Rolled-back epochs as disjoint [first, last] ranges, ascending, with
+  // adjacent ranges merged. A rollback always covers a contiguous range
+  // above every landed epoch, so sustained failure costs one growing range
+  // — not one entry per failed epoch.
+  std::vector<std::pair<uint64_t, uint64_t>> failed_ranges_;
+  std::deque<PendingBatch> unlanded_;  // ascending epoch order
+  // The async rebuild thread; lazily started by the first async admission
+  // so synchronous engines pay nothing. Destroyed first (tasks touch the
+  // members above).
+  std::unique_ptr<SerialWorker> rebuild_worker_;
 };
 
 }  // namespace csc

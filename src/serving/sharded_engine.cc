@@ -21,21 +21,26 @@ ShardedEngine::ShardedEngine(ShardedEngineOptions options)
   pool_ = std::make_unique<ThreadPool>(options_.num_threads != 0
                                            ? options_.num_threads
                                            : options_.num_shards);
-  // Divide the default worker budget across the shards so K shard engines
-  // do not multiply the machine's thread count by K.
-  unsigned shard_threads =
-      options_.shard_threads != 0
-          ? options_.shard_threads
-          : std::max(1u, ThreadPool::DefaultThreadCount() / options_.num_shards);
-  EngineOptions shard_options;
-  shard_options.backend = options_.backend;
-  shard_options.num_threads = shard_threads;
-  shard_options.batch_grain = options_.batch_grain;
-  shard_options.build = options_.build;
+  EngineOptions shard_options = ShardEngineOptions(options_.num_shards);
   shards_.reserve(options_.num_shards);
   for (uint32_t s = 0; s < options_.num_shards; ++s) {
     shards_.push_back(std::make_unique<Engine>(shard_options));
   }
+}
+
+EngineOptions ShardedEngine::ShardEngineOptions(uint32_t num_shards) const {
+  EngineOptions shard_options;
+  shard_options.backend = options_.backend;
+  // Divide the default worker budget across the shards so K shard engines
+  // do not multiply the machine's thread count by K.
+  shard_options.num_threads =
+      options_.shard_threads != 0
+          ? options_.shard_threads
+          : std::max(1u, ThreadPool::DefaultThreadCount() / num_shards);
+  shard_options.batch_grain = options_.batch_grain;
+  shard_options.build = options_.build;
+  shard_options.async_updates = options_.async_updates;
+  return shard_options;
 }
 
 bool ShardedEngine::valid() const {
@@ -125,15 +130,8 @@ bool ShardedEngine::AdoptShards(
     const std::function<bool(Engine&, uint32_t)>& load) {
   // Adopt the bundle's shard count: re-create the engines to match, and
   // only commit once every shard payload restored cleanly.
-  EngineOptions shard_options;
-  shard_options.backend = options_.backend;
-  shard_options.num_threads =
-      options_.shard_threads != 0
-          ? options_.shard_threads
-          : std::max(1u, ThreadPool::DefaultThreadCount() /
-                             static_cast<unsigned>(num_shards));
-  shard_options.batch_grain = options_.batch_grain;
-  shard_options.build = options_.build;
+  EngineOptions shard_options =
+      ShardEngineOptions(static_cast<uint32_t>(num_shards));
   std::vector<std::unique_ptr<Engine>> next;
   next.reserve(num_shards);
   for (uint32_t s = 0; s < num_shards; ++s) {
@@ -161,13 +159,60 @@ bool ShardedEngine::AdoptShards(
   return true;
 }
 
-bool ShardedEngine::LoadFrom(const std::string& bytes) {
-  std::optional<ShardedPayload> parsed = ParseShardedPayload(bytes, nullptr);
+bool ShardedEngine::BundleCompatible(const ShardedBundleInfo& info,
+                                     uint32_t bundle_shards,
+                                     std::string* error) const {
+  if (!info.sliced) return true;  // full-closure shards serve under any K
+  // A sliced bundle's runs live only on the shard its save-time partition
+  // assigned them to; adopting a different partition would route queries to
+  // shards that answer "no cycle" for vertices they never stored. K is
+  // recorded, so an explicitly configured mismatch is rejected here
+  // (num_shards == 1, the default, means "adopt the bundle's").
+  if (options_.num_shards > 1 && options_.num_shards != bundle_shards) {
+    if (error) {
+      *error = "sliced bundle was partitioned into " +
+               std::to_string(bundle_shards) +
+               " shards but the engine is configured for " +
+               std::to_string(options_.num_shards) +
+               "; sliced label runs cannot be re-partitioned — load with a "
+               "matching num_shards or rebuild from the graph";
+    }
+    return false;
+  }
+  // ShardFns cannot be serialized, but their presence is recorded: loading
+  // a custom-partitioned sliced bundle with the default partitioner (or
+  // vice versa) is certainly wrong. Matching presence is trusted — reload
+  // with the same function, as documented on slice_labels.
+  if (info.custom_shard_fn != static_cast<bool>(options_.shard_fn)) {
+    if (error) {
+      *error = info.custom_shard_fn
+                   ? "sliced bundle was partitioned by a custom shard_fn; "
+                     "configure the same shard_fn to load it"
+                   : "sliced bundle was partitioned by the default "
+                     "contiguous ranges; clear the configured shard_fn to "
+                     "load it";
+    }
+    return false;
+  }
+  return true;
+}
+
+bool ShardedEngine::LoadFrom(const std::string& bytes, std::string* error) {
+  std::optional<ShardedPayload> parsed = ParseShardedPayload(bytes, error);
   if (!parsed) return false;
-  return AdoptShards(parsed->shards.size(), parsed->num_vertices,
-                     [&parsed](Engine& engine, uint32_t s) {
-                       return engine.LoadFrom(parsed->shards[s]);
-                     });
+  if (!BundleCompatible(parsed->info,
+                        static_cast<uint32_t>(parsed->shards.size()), error)) {
+    return false;
+  }
+  bool ok = AdoptShards(parsed->shards.size(), parsed->num_vertices,
+                        [&parsed](Engine& engine, uint32_t s) {
+                          return engine.LoadFrom(parsed->shards[s]);
+                        });
+  if (!ok && error && error->empty()) {
+    *error =
+        "bundle shard does not load into backend '" + options_.backend + "'";
+  }
+  return ok;
 }
 
 bool ShardedEngine::LoadFromFile(const std::string& path, std::string* error) {
@@ -185,6 +230,10 @@ bool ShardedEngine::LoadFromMapping(const std::shared_ptr<IndexFile>& file,
   std::optional<ShardedPayloadView> parsed =
       ParseShardedPayloadView(file->payload(), file->payload_size(), error);
   if (!parsed) return false;
+  if (!BundleCompatible(parsed->info,
+                        static_cast<uint32_t>(parsed->shards.size()), error)) {
+    return false;
+  }
   // Every shard engine views its span of the one shared mapping; the
   // mapping stays alive until the last shard snapshot referencing it dies.
   bool ok = AdoptShards(parsed->shards.size(), parsed->num_vertices,
@@ -205,7 +254,13 @@ bool ShardedEngine::SaveTo(std::string& bytes) const {
   for (uint32_t s = 0; s < num_shards(); ++s) {
     if (!shards_[s]->SaveTo(payloads[s])) return false;
   }
-  bytes = WrapShardedPayload(payloads, num_vertices_);
+  // Record the partition properties a future loader must match: slicing is
+  // taken from the configuration (a backend that cannot slice saves full
+  // runs anyway, which only makes a rejected reload conservative).
+  ShardedBundleInfo info;
+  info.sliced = options_.slice_labels;
+  info.custom_shard_fn = static_cast<bool>(options_.shard_fn);
+  bytes = WrapShardedPayload(payloads, num_vertices_, info);
   return true;
 }
 
@@ -307,22 +362,44 @@ std::vector<ScreeningHit> ShardedEngine::Screen(Dist max_cycle_length,
   return merged;
 }
 
-size_t ShardedEngine::ApplyUpdates(const std::vector<EdgeUpdate>& updates) {
+size_t ShardedEngine::ApplyUpdates(const std::vector<EdgeUpdate>& updates,
+                                   std::vector<uint64_t>* epochs) {
   if (shards_.empty()) return 0;
   // Every shard holds the full closure, so every shard applies the full
   // ordered batch (deterministic backends keep the replicas identical).
   // The grouping by owning shard is the accounting: update i counts as
-  // applied iff the shard owning its edge applied it.
-  std::vector<std::vector<bool>> verdicts(num_shards());
-  ForEachShard(
-      [&](uint32_t s) { shards_[s]->ApplyUpdates(updates, &verdicts[s]); });
+  // applied iff the shard owning its edge applied it. In async mode each
+  // shard returns after validation; the per-shard epoch tokens come back
+  // through `epochs` for WaitForEpochs.
+  std::vector<std::vector<UpdateVerdict>> verdicts(num_shards());
+  if (epochs) epochs->assign(num_shards(), 0);
+  ForEachShard([&](uint32_t s) {
+    uint64_t epoch = 0;
+    shards_[s]->ApplyUpdates(updates, &verdicts[s], &epoch);
+    if (epochs) (*epochs)[s] = epoch;
+  });
   size_t applied = 0;
   for (size_t i = 0; i < updates.size(); ++i) {
     Vertex from = updates[i].edge.from;
     uint32_t owner = from < num_vertices_ ? ShardOf(from) : 0;
-    if (verdicts[owner][i]) ++applied;
+    if (verdicts[owner][i] == UpdateVerdict::kApplied) ++applied;
   }
   return applied;
+}
+
+bool ShardedEngine::WaitForEpochs(const std::vector<uint64_t>& epochs) {
+  if (epochs.size() != shards_.size()) return false;
+  // Sequential waits: every shard resolves concurrently regardless, so the
+  // total is bounded by the slowest shard either way.
+  bool landed = true;
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    landed = shards_[s]->WaitForEpoch(epochs[s]) && landed;
+  }
+  return landed;
+}
+
+void ShardedEngine::Drain() {
+  for (const auto& shard : shards_) shard->Drain();
 }
 
 uint64_t ShardedEngine::MemoryBytes() const {

@@ -14,8 +14,9 @@
 
 namespace csc {
 
-struct GirthInfo;  // csc/girth.h
-class IndexFile;   // csc/index_io.h
+struct GirthInfo;           // csc/girth.h
+class IndexFile;            // csc/index_io.h
+struct ShardedBundleInfo;   // csc/index_io.h
 
 /// Maps a vertex to its owning shard. Must be pure, total over
 /// [0, num_vertices), and return values in [0, num_shards).
@@ -49,9 +50,16 @@ struct ShardedEngineOptions {
   /// vertex's runs, and those live on the owner). Only arena-backed
   /// backends ("frozen", "compressed") can slice; others serve the full
   /// closure as before. A bundle saved from sliced shards must be reloaded
-  /// with the same shard count and shard_fn (it always carries its own K;
-  /// re-partitioning requires the graph).
+  /// with the same shard count and shard_fn — the bundle records both its
+  /// K and whether a custom shard_fn was in use, and LoadFrom /
+  /// LoadFromFile reject a mismatch instead of serving vertices whose runs
+  /// were sliced away as "no cycle" (re-partitioning requires the graph).
   bool slice_labels = false;
+  /// Forwarded to every shard Engine (EngineOptions::async_updates):
+  /// ApplyUpdates returns after validating the batch and mutating the K
+  /// retained graphs; the per-shard rebuild workers land the K snapshot
+  /// swaps asynchronously. Use WaitForEpochs / Drain for read-your-writes.
+  bool async_updates = false;
 };
 
 /// Per-shard slice of ShardedEngine::Stats().
@@ -91,7 +99,10 @@ struct ShardInfo {
 /// owning shard for accounting, then applies the full ordered batch on all
 /// shards concurrently; the aggregate "applied" count is taken from each
 /// update's owning shard. Dynamic backends repair in place per shard;
-/// static backends rebuild-and-swap per shard, all K rebuilds in parallel.
+/// static backends rebuild-and-swap per shard, all K rebuilds in parallel —
+/// or, with ShardedEngineOptions::async_updates, off the writer thread
+/// entirely: ApplyUpdates returns after the K validations and the rebuild
+/// workers land the swaps behind epoch tokens (WaitForEpochs / Drain).
 ///
 /// Concurrency contract: queries and sweeps may run concurrently with one
 /// ApplyUpdates writer (each shard's Engine swaps snapshots under its own
@@ -118,9 +129,16 @@ class ShardedEngine {
   bool Build(const DiGraph& graph);
 
   /// Restores from a multi-shard bundle (WrapShardedPayload). The bundle's
-  /// shard count is adopted — engines are re-created to match it. As with
+  /// shard count is adopted — engines are re-created to match it — except
+  /// that a bundle saved from label-sliced shards is only accepted under a
+  /// compatible partition: its recorded K must match the configured
+  /// num_shards (when one was configured, i.e. > 1) and its recorded
+  /// custom-shard_fn bit must match whether this engine has one. A
+  /// mismatch fails the load with `error` describing it (when non-null)
+  /// instead of silently answering "no cycle" for every vertex whose runs
+  /// were sliced onto a differently-partitioned shard. As with
   /// Engine::LoadFrom, static-backend updates are unavailable afterwards.
-  bool LoadFrom(const std::string& bytes);
+  bool LoadFrom(const std::string& bytes, std::string* error = nullptr);
 
   /// Restores from a multi-shard bundle file, all K shard engines viewing
   /// one shared read-only mapping (csc/index_io.h IndexFile): the arena
@@ -159,9 +177,25 @@ class ShardedEngine {
   /// length asc, vertex asc), and truncated to `top_k`.
   std::vector<ScreeningHit> Screen(Dist max_cycle_length, size_t top_k);
 
-  /// Applies the batch on every shard (concurrently); returns how many
-  /// updates were applied according to each update's owning shard.
-  size_t ApplyUpdates(const std::vector<EdgeUpdate>& updates);
+  /// Applies the batch on every shard (concurrently); returns the batch's
+  /// net-applied count according to each update's owning shard. With
+  /// `async_updates` the call returns once every shard has validated the
+  /// batch and mutated its retained graph — the K rebuilds land
+  /// asynchronously. When `epochs` is non-null it is resized to
+  /// num_shards() with each shard's epoch token for this batch; pass it to
+  /// WaitForEpochs (or call Drain) for read-your-writes.
+  size_t ApplyUpdates(const std::vector<EdgeUpdate>& updates,
+                      std::vector<uint64_t>* epochs = nullptr);
+
+  /// Blocks until every shard has resolved its epoch from one ApplyUpdates
+  /// call (as returned through `epochs`). True iff every shard landed its
+  /// batch; false if any shard rolled it back (failed rebuild) or the
+  /// vector does not match the shard count.
+  bool WaitForEpochs(const std::vector<uint64_t>& epochs);
+
+  /// Blocks until every update admitted so far has resolved on every shard
+  /// — the coarse read-your-writes barrier of the async mode.
+  void Drain();
 
   Vertex num_vertices() const { return num_vertices_; }
 
@@ -180,6 +214,14 @@ class ShardedEngine {
   /// Runs body(s) for every shard on the router pool and waits.
   void ForEachShard(const std::function<void(uint32_t)>& body);
   void RecomputeOwnership();
+  /// The per-shard EngineOptions for a K-shard deployment (thread budget
+  /// divided across the shards).
+  EngineOptions ShardEngineOptions(uint32_t num_shards) const;
+  /// False (with `error` set when non-null) when a bundle's recorded
+  /// partition is incompatible with this engine's configuration — see
+  /// LoadFrom.
+  bool BundleCompatible(const ShardedBundleInfo& info, uint32_t bundle_shards,
+                        std::string* error) const;
   /// Shard s's ownership predicate over a fixed (K, n) partition — the
   /// slice_keep handed to shard engines (self-contained, so it stays valid
   /// across later rebuilds).

@@ -61,6 +61,55 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+SerialWorker::SerialWorker() : worker_([this] { WorkerLoop(); }) {}
+
+SerialWorker::~SerialWorker() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  worker_.join();
+}
+
+void SerialWorker::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void SerialWorker::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+size_t SerialWorker::pending() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+void SerialWorker::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
 void ParallelFor(ThreadPool& pool, size_t begin, size_t end, size_t grain,
                  const std::function<void(size_t, size_t)>& body) {
   if (begin >= end) return;

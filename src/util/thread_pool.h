@@ -65,6 +65,46 @@ class ThreadPool {
 void ParallelFor(ThreadPool& pool, size_t begin, size_t end, size_t grain,
                  const std::function<void(size_t, size_t)>& body);
 
+/// One background thread draining a FIFO of tasks in submission order, with
+/// a Drain() barrier — the minimal executor for work that must be off the
+/// calling thread but strictly serialized against itself (the serving
+/// Engine's asynchronous static-index rebuilds: at most one rebuild in
+/// flight, batches admitted mid-rebuild coalesce into the next task).
+///
+/// Unlike ThreadPool there is deliberately no parallelism: tasks see every
+/// earlier task's effects, so a task may cheaply no-op when a predecessor
+/// already covered its work.
+class SerialWorker {
+ public:
+  SerialWorker();
+
+  /// Completes every queued task, then joins the thread.
+  ~SerialWorker();
+
+  SerialWorker(const SerialWorker&) = delete;
+  SerialWorker& operator=(const SerialWorker&) = delete;
+
+  /// Enqueues a task. Never blocks; tasks run in submission order.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has completed.
+  void Drain();
+
+  /// Queued + currently running tasks (a snapshot; racy by nature).
+  size_t pending() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently running tasks
+  bool shutting_down_ = false;
+  std::thread worker_;
+};
+
 }  // namespace csc
 
 #endif  // CSC_UTIL_THREAD_POOL_H_

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -156,10 +158,13 @@ TEST(EngineTest, UpdatePathsAgreeOnReserveAndOutOfRange) {
     Engine engine(options);
     ASSERT_TRUE(engine.Build(graph)) << name;
     ASSERT_EQ(engine.num_vertices(), 12u) << name;
-    std::vector<bool> verdicts;
+    std::vector<UpdateVerdict> verdicts;
     EXPECT_EQ(engine.ApplyUpdates(updates, &verdicts), 2u) << name;
     EXPECT_EQ(verdicts,
-              (std::vector<bool>{true, true, false, false, false}))
+              (std::vector<UpdateVerdict>{
+                  UpdateVerdict::kApplied, UpdateVerdict::kApplied,
+                  UpdateVerdict::kRejected, UpdateVerdict::kRejected,
+                  UpdateVerdict::kRejected}))
         << name;
     EXPECT_EQ(engine.QueryAll(), expected) << name;
   }
@@ -180,6 +185,202 @@ TEST(EngineTest, StaticRebuildKeepsVertexSpaceStable) {
     EXPECT_EQ(engine.num_vertices(), 13u) << "round " << round;
     EXPECT_EQ(engine.ApplyUpdates({EdgeUpdate::Remove(0, 1)}), 1u);
     EXPECT_EQ(engine.num_vertices(), 13u) << "round " << round;
+  }
+}
+
+// A static engine restored from a payload has no graph to rebuild from:
+// updates must be reported as kNoGraph — distinguishable from per-update
+// rejection — until Build supplies the graph.
+TEST(EngineTest, NoGraphVerdictAfterLoad) {
+  DiGraph graph = Figure2Graph();
+  EngineOptions build_options;
+  build_options.backend = "csc";
+  Engine builder(build_options);
+  ASSERT_TRUE(builder.Build(graph));
+  std::string bytes;
+  ASSERT_TRUE(builder.SaveTo(bytes));
+
+  EngineOptions options;
+  options.backend = "frozen";
+  Engine engine(options);
+  ASSERT_TRUE(engine.LoadFrom(bytes));
+  std::vector<EdgeUpdate> updates = {EdgeUpdate::Insert(7, 6),
+                                     EdgeUpdate::Insert(100, 0)};
+  std::vector<UpdateVerdict> verdicts;
+  uint64_t epoch = 42;
+  EXPECT_EQ(engine.ApplyUpdates(updates, &verdicts, &epoch), 0u);
+  EXPECT_EQ(verdicts, (std::vector<UpdateVerdict>{UpdateVerdict::kNoGraph,
+                                                  UpdateVerdict::kNoGraph}));
+  // The no-graph rejection resolves immediately (nothing was admitted).
+  EXPECT_TRUE(engine.WaitForEpoch(epoch));
+
+  // Build supplies the graph; the same batch then gets real verdicts.
+  ASSERT_TRUE(engine.Build(graph));
+  EXPECT_EQ(engine.ApplyUpdates(updates, &verdicts), 1u);
+  EXPECT_EQ(verdicts, (std::vector<UpdateVerdict>{UpdateVerdict::kApplied,
+                                                  UpdateVerdict::kRejected}));
+}
+
+// Regression for the duplicate-edge accounting disagreement: updates on the
+// same edge inside one batch must collapse to their net effect — exactly
+// like dynamic/batch.h's net-effect reduction — on both the in-place and
+// the rebuild-and-swap path.
+TEST(EngineTest, DuplicateEdgesInBatchCollapseToNetEffect) {
+  for (const char* name : {"csc", "frozen"}) {
+    SCOPED_TRACE(name);
+    DiGraph graph = Figure2Graph();
+    EngineOptions options;
+    options.backend = name;
+    Engine engine(options);
+    ASSERT_TRUE(engine.Build(graph));
+    std::vector<CycleCount> before = engine.QueryAll();
+    std::shared_ptr<CycleIndex> initial = engine.snapshot();
+
+    // Insert + remove of an absent edge: a cancelled pair, net zero. The
+    // per-update accounting used to report both as applied (count 2).
+    std::vector<UpdateVerdict> verdicts;
+    EXPECT_EQ(engine.ApplyUpdates({EdgeUpdate::Insert(7, 0),
+                                   EdgeUpdate::Remove(7, 0)},
+                                  &verdicts),
+              0u);
+    EXPECT_EQ(verdicts, (std::vector<UpdateVerdict>{
+                            UpdateVerdict::kRejected, UpdateVerdict::kRejected}));
+    EXPECT_EQ(engine.QueryAll(), before);
+    if (std::string(name) == "frozen") {
+      // Net-zero batches must not rebuild-and-swap on the static path.
+      EXPECT_EQ(engine.snapshot().get(), initial.get());
+    }
+
+    // An odd toggle chain nets to its final op: only that one is applied.
+    EXPECT_EQ(engine.ApplyUpdates({EdgeUpdate::Insert(7, 0),
+                                   EdgeUpdate::Remove(7, 0),
+                                   EdgeUpdate::Insert(7, 0)},
+                                  &verdicts),
+              1u);
+    EXPECT_EQ(verdicts,
+              (std::vector<UpdateVerdict>{UpdateVerdict::kRejected,
+                                          UpdateVerdict::kRejected,
+                                          UpdateVerdict::kApplied}));
+    DiGraph target = graph;
+    target.AddEdge(7, 0);
+    EXPECT_EQ(engine.QueryAll(), BfsReference(target));
+  }
+}
+
+// Synchronous engines still speak the epoch protocol: tokens resolve
+// before ApplyUpdates returns, so WaitForEpoch / Drain are no-ops.
+TEST(EngineTest, SynchronousEpochsResolveBeforeReturn) {
+  EngineOptions options;
+  options.backend = "frozen";
+  Engine engine(options);
+  ASSERT_TRUE(engine.Build(Figure2Graph()));
+  EXPECT_EQ(engine.resolved_epoch(), 0u);
+  uint64_t epoch = 0;
+  EXPECT_EQ(engine.ApplyUpdates({EdgeUpdate::Insert(7, 6)}, nullptr, &epoch),
+            1u);
+  EXPECT_GT(epoch, 0u);
+  EXPECT_EQ(engine.resolved_epoch(), epoch);
+  EXPECT_TRUE(engine.WaitForEpoch(epoch));
+  engine.Drain();  // nothing pending; must not block
+}
+
+TEST(EngineTest, AsyncUpdatesLandAfterDrain) {
+  DiGraph graph = Figure2Graph();
+  EngineOptions options;
+  options.backend = "frozen";
+  options.async_updates = true;
+  Engine engine(options);
+  ASSERT_TRUE(engine.Build(graph));
+
+  // Several batches admitted back to back: each returns with its own epoch
+  // after validation; the rebuild worker may coalesce them into fewer
+  // rebuilds, but every epoch must resolve as landed.
+  std::vector<uint64_t> epochs;
+  std::vector<EdgeUpdate> batches[] = {
+      {EdgeUpdate::Insert(7, 6)},
+      {EdgeUpdate::Insert(6, 0)},
+      {EdgeUpdate::Remove(0, 2), EdgeUpdate::Insert(100, 0)},
+  };
+  size_t expected_applied[] = {1, 1, 1};
+  for (size_t b = 0; b < 3; ++b) {
+    uint64_t epoch = 0;
+    EXPECT_EQ(engine.ApplyUpdates(batches[b], nullptr, &epoch),
+              expected_applied[b]);
+    EXPECT_EQ(epoch, b + 1);
+    epochs.push_back(epoch);
+  }
+  engine.Drain();
+  for (uint64_t epoch : epochs) {
+    EXPECT_TRUE(engine.WaitForEpoch(epoch)) << "epoch " << epoch;
+  }
+  graph.AddEdge(7, 6);
+  graph.AddEdge(6, 0);
+  graph.RemoveEdge(0, 2);
+  EXPECT_EQ(engine.QueryAll(), BfsReference(graph));
+
+  // Read-your-writes through WaitForEpoch alone (no Drain).
+  uint64_t epoch = 0;
+  EXPECT_EQ(engine.ApplyUpdates({EdgeUpdate::Insert(0, 2)}, nullptr, &epoch),
+            1u);
+  EXPECT_TRUE(engine.WaitForEpoch(epoch));
+  graph.AddEdge(0, 2);
+  EXPECT_EQ(engine.QueryAll(), BfsReference(graph));
+}
+
+// The PR 2 rollback guarantee across the async boundary: a failed rebuild
+// rolls the admitted batch back, the old snapshot keeps serving, and the
+// failure is observable through the batch's epoch token.
+TEST(EngineTest, RollbackOnFailedRebuildSyncAndAsync) {
+  for (bool async_mode : {false, true}) {
+    SCOPED_TRACE(async_mode ? "async" : "sync");
+    DiGraph graph = Figure2Graph();
+    auto fail = std::make_shared<std::atomic<bool>>(false);
+    EngineOptions options;
+    options.backend = "frozen";
+    options.async_updates = async_mode;
+    options.fail_rebuild_for_testing = [fail] { return fail->load(); };
+    Engine engine(options);
+    ASSERT_TRUE(engine.Build(graph));
+    std::vector<CycleCount> before = engine.QueryAll();
+
+    fail->store(true);
+    uint64_t failed_epoch = 0;
+    std::vector<UpdateVerdict> verdicts;
+    size_t admitted = engine.ApplyUpdates({EdgeUpdate::Insert(7, 6)},
+                                          &verdicts, &failed_epoch);
+    if (async_mode) {
+      // Admission succeeds; the failure surfaces when the epoch resolves.
+      EXPECT_EQ(admitted, 1u);
+      EXPECT_EQ(verdicts.front(), UpdateVerdict::kApplied);
+    } else {
+      EXPECT_EQ(admitted, 0u);
+      EXPECT_EQ(verdicts.front(), UpdateVerdict::kRejected);
+    }
+    EXPECT_FALSE(engine.WaitForEpoch(failed_epoch));
+    EXPECT_EQ(engine.QueryAll(), before);
+
+    // A trivially-resolved batch after a failure must not inherit the
+    // failed epoch: its token reflects the newest *landed* state and
+    // reports true (regression: it used to hand out resolved_epoch_,
+    // which was the failed one).
+    uint64_t noop_epoch = 99;
+    EXPECT_EQ(engine.ApplyUpdates(
+                  {EdgeUpdate::Insert(7, 0), EdgeUpdate::Remove(7, 0)},
+                  nullptr, &noop_epoch),
+              0u);
+    EXPECT_TRUE(engine.WaitForEpoch(noop_epoch));
+
+    // The rollback restored the retained graph: once rebuilds heal, the
+    // same batch validates and lands exactly as if the failure never
+    // happened.
+    fail->store(false);
+    uint64_t epoch = 0;
+    EXPECT_EQ(engine.ApplyUpdates({EdgeUpdate::Insert(7, 6)}, nullptr, &epoch),
+              1u);
+    EXPECT_TRUE(engine.WaitForEpoch(epoch));
+    DiGraph target = graph;
+    target.AddEdge(7, 6);
+    EXPECT_EQ(engine.QueryAll(), BfsReference(target));
   }
 }
 

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -130,6 +131,50 @@ TEST(IndexIoTest, EmptyGraphIndexRoundTrips) {
   IndexLoadResult loaded = LoadIndexFromFile(file.path());
   ASSERT_TRUE(loaded.ok()) << loaded.error;
   EXPECT_EQ(loaded.index->num_original_vertices(), 0u);
+}
+
+TEST(ShardedBundleTest, PartitionFlagsRoundTrip) {
+  const std::vector<std::string> shards = {"alpha", "beta-payload"};
+  for (bool sliced : {false, true}) {
+    for (bool custom_fn : {false, true}) {
+      ShardedBundleInfo info;
+      info.sliced = sliced;
+      info.custom_shard_fn = custom_fn;
+      std::string bundle = WrapShardedPayload(shards, 123, info);
+      ASSERT_TRUE(IsShardedPayload(bundle));
+      std::string error;
+      std::optional<ShardedPayload> parsed =
+          ParseShardedPayload(bundle, &error);
+      ASSERT_TRUE(parsed) << error;
+      EXPECT_EQ(parsed->num_vertices, 123u);
+      EXPECT_EQ(parsed->shards, shards);
+      EXPECT_EQ(parsed->info.sliced, sliced);
+      EXPECT_EQ(parsed->info.custom_shard_fn, custom_fn);
+    }
+  }
+}
+
+TEST(ShardedBundleTest, Revision1BundleStillParses) {
+  // Hand-build the pre-flags revision ("CSCSHRD1": no flags word) from a
+  // current bundle by rewriting the header — old files on disk must keep
+  // loading, with all-clear partition flags.
+  const std::vector<std::string> shards = {"one", "two", "three"};
+  ShardedBundleInfo info;
+  info.sliced = true;  // the flags word being dropped is the point
+  std::string v2 = WrapShardedPayload(shards, 77, info);
+  constexpr size_t kMagic = 8;
+  std::string v1 = "CSCSHRD1";
+  v1.append(v2, kMagic, 2 * sizeof(uint32_t));   // shard count + vertices
+  v1.append(v2, kMagic + 3 * sizeof(uint32_t),   // frames, skipping flags
+            std::string::npos);
+  ASSERT_TRUE(IsShardedPayload(v1));
+  std::string error;
+  std::optional<ShardedPayload> parsed = ParseShardedPayload(v1, &error);
+  ASSERT_TRUE(parsed) << error;
+  EXPECT_EQ(parsed->num_vertices, 77u);
+  EXPECT_EQ(parsed->shards, shards);
+  EXPECT_FALSE(parsed->info.sliced);
+  EXPECT_FALSE(parsed->info.custom_shard_fn);
 }
 
 }  // namespace

@@ -263,7 +263,7 @@ TEST(ShardedEngineTest, CorruptedShardPayloadIsRejected) {
   // before any allocation sized by the attacker-controlled count.
   std::string crafted = bytes.substr(0, 8);
   crafted.append("\xff\xff\xff\xff", 4);  // shard count
-  crafted.append(4, '\0');                // num_vertices
+  crafted.append(8, '\0');                // num_vertices + flags
   EXPECT_FALSE(ParseShardedPayload(crafted, &error));
   EXPECT_NE(error.find("more shards"), std::string::npos) << error;
 }
@@ -382,8 +382,127 @@ TEST_P(ShardedSliceTest, SlicedBundlePersistsAndLoadsThroughBothPaths) {
   EXPECT_EQ(mapped.QueryAll(), expected);
 }
 
+TEST_P(ShardedSliceTest, SlicedBundleRejectsMismatchedPartition) {
+  // A bundle saved from sliced shards only answers correctly under the
+  // partition it was sliced with; a mismatched reload must fail loudly
+  // instead of serving re-homed vertices as "no cycle".
+  const std::string& backend = GetParam();
+  DiGraph graph = RandomGraph(50, 2.5, 49);
+  ShardedEngineOptions options;
+  options.backend = backend;
+  options.num_shards = 3;
+  options.slice_labels = true;
+  ShardedEngine built(options);
+  ASSERT_TRUE(built.Build(graph));
+  std::string payload;
+  ASSERT_TRUE(built.SaveTo(payload));
+
+  // Explicitly configured shard count != the bundle's K.
+  ShardedEngineOptions wrong_k = options;
+  wrong_k.num_shards = 2;
+  ShardedEngine mismatched(wrong_k);
+  std::string error;
+  EXPECT_FALSE(mismatched.LoadFrom(payload, &error));
+  EXPECT_NE(error.find("sliced"), std::string::npos) << error;
+
+  // Default (unconfigured) shard count adopts the bundle's K, as before.
+  ShardedEngineOptions adopt = options;
+  adopt.num_shards = 1;
+  ShardedEngine adopted(adopt);
+  ASSERT_TRUE(adopted.LoadFrom(payload, &error)) << error;
+  EXPECT_EQ(adopted.num_shards(), 3u);
+  EXPECT_EQ(adopted.QueryAll(), built.QueryAll());
+
+  // A bundle sliced under a custom ShardFn must not load under the default
+  // partitioner — this is exactly the silent-"no cycle" footgun.
+  ShardedEngineOptions custom = options;
+  custom.shard_fn = [](Vertex v, uint32_t shards, Vertex) {
+    return v % shards;
+  };
+  ShardedEngine custom_built(custom);
+  ASSERT_TRUE(custom_built.Build(graph));
+  std::string custom_payload;
+  ASSERT_TRUE(custom_built.SaveTo(custom_payload));
+  ShardedEngine default_fn(options);
+  EXPECT_FALSE(default_fn.LoadFrom(custom_payload, &error));
+  EXPECT_NE(error.find("shard_fn"), std::string::npos) << error;
+  // ...and vice versa; the file path reports the same rejection.
+  const std::string path =
+      ::testing::TempDir() + "csc_sliced_mismatch_" + backend + ".idx";
+  ASSERT_TRUE(SavePayloadToFile(payload, path));
+  ShardedEngine custom_loader(custom);
+  EXPECT_FALSE(custom_loader.LoadFromFile(path, &error));
+  std::remove(path.c_str());
+  EXPECT_NE(error.find("shard_fn"), std::string::npos) << error;
+
+  // Matching partition (same K, same fn presence) round-trips.
+  ShardedEngine custom_reloaded(custom);
+  ASSERT_TRUE(custom_reloaded.LoadFrom(custom_payload, &error)) << error;
+  EXPECT_EQ(custom_reloaded.QueryAll(), custom_built.QueryAll());
+
+  // Unsliced bundles keep the liberal adoption semantics under any K.
+  ShardedEngineOptions unsliced = options;
+  unsliced.slice_labels = false;
+  ShardedEngine full(unsliced);
+  ASSERT_TRUE(full.Build(graph));
+  std::string full_payload;
+  ASSERT_TRUE(full.SaveTo(full_payload));
+  ShardedEngine full_loaded(wrong_k);
+  ASSERT_TRUE(full_loaded.LoadFrom(full_payload, &error)) << error;
+  EXPECT_EQ(full_loaded.num_shards(), 3u);
+}
+
 INSTANTIATE_TEST_SUITE_P(ArenaBackends, ShardedSliceTest,
                          ::testing::Values("frozen", "compressed"),
+                         [](const auto& info) { return info.param; });
+
+// --- Async update pipeline conformance: after Drain(), an async engine's
+// answers are bit-identical to the synchronous path for every backend and
+// shard count. ---
+
+class AsyncConformanceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AsyncConformanceTest, AsyncMatchesSyncAfterDrain) {
+  const std::string& backend = GetParam();
+  DiGraph graph = RandomGraph(50, 2.5, 61);
+  // Two mixed batches: fresh inserts, a real delete, duplicates and a
+  // cancelled pair, so the net-effect verdicts are exercised too.
+  std::vector<std::vector<EdgeUpdate>> batches = {
+      {EdgeUpdate::Insert(3, 27), EdgeUpdate::Insert(44, 9),
+       EdgeUpdate::Insert(3, 27), EdgeUpdate::Remove(44, 9)},
+      {EdgeUpdate::Insert(12, 40), EdgeUpdate::Remove(3, 27),
+       EdgeUpdate::Insert(3, 27), EdgeUpdate::Insert(200, 0)},
+  };
+  for (uint32_t shards : {1u, 2u, 4u}) {
+    SCOPED_TRACE(backend + " shards=" + std::to_string(shards));
+    ShardedEngineOptions sync_options;
+    sync_options.backend = backend;
+    sync_options.num_shards = shards;
+    ShardedEngine sync_engine(sync_options);
+    ASSERT_TRUE(sync_engine.Build(graph));
+
+    ShardedEngineOptions async_options = sync_options;
+    async_options.async_updates = true;
+    ShardedEngine async_engine(async_options);
+    ASSERT_TRUE(async_engine.Build(graph));
+
+    for (const std::vector<EdgeUpdate>& batch : batches) {
+      size_t sync_applied = sync_engine.ApplyUpdates(batch);
+      std::vector<uint64_t> epochs;
+      size_t async_applied = async_engine.ApplyUpdates(batch, &epochs);
+      EXPECT_EQ(async_applied, sync_applied);
+      ASSERT_EQ(epochs.size(), shards);
+      EXPECT_TRUE(async_engine.WaitForEpochs(epochs));
+      EXPECT_EQ(async_engine.QueryAll(), sync_engine.QueryAll());
+    }
+    async_engine.Drain();
+    EXPECT_EQ(async_engine.QueryAll(), sync_engine.QueryAll());
+    ExpectSameGirth(sync_engine.Girth(), async_engine.Girth(), backend);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, AsyncConformanceTest,
+                         ::testing::ValuesIn(AllBackendNames()),
                          [](const auto& info) { return info.param; });
 
 TEST(ShardedSliceTest, PerShardMemoryDropsToOwnedShare) {

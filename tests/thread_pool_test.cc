@@ -102,5 +102,55 @@ TEST(ParallelForTest, MatchesSequentialReduction) {
   EXPECT_EQ(parallel_sum.load(), sequential);
 }
 
+TEST(SerialWorkerTest, RunsTasksInSubmissionOrder) {
+  SerialWorker worker;
+  std::vector<int> order;  // written only from the single worker thread
+  for (int i = 0; i < 100; ++i) {
+    worker.Submit([&order, i] { order.push_back(i); });
+  }
+  worker.Drain();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(SerialWorkerTest, DrainWithNoTasksReturnsImmediately) {
+  SerialWorker worker;
+  worker.Drain();  // must not deadlock
+  EXPECT_EQ(worker.pending(), 0u);
+}
+
+TEST(SerialWorkerTest, DestructorCompletesQueuedTasks) {
+  std::atomic<int> completed{0};
+  {
+    SerialWorker worker;
+    for (int i = 0; i < 50; ++i) {
+      worker.Submit([&completed] { completed.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(completed.load(), 50);
+}
+
+TEST(SerialWorkerTest, LaterTasksSeeEarlierEffects) {
+  // The coalescing pattern the serving Engine relies on: a task may no-op
+  // because a predecessor already covered its work.
+  SerialWorker worker;
+  int covered_up_to = 0;  // worker-thread-only state
+  std::atomic<int> rebuilds{0};
+  for (int i = 1; i <= 20; ++i) {
+    worker.Submit([&, i] {
+      if (covered_up_to >= i) return;
+      covered_up_to = 20;  // one "rebuild" covers the whole backlog
+      rebuilds.fetch_add(1);
+    });
+  }
+  worker.Drain();
+  // FIFO order makes this deterministic: the first task covers the whole
+  // backlog, every later task finds its work already done.
+  EXPECT_EQ(rebuilds.load(), 1);
+  EXPECT_EQ(covered_up_to, 20);
+}
+
 }  // namespace
 }  // namespace csc
