@@ -45,6 +45,7 @@ int main() {
       "Figure 11(a)+(b): Avg Update Time (ms) and Index Increase (entries)",
       {"Graph", "Strategy", "edges", "avg time(ms)", "avg entry delta",
        "entries added", "entries removed"});
+  JsonBenchReporter json("fig11_incremental");
   for (const DatasetSpec& spec : datasets) {
     DiGraph g = MaterializeDataset(spec, scale);
     std::vector<Edge> batch = SampleExistingEdges(g, num_edges, 4242);
@@ -80,11 +81,20 @@ int main() {
                     TableReporter::FormatDouble(avg_delta, 1),
                     TableReporter::FormatCount(stats.entries_added),
                     TableReporter::FormatCount(stats.entries_removed)});
+      json.BeginRow()
+          .Field("graph", spec.name)
+          .Field("strategy", std::string(name))
+          .Field("edges", static_cast<uint64_t>(batch.size()))
+          .Field("avg_update_ms", avg_ms)
+          .Field("avg_entry_delta", avg_delta)
+          .Field("entries_added", stats.entries_added)
+          .Field("entries_removed", stats.entries_removed);
       std::printf("[fig11] %s %s: %.3f ms/update\n", spec.name.c_str(), name,
                   avg_ms);
     }
   }
   table.Print();
   table.WriteCsv(bench::CsvPath("fig11_incremental"));
+  json.Write("BENCH_fig11_incremental.json");
   return 0;
 }

@@ -62,7 +62,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  csc_cli [--backend NAME] [--shards N] build <graph.edges> <index.csc>\n"
+      "  csc_cli [--backend NAME] [--shards N] [--build-threads T] build "
+      "<graph.edges> <index.csc>\n"
       "  csc_cli [--backend NAME] [--shards N] [--mmap] query <index-or-graph> <vertex> [...]\n"
       "  csc_cli [--backend NAME] [--shards N] [--mmap] screen <index-or-graph> <max_len> <top_k>\n"
       "  csc_cli [--backend NAME] [--shards N] [--mmap] stats <index-or-graph>\n"
@@ -74,6 +75,9 @@ int Usage() {
       "<graph.edges> <rounds> <batch_edges>\n"
       "--shards N builds/serves through the sharded engine (N per-shard\n"
       "backends; multi-shard index files are auto-detected on load)\n"
+      "--build-threads T constructs labelings with the rank-batched\n"
+      "parallel builder on T workers (0 = sequential; output is\n"
+      "bit-identical either way); also applies to churn rebuilds\n"
       "--mmap serves index files from a shared read-only mapping (zero\n"
       "deserialization copy for the flat arena backends)\n"
       "--async-updates applies churn batches asynchronously: ApplyUpdates\n"
@@ -90,7 +94,8 @@ int Usage() {
 // whichever `path` holds. The file is read (and CRC-verified) once; the
 // payload is then routed to the right backend.
 std::unique_ptr<CycleIndex> LoadOrBuild(const std::string& path,
-                                        const std::string& backend_name) {
+                                        const std::string& backend_name,
+                                        unsigned build_threads) {
   std::unique_ptr<CycleIndex> backend = MakeBackend(backend_name);
   if (backend == nullptr) {
     std::fprintf(stderr, "unknown backend '%s' (see `csc_cli backends`)\n",
@@ -133,9 +138,13 @@ std::unique_ptr<CycleIndex> LoadOrBuild(const std::string& path,
   auto graph = LoadEdgeListFile(path);
   if (graph) {
     Timer timer;
-    backend->Build(*graph);
-    std::fprintf(stderr, "built backend '%s' from %s in %.3f s\n",
-                 backend_name.c_str(), path.c_str(), timer.ElapsedSeconds());
+    CycleIndex::BuildOptions build_options;
+    build_options.num_threads = build_threads;
+    backend->Build(*graph, build_options);
+    std::fprintf(stderr,
+                 "built backend '%s' from %s in %.3f s (threads=%u)\n",
+                 backend_name.c_str(), path.c_str(), timer.ElapsedSeconds(),
+                 build_threads);
     return backend;
   }
   std::fprintf(stderr, "%s: not a loadable index for backend '%s' (%s) and "
@@ -162,7 +171,8 @@ struct Serving {
 
 std::optional<Serving> LoadOrBuildServing(const std::string& path,
                                           const std::string& backend_name,
-                                          uint32_t shards, bool use_mmap) {
+                                          uint32_t shards, bool use_mmap,
+                                          unsigned build_threads) {
   Serving serving;
   // The zero-copy path (--mmap): map and CRC-verify the file once, then
   // route on the payload — K shard engines share the one mapping, single
@@ -253,7 +263,7 @@ std::optional<Serving> LoadOrBuildServing(const std::string& path,
     return serving;
   }
   if (shards <= 1) {
-    serving.single = LoadOrBuild(path, backend_name);
+    serving.single = LoadOrBuild(path, backend_name, build_threads);
     if (!serving.single) return std::nullopt;
     return serving;
   }
@@ -270,6 +280,7 @@ std::optional<Serving> LoadOrBuildServing(const std::string& path,
   ShardedEngineOptions options;
   options.backend = backend_name;
   options.num_shards = shards;
+  options.build_threads = build_threads;
   auto engine = std::make_unique<ShardedEngine>(options);
   if (!engine->valid()) {
     std::fprintf(stderr, "unknown backend '%s' (see `csc_cli backends`)\n",
@@ -318,7 +329,8 @@ int CmdBackends() {
 }
 
 int CmdBuild(const std::string& backend_name, uint32_t shards,
-             const std::string& graph_path, const std::string& index_path) {
+             unsigned build_threads, const std::string& graph_path,
+             const std::string& index_path) {
   auto graph = LoadEdgeListFile(graph_path);
   if (!graph) {
     std::fprintf(stderr, "cannot parse %s\n", graph_path.c_str());
@@ -332,6 +344,7 @@ int CmdBuild(const std::string& backend_name, uint32_t shards,
     ShardedEngineOptions options;
     options.backend = backend_name;
     options.num_shards = shards;
+    options.build_threads = build_threads;
     ShardedEngine engine(options);
     if (!engine.valid()) {
       std::fprintf(stderr, "unknown backend '%s'\n", backend_name.c_str());
@@ -351,9 +364,10 @@ int CmdBuild(const std::string& backend_name, uint32_t shards,
                    backend_name.c_str());
       return 1;
     }
-    std::printf("built %u-shard backend '%s' in %.3f s (%s resident)\n",
-                shards, backend_name.c_str(), timer.ElapsedSeconds(),
-                HumanBytes(engine.MemoryBytes()).c_str());
+    std::printf(
+        "built %u-shard backend '%s' in %.3f s (%s resident, threads=%u)\n",
+        shards, backend_name.c_str(), timer.ElapsedSeconds(),
+        HumanBytes(engine.MemoryBytes()).c_str(), build_threads);
     if (!SavePayloadToFile(payload, index_path)) {
       std::fprintf(stderr, "cannot write %s\n", index_path.c_str());
       return 1;
@@ -378,12 +392,16 @@ int CmdBuild(const std::string& backend_name, uint32_t shards,
     return 1;
   }
   Timer timer;
-  backend->Build(*graph);
+  CycleIndex::BuildOptions build_options;
+  build_options.num_threads = build_threads;
+  backend->Build(*graph, build_options);
   BackendStats stats = backend->Stats();
-  std::printf("built backend '%s' in %.3f s (%llu entries, %s resident)\n",
-              backend_name.c_str(), timer.ElapsedSeconds(),
-              static_cast<unsigned long long>(stats.label_entries),
-              HumanBytes(stats.memory_bytes).c_str());
+  std::printf(
+      "built backend '%s' in %.3f s (%llu entries, %s resident, "
+      "threads=%u)\n",
+      backend_name.c_str(), timer.ElapsedSeconds(),
+      static_cast<unsigned long long>(stats.label_entries),
+      HumanBytes(stats.memory_bytes).c_str(), stats.build_threads);
   if (!SaveBackendToFile(*backend, index_path)) {
     std::fprintf(stderr, "cannot write %s\n", index_path.c_str());
     return 1;
@@ -396,8 +414,9 @@ int CmdBuild(const std::string& backend_name, uint32_t shards,
 }
 
 int CmdGirth(const std::string& backend_name, uint32_t shards,
-             bool use_mmap, const std::string& path) {
-  auto serving = LoadOrBuildServing(path, backend_name, shards, use_mmap);
+             bool use_mmap, unsigned build_threads, const std::string& path) {
+  auto serving =
+      LoadOrBuildServing(path, backend_name, shards, use_mmap, build_threads);
   if (!serving) return 1;
   Vertex n = serving->num_vertices();
   GirthInfo info = serving->Girth();
@@ -486,9 +505,10 @@ int CmdCaseStudy(const std::string& graph_path, Vertex center,
 }
 
 int CmdQuery(const std::string& backend_name, uint32_t shards,
-             bool use_mmap, const std::string& path, char** vertices,
-             int count) {
-  auto serving = LoadOrBuildServing(path, backend_name, shards, use_mmap);
+             bool use_mmap, unsigned build_threads, const std::string& path,
+             char** vertices, int count) {
+  auto serving =
+      LoadOrBuildServing(path, backend_name, shards, use_mmap, build_threads);
   if (!serving) return 1;
   for (int i = 0; i < count; ++i) {
     auto v = static_cast<Vertex>(std::strtoul(vertices[i], nullptr, 10));
@@ -511,9 +531,10 @@ int CmdQuery(const std::string& backend_name, uint32_t shards,
 }
 
 int CmdScreen(const std::string& backend_name, uint32_t shards,
-              bool use_mmap, const std::string& path, Dist max_len,
-              size_t top_k) {
-  auto serving = LoadOrBuildServing(path, backend_name, shards, use_mmap);
+              bool use_mmap, unsigned build_threads, const std::string& path,
+              Dist max_len, size_t top_k) {
+  auto serving =
+      LoadOrBuildServing(path, backend_name, shards, use_mmap, build_threads);
   if (!serving) return 1;
   std::vector<ScreeningHit> hits;
   if (serving->sharded) {
@@ -539,8 +560,9 @@ int CmdScreen(const std::string& backend_name, uint32_t shards,
 }
 
 int CmdStats(const std::string& backend_name, uint32_t shards,
-             bool use_mmap, const std::string& path) {
-  auto serving = LoadOrBuildServing(path, backend_name, shards, use_mmap);
+             bool use_mmap, unsigned build_threads, const std::string& path) {
+  auto serving =
+      LoadOrBuildServing(path, backend_name, shards, use_mmap, build_threads);
   if (!serving) return 1;
   if (serving->sharded) {
     const ShardedEngine& engine = *serving->sharded;
@@ -578,6 +600,8 @@ int CmdStats(const std::string& backend_name, uint32_t shards,
               stats.supports_updates ? "yes" : "no",
               stats.supports_save ? "yes" : "no",
               stats.thread_safe_queries ? "yes" : "no");
+  std::printf("build           : %.3f s (threads=%u)\n", stats.build_seconds,
+              stats.build_threads);
   return 0;
 }
 
@@ -586,7 +610,8 @@ int CmdStats(const std::string& backend_name, uint32_t shards,
 // — in async mode — the drain time separating admission from the landed
 // snapshot swaps.
 int CmdChurn(const std::string& backend_name, uint32_t shards,
-             bool async_updates, const std::string& graph_path, size_t rounds,
+             bool async_updates, unsigned build_threads,
+             const std::string& graph_path, size_t rounds,
              size_t batch_edges) {
   auto graph = LoadEdgeListFile(graph_path);
   if (!graph) {
@@ -597,6 +622,7 @@ int CmdChurn(const std::string& backend_name, uint32_t shards,
   options.backend = backend_name;
   options.num_shards = shards;
   options.async_updates = async_updates;
+  options.build_threads = build_threads;
   ShardedEngine engine(options);
   if (!engine.valid()) {
     std::fprintf(stderr, "unknown backend '%s'\n", backend_name.c_str());
@@ -607,10 +633,10 @@ int CmdChurn(const std::string& backend_name, uint32_t shards,
     std::fprintf(stderr, "failed to build '%s'\n", backend_name.c_str());
     return 1;
   }
-  std::printf("built %u-shard '%s' in %.3f s; churning %zu rounds x %zu "
-              "edges (%s updates)\n",
+  std::printf("built %u-shard '%s' in %.3f s (threads=%u); churning %zu "
+              "rounds x %zu edges (%s updates)\n",
               engine.num_shards(), backend_name.c_str(),
-              build_timer.ElapsedSeconds(), rounds, batch_edges,
+              build_timer.ElapsedSeconds(), build_threads, rounds, batch_edges,
               async_updates ? "async" : "sync");
   std::vector<Edge> toggles = SampleNewEdges(*graph, batch_edges, 1234);
   if (toggles.empty()) {
@@ -661,6 +687,7 @@ int main(int argc, char** argv) {
   uint32_t shards = 1;
   bool use_mmap = false;
   bool async_updates = false;
+  unsigned build_threads = 0;
   std::vector<char*> args;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -675,6 +702,13 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--shards=", 0) == 0) {
       shards = static_cast<uint32_t>(
           std::strtoul(arg.c_str() + 9, nullptr, 10));
+    } else if (arg == "--build-threads") {
+      if (i + 1 >= argc) return Usage();
+      build_threads =
+          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg.rfind("--build-threads=", 0) == 0) {
+      build_threads =
+          static_cast<unsigned>(std::strtoul(arg.c_str() + 16, nullptr, 10));
     } else if (arg == "--mmap") {
       use_mmap = true;
     } else if (arg == "--async-updates") {
@@ -689,25 +723,25 @@ int main(int argc, char** argv) {
   std::string cmd = args[0];
   if (cmd == "backends" && n == 1) return CmdBackends();
   if (cmd == "build" && n == 3) {
-    return CmdBuild(backend, shards, args[1], args[2]);
+    return CmdBuild(backend, shards, build_threads, args[1], args[2]);
   }
   if (cmd == "query" && n >= 3) {
-    return CmdQuery(backend, shards, use_mmap, args[1], args.data() + 2,
-                    n - 2);
+    return CmdQuery(backend, shards, use_mmap, build_threads, args[1],
+                    args.data() + 2, n - 2);
   }
   if (cmd == "screen" && n == 4) {
-    return CmdScreen(backend, shards, use_mmap, args[1],
+    return CmdScreen(backend, shards, use_mmap, build_threads, args[1],
                      static_cast<Dist>(std::strtoul(args[2], nullptr, 10)),
                      std::strtoul(args[3], nullptr, 10));
   }
   if (cmd == "stats" && n == 2) {
-    return CmdStats(backend, shards, use_mmap, args[1]);
+    return CmdStats(backend, shards, use_mmap, build_threads, args[1]);
   }
   if (cmd == "girth" && n == 2) {
-    return CmdGirth(backend, shards, use_mmap, args[1]);
+    return CmdGirth(backend, shards, use_mmap, build_threads, args[1]);
   }
   if (cmd == "churn" && n == 4) {
-    return CmdChurn(backend, shards, async_updates, args[1],
+    return CmdChurn(backend, shards, async_updates, build_threads, args[1],
                     std::strtoul(args[2], nullptr, 10),
                     std::strtoul(args[3], nullptr, 10));
   }

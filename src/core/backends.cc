@@ -40,6 +40,7 @@ class BackendBase : public CycleIndex {
     stats.label_entries = LabelEntries();
     stats.memory_bytes = MemoryBytes();
     stats.build_seconds = build_seconds_;
+    stats.build_threads = build_threads_;
     stats.supports_updates = supports_updates();
     stats.supports_save = supports_save();
     stats.thread_safe_queries = thread_safe_queries();
@@ -61,6 +62,7 @@ class BackendBase : public CycleIndex {
 
   std::string name_;
   double build_seconds_ = 0;
+  unsigned build_threads_ = 0;
 };
 
 // "csc": the paper's dynamic 2-hop index; supports incremental/decremental
@@ -74,8 +76,10 @@ class CscBackend : public BackendBase {
     CscIndex::Options o;
     o.maintain_inverted_index = options.maintain_inverted_index;
     o.reserve_vertices = options.reserve_vertices;
+    o.build_threads = options.num_threads;
     index_ = CscIndex::Build(graph, DegreeOrdering(graph), o);
     build_seconds_ = timer.ElapsedSeconds();
+    build_threads_ = options.num_threads;
   }
 
   CycleCount CountShortestCycles(Vertex v) override {
@@ -138,8 +142,10 @@ class CachedBackend : public BackendBase {
     CscIndex::Options o;
     o.maintain_inverted_index = options.maintain_inverted_index;
     o.reserve_vertices = options.reserve_vertices;
+    o.build_threads = options.num_threads;
     cached_.emplace(CscIndex::Build(graph, DegreeOrdering(graph), o));
     build_seconds_ = timer.ElapsedSeconds();
+    build_threads_ = options.num_threads;
   }
 
   CycleCount CountShortestCycles(Vertex v) override {
@@ -202,9 +208,11 @@ class CompactBackend : public BackendBase {
     Timer timer;
     CscIndex::Options o;
     o.reserve_vertices = options.reserve_vertices;
+    o.build_threads = options.num_threads;
     index_ = CompactIndex::FromIndex(
         CscIndex::Build(graph, DegreeOrdering(graph), o));
     build_seconds_ = timer.ElapsedSeconds();
+    build_threads_ = options.num_threads;
   }
 
   CycleCount CountShortestCycles(Vertex v) override {
@@ -224,6 +232,7 @@ class CompactBackend : public BackendBase {
     if (!loaded) return false;
     index_ = std::move(*loaded);
     build_seconds_ = timer.ElapsedSeconds();
+    build_threads_ = 0;
     return true;
   }
 
@@ -260,9 +269,11 @@ class FlatBackend : public BackendBase {
     Timer timer;
     CscIndex::Options o;
     o.reserve_vertices = options.reserve_vertices;
+    o.build_threads = options.num_threads;
     index_ = Index::FromCompact(CompactIndex::FromIndex(
         CscIndex::Build(graph, DegreeOrdering(graph), o)));
     build_seconds_ = timer.ElapsedSeconds();
+    build_threads_ = options.num_threads;
   }
 
   CycleCount CountShortestCycles(Vertex v) override {
@@ -280,11 +291,13 @@ class FlatBackend : public BackendBase {
     if (auto native = Index::Deserialize(bytes)) {
       index_ = std::move(*native);
       build_seconds_ = timer.ElapsedSeconds();
+      build_threads_ = 0;
       return true;
     }
     if (auto compact = CompactIndex::Deserialize(bytes)) {
       index_ = Index::FromCompact(*compact);
       build_seconds_ = timer.ElapsedSeconds();
+      build_threads_ = 0;
       return true;
     }
     return false;
@@ -298,6 +311,7 @@ class FlatBackend : public BackendBase {
     if (auto native = Index::FromView(data, size, std::move(keep_alive))) {
       index_ = std::move(*native);
       build_seconds_ = timer.ElapsedSeconds();
+      build_threads_ = 0;
       return true;
     }
     return CycleIndex::LoadView(data, size, nullptr);
@@ -425,8 +439,10 @@ class HpSpcBackend : public BackendBase {
     graph_ = graph;
     if (options.reserve_vertices > 0) graph_.AddVertices(options.reserve_vertices);
     // HpSpcIndex keeps a pointer to the graph; graph_ outlives it here.
-    index_.emplace(HpSpcIndex::Build(graph_, DegreeOrdering(graph_)));
+    index_.emplace(
+        HpSpcIndex::Build(graph_, DegreeOrdering(graph_), options.num_threads));
     build_seconds_ = timer.ElapsedSeconds();
+    build_threads_ = options.num_threads;
   }
 
   CycleCount CountShortestCycles(Vertex v) override {

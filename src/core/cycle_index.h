@@ -24,6 +24,9 @@ struct BackendStats {
   uint64_t memory_bytes = 0;
   /// Seconds spent by the last Build/LoadFrom.
   double build_seconds = 0;
+  /// Construction workers the last Build used (0 = sequential builder;
+  /// loads reset it to 0 — nothing was constructed).
+  unsigned build_threads = 0;
   bool supports_updates = false;
   bool supports_save = false;
   bool thread_safe_queries = false;
@@ -50,6 +53,13 @@ class CycleIndex {
     /// Extra isolated vertices appended before indexing so brand-new
     /// vertices can be attached to a live index via InsertEdge alone.
     Vertex reserve_vertices = 0;
+    /// Construction workers for labeling-based backends. 0 keeps the
+    /// sequential per-hub builder; >= 1 runs the rank-batched parallel
+    /// builder, whose output — serialized payloads included — is
+    /// bit-identical to the sequential build at any thread count.
+    /// Backends without a labeling construction ("bfs", "precompute")
+    /// ignore it.
+    unsigned num_threads = 0;
   };
 
   enum class UpdateResult {

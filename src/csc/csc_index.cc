@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "labeling/parallel_build.h"
 #include "labeling/pruned_bfs.h"
 #include "util/timer.h"
 
@@ -185,6 +186,244 @@ class CoupleSkipBuilder {
   std::vector<Vertex> queue_;
 };
 
+/// The rank-batched parallel counterpart of CoupleSkipBuilder (see
+/// labeling/parallel_build.h for the staging/validation/commit scheme).
+/// Staged passes run exactly ForwardPass/BackwardPass against the committed
+/// labels, recording labeled dequeues instead of appending; the commit
+/// replay re-applies INSERT_LABEL (Algorithm 4) and the canonical/
+/// non-canonical classification from the validated via distances, so labels
+/// and stats are bit-identical to the sequential builder at any thread
+/// count.
+class ParallelCoupleSkipBuilder {
+ public:
+  struct Scratch {
+    std::vector<Dist> dist;
+    std::vector<Count> count;
+    std::vector<Vertex> touched;
+    std::vector<Vertex> queue;
+  };
+
+  ParallelCoupleSkipBuilder(const DiGraph& bipartite,
+                            const VertexOrdering& order, HubLabeling& labeling,
+                            LabelBuildStats& stats, bool distance_pruning)
+      : graph_(bipartite),
+        order_(order),
+        labeling_(labeling),
+        stats_(stats),
+        distance_pruning_(distance_pruning) {}
+
+  void InitScratch(Scratch& s) const {
+    s.dist.assign(graph_.num_vertices(), kInfDist);
+    s.count.assign(graph_.num_vertices(), 0);
+  }
+
+  // Couple-vertex skipping: only V_in vertices root BFSs; a V_out rank
+  // records its own trivial labels at commit time (Algorithm 3 lines 6-8).
+  bool IsHub(Vertex v) const { return IsInVertex(v); }
+
+  void CommitNonHub(Rank r, Vertex v) {
+    labeling_.in[v].Append(LabelEntry(r, 0, 1));
+    labeling_.out[v].Append(LabelEntry(r, 0, 1));
+    stats_.entries += 2;
+    stats_.canonical_entries += 2;
+  }
+
+  bool distance_pruning() const { return distance_pruning_; }
+
+  void Stage(StagedHub& sh, Scratch& s) const {
+    StagePass(sh, /*forward=*/true, s);
+    StagePass(sh, /*forward=*/false, s);
+  }
+
+  void StagePass(StagedHub& sh, bool forward, Scratch& s) const {
+    if (forward) {
+      StageForward(sh, s);
+      sh.fwd.Finalize();
+    } else {
+      StageBackward(sh, s);
+      sh.bwd.Finalize();
+    }
+  }
+
+  void Commit(const StagedHub& sh) {
+    CommitForward(sh);
+    CommitBackward(sh);
+  }
+
+  // A lower batch hub h reaches L_out(hub) only through the couple append
+  // of its backward pass — dequeuing couple(hub) at distance d labels hub
+  // at d + 1. (hub is a V_in vertex: backward passes dequeue V_out
+  // vertices, h's root append targets h itself, and the hub-couple
+  // suppression cannot apply since couple(hub) == couple(h) would mean
+  // hub == h.)
+  Dist NewOutDist(const StagedHub& lower, Vertex hub) const {
+    Dist d = lower.bwd.DistAt(CoupleOf(hub));
+    return d == kInfDist ? kInfDist : d + 1;
+  }
+
+  // ...and L_in(hub) only through the direct dequeue of its forward pass
+  // (forward couple appends target V_out vertices).
+  Dist NewInDist(const StagedHub& lower, Vertex hub) const {
+    return lower.fwd.DistAt(hub);
+  }
+
+ private:
+  void StageForward(StagedHub& sh, Scratch& s) const {
+    const Vertex hub = sh.hub;
+    const Rank hr = sh.rank;
+    s.queue.clear();
+    s.dist[hub] = 0;
+    s.count[hub] = 1;
+    s.touched.push_back(hub);
+    s.queue.push_back(hub);
+    size_t head = 0;
+    while (head < s.queue.size()) {
+      Vertex w = s.queue[head++];
+      ++sh.fwd.dequeued;
+      Dist via_dist = kInfDist;
+      if (distance_pruning_) {
+        JoinResult via = JoinLabels(labeling_.out[hub], labeling_.in[w]);
+        via_dist = via.dist;
+        if (via.dist < s.dist[w]) {
+          ++sh.fwd.pruned;
+          continue;
+        }
+      }
+      sh.fwd.events.push_back({w, s.dist[w], s.count[w], via_dist});
+      Vertex couple = CoupleOf(w);
+      for (Vertex wn : graph_.OutNeighbors(couple)) {  // wn ∈ V_in
+        if (s.dist[wn] == kInfDist) {
+          if (hr < order_.vertex_to_rank[wn]) {  // rank pruning: hub ≺ wn
+            s.dist[wn] = s.dist[w] + 2;
+            s.count[wn] = s.count[w];
+            s.touched.push_back(wn);
+            s.queue.push_back(wn);
+          }
+        } else if (s.dist[wn] == s.dist[w] + 2) {
+          s.count[wn] += s.count[w];
+        }
+      }
+    }
+    ResetScratch(s);
+  }
+
+  void StageBackward(StagedHub& sh, Scratch& s) const {
+    const Vertex hub = sh.hub;
+    const Rank hr = sh.rank;
+    s.queue.clear();
+    s.dist[hub] = 0;
+    s.count[hub] = 1;
+    s.touched.push_back(hub);
+    s.queue.push_back(hub);
+    size_t head = 0;
+    while (head < s.queue.size()) {
+      Vertex w = s.queue[head++];
+      ++sh.bwd.dequeued;
+      if (w == hub) {
+        // Modification (3) of §IV.C: the root records only its own
+        // out-label and expands predecessors directly — never
+        // distance-checked, mirrored by ValidateStagedHub skipping it.
+        sh.bwd.events.push_back({hub, 0, 1, kInfDist});
+        for (Vertex wn : graph_.InNeighbors(hub)) {  // wn ∈ V_out
+          if (hr < order_.vertex_to_rank[wn]) {
+            s.dist[wn] = 1;
+            s.count[wn] = 1;
+            s.touched.push_back(wn);
+            s.queue.push_back(wn);
+          }
+        }
+        continue;
+      }
+      Dist via_dist = kInfDist;
+      if (distance_pruning_) {
+        JoinResult via = JoinLabels(labeling_.out[w], labeling_.in[hub]);
+        via_dist = via.dist;
+        if (via.dist < s.dist[w]) {
+          ++sh.bwd.pruned;
+          continue;
+        }
+      }
+      sh.bwd.events.push_back({w, s.dist[w], s.count[w], via_dist});
+      if (w == CoupleOf(hub)) continue;  // modification (4): cycle closed
+      Vertex couple = CoupleOf(w);  // w_i
+      for (Vertex wn : graph_.InNeighbors(couple)) {  // wn ∈ V_out
+        if (s.dist[wn] == kInfDist) {
+          if (hr < order_.vertex_to_rank[wn]) {
+            s.dist[wn] = s.dist[w] + 2;
+            s.count[wn] = s.count[w];
+            s.touched.push_back(wn);
+            s.queue.push_back(wn);
+          }
+        } else if (s.dist[wn] == s.dist[w] + 2) {
+          s.count[wn] += s.count[w];
+        }
+      }
+    }
+    ResetScratch(s);
+  }
+
+  void CommitForward(const StagedHub& sh) {
+    for (const StagedEvent& e : sh.fwd.events) {
+      if (distance_pruning_) {
+        if (e.via_dist == e.dist) {
+          stats_.non_canonical_entries += 2;
+        } else {
+          stats_.canonical_entries += 2;
+        }
+      }
+      // INSERT_LABEL (Algorithm 4): label w and its couple w_o at +1.
+      Vertex couple = CoupleOf(e.w);
+      labeling_.in[e.w].Append(LabelEntry(sh.rank, e.dist, e.count));
+      labeling_.in[couple].Append(LabelEntry(sh.rank, e.dist + 1, e.count));
+      stats_.entries += 2;
+    }
+    stats_.vertices_dequeued += sh.fwd.dequeued;
+    stats_.pruned_by_distance += sh.fwd.pruned;
+  }
+
+  void CommitBackward(const StagedHub& sh) {
+    for (const StagedEvent& e : sh.bwd.events) {
+      if (e.w == sh.hub) {
+        labeling_.out[sh.hub].Append(LabelEntry(sh.rank, 0, 1));
+        ++stats_.entries;
+        ++stats_.canonical_entries;
+        continue;
+      }
+      bool is_hub_couple = (e.w == CoupleOf(sh.hub));
+      if (distance_pruning_) {
+        uint64_t produced = is_hub_couple ? 1 : 2;
+        if (e.via_dist == e.dist) {
+          stats_.non_canonical_entries += produced;
+        } else {
+          stats_.canonical_entries += produced;
+        }
+      }
+      labeling_.out[e.w].Append(LabelEntry(sh.rank, e.dist, e.count));
+      ++stats_.entries;
+      if (is_hub_couple) continue;
+      labeling_.out[CoupleOf(e.w)].Append(
+          LabelEntry(sh.rank, e.dist + 1, e.count));
+      ++stats_.entries;
+    }
+    stats_.vertices_dequeued += sh.bwd.dequeued;
+    stats_.pruned_by_distance += sh.bwd.pruned;
+  }
+
+  void ResetScratch(Scratch& s) const {
+    for (Vertex v : s.touched) {
+      s.dist[v] = kInfDist;
+      s.count[v] = 0;
+    }
+    s.touched.clear();
+  }
+
+  const DiGraph& graph_;
+  const VertexOrdering& order_;
+  HubLabeling& labeling_;
+  LabelBuildStats& stats_;
+  const bool distance_pruning_;
+};
+
 // Hub ranks must fit LabelEntry's 23-bit field; G_b has 2n vertices.
 void CheckVertexRange(Vertex num_original_vertices) {
   if (2ull * num_original_vertices > LabelEntry::kMaxHub + 1) {
@@ -230,10 +469,20 @@ CscIndex CscIndex::Build(const DiGraph& graph, const VertexOrdering& order,
   }
   index.labeling_.Resize(index.bipartite_.num_vertices());
   Timer timer;
-  CoupleSkipBuilder builder(index.bipartite_, index.order_, index.labeling_,
-                            index.stats_, /*distance_pruning=*/true);
-  builder.BuildAll();
+  if (options.build_threads == 0) {
+    CoupleSkipBuilder builder(index.bipartite_, index.order_, index.labeling_,
+                              index.stats_, /*distance_pruning=*/true);
+    builder.BuildAll();
+  } else {
+    ParallelCoupleSkipBuilder builder(index.bipartite_, index.order_,
+                                      index.labeling_, index.stats_,
+                                      /*distance_pruning=*/true);
+    ParallelBuildPlan plan;
+    plan.num_threads = options.build_threads;
+    RunRankBatchedBuild(builder, index.order_, plan);
+  }
   index.stats_.seconds = timer.ElapsedSeconds();
+  index.stats_.build_threads = options.build_threads;
   if (options.maintain_inverted_index) {
     PopulateInvertedIndexes(index.labeling_, index.inv_in_, index.inv_out_);
   }

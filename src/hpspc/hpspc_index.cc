@@ -5,12 +5,15 @@
 
 namespace csc {
 
-HpSpcIndex HpSpcIndex::Build(const DiGraph& graph,
-                             const VertexOrdering& order) {
+HpSpcIndex HpSpcIndex::Build(const DiGraph& graph, const VertexOrdering& order,
+                             unsigned num_threads) {
   HpSpcIndex index(graph, order);
   index.labeling_.Resize(graph.num_vertices());
   Timer timer;
-  BuildPlainHubLabeling(graph, index.order_, index.labeling_, index.stats_);
+  PrunedBfsOptions options;
+  options.num_threads = num_threads;
+  BuildPlainHubLabeling(graph, index.order_, index.labeling_, index.stats_,
+                        options);
   index.stats_.seconds = timer.ElapsedSeconds();
   return index;
 }

@@ -22,8 +22,12 @@ namespace csc {
 class HpSpcIndex {
  public:
   /// Builds the index with interleaved per-hub forward/backward pruned
-  /// counting BFS, processing hubs from rank 0 downward.
-  static HpSpcIndex Build(const DiGraph& graph, const VertexOrdering& order);
+  /// counting BFS, processing hubs from rank 0 downward. `num_threads`
+  /// selects the construction path: 0 is the sequential builder, >= 1 the
+  /// rank-batched parallel builder (bit-identical output either way; see
+  /// labeling/parallel_build.h).
+  static HpSpcIndex Build(const DiGraph& graph, const VertexOrdering& order,
+                          unsigned num_threads = 0);
 
   /// SPCnt(s, t): shortest distance and number of shortest paths, via
   /// Equations (1)-(2). dist == kInfDist when t is unreachable from s.

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "labeling/parallel_build.h"
+
 namespace csc {
 
 namespace {
@@ -92,13 +94,149 @@ class PlainBuilder {
   std::vector<Vertex> queue_;
 };
 
+// The rank-batched parallel counterpart of PlainBuilder: staged passes run
+// the same pruned counting BFS against the committed labels, recording
+// labeled dequeues instead of appending, and the commit replay mirrors
+// RunPass's append/stats logic event by event. See labeling/parallel_build.h
+// for why the result (labels and stats) is bit-identical to PlainBuilder.
+class ParallelPlainBuilder {
+ public:
+  struct Scratch {
+    std::vector<Dist> dist;
+    std::vector<Count> count;
+    std::vector<Vertex> touched;
+    std::vector<Vertex> queue;
+  };
+
+  ParallelPlainBuilder(const DiGraph& graph, const VertexOrdering& order,
+                       HubLabeling& labeling, LabelBuildStats& stats,
+                       const PrunedBfsOptions& options)
+      : graph_(graph),
+        order_(order),
+        labeling_(labeling),
+        stats_(stats),
+        options_(options) {}
+
+  void InitScratch(Scratch& s) const {
+    s.dist.assign(graph_.num_vertices(), kInfDist);
+    s.count.assign(graph_.num_vertices(), 0);
+  }
+
+  bool IsHub(Vertex) const { return true; }
+  void CommitNonHub(Rank, Vertex) {}
+  bool distance_pruning() const { return options_.distance_pruning; }
+
+  void Stage(StagedHub& sh, Scratch& s) const {
+    StagePass(sh, /*forward=*/true, s);
+    StagePass(sh, /*forward=*/false, s);
+  }
+
+  void StagePass(StagedHub& sh, bool forward, Scratch& s) const {
+    StagedPass& pass = forward ? sh.fwd : sh.bwd;
+    RunPassStaged(sh.hub, sh.rank, forward, s, pass);
+    pass.Finalize();
+  }
+
+  void Commit(const StagedHub& sh) {
+    CommitPass(sh, /*forward=*/true);
+    CommitPass(sh, /*forward=*/false);
+  }
+
+  // A lower batch hub labels L_out(hub) from its backward pass and
+  // L_in(hub) from its forward pass, both as direct dequeue events.
+  Dist NewOutDist(const StagedHub& lower, Vertex hub) const {
+    return lower.bwd.DistAt(hub);
+  }
+  Dist NewInDist(const StagedHub& lower, Vertex hub) const {
+    return lower.fwd.DistAt(hub);
+  }
+
+ private:
+  void RunPassStaged(Vertex hub, Rank hub_rank, bool forward, Scratch& s,
+                     StagedPass& out) const {
+    s.queue.clear();
+    s.dist[hub] = 0;
+    s.count[hub] = 1;
+    s.touched.push_back(hub);
+    s.queue.push_back(hub);
+    size_t head = 0;
+    while (head < s.queue.size()) {
+      Vertex w = s.queue[head++];
+      ++out.dequeued;
+      Dist via_dist = kInfDist;
+      if (options_.distance_pruning) {
+        JoinResult via = forward
+                             ? JoinLabels(labeling_.out[hub], labeling_.in[w])
+                             : JoinLabels(labeling_.out[w], labeling_.in[hub]);
+        via_dist = via.dist;
+        if (via.dist < s.dist[w]) {
+          ++out.pruned;
+          continue;
+        }
+      }
+      out.events.push_back({w, s.dist[w], s.count[w], via_dist});
+      const auto& next =
+          forward ? graph_.OutNeighbors(w) : graph_.InNeighbors(w);
+      for (Vertex wn : next) {
+        if (s.dist[wn] == kInfDist) {
+          if (hub_rank < order_.vertex_to_rank[wn]) {
+            s.dist[wn] = s.dist[w] + 1;
+            s.count[wn] = s.count[w];
+            s.touched.push_back(wn);
+            s.queue.push_back(wn);
+          }
+        } else if (s.dist[wn] == s.dist[w] + 1) {
+          s.count[wn] += s.count[w];
+        }
+      }
+    }
+    for (Vertex v : s.touched) {
+      s.dist[v] = kInfDist;
+      s.count[v] = 0;
+    }
+    s.touched.clear();
+  }
+
+  void CommitPass(const StagedHub& sh, bool forward) {
+    const StagedPass& pass = forward ? sh.fwd : sh.bwd;
+    for (const StagedEvent& e : pass.events) {
+      if (options_.distance_pruning) {
+        if (e.via_dist == e.dist) {
+          ++stats_.non_canonical_entries;
+        } else {
+          ++stats_.canonical_entries;
+        }
+      }
+      LabelSet& target = forward ? labeling_.in[e.w] : labeling_.out[e.w];
+      target.Append(LabelEntry(sh.rank, e.dist, e.count));
+      ++stats_.entries;
+    }
+    stats_.vertices_dequeued += pass.dequeued;
+    stats_.pruned_by_distance += pass.pruned;
+  }
+
+  const DiGraph& graph_;
+  const VertexOrdering& order_;
+  HubLabeling& labeling_;
+  LabelBuildStats& stats_;
+  const PrunedBfsOptions options_;
+};
+
 }  // namespace
 
 void BuildPlainHubLabeling(const DiGraph& graph, const VertexOrdering& order,
                            HubLabeling& labeling, LabelBuildStats& stats,
                            const PrunedBfsOptions& options) {
-  PlainBuilder builder(graph, order, labeling, stats, options);
-  builder.BuildAll();
+  if (options.num_threads == 0) {
+    PlainBuilder builder(graph, order, labeling, stats, options);
+    builder.BuildAll();
+  } else {
+    ParallelPlainBuilder builder(graph, order, labeling, stats, options);
+    ParallelBuildPlan plan;
+    plan.num_threads = options.num_threads;
+    RunRankBatchedBuild(builder, order, plan);
+  }
+  stats.build_threads = options.num_threads;
 }
 
 }  // namespace csc

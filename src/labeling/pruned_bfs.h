@@ -13,6 +13,11 @@ struct PrunedBfsOptions {
   /// ablation bench does) keeps queries correct but stops BFSs only on rank
   /// pruning, so labels get larger and construction slower.
   bool distance_pruning = true;
+  /// Construction workers. 0 keeps the sequential per-hub builder (the
+  /// oracle path); >= 1 runs the rank-batched parallel builder of
+  /// labeling/parallel_build.h, whose output is bit-identical to the
+  /// sequential builder at any thread count.
+  unsigned num_threads = 0;
 };
 
 /// Builds a plain 2-hop counting labeling over `graph` (no bipartite

@@ -66,6 +66,11 @@ Engine::Engine(EngineOptions options)
     : options_(std::move(options)),
       pool_(options_.num_threads == 0 ? ThreadPool::DefaultThreadCount()
                                       : options_.num_threads) {
+  // Fold the construction-worker override into the build options once;
+  // Build and every static rebuild (sync or async) then pick it up.
+  if (options_.build_threads != 0) {
+    options_.build.num_threads = options_.build_threads;
+  }
   active_ = MakeFresh();
 }
 
@@ -227,19 +232,30 @@ GirthInfo Engine::Girth() {
 }
 
 std::shared_ptr<CycleIndex> Engine::RebuildStatic(const DiGraph& graph) const {
-  if (options_.fail_rebuild_for_testing && options_.fail_rebuild_for_testing()) {
+  // A throwing build (e.g. std::bad_alloc, or a staging-task exception
+  // rethrown by ThreadPool::Wait under build_threads) must surface as a
+  // failed rebuild, not an exception: callers run the rollback protocol on
+  // nullptr, and on the async path a throw would escape the SerialWorker
+  // task and terminate the process. The test hook sits inside the guard so
+  // tests can inject the throwing variant too.
+  try {
+    if (options_.fail_rebuild_for_testing &&
+        options_.fail_rebuild_for_testing()) {
+      return nullptr;
+    }
+    std::shared_ptr<CycleIndex> next = MakeFresh();
+    if (!next) return nullptr;
+    // graph_ already carries the reserved vertices from Build; reserving
+    // again on every rebuild would grow the vertex space without bound.
+    CycleIndex::BuildOptions rebuild_options = options_.build;
+    rebuild_options.reserve_vertices = 0;
+    next->Build(graph, rebuild_options);
+    if (next->num_vertices() != graph.num_vertices()) return nullptr;
+    if (options_.slice_keep) next->SliceLabels(options_.slice_keep);
+    return next;
+  } catch (...) {
     return nullptr;
   }
-  std::shared_ptr<CycleIndex> next = MakeFresh();
-  if (!next) return nullptr;
-  // graph_ already carries the reserved vertices from Build; reserving
-  // again on every rebuild would grow the vertex space without bound.
-  CycleIndex::BuildOptions rebuild_options = options_.build;
-  rebuild_options.reserve_vertices = 0;
-  next->Build(graph, rebuild_options);
-  if (next->num_vertices() != graph.num_vertices()) return nullptr;
-  if (options_.slice_keep) next->SliceLabels(options_.slice_keep);
-  return next;
 }
 
 void Engine::ApplyUndoLocked(const std::vector<EdgeUpdate>& undo) {

@@ -28,6 +28,13 @@ struct EngineOptions {
   /// Vertices per parallel batch chunk.
   size_t batch_grain = 256;
   CycleIndex::BuildOptions build;
+  /// Construction workers for Build and for the static-backend
+  /// rebuild-and-swap path (synchronous and async alike): nonzero
+  /// overrides build.num_threads, so both synchronous builds and the
+  /// background SerialWorker rebuilds run the rank-batched parallel
+  /// builder. 0 defers to build.num_threads (and 0 there keeps the
+  /// sequential builder). Output is bit-identical either way.
+  unsigned build_threads = 0;
   /// When set, label storage is sliced to the selected vertices after every
   /// successful Build / rebuild / load (CycleIndex::SliceLabels): queries
   /// for unselected vertices then report no cycle. The sharded tier sets

@@ -39,6 +39,7 @@ EngineOptions ShardedEngine::ShardEngineOptions(uint32_t num_shards) const {
           : std::max(1u, ThreadPool::DefaultThreadCount() / num_shards);
   shard_options.batch_grain = options_.batch_grain;
   shard_options.build = options_.build;
+  shard_options.build_threads = options_.build_threads;
   shard_options.async_updates = options_.async_updates;
   return shard_options;
 }
@@ -63,10 +64,12 @@ void ShardedEngine::ForEachShard(const std::function<void(uint32_t)>& body) {
     body(0);
     return;
   }
-  for (uint32_t s = 0; s < shards_.size(); ++s) {
-    pool_->Submit([&body, s] { body(s); });
-  }
-  pool_->Wait();
+  // ParallelFor (grain 1) rather than Submit+Wait: concurrent sweeps from
+  // several reader threads share the router pool, and the pool-global Wait
+  // would block on — and swap exceptions with — foreign sweeps.
+  ParallelFor(*pool_, 0, shards_.size(), 1, [&body](size_t s, size_t) {
+    body(static_cast<uint32_t>(s));
+  });
 }
 
 void ShardedEngine::RecomputeOwnership() {

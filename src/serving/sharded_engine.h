@@ -42,6 +42,12 @@ struct ShardedEngineOptions {
   /// Vertices per parallel batch chunk inside each shard Engine.
   size_t batch_grain = 256;
   CycleIndex::BuildOptions build;
+  /// Forwarded to every shard Engine (EngineOptions::build_threads): each
+  /// shard's builds and static rebuilds use the rank-batched parallel
+  /// builder with this many workers. Per-shard builds already overlap on
+  /// the router pool, so K shards x build_threads workers can be in flight
+  /// during Build; size accordingly.
+  unsigned build_threads = 0;
   /// Vertex -> owning shard; empty = ContiguousRangeShard.
   ShardFn shard_fn;
   /// Slice each shard's label storage down to its owned runs after Build /

@@ -34,6 +34,11 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_exception_) {
+    std::exception_ptr rethrown = std::exchange(first_exception_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(rethrown);
+  }
 }
 
 unsigned ThreadPool::DefaultThreadCount() {
@@ -53,9 +58,17 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    std::exception_ptr thrown;
+    try {
+      task();
+    } catch (...) {
+      // Escaping the std::function body would terminate the process;
+      // capture instead and let Wait() rethrow the first one.
+      thrown = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
+      if (thrown && !first_exception_) first_exception_ = std::move(thrown);
       if (--in_flight_ == 0) all_done_.notify_all();
     }
   }
@@ -114,11 +127,58 @@ void ParallelFor(ThreadPool& pool, size_t begin, size_t end, size_t grain,
                  const std::function<void(size_t, size_t)>& body) {
   if (begin >= end) return;
   if (grain == 0) grain = 1;
-  for (size_t chunk = begin; chunk < end; chunk += grain) {
-    size_t chunk_end = std::min(chunk + grain, end);
-    pool.Submit([&body, chunk, chunk_end] { body(chunk, chunk_end); });
+  // Per-call completion state rather than pool.Wait(): several ParallelFor
+  // calls may share one pool concurrently (batched queries from multiple
+  // reader threads), and the pool-global wait would both block on foreign
+  // tasks and deliver this call's exception to a different caller. The
+  // state lives on this stack frame; the wait below keeps it alive until
+  // every chunk has finished with it.
+  struct CallState {
+    std::mutex mu;
+    std::condition_variable done;
+    size_t remaining = 0;
+    std::exception_ptr first_exception;
+  } state;
+  const size_t total_chunks = (end - begin + grain - 1) / grain;
+  state.remaining = total_chunks;
+  size_t submitted = 0;
+  try {
+    for (size_t chunk = begin; chunk < end; chunk += grain) {
+      size_t chunk_end = std::min(chunk + grain, end);
+      pool.Submit([&body, &state, chunk, chunk_end] {
+        std::exception_ptr thrown;
+        try {
+          body(chunk, chunk_end);
+        } catch (...) {
+          thrown = std::current_exception();
+        }
+        std::unique_lock<std::mutex> lock(state.mu);
+        if (thrown && !state.first_exception) {
+          state.first_exception = std::move(thrown);
+        }
+        if (--state.remaining == 0) state.done.notify_all();
+      });
+      ++submitted;
+    }
+  } catch (...) {
+    // Submit itself failed (allocation). The never-enqueued chunks will
+    // not decrement remaining — un-count them, then drain the chunks
+    // already in flight (they reference this frame's state and body)
+    // before surfacing the failure.
+    {
+      std::unique_lock<std::mutex> lock(state.mu);
+      state.remaining -= total_chunks - submitted;
+      state.done.wait(lock, [&state] { return state.remaining == 0; });
+    }
+    throw;
   }
-  pool.Wait();
+  std::unique_lock<std::mutex> lock(state.mu);
+  state.done.wait(lock, [&state] { return state.remaining == 0; });
+  if (state.first_exception) {
+    std::exception_ptr rethrown = std::exchange(state.first_exception, nullptr);
+    lock.unlock();
+    std::rethrow_exception(rethrown);
+  }
 }
 
 }  // namespace csc

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -35,7 +36,13 @@ class ThreadPool {
   /// Enqueues a task. Never blocks.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every task submitted so far has completed.
+  /// Blocks until every task submitted so far has completed. If any task
+  /// exited with an exception since the last Wait(), rethrows the first
+  /// one captured (later ones are dropped; when several threads Wait()
+  /// concurrently, exactly one of them receives it). Without this, a
+  /// throwing task would unwind through the worker's std::function call
+  /// and terminate the process. Exceptions still pending at destruction
+  /// are discarded — Wait() before tearing down if you care.
   void Wait();
 
   unsigned num_threads() const {
@@ -55,13 +62,19 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   size_t in_flight_ = 0;  // queued + currently running tasks
   bool shutting_down_ = false;
+  std::exception_ptr first_exception_;  // first task throw since last Wait()
   std::vector<std::thread> workers_;
 };
 
 /// Splits [begin, end) into chunks of at most `grain` items and runs
 /// `body(chunk_begin, chunk_end)` across the pool, blocking until all chunks
 /// finish. `grain == 0` is coerced to 1. Chunks run in unspecified order;
-/// the body must be safe to run concurrently against itself.
+/// the body must be safe to run concurrently against itself. A body that
+/// throws does not abort the remaining chunks — they all still run — but the
+/// first exception captured is rethrown here once every chunk has finished.
+/// Completion and exception delivery are per call (not ThreadPool::Wait):
+/// concurrent ParallelFor calls sharing one pool neither block on each
+/// other's tasks nor receive each other's exceptions.
 void ParallelFor(ThreadPool& pool, size_t begin, size_t end, size_t grain,
                  const std::function<void(size_t, size_t)>& body);
 

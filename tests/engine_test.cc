@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -373,6 +374,46 @@ TEST(EngineTest, RollbackOnFailedRebuildSyncAndAsync) {
     // The rollback restored the retained graph: once rebuilds heal, the
     // same batch validates and lands exactly as if the failure never
     // happened.
+    fail->store(false);
+    uint64_t epoch = 0;
+    EXPECT_EQ(engine.ApplyUpdates({EdgeUpdate::Insert(7, 6)}, nullptr, &epoch),
+              1u);
+    EXPECT_TRUE(engine.WaitForEpoch(epoch));
+    DiGraph target = graph;
+    target.AddEdge(7, 6);
+    EXPECT_EQ(engine.QueryAll(), BfsReference(target));
+  }
+}
+
+// A rebuild that *throws* (std::bad_alloc, or a staging-task exception
+// rethrown by ThreadPool::Wait under build_threads) must behave exactly
+// like a failed rebuild: rollback, old snapshot keeps serving, failure
+// reported through the epoch — never an escaped exception (which would
+// terminate the process on the async worker) or a half-updated graph.
+TEST(EngineTest, ThrowingRebuildRollsBackSyncAndAsync) {
+  for (bool async_mode : {false, true}) {
+    SCOPED_TRACE(async_mode ? "async" : "sync");
+    DiGraph graph = Figure2Graph();
+    auto fail = std::make_shared<std::atomic<bool>>(false);
+    EngineOptions options;
+    options.backend = "frozen";
+    options.async_updates = async_mode;
+    options.build_threads = 2;
+    options.fail_rebuild_for_testing = [fail]() -> bool {
+      if (fail->load()) throw std::runtime_error("rebuild blew up");
+      return false;
+    };
+    Engine engine(options);
+    ASSERT_TRUE(engine.Build(graph));
+    std::vector<CycleCount> before = engine.QueryAll();
+
+    fail->store(true);
+    uint64_t failed_epoch = 0;
+    engine.ApplyUpdates({EdgeUpdate::Insert(7, 6)}, nullptr, &failed_epoch);
+    EXPECT_FALSE(engine.WaitForEpoch(failed_epoch));
+    EXPECT_EQ(engine.QueryAll(), before);
+
+    // Healed rebuilds land the same batch from the rolled-back state.
     fail->store(false);
     uint64_t epoch = 0;
     EXPECT_EQ(engine.ApplyUpdates({EdgeUpdate::Insert(7, 6)}, nullptr, &epoch),

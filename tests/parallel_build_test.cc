@@ -1,0 +1,172 @@
+// Determinism conformance for the rank-batched parallel builder
+// (labeling/parallel_build.h): at every thread count the parallel
+// construction must be bit-identical to the sequential oracle — the
+// in-memory labelings, the serialized payloads of every labeling-based
+// backend, and the build stats (which commit from per-pass staging
+// partials and must aggregate to exactly the sequential counters).
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cycle_index.h"
+#include "csc/csc_index.h"
+#include "graph/generators.h"
+#include "graph/ordering.h"
+#include "hpspc/hpspc_index.h"
+#include "labeling/pruned_bfs.h"
+#include "test_util.h"
+
+namespace csc {
+namespace {
+
+constexpr unsigned kThreadCounts[] = {1, 2, 4, 8};
+
+struct NamedGraph {
+  std::string name;
+  DiGraph graph;
+};
+
+// A spread of shapes: the paper's worked example, a heavy-tailed
+// preferential-attachment graph (many same-batch hub interactions near the
+// top ranks — the case the validation/fixup pass exists for), a small-world
+// lattice (long cycles), and a uniform random graph.
+std::vector<NamedGraph> ConformanceGraphs() {
+  std::vector<NamedGraph> graphs;
+  graphs.push_back({"figure2", Figure2Graph()});
+  graphs.push_back(
+      {"power_law", GeneratePreferentialAttachment(600, 3, 0.2, 7)});
+  graphs.push_back({"small_world", GenerateSmallWorld(500, 3, 0.1, 11)});
+  graphs.push_back({"erdos_renyi", GenerateErdosRenyi(400, 2000, 13)});
+  return graphs;
+}
+
+void ExpectStatsEqual(const LabelBuildStats& parallel,
+                      const LabelBuildStats& sequential,
+                      const std::string& context) {
+  EXPECT_EQ(parallel.entries, sequential.entries) << context;
+  EXPECT_EQ(parallel.canonical_entries, sequential.canonical_entries)
+      << context;
+  EXPECT_EQ(parallel.non_canonical_entries, sequential.non_canonical_entries)
+      << context;
+  EXPECT_EQ(parallel.vertices_dequeued, sequential.vertices_dequeued)
+      << context;
+  EXPECT_EQ(parallel.pruned_by_distance, sequential.pruned_by_distance)
+      << context;
+}
+
+TEST(ParallelBuildDeterminismTest, CscLabelingMatchesSequential) {
+  for (const NamedGraph& g : ConformanceGraphs()) {
+    VertexOrdering order = DegreeOrdering(g.graph);
+    CscIndex sequential = CscIndex::Build(g.graph, order);
+    for (unsigned threads : kThreadCounts) {
+      CscIndex::Options options;
+      options.build_threads = threads;
+      CscIndex parallel = CscIndex::Build(g.graph, order, options);
+      std::string context = g.name + " threads=" + std::to_string(threads);
+      EXPECT_EQ(parallel.labeling(), sequential.labeling()) << context;
+      ExpectStatsEqual(parallel.build_stats(), sequential.build_stats(),
+                       context);
+      EXPECT_EQ(parallel.build_stats().build_threads, threads) << context;
+    }
+  }
+}
+
+TEST(ParallelBuildDeterminismTest, BackendPayloadsByteIdentical) {
+  // Every labeling-based backend with a persistent form: the serialized
+  // payload of a parallel build must be byte-identical to the sequential
+  // build's.
+  const std::vector<std::string> backends = {"csc", "cached", "compact",
+                                             "frozen", "compressed"};
+  DiGraph graph = GeneratePreferentialAttachment(500, 3, 0.2, 21);
+  for (const std::string& name : backends) {
+    std::unique_ptr<CycleIndex> oracle = MakeBackend(name);
+    ASSERT_NE(oracle, nullptr) << name;
+    oracle->Build(graph);
+    std::string sequential_payload;
+    ASSERT_TRUE(oracle->SaveTo(sequential_payload)) << name;
+    for (unsigned threads : kThreadCounts) {
+      std::unique_ptr<CycleIndex> backend = MakeBackend(name);
+      CycleIndex::BuildOptions options;
+      options.num_threads = threads;
+      backend->Build(graph, options);
+      std::string payload;
+      ASSERT_TRUE(backend->SaveTo(payload)) << name;
+      EXPECT_EQ(payload, sequential_payload)
+          << name << " threads=" << threads;
+      EXPECT_EQ(backend->Stats().build_threads, threads) << name;
+    }
+  }
+}
+
+TEST(ParallelBuildDeterminismTest, HpSpcLabelingMatchesSequential) {
+  for (const NamedGraph& g : ConformanceGraphs()) {
+    VertexOrdering order = DegreeOrdering(g.graph);
+    HpSpcIndex sequential = HpSpcIndex::Build(g.graph, order);
+    for (unsigned threads : kThreadCounts) {
+      HpSpcIndex parallel = HpSpcIndex::Build(g.graph, order, threads);
+      std::string context = g.name + " threads=" + std::to_string(threads);
+      EXPECT_EQ(parallel.labeling(), sequential.labeling()) << context;
+      ExpectStatsEqual(parallel.build_stats(), sequential.build_stats(),
+                       context);
+    }
+  }
+}
+
+TEST(ParallelBuildDeterminismTest, PlainBuilderWithoutDistancePruning) {
+  // Pruning disabled => staging can never be dirty; the commit replay alone
+  // must still reproduce the sequential labeling.
+  DiGraph graph = GeneratePreferentialAttachment(300, 3, 0.2, 31);
+  VertexOrdering order = DegreeOrdering(graph);
+  PrunedBfsOptions sequential_options;
+  sequential_options.distance_pruning = false;
+  HubLabeling sequential;
+  sequential.Resize(graph.num_vertices());
+  LabelBuildStats sequential_stats;
+  BuildPlainHubLabeling(graph, order, sequential, sequential_stats,
+                        sequential_options);
+  for (unsigned threads : kThreadCounts) {
+    PrunedBfsOptions options = sequential_options;
+    options.num_threads = threads;
+    HubLabeling parallel;
+    parallel.Resize(graph.num_vertices());
+    LabelBuildStats stats;
+    BuildPlainHubLabeling(graph, order, parallel, stats, options);
+    EXPECT_EQ(parallel, sequential) << "threads=" << threads;
+    ExpectStatsEqual(stats, sequential_stats,
+                     "no-pruning threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ParallelBuildDeterminismTest, ReservedVerticesMatchSequential) {
+  DiGraph graph = GenerateSmallWorld(300, 3, 0.15, 41);
+  VertexOrdering order = DegreeOrdering(graph);
+  CscIndex::Options sequential_options;
+  sequential_options.reserve_vertices = 8;
+  CscIndex sequential = CscIndex::Build(graph, order, sequential_options);
+  for (unsigned threads : {2u, 8u}) {
+    CscIndex::Options options = sequential_options;
+    options.build_threads = threads;
+    CscIndex parallel = CscIndex::Build(graph, order, options);
+    EXPECT_EQ(parallel.labeling(), sequential.labeling())
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelBuildDeterminismTest, ParallelBuildAnswersQueries) {
+  // Belt and braces next to the bit-identity checks: the parallel build's
+  // query answers agree with the sequential build's on every vertex.
+  DiGraph graph = GeneratePreferentialAttachment(400, 3, 0.25, 51);
+  VertexOrdering order = DegreeOrdering(graph);
+  CscIndex sequential = CscIndex::Build(graph, order);
+  CscIndex::Options options;
+  options.build_threads = 4;
+  CscIndex parallel = CscIndex::Build(graph, order, options);
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+    EXPECT_EQ(parallel.Query(v), sequential.Query(v)) << "vertex " << v;
+  }
+}
+
+}  // namespace
+}  // namespace csc

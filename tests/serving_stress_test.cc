@@ -196,6 +196,46 @@ TEST_P(AsyncServingStressTest, ShardedEngineReadersVsAsyncRebuilds) {
   EXPECT_EQ(engine.QueryAll(), BfsReference(graph));
 }
 
+// The parallel builder inside the async pipeline: every off-thread rebuild
+// runs the rank-batched construction on its own worker pool while readers
+// keep querying the old snapshot and the writer floods admissions. TSan
+// guards the staging-pool handoff (ThreadPool inside SerialWorker task);
+// the functional assertion is exact convergence, which also re-proves
+// parallel rebuilds land bit-identical snapshots.
+TEST_P(AsyncServingStressTest, AsyncRebuildsWithBuildThreads) {
+  DiGraph graph = RandomGraph(40, 2.0, 84);
+  std::vector<Edge> edges = ToggleEdges(graph);
+  ASSERT_FALSE(edges.empty());
+  EngineOptions options;
+  options.backend = GetParam();
+  options.num_threads = 2;
+  options.batch_grain = 8;
+  options.async_updates = true;
+  options.build_threads = 4;
+  Engine engine(options);
+  ASSERT_TRUE(engine.Build(graph));
+  std::atomic<int> batches{0};
+  RunStress(
+      graph, edges, [&] { return engine.QueryAll(); },
+      [&](const std::vector<EdgeUpdate>& batch) {
+        uint64_t epoch = 0;
+        size_t applied = engine.ApplyUpdates(batch, nullptr, &epoch);
+        if (batches.fetch_add(1, std::memory_order_relaxed) % 4 == 3) {
+          EXPECT_TRUE(engine.WaitForEpoch(epoch));
+        }
+        return applied;
+      });
+  engine.Drain();
+  EXPECT_EQ(engine.QueryAll(), BfsReference(graph));
+  // The landed snapshot must equal a sequentially built one bit for bit.
+  std::string parallel_payload, sequential_payload;
+  ASSERT_TRUE(engine.SaveTo(parallel_payload));
+  std::unique_ptr<CycleIndex> oracle = MakeBackend(GetParam());
+  oracle->Build(graph);
+  ASSERT_TRUE(oracle->SaveTo(sequential_payload));
+  EXPECT_EQ(parallel_payload, sequential_payload);
+}
+
 // Rollback under concurrency: rebuilds fail on and off while readers run
 // and the writer floods; the per-epoch rollback protocol must keep the
 // retained graph consistent with the serving snapshot at every failure, so

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -53,6 +55,44 @@ TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
   EXPECT_EQ(counter.load(), 50);
 }
 
+TEST(ThreadPoolTest, WaitRethrowsTaskException) {
+  // Regression: an exception escaping a task used to unwind through the
+  // worker's std::function call and terminate the process (or vanish).
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsFirstExceptionAndRunsRemainingTasks) {
+  ThreadPool pool(1);  // one worker => deterministic task order
+  std::atomic<int> completed{0};
+  pool.Submit([] { throw std::runtime_error("first"); });
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&completed] { completed.fetch_add(1); });
+  }
+  pool.Submit([] { throw std::logic_error("second"); });
+  try {
+    pool.Wait();
+    FAIL() << "Wait() must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");  // first capture wins; later dropped
+  }
+  // Every non-throwing task still ran: a throwing task never cancels the
+  // rest of the queue.
+  EXPECT_EQ(completed.load(), 20);
+}
+
+TEST(ThreadPoolTest, ExceptionClearedAfterRethrow) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The pool stays usable and a clean Wait() does not rethrow again.
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
 TEST(ThreadPoolTest, DefaultThreadCountIsPositiveAndBounded) {
   unsigned count = ThreadPool::DefaultThreadCount();
   EXPECT_GE(count, 1u);
@@ -86,6 +126,20 @@ TEST(ParallelForTest, ZeroGrainCoercedToOne) {
     total.fetch_add(static_cast<int>(end - begin));
   });
   EXPECT_EQ(total.load(), 10);
+}
+
+TEST(ParallelForTest, RethrowsBodyException) {
+  // Regression: ParallelFor used to lose body exceptions entirely.
+  ThreadPool pool(4);
+  std::atomic<int> chunks{0};
+  EXPECT_THROW(
+      ParallelFor(pool, 0, 100, 10,
+                  [&chunks](size_t begin, size_t) {
+                    chunks.fetch_add(1);
+                    if (begin == 50) throw std::runtime_error("chunk failed");
+                  }),
+      std::runtime_error);
+  EXPECT_EQ(chunks.load(), 10);  // every chunk still ran
 }
 
 TEST(ParallelForTest, MatchesSequentialReduction) {
