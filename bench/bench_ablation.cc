@@ -23,6 +23,7 @@ int main() {
   TableReporter table("Ablation: build time / label entries / BFS dequeues",
                       {"Graph", "Variant", "time(s)", "entries",
                        "vertices dequeued", "pruned by distance"});
+  JsonBenchReporter json("ablation");
   for (const DatasetSpec& spec : datasets) {
     DiGraph g = MaterializeDataset(spec, scale);
     VertexOrdering order = DegreeOrdering(g);
@@ -43,11 +44,19 @@ int main() {
                     TableReporter::FormatCount(s.entries),
                     TableReporter::FormatCount(s.vertices_dequeued),
                     TableReporter::FormatCount(s.pruned_by_distance)});
+      json.BeginRow()
+          .Field("dataset", spec.name)
+          .Field("variant", std::string(variant.name))
+          .Field("build_seconds", s.seconds)
+          .Field("label_entries", s.entries)
+          .Field("vertices_dequeued", s.vertices_dequeued)
+          .Field("pruned_by_distance", s.pruned_by_distance);
       std::printf("[ablation] %s %s: %.3fs\n", spec.name.c_str(),
                   variant.name, s.seconds);
     }
   }
   table.Print();
   table.WriteCsv(bench::CsvPath("ablation"));
+  json.Write("BENCH_ablation.json");
   return 0;
 }

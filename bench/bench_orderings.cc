@@ -24,6 +24,7 @@ int main() {
   TableReporter table(
       "Ordering ablation (CSC index)",
       {"Graph", "Ordering", "build(s)", "entries", "avg query(us)"});
+  JsonBenchReporter json("orderings");
   for (const DatasetSpec& spec : datasets) {
     DiGraph g = MaterializeDataset(spec, scale);
     struct Variant {
@@ -57,10 +58,17 @@ int main() {
                     TableReporter::FormatDouble(index.build_stats().seconds),
                     TableReporter::FormatCount(index.TotalEntries()),
                     TableReporter::FormatDouble(query_us, 2)});
+      json.BeginRow()
+          .Field("dataset", spec.name)
+          .Field("ordering", std::string(variant.name))
+          .Field("build_seconds", index.build_stats().seconds)
+          .Field("label_entries", index.TotalEntries())
+          .Field("query_us", query_us);
       std::printf("[orderings] %s %s done\n", spec.name.c_str(), variant.name);
     }
   }
   table.Print();
   table.WriteCsv(bench::CsvPath("orderings"));
+  json.Write("BENCH_orderings.json");
   return 0;
 }

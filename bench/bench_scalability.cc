@@ -46,6 +46,7 @@ int main() {
       "Scalability: build / size / query / update vs n",
       {"n", "m", "build(s)", "entries", "entr/n", "query(us)", "bfs(us)",
        "insert(ms)"});
+  JsonBenchReporter json("scalability");
 
   Vertex n = static_cast<Vertex>(2000 * scale);
   if (n < 64) n = 64;
@@ -99,6 +100,14 @@ int main() {
          TableReporter::FormatDouble(query_us, 2),
          TableReporter::FormatDouble(bfs_us, 1),
          TableReporter::FormatDouble(insert_ms)});
+    json.BeginRow()
+        .Field("n", static_cast<uint64_t>(n))
+        .Field("m", graph.num_edges())
+        .Field("build_seconds", build_seconds)
+        .Field("label_entries", index.TotalEntries())
+        .Field("query_us", query_us)
+        .Field("bfs_us", bfs_us)
+        .Field("insert_ms", insert_ms);
     std::printf("[scalability] n=%u: build %.2fs, query %.2fus, insert "
                 "%.3fms\n",
                 n, build_seconds, query_us, insert_ms);
@@ -106,5 +115,6 @@ int main() {
 
   table.Print();
   table.WriteCsv(csc::bench::CsvPath("scalability"));
+  json.Write("BENCH_scalability.json");
   return 0;
 }

@@ -30,8 +30,13 @@
 // (rebuild on the caller's thread) vs. asynchronous
 // (ShardedEngineOptions::async_updates: return after validation, rebuilds
 // land off-thread) — plus the drain time that separates admission from the
-// landed swaps. Rows go into BENCH_serving.json so CI tracks the async
-// pipeline's admission speedup.
+// landed swaps. Each mode also runs with incremental repair
+// (ShardedEngineOptions::repair): batches land as bounded label patches
+// against a pinned-ordering shadow instead of full rebuilds. A single-edge
+// churn subsection isolates the repair-vs-rebuild update-to-queryable
+// latency (admit + drain per one-edge batch) — the headline speedup of the
+// repair pipeline. Rows go into BENCH_serving.json so CI tracks both the
+// admission speedup and the repair speedup.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -124,9 +129,15 @@ int main(int argc, char** argv) {
       "Cold start: load-to-first-query (ms), parse vs. mmap",
       {"Graph", "Backend", "parse(ms)", "mmap(ms)", "speedup"});
   TableReporter churn_table(
-      "Churn: writer-visible ApplyUpdates latency (ms), sync vs. async",
+      "Churn: writer-visible ApplyUpdates latency (ms), sync vs. async, "
+      "rebuild vs. repair",
       {"Graph", "Backend", "shards", "mode", "mean-admit", "max-admit",
        "drain(ms)", "admit-speedup"});
+  TableReporter single_edge_table(
+      "Single-edge churn: update-to-queryable latency (ms), rebuild vs. "
+      "repair",
+      {"Graph", "Backend", "rebuild-uq", "repair-uq", "speedup", "patched",
+       "derived"});
   JsonBenchReporter json("serving");
   const std::vector<uint32_t> shard_counts = {1, 2, 4, 8};
   // The persistable serving forms with a load path (cold-start section).
@@ -307,12 +318,24 @@ int main(int argc, char** argv) {
         continue;  // dynamic backends repair in place; nothing to offload
       }
       for (uint32_t shards : {1u, 4u}) {
+        struct ChurnMode {
+          bool async_mode;
+          bool repair;
+          const char* label;
+          const char* json_mode;
+        };
+        constexpr ChurnMode kChurnModes[] = {
+            {false, false, "sync", "churn_sync"},
+            {true, false, "async", "churn_async"},
+            {false, true, "sync+rep", "churn_sync_repair"},
+            {true, true, "async+rep", "churn_async_repair"}};
         double sync_mean_ms = 0;
-        for (bool async_mode : {false, true}) {
+        for (const ChurnMode& mode : kChurnModes) {
           ShardedEngineOptions churn_options;
           churn_options.backend = name;
           churn_options.num_shards = shards;
-          churn_options.async_updates = async_mode;
+          churn_options.async_updates = mode.async_mode;
+          churn_options.repair.enabled = mode.repair;
           ShardedEngine engine(churn_options);
           if (!engine.Build(graph)) continue;
           double total_admit_ms = 0, max_admit_ms = 0;
@@ -330,13 +353,14 @@ int main(int argc, char** argv) {
           double drain_ms = drain_timer.ElapsedMillis();
           double mean_admit_ms =
               total_admit_ms / static_cast<double>(kChurnRounds);
-          if (!async_mode) sync_mean_ms = mean_admit_ms;
-          double speedup = async_mode && mean_admit_ms > 0
+          if (!mode.async_mode && !mode.repair) sync_mean_ms = mean_admit_ms;
+          double speedup = (mode.async_mode || mode.repair) &&
+                                   mean_admit_ms > 0
                                ? sync_mean_ms / mean_admit_ms
                                : 1.0;
+          RepairStats repair_stats = engine.RepairStatsTotal();
           churn_table.AddRow(
-              {spec.name, name, std::to_string(shards),
-               async_mode ? "async" : "sync",
+              {spec.name, name, std::to_string(shards), mode.label,
                TableReporter::FormatDouble(mean_admit_ms, 3),
                TableReporter::FormatDouble(max_admit_ms, 3),
                TableReporter::FormatDouble(drain_ms, 3),
@@ -345,16 +369,79 @@ int main(int argc, char** argv) {
               .Field("dataset", spec.name)
               .Field("backend", name)
               .Field("shards", static_cast<uint64_t>(shards))
-              .Field("mode", async_mode ? std::string("churn_async")
-                                        : std::string("churn_sync"))
+              .Field("mode", std::string(mode.json_mode))
               .Field("churn_rounds", static_cast<uint64_t>(kChurnRounds))
               .Field("churn_batch_edges",
                      static_cast<uint64_t>(churn_edges.size()))
               .Field("churn_mean_admit_ms", mean_admit_ms)
               .Field("churn_max_admit_ms", max_admit_ms)
-              .Field("churn_drain_ms", drain_ms);
+              .Field("churn_drain_ms", drain_ms)
+              .Field("repair_patches", repair_stats.patches)
+              .Field("repair_derived", repair_stats.rebuilds);
         }
       }
+    }
+    // Single-edge churn: the repair pipeline's headline metric — mean
+    // update-to-queryable latency (admit + drain, per one-edge batch) with
+    // legacy rebuild-and-swap vs. bounded label patches. One edge is the
+    // paper's update model (§V measures per-edge maintenance cost), and it
+    // is where patching wins biggest: the rebuild path pays a full labeling
+    // construction per toggle, the repair path re-encodes a handful of
+    // runs.
+    for (const auto& name : backends) {
+      if (churn_edges.empty()) break;
+      if (std::unique_ptr<CycleIndex> probe = MakeBackend(name);
+          !probe || probe->supports_updates() ||
+          !probe->supports_label_patch()) {
+        continue;
+      }
+      const Edge toggle = churn_edges.front();
+      double uq_ms[2] = {0, 0};
+      uint64_t patched = 0, derived = 0;
+      for (int repair_mode = 0; repair_mode < 2; ++repair_mode) {
+        ShardedEngineOptions single_options;
+        single_options.backend = name;
+        single_options.num_shards = 1;
+        single_options.repair.enabled = repair_mode == 1;
+        ShardedEngine engine(single_options);
+        if (!engine.Build(graph)) {
+          uq_ms[repair_mode] = -1;
+          continue;
+        }
+        double total_ms = 0;
+        for (size_t round = 0; round < kChurnRounds; ++round) {
+          std::vector<EdgeUpdate> batch = {
+              round % 2 == 0 ? EdgeUpdate::Insert(toggle.from, toggle.to)
+                             : EdgeUpdate::Remove(toggle.from, toggle.to)};
+          Timer round_timer;
+          engine.ApplyUpdates(batch);
+          engine.Drain();
+          total_ms += round_timer.ElapsedMillis();
+        }
+        uq_ms[repair_mode] = total_ms / static_cast<double>(kChurnRounds);
+        if (repair_mode == 1) {
+          RepairStats repair_stats = engine.RepairStatsTotal();
+          patched = repair_stats.patches;
+          derived = repair_stats.rebuilds;
+        }
+      }
+      double repair_speedup =
+          uq_ms[0] > 0 && uq_ms[1] > 0 ? uq_ms[0] / uq_ms[1] : 0.0;
+      single_edge_table.AddRow(
+          {spec.name, name, TableReporter::FormatDouble(uq_ms[0], 3),
+           TableReporter::FormatDouble(uq_ms[1], 3),
+           TableReporter::FormatDouble(repair_speedup, 1),
+           std::to_string(patched), std::to_string(derived)});
+      json.BeginRow()
+          .Field("dataset", spec.name)
+          .Field("backend", name)
+          .Field("mode", std::string("churn_single_edge"))
+          .Field("churn_rounds", static_cast<uint64_t>(kChurnRounds))
+          .Field("rebuild_update_to_queryable_ms", uq_ms[0])
+          .Field("repair_update_to_queryable_ms", uq_ms[1])
+          .Field("repair_speedup", repair_speedup)
+          .Field("repair_patches", patched)
+          .Field("repair_derived", derived);
     }
     std::printf("[serving] %s done\n", spec.name.c_str());
   }
@@ -365,12 +452,14 @@ int main(int argc, char** argv) {
   cold_table.Print();
   shard_table.Print();
   churn_table.Print();
+  single_edge_table.Print();
   size_table.WriteCsv(bench::CsvPath("serving_sizes"));
   latency_table.WriteCsv(bench::CsvPath("serving_latency"));
   sweep_table.WriteCsv(bench::CsvPath("serving_sweep"));
   cold_table.WriteCsv(bench::CsvPath("serving_cold_start"));
   shard_table.WriteCsv(bench::CsvPath("serving_sharded"));
   churn_table.WriteCsv(bench::CsvPath("serving_churn"));
+  single_edge_table.WriteCsv(bench::CsvPath("serving_churn_single_edge"));
   json.Write("BENCH_serving.json");
   return 0;
 }

@@ -8,7 +8,7 @@
 //   csc_cli backends                               list registered backends
 //   csc_cli graphstats <graph.edges>               structural graph stats
 //   csc_cli casestudy <graph.edges> <v> <out.dot>  Figure 13 DOT export
-//   csc_cli churn <graph.edges> <rounds> <k>       update-churn demo/smoke
+//   csc_cli churn <graph.edges> <rounds> <k> [out] update-churn demo/smoke
 //
 // Every index-serving command accepts `--backend NAME` (default "csc"; see
 // `csc_cli backends`) and goes through the polymorphic CycleIndex
@@ -28,6 +28,11 @@
 // rebuilds off the writer thread: each ApplyUpdates batch returns after
 // validation with an epoch token and the snapshot swap follows
 // asynchronously, with Drain() as the read-your-writes barrier.
+// `--repair` additionally lands those batches as bounded label patches
+// against a pinned-ordering shadow index instead of full rebuilds
+// (serving/engine.h RepairOptions); the optional churn `[<index.out>]`
+// argument persists the post-churn index so the repaired bytes can be
+// compared against a from-scratch build.
 //
 // Graphs are SNAP-style edge lists (see graph/graph_io.h). Indexes are
 // CycleIndex::SaveTo payloads inside the checksummed file envelope of
@@ -71,8 +76,8 @@ int Usage() {
       "  csc_cli backends\n"
       "  csc_cli graphstats <graph.edges>\n"
       "  csc_cli casestudy <graph.edges> <vertex> <out.dot>\n"
-      "  csc_cli [--backend NAME] [--shards N] [--async-updates] churn "
-      "<graph.edges> <rounds> <batch_edges>\n"
+      "  csc_cli [--backend NAME] [--shards N] [--async-updates] [--repair] "
+      "churn <graph.edges> <rounds> <batch_edges> [<index.out>]\n"
       "--shards N builds/serves through the sharded engine (N per-shard\n"
       "backends; multi-shard index files are auto-detected on load)\n"
       "--build-threads T constructs labelings with the rank-batched\n"
@@ -82,6 +87,11 @@ int Usage() {
       "deserialization copy for the flat arena backends)\n"
       "--async-updates applies churn batches asynchronously: ApplyUpdates\n"
       "returns after validation, rebuilds land off the writer thread\n"
+      "--repair lands static-backend churn batches as bounded label\n"
+      "patches against a pinned-ordering shadow index instead of full\n"
+      "rebuilds (backends compact/frozen/compressed)\n"
+      "churn's optional <index.out> persists the post-churn index for\n"
+      "byte-comparison against a from-scratch build\n"
       "backends: ");
   for (const std::string& name : AllBackendNames()) {
     std::fprintf(stderr, "%s ", name.c_str());
@@ -602,6 +612,13 @@ int CmdStats(const std::string& backend_name, uint32_t shards,
               stats.thread_safe_queries ? "yes" : "no");
   std::printf("build           : %.3f s (threads=%u)\n", stats.build_seconds,
               stats.build_threads);
+  if (stats.patches_since_rebuild > 0) {
+    std::printf("label patches   : %llu since last rebuild (%llu hubs "
+                "repaired, %s rewritten)\n",
+                static_cast<unsigned long long>(stats.patches_since_rebuild),
+                static_cast<unsigned long long>(stats.patch_hubs_repaired),
+                HumanBytes(stats.patch_label_bytes).c_str());
+  }
   return 0;
 }
 
@@ -610,9 +627,9 @@ int CmdStats(const std::string& backend_name, uint32_t shards,
 // — in async mode — the drain time separating admission from the landed
 // snapshot swaps.
 int CmdChurn(const std::string& backend_name, uint32_t shards,
-             bool async_updates, unsigned build_threads,
+             bool async_updates, bool repair, unsigned build_threads,
              const std::string& graph_path, size_t rounds,
-             size_t batch_edges) {
+             size_t batch_edges, const std::string& index_out) {
   auto graph = LoadEdgeListFile(graph_path);
   if (!graph) {
     std::fprintf(stderr, "cannot parse %s\n", graph_path.c_str());
@@ -623,6 +640,7 @@ int CmdChurn(const std::string& backend_name, uint32_t shards,
   options.num_shards = shards;
   options.async_updates = async_updates;
   options.build_threads = build_threads;
+  options.repair.enabled = repair;
   ShardedEngine engine(options);
   if (!engine.valid()) {
     std::fprintf(stderr, "unknown backend '%s'\n", backend_name.c_str());
@@ -634,10 +652,11 @@ int CmdChurn(const std::string& backend_name, uint32_t shards,
     return 1;
   }
   std::printf("built %u-shard '%s' in %.3f s (threads=%u); churning %zu "
-              "rounds x %zu edges (%s updates)\n",
+              "rounds x %zu edges (%s updates%s)\n",
               engine.num_shards(), backend_name.c_str(),
               build_timer.ElapsedSeconds(), build_threads, rounds, batch_edges,
-              async_updates ? "async" : "sync");
+              async_updates ? "async" : "sync",
+              repair ? ", incremental repair" : "");
   std::vector<Edge> toggles = SampleNewEdges(*graph, batch_edges, 1234);
   if (toggles.empty()) {
     std::fprintf(stderr, "graph too dense to sample absent edges\n");
@@ -668,11 +687,34 @@ int CmdChurn(const std::string& backend_name, uint32_t shards,
               max_admit_ms, applied);
   std::printf("drain       : %.3f ms (wall %.3f ms)\n",
               drain_timer.ElapsedMillis(), wall.ElapsedMillis());
+  if (repair) {
+    RepairStats repair_stats = engine.RepairStatsTotal();
+    std::printf("repair      : %llu patched, %llu derived across shards "
+                "(%llu hubs repaired, %s rewritten)\n",
+                static_cast<unsigned long long>(repair_stats.patches),
+                static_cast<unsigned long long>(repair_stats.rebuilds),
+                static_cast<unsigned long long>(repair_stats.hubs_repaired),
+                HumanBytes(repair_stats.label_bytes).c_str());
+  }
   GirthInfo info = engine.Girth();
   if (info.girth == kInfDist) {
     std::printf("final girth : acyclic\n");
   } else {
     std::printf("final girth : %u\n", info.girth);
+  }
+  if (!index_out.empty()) {
+    // Match `build`'s on-disk forms: a bare payload for one shard (directly
+    // comparable to a from-scratch single-engine build), the multi-shard
+    // bundle otherwise.
+    std::string payload;
+    bool saved = shards > 1 ? engine.SaveTo(payload)
+                            : engine.shard(0).SaveTo(payload);
+    if (!saved || !SavePayloadToFile(payload, index_out)) {
+      std::fprintf(stderr, "cannot persist post-churn index to %s\n",
+                   index_out.c_str());
+      return 1;
+    }
+    std::printf("wrote       : %s (post-churn index)\n", index_out.c_str());
   }
   std::printf("churn ok\n");
   return 0;
@@ -687,6 +729,7 @@ int main(int argc, char** argv) {
   uint32_t shards = 1;
   bool use_mmap = false;
   bool async_updates = false;
+  bool repair = false;
   unsigned build_threads = 0;
   std::vector<char*> args;
   for (int i = 1; i < argc; ++i) {
@@ -713,6 +756,8 @@ int main(int argc, char** argv) {
       use_mmap = true;
     } else if (arg == "--async-updates") {
       async_updates = true;
+    } else if (arg == "--repair") {
+      repair = true;
     } else {
       args.push_back(argv[i]);
     }
@@ -740,10 +785,11 @@ int main(int argc, char** argv) {
   if (cmd == "girth" && n == 2) {
     return CmdGirth(backend, shards, use_mmap, build_threads, args[1]);
   }
-  if (cmd == "churn" && n == 4) {
-    return CmdChurn(backend, shards, async_updates, build_threads, args[1],
-                    std::strtoul(args[2], nullptr, 10),
-                    std::strtoul(args[3], nullptr, 10));
+  if (cmd == "churn" && (n == 4 || n == 5)) {
+    return CmdChurn(backend, shards, async_updates, repair, build_threads,
+                    args[1], std::strtoul(args[2], nullptr, 10),
+                    std::strtoul(args[3], nullptr, 10),
+                    n == 5 ? args[4] : std::string());
   }
   if (cmd == "graphstats" && n == 2) return CmdGraphStats(args[1]);
   if (cmd == "casestudy" && n == 4) {

@@ -10,6 +10,7 @@
 #include "baseline/bfs_cycle.h"
 #include "baseline/precompute_all.h"
 #include "core/cycle_index.h"
+#include "core/label_patch.h"
 #include "csc/cached_index.h"
 #include "csc/compact_index.h"
 #include "csc/csc_index.h"
@@ -44,11 +45,30 @@ class BackendBase : public CycleIndex {
     stats.supports_updates = supports_updates();
     stats.supports_save = supports_save();
     stats.thread_safe_queries = thread_safe_queries();
+    stats.patch_hubs_repaired = patch_hubs_repaired_;
+    stats.patch_label_bytes = patch_label_bytes_;
+    stats.patches_since_rebuild = patches_since_rebuild_;
     return stats;
   }
 
  protected:
   virtual uint64_t LabelEntries() const { return 0; }
+
+  // Carries identity and accumulates damage counters onto a patched clone
+  // (ApplyLabelPatch); a fresh Build/LoadFrom leaves them zeroed.
+  void InheritPatched(const BackendBase& source, const LabelPatch& patch) {
+    build_seconds_ = source.build_seconds_;
+    build_threads_ = source.build_threads_;
+    patch_hubs_repaired_ = source.patch_hubs_repaired_ + patch.RunCount();
+    patch_label_bytes_ = source.patch_label_bytes_ + patch.LabelBytes();
+    patches_since_rebuild_ = source.patches_since_rebuild_ + 1;
+  }
+
+  void ResetPatchCounters() {
+    patch_hubs_repaired_ = 0;
+    patch_label_bytes_ = 0;
+    patches_since_rebuild_ = 0;
+  }
 
   static UpdateResult FromBool(bool applied) {
     return applied ? UpdateResult::kApplied : UpdateResult::kRejected;
@@ -63,6 +83,9 @@ class BackendBase : public CycleIndex {
   std::string name_;
   double build_seconds_ = 0;
   unsigned build_threads_ = 0;
+  uint64_t patch_hubs_repaired_ = 0;
+  uint64_t patch_label_bytes_ = 0;
+  uint64_t patches_since_rebuild_ = 0;
 };
 
 // "csc": the paper's dynamic 2-hop index; supports incremental/decremental
@@ -213,6 +236,7 @@ class CompactBackend : public BackendBase {
         CscIndex::Build(graph, DegreeOrdering(graph), o));
     build_seconds_ = timer.ElapsedSeconds();
     build_threads_ = options.num_threads;
+    ResetPatchCounters();
   }
 
   CycleCount CountShortestCycles(Vertex v) override {
@@ -233,8 +257,26 @@ class CompactBackend : public BackendBase {
     index_ = std::move(*loaded);
     build_seconds_ = timer.ElapsedSeconds();
     build_threads_ = 0;
+    ResetPatchCounters();
     return true;
   }
+
+  // Copying repair fallback: clones the per-vertex label sets and swaps in
+  // the replacements (no arena here to run-edit).
+  std::unique_ptr<CycleIndex> ApplyLabelPatch(
+      const LabelPatch& patch) override {
+    if (!index_ ||
+        (patch.num_vertices != 0 &&
+         patch.num_vertices != index_->num_original_vertices())) {
+      return nullptr;
+    }
+    auto clone = std::make_unique<CompactBackend>();
+    clone->index_ = index_->WithEditedLabels(patch.in_runs, patch.out_runs);
+    clone->InheritPatched(*this, patch);
+    return clone;
+  }
+
+  bool supports_label_patch() const override { return true; }
 
   Vertex num_vertices() const override {
     return index_ ? index_->num_original_vertices() : 0;
@@ -274,6 +316,7 @@ class FlatBackend : public BackendBase {
         CscIndex::Build(graph, DegreeOrdering(graph), o)));
     build_seconds_ = timer.ElapsedSeconds();
     build_threads_ = options.num_threads;
+    ResetPatchCounters();
   }
 
   CycleCount CountShortestCycles(Vertex v) override {
@@ -292,12 +335,14 @@ class FlatBackend : public BackendBase {
       index_ = std::move(*native);
       build_seconds_ = timer.ElapsedSeconds();
       build_threads_ = 0;
+      ResetPatchCounters();
       return true;
     }
     if (auto compact = CompactIndex::Deserialize(bytes)) {
       index_ = Index::FromCompact(*compact);
       build_seconds_ = timer.ElapsedSeconds();
       build_threads_ = 0;
+      ResetPatchCounters();
       return true;
     }
     return false;
@@ -312,6 +357,7 @@ class FlatBackend : public BackendBase {
       index_ = std::move(*native);
       build_seconds_ = timer.ElapsedSeconds();
       build_threads_ = 0;
+      ResetPatchCounters();
       return true;
     }
     return CycleIndex::LoadView(data, size, nullptr);
@@ -321,6 +367,23 @@ class FlatBackend : public BackendBase {
     index_.SliceTo(keep);
     return true;
   }
+
+  // Bounded repair: clone with only the patched runs re-encoded
+  // (LabelArena::WithEditedRuns); a view-backed index materializes into an
+  // owned payload, so the mapping can be released after a patch lands.
+  std::unique_ptr<CycleIndex> ApplyLabelPatch(
+      const LabelPatch& patch) override {
+    if (patch.num_vertices != 0 &&
+        patch.num_vertices != index_.num_original_vertices()) {
+      return nullptr;
+    }
+    auto clone = std::make_unique<FlatBackend<Index>>(name_);
+    clone->index_ = index_.WithEditedRuns(patch.in_runs, patch.out_runs);
+    clone->InheritPatched(*this, patch);
+    return clone;
+  }
+
+  bool supports_label_patch() const override { return true; }
 
   Vertex num_vertices() const override {
     return index_.num_original_vertices();

@@ -32,4 +32,10 @@ bool CycleIndex::SliceLabels(const std::function<bool(Vertex)>&) {
   return false;
 }
 
+std::unique_ptr<CycleIndex> CycleIndex::ApplyLabelPatch(const LabelPatch&) {
+  // No patchable label storage: the serving tier derives a full snapshot
+  // from its shadow instead.
+  return nullptr;
+}
+
 }  // namespace csc

@@ -11,7 +11,8 @@
 
 namespace csc {
 
-struct GirthInfo;  // csc/girth.h
+struct GirthInfo;   // csc/girth.h
+struct LabelPatch;  // core/label_patch.h
 
 /// Snapshot of a backend's identity and capabilities, for reporters and the
 /// serving tier's dispatch decisions.
@@ -30,6 +31,14 @@ struct BackendStats {
   bool supports_updates = false;
   bool supports_save = false;
   bool thread_safe_queries = false;
+  /// Incremental-repair counters (ApplyLabelPatch): serving runs rewritten
+  /// and replacement label bytes written by patches since the last full
+  /// Build/LoadFrom, plus the number of patches applied. A freshly built or
+  /// loaded index reports zeros; after a repair these describe the bounded
+  /// damage instead of pretending the index is still build-fresh.
+  uint64_t patch_hubs_repaired = 0;
+  uint64_t patch_label_bytes = 0;
+  uint64_t patches_since_rebuild = 0;
 };
 
 /// The polymorphic backend interface every shortest-cycle-counting engine in
@@ -118,6 +127,18 @@ class CycleIndex {
   /// implementation falls back to a copying LoadFrom.
   virtual bool LoadView(const uint8_t* data, size_t size,
                         std::shared_ptr<const void> keep_alive);
+
+  /// Returns a copy of this index with the patch's run edits applied — the
+  /// serving tier's bounded repair: the unpatched instance keeps serving
+  /// readers while the clone re-encodes only the touched runs. nullptr when
+  /// this backend has no patchable label storage (the caller then falls
+  /// back to deriving a full snapshot). Patches are rank-encoded and only
+  /// valid against an index built under the same vertex ordering as the
+  /// shadow they were extracted from; the patched clone's Stats() reports
+  /// the accumulated patch counters.
+  virtual std::unique_ptr<CycleIndex> ApplyLabelPatch(const LabelPatch& patch);
+
+  virtual bool supports_label_patch() const { return false; }
 
   /// Drops the label runs of vertices not selected by `keep`, shrinking
   /// resident label storage while preserving the vertex space; queries for

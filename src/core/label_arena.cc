@@ -439,6 +439,75 @@ void LabelArena::Slice(const std::function<bool(Vertex)>& keep) {
   total_entries_ = kept_entries;
 }
 
+LabelArena LabelArena::WithEditedRuns(
+    const std::vector<std::pair<Vertex, LabelSet>>& edits) const {
+  const Vertex n = num_vertices();
+  LabelArena out;
+  out.encoding_ = encoding_;
+  out.offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  // Varint replacements are encoded once up front so both passes see their
+  // exact byte length; packed replacements are sized straight off the set.
+  std::vector<std::vector<uint8_t>> encoded;
+  if (!packed()) {
+    encoded.resize(edits.size());
+    for (size_t i = 0; i < edits.size(); ++i) {
+      EncodeRun(edits[i].second, encoded[i]);
+    }
+  }
+  const uint8_t* payload = payload_data();
+  const size_t unit = packed() ? kEntry : 1;
+  // Pass 1: new run boundaries; the entry total adjusts by each edit's
+  // delta against the run it replaces.
+  uint64_t total = total_entries_;
+  size_t next_edit = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    uint64_t run;
+    if (next_edit < edits.size() && edits[next_edit].first == v) {
+      const LabelSet& labels = edits[next_edit].second;
+      run = packed() ? labels.size() : encoded[next_edit].size();
+      total += labels.size();
+      total -= RunSize(v);
+      ++next_edit;
+    } else {
+      run = offsets_[v + 1] - offsets_[v];
+    }
+    out.offsets_[v + 1] = out.offsets_[v] + run;
+  }
+  // Pass 2: copy unedited runs (memcpy only — the source may be an
+  // unaligned mapping view) and write the replacement encodings in place.
+  if (packed()) {
+    out.entries_.resize(out.offsets_[n]);
+  } else {
+    out.bytes_.reserve(out.offsets_[n]);
+  }
+  next_edit = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    uint64_t run = out.offsets_[v + 1] - out.offsets_[v];
+    if (next_edit < edits.size() && edits[next_edit].first == v) {
+      if (run > 0) {
+        if (packed()) {
+          std::memcpy(out.entries_.data() + out.offsets_[v],
+                      edits[next_edit].second.entries().data(), run * kEntry);
+        } else {
+          out.bytes_.insert(out.bytes_.end(), encoded[next_edit].begin(),
+                            encoded[next_edit].end());
+        }
+      }
+      ++next_edit;
+      continue;
+    }
+    if (run == 0) continue;
+    const uint8_t* src = payload + offsets_[v] * unit;
+    if (packed()) {
+      std::memcpy(out.entries_.data() + out.offsets_[v], src, run * kEntry);
+    } else {
+      out.bytes_.insert(out.bytes_.end(), src, src + run);
+    }
+  }
+  out.total_entries_ = total;
+  return out;
+}
+
 void LabelArena::AppendTo(std::string& out) const {
   out.push_back(static_cast<char>(encoding_));
   uint32_t n = num_vertices();

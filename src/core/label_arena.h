@@ -156,6 +156,17 @@ class LabelArena {
   /// resident labels to its owned vertices.
   void Slice(const std::function<bool(Vertex)>& keep);
 
+  /// Returns a copy of this arena with the runs named in `edits` replaced by
+  /// the given label sets; every other run is copied byte-identically.
+  /// `edits` must be sorted by vertex with no duplicates. Because the varint
+  /// encoding restarts its rank delta at every run boundary, re-encoding one
+  /// run never perturbs its neighbours — an edited arena is byte-identical
+  /// to one built from scratch over the same label sets. The result always
+  /// owns its payload. This is the storage primitive under
+  /// CycleIndex::ApplyLabelPatch (serving-tier incremental repair).
+  LabelArena WithEditedRuns(
+      const std::vector<std::pair<Vertex, LabelSet>>& edits) const;
+
   /// Payload bytes only — 8 per entry when packed, the actual byte-stream
   /// size when varint (the paper's Figure 9(b) accounting).
   uint64_t SizeBytes() const {

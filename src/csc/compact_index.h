@@ -61,6 +61,19 @@ class CompactIndex {
   std::string Serialize() const;
   static std::optional<CompactIndex> Deserialize(const std::string& bytes);
 
+  /// Returns a copy with the named in/out label sets replaced (incremental
+  /// label repair; see core/label_patch.h). Edits are (vertex, replacement)
+  /// pairs sorted by vertex; the rank permutation is carried over unchanged,
+  /// so this is only meaningful under the ordering the index was built with.
+  CompactIndex WithEditedLabels(
+      const std::vector<std::pair<Vertex, LabelSet>>& in_edits,
+      const std::vector<std::pair<Vertex, LabelSet>>& out_edits) const {
+    CompactIndex edited = *this;
+    for (const auto& [v, labels] : in_edits) edited.in_labels_[v] = labels;
+    for (const auto& [v, labels] : out_edits) edited.out_labels_[v] = labels;
+    return edited;
+  }
+
   friend bool operator==(const CompactIndex&, const CompactIndex&) = default;
 
  private:

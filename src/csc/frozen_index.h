@@ -75,6 +75,20 @@ class FrozenIndex {
   /// the shard-local storage form of the sharded serving tier.
   void SliceTo(const std::function<bool(Vertex)>& keep);
 
+  /// Returns a copy with the named in/out runs replaced (incremental label
+  /// repair; see core/label_patch.h). Run contents are rank-encoded, so this
+  /// is only meaningful under the ordering the index was built with — the
+  /// couple-rank map is carried over unchanged.
+  FrozenIndex WithEditedRuns(
+      const std::vector<std::pair<Vertex, LabelSet>>& in_edits,
+      const std::vector<std::pair<Vertex, LabelSet>>& out_edits) const {
+    FrozenIndex edited;
+    edited.in_ = in_.WithEditedRuns(in_edits);
+    edited.out_ = out_.WithEditedRuns(out_edits);
+    edited.in_vertex_rank_ = in_vertex_rank_;
+    return edited;
+  }
+
   friend bool operator==(const FrozenIndex&, const FrozenIndex&) = default;
 
  private:

@@ -90,10 +90,19 @@ BatchResult ApplyUpdates(CscIndex& index,
     for (const Edge& e : to_remove) original.RemoveEdge(e.from, e.to);
     for (const Edge& e : to_insert) original.AddEdge(e.from, e.to);
     CscIndex::Options build_options = index.options();
-    index = CscIndex::Build(original, DegreeOrdering(original), build_options);
+    // A pinned ordering keeps ranks stable across rebuilds (the serving
+    // tier's repair pipeline depends on this); otherwise re-optimize for
+    // the mutated degree distribution as before.
+    if (options.pinned_order != nullptr) {
+      index = CscIndex::Build(original, *options.pinned_order, build_options);
+    } else {
+      index =
+          CscIndex::Build(original, DegreeOrdering(original), build_options);
+    }
     result.inserted = to_insert.size();
     result.removed = to_remove.size();
     result.rebuilt = true;
+    result.stats.strategy = options.strategy;
     result.seconds = timer.ElapsedSeconds();
     return result;
   }
@@ -101,6 +110,7 @@ BatchResult ApplyUpdates(CscIndex& index,
   // Removals first (they require the still-minimal index), then inserts.
   for (const Edge& e : to_remove) {
     UpdateStats stats;
+    stats.dirty = options.dirty;
     if (RemoveEdge(index, e.from, e.to, &stats)) {
       ++result.removed;
       result.stats.Accumulate(stats);
@@ -110,6 +120,7 @@ BatchResult ApplyUpdates(CscIndex& index,
   }
   for (const Edge& e : to_insert) {
     UpdateStats stats;
+    stats.dirty = options.dirty;
     if (InsertEdge(index, e.from, e.to, options.strategy, &stats)) {
       ++result.inserted;
       result.stats.Accumulate(stats);
@@ -117,6 +128,7 @@ BatchResult ApplyUpdates(CscIndex& index,
       ++result.skipped;
     }
   }
+  result.stats.strategy = options.strategy;
   result.seconds = timer.ElapsedSeconds();
   return result;
 }

@@ -19,13 +19,25 @@ struct BatchOptions {
   /// scratch instead of per-edge repair — beyond some churn, reconstruction
   /// is cheaper than thousands of resumed BFSs (the crossover the paper
   /// quantifies as "2.3e-5 of the reconstruction time" per single edge).
-  /// Set to a value > 1 to never rebuild, or 0 to always rebuild.
-  double rebuild_threshold = 0.25;
+  /// Set to a value > 1 to never rebuild, or 0 to always rebuild. The
+  /// serving tier's RepairOptions shares this default (update_stats.h), so
+  /// both decision points agree on one knob.
+  double rebuild_threshold = kDefaultRebuildThreshold;
+  /// When set, the rebuild path reconstructs under this fixed ordering
+  /// (over original vertices) instead of recomputing DegreeOrdering from
+  /// the mutated graph. The serving-tier repair pipeline pins its build
+  /// ordering this way so label ranks stay stable across patches.
+  const VertexOrdering* pinned_order = nullptr;
+  /// When set, per-edge maintenance records every label-set mutation here
+  /// (see DirtyLabelTracker). The rebuild path does NOT populate it — check
+  /// BatchResult::rebuilt before trusting the tracker's damage bound.
+  DirtyLabelTracker* dirty = nullptr;
 };
 
 /// Outcome of ApplyUpdates.
 struct BatchResult {
-  /// Aggregated maintenance counters (zeroed when `rebuilt`).
+  /// Aggregated maintenance counters (zeroed when `rebuilt`);
+  /// `stats.strategy` reports the strategy the batch effectively ran with.
   UpdateStats stats;
   /// Net insertions / removals actually applied to the graph.
   size_t inserted = 0;

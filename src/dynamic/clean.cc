@@ -26,6 +26,13 @@ void CleanOwnLabels(CscIndex& index, Vertex owner, bool in_side,
   for (Rank hub : stale) {
     labels.Remove(hub);
     ++stats.entries_removed;
+    if (stats.dirty != nullptr) {
+      if (in_side) {
+        stats.dirty->MarkIn(owner);
+      } else {
+        stats.dirty->MarkOut(owner);
+      }
+    }
     if (in_side) {
       index.mutable_inv_in().Remove(hub, owner);
     } else {
@@ -60,6 +67,13 @@ void CleanAsHub(CscIndex& index, Vertex owner, bool owner_is_in_hub,
       labels.Remove(owner_rank);
       inverted.Remove(owner_rank, v);
       ++stats.entries_removed;
+      if (stats.dirty != nullptr) {
+        if (owner_is_in_hub) {
+          stats.dirty->MarkOut(v);
+        } else {
+          stats.dirty->MarkIn(v);
+        }
+      }
     }
   }
 }

@@ -99,14 +99,27 @@ class RecoveryPass {
       if (*existing != entry) {
         labels.InsertOrReplace(entry);
         ++stats_.entries_updated;
+        MarkDirty(w, forward);
       }
       return;
     }
     labels.InsertOrReplace(entry);
     ++stats_.entries_added;
+    MarkDirty(w, forward);
     if (index_.has_inverted_index()) {
       (forward ? index_.mutable_inv_in() : index_.mutable_inv_out())
           .Add(hub_rank, w);
+    }
+  }
+
+  // Label-mutation hook for serving-tier patch extraction: forward passes
+  // touch L_in(w), backward passes L_out(w).
+  void MarkDirty(Vertex w, bool forward) {
+    if (stats_.dirty == nullptr) return;
+    if (forward) {
+      stats_.dirty->MarkIn(w);
+    } else {
+      stats_.dirty->MarkOut(w);
     }
   }
 
@@ -122,6 +135,7 @@ class RecoveryPass {
 
 bool RemoveEdge(CscIndex& index, Vertex a, Vertex b, UpdateStats* stats) {
   UpdateStats local;
+  local.dirty = stats != nullptr ? stats->dirty : nullptr;
   Timer timer;
   if (a == b || a >= index.num_original_vertices() ||
       b >= index.num_original_vertices()) {
@@ -172,6 +186,13 @@ bool RemoveEdge(CscIndex& index, Vertex a, Vertex b, UpdateStats* stats) {
     for (Rank r : doomed) {
       labels.Remove(r);
       ++local.entries_removed;
+      if (local.dirty != nullptr) {
+        if (in_side) {
+          local.dirty->MarkIn(owner);
+        } else {
+          local.dirty->MarkOut(owner);
+        }
+      }
       if (index.has_inverted_index()) {
         (in_side ? index.mutable_inv_in() : index.mutable_inv_out())
             .Remove(r, owner);

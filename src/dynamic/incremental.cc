@@ -80,6 +80,7 @@ class IncrementalPass {
       if (d < existing->dist()) {
         labels.InsertOrReplace(LabelEntry(hub_rank, d, c));
         ++stats_.entries_updated;
+        MarkDirty(w, forward);
         needs_clean = true;
       } else if (d == existing->dist()) {
         // New same-length shortest paths through the inserted edge: the BFS
@@ -87,12 +88,14 @@ class IncrementalPass {
         labels.InsertOrReplace(
             LabelEntry(hub_rank, d, existing->count() + c));
         ++stats_.entries_updated;
+        MarkDirty(w, forward);
       }
       // d > existing->dist(): the label already beats the new paths; the
       // caller pruned such vertices, but stay defensive.
     } else {
       labels.InsertOrReplace(LabelEntry(hub_rank, d, c));
       ++stats_.entries_added;
+      MarkDirty(w, forward);
       if (index_.has_inverted_index()) {
         (forward ? index_.mutable_inv_in() : index_.mutable_inv_out())
             .Add(hub_rank, w);
@@ -105,6 +108,17 @@ class IncrementalPass {
       } else {
         CleanAfterOutLabelChange(index_, w, stats_);
       }
+    }
+  }
+
+  // Label-mutation hook for serving-tier patch extraction: forward passes
+  // touch L_in(w), backward passes L_out(w).
+  void MarkDirty(Vertex w, bool forward) {
+    if (stats_.dirty == nullptr) return;
+    if (forward) {
+      stats_.dirty->MarkIn(w);
+    } else {
+      stats_.dirty->MarkOut(w);
     }
   }
 
@@ -122,6 +136,8 @@ class IncrementalPass {
 bool InsertEdge(CscIndex& index, Vertex a, Vertex b,
                 MaintenanceStrategy strategy, UpdateStats* stats) {
   UpdateStats local;
+  local.strategy = strategy;
+  local.dirty = stats != nullptr ? stats->dirty : nullptr;
   Timer timer;
   if (a == b || a >= index.num_original_vertices() ||
       b >= index.num_original_vertices()) {
@@ -179,7 +195,10 @@ bool InsertEdge(CscIndex& index, Vertex a, Vertex b,
              item.forward);
   }
   local.seconds = timer.ElapsedSeconds();
-  if (stats != nullptr) stats->Accumulate(local);
+  if (stats != nullptr) {
+    stats->Accumulate(local);
+    stats->strategy = strategy;
+  }
   return true;
 }
 

@@ -1,0 +1,43 @@
+#include "dynamic/patch.h"
+
+#include <algorithm>
+
+#include "graph/bipartite.h"
+
+namespace csc {
+
+LabelPatch ExtractLabelPatch(const CscIndex& shadow,
+                             const DirtyLabelTracker& dirty) {
+  LabelPatch patch;
+  patch.num_vertices = shadow.num_original_vertices();
+  const HubLabeling& labeling = shadow.labeling();
+
+  // In-side marks on V_in vertices are the serving forms' in-runs.
+  std::vector<Vertex> vertices;
+  for (Vertex w : dirty.dirty_in()) {
+    if (IsInVertex(w)) vertices.push_back(OriginalOf(w));
+  }
+  std::sort(vertices.begin(), vertices.end());
+  vertices.erase(std::unique(vertices.begin(), vertices.end()),
+                 vertices.end());
+  patch.in_runs.reserve(vertices.size());
+  for (Vertex v : vertices) {
+    patch.in_runs.emplace_back(v, labeling.in[InVertex(v)]);
+  }
+
+  // Out-side marks on V_out vertices are the out-runs.
+  vertices.clear();
+  for (Vertex w : dirty.dirty_out()) {
+    if (IsOutVertex(w)) vertices.push_back(OriginalOf(w));
+  }
+  std::sort(vertices.begin(), vertices.end());
+  vertices.erase(std::unique(vertices.begin(), vertices.end()),
+                 vertices.end());
+  patch.out_runs.reserve(vertices.size());
+  for (Vertex v : vertices) {
+    patch.out_runs.emplace_back(v, labeling.out[OutVertex(v)]);
+  }
+  return patch;
+}
+
+}  // namespace csc

@@ -2,8 +2,17 @@
 #define CSC_DYNAMIC_UPDATE_STATS_H_
 
 #include <cstdint>
+#include <vector>
+
+#include "util/common.h"
 
 namespace csc {
+
+/// The one rebuild-vs-repair knob shared by the batch path
+/// (BatchOptions::rebuild_threshold) and the serving-tier repair pipeline
+/// (RepairOptions::rebuild_threshold): fall back to reconstruction once a
+/// batch's net change reaches this fraction of the current edge count.
+inline constexpr double kDefaultRebuildThreshold = 0.25;
 
 /// How InsertEdge maintains the label minimality property (§V.B).
 enum class MaintenanceStrategy {
@@ -16,6 +25,45 @@ enum class MaintenanceStrategy {
   /// index stays minimal (Theorem V.3). Requires inverted hub indexes;
   /// 58-678x slower in the paper's measurements.
   kMinimality,
+};
+
+/// Records which bipartite vertices' label sets a maintenance pass mutated,
+/// by direction, for serving-tier patch extraction (dynamic/patch.h). The
+/// maintenance algorithms mark every *actual* label mutation — insertion,
+/// rewrite, or removal — never mere visits; marks deduplicate, so the dirty
+/// lists bound the damage a batch did to the labeling.
+class DirtyLabelTracker {
+ public:
+  /// Marks the in-side (L_in) label set of bipartite vertex `w` as mutated.
+  void MarkIn(Vertex w) { Mark(in_marked_, in_dirty_, w); }
+  /// Marks the out-side (L_out) label set of bipartite vertex `w`.
+  void MarkOut(Vertex w) { Mark(out_marked_, out_dirty_, w); }
+
+  /// Mutated bipartite vertices per side, in first-mutation order.
+  const std::vector<Vertex>& dirty_in() const { return in_dirty_; }
+  const std::vector<Vertex>& dirty_out() const { return out_dirty_; }
+  bool empty() const { return in_dirty_.empty() && out_dirty_.empty(); }
+  uint64_t TotalMarks() const { return in_dirty_.size() + out_dirty_.size(); }
+
+  /// Clears the marks without releasing capacity (reused across batches).
+  void Reset() {
+    for (Vertex w : in_dirty_) in_marked_[w] = 0;
+    for (Vertex w : out_dirty_) out_marked_[w] = 0;
+    in_dirty_.clear();
+    out_dirty_.clear();
+  }
+
+ private:
+  void Mark(std::vector<uint8_t>& marked, std::vector<Vertex>& dirty,
+            Vertex w) {
+    if (w >= marked.size()) marked.resize(static_cast<size_t>(w) + 1, 0);
+    if (marked[w] != 0) return;
+    marked[w] = 1;
+    dirty.push_back(w);
+  }
+
+  std::vector<uint8_t> in_marked_, out_marked_;
+  std::vector<Vertex> in_dirty_, out_dirty_;
 };
 
 /// Counters reported by the maintenance algorithms (Figures 11 and 12).
@@ -31,6 +79,13 @@ struct UpdateStats {
   uint64_t vertices_visited = 0;
   /// Affected hubs processed.
   uint64_t hubs_processed = 0;
+  /// Strategy the maintenance actually ran with (batch results report the
+  /// effective choice, so callers see rebuild-vs-repair agreement).
+  MaintenanceStrategy strategy = MaintenanceStrategy::kRedundancy;
+  /// When set, maintenance passes record every label-set mutation here (by
+  /// bipartite vertex and side) for patch extraction. Not owned; Accumulate
+  /// merges counters only and leaves the tracker pointer alone.
+  DirtyLabelTracker* dirty = nullptr;
 
   /// Net index growth in label entries (Figure 11(b) / 12(b) report this).
   int64_t NetEntryDelta() const {

@@ -87,6 +87,20 @@ class CompressedIndex {
   /// the shard-local storage form of the sharded serving tier.
   void SliceTo(const std::function<bool(Vertex)>& keep);
 
+  /// Returns a copy with the named in/out runs replaced (incremental label
+  /// repair; see core/label_patch.h). The per-run varint delta reset makes
+  /// the edited payload byte-identical to a from-scratch encoding; only
+  /// meaningful under the ordering the index was built with.
+  CompressedIndex WithEditedRuns(
+      const std::vector<std::pair<Vertex, LabelSet>>& in_edits,
+      const std::vector<std::pair<Vertex, LabelSet>>& out_edits) const {
+    CompressedIndex edited;
+    edited.in_ = in_.WithEditedRuns(in_edits);
+    edited.out_ = out_.WithEditedRuns(out_edits);
+    edited.in_vertex_rank_ = in_vertex_rank_;
+    return edited;
+  }
+
   friend bool operator==(const CompressedIndex&,
                          const CompressedIndex&) = default;
 

@@ -4,8 +4,13 @@
 #include <unordered_map>
 #include <utility>
 
+#include "core/label_patch.h"
+#include "csc/compact_index.h"
+#include "csc/csc_index.h"
 #include "csc/girth.h"
 #include "csc/index_io.h"
+#include "dynamic/batch.h"
+#include "dynamic/patch.h"
 
 namespace csc {
 
@@ -60,6 +65,28 @@ std::vector<EdgeUpdate> InverseOps(const std::vector<EdgeUpdate>& updates,
   return undo;
 }
 
+/// The successful forward ops in admission order — what the repair path
+/// replays onto its shadow index when the batch lands.
+std::vector<EdgeUpdate> SuccessfulOps(const std::vector<EdgeUpdate>& updates,
+                                      const std::vector<char>& success) {
+  std::vector<EdgeUpdate> ops;
+  for (size_t i = 0; i < updates.size(); ++i) {
+    if (success[i]) ops.push_back(updates[i]);
+  }
+  return ops;
+}
+
+/// The shadow is maintained in minimality mode regardless of the build
+/// options: decremental repair (RemoveEdge) requires a minimal index, and
+/// only minimality-mode maintenance preserves that precondition inductively
+/// across batches.
+CscIndex::Options ShadowOptions(unsigned build_threads) {
+  CscIndex::Options shadow_options;
+  shadow_options.maintain_inverted_index = true;
+  shadow_options.build_threads = build_threads;
+  return shadow_options;
+}
+
 }  // namespace
 
 Engine::Engine(EngineOptions options)
@@ -100,7 +127,35 @@ bool Engine::Build(const DiGraph& graph) {
   Drain();
   std::shared_ptr<CycleIndex> next = MakeFresh();
   if (!next) return false;
-  next->Build(graph, options_.build);
+  // Incremental repair (static patchable backends only): build one shadow
+  // CscIndex under a pinned ordering and derive the serving form from its
+  // compact payload — one labeling construction total, and later batches
+  // can land as bounded label patches against snapshots whose ranks never
+  // drift.
+  bool repair = options_.repair.enabled && !next->supports_updates() &&
+                next->supports_label_patch();
+  std::unique_ptr<CscIndex> shadow;
+  VertexOrdering pinned;
+  if (repair) {
+    try {
+      DiGraph extended = graph;
+      extended.AddVertices(options_.build.reserve_vertices);
+      // DegreeOrdering is insensitive to trailing isolated vertices, so
+      // this pinned ordering is exactly what the backend's own Build would
+      // have used — the derived payload is bit-identical to a direct build.
+      pinned = DegreeOrdering(extended);
+      shadow = std::make_unique<CscIndex>(CscIndex::Build(
+          extended, pinned, ShadowOptions(options_.build.num_threads)));
+      if (!next->LoadFrom(CompactIndex::FromIndex(*shadow).Serialize())) {
+        shadow.reset();
+        repair = false;
+      }
+    } catch (...) {
+      shadow.reset();
+      repair = false;
+    }
+  }
+  if (!repair) next->Build(graph, options_.build);
   // A backend that did not materialize the requested vertex space (graph
   // plus reserve) must not become the active snapshot; keep serving the
   // previous one.
@@ -108,7 +163,8 @@ bool Engine::Build(const DiGraph& graph) {
       graph.num_vertices() + options_.build.reserve_vertices) {
     return false;
   }
-  if (options_.slice_keep) next->SliceLabels(options_.slice_keep);
+  bool sliced = false;
+  if (options_.slice_keep) sliced = next->SliceLabels(options_.slice_keep);
   {
     std::lock_guard<std::mutex> lock(update_mu_);
     // The retained copy only feeds the rebuild-and-swap update path of
@@ -123,6 +179,12 @@ bool Engine::Build(const DiGraph& graph) {
     } else {
       graph_ = DiGraph();
     }
+    repair_active_ = repair && has_graph_;
+    shadow_ = repair_active_ ? std::move(shadow) : nullptr;
+    pinned_order_ = std::move(pinned);
+    dirty_.Reset();
+    snapshot_sliced_ = sliced;
+    repair_stats_ = RepairStats{};
   }
   Swap(std::move(next));
   return true;
@@ -138,6 +200,11 @@ void Engine::AdoptLoaded(std::shared_ptr<CycleIndex> next) {
     std::lock_guard<std::mutex> lock(update_mu_);
     has_graph_ = false;
     graph_ = DiGraph();  // release any copy retained by an earlier Build
+    // No graph means no maintenance; drop the repair pipeline with it.
+    repair_active_ = false;
+    shadow_.reset();
+    snapshot_sliced_ = false;
+    repair_stats_ = RepairStats{};
   }
   Swap(std::move(next));
 }
@@ -258,6 +325,98 @@ std::shared_ptr<CycleIndex> Engine::RebuildStatic(const DiGraph& graph) const {
   }
 }
 
+bool Engine::LandRepairLocked(const std::vector<EdgeUpdate>& ops,
+                              bool* shadow_touched) {
+  if (shadow_touched) *shadow_touched = false;
+  try {
+    if (options_.fail_patch_for_testing && options_.fail_patch_for_testing()) {
+      // Injected before any shadow mutation: the ordinary graph undo is a
+      // complete rollback.
+      return false;
+    }
+    if (!shadow_) return false;
+    if (shadow_touched) *shadow_touched = true;
+    dirty_.Reset();
+    BatchOptions batch_options;
+    batch_options.strategy = MaintenanceStrategy::kMinimality;
+    batch_options.rebuild_threshold = options_.repair.rebuild_threshold;
+    batch_options.pinned_order = &pinned_order_;
+    batch_options.dirty = &dirty_;
+    BatchResult result = csc::ApplyUpdates(*shadow_, ops, batch_options);
+    std::shared_ptr<CycleIndex> next;
+    bool patched = false;
+    if (!result.rebuilt) {
+      LabelPatch patch = ExtractLabelPatch(*shadow_, dirty_);
+      if (snapshot_sliced_ && options_.slice_keep) {
+        // A sliced snapshot holds only owned runs; patches must not smuggle
+        // unowned labels back in.
+        auto drop_unowned = [this](std::vector<std::pair<Vertex, LabelSet>>&
+                                       runs) {
+          std::erase_if(runs, [this](const std::pair<Vertex, LabelSet>& run) {
+            return !options_.slice_keep(run.first);
+          });
+        };
+        drop_unowned(patch.in_runs);
+        drop_unowned(patch.out_runs);
+      }
+      const RepairOptions& repair = options_.repair;
+      bool within_budget = (repair.max_repair_hubs == 0 ||
+                            patch.RunCount() <= repair.max_repair_hubs) &&
+                           (repair.max_patch_bytes == 0 ||
+                            patch.LabelBytes() <= repair.max_patch_bytes);
+      if (within_budget) {
+        std::shared_ptr<CycleIndex> current = snapshot();
+        if (current) {
+          if (std::unique_ptr<CycleIndex> clone =
+                  current->ApplyLabelPatch(patch)) {
+            repair_stats_.hubs_repaired += patch.RunCount();
+            repair_stats_.label_bytes += patch.LabelBytes();
+            next = std::move(clone);
+            patched = true;
+          }
+        }
+      }
+    }
+    if (!next) {
+      // Shadow rebuilt, over-budget patch, or unpatchable snapshot: derive
+      // a full snapshot from the shadow's labeling — one encode+decode
+      // pass, still no BFS.
+      next = MakeFresh();
+      if (!next ||
+          !next->LoadFrom(CompactIndex::FromIndex(*shadow_).Serialize())) {
+        return false;
+      }
+      snapshot_sliced_ =
+          options_.slice_keep && next->SliceLabels(options_.slice_keep);
+    }
+    if (patched) {
+      ++repair_stats_.patches;
+    } else {
+      ++repair_stats_.rebuilds;
+    }
+    Swap(std::move(next));
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+void Engine::RestoreShadowLocked() {
+  if (!repair_active_ || !shadow_) return;
+  try {
+    // graph_ has already been rolled back by the caller, so a rebuild under
+    // the pinned ordering reproduces the exact pre-batch shadow.
+    *shadow_ = CscIndex::Build(graph_, pinned_order_,
+                               ShadowOptions(options_.build.num_threads));
+  } catch (...) {
+    // Can't restore the maintenance state; abandon repair for this engine.
+    // Later batches fall back to legacy rebuild-and-swap, which only needs
+    // the graph.
+    repair_active_ = false;
+    shadow_.reset();
+  }
+}
+
 void Engine::ApplyUndoLocked(const std::vector<EdgeUpdate>& undo) {
   for (const EdgeUpdate& update : undo) {
     if (update.kind == UpdateKind::kInsert) {
@@ -297,6 +456,33 @@ void Engine::RebuildEpochTask() {
     // backlog).
     if (resolved_epoch_ >= submitted_epoch_) return;
     target = submitted_epoch_;
+    if (repair_active_) {
+      // Repair path: coalesce every unlanded batch's forward ops into one
+      // shadow maintenance pass and land it as a patch (or a derived
+      // snapshot). Unlike a BFS rebuild this is bounded work, so it runs
+      // under update_mu_ — admissions wait microseconds, readers never
+      // block (they don't take this lock).
+      std::vector<EdgeUpdate> ops;
+      for (const PendingBatch& batch : unlanded_) {
+        ops.insert(ops.end(), batch.ops.begin(), batch.ops.end());
+      }
+      bool shadow_touched = false;
+      if (LandRepairLocked(ops, &shadow_touched)) {
+        unlanded_.clear();  // the pass covered every unlanded batch
+        resolved_epoch_ = target;
+        landed_epoch_ = target;
+      } else {
+        for (auto it = unlanded_.rbegin(); it != unlanded_.rend(); ++it) {
+          ApplyUndoLocked(it->undo);
+        }
+        MarkFailedLocked(unlanded_.front().epoch, target);
+        unlanded_.clear();
+        resolved_epoch_ = target;
+        if (shadow_touched) RestoreShadowLocked();
+      }
+      epoch_cv_.notify_all();
+      return;
+    }
     graph_copy = graph_;
   }
   // The expensive part runs with no engine lock held: admissions and
@@ -394,7 +580,9 @@ size_t Engine::ApplyUpdates(const std::vector<EdgeUpdate>& updates,
     // and let the rebuild worker land it. One task per batch — a task that
     // finds its epoch already covered by a predecessor's rebuild no-ops.
     uint64_t admitted = ++submitted_epoch_;
-    unlanded_.push_back({admitted, InverseOps(updates, success)});
+    unlanded_.push_back({admitted, InverseOps(updates, success),
+                         repair_active_ ? SuccessfulOps(updates, success)
+                                        : std::vector<EdgeUpdate>{}});
     if (epoch) *epoch = admitted;
     if (!rebuild_worker_) rebuild_worker_ = std::make_unique<SerialWorker>();
     rebuild_worker_->Submit([this] { RebuildEpochTask(); });
@@ -402,6 +590,22 @@ size_t Engine::ApplyUpdates(const std::vector<EdgeUpdate>& updates,
   }
   uint64_t admitted = ++submitted_epoch_;
   if (epoch) *epoch = admitted;
+  if (repair_active_) {
+    bool shadow_touched = false;
+    if (LandRepairLocked(SuccessfulOps(updates, success), &shadow_touched)) {
+      resolved_epoch_ = admitted;
+      landed_epoch_ = admitted;
+      epoch_cv_.notify_all();
+      return net;
+    }
+    ApplyUndoLocked(InverseOps(updates, success));
+    MarkFailedLocked(admitted, admitted);
+    resolved_epoch_ = admitted;
+    if (shadow_touched) RestoreShadowLocked();
+    epoch_cv_.notify_all();
+    if (verdicts) verdicts->assign(updates.size(), UpdateVerdict::kRejected);
+    return 0;
+  }
   std::shared_ptr<CycleIndex> next = RebuildStatic(graph_);
   if (!next) {
     // Leave the old snapshot serving and undo the graph mutations so a
@@ -450,6 +654,16 @@ uint64_t Engine::MemoryBytes() const {
 BackendStats Engine::Stats() const {
   std::shared_ptr<CycleIndex> index = snapshot();
   return index ? index->Stats() : BackendStats{};
+}
+
+RepairStats Engine::repair_stats() const {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  return repair_stats_;
+}
+
+bool Engine::repair_active() const {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  return repair_active_;
 }
 
 }  // namespace csc

@@ -14,11 +14,60 @@
 
 #include "core/cycle_index.h"
 #include "dynamic/edge_update.h"
+#include "dynamic/update_stats.h"
+#include "graph/ordering.h"
 #include "util/thread_pool.h"
 
 namespace csc {
 
 struct GirthInfo;  // csc/girth.h
+class CscIndex;    // csc/csc_index.h
+
+/// Incremental label repair for the static-backend update path (the
+/// alternative to rebuild-and-swap). When enabled, Build additionally
+/// constructs a *shadow* CscIndex under a pinned vertex ordering and derives
+/// the serving snapshot from it; each update batch is then applied to the
+/// shadow with the paper's §V maintenance (minimality mode, so decremental
+/// repair stays valid across batches) and landed on the snapshot as a
+/// bounded run-level patch (CycleIndex::ApplyLabelPatch) — falling back to
+/// deriving a full snapshot from the shadow (no BFS) past the damage
+/// budgets below. Pinning the ordering keeps label ranks stable across
+/// patches, which is also what makes the repaired index bit-identical to a
+/// from-scratch sequential build under the same ordering (the conformance
+/// oracle).
+struct RepairOptions {
+  /// Off by default: the legacy rebuild-and-swap path. Only static
+  /// patchable backends ("compact", "frozen", "compressed") repair;
+  /// dynamic backends already update in place and other backends fall back
+  /// to rebuilds.
+  bool enabled = false;
+  /// Shadow-maintenance rebuild threshold, shared knob with
+  /// BatchOptions::rebuild_threshold: a batch whose net change reaches this
+  /// fraction of current edges rebuilds the shadow (under the pinned
+  /// ordering) and derives instead of patching.
+  double rebuild_threshold = kDefaultRebuildThreshold;
+  /// Patch budgets: a patch rewriting more runs (or more replacement label
+  /// bytes) than this derives a full snapshot instead. 0 = unlimited.
+  uint64_t max_repair_hubs = 0;
+  uint64_t max_patch_bytes = 0;
+};
+
+/// Repair-vs-rebuild decision counters (EngineOptions::repair). `patches`
+/// and `rebuilds` count landed batches by how they landed; hubs/bytes
+/// accumulate over the patched ones.
+struct RepairStats {
+  uint64_t patches = 0;
+  uint64_t rebuilds = 0;
+  uint64_t hubs_repaired = 0;
+  uint64_t label_bytes = 0;
+
+  void Accumulate(const RepairStats& other) {
+    patches += other.patches;
+    rebuilds += other.rebuilds;
+    hubs_repaired += other.hubs_repaired;
+    label_bytes += other.label_bytes;
+  }
+};
 
 struct EngineOptions {
   /// Registry name of the backend to serve ("csc", "frozen", ...).
@@ -49,11 +98,20 @@ struct EngineOptions {
   /// WaitForEpoch / Drain for read-your-writes. Dynamic (in-place) backends
   /// are unaffected — their updates are already visible on return.
   bool async_updates = false;
+  /// Incremental label repair for the static update path (sync and async):
+  /// see RepairOptions. Ignored by dynamic backends and by backends without
+  /// patchable label storage.
+  RepairOptions repair;
   /// Test-only fault injection: when set, every static rebuild consults it
   /// and fails — with the full rollback protocol — while it returns true.
   /// Lets tests exercise sync and async rollback without a corrupt backend.
   /// Never set in production.
   std::function<bool()> fail_rebuild_for_testing;
+  /// Test-only fault injection for the repair path: consulted before each
+  /// batch touches the shadow, so a failure rolls back through the ordinary
+  /// per-epoch undo protocol with the shadow untouched. Never set in
+  /// production.
+  std::function<bool()> fail_patch_for_testing;
 };
 
 /// Per-update outcome of Engine::ApplyUpdates.
@@ -215,6 +273,16 @@ class Engine {
   uint64_t MemoryBytes() const;
   BackendStats Stats() const;
 
+  /// Repair-vs-rebuild decision counters since the last Build. All zeros
+  /// when EngineOptions::repair is disabled (or the backend cannot patch).
+  RepairStats repair_stats() const;
+
+  /// True while the engine lands static-backend updates through the
+  /// incremental-repair pipeline (repair enabled, patchable backend, graph
+  /// retained). False after LoadFrom/LoadView, or once repair had to be
+  /// abandoned (e.g. a shadow restore failed).
+  bool repair_active() const;
+
   ThreadPool& pool() { return pool_; }
 
   /// Replaces the slicing predicate (see EngineOptions::slice_keep). Takes
@@ -231,6 +299,10 @@ class Engine {
   struct PendingBatch {
     uint64_t epoch = 0;
     std::vector<EdgeUpdate> undo;
+    /// The admitted (net-effective) forward ops, admission order — what the
+    /// repair path replays onto the shadow when this batch lands. Empty
+    /// when repair is inactive.
+    std::vector<EdgeUpdate> ops;
   };
 
   std::shared_ptr<CycleIndex> MakeFresh() const;
@@ -248,6 +320,19 @@ class Engine {
   /// hold update_mu_.
   void MarkFailedLocked(uint64_t first, uint64_t last);
   bool IsFailedLocked(uint64_t epoch) const;
+  /// Repair pipeline (caller holds update_mu_): replays `ops` onto the
+  /// shadow and lands the result on the snapshot — a bounded label patch
+  /// when the damage fits the budgets, a full snapshot derived from the
+  /// shadow's labeling otherwise (one encode pass, no BFS). False on
+  /// failure; `*shadow_touched` then tells the caller whether the shadow
+  /// was mutated (and so must be restored after the graph rollback).
+  bool LandRepairLocked(const std::vector<EdgeUpdate>& ops,
+                        bool* shadow_touched);
+  /// Rebuilds the shadow from the (already rolled back) retained graph
+  /// under the pinned ordering; on failure disables repair for this engine
+  /// — subsequent batches fall back to legacy rebuild-and-swap. Caller
+  /// holds update_mu_.
+  void RestoreShadowLocked();
 
   EngineOptions options_;
   ThreadPool pool_;
@@ -274,6 +359,19 @@ class Engine {
   // — not one entry per failed epoch.
   std::vector<std::pair<uint64_t, uint64_t>> failed_ranges_;
   std::deque<PendingBatch> unlanded_;  // ascending epoch order
+  // --- Incremental repair state (EngineOptions::repair), guarded by
+  // update_mu_ like the retained graph it mirrors. The shadow is the
+  // maintenance-authoritative CscIndex: batches mutate it via the §V
+  // dynamic algorithms (minimality mode) and the serving snapshot is
+  // patched — or derived — from it. The pinned ordering is the degree
+  // ordering of the Build-time graph (plus reserve vertices), kept fixed
+  // so label ranks stay stable across patches.
+  bool repair_active_ = false;
+  std::unique_ptr<CscIndex> shadow_;
+  VertexOrdering pinned_order_;
+  DirtyLabelTracker dirty_;  // reused across batches (capacity retained)
+  bool snapshot_sliced_ = false;
+  RepairStats repair_stats_;
   // The async rebuild thread; lazily started by the first async admission
   // so synchronous engines pay nothing. Destroyed first (tasks touch the
   // members above).

@@ -41,6 +41,7 @@ EngineOptions ShardedEngine::ShardEngineOptions(uint32_t num_shards) const {
   shard_options.build = options_.build;
   shard_options.build_threads = options_.build_threads;
   shard_options.async_updates = options_.async_updates;
+  shard_options.repair = options_.repair;
   return shard_options;
 }
 
@@ -419,6 +420,14 @@ std::vector<ShardInfo> ShardedEngine::Stats() const {
     stats[s].backend = shards_[s]->Stats();
   }
   return stats;
+}
+
+RepairStats ShardedEngine::RepairStatsTotal() const {
+  RepairStats total;
+  for (const auto& shard : shards_) {
+    total.Accumulate(shard->repair_stats());
+  }
+  return total;
 }
 
 }  // namespace csc

@@ -66,6 +66,13 @@ struct ShardedEngineOptions {
   /// retained graphs; the per-shard rebuild workers land the K snapshot
   /// swaps asynchronously. Use WaitForEpochs / Drain for read-your-writes.
   bool async_updates = false;
+  /// Forwarded to every shard Engine (EngineOptions::repair): static-backend
+  /// batches land as bounded label patches against each shard's sliced
+  /// snapshot instead of K full rebuilds. Note each shard keeps a full
+  /// (unsliced) shadow CscIndex for maintenance, so repair trades ~K x
+  /// shadow memory for patch-speed updates; see the README's serving
+  /// section.
+  RepairOptions repair;
 };
 
 /// Per-shard slice of ShardedEngine::Stats().
@@ -211,6 +218,10 @@ class ShardedEngine {
   /// Per-shard ownership and backend stats (edge counts are populated by
   /// Build; zero after LoadFrom, which retains no graph).
   std::vector<ShardInfo> Stats() const;
+
+  /// Repair-vs-rebuild decision counters summed across shards (see
+  /// Engine::repair_stats). All zeros when repair is disabled.
+  RepairStats RepairStatsTotal() const;
 
   /// Direct access to one shard's Engine (tests, per-shard reporting).
   Engine& shard(uint32_t s) { return *shards_[s]; }

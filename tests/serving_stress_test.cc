@@ -298,5 +298,145 @@ INSTANTIATE_TEST_SUITE_P(StaticBackends, AsyncServingStressTest,
                          ::testing::Values("frozen", "compressed"),
                          [](const auto& info) { return info.param; });
 
+// --- Incremental repair under concurrency: batches land as bounded label
+// patches (EngineOptions::repair) while readers hammer the snapshot; the
+// whole repair branch runs under update_mu_, which readers never take, so
+// TSan proves patch application and snapshot swaps race-free. Named inside
+// the ServingStressTest family so the CI TSan filter picks it up. ---
+
+class RepairServingStressTest : public ::testing::TestWithParam<std::string> {
+};
+
+TEST_P(RepairServingStressTest, EngineReadersVsAsyncPatches) {
+  DiGraph graph = RandomGraph(40, 2.0, 85);
+  std::vector<Edge> edges = ToggleEdges(graph);
+  ASSERT_FALSE(edges.empty());
+  EngineOptions options;
+  options.backend = GetParam();
+  options.num_threads = 2;
+  options.batch_grain = 8;
+  options.async_updates = true;
+  options.repair.enabled = true;
+  Engine engine(options);
+  ASSERT_TRUE(engine.Build(graph));
+  ASSERT_TRUE(engine.repair_active());
+  std::atomic<int> batches{0};
+  RunStress(
+      graph, edges, [&] { return engine.QueryAll(); },
+      [&](const std::vector<EdgeUpdate>& batch) {
+        uint64_t epoch = 0;
+        size_t applied = engine.ApplyUpdates(batch, nullptr, &epoch);
+        if (batches.fetch_add(1, std::memory_order_relaxed) % 4 == 3) {
+          EXPECT_TRUE(engine.WaitForEpoch(epoch));
+        }
+        return applied;
+      });
+  engine.Drain();
+  EXPECT_GT(engine.repair_stats().patches + engine.repair_stats().rebuilds,
+            0u);
+  EXPECT_EQ(engine.QueryAll(), BfsReference(graph));
+  // Net-zero toggles restored the graph, so the patched snapshot must be
+  // byte-identical to a sequential from-scratch build — the repair
+  // pipeline's bit-identity oracle, here after racing readers throughout.
+  std::string repaired_payload, oracle_payload;
+  ASSERT_TRUE(engine.SaveTo(repaired_payload));
+  std::unique_ptr<CycleIndex> oracle = MakeBackend(GetParam());
+  oracle->Build(graph);
+  ASSERT_TRUE(oracle->SaveTo(oracle_payload));
+  EXPECT_EQ(repaired_payload, oracle_payload);
+}
+
+TEST_P(RepairServingStressTest, ShardedEngineReadersVsAsyncPatches) {
+  DiGraph graph = RandomGraph(40, 2.0, 86);
+  std::vector<Edge> edges = ToggleEdges(graph);
+  ASSERT_FALSE(edges.empty());
+  ShardedEngineOptions options;
+  options.backend = GetParam();
+  options.num_shards = 2;
+  options.batch_grain = 8;
+  options.async_updates = true;
+  options.slice_labels = true;  // exercise the sliced-patch filter too
+  options.repair.enabled = true;
+  ShardedEngine engine(options);
+  ASSERT_TRUE(engine.Build(graph));
+  RunStress(
+      graph, edges, [&] { return engine.QueryAll(); },
+      [&](const std::vector<EdgeUpdate>& batch) {
+        return engine.ApplyUpdates(batch);
+      });
+  engine.Drain();
+  RepairStats stats = engine.RepairStatsTotal();
+  EXPECT_GT(stats.patches + stats.rebuilds, 0u);
+  EXPECT_EQ(engine.QueryAll(), BfsReference(graph));
+}
+
+// Injected patch failures race readers and coalesced epochs: the fault
+// fires before the shadow is touched, so every failed epoch rolls back
+// through the ordinary graph-undo protocol and repair stays active for the
+// healed rounds — which must then converge to the exact oracle state.
+TEST_P(RepairServingStressTest, PatchFailureRollbackRacesReaders) {
+  DiGraph graph = RandomGraph(40, 2.0, 87);
+  std::vector<Edge> edges = ToggleEdges(graph);
+  ASSERT_FALSE(edges.empty());
+  auto fail = std::make_shared<std::atomic<bool>>(false);
+  EngineOptions options;
+  options.backend = GetParam();
+  options.num_threads = 2;
+  options.batch_grain = 8;
+  options.async_updates = true;
+  options.repair.enabled = true;
+  options.fail_patch_for_testing = [fail] { return fail->load(); };
+  Engine engine(options);
+  ASSERT_TRUE(engine.Build(graph));
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaderThreads; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::vector<CycleCount> answers = engine.QueryAll();
+        ASSERT_EQ(answers.size(), graph.num_vertices());
+        for (const CycleCount& cc : answers) {
+          ASSERT_EQ(cc.count == 0, cc.length == kInfDist);
+        }
+      }
+    });
+  }
+  std::vector<EdgeUpdate> inserts, removes;
+  for (const Edge& e : edges) {
+    inserts.push_back(EdgeUpdate::Insert(e.from, e.to));
+    removes.push_back(EdgeUpdate::Remove(e.from, e.to));
+  }
+  for (int round = 0; round < kUpdateRounds; ++round) {
+    fail->store(round % 3 == 1, std::memory_order_relaxed);
+    engine.ApplyUpdates(inserts);
+    engine.ApplyUpdates(removes);
+  }
+  fail->store(false, std::memory_order_relaxed);
+  engine.Drain();
+  // Normalize: whatever prefix landed, one healed remove batch restores
+  // exactly the initial graph.
+  engine.ApplyUpdates(removes);
+  engine.Drain();
+  stop.store(true);
+  for (std::thread& reader : readers) reader.join();
+  // The injected fault never touches the shadow, so repair survived every
+  // rollback...
+  EXPECT_TRUE(engine.repair_active());
+  EXPECT_EQ(engine.QueryAll(), BfsReference(graph));
+  // ...and the healed, rolled-back-and-repaired snapshot still matches the
+  // sequential build byte for byte.
+  std::string repaired_payload, oracle_payload;
+  ASSERT_TRUE(engine.SaveTo(repaired_payload));
+  std::unique_ptr<CycleIndex> oracle = MakeBackend(GetParam());
+  oracle->Build(graph);
+  ASSERT_TRUE(oracle->SaveTo(oracle_payload));
+  EXPECT_EQ(repaired_payload, oracle_payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(PatchableBackends, RepairServingStressTest,
+                         ::testing::Values("frozen", "compressed"),
+                         [](const auto& info) { return info.param; });
+
 }  // namespace
 }  // namespace csc
