@@ -38,6 +38,7 @@ int main() {
       "Batch insertion strategies (total ms for the whole batch)",
       {"Graph", "k", "per-edge(ms)", "batch(ms)", "rebuild(ms)",
        "churn(%)"});
+  JsonBenchReporter json("batch_updates");
 
   for (const DatasetSpec& spec : datasets) {
     DiGraph full = MaterializeDataset(spec, scale);
@@ -84,6 +85,13 @@ int main() {
                     TableReporter::FormatDouble(batch_ms, 1),
                     TableReporter::FormatDouble(rebuild_ms, 1),
                     TableReporter::FormatDouble(churn, 2)});
+      json.BeginRow()
+          .Field("graph", spec.name)
+          .Field("batch_size", static_cast<uint64_t>(k))
+          .Field("per_edge_ms", per_edge_ms)
+          .Field("batch_ms", batch_ms)
+          .Field("rebuild_ms", rebuild_ms)
+          .Field("churn_pct", churn);
       std::printf("[batch] %s k=%zu: per-edge %.1fms, batch %.1fms, rebuild "
                   "%.1fms\n",
                   spec.name.c_str(), k, per_edge_ms, batch_ms, rebuild_ms);
@@ -92,5 +100,6 @@ int main() {
 
   table.Print();
   table.WriteCsv(bench::CsvPath("batch_updates"));
+  json.Write("BENCH_batch_updates.json");
   return 0;
 }

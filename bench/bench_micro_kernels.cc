@@ -4,6 +4,10 @@
 // fast path, across run-length skews), and end-to-end SCCnt queries on a
 // built index.
 //
+// lint:allow-no-json-bench(google-benchmark owns the output format here;
+// use --benchmark_format=json for machine-readable rows instead of the
+// project's JsonBenchReporter)
+//
 // CI runs this binary in smoke mode (--benchmark_min_time=0.01) on both
 // architectures so every kernel variant (scalar / SSE2 / NEON / galloping)
 // compiles and executes; build with -DCSC_NO_SIMD=ON to pin the scalar

@@ -71,7 +71,9 @@ class CycleIndex {
     unsigned num_threads = 0;
   };
 
-  enum class UpdateResult {
+  /// [[nodiscard]]: discarding an update's outcome silently drops the
+  /// distinction between applied, rejected, and unsupported.
+  enum class [[nodiscard]] UpdateResult {
     /// The update was applied and the index repaired.
     kApplied,
     /// The update is a no-op (edge already present/absent, bad endpoints);

@@ -40,16 +40,16 @@ struct IndexLoadResult {
 
 /// Writes `index` to `path` (replacing any existing file). False on I/O
 /// failure.
-bool SaveIndexToFile(const CompactIndex& index, const std::string& path);
+[[nodiscard]] bool SaveIndexToFile(const CompactIndex& index, const std::string& path);
 
 /// Reads, verifies, and parses a persisted compact index.
-IndexLoadResult LoadIndexFromFile(const std::string& path);
+[[nodiscard]] IndexLoadResult LoadIndexFromFile(const std::string& path);
 
 // --- Backend-generic persistence (the CycleIndex interface path). ---
 
 /// Serializes `index` (via SaveTo) into the checksummed envelope at `path`.
 /// False if the backend has no persistent form or on I/O failure.
-bool SaveBackendToFile(const CycleIndex& index, const std::string& path);
+[[nodiscard]] bool SaveBackendToFile(const CycleIndex& index, const std::string& path);
 
 /// Outcome of LoadBackendFromFile: `index` is set iff `error` is empty.
 struct BackendLoadResult {
@@ -64,20 +64,20 @@ struct BackendLoadResult {
 /// format and the backend must be compatible — any CSC-family backend loads
 /// the compact interchange payload; the flat forms additionally load their
 /// native arena payloads.
-BackendLoadResult LoadBackendFromFile(const std::string& path,
+[[nodiscard]] BackendLoadResult LoadBackendFromFile(const std::string& path,
                                       const std::string& backend_name);
 
 /// Reads and verifies the envelope, returning the raw payload (for callers
 /// that route format detection themselves). nullopt with `error` set on any
 /// verification failure.
-std::optional<std::string> ReadVerifiedPayload(const std::string& path,
+[[nodiscard]] std::optional<std::string> ReadVerifiedPayload(const std::string& path,
                                                std::string* error);
 
 /// Verifies the file envelope over an in-memory buffer (magic, declared
 /// size, CRC) and returns the payload span inside it; nullopt with `error`
 /// set (when non-null) on any verification failure. ReadVerifiedPayload and
 /// the mmap loader below are both built on this.
-std::optional<std::pair<const uint8_t*, size_t>> VerifyEnvelope(
+[[nodiscard]] std::optional<std::pair<const uint8_t*, size_t>> VerifyEnvelope(
     const uint8_t* data, size_t size, std::string* error);
 
 // --- Zero-copy loading: serve a frozen index straight from a mapping. ---
@@ -97,7 +97,7 @@ class IndexFile {
  public:
   /// Maps (or reads) and verifies `path`; nullptr with `error` set (when
   /// non-null) on I/O or verification failure.
-  static std::shared_ptr<IndexFile> Open(const std::string& path,
+  [[nodiscard]] static std::shared_ptr<IndexFile> Open(const std::string& path,
                                          std::string* error = nullptr);
   ~IndexFile();
 
@@ -128,13 +128,13 @@ class IndexFile {
 /// the returned index does; other backends copy. The payload must be a
 /// single-index serialization (for multi-shard bundles use
 /// ShardedEngine::LoadFromFile).
-BackendLoadResult LoadBackendFromMapping(const std::shared_ptr<IndexFile>& file,
+[[nodiscard]] BackendLoadResult LoadBackendFromMapping(const std::shared_ptr<IndexFile>& file,
                                          const std::string& backend_name);
 
 /// Writes an already-serialized payload inside the standard checksummed
 /// file envelope (the counterpart of ReadVerifiedPayload for callers — like
 /// the sharded serving tier — that produce payload bytes themselves).
-bool SavePayloadToFile(const std::string& payload, const std::string& path);
+[[nodiscard]] bool SavePayloadToFile(const std::string& payload, const std::string& path);
 
 // --- Multi-shard envelope (persistence of the sharded serving tier). ---
 //
@@ -194,18 +194,18 @@ std::string WrapShardedPayload(const std::vector<std::string>& shard_payloads,
 
 /// True if `payload` starts with the multi-shard magic (cheap routing test;
 /// does not validate the rest).
-bool IsShardedPayload(const std::string& payload);
-bool IsShardedPayload(const uint8_t* data, size_t size);
+[[nodiscard]] bool IsShardedPayload(const std::string& payload);
+[[nodiscard]] bool IsShardedPayload(const uint8_t* data, size_t size);
 
 /// Parses and CRC-verifies a multi-shard bundle. nullopt with `error` set
 /// (when non-null) on malformed input or a per-shard checksum mismatch.
-std::optional<ShardedPayload> ParseShardedPayload(const std::string& payload,
+[[nodiscard]] std::optional<ShardedPayload> ParseShardedPayload(const std::string& payload,
                                                   std::string* error);
 
 /// As ParseShardedPayload, but the shard payloads stay in
 /// `[data, data + size)` — the buffer must outlive the returned view (for a
 /// mapping, hold the IndexFile).
-std::optional<ShardedPayloadView> ParseShardedPayloadView(const uint8_t* data,
+[[nodiscard]] std::optional<ShardedPayloadView> ParseShardedPayloadView(const uint8_t* data,
                                                           size_t size,
                                                           std::string* error);
 

@@ -62,6 +62,16 @@ namespace csc {
 /// tail. The schedule depends only on staged results — which are
 /// schedule-independent — never on the thread count, so the committed work,
 /// and therefore the stats, are identical for any number of workers.
+///
+/// Concurrency contract (why this file carries no CSC_GUARDED_BY
+/// annotations): there is no mutex-protected shared state. Workers claim
+/// staged-hub slots through a single atomic counter, write only their
+/// claimed `StagedHub` and their own per-thread scratch, and read only
+/// labels committed by earlier batches — immutable for the duration of the
+/// stage. The sole synchronization point is `ThreadPool::Wait()` (itself
+/// annotated, util/thread_pool.h), whose barrier orders every staged write
+/// before the serial commit loop reads them. The TSan CI job runs the
+/// determinism suite over this handoff at 1..8 workers.
 struct ParallelBuildPlan {
   /// Staging workers. Callers treat 0 as "use the sequential builder" and
   /// never construct a plan with 0; >= 1 runs the batched path.

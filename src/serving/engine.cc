@@ -98,6 +98,10 @@ Engine::Engine(EngineOptions options)
   if (options_.build_threads != 0) {
     options_.build.num_threads = options_.build_threads;
   }
+  // The slicing predicate moves into update_mu_-guarded state: the rebuild
+  // worker reads it off-thread, so it cannot live in plain options_ once
+  // set_slice_keep can replace it mid-flight.
+  slice_keep_ = std::move(options_.slice_keep);
   active_ = MakeFresh();
 }
 
@@ -111,13 +115,18 @@ std::shared_ptr<CycleIndex> Engine::MakeFresh() const {
   return MakeBackend(options_.backend);
 }
 
+void Engine::set_slice_keep(std::function<bool(Vertex)> keep) {
+  MutexLock lock(update_mu_);
+  slice_keep_ = std::move(keep);
+}
+
 void Engine::Swap(std::shared_ptr<CycleIndex> next) {
-  std::lock_guard<std::mutex> lock(swap_mu_);
+  MutexLock lock(swap_mu_);
   active_ = std::move(next);
 }
 
 std::shared_ptr<CycleIndex> Engine::snapshot() const {
-  std::lock_guard<std::mutex> lock(swap_mu_);
+  MutexLock lock(swap_mu_);
   return active_;
 }
 
@@ -125,6 +134,14 @@ bool Engine::Build(const DiGraph& graph) {
   // A queued async rebuild captures the pre-Build graph; let it resolve
   // before the graph and snapshot are replaced under it.
   Drain();
+  // Stable copy of the slicing predicate for the unlocked build below (the
+  // single-writer contract means nobody replaces it mid-Build, but the
+  // guarded member still cannot be read without the lock).
+  std::function<bool(Vertex)> slice_keep;
+  {
+    MutexLock lock(update_mu_);
+    slice_keep = slice_keep_;
+  }
   std::shared_ptr<CycleIndex> next = MakeFresh();
   if (!next) return false;
   // Incremental repair (static patchable backends only): build one shadow
@@ -164,9 +181,9 @@ bool Engine::Build(const DiGraph& graph) {
     return false;
   }
   bool sliced = false;
-  if (options_.slice_keep) sliced = next->SliceLabels(options_.slice_keep);
+  if (slice_keep) sliced = next->SliceLabels(slice_keep);
   {
-    std::lock_guard<std::mutex> lock(update_mu_);
+    MutexLock lock(update_mu_);
     // The retained copy only feeds the rebuild-and-swap update path of
     // static backends; dynamic backends maintain their own graph in place,
     // so don't double the adjacency footprint for them.
@@ -195,9 +212,14 @@ bool Engine::Build(const DiGraph& graph) {
 // loads exactly as it does to builds.
 void Engine::AdoptLoaded(std::shared_ptr<CycleIndex> next) {
   Drain();
-  if (options_.slice_keep) next->SliceLabels(options_.slice_keep);
+  std::function<bool(Vertex)> slice_keep;
   {
-    std::lock_guard<std::mutex> lock(update_mu_);
+    MutexLock lock(update_mu_);
+    slice_keep = slice_keep_;
+  }
+  if (slice_keep) next->SliceLabels(slice_keep);
+  {
+    MutexLock lock(update_mu_);
     has_graph_ = false;
     graph_ = DiGraph();  // release any copy retained by an earlier Build
     // No graph means no maintenance; drop the repair pipeline with it.
@@ -248,10 +270,10 @@ CycleCount Engine::Query(Vertex v) {
   std::shared_ptr<CycleIndex> index = snapshot();
   if (!index) return {};
   if (index->thread_safe_queries()) {
-    std::shared_lock<std::shared_mutex> lock(query_mu_);
+    ReaderMutexLock lock(query_mu_);
     return index->CountShortestCycles(v);
   }
-  std::unique_lock<std::shared_mutex> lock(query_mu_);
+  WriterMutexLock lock(query_mu_);
   return index->CountShortestCycles(v);
 }
 
@@ -264,7 +286,7 @@ std::vector<CycleCount> Engine::BatchQuery(
       vertices.size() > options_.batch_grain) {
     // The calling thread holds the reader lock for the whole fan-out, so
     // no in-place update can start while worker chunks are scanning.
-    std::shared_lock<std::shared_mutex> lock(query_mu_);
+    ReaderMutexLock lock(query_mu_);
     ParallelFor(pool_, 0, vertices.size(), options_.batch_grain,
                 [&](size_t begin, size_t end) {
                   for (size_t i = begin; i < end; ++i) {
@@ -273,7 +295,7 @@ std::vector<CycleCount> Engine::BatchQuery(
                 });
     return results;
   }
-  std::unique_lock<std::shared_mutex> lock(query_mu_);
+  WriterMutexLock lock(query_mu_);
   for (size_t i = 0; i < vertices.size(); ++i) {
     results[i] = index->CountShortestCycles(vertices[i]);
   }
@@ -291,14 +313,16 @@ GirthInfo Engine::Girth() {
   std::shared_ptr<CycleIndex> index = snapshot();
   if (!index) return {};
   if (index->thread_safe_queries()) {
-    std::shared_lock<std::shared_mutex> lock(query_mu_);
+    ReaderMutexLock lock(query_mu_);
     return index->Girth();
   }
-  std::unique_lock<std::shared_mutex> lock(query_mu_);
+  WriterMutexLock lock(query_mu_);
   return index->Girth();
 }
 
-std::shared_ptr<CycleIndex> Engine::RebuildStatic(const DiGraph& graph) const {
+std::shared_ptr<CycleIndex> Engine::RebuildStatic(
+    const DiGraph& graph,
+    const std::function<bool(Vertex)>& slice_keep) const {
   // A throwing build (e.g. std::bad_alloc, or a staging-task exception
   // rethrown by ThreadPool::Wait under build_threads) must surface as a
   // failed rebuild, not an exception: callers run the rollback protocol on
@@ -318,7 +342,7 @@ std::shared_ptr<CycleIndex> Engine::RebuildStatic(const DiGraph& graph) const {
     rebuild_options.reserve_vertices = 0;
     next->Build(graph, rebuild_options);
     if (next->num_vertices() != graph.num_vertices()) return nullptr;
-    if (options_.slice_keep) next->SliceLabels(options_.slice_keep);
+    if (slice_keep) next->SliceLabels(slice_keep);
     return next;
   } catch (...) {
     return nullptr;
@@ -347,15 +371,19 @@ bool Engine::LandRepairLocked(const std::vector<EdgeUpdate>& ops,
     bool patched = false;
     if (!result.rebuilt) {
       LabelPatch patch = ExtractLabelPatch(*shadow_, dirty_);
-      if (snapshot_sliced_ && options_.slice_keep) {
+      if (snapshot_sliced_ && slice_keep_) {
         // A sliced snapshot holds only owned runs; patches must not smuggle
-        // unowned labels back in.
-        auto drop_unowned = [this](std::vector<std::pair<Vertex, LabelSet>>&
-                                       runs) {
-          std::erase_if(runs, [this](const std::pair<Vertex, LabelSet>& run) {
-            return !options_.slice_keep(run.first);
-          });
-        };
+        // unowned labels back in. The predicate is copied out of the
+        // guarded member so the filter lambdas stay free of guarded reads
+        // (a lambda body is analyzed as its own unannotated function).
+        const std::function<bool(Vertex)> keep = slice_keep_;
+        auto drop_unowned =
+            [&keep](std::vector<std::pair<Vertex, LabelSet>>& runs) {
+              std::erase_if(runs,
+                            [&keep](const std::pair<Vertex, LabelSet>& run) {
+                              return !keep(run.first);
+                            });
+            };
         drop_unowned(patch.in_runs);
         drop_unowned(patch.out_runs);
       }
@@ -386,8 +414,7 @@ bool Engine::LandRepairLocked(const std::vector<EdgeUpdate>& ops,
           !next->LoadFrom(CompactIndex::FromIndex(*shadow_).Serialize())) {
         return false;
       }
-      snapshot_sliced_ =
-          options_.slice_keep && next->SliceLabels(options_.slice_keep);
+      snapshot_sliced_ = slice_keep_ && next->SliceLabels(slice_keep_);
     }
     if (patched) {
       ++repair_stats_.patches;
@@ -449,8 +476,9 @@ bool Engine::IsFailedLocked(uint64_t epoch) const {
 void Engine::RebuildEpochTask() {
   uint64_t target;
   DiGraph graph_copy;
+  std::function<bool(Vertex)> slice_keep;
   {
-    std::unique_lock<std::mutex> lock(update_mu_);
+    MutexLock lock(update_mu_);
     // An earlier task's rebuild already covered every admitted epoch (the
     // coalescing fast path: one queued task per batch, one rebuild per
     // backlog).
@@ -480,15 +508,18 @@ void Engine::RebuildEpochTask() {
         resolved_epoch_ = target;
         if (shadow_touched) RestoreShadowLocked();
       }
-      epoch_cv_.notify_all();
+      epoch_cv_.NotifyAll();
       return;
     }
     graph_copy = graph_;
+    slice_keep = slice_keep_;
   }
   // The expensive part runs with no engine lock held: admissions and
-  // queries proceed while the fresh index builds off to the side.
-  std::shared_ptr<CycleIndex> next = RebuildStatic(graph_copy);
-  std::unique_lock<std::mutex> lock(update_mu_);
+  // queries proceed while the fresh index builds off to the side. The
+  // slicing predicate was copied under the lock above, so a concurrent
+  // set_slice_keep cannot race this read.
+  std::shared_ptr<CycleIndex> next = RebuildStatic(graph_copy, slice_keep);
+  MutexLock lock(update_mu_);
   if (next) {
     Swap(std::move(next));
     while (!unlanded_.empty() && unlanded_.front().epoch <= target) {
@@ -509,7 +540,7 @@ void Engine::RebuildEpochTask() {
     unlanded_.clear();
     resolved_epoch_ = submitted_epoch_;
   }
-  epoch_cv_.notify_all();
+  epoch_cv_.NotifyAll();
 }
 
 size_t Engine::ApplyUpdates(const std::vector<EdgeUpdate>& updates,
@@ -522,7 +553,7 @@ size_t Engine::ApplyUpdates(const std::vector<EdgeUpdate>& updates,
   // reports true instead of inheriting an earlier batch's failure.
   auto resolved_now = [this, epoch] {
     if (!epoch) return;
-    std::lock_guard<std::mutex> lock(update_mu_);
+    MutexLock lock(update_mu_);
     *epoch = landed_epoch_;
   };
   if (!index) {
@@ -536,7 +567,7 @@ size_t Engine::ApplyUpdates(const std::vector<EdgeUpdate>& updates,
     // token is already resolved.
     std::vector<char> success(updates.size(), 0);
     {
-      std::unique_lock<std::shared_mutex> lock(query_mu_);
+      WriterMutexLock lock(query_mu_);
       for (size_t i = 0; i < updates.size(); ++i) {
         const EdgeUpdate& update = updates[i];
         CycleIndex::UpdateResult result =
@@ -552,7 +583,7 @@ size_t Engine::ApplyUpdates(const std::vector<EdgeUpdate>& updates,
   }
   // Static serving form: mutate the retained graph, rebuild off to the
   // side, swap once. Readers keep the old snapshot until the swap.
-  std::unique_lock<std::mutex> lock(update_mu_);
+  MutexLock lock(update_mu_);
   if (!has_graph_) {
     if (verdicts) verdicts->assign(updates.size(), UpdateVerdict::kNoGraph);
     if (epoch) *epoch = landed_epoch_;
@@ -595,49 +626,48 @@ size_t Engine::ApplyUpdates(const std::vector<EdgeUpdate>& updates,
     if (LandRepairLocked(SuccessfulOps(updates, success), &shadow_touched)) {
       resolved_epoch_ = admitted;
       landed_epoch_ = admitted;
-      epoch_cv_.notify_all();
+      epoch_cv_.NotifyAll();
       return net;
     }
     ApplyUndoLocked(InverseOps(updates, success));
     MarkFailedLocked(admitted, admitted);
     resolved_epoch_ = admitted;
     if (shadow_touched) RestoreShadowLocked();
-    epoch_cv_.notify_all();
+    epoch_cv_.NotifyAll();
     if (verdicts) verdicts->assign(updates.size(), UpdateVerdict::kRejected);
     return 0;
   }
-  std::shared_ptr<CycleIndex> next = RebuildStatic(graph_);
+  std::shared_ptr<CycleIndex> next = RebuildStatic(graph_, slice_keep_);
   if (!next) {
     // Leave the old snapshot serving and undo the graph mutations so a
     // later batch starts from the state the snapshot answers for.
     ApplyUndoLocked(InverseOps(updates, success));
     MarkFailedLocked(admitted, admitted);
     resolved_epoch_ = admitted;
-    epoch_cv_.notify_all();
+    epoch_cv_.NotifyAll();
     if (verdicts) verdicts->assign(updates.size(), UpdateVerdict::kRejected);
     return 0;
   }
   Swap(std::move(next));
   resolved_epoch_ = admitted;
   landed_epoch_ = admitted;
-  epoch_cv_.notify_all();
+  epoch_cv_.NotifyAll();
   return net;
 }
 
 bool Engine::WaitForEpoch(uint64_t epoch) {
-  std::unique_lock<std::mutex> lock(update_mu_);
-  epoch_cv_.wait(lock, [this, epoch] { return resolved_epoch_ >= epoch; });
+  MutexLock lock(update_mu_);
+  while (resolved_epoch_ < epoch) epoch_cv_.Wait(lock);
   return !IsFailedLocked(epoch);
 }
 
 void Engine::Drain() {
-  std::unique_lock<std::mutex> lock(update_mu_);
-  epoch_cv_.wait(lock,
-                 [this] { return resolved_epoch_ >= submitted_epoch_; });
+  MutexLock lock(update_mu_);
+  while (resolved_epoch_ < submitted_epoch_) epoch_cv_.Wait(lock);
 }
 
 uint64_t Engine::resolved_epoch() const {
-  std::lock_guard<std::mutex> lock(update_mu_);
+  MutexLock lock(update_mu_);
   return resolved_epoch_;
 }
 
@@ -657,12 +687,12 @@ BackendStats Engine::Stats() const {
 }
 
 RepairStats Engine::repair_stats() const {
-  std::lock_guard<std::mutex> lock(update_mu_);
+  MutexLock lock(update_mu_);
   return repair_stats_;
 }
 
 bool Engine::repair_active() const {
-  std::lock_guard<std::mutex> lock(update_mu_);
+  MutexLock lock(update_mu_);
   return repair_active_;
 }
 

@@ -1,13 +1,10 @@
 #ifndef CSC_SERVING_ENGINE_H_
 #define CSC_SERVING_ENGINE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -15,7 +12,10 @@
 #include "core/cycle_index.h"
 #include "dynamic/edge_update.h"
 #include "dynamic/update_stats.h"
+#include "graph/digraph.h"
 #include "graph/ordering.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace csc {
@@ -114,8 +114,9 @@ struct EngineOptions {
   std::function<bool()> fail_patch_for_testing;
 };
 
-/// Per-update outcome of Engine::ApplyUpdates.
-enum class UpdateVerdict : uint8_t {
+/// Per-update outcome of Engine::ApplyUpdates. [[nodiscard]]: a dropped
+/// verdict silently loses a rejection or rollback report.
+enum class [[nodiscard]] UpdateVerdict : uint8_t {
   /// Not applied: out-of-range endpoint, self-loop, a present/absent no-op,
   /// an update whose effect was cancelled by another update on the same
   /// edge inside the batch, or a batch rolled back by a failed rebuild.
@@ -165,8 +166,10 @@ class Engine {
   /// Completes any queued asynchronous rebuilds, then tears down.
   ~Engine();
 
-  /// False if the configured backend name is unknown.
-  bool valid() const { return active_ != nullptr; }
+  /// False if the configured backend name is unknown. (Reads the active
+  /// snapshot under swap_mu_ like any reader; the pre-annotation version
+  /// read `active_` unlocked, which the thread safety analysis rejects.)
+  bool valid() const { return snapshot() != nullptr; }
   const std::string& backend_name() const { return options_.backend; }
 
   /// Builds the active index from `graph` (synchronous; drains any pending
@@ -254,20 +257,22 @@ class Engine {
   /// Blocks until `epoch` (an ApplyUpdates token) has resolved. True when
   /// the batch's effect is visible to queries; false when its rebuild
   /// failed and the batch was rolled back (the snapshot still answers for
-  /// the pre-batch state).
-  bool WaitForEpoch(uint64_t epoch);
+  /// the pre-batch state). [[nodiscard]]: ignoring the result ignores the
+  /// rollback report — a caller that does not care about the outcome wants
+  /// Drain().
+  [[nodiscard]] bool WaitForEpoch(uint64_t epoch) CSC_EXCLUDES(update_mu_);
 
   /// Blocks until every update admitted so far has resolved (landed or
   /// rolled back) — the coarse read-your-writes barrier.
-  void Drain();
+  void Drain() CSC_EXCLUDES(update_mu_);
 
   /// The newest epoch whose outcome is visible to queries. Epochs are
   /// engine-local and monotonically increasing from 0.
-  uint64_t resolved_epoch() const;
+  uint64_t resolved_epoch() const CSC_EXCLUDES(update_mu_);
 
   /// The current snapshot; stays valid (and queryable, subject to the
   /// backend's thread-safety) even after a later swap retires it.
-  std::shared_ptr<CycleIndex> snapshot() const;
+  std::shared_ptr<CycleIndex> snapshot() const CSC_EXCLUDES(swap_mu_);
 
   Vertex num_vertices() const;
   uint64_t MemoryBytes() const;
@@ -275,22 +280,24 @@ class Engine {
 
   /// Repair-vs-rebuild decision counters since the last Build. All zeros
   /// when EngineOptions::repair is disabled (or the backend cannot patch).
-  RepairStats repair_stats() const;
+  RepairStats repair_stats() const CSC_EXCLUDES(update_mu_);
 
   /// True while the engine lands static-backend updates through the
   /// incremental-repair pipeline (repair enabled, patchable backend, graph
   /// retained). False after LoadFrom/LoadView, or once repair had to be
   /// abandoned (e.g. a shadow restore failed).
-  bool repair_active() const;
+  bool repair_active() const CSC_EXCLUDES(update_mu_);
 
   ThreadPool& pool() { return pool_; }
 
   /// Replaces the slicing predicate (see EngineOptions::slice_keep). Takes
-  /// effect on the next Build / load / rebuild; call only from the
-  /// single-writer side (the sharded tier sets it right before Build).
-  void set_slice_keep(std::function<bool(Vertex)> keep) {
-    options_.slice_keep = std::move(keep);
-  }
+  /// effect on the next Build / load / rebuild; call from the single-writer
+  /// side (the sharded tier sets it right before Build). The predicate is
+  /// guarded by update_mu_ because the async rebuild worker reads it while
+  /// slicing a freshly rebuilt snapshot — it may be mid-rebuild when this
+  /// setter runs.
+  void set_slice_keep(std::function<bool(Vertex)> keep)
+      CSC_EXCLUDES(update_mu_);
 
  private:
   /// One admitted-but-unresolved async batch: its epoch plus the inverse
@@ -306,59 +313,79 @@ class Engine {
   };
 
   std::shared_ptr<CycleIndex> MakeFresh() const;
-  void Swap(std::shared_ptr<CycleIndex> next);
-  void AdoptLoaded(std::shared_ptr<CycleIndex> next);
+  void Swap(std::shared_ptr<CycleIndex> next) CSC_EXCLUDES(swap_mu_);
+  void AdoptLoaded(std::shared_ptr<CycleIndex> next)
+      CSC_EXCLUDES(update_mu_, swap_mu_);
   /// Builds a fresh static snapshot over `graph` (reserve already
-  /// materialized in it); nullptr on failure. Does not touch engine state.
-  std::shared_ptr<CycleIndex> RebuildStatic(const DiGraph& graph) const;
+  /// materialized in it), sliced by `slice_keep` when non-null; nullptr on
+  /// failure. Does not touch engine state — the caller passes a stable copy
+  /// of the slicing predicate so this can run with no engine lock held.
+  std::shared_ptr<CycleIndex> RebuildStatic(
+      const DiGraph& graph,
+      const std::function<bool(Vertex)>& slice_keep) const;
   /// The body of one queued async rebuild: coalesces every epoch admitted
   /// so far into a single rebuild-and-swap (or a rollback on failure).
-  void RebuildEpochTask();
-  /// Replays `undo` onto the retained graph. Caller holds update_mu_.
-  void ApplyUndoLocked(const std::vector<EdgeUpdate>& undo);
-  /// Records [first, last] as rolled back / IsFailedLocked(epoch). Callers
-  /// hold update_mu_.
-  void MarkFailedLocked(uint64_t first, uint64_t last);
-  bool IsFailedLocked(uint64_t epoch) const;
-  /// Repair pipeline (caller holds update_mu_): replays `ops` onto the
-  /// shadow and lands the result on the snapshot — a bounded label patch
-  /// when the damage fits the budgets, a full snapshot derived from the
-  /// shadow's labeling otherwise (one encode pass, no BFS). False on
-  /// failure; `*shadow_touched` then tells the caller whether the shadow
-  /// was mutated (and so must be restored after the graph rollback).
+  void RebuildEpochTask() CSC_EXCLUDES(update_mu_);
+  /// Replays `undo` onto the retained graph.
+  void ApplyUndoLocked(const std::vector<EdgeUpdate>& undo)
+      CSC_REQUIRES(update_mu_);
+  /// Records [first, last] as rolled back / IsFailedLocked(epoch).
+  void MarkFailedLocked(uint64_t first, uint64_t last)
+      CSC_REQUIRES(update_mu_);
+  bool IsFailedLocked(uint64_t epoch) const CSC_REQUIRES(update_mu_);
+  /// Repair pipeline: replays `ops` onto the shadow and lands the result on
+  /// the snapshot — a bounded label patch when the damage fits the budgets,
+  /// a full snapshot derived from the shadow's labeling otherwise (one
+  /// encode pass, no BFS). False on failure; `*shadow_touched` then tells
+  /// the caller whether the shadow was mutated (and so must be restored
+  /// after the graph rollback).
   bool LandRepairLocked(const std::vector<EdgeUpdate>& ops,
-                        bool* shadow_touched);
+                        bool* shadow_touched) CSC_REQUIRES(update_mu_);
   /// Rebuilds the shadow from the (already rolled back) retained graph
   /// under the pinned ordering; on failure disables repair for this engine
-  /// — subsequent batches fall back to legacy rebuild-and-swap. Caller
-  /// holds update_mu_.
-  void RestoreShadowLocked();
+  /// — subsequent batches fall back to legacy rebuild-and-swap.
+  void RestoreShadowLocked() CSC_REQUIRES(update_mu_);
 
   EngineOptions options_;
   ThreadPool pool_;
-  mutable std::mutex swap_mu_;  // guards active_ pointer swaps/reads
+  // Guards active_ pointer swaps/reads. Innermost lock: may be taken while
+  // update_mu_ is held (the worker swaps under it), never the reverse.
+  mutable Mutex swap_mu_;
   // Readers of thread-safe backends hold it shared; in-place updates and
-  // queries of state-mutating backends hold it exclusive.
-  std::shared_mutex query_mu_;
-  std::shared_ptr<CycleIndex> active_;
+  // queries of state-mutating backends hold it exclusive. Never held
+  // together with update_mu_. A phase capability, not a data guard: the
+  // state it protects lives inside the active CycleIndex (whose pointer is
+  // guarded by swap_mu_), so no member carries CSC_GUARDED_BY(query_mu_).
+  SharedMutex query_mu_;  // lint:allow-unguarded-mutex(phase capability)
+  std::shared_ptr<CycleIndex> active_ CSC_GUARDED_BY(swap_mu_);
 
   // --- Retained graph + epoch state, guarded by update_mu_. The async
   // rebuild worker and the writer thread meet here; readers never do.
   // Lock order: update_mu_ before swap_mu_ (the worker swaps while holding
   // update_mu_); query_mu_ is never held together with update_mu_.
-  mutable std::mutex update_mu_;
-  std::condition_variable epoch_cv_;
-  DiGraph graph_;     // retained for static-backend rebuilds
-  bool has_graph_ = false;
-  uint64_t submitted_epoch_ = 0;  // newest epoch handed out
-  uint64_t resolved_epoch_ = 0;   // every epoch <= this landed or rolled back
-  uint64_t landed_epoch_ = 0;     // newest epoch a swap actually landed
+  mutable Mutex update_mu_ CSC_ACQUIRED_BEFORE(swap_mu_);
+  CondVar epoch_cv_;
+  // Retained for static-backend rebuilds.
+  DiGraph graph_ CSC_GUARDED_BY(update_mu_);
+  bool has_graph_ CSC_GUARDED_BY(update_mu_) = false;
+  // Label slicing predicate (EngineOptions::slice_keep, replaceable via
+  // set_slice_keep): read by the rebuild worker when it slices a fresh
+  // snapshot, so it lives under update_mu_ rather than in options_.
+  std::function<bool(Vertex)> slice_keep_ CSC_GUARDED_BY(update_mu_);
+  // Newest epoch handed out.
+  uint64_t submitted_epoch_ CSC_GUARDED_BY(update_mu_) = 0;
+  // Every epoch <= this landed or rolled back.
+  uint64_t resolved_epoch_ CSC_GUARDED_BY(update_mu_) = 0;
+  // Newest epoch a swap actually landed.
+  uint64_t landed_epoch_ CSC_GUARDED_BY(update_mu_) = 0;
   // Rolled-back epochs as disjoint [first, last] ranges, ascending, with
   // adjacent ranges merged. A rollback always covers a contiguous range
   // above every landed epoch, so sustained failure costs one growing range
   // — not one entry per failed epoch.
-  std::vector<std::pair<uint64_t, uint64_t>> failed_ranges_;
-  std::deque<PendingBatch> unlanded_;  // ascending epoch order
+  std::vector<std::pair<uint64_t, uint64_t>> failed_ranges_
+      CSC_GUARDED_BY(update_mu_);
+  // Ascending epoch order.
+  std::deque<PendingBatch> unlanded_ CSC_GUARDED_BY(update_mu_);
   // --- Incremental repair state (EngineOptions::repair), guarded by
   // update_mu_ like the retained graph it mirrors. The shadow is the
   // maintenance-authoritative CscIndex: batches mutate it via the §V
@@ -366,16 +393,18 @@ class Engine {
   // patched — or derived — from it. The pinned ordering is the degree
   // ordering of the Build-time graph (plus reserve vertices), kept fixed
   // so label ranks stay stable across patches.
-  bool repair_active_ = false;
-  std::unique_ptr<CscIndex> shadow_;
-  VertexOrdering pinned_order_;
-  DirtyLabelTracker dirty_;  // reused across batches (capacity retained)
-  bool snapshot_sliced_ = false;
-  RepairStats repair_stats_;
+  bool repair_active_ CSC_GUARDED_BY(update_mu_) = false;
+  std::unique_ptr<CscIndex> shadow_ CSC_GUARDED_BY(update_mu_);
+  VertexOrdering pinned_order_ CSC_GUARDED_BY(update_mu_);
+  // Reused across batches (capacity retained).
+  DirtyLabelTracker dirty_ CSC_GUARDED_BY(update_mu_);
+  bool snapshot_sliced_ CSC_GUARDED_BY(update_mu_) = false;
+  RepairStats repair_stats_ CSC_GUARDED_BY(update_mu_);
   // The async rebuild thread; lazily started by the first async admission
   // so synchronous engines pay nothing. Destroyed first (tasks touch the
-  // members above).
-  std::unique_ptr<SerialWorker> rebuild_worker_;
+  // members above). The pointer itself is only installed by the writer
+  // thread (single-writer contract) under update_mu_.
+  std::unique_ptr<SerialWorker> rebuild_worker_ CSC_GUARDED_BY(update_mu_);
 };
 
 }  // namespace csc

@@ -6,6 +6,17 @@
 #include "csc/girth.h"
 #include "csc/index_io.h"
 
+// Concurrency contract (why this file declares no mutexes of its own): all
+// locked state lives inside the per-shard Engines, each annotated for
+// Clang's thread safety analysis (serving/engine.h). The router layer only
+// holds immutable-after-construction structure — `shards_`, the routing
+// options, and `pool_` — and the single-writer entry points that DO replace
+// that structure (Build, AdoptShards resizing the pool) are serialized by
+// the same external single-writer contract the shard engines document.
+// Cross-shard fan-outs go through ParallelFor's per-call barrier, never a
+// shared queue, so reader sweeps from several threads share the pool
+// without a pool-global Wait racing them.
+
 namespace csc {
 
 uint32_t ContiguousRangeShard(Vertex v, uint32_t num_shards,

@@ -204,7 +204,7 @@ class ShardedEngine {
   /// call (as returned through `epochs`). True iff every shard landed its
   /// batch; false if any shard rolled it back (failed rebuild) or the
   /// vector does not match the shard count.
-  bool WaitForEpochs(const std::vector<uint64_t>& epochs);
+  [[nodiscard]] bool WaitForEpochs(const std::vector<uint64_t>& epochs);
 
   /// Blocks until every update admitted so far has resolved on every shard
   /// — the coarse read-your-writes barrier of the async mode.

@@ -1,0 +1,135 @@
+#ifndef CSC_UTIL_MUTEX_H_
+#define CSC_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.h"
+
+namespace csc {
+
+/// Annotated wrappers over the standard synchronization primitives. All
+/// locked state in the library goes through these (tools/lint_invariants.py
+/// rejects raw std::mutex / std::thread outside src/util/), because only
+/// capability-annotated types participate in Clang's thread safety
+/// analysis: a `Mutex` member plus `CSC_GUARDED_BY` on the state it guards
+/// turns every unlocked access into a compile error under -Wthread-safety.
+///
+/// The wrappers are deliberately thin — same semantics, same cost, zero
+/// state beyond the wrapped primitive — and the RAII guards mirror the
+/// standard ones (MutexLock ~ std::unique_lock, ReaderMutexLock ~
+/// std::shared_lock, WriterMutexLock ~ std::unique_lock over a
+/// shared_mutex). Condition waits go through CondVar, which takes the
+/// MutexLock itself so a wait can never be attempted on the wrong mutex.
+
+/// An exclusive mutex (wraps std::mutex) carrying the "mutex" capability.
+class CSC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() CSC_ACQUIRE() { mu_.lock(); }
+  void Unlock() CSC_RELEASE() { mu_.unlock(); }
+  bool TryLock() CSC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII exclusive lock over a Mutex. Scoped: the analysis credits the
+/// capability to the enclosing scope for the guard's lifetime.
+class CSC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CSC_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() CSC_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// A readers-writer mutex (wraps std::shared_mutex) carrying the
+/// "shared_mutex" capability: writers hold it exclusively, readers hold it
+/// shared.
+class CSC_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() CSC_ACQUIRE() { mu_.lock(); }
+  void Unlock() CSC_RELEASE() { mu_.unlock(); }
+  void LockShared() CSC_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() CSC_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII shared (reader) lock over a SharedMutex.
+class CSC_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) CSC_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() CSC_RELEASE() { mu_.UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII exclusive (writer) lock over a SharedMutex.
+class CSC_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) CSC_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() CSC_RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to MutexLock (wraps std::condition_variable).
+/// There is deliberately no predicate-lambda overload: the canonical wait
+/// loop
+///
+///   MutexLock lock(mu_);
+///   while (!condition) cv_.Wait(lock);
+///
+/// keeps the guarded reads in the function the analysis is checking — a
+/// predicate lambda would be analyzed as a separate unannotated function
+/// and every guarded member it reads would (rightly) warn.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `lock`'s mutex and blocks; the mutex is re-held on
+  /// return. As with std::condition_variable, spurious wakeups happen —
+  /// always wait in a condition loop.
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace csc
+
+#endif  // CSC_UTIL_MUTEX_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/mutex.h"
+
 namespace csc {
 
 ThreadPool::ThreadPool(unsigned num_threads) {
@@ -15,30 +17,30 @@ ThreadPool::ThreadPool(unsigned num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
-  if (first_exception_) {
-    std::exception_ptr rethrown = std::exchange(first_exception_, nullptr);
-    lock.unlock();
-    std::rethrow_exception(rethrown);
+  std::exception_ptr rethrown;
+  {
+    MutexLock lock(mu_);
+    while (in_flight_ != 0) all_done_.Wait(lock);
+    rethrown = std::exchange(first_exception_, nullptr);
   }
+  if (rethrown) std::rethrow_exception(rethrown);
 }
 
 unsigned ThreadPool::DefaultThreadCount() {
@@ -51,9 +53,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutting_down_ && queue_.empty()) work_available_.Wait(lock);
       if (queue_.empty()) return;  // shutting down and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -67,9 +68,9 @@ void ThreadPool::WorkerLoop() {
       thrown = std::current_exception();
     }
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (thrown && !first_exception_) first_exception_ = std::move(thrown);
-      if (--in_flight_ == 0) all_done_.notify_all();
+      if (--in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }
@@ -78,29 +79,29 @@ SerialWorker::SerialWorker() : worker_([this] { WorkerLoop(); }) {}
 
 SerialWorker::~SerialWorker() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   worker_.join();
 }
 
 void SerialWorker::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void SerialWorker::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (in_flight_ != 0) idle_.Wait(lock);
 }
 
 size_t SerialWorker::pending() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return in_flight_;
 }
 
@@ -108,17 +109,16 @@ void SerialWorker::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutting_down_ && queue_.empty()) work_available_.Wait(lock);
       if (queue_.empty()) return;  // shutting down and drained
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (--in_flight_ == 0) idle_.notify_all();
+      MutexLock lock(mu_);
+      if (--in_flight_ == 0) idle_.NotifyAll();
     }
   }
 }
@@ -134,13 +134,14 @@ void ParallelFor(ThreadPool& pool, size_t begin, size_t end, size_t grain,
   // state lives on this stack frame; the wait below keeps it alive until
   // every chunk has finished with it.
   struct CallState {
-    std::mutex mu;
-    std::condition_variable done;
-    size_t remaining = 0;
-    std::exception_ptr first_exception;
-  } state;
+    explicit CallState(size_t chunks) : remaining(chunks) {}
+    Mutex mu;
+    CondVar done;
+    size_t remaining CSC_GUARDED_BY(mu);
+    std::exception_ptr first_exception CSC_GUARDED_BY(mu);
+  };
   const size_t total_chunks = (end - begin + grain - 1) / grain;
-  state.remaining = total_chunks;
+  CallState state(total_chunks);
   size_t submitted = 0;
   try {
     for (size_t chunk = begin; chunk < end; chunk += grain) {
@@ -152,11 +153,11 @@ void ParallelFor(ThreadPool& pool, size_t begin, size_t end, size_t grain,
         } catch (...) {
           thrown = std::current_exception();
         }
-        std::unique_lock<std::mutex> lock(state.mu);
+        MutexLock lock(state.mu);
         if (thrown && !state.first_exception) {
           state.first_exception = std::move(thrown);
         }
-        if (--state.remaining == 0) state.done.notify_all();
+        if (--state.remaining == 0) state.done.NotifyAll();
       });
       ++submitted;
     }
@@ -166,19 +167,19 @@ void ParallelFor(ThreadPool& pool, size_t begin, size_t end, size_t grain,
     // already in flight (they reference this frame's state and body)
     // before surfacing the failure.
     {
-      std::unique_lock<std::mutex> lock(state.mu);
+      MutexLock lock(state.mu);
       state.remaining -= total_chunks - submitted;
-      state.done.wait(lock, [&state] { return state.remaining == 0; });
+      while (state.remaining != 0) state.done.Wait(lock);
     }
     throw;
   }
-  std::unique_lock<std::mutex> lock(state.mu);
-  state.done.wait(lock, [&state] { return state.remaining == 0; });
-  if (state.first_exception) {
-    std::exception_ptr rethrown = std::exchange(state.first_exception, nullptr);
-    lock.unlock();
-    std::rethrow_exception(rethrown);
+  std::exception_ptr rethrown;
+  {
+    MutexLock lock(state.mu);
+    while (state.remaining != 0) state.done.Wait(lock);
+    rethrown = std::exchange(state.first_exception, nullptr);
   }
+  if (rethrown) std::rethrow_exception(rethrown);
 }
 
 }  // namespace csc

@@ -1,14 +1,15 @@
 #ifndef CSC_UTIL_THREAD_POOL_H_
 #define CSC_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace csc {
 
@@ -34,7 +35,7 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. Never blocks.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) CSC_EXCLUDES(mu_);
 
   /// Blocks until every task submitted so far has completed. If any task
   /// exited with an exception since the last Wait(), rethrows the first
@@ -43,9 +44,11 @@ class ThreadPool {
   /// throwing task would unwind through the worker's std::function call
   /// and terminate the process. Exceptions still pending at destruction
   /// are discarded — Wait() before tearing down if you care.
-  void Wait();
+  void Wait() CSC_EXCLUDES(mu_);
 
   unsigned num_threads() const {
+    // workers_ is written only during construction, so the size is an
+    // immutable property — no lock needed.
     return static_cast<unsigned>(workers_.size());
   }
 
@@ -54,16 +57,17 @@ class ThreadPool {
   static unsigned DefaultThreadCount();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() CSC_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  size_t in_flight_ = 0;  // queued + currently running tasks
-  bool shutting_down_ = false;
-  std::exception_ptr first_exception_;  // first task throw since last Wait()
-  std::vector<std::thread> workers_;
+  Mutex mu_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ CSC_GUARDED_BY(mu_);
+  size_t in_flight_ CSC_GUARDED_BY(mu_) = 0;  // queued + running tasks
+  bool shutting_down_ CSC_GUARDED_BY(mu_) = false;
+  // First task throw since last Wait().
+  std::exception_ptr first_exception_ CSC_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_;  // immutable after construction
 };
 
 /// Splits [begin, end) into chunks of at most `grain` items and runs
@@ -98,23 +102,23 @@ class SerialWorker {
   SerialWorker& operator=(const SerialWorker&) = delete;
 
   /// Enqueues a task. Never blocks; tasks run in submission order.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) CSC_EXCLUDES(mu_);
 
   /// Blocks until every task submitted so far has completed.
-  void Drain();
+  void Drain() CSC_EXCLUDES(mu_);
 
   /// Queued + currently running tasks (a snapshot; racy by nature).
-  size_t pending() const;
+  size_t pending() const CSC_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() CSC_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
-  size_t in_flight_ = 0;  // queued + currently running tasks
-  bool shutting_down_ = false;
+  mutable Mutex mu_;
+  CondVar work_available_;
+  CondVar idle_;
+  std::deque<std::function<void()>> queue_ CSC_GUARDED_BY(mu_);
+  size_t in_flight_ CSC_GUARDED_BY(mu_) = 0;  // queued + running tasks
+  bool shutting_down_ CSC_GUARDED_BY(mu_) = false;
   std::thread worker_;
 };
 

@@ -1,0 +1,56 @@
+// NEGATIVE-COMPILE FIXTURE — must NOT compile under Clang with
+// -Werror=thread-safety-analysis. CTest (tests/CMakeLists.txt) invokes the
+// compiler on this file with WILL_FAIL: if the diagnostics below ever stop
+// firing, the thread-safety gate has silently rotted and the test suite
+// says so. Under GCC the annotations are no-ops, so this file compiles
+// cleanly there — which is exactly the portability contract
+// (thread_safety_noop test leg).
+//
+// Every violation class the serving stack relies on the analysis to catch:
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace csc {
+
+class Misguarded {
+ public:
+  // (1) Unlocked write to a guarded member.
+  void UnlockedWrite() { counter_ = 1; }
+
+  // (2) Unlocked read of a guarded member.
+  int UnlockedRead() { return counter_; }
+
+  // (3) Calling a *Locked helper without holding the required capability.
+  void CallsHelperWithoutLock() { BumpLocked(); }
+
+  // (4) Acquiring a lock the caller claims to exclude... and then
+  // re-entering through a CSC_EXCLUDES path while still holding it.
+  void DoubleAcquire() {
+    MutexLock lock(mu_);
+    Excluded();
+  }
+
+  void Excluded() CSC_EXCLUDES(mu_) { MutexLock lock(mu_); }
+
+ private:
+  void BumpLocked() CSC_REQUIRES(mu_) { ++counter_; }
+
+  Mutex mu_;
+  int counter_ CSC_GUARDED_BY(mu_) = 0;
+};
+
+// (5) Guarded-member access from a lambda that doesn't hold the lock —
+// the failure mode behind the "no predicate-lambda cv waits" convention.
+class LambdaLeak {
+ public:
+  bool Peek() {
+    auto reader = [this] { return flag_; };
+    return reader();
+  }
+
+ private:
+  Mutex mu_;
+  bool flag_ CSC_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace csc

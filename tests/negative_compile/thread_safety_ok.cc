@@ -1,0 +1,49 @@
+// Control fixture for the negative-compile test: the corrected version of
+// every violation in thread_safety_misguarded.cc. Compiles warning-free on
+// Clang with -Werror=thread-safety-analysis (and everywhere else) —
+// proving the WILL_FAIL result next door comes from the violations, not
+// from a broken compile command.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace csc {
+
+class Guarded {
+ public:
+  void LockedWrite() {
+    MutexLock lock(mu_);
+    counter_ = 1;
+  }
+
+  int LockedRead() {
+    MutexLock lock(mu_);
+    return counter_;
+  }
+
+  void CallsHelperWithLock() {
+    MutexLock lock(mu_);
+    BumpLocked();
+  }
+
+  void Excluded() CSC_EXCLUDES(mu_) { MutexLock lock(mu_); }
+
+ private:
+  void BumpLocked() CSC_REQUIRES(mu_) { ++counter_; }
+
+  Mutex mu_;
+  int counter_ CSC_GUARDED_BY(mu_) = 0;
+};
+
+class NoLambdaLeak {
+ public:
+  bool Peek() {
+    MutexLock lock(mu_);
+    return flag_;
+  }
+
+ private:
+  Mutex mu_;
+  bool flag_ CSC_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace csc

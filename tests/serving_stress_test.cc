@@ -294,6 +294,42 @@ TEST_P(AsyncServingStressTest, RollbackRacesReadersAndCoalescedEpochs) {
 // The static serving forms are the ones whose rebuilds the async pipeline
 // moves off-thread; "frozen" covers the packed arena, "compressed" the
 // varint decode path.
+// Regression: set_slice_keep used to write options_.slice_keep unguarded
+// while the async rebuild worker read it off-thread when slicing a fresh
+// snapshot (the sharded tier calls the setter right before Build, i.e.
+// while a prior rebuild can still be in flight). The predicate now lives
+// behind update_mu_; this hammers the setter against a rebuild flood so
+// TSan would flag any return of the race. Both predicates keep every
+// vertex, so convergence to the oracle is unaffected by which one a given
+// rebuild observes.
+TEST_P(AsyncServingStressTest, SliceKeepSwapRacesAsyncRebuilds) {
+  DiGraph graph = RandomGraph(40, 2.0, 85);
+  std::vector<Edge> edges = ToggleEdges(graph);
+  ASSERT_FALSE(edges.empty());
+  EngineOptions options;
+  options.backend = GetParam();
+  options.num_threads = 2;
+  options.batch_grain = 8;
+  options.async_updates = true;
+  Engine engine(options);
+  ASSERT_TRUE(engine.Build(graph));
+  std::atomic<int> batches{0};
+  RunStress(
+      graph, edges, [&] { return engine.QueryAll(); },
+      [&](const std::vector<EdgeUpdate>& batch) {
+        // Flip the predicate between batches, racing any in-flight rebuild.
+        if (batches.fetch_add(1, std::memory_order_relaxed) % 2 == 0) {
+          engine.set_slice_keep([](Vertex) { return true; });
+        } else {
+          engine.set_slice_keep(nullptr);
+        }
+        return engine.ApplyUpdates(batch);
+      });
+  engine.set_slice_keep(nullptr);
+  engine.Drain();
+  EXPECT_EQ(engine.QueryAll(), BfsReference(graph));
+}
+
 INSTANTIATE_TEST_SUITE_P(StaticBackends, AsyncServingStressTest,
                          ::testing::Values("frozen", "compressed"),
                          [](const auto& info) { return info.param; });

@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Project-invariant linter.
+
+Enforces cross-file conventions the compiler cannot see:
+
+  1. backend-conformance  Every backend constructible through MakeBackend()
+                          (src/core/backends.cc) is listed in
+                          AllBackendNames() and exercised by
+                          tests/backend_conformance_test.cc (either named
+                          literally or via ValuesIn(AllBackendNames())).
+  2. bench-json           Every bench/bench_*.cc emits a BENCH_*.json via
+                          JsonBenchReporter, so perf history has machine-
+                          readable rows. Waive with
+                          // lint:allow-no-json-bench(reason).
+  3. raw-primitives       No raw std::thread / std::mutex / std::
+                          condition_variable / std lock types outside
+                          src/util/ — everything else must go through the
+                          annotated wrappers in util/mutex.h and
+                          util/thread_pool.h so Clang Thread Safety
+                          Analysis sees every acquisition.
+  4. guarded-mutexes      Every Mutex / SharedMutex member declared in src/
+                          has at least one CSC_GUARDED_BY / CSC_PT_GUARDED_BY
+                          / CSC_REQUIRES* user in the same file, or carries
+                          an explicit waiver comment:
+                          // lint:allow-unguarded-mutex(reason).
+  5. escape-hatch budget  At most 3 CSC_NO_THREAD_SAFETY_ANALYSIS uses in
+                          src/ (outside the macro's own definition): the
+                          analysis stays load-bearing instead of opted out
+                          of one function at a time.
+
+Run:  python3 tools/lint_invariants.py [--repo PATH]
+Exit: 0 clean, 1 violations (listed on stderr), 2 internal error.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Matches the registration lines in MakeBackend():  if (name == "csc") ...
+MAKE_BACKEND_RE = re.compile(r'if\s*\(\s*name\s*==\s*"([^"]+)"\s*\)')
+# String literals inside the AllBackendNames() initializer list.
+NAME_LITERAL_RE = re.compile(r'"([^"]+)"')
+# Threading primitives that must stay behind src/util/ wrappers.
+RAW_PRIMITIVE_RE = re.compile(
+    r"std::(?:jthread|thread|mutex|recursive_mutex|timed_mutex|shared_mutex|"
+    r"condition_variable(?:_any)?|lock_guard|unique_lock|shared_lock|"
+    r"scoped_lock)\b"
+)
+# Mutex-typed data members: `Mutex mu_;`, `mutable SharedMutex query_mu_;`.
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:csc::(?:util::)?)?(?:Mutex|SharedMutex)\s+"
+    r"(\w+)\s*(?:;|\{)"
+)
+
+
+def strip_line_comment(line: str) -> str:
+    """Drops a trailing // comment (good enough: no string-literal '//' in
+    the constructs we match)."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def iter_source(root: pathlib.Path, subdir: str):
+    for ext in ("*.h", "*.cc"):
+        yield from sorted((root / subdir).rglob(ext))
+
+
+def check_backend_conformance(repo: pathlib.Path, errors: list):
+    backends_cc = repo / "src" / "core" / "backends.cc"
+    text = backends_cc.read_text()
+    make_body = text[text.index("MakeBackend"):]
+    registered = MAKE_BACKEND_RE.findall(make_body)
+    if not registered:
+        errors.append(f"{backends_cc}: could not parse MakeBackend registry")
+        return
+
+    all_names_at = text.index("AllBackendNames()")
+    init_list = text[all_names_at:text.index("}", all_names_at)]
+    listed = set(NAME_LITERAL_RE.findall(init_list))
+
+    conformance = repo / "tests" / "backend_conformance_test.cc"
+    conf_text = conformance.read_text()
+    covers_registry = "AllBackendNames()" in conf_text
+
+    for name in registered:
+        if name not in listed:
+            errors.append(
+                f"{backends_cc}: backend \"{name}\" is constructible via "
+                f"MakeBackend but missing from AllBackendNames()")
+        if not covers_registry and f'"{name}"' not in conf_text:
+            errors.append(
+                f"{conformance}: backend \"{name}\" has no conformance "
+                f"coverage (name it or instantiate over AllBackendNames())")
+
+
+def check_bench_json(repo: pathlib.Path, errors: list):
+    for bench in sorted((repo / "bench").glob("bench_*.cc")):
+        text = bench.read_text()
+        if "lint:allow-no-json-bench" in text:
+            continue
+        if "JsonBenchReporter" not in text:
+            errors.append(
+                f"{bench}: no JsonBenchReporter (benches must emit "
+                f"BENCH_*.json, or waive: lint:allow-no-json-bench(reason))")
+        elif not re.search(r'Write\("BENCH_[\w.]+\.json"\)', text):
+            errors.append(
+                f"{bench}: JsonBenchReporter present but never written to "
+                f"a BENCH_*.json file")
+
+
+def check_raw_primitives(repo: pathlib.Path, errors: list):
+    util = repo / "src" / "util"
+    for path in iter_source(repo, "src"):
+        if util in path.parents:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            m = RAW_PRIMITIVE_RE.search(strip_line_comment(line))
+            if m:
+                errors.append(
+                    f"{path}:{lineno}: raw {m.group(0)} outside src/util/ "
+                    f"— use the annotated wrappers (util/mutex.h, "
+                    f"util/thread_pool.h)")
+
+
+def check_guarded_mutexes(repo: pathlib.Path, errors: list):
+    user_re_cache = {}
+    for path in iter_source(repo, "src"):
+        lines = path.read_text().splitlines()
+        text = "\n".join(lines)
+        for lineno, line in enumerate(lines, 1):
+            m = MUTEX_MEMBER_RE.match(strip_line_comment(line))
+            if not m:
+                continue
+            name = m.group(1)
+            context = line + (lines[lineno - 2] if lineno >= 2 else "")
+            if "lint:allow-unguarded-mutex" in context:
+                continue
+            if name not in user_re_cache:
+                user_re_cache[name] = re.compile(
+                    r"CSC_(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES|"
+                    r"REQUIRES_SHARED)\(\s*" + re.escape(name) + r"\s*\)")
+            if not user_re_cache[name].search(text):
+                errors.append(
+                    f"{path}:{lineno}: mutex member '{name}' has no "
+                    f"CSC_GUARDED_BY/CSC_REQUIRES user in this file — guard "
+                    f"something with it or waive: "
+                    f"lint:allow-unguarded-mutex(reason)")
+
+
+ESCAPE_HATCH_BUDGET = 3
+
+
+def check_escape_hatch_budget(repo: pathlib.Path, errors: list):
+    uses = []
+    for path in iter_source(repo, "src"):
+        if path.name == "thread_annotations.h":
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if "CSC_NO_THREAD_SAFETY_ANALYSIS" in strip_line_comment(line):
+                uses.append(f"{path}:{lineno}")
+    if len(uses) > ESCAPE_HATCH_BUDGET:
+        errors.append(
+            f"CSC_NO_THREAD_SAFETY_ANALYSIS used {len(uses)} times "
+            f"(budget {ESCAPE_HATCH_BUDGET}): " + ", ".join(uses))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo", default=".",
+                        help="repository root (default: cwd)")
+    args = parser.parse_args()
+    repo = pathlib.Path(args.repo).resolve()
+    if not (repo / "src" / "core" / "backends.cc").exists():
+        print(f"lint_invariants: {repo} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+
+    errors = []
+    check_backend_conformance(repo, errors)
+    check_bench_json(repo, errors)
+    check_raw_primitives(repo, errors)
+    check_guarded_mutexes(repo, errors)
+    check_escape_hatch_budget(repo, errors)
+
+    if errors:
+        print(f"lint_invariants: {len(errors)} violation(s)", file=sys.stderr)
+        for err in errors:
+            print(f"  {err}", file=sys.stderr)
+        return 1
+    print("lint_invariants: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
