@@ -77,7 +77,7 @@ int Usage() {
       "  csc_cli graphstats <graph.edges>\n"
       "  csc_cli casestudy <graph.edges> <vertex> <out.dot>\n"
       "  csc_cli [--backend NAME] [--shards N] [--async-updates] [--repair] "
-      "churn <graph.edges> <rounds> <batch_edges> [<index.out>]\n"
+      "[--retries N] churn <graph.edges> <rounds> <batch_edges> [<index.out>]\n"
       "--shards N builds/serves through the sharded engine (N per-shard\n"
       "backends; multi-shard index files are auto-detected on load)\n"
       "--build-threads T constructs labelings with the rank-batched\n"
@@ -90,6 +90,9 @@ int Usage() {
       "--repair lands static-backend churn batches as bounded label\n"
       "patches against a pinned-ordering shadow index instead of full\n"
       "rebuilds (backends compact/frozen/compressed)\n"
+      "--retries N retries transient rebuild/patch failures up to N total\n"
+      "attempts with bounded exponential backoff before rolling the batch\n"
+      "back (default 1 = no retry); counters print after churn\n"
       "churn's optional <index.out> persists the post-churn index for\n"
       "byte-comparison against a from-scratch build\n"
       "backends: ");
@@ -627,9 +630,10 @@ int CmdStats(const std::string& backend_name, uint32_t shards,
 // — in async mode — the drain time separating admission from the landed
 // snapshot swaps.
 int CmdChurn(const std::string& backend_name, uint32_t shards,
-             bool async_updates, bool repair, unsigned build_threads,
-             const std::string& graph_path, size_t rounds,
-             size_t batch_edges, const std::string& index_out) {
+             bool async_updates, bool repair, uint32_t retries,
+             unsigned build_threads, const std::string& graph_path,
+             size_t rounds, size_t batch_edges,
+             const std::string& index_out) {
   auto graph = LoadEdgeListFile(graph_path);
   if (!graph) {
     std::fprintf(stderr, "cannot parse %s\n", graph_path.c_str());
@@ -641,6 +645,7 @@ int CmdChurn(const std::string& backend_name, uint32_t shards,
   options.async_updates = async_updates;
   options.build_threads = build_threads;
   options.repair.enabled = repair;
+  options.retry.max_attempts = std::max(1u, retries);
   ShardedEngine engine(options);
   if (!engine.valid()) {
     std::fprintf(stderr, "unknown backend '%s'\n", backend_name.c_str());
@@ -687,14 +692,21 @@ int CmdChurn(const std::string& backend_name, uint32_t shards,
               max_admit_ms, applied);
   std::printf("drain       : %.3f ms (wall %.3f ms)\n",
               drain_timer.ElapsedMillis(), wall.ElapsedMillis());
+  RepairStats repair_stats = engine.RepairStatsTotal();
   if (repair) {
-    RepairStats repair_stats = engine.RepairStatsTotal();
     std::printf("repair      : %llu patched, %llu derived across shards "
                 "(%llu hubs repaired, %s rewritten)\n",
                 static_cast<unsigned long long>(repair_stats.patches),
                 static_cast<unsigned long long>(repair_stats.rebuilds),
                 static_cast<unsigned long long>(repair_stats.hubs_repaired),
                 HumanBytes(repair_stats.label_bytes).c_str());
+  }
+  if (retries > 1 || repair_stats.retries > 0) {
+    std::printf("retries     : %llu re-attempts, %llu batches recovered "
+                "(max %u attempts/batch)\n",
+                static_cast<unsigned long long>(repair_stats.retries),
+                static_cast<unsigned long long>(repair_stats.retry_successes),
+                std::max(1u, retries));
   }
   GirthInfo info = engine.Girth();
   if (info.girth == kInfDist) {
@@ -730,6 +742,7 @@ int main(int argc, char** argv) {
   bool use_mmap = false;
   bool async_updates = false;
   bool repair = false;
+  uint32_t retries = 1;
   unsigned build_threads = 0;
   std::vector<char*> args;
   for (int i = 1; i < argc; ++i) {
@@ -758,6 +771,12 @@ int main(int argc, char** argv) {
       async_updates = true;
     } else if (arg == "--repair") {
       repair = true;
+    } else if (arg == "--retries") {
+      if (i + 1 >= argc) return Usage();
+      retries = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg.rfind("--retries=", 0) == 0) {
+      retries = static_cast<uint32_t>(
+          std::strtoul(arg.c_str() + 10, nullptr, 10));
     } else {
       args.push_back(argv[i]);
     }
@@ -786,8 +805,8 @@ int main(int argc, char** argv) {
     return CmdGirth(backend, shards, use_mmap, build_threads, args[1]);
   }
   if (cmd == "churn" && (n == 4 || n == 5)) {
-    return CmdChurn(backend, shards, async_updates, repair, build_threads,
-                    args[1], std::strtoul(args[2], nullptr, 10),
+    return CmdChurn(backend, shards, async_updates, repair, retries,
+                    build_threads, args[1], std::strtoul(args[2], nullptr, 10),
                     std::strtoul(args[3], nullptr, 10),
                     n == 5 ? args[4] : std::string());
   }

@@ -5,6 +5,7 @@
 
 #include "util/checksum.h"
 #include "util/env.h"
+#include "util/failpoint.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define CSC_HAVE_MMAP 1
@@ -70,7 +71,7 @@ IndexLoadResult Fail(std::string message) {
 }  // namespace
 
 std::optional<std::pair<const uint8_t*, size_t>> VerifyEnvelope(
-    const uint8_t* data, size_t size, std::string* error) {
+    const uint8_t* data, size_t size, std::string* error, bool verify_crc) {
   if (size < kHeaderSize + kFooterSize) {
     if (error) *error = "file too small to hold an index header";
     return std::nullopt;
@@ -86,20 +87,23 @@ std::optional<std::pair<const uint8_t*, size_t>> VerifyEnvelope(
     return std::nullopt;
   }
   const uint8_t* payload = data + kHeaderSize;
-  uint32_t stored_crc =
-      ReadU32(reinterpret_cast<const char*>(payload) + payload_size);
-  uint32_t actual_crc =
-      Crc32c(reinterpret_cast<const char*>(payload), payload_size);
-  if (stored_crc != actual_crc) {
-    if (error) *error = "checksum mismatch (corrupted index file)";
-    return std::nullopt;
+  if (verify_crc) {
+    uint32_t stored_crc =
+        ReadU32(reinterpret_cast<const char*>(payload) + payload_size);
+    uint32_t actual_crc =
+        Crc32c(reinterpret_cast<const char*>(payload), payload_size);
+    if (stored_crc != actual_crc) {
+      if (error) *error = "checksum mismatch (corrupted index file)";
+      return std::nullopt;
+    }
   }
   return {{payload, static_cast<size_t>(payload_size)}};
 }
 
 std::optional<std::string> ReadVerifiedPayload(const std::string& path,
                                                std::string* error) {
-  std::optional<std::string> file = ReadFileToString(path);
+  std::optional<std::string> file;
+  if (!CSC_FAILPOINT("index_io.read")) file = ReadFileToString(path);
   if (!file) {
     if (error) *error = "cannot read file: " + path;
     return std::nullopt;
@@ -112,14 +116,16 @@ std::optional<std::string> ReadVerifiedPayload(const std::string& path,
 }
 
 std::shared_ptr<IndexFile> IndexFile::Open(const std::string& path,
-                                           std::string* error) {
+                                           std::string* error,
+                                           bool verify_crc) {
   // shared_ptr with custom deletion via the destructor; the constructor is
   // private so Open is the only way in.
   std::shared_ptr<IndexFile> file(new IndexFile());
   const uint8_t* data = nullptr;
   size_t size = 0;
 #if defined(CSC_HAVE_MMAP)
-  int fd = ::open(path.c_str(), O_RDONLY);
+  // An injected mmap fault exercises the heap-fallback path below.
+  int fd = CSC_FAILPOINT("index_io.mmap") ? -1 : ::open(path.c_str(), O_RDONLY);
   if (fd >= 0) {
     struct stat st;
     if (::fstat(fd, &st) == 0 && st.st_size > 0) {
@@ -137,7 +143,8 @@ std::shared_ptr<IndexFile> IndexFile::Open(const std::string& path,
 #endif
   if (data == nullptr) {
     // Heap fallback: same verified-view API, one copy of the file.
-    std::optional<std::string> bytes = ReadFileToString(path);
+    std::optional<std::string> bytes;
+    if (!CSC_FAILPOINT("index_io.read")) bytes = ReadFileToString(path);
     if (!bytes) {
       if (error) *error = "cannot read file: " + path;
       return nullptr;
@@ -146,7 +153,7 @@ std::shared_ptr<IndexFile> IndexFile::Open(const std::string& path,
     data = reinterpret_cast<const uint8_t*>(file->heap_.data());
     size = file->heap_.size();
   }
-  auto payload = VerifyEnvelope(data, size, error);
+  auto payload = VerifyEnvelope(data, size, error, verify_crc);
   if (!payload) return nullptr;
   file->payload_ = payload->first;
   file->payload_size_ = payload->second;
@@ -186,8 +193,24 @@ BackendLoadResult LoadBackendFromMapping(const std::shared_ptr<IndexFile>& file,
   return result;
 }
 
-bool SaveIndexToFile(const CompactIndex& index, const std::string& path) {
-  return WriteStringToFile(path, WrapPayload(index.Serialize()));
+namespace {
+
+// The single save path: every index file lands through one atomic replace,
+// with one injectable fault surface in front of it.
+bool WriteEnvelopeAtomic(const std::string& payload, const std::string& path,
+                         std::string* error) {
+  if (CSC_FAILPOINT("index_io.write")) {
+    if (error) *error = "write failed for '" + path + "': injected fault";
+    return false;
+  }
+  return WriteFileAtomic(path, WrapPayload(payload), error);
+}
+
+}  // namespace
+
+bool SaveIndexToFile(const CompactIndex& index, const std::string& path,
+                     std::string* error) {
+  return WriteEnvelopeAtomic(index.Serialize(), path, error);
 }
 
 IndexLoadResult LoadIndexFromFile(const std::string& path) {
@@ -201,14 +224,22 @@ IndexLoadResult LoadIndexFromFile(const std::string& path) {
   return result;
 }
 
-bool SavePayloadToFile(const std::string& payload, const std::string& path) {
-  return WriteStringToFile(path, WrapPayload(payload));
+bool SavePayloadToFile(const std::string& payload, const std::string& path,
+                       std::string* error) {
+  return WriteEnvelopeAtomic(payload, path, error);
 }
 
-bool SaveBackendToFile(const CycleIndex& index, const std::string& path) {
+bool SaveBackendToFile(const CycleIndex& index, const std::string& path,
+                       std::string* error) {
   std::string payload;
-  if (!index.SaveTo(payload)) return false;
-  return WriteStringToFile(path, WrapPayload(payload));
+  if (!index.SaveTo(payload)) {
+    if (error) {
+      *error = "backend has no persistent form (SaveTo failed) for '" +
+               path + "'";
+    }
+    return false;
+  }
+  return WriteEnvelopeAtomic(payload, path, error);
 }
 
 namespace {
@@ -258,9 +289,9 @@ bool IsShardedPayload(const uint8_t* data, size_t size) {
           std::memcmp(data, kShardedMagicV1, sizeof(kShardedMagicV1)) == 0);
 }
 
-std::optional<ShardedPayloadView> ParseShardedPayloadView(const uint8_t* data,
-                                                          size_t size,
-                                                          std::string* error) {
+std::optional<ShardedPayloadView> ParseShardedPayloadView(
+    const uint8_t* data, size_t size, std::string* error,
+    std::vector<std::string>* shard_errors) {
   auto fail = [error](std::string message) -> std::optional<ShardedPayloadView> {
     if (error) *error = std::move(message);
     return std::nullopt;
@@ -296,6 +327,7 @@ std::optional<ShardedPayloadView> ParseShardedPayloadView(const uint8_t* data,
   if (shard_count > (size - pos) / kMinShardRecord) {
     return fail("bundle declares more shards than it could hold");
   }
+  if (shard_errors) shard_errors->assign(shard_count, std::string());
   result.shards.reserve(shard_count);
   for (uint32_t s = 0; s < shard_count; ++s) {
     if (size - pos < sizeof(uint64_t)) {
@@ -313,8 +345,15 @@ std::optional<ShardedPayloadView> ParseShardedPayloadView(const uint8_t* data,
     pos += sizeof(uint32_t);
     if (stored_crc != Crc32c(reinterpret_cast<const char*>(bytes),
                              shard_size)) {
-      return fail("checksum mismatch in shard " + std::to_string(s) +
-                  " (corrupted bundle)");
+      std::string message = "checksum mismatch in shard " + std::to_string(s) +
+                            " (corrupted bundle)";
+      // Lenient mode pinpoints the bad shard and keeps walking — the frame
+      // (size fields, record boundaries) is still intact, only this shard's
+      // bytes are rotten. Strict mode fails the whole bundle as before.
+      if (shard_errors == nullptr) return fail(std::move(message));
+      (*shard_errors)[s] = std::move(message);
+      result.shards.emplace_back(nullptr, 0);
+      continue;
     }
     result.shards.emplace_back(bytes, static_cast<size_t>(shard_size));
   }
@@ -324,17 +363,20 @@ std::optional<ShardedPayloadView> ParseShardedPayloadView(const uint8_t* data,
   return result;
 }
 
-std::optional<ShardedPayload> ParseShardedPayload(const std::string& payload,
-                                                  std::string* error) {
+std::optional<ShardedPayload> ParseShardedPayload(
+    const std::string& payload, std::string* error,
+    std::vector<std::string>* shard_errors) {
   auto view = ParseShardedPayloadView(
-      reinterpret_cast<const uint8_t*>(payload.data()), payload.size(), error);
+      reinterpret_cast<const uint8_t*>(payload.data()), payload.size(), error,
+      shard_errors);
   if (!view) return std::nullopt;
   ShardedPayload result;
   result.num_vertices = view->num_vertices;
   result.info = view->info;
   result.shards.reserve(view->shards.size());
   for (const auto& [bytes, size] : view->shards) {
-    result.shards.emplace_back(reinterpret_cast<const char*>(bytes), size);
+    result.shards.emplace_back(
+        bytes == nullptr ? "" : std::string(reinterpret_cast<const char*>(bytes), size));
   }
   return result;
 }

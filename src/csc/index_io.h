@@ -38,18 +38,24 @@ struct IndexLoadResult {
   bool ok() const { return index.has_value(); }
 };
 
-/// Writes `index` to `path` (replacing any existing file). False on I/O
-/// failure.
-[[nodiscard]] bool SaveIndexToFile(const CompactIndex& index, const std::string& path);
+/// Writes `index` to `path`, replacing any existing file *atomically*
+/// (temp file + fsync + rename — see util/env.h WriteFileAtomic): a crash
+/// mid-save leaves either the old file or the new one, never a torn
+/// envelope. False with `*error` set (when non-null, naming the failing
+/// path and step) on I/O failure.
+[[nodiscard]] bool SaveIndexToFile(const CompactIndex& index, const std::string& path,
+                                   std::string* error = nullptr);
 
 /// Reads, verifies, and parses a persisted compact index.
 [[nodiscard]] IndexLoadResult LoadIndexFromFile(const std::string& path);
 
 // --- Backend-generic persistence (the CycleIndex interface path). ---
 
-/// Serializes `index` (via SaveTo) into the checksummed envelope at `path`.
-/// False if the backend has no persistent form or on I/O failure.
-[[nodiscard]] bool SaveBackendToFile(const CycleIndex& index, const std::string& path);
+/// Serializes `index` (via SaveTo) into the checksummed envelope at `path`,
+/// atomically (see SaveIndexToFile). False with `*error` set (when
+/// non-null) if the backend has no persistent form or on I/O failure.
+[[nodiscard]] bool SaveBackendToFile(const CycleIndex& index, const std::string& path,
+                                     std::string* error = nullptr);
 
 /// Outcome of LoadBackendFromFile: `index` is set iff `error` is empty.
 struct BackendLoadResult {
@@ -77,8 +83,16 @@ struct BackendLoadResult {
 /// size, CRC) and returns the payload span inside it; nullopt with `error`
 /// set (when non-null) on any verification failure. ReadVerifiedPayload and
 /// the mmap loader below are both built on this.
+///
+/// `verify_crc = false` checks the structure only (magic + declared size)
+/// and skips the payload checksum. That mode exists for exactly one
+/// caller: the fault-tolerant sharded load, whose multi-shard payload
+/// carries its own per-shard CRCs — the whole-file checksum covers every
+/// shard at once, so it cannot pinpoint which shard is rotten. Never serve
+/// a payload without *some* checksum over it.
 [[nodiscard]] std::optional<std::pair<const uint8_t*, size_t>> VerifyEnvelope(
-    const uint8_t* data, size_t size, std::string* error);
+    const uint8_t* data, size_t size, std::string* error,
+    bool verify_crc = true);
 
 // --- Zero-copy loading: serve a frozen index straight from a mapping. ---
 
@@ -96,9 +110,12 @@ struct BackendLoadResult {
 class IndexFile {
  public:
   /// Maps (or reads) and verifies `path`; nullptr with `error` set (when
-  /// non-null) on I/O or verification failure.
+  /// non-null) on I/O or verification failure. `verify_crc = false` checks
+  /// the envelope structure only — see VerifyEnvelope for the one caller
+  /// this mode exists for.
   [[nodiscard]] static std::shared_ptr<IndexFile> Open(const std::string& path,
-                                         std::string* error = nullptr);
+                                         std::string* error = nullptr,
+                                         bool verify_crc = true);
   ~IndexFile();
 
   IndexFile(const IndexFile&) = delete;
@@ -132,9 +149,11 @@ class IndexFile {
                                          const std::string& backend_name);
 
 /// Writes an already-serialized payload inside the standard checksummed
-/// file envelope (the counterpart of ReadVerifiedPayload for callers — like
-/// the sharded serving tier — that produce payload bytes themselves).
-[[nodiscard]] bool SavePayloadToFile(const std::string& payload, const std::string& path);
+/// file envelope, atomically (the counterpart of ReadVerifiedPayload for
+/// callers — like the sharded serving tier — that produce payload bytes
+/// themselves). False with `*error` set (when non-null) on I/O failure.
+[[nodiscard]] bool SavePayloadToFile(const std::string& payload, const std::string& path,
+                                     std::string* error = nullptr);
 
 // --- Multi-shard envelope (persistence of the sharded serving tier). ---
 //
@@ -199,15 +218,25 @@ std::string WrapShardedPayload(const std::vector<std::string>& shard_payloads,
 
 /// Parses and CRC-verifies a multi-shard bundle. nullopt with `error` set
 /// (when non-null) on malformed input or a per-shard checksum mismatch.
+///
+/// Lenient per-shard mode (the degraded-load path): when `shard_errors` is
+/// non-null it is resized to the declared shard count, and a shard whose
+/// CRC fails no longer fails the parse — its entry comes back empty (size
+/// 0) with the reason recorded at its index in `*shard_errors` (entries for
+/// healthy shards stay empty strings). Structural corruption of the bundle
+/// framing itself (bad magic, truncated size fields, trailing bytes) still
+/// fails wholesale — a frame that cannot be walked pinpoints nothing.
 [[nodiscard]] std::optional<ShardedPayload> ParseShardedPayload(const std::string& payload,
-                                                  std::string* error);
+                                                  std::string* error,
+                                                  std::vector<std::string>* shard_errors = nullptr);
 
 /// As ParseShardedPayload, but the shard payloads stay in
 /// `[data, data + size)` — the buffer must outlive the returned view (for a
-/// mapping, hold the IndexFile).
+/// mapping, hold the IndexFile). Same lenient mode via `shard_errors`.
 [[nodiscard]] std::optional<ShardedPayloadView> ParseShardedPayloadView(const uint8_t* data,
                                                           size_t size,
-                                                          std::string* error);
+                                                          std::string* error,
+                                                          std::vector<std::string>* shard_errors = nullptr);
 
 }  // namespace csc
 

@@ -21,9 +21,24 @@ size_t SkipLine(const std::string& text, size_t i) {
 
 }  // namespace
 
-std::optional<DiGraph> ParseEdgeList(const std::string& text) {
+std::optional<DiGraph> ParseEdgeList(const std::string& text,
+                                     std::string* error) {
   std::unordered_map<uint64_t, Vertex> id_map;
   std::vector<Edge> edges;
+  size_t i = 0;
+  // Line numbers are only needed on the failure path, so they are counted
+  // lazily from the current scan position instead of being threaded through
+  // the hot parse loop.
+  auto fail = [&](const char* what) -> std::optional<DiGraph> {
+    if (error) {
+      size_t line = 1;
+      for (size_t k = 0; k < i && k < text.size(); ++k) {
+        if (text[k] == '\n') ++line;
+      }
+      *error = std::string(what) + " at line " + std::to_string(line);
+    }
+    return std::nullopt;
+  };
   // SNAP headers carry "# Nodes: N"; when present, vertex ids are taken
   // verbatim (so save/load round-trips preserve ids and isolated vertices).
   // Without a header, ids are remapped to [0, n) by first appearance.
@@ -35,7 +50,6 @@ std::optional<DiGraph> ParseEdgeList(const std::string& text) {
     return it->second;
   };
 
-  size_t i = 0;
   while (i < text.size()) {
     char c = text[i];
     if (c == '#' || c == '%') {  // SNAP uses '#', Konect uses '%'.
@@ -67,7 +81,8 @@ std::optional<DiGraph> ParseEdgeList(const std::string& text) {
     for (int k = 0; k < 2; ++k) {
       if (i >= text.size() ||
           !std::isdigit(static_cast<unsigned char>(text[i]))) {
-        return std::nullopt;
+        return fail(k == 0 ? "malformed edge (expected source id)"
+                           : "malformed edge (expected target id)");
       }
       uint64_t value = 0;
       while (i < text.size() &&
@@ -86,7 +101,7 @@ std::optional<DiGraph> ParseEdgeList(const std::string& text) {
     i = SkipLine(text, i);
     if (declared_nodes.has_value()) {
       if (raw[0] >= *declared_nodes || raw[1] >= *declared_nodes) {
-        return std::nullopt;  // id outside the declared range
+        return fail("vertex id outside the declared '# Nodes:' range");
       }
       edges.push_back(
           {static_cast<Vertex>(raw[0]), static_cast<Vertex>(raw[1])});
@@ -99,10 +114,18 @@ std::optional<DiGraph> ParseEdgeList(const std::string& text) {
   return DiGraph::FromEdges(n, edges);
 }
 
-std::optional<DiGraph> LoadEdgeListFile(const std::string& path) {
+std::optional<DiGraph> LoadEdgeListFile(const std::string& path,
+                                        std::string* error) {
   std::optional<std::string> text = ReadFileToString(path);
-  if (!text) return std::nullopt;
-  return ParseEdgeList(*text);
+  if (!text) {
+    if (error) *error = "failed to read edge-list file '" + path + "'";
+    return std::nullopt;
+  }
+  std::optional<DiGraph> graph = ParseEdgeList(*text, error);
+  if (!graph && error && !error->empty()) {
+    *error += " of '" + path + "'";
+  }
+  return graph;
 }
 
 std::string ToEdgeListText(const DiGraph& graph) {
@@ -117,8 +140,9 @@ std::string ToEdgeListText(const DiGraph& graph) {
   return out.str();
 }
 
-bool SaveEdgeListFile(const DiGraph& graph, const std::string& path) {
-  return WriteStringToFile(path, ToEdgeListText(graph));
+bool SaveEdgeListFile(const DiGraph& graph, const std::string& path,
+                      std::string* error) {
+  return WriteFileAtomic(path, ToEdgeListText(graph), error);
 }
 
 }  // namespace csc

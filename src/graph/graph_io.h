@@ -15,17 +15,26 @@ namespace csc {
 /// round trip. Without a header, ids are remapped to [0, n) in order of
 /// first appearance, which is how the paper's SNAP/Konect inputs are
 /// normalized. Self-loops and duplicates are dropped. Returns std::nullopt
-/// on malformed input.
-std::optional<DiGraph> ParseEdgeList(const std::string& text);
+/// on malformed input with `*error` set (when non-null) to a message naming
+/// the offending line.
+std::optional<DiGraph> ParseEdgeList(const std::string& text,
+                                     std::string* error = nullptr);
 
-/// Loads an edge-list file from disk. std::nullopt on I/O or parse failure.
-std::optional<DiGraph> LoadEdgeListFile(const std::string& path);
+/// Loads an edge-list file from disk. std::nullopt on I/O or parse failure
+/// with `*error` set (when non-null) to a message naming the failing path
+/// (for I/O) or the offending line (for parse errors).
+std::optional<DiGraph> LoadEdgeListFile(const std::string& path,
+                                        std::string* error = nullptr);
 
 /// Serializes a graph back to SNAP edge-list text (with a header comment).
 std::string ToEdgeListText(const DiGraph& graph);
 
-/// Writes ToEdgeListText(graph) to `path`. Returns false on I/O failure.
-bool SaveEdgeListFile(const DiGraph& graph, const std::string& path);
+/// Writes ToEdgeListText(graph) to `path` atomically (temp file + fsync +
+/// rename — a crash leaves the old file or the new one, never a torn mix).
+/// Returns false on I/O failure with `*error` set (when non-null) to a
+/// message naming the failing path and step.
+bool SaveEdgeListFile(const DiGraph& graph, const std::string& path,
+                      std::string* error = nullptr);
 
 }  // namespace csc
 

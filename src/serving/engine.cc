@@ -1,6 +1,7 @@
 #include "serving/engine.h"
 
 #include <algorithm>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
@@ -11,6 +12,8 @@
 #include "csc/index_io.h"
 #include "dynamic/batch.h"
 #include "dynamic/patch.h"
+#include "serving/wal.h"
+#include "util/failpoint.h"
 
 namespace csc {
 
@@ -85,6 +88,12 @@ CscIndex::Options ShadowOptions(unsigned build_threads) {
   shadow_options.maintain_inverted_index = true;
   shadow_options.build_threads = build_threads;
   return shadow_options;
+}
+
+/// One backoff step of the retry policy: sleep, then double (capped).
+void BackoffSleep(uint32_t* backoff_ms, const RetryOptions& retry) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(*backoff_ms));
+  *backoff_ms = std::min(*backoff_ms * 2, std::max(1u, retry.backoff_max_ms));
 }
 
 }  // namespace
@@ -182,12 +191,26 @@ bool Engine::Build(const DiGraph& graph) {
   }
   bool sliced = false;
   if (slice_keep) sliced = next->SliceLabels(slice_keep);
+  // A configured WAL starts a fresh generation on every Build: the new
+  // index is the new baseline, so the log is atomically replaced with one
+  // checkpoint record of the (reserve-extended) build graph. Created before
+  // any engine state mutates — a failed WAL means a failed Build with the
+  // previous snapshot (and previous log, if any) untouched.
+  std::unique_ptr<Wal> fresh_wal;
+  const bool want_wal = !options_.wal_path.empty();
+  if (want_wal) {
+    DiGraph retained = graph;
+    retained.AddVertices(options_.build.reserve_vertices);
+    fresh_wal = Wal::CreateFresh(options_.wal_path, retained);
+    if (!fresh_wal) return false;
+  }
   {
     MutexLock lock(update_mu_);
     // The retained copy only feeds the rebuild-and-swap update path of
     // static backends; dynamic backends maintain their own graph in place,
-    // so don't double the adjacency footprint for them.
-    has_graph_ = !next->supports_updates();
+    // so don't double the adjacency footprint for them — unless a WAL is
+    // on, whose checkpoints serialize the retained graph for every backend.
+    has_graph_ = !next->supports_updates() || want_wal;
     if (has_graph_) {
       graph_ = graph;
       // Mirror the reserve in the retained graph so the static update path
@@ -196,7 +219,8 @@ bool Engine::Build(const DiGraph& graph) {
     } else {
       graph_ = DiGraph();
     }
-    repair_active_ = repair && has_graph_;
+    wal_ = std::move(fresh_wal);
+    repair_active_ = repair && !next->supports_updates();
     shadow_ = repair_active_ ? std::move(shadow) : nullptr;
     pinned_order_ = std::move(pinned);
     dirty_.Reset();
@@ -222,7 +246,11 @@ void Engine::AdoptLoaded(std::shared_ptr<CycleIndex> next) {
     MutexLock lock(update_mu_);
     has_graph_ = false;
     graph_ = DiGraph();  // release any copy retained by an earlier Build
-    // No graph means no maintenance; drop the repair pipeline with it.
+    // No graph means no maintenance; drop the repair pipeline with it —
+    // and the WAL, whose checkpoints need a graph to serialize. (A load is
+    // an explicit adoption of external state; the old log described an
+    // index this engine no longer serves.)
+    wal_.reset();
     repair_active_ = false;
     shadow_.reset();
     snapshot_sliced_ = false;
@@ -334,6 +362,9 @@ std::shared_ptr<CycleIndex> Engine::RebuildStatic(
         options_.fail_rebuild_for_testing()) {
       return nullptr;
     }
+    // Injectable transient failure (one per armed action, so a retrying
+    // caller's next attempt passes — the retry-success test shape).
+    if (CSC_FAILPOINT("engine.rebuild")) return nullptr;
     std::shared_ptr<CycleIndex> next = MakeFresh();
     if (!next) return nullptr;
     // graph_ already carries the reserved vertices from Build; reserving
@@ -358,6 +389,9 @@ bool Engine::LandRepairLocked(const std::vector<EdgeUpdate>& ops,
       // complete rollback.
       return false;
     }
+    // Injectable transient patch failure, same pre-shadow position as the
+    // test hook (so it is retryable — see LandRepairRetryingLocked).
+    if (CSC_FAILPOINT("engine.patch")) return false;
     if (!shadow_) return false;
     if (shadow_touched) *shadow_touched = true;
     dirty_.Reset();
@@ -428,6 +462,41 @@ bool Engine::LandRepairLocked(const std::vector<EdgeUpdate>& ops,
   }
 }
 
+std::shared_ptr<CycleIndex> Engine::RebuildStaticRetrying(
+    const DiGraph& graph, const std::function<bool(Vertex)>& slice_keep,
+    uint64_t* retries) const {
+  const uint32_t max_attempts = std::max(1u, options_.retry.max_attempts);
+  uint32_t backoff_ms = std::max(1u, options_.retry.backoff_initial_ms);
+  for (uint32_t attempt = 1;; ++attempt) {
+    std::shared_ptr<CycleIndex> next = RebuildStatic(graph, slice_keep);
+    if (next != nullptr || attempt >= max_attempts) return next;
+    if (retries != nullptr) ++*retries;
+    BackoffSleep(&backoff_ms, options_.retry);
+  }
+}
+
+bool Engine::LandRepairRetryingLocked(const std::vector<EdgeUpdate>& ops,
+                                      bool* shadow_touched) {
+  const uint32_t max_attempts = std::max(1u, options_.retry.max_attempts);
+  uint32_t backoff_ms = std::max(1u, options_.retry.backoff_initial_ms);
+  for (uint32_t attempt = 1;; ++attempt) {
+    if (LandRepairLocked(ops, shadow_touched)) {
+      if (attempt > 1) ++repair_stats_.retry_successes;
+      return true;
+    }
+    // A touched shadow is half-maintained: re-driving the same ops would
+    // double-apply, so only pre-shadow failures are transient enough to
+    // retry. The backoff sleep happens under update_mu_ (bounded by
+    // max_attempts x backoff_max) — admissions wait, readers don't.
+    if ((shadow_touched != nullptr && *shadow_touched) ||
+        attempt >= max_attempts) {
+      return false;
+    }
+    ++repair_stats_.retries;
+    BackoffSleep(&backoff_ms, options_.retry);
+  }
+}
+
 void Engine::RestoreShadowLocked() {
   if (!repair_active_ || !shadow_) return;
   try {
@@ -474,6 +543,11 @@ bool Engine::IsFailedLocked(uint64_t epoch) const {
 }
 
 void Engine::RebuildEpochTask() {
+  // The async path's injectable wedge/crash site: a delay action here
+  // stalls the SerialWorker (what the WaitForEpoch deadline overload is
+  // for), an abort action crashes mid-flight with admitted-but-unlanded
+  // epochs in the WAL.
+  (void)CSC_FAILPOINT("engine.async_rebuild");
   uint64_t target;
   DiGraph graph_copy;
   std::function<bool(Vertex)> slice_keep;
@@ -495,7 +569,7 @@ void Engine::RebuildEpochTask() {
         ops.insert(ops.end(), batch.ops.begin(), batch.ops.end());
       }
       bool shadow_touched = false;
-      if (LandRepairLocked(ops, &shadow_touched)) {
+      if (LandRepairRetryingLocked(ops, &shadow_touched)) {
         unlanded_.clear();  // the pass covered every unlanded batch
         resolved_epoch_ = target;
         landed_epoch_ = target;
@@ -503,7 +577,11 @@ void Engine::RebuildEpochTask() {
         for (auto it = unlanded_.rbegin(); it != unlanded_.rend(); ++it) {
           ApplyUndoLocked(it->undo);
         }
-        MarkFailedLocked(unlanded_.front().epoch, target);
+        const uint64_t first_failed = unlanded_.front().epoch;
+        MarkFailedLocked(first_failed, target);
+        // Best-effort: without this record, recovery replays the rolled-back
+        // batches (at-least-once); with it, replay skips them exactly.
+        if (wal_) (void)wal_->AppendRollback(first_failed, target);
         unlanded_.clear();
         resolved_epoch_ = target;
         if (shadow_touched) RestoreShadowLocked();
@@ -518,9 +596,13 @@ void Engine::RebuildEpochTask() {
   // queries proceed while the fresh index builds off to the side. The
   // slicing predicate was copied under the lock above, so a concurrent
   // set_slice_keep cannot race this read.
-  std::shared_ptr<CycleIndex> next = RebuildStatic(graph_copy, slice_keep);
+  uint64_t retries = 0;
+  std::shared_ptr<CycleIndex> next =
+      RebuildStaticRetrying(graph_copy, slice_keep, &retries);
   MutexLock lock(update_mu_);
+  repair_stats_.retries += retries;
   if (next) {
+    if (retries > 0) ++repair_stats_.retry_successes;
     Swap(std::move(next));
     while (!unlanded_.empty() && unlanded_.front().epoch <= target) {
       unlanded_.pop_front();
@@ -536,7 +618,9 @@ void Engine::RebuildEpochTask() {
     for (auto it = unlanded_.rbegin(); it != unlanded_.rend(); ++it) {
       ApplyUndoLocked(it->undo);
     }
-    MarkFailedLocked(unlanded_.front().epoch, submitted_epoch_);
+    const uint64_t first_failed = unlanded_.front().epoch;
+    MarkFailedLocked(first_failed, submitted_epoch_);
+    if (wal_) (void)wal_->AppendRollback(first_failed, submitted_epoch_);
     unlanded_.clear();
     resolved_epoch_ = submitted_epoch_;
   }
@@ -561,6 +645,27 @@ size_t Engine::ApplyUpdates(const std::vector<EdgeUpdate>& updates,
     return 0;
   }
   if (index->supports_updates()) {
+    // WAL durability-before-mutation: an in-place backend cannot roll
+    // back, so the raw batch must be durable before the first label
+    // mutation — a failed append rejects the whole batch with the index
+    // untouched. (Replay re-applies the raw batch in order; rejections
+    // recur identically, so the trajectory matches the uncrashed one.)
+    uint64_t admitted = 0;
+    bool logged = false;
+    {
+      MutexLock lock(update_mu_);
+      if (wal_) {
+        admitted = ++submitted_epoch_;
+        if (!wal_->AppendBatch(admitted, updates)) {
+          MarkFailedLocked(admitted, admitted);
+          resolved_epoch_ = admitted;
+          epoch_cv_.NotifyAll();
+          if (epoch) *epoch = admitted;
+          return 0;
+        }
+        logged = true;
+      }
+    }
     // In-place repair under the writer lock: excludes both the parallel
     // reader pool and serialized queries, so no query ever observes a
     // half-applied update. Effects are visible at return, so the epoch
@@ -578,7 +683,27 @@ size_t Engine::ApplyUpdates(const std::vector<EdgeUpdate>& updates,
       }
     }
     size_t net = NetEffectVerdicts(updates, success, verdicts);
-    resolved_now();
+    if (logged) {
+      // Mirror the applied ops into the retained graph — Checkpoint
+      // serializes it as the next log generation's base. Taken after
+      // query_mu_ was released: the two locks are never held together.
+      MutexLock lock(update_mu_);
+      for (size_t i = 0; i < updates.size(); ++i) {
+        if (!success[i]) continue;
+        const EdgeUpdate& update = updates[i];
+        if (update.kind == UpdateKind::kInsert) {
+          graph_.AddEdge(update.edge.from, update.edge.to);
+        } else {
+          graph_.RemoveEdge(update.edge.from, update.edge.to);
+        }
+      }
+      resolved_epoch_ = admitted;
+      landed_epoch_ = admitted;
+      epoch_cv_.NotifyAll();
+      if (epoch) *epoch = admitted;
+    } else {
+      resolved_now();
+    }
     return net;
   }
   // Static serving form: mutate the retained graph, rebuild off to the
@@ -606,24 +731,37 @@ size_t Engine::ApplyUpdates(const std::vector<EdgeUpdate>& updates,
     if (epoch) *epoch = landed_epoch_;
     return 0;
   }
+  uint64_t admitted = ++submitted_epoch_;
+  // Durability before acknowledgment: the batch record (its successful
+  // forward ops, admission order) must be on stable storage before this
+  // call returns an epoch the caller may treat as admitted. A failed
+  // append undoes the graph mutations and rejects the batch — nothing to
+  // replay, nothing acknowledged.
+  if (wal_ && !wal_->AppendBatch(admitted, SuccessfulOps(updates, success))) {
+    ApplyUndoLocked(InverseOps(updates, success));
+    MarkFailedLocked(admitted, admitted);
+    resolved_epoch_ = admitted;
+    epoch_cv_.NotifyAll();
+    if (epoch) *epoch = admitted;
+    if (verdicts) verdicts->assign(updates.size(), UpdateVerdict::kRejected);
+    return 0;
+  }
+  if (epoch) *epoch = admitted;
   if (options_.async_updates) {
     // Admission only: hand out the epoch, remember how to undo this batch,
     // and let the rebuild worker land it. One task per batch — a task that
     // finds its epoch already covered by a predecessor's rebuild no-ops.
-    uint64_t admitted = ++submitted_epoch_;
     unlanded_.push_back({admitted, InverseOps(updates, success),
                          repair_active_ ? SuccessfulOps(updates, success)
                                         : std::vector<EdgeUpdate>{}});
-    if (epoch) *epoch = admitted;
     if (!rebuild_worker_) rebuild_worker_ = std::make_unique<SerialWorker>();
     rebuild_worker_->Submit([this] { RebuildEpochTask(); });
     return net;
   }
-  uint64_t admitted = ++submitted_epoch_;
-  if (epoch) *epoch = admitted;
   if (repair_active_) {
     bool shadow_touched = false;
-    if (LandRepairLocked(SuccessfulOps(updates, success), &shadow_touched)) {
+    if (LandRepairRetryingLocked(SuccessfulOps(updates, success),
+                                 &shadow_touched)) {
       resolved_epoch_ = admitted;
       landed_epoch_ = admitted;
       epoch_cv_.NotifyAll();
@@ -631,23 +769,29 @@ size_t Engine::ApplyUpdates(const std::vector<EdgeUpdate>& updates,
     }
     ApplyUndoLocked(InverseOps(updates, success));
     MarkFailedLocked(admitted, admitted);
+    if (wal_) (void)wal_->AppendRollback(admitted, admitted);
     resolved_epoch_ = admitted;
     if (shadow_touched) RestoreShadowLocked();
     epoch_cv_.NotifyAll();
     if (verdicts) verdicts->assign(updates.size(), UpdateVerdict::kRejected);
     return 0;
   }
-  std::shared_ptr<CycleIndex> next = RebuildStatic(graph_, slice_keep_);
+  uint64_t retries = 0;
+  std::shared_ptr<CycleIndex> next =
+      RebuildStaticRetrying(graph_, slice_keep_, &retries);
+  repair_stats_.retries += retries;
   if (!next) {
     // Leave the old snapshot serving and undo the graph mutations so a
     // later batch starts from the state the snapshot answers for.
     ApplyUndoLocked(InverseOps(updates, success));
     MarkFailedLocked(admitted, admitted);
+    if (wal_) (void)wal_->AppendRollback(admitted, admitted);
     resolved_epoch_ = admitted;
     epoch_cv_.NotifyAll();
     if (verdicts) verdicts->assign(updates.size(), UpdateVerdict::kRejected);
     return 0;
   }
+  if (retries > 0) ++repair_stats_.retry_successes;
   Swap(std::move(next));
   resolved_epoch_ = admitted;
   landed_epoch_ = admitted;
@@ -659,6 +803,21 @@ bool Engine::WaitForEpoch(uint64_t epoch) {
   MutexLock lock(update_mu_);
   while (resolved_epoch_ < epoch) epoch_cv_.Wait(lock);
   return !IsFailedLocked(epoch);
+}
+
+WaitStatus Engine::WaitForEpoch(uint64_t epoch,
+                                std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  MutexLock lock(update_mu_);
+  while (resolved_epoch_ < epoch) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return WaitStatus::kTimeout;
+    // Ceil so a sub-millisecond remainder still sleeps (a truncated 0ms
+    // wait would spin against the deadline check).
+    (void)epoch_cv_.WaitFor(
+        lock, std::chrono::ceil<std::chrono::milliseconds>(deadline - now));
+  }
+  return IsFailedLocked(epoch) ? WaitStatus::kRolledBack : WaitStatus::kLanded;
 }
 
 void Engine::Drain() {
@@ -694,6 +853,113 @@ RepairStats Engine::repair_stats() const {
 bool Engine::repair_active() const {
   MutexLock lock(update_mu_);
   return repair_active_;
+}
+
+bool Engine::wal_enabled() const {
+  MutexLock lock(update_mu_);
+  return wal_ != nullptr;
+}
+
+bool Engine::Checkpoint(const std::string& index_path, std::string* error) {
+  // Resolve every in-flight epoch first: the snapshot and the retained
+  // graph must describe the same state when they become the new baseline.
+  Drain();
+  MutexLock lock(update_mu_);
+  if (!wal_) {
+    if (error) *error = "checkpoint requires an enabled write-ahead log";
+    return false;
+  }
+  std::shared_ptr<CycleIndex> index = snapshot();
+  if (!index) {
+    if (error) *error = "no active index to checkpoint";
+    return false;
+  }
+  // Save first, truncate second: a crash between the two leaves the old
+  // log (full history since the previous checkpoint) next to the new
+  // snapshot file, and recovery replays the log — same state, nothing
+  // lost. The save itself is atomic (temp + fsync + rename).
+  if (!SaveBackendToFile(*index, index_path)) {
+    if (error) {
+      *error = "checkpoint save failed for '" + index_path + "'";
+    }
+    return false;
+  }
+  std::unique_ptr<Wal> fresh = Wal::CreateFresh(options_.wal_path, graph_,
+                                                error);
+  if (!fresh) {
+    // The atomic replace failed before the rename: the previous log
+    // generation is intact and still open — keep appending to it.
+    return false;
+  }
+  wal_ = std::move(fresh);
+  return true;
+}
+
+bool Engine::RecoverFromFile(const std::string& index_path,
+                             std::string* error) {
+  if (options_.wal_path.empty()) return LoadFromFile(index_path, error);
+  std::vector<WalRecord> records;
+  if (!Wal::ReadAll(options_.wal_path, &records, error)) return false;
+  if (records.empty() ||
+      records.front().type != WalRecordType::kCheckpoint) {
+    // No durable history (no log yet, or a log with no checkpoint record —
+    // which CreateFresh never produces, so effectively "no log"): serve
+    // the index file as-is. The WAL stays disabled until the next Build
+    // re-establishes a baseline.
+    return LoadFromFile(index_path, error);
+  }
+  const WalRecord& checkpoint = records.front();
+  DiGraph base = DiGraph::FromEdges(checkpoint.num_vertices,
+                                    checkpoint.edges);
+  // Epochs that rolled back post-append: their batch records are durable
+  // but their effects never served — replay must skip them.
+  std::vector<std::pair<uint64_t, uint64_t>> rolled_back;
+  for (const WalRecord& record : records) {
+    if (record.type == WalRecordType::kRollback) {
+      rolled_back.emplace_back(record.epoch, record.epoch_last);
+    }
+  }
+  auto was_rolled_back = [&rolled_back](uint64_t e) {
+    for (const auto& [first, last] : rolled_back) {
+      if (e >= first && e <= last) return true;
+    }
+    return false;
+  };
+  // The checkpoint graph already contains the reserve vertices the
+  // original Build added; zero the option for the base rebuild so the
+  // vertex space does not grow by another reserve, and restore it after
+  // (later explicit Builds keep their configured reserve).
+  const Vertex saved_reserve = options_.build.reserve_vertices;
+  options_.build.reserve_vertices = 0;
+  const bool built = Build(base);
+  options_.build.reserve_vertices = saved_reserve;
+  if (!built) {
+    if (error) {
+      *error = "recovery failed to rebuild the checkpoint base graph from '" +
+               options_.wal_path + "'";
+    }
+    return false;
+  }
+  // Replay each surviving batch through the ordinary update path — the
+  // recovered trajectory is the acknowledged trajectory, so the final
+  // index is bit-identical to the uncrashed engine's (and each replayed
+  // batch re-appends to the fresh log Build just opened, re-establishing
+  // the WAL as checkpoint + surviving batches).
+  for (size_t i = 1; i < records.size(); ++i) {
+    const WalRecord& record = records[i];
+    if (record.type != WalRecordType::kBatch) continue;
+    if (was_rolled_back(record.epoch)) continue;
+    uint64_t replay_epoch = 0;
+    (void)ApplyUpdates(record.updates, nullptr, &replay_epoch);
+    if (!WaitForEpoch(replay_epoch)) {
+      if (error) {
+        *error = "recovery failed replaying a logged batch (wal epoch " +
+                 std::to_string(record.epoch) + ")";
+      }
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace csc

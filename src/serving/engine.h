@@ -1,6 +1,7 @@
 #ifndef CSC_SERVING_ENGINE_H_
 #define CSC_SERVING_ENGINE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -22,6 +23,7 @@ namespace csc {
 
 struct GirthInfo;  // csc/girth.h
 class CscIndex;    // csc/csc_index.h
+class Wal;         // serving/wal.h
 
 /// Incremental label repair for the static-backend update path (the
 /// alternative to rebuild-and-swap). When enabled, Build additionally
@@ -54,19 +56,41 @@ struct RepairOptions {
 
 /// Repair-vs-rebuild decision counters (EngineOptions::repair). `patches`
 /// and `rebuilds` count landed batches by how they landed; hubs/bytes
-/// accumulate over the patched ones.
+/// accumulate over the patched ones. `retries` / `retry_successes` count
+/// the bounded-backoff re-attempts of failed rebuilds and patches
+/// (EngineOptions::retry) — nonzero retry_successes means batches that
+/// would have rolled back under max_attempts=1 landed on a later attempt.
 struct RepairStats {
   uint64_t patches = 0;
   uint64_t rebuilds = 0;
   uint64_t hubs_repaired = 0;
   uint64_t label_bytes = 0;
+  uint64_t retries = 0;
+  uint64_t retry_successes = 0;
 
   void Accumulate(const RepairStats& other) {
     patches += other.patches;
     rebuilds += other.rebuilds;
     hubs_repaired += other.hubs_repaired;
     label_bytes += other.label_bytes;
+    retries += other.retries;
+    retry_successes += other.retry_successes;
   }
+};
+
+/// Bounded exponential backoff for transient rebuild/patch failures on the
+/// static update path (sync and async): a failed attempt is retried up to
+/// `max_attempts` total tries before the per-epoch rollback protocol fires.
+/// The default (one attempt) preserves the historical fail-fast behavior.
+/// Repair-path failures only retry while the shadow index is still
+/// untouched — a half-maintained shadow cannot be re-driven, so those
+/// failures go straight to rollback + shadow restore.
+struct RetryOptions {
+  /// Total attempts per batch (1 = no retries).
+  uint32_t max_attempts = 1;
+  /// Sleep before the first retry; doubles per retry up to backoff_max_ms.
+  uint32_t backoff_initial_ms = 10;
+  uint32_t backoff_max_ms = 1000;
 };
 
 struct EngineOptions {
@@ -102,6 +126,18 @@ struct EngineOptions {
   /// see RepairOptions. Ignored by dynamic backends and by backends without
   /// patchable label storage.
   RepairOptions repair;
+  /// Bounded-backoff retry of transient rebuild/patch failures before the
+  /// rollback protocol fires; see RetryOptions.
+  RetryOptions retry;
+  /// When non-empty, Build opens a write-ahead log at this path (see
+  /// serving/wal.h): every admitted batch is appended + fsync'd before it
+  /// is acknowledged, Checkpoint() snapshots + truncates it, and
+  /// RecoverFromFile() replays it after a crash — acknowledged epochs
+  /// survive, bit-identical to an uncrashed engine. Dynamic backends retain
+  /// a mirror graph while the WAL is enabled (checkpoints need one).
+  /// LoadFrom / LoadFromFile / LoadView disable the WAL (no retained graph
+  /// to checkpoint); recovery and Build re-enable it.
+  std::string wal_path;
   /// Test-only fault injection: when set, every static rebuild consults it
   /// and fails — with the full rollback protocol — while it returns true.
   /// Lets tests exercise sync and async rollback without a corrupt backend.
@@ -132,6 +168,21 @@ enum class [[nodiscard]] UpdateVerdict : uint8_t {
   /// kRejected so callers can tell "invalid update" from "engine cannot
   /// update at all right now".
   kNoGraph,
+};
+
+/// Outcome of the deadline overloads of Engine::WaitForEpoch /
+/// ShardedEngine::WaitForEpochs. [[nodiscard]] for the same reason as
+/// UpdateVerdict: dropping it silently loses a rollback or timeout report.
+enum class [[nodiscard]] WaitStatus : uint8_t {
+  /// The epoch resolved and its batch is visible to queries.
+  kLanded = 0,
+  /// The epoch resolved by rolling back (failed rebuild): the snapshot
+  /// still answers for the pre-batch state.
+  kRolledBack,
+  /// The deadline expired first — the epoch is still in flight (e.g. the
+  /// async worker is wedged behind a slow rebuild). The batch may yet land
+  /// or roll back; wait again or consult resolved_epoch().
+  kTimeout,
 };
 
 /// The serving facade: owns one CycleIndex backend chosen by name, fans
@@ -262,6 +313,13 @@ class Engine {
   /// Drain().
   [[nodiscard]] bool WaitForEpoch(uint64_t epoch) CSC_EXCLUDES(update_mu_);
 
+  /// As WaitForEpoch, but gives up after `timeout`: kTimeout means the
+  /// epoch had not resolved when the deadline expired (the caller is no
+  /// longer blocked on a wedged worker), kLanded / kRolledBack mirror the
+  /// true / false of the untimed overload.
+  WaitStatus WaitForEpoch(uint64_t epoch, std::chrono::milliseconds timeout)
+      CSC_EXCLUDES(update_mu_);
+
   /// Blocks until every update admitted so far has resolved (landed or
   /// rolled back) — the coarse read-your-writes barrier.
   void Drain() CSC_EXCLUDES(update_mu_);
@@ -287,6 +345,41 @@ class Engine {
   /// retained). False after LoadFrom/LoadView, or once repair had to be
   /// abandoned (e.g. a shadow restore failed).
   bool repair_active() const CSC_EXCLUDES(update_mu_);
+
+  // --- Crash-safe persistence (EngineOptions::wal_path). ---
+
+  /// True while a write-ahead log is open (wal_path configured and the
+  /// last Build / RecoverFromFile established one).
+  bool wal_enabled() const CSC_EXCLUDES(update_mu_);
+
+  /// Durable snapshot + log truncation: atomically saves the active index
+  /// to `index_path` (temp + fsync + rename), then atomically replaces the
+  /// WAL with a fresh log whose checkpoint record is the current retained
+  /// graph. Replay cost after a crash is thereafter bounded by the batches
+  /// admitted since this call. Drains pending async work first (writer-side
+  /// call, single-writer contract). A crash between the save and the
+  /// truncation is safe: recovery replays the old log and reaches the same
+  /// state. False with `*error` set (when non-null) on failure; on a failed
+  /// truncation the engine keeps the previous log generation.
+  bool Checkpoint(const std::string& index_path, std::string* error = nullptr)
+      CSC_EXCLUDES(update_mu_, swap_mu_);
+
+  /// Crash recovery: reads the WAL at EngineOptions::wal_path, rebuilds the
+  /// checkpoint-record base graph, and replays every durable batch record
+  /// (skipping ones covered by a rollback record) through the ordinary
+  /// update path — the recovered index is bit-identical to an uncrashed
+  /// engine that applied the same acknowledged batches, and the WAL is
+  /// re-established (fresh checkpoint + replayed batches) in the process.
+  /// Epoch numbering restarts from the replay, so pre-crash epoch tokens
+  /// are not comparable across a recovery. When the WAL is missing or
+  /// empty, falls back to LoadFromFile(`index_path`) — a pre-WAL index file
+  /// loads, but static-backend updates stay unavailable (kNoGraph) and the
+  /// WAL stays disabled until the next Build. False with `*error` set (when
+  /// non-null) on an unreadable/foreign log, a failed base build, or a
+  /// batch that failed to replay.
+  bool RecoverFromFile(const std::string& index_path,
+                       std::string* error = nullptr)
+      CSC_EXCLUDES(update_mu_, swap_mu_);
 
   ThreadPool& pool() { return pool_; }
 
@@ -323,6 +416,21 @@ class Engine {
   std::shared_ptr<CycleIndex> RebuildStatic(
       const DiGraph& graph,
       const std::function<bool(Vertex)>& slice_keep) const;
+  /// RebuildStatic under the bounded-backoff retry policy
+  /// (EngineOptions::retry): re-attempts failed rebuilds, sleeping between
+  /// tries, and counts re-attempts into `*retries` (when non-null). Holds
+  /// no engine lock — callers aggregate the counter into repair_stats_
+  /// themselves.
+  std::shared_ptr<CycleIndex> RebuildStaticRetrying(
+      const DiGraph& graph, const std::function<bool(Vertex)>& slice_keep,
+      uint64_t* retries) const;
+  /// LandRepairLocked under the retry policy: only pre-shadow failures
+  /// retry (a touched shadow cannot be re-driven); sleeps happen under
+  /// update_mu_, bounded by max_attempts x backoff. Updates the retry
+  /// counters in repair_stats_ directly.
+  bool LandRepairRetryingLocked(const std::vector<EdgeUpdate>& ops,
+                                bool* shadow_touched)
+      CSC_REQUIRES(update_mu_);
   /// The body of one queued async rebuild: coalesces every epoch admitted
   /// so far into a single rebuild-and-swap (or a rollback on failure).
   void RebuildEpochTask() CSC_EXCLUDES(update_mu_);
@@ -400,6 +508,10 @@ class Engine {
   DirtyLabelTracker dirty_ CSC_GUARDED_BY(update_mu_);
   bool snapshot_sliced_ CSC_GUARDED_BY(update_mu_) = false;
   RepairStats repair_stats_ CSC_GUARDED_BY(update_mu_);
+  // Write-ahead log (EngineOptions::wal_path); null while disabled. All
+  // appends happen under update_mu_ — admission and the WAL record are one
+  // critical section, so records land in epoch order.
+  std::unique_ptr<Wal> wal_ CSC_GUARDED_BY(update_mu_);
   // The async rebuild thread; lazily started by the first async admission
   // so synchronous engines pay nothing. Destroyed first (tasks touch the
   // members above). The pointer itself is only installed by the writer

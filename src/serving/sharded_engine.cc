@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <utility>
 
+#include "baseline/bfs_cycle.h"
 #include "csc/girth.h"
 #include "csc/index_io.h"
+#include "util/failpoint.h"
 
 // Concurrency contract (why this file declares no mutexes of its own): all
 // locked state lives inside the per-shard Engines, each annotated for
@@ -37,6 +39,8 @@ ShardedEngine::ShardedEngine(ShardedEngineOptions options)
   for (uint32_t s = 0; s < options_.num_shards; ++s) {
     shards_.push_back(std::make_unique<Engine>(shard_options));
   }
+  shard_state_.assign(options_.num_shards, ShardState::kHealthy);
+  shard_fault_.assign(options_.num_shards, std::string());
 }
 
 EngineOptions ShardedEngine::ShardEngineOptions(uint32_t num_shards) const {
@@ -53,6 +57,7 @@ EngineOptions ShardedEngine::ShardEngineOptions(uint32_t num_shards) const {
   shard_options.build_threads = options_.build_threads;
   shard_options.async_updates = options_.async_updates;
   shard_options.repair = options_.repair;
+  shard_options.retry = options_.retry;
   return shard_options;
 }
 
@@ -124,6 +129,8 @@ bool ShardedEngine::Build(const DiGraph& graph) {
           OwnershipPredicate(s, num_shards(), num_vertices_));
     }
   }
+  shard_state_.assign(num_shards(), ShardState::kHealthy);
+  shard_fault_.assign(num_shards(), std::string());
   std::vector<char> ok(num_shards(), 0);
   ForEachShard([&](uint32_t s) { ok[s] = shards_[s]->Build(graph) ? 1 : 0; });
   return std::all_of(ok.begin(), ok.end(), [](char c) { return c != 0; });
@@ -142,25 +149,54 @@ std::function<bool(Vertex)> ShardedEngine::OwnershipPredicate(
 
 bool ShardedEngine::AdoptShards(
     size_t num_shards, Vertex num_vertices,
-    const std::function<bool(Engine&, uint32_t)>& load) {
+    const std::function<bool(Engine&, uint32_t)>& load,
+    const std::vector<std::string>* parse_faults, std::string* error) {
   // Adopt the bundle's shard count: re-create the engines to match, and
-  // only commit once every shard payload restored cleanly.
+  // only commit once every shard payload restored cleanly — or, under
+  // tolerate_faults, once every shard is either restored or quarantined.
   EngineOptions shard_options =
       ShardEngineOptions(static_cast<uint32_t>(num_shards));
   std::vector<std::unique_ptr<Engine>> next;
   next.reserve(num_shards);
+  std::vector<ShardState> next_state(num_shards, ShardState::kHealthy);
+  std::vector<std::string> next_fault(num_shards);
   for (uint32_t s = 0; s < num_shards; ++s) {
     auto engine = std::make_unique<Engine>(shard_options);
     if (options_.slice_labels) {
       engine->set_slice_keep(OwnershipPredicate(
           s, static_cast<uint32_t>(num_shards), num_vertices));
     }
-    if (!load(*engine, s) || engine->num_vertices() != num_vertices) {
-      return false;
+    std::string fault;
+    if (parse_faults && !(*parse_faults)[s].empty()) {
+      fault = (*parse_faults)[s];
+    } else if (CSC_FAILPOINT("sharded.load_shard")) {
+      fault = "injected fault (failpoint sharded.load_shard)";
+    } else if (!load(*engine, s)) {
+      fault = "payload does not restore into backend '" + options_.backend +
+              "'";
+    } else if (engine->num_vertices() != num_vertices) {
+      fault = "restored vertex domain " +
+              std::to_string(engine->num_vertices()) +
+              " does not match the bundle's " + std::to_string(num_vertices);
+    }
+    if (!fault.empty()) {
+      if (!options_.tolerate_faults) {
+        if (error && error->empty()) {
+          *error = "shard " + std::to_string(s) + ": " + fault;
+        }
+        return false;
+      }
+      // Quarantine: an empty engine holds the slot; queries route around
+      // it (DegradedAnswer) until ReloadShard restores it.
+      next_state[s] = fallback_graph_ ? ShardState::kDegraded
+                                      : ShardState::kQuarantined;
+      next_fault[s] = std::move(fault);
     }
     next.push_back(std::move(engine));
   }
   shards_ = std::move(next);
+  shard_state_ = std::move(next_state);
+  shard_fault_ = std::move(next_fault);
   // Adopting a different shard count re-sizes the router pool too, so the
   // fan-out stays one concurrent task per shard (loads require exclusive
   // access, so swapping the pool here is safe).
@@ -213,16 +249,23 @@ bool ShardedEngine::BundleCompatible(const ShardedBundleInfo& info,
 }
 
 bool ShardedEngine::LoadFrom(const std::string& bytes, std::string* error) {
-  std::optional<ShardedPayload> parsed = ParseShardedPayload(bytes, error);
+  // Under tolerate_faults the bundle parses leniently: a CRC-failed shard
+  // comes back as an empty payload with its fault recorded, and AdoptShards
+  // quarantines it instead of failing the load.
+  std::vector<std::string> shard_faults;
+  std::optional<ShardedPayload> parsed = ParseShardedPayload(
+      bytes, error, options_.tolerate_faults ? &shard_faults : nullptr);
   if (!parsed) return false;
   if (!BundleCompatible(parsed->info,
                         static_cast<uint32_t>(parsed->shards.size()), error)) {
     return false;
   }
-  bool ok = AdoptShards(parsed->shards.size(), parsed->num_vertices,
-                        [&parsed](Engine& engine, uint32_t s) {
-                          return engine.LoadFrom(parsed->shards[s]);
-                        });
+  bool ok = AdoptShards(
+      parsed->shards.size(), parsed->num_vertices,
+      [&parsed](Engine& engine, uint32_t s) {
+        return engine.LoadFrom(parsed->shards[s]);
+      },
+      options_.tolerate_faults ? &shard_faults : nullptr, error);
   if (!ok && error && error->empty()) {
     *error =
         "bundle shard does not load into backend '" + options_.backend + "'";
@@ -231,8 +274,23 @@ bool ShardedEngine::LoadFrom(const std::string& bytes, std::string* error) {
 }
 
 bool ShardedEngine::LoadFromFile(const std::string& path, std::string* error) {
-  std::shared_ptr<IndexFile> file = IndexFile::Open(path, error);
-  if (!file) return false;
+  std::string open_error;
+  std::shared_ptr<IndexFile> file = IndexFile::Open(path, &open_error);
+  if (!file && options_.tolerate_faults) {
+    // The whole-file CRC covers every shard at once, so one rotten shard
+    // fails the strict open before the per-shard checksums can pinpoint
+    // it. Re-open checking structure only; the bundle walk's per-shard
+    // CRCs still guard every byte served, and a payload that is not a
+    // bundle (no inner checksums) is never accepted unverified.
+    file = IndexFile::Open(path, nullptr, /*verify_crc=*/false);
+    if (file && !IsShardedPayload(file->payload(), file->payload_size())) {
+      file = nullptr;
+    }
+  }
+  if (!file) {
+    if (error) *error = open_error;
+    return false;
+  }
   return LoadFromMapping(file, error);
 }
 
@@ -242,8 +300,11 @@ bool ShardedEngine::LoadFromMapping(const std::shared_ptr<IndexFile>& file,
     if (error) *error = "no mapping";
     return false;
   }
+  std::vector<std::string> shard_faults;
   std::optional<ShardedPayloadView> parsed =
-      ParseShardedPayloadView(file->payload(), file->payload_size(), error);
+      ParseShardedPayloadView(file->payload(), file->payload_size(), error,
+                              options_.tolerate_faults ? &shard_faults
+                                                       : nullptr);
   if (!parsed) return false;
   if (!BundleCompatible(parsed->info,
                         static_cast<uint32_t>(parsed->shards.size()), error)) {
@@ -251,12 +312,13 @@ bool ShardedEngine::LoadFromMapping(const std::shared_ptr<IndexFile>& file,
   }
   // Every shard engine views its span of the one shared mapping; the
   // mapping stays alive until the last shard snapshot referencing it dies.
-  bool ok = AdoptShards(parsed->shards.size(), parsed->num_vertices,
-                        [&parsed, &file](Engine& engine, uint32_t s) {
-                          return engine.LoadView(parsed->shards[s].first,
-                                                 parsed->shards[s].second,
-                                                 file);
-                        });
+  bool ok = AdoptShards(
+      parsed->shards.size(), parsed->num_vertices,
+      [&parsed, &file](Engine& engine, uint32_t s) {
+        return engine.LoadView(parsed->shards[s].first,
+                               parsed->shards[s].second, file);
+      },
+      options_.tolerate_faults ? &shard_faults : nullptr, error);
   if (!ok && error && error->empty()) {
     *error = "bundle shard does not load into backend '" + options_.backend +
              "'";
@@ -279,9 +341,111 @@ bool ShardedEngine::SaveTo(std::string& bytes) const {
   return true;
 }
 
-CycleCount ShardedEngine::Query(Vertex v) {
+CycleCount ShardedEngine::Query(Vertex v) { return QueryWithStatus(v).count; }
+
+ShardedQueryResult ShardedEngine::QueryWithStatus(Vertex v) {
   if (num_vertices_ == 0 || v >= num_vertices_) return {};
-  return shards_[ShardOf(v)]->Query(v);
+  uint32_t s = ShardOf(v);
+  if (shard_state_[s] == ShardState::kHealthy) {
+    return {shards_[s]->Query(v), ShardState::kHealthy};
+  }
+  return {DegradedAnswer(v), shard_state_[s]};
+}
+
+bool ShardedEngine::AllHealthy() const {
+  return std::all_of(shard_state_.begin(), shard_state_.end(),
+                     [](ShardState s) { return s == ShardState::kHealthy; });
+}
+
+bool ShardedEngine::degraded() const { return !AllHealthy(); }
+
+CycleCount ShardedEngine::DegradedAnswer(Vertex v) const {
+  // Exact but index-free: the BFS baseline recomputes SCCnt(v) from the
+  // fallback graph on every query. Vertices past the graph (reserve ids
+  // never added) have no cycles by construction.
+  if (fallback_graph_ && v < fallback_graph_->num_vertices()) {
+    return BfsCountCycles(*fallback_graph_, v);
+  }
+  return {};
+}
+
+std::vector<CycleCount> ShardedEngine::ShardAnswers(
+    uint32_t s, const std::vector<Vertex>& vertices) {
+  if (shard_state_[s] == ShardState::kHealthy) {
+    return shards_[s]->BatchQuery(vertices);
+  }
+  std::vector<CycleCount> answers(vertices.size());
+  for (size_t k = 0; k < vertices.size(); ++k) {
+    answers[k] = DegradedAnswer(vertices[k]);
+  }
+  return answers;
+}
+
+void ShardedEngine::SetFallbackGraph(DiGraph graph) {
+  fallback_graph_ = std::make_shared<const DiGraph>(std::move(graph));
+  for (ShardState& state : shard_state_) {
+    if (state == ShardState::kQuarantined) state = ShardState::kDegraded;
+  }
+}
+
+bool ShardedEngine::ReloadShard(uint32_t s, const std::string& path,
+                                std::string* error) {
+  if (s >= num_shards()) {
+    if (error) *error = "no such shard " + std::to_string(s);
+    return false;
+  }
+  // Structure-only open + lenient bundle walk: only shard s's own CRC has
+  // to verify — the other shards (possibly still rotten on disk) are not
+  // touched.
+  std::shared_ptr<IndexFile> file =
+      IndexFile::Open(path, error, /*verify_crc=*/false);
+  if (!file) return false;
+  std::vector<std::string> shard_faults;
+  std::optional<ShardedPayloadView> parsed = ParseShardedPayloadView(
+      file->payload(), file->payload_size(), error, &shard_faults);
+  if (!parsed) return false;
+  if (parsed->shards.size() != shards_.size() ||
+      parsed->num_vertices != num_vertices_) {
+    if (error) {
+      *error = "bundle at '" + path +
+               "' does not match the running deployment (" +
+               std::to_string(parsed->shards.size()) + " shards over " +
+               std::to_string(parsed->num_vertices) + " vertices vs " +
+               std::to_string(shards_.size()) + " over " +
+               std::to_string(num_vertices_) + ")";
+    }
+    return false;
+  }
+  if (!BundleCompatible(parsed->info,
+                        static_cast<uint32_t>(parsed->shards.size()), error)) {
+    return false;
+  }
+  if (!shard_faults[s].empty()) {
+    if (error) {
+      *error = "shard " + std::to_string(s) + " is still corrupt: " +
+               shard_faults[s];
+    }
+    return false;
+  }
+  auto engine = std::make_unique<Engine>(ShardEngineOptions(num_shards()));
+  if (options_.slice_labels) {
+    engine->set_slice_keep(
+        OwnershipPredicate(s, num_shards(), num_vertices_));
+  }
+  if (!engine->LoadView(parsed->shards[s].first, parsed->shards[s].second,
+                        file) ||
+      engine->num_vertices() != num_vertices_) {
+    if (error) {
+      *error = "shard " + std::to_string(s) +
+               " payload does not restore into backend '" + options_.backend +
+               "'";
+    }
+    return false;
+  }
+  shards_[s] = std::move(engine);
+  shard_state_[s] = ShardState::kHealthy;
+  shard_fault_[s].clear();
+  return true;
 }
 
 std::vector<CycleCount> ShardedEngine::BatchQuery(
@@ -301,7 +465,7 @@ std::vector<CycleCount> ShardedEngine::BatchQuery(
     std::vector<Vertex> sub;
     sub.reserve(positions[s].size());
     for (size_t i : positions[s]) sub.push_back(vertices[i]);
-    std::vector<CycleCount> answers = shards_[s]->BatchQuery(sub);
+    std::vector<CycleCount> answers = ShardAnswers(s, sub);
     for (size_t k = 0; k < positions[s].size(); ++k) {
       results[positions[s][k]] = answers[k];
     }
@@ -312,7 +476,7 @@ std::vector<CycleCount> ShardedEngine::BatchQuery(
 std::vector<CycleCount> ShardedEngine::QueryAll() {
   std::vector<CycleCount> results(num_vertices_);
   ForEachShard([&](uint32_t s) {
-    std::vector<CycleCount> answers = shards_[s]->BatchQuery(owned_[s]);
+    std::vector<CycleCount> answers = ShardAnswers(s, owned_[s]);
     for (size_t k = 0; k < owned_[s].size(); ++k) {
       results[owned_[s][k]] = answers[k];
     }
@@ -325,7 +489,7 @@ GirthInfo ShardedEngine::Girth() {
   // merging local minima reproduces ComputeGirth over [0, n) exactly.
   std::vector<GirthInfo> local(num_shards());
   ForEachShard([&](uint32_t s) {
-    std::vector<CycleCount> answers = shards_[s]->BatchQuery(owned_[s]);
+    std::vector<CycleCount> answers = ShardAnswers(s, owned_[s]);
     GirthInfo info;
     for (size_t k = 0; k < answers.size(); ++k) {
       const CycleCount& answer = answers[k];
@@ -358,7 +522,7 @@ std::vector<ScreeningHit> ShardedEngine::Screen(Dist max_cycle_length,
   // top-k hit is necessarily in its own shard's top-k), merged and ranked.
   std::vector<std::vector<ScreeningHit>> local(num_shards());
   ForEachShard([&](uint32_t s) {
-    std::vector<CycleCount> answers = shards_[s]->BatchQuery(owned_[s]);
+    std::vector<CycleCount> answers = ShardAnswers(s, owned_[s]);
     std::vector<ScreeningHit>& hits = local[s];
     for (size_t k = 0; k < answers.size(); ++k) {
       const CycleCount& cc = answers[k];
@@ -380,6 +544,14 @@ std::vector<ScreeningHit> ShardedEngine::Screen(Dist max_cycle_length,
 size_t ShardedEngine::ApplyUpdates(const std::vector<EdgeUpdate>& updates,
                                    std::vector<uint64_t>* epochs) {
   if (shards_.empty()) return 0;
+  // Degraded deployments are read-only: a quarantined shard cannot observe
+  // the batch, and letting the healthy replicas advance without it would
+  // leave the deployment permanently inconsistent (ReloadShard restores
+  // from the bundle file, which predates any such update).
+  if (!AllHealthy()) {
+    if (epochs) epochs->assign(num_shards(), 0);
+    return 0;
+  }
   // Every shard holds the full closure, so every shard applies the full
   // ordered batch (deterministic backends keep the replicas identical).
   // The grouping by owning shard is the accounting: update i counts as
@@ -413,6 +585,27 @@ bool ShardedEngine::WaitForEpochs(const std::vector<uint64_t>& epochs) {
   return landed;
 }
 
+WaitStatus ShardedEngine::WaitForEpochs(const std::vector<uint64_t>& epochs,
+                                        std::chrono::milliseconds timeout) {
+  if (epochs.size() != shards_.size()) return WaitStatus::kRolledBack;
+  // One shared deadline: each sequential wait gets whatever time is left,
+  // so the caller's bound holds regardless of how many shards are slow.
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  WaitStatus worst = WaitStatus::kLanded;
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    const auto now = std::chrono::steady_clock::now();
+    const auto remaining =
+        now < deadline
+            ? std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                    now)
+            : std::chrono::milliseconds(0);
+    WaitStatus status = shards_[s]->WaitForEpoch(epochs[s], remaining);
+    if (status == WaitStatus::kTimeout) return WaitStatus::kTimeout;
+    if (status == WaitStatus::kRolledBack) worst = WaitStatus::kRolledBack;
+  }
+  return worst;
+}
+
 void ShardedEngine::Drain() {
   for (const auto& shard : shards_) shard->Drain();
 }
@@ -429,6 +622,8 @@ std::vector<ShardInfo> ShardedEngine::Stats() const {
   for (uint32_t s = 0; s < num_shards(); ++s) {
     stats[s].shard = s;
     stats[s].backend = shards_[s]->Stats();
+    stats[s].state = shard_state_[s];
+    stats[s].fault = shard_fault_[s];
   }
   return stats;
 }

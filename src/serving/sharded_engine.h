@@ -1,6 +1,8 @@
 #ifndef CSC_SERVING_SHARDED_ENGINE_H_
 #define CSC_SERVING_SHARDED_ENGINE_H_
 
+#include <chrono>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -73,6 +75,42 @@ struct ShardedEngineOptions {
   /// shadow memory for patch-speed updates; see the README's serving
   /// section.
   RepairOptions repair;
+  /// Forwarded to every shard Engine (EngineOptions::retry): transient
+  /// rebuild / patch failures retry with bounded exponential backoff
+  /// before the batch rolls back. Counters surface through
+  /// RepairStatsTotal().
+  RetryOptions retry;
+  /// Tolerate per-shard faults at load (LoadFrom / LoadFromFile /
+  /// LoadFromMapping): a shard whose payload fails its CRC or does not
+  /// restore is *quarantined* — the load succeeds, the healthy shards
+  /// serve normally, and the quarantined shard serves degraded (see
+  /// ShardState; SetFallbackGraph upgrades quarantined shards to correct
+  /// BFS answers). Default false: any bad shard fails the whole load, as
+  /// before. Degraded deployments are read-only — ApplyUpdates rejects
+  /// batches until every shard is healthy again (ReloadShard).
+  bool tolerate_faults = false;
+};
+
+/// Health of one shard of the serving tier.
+enum class ShardState : uint8_t {
+  /// Serving exact answers from its index.
+  kHealthy = 0,
+  /// Quarantined (index unavailable) but serving exact answers through the
+  /// BFS baseline over the fallback graph (SetFallbackGraph) — correct,
+  /// just slow.
+  kDegraded,
+  /// Quarantined with no fallback graph: owned vertices answer empty
+  /// (count 0) and QueryWithStatus reports the state so callers can tell
+  /// "no cycle" from "shard down".
+  kQuarantined,
+};
+
+/// A routed query answer plus how it was served (QueryWithStatus): callers
+/// that must distinguish an exact "no cycle" from a quarantined shard's
+/// placeholder check `served_by`.
+struct ShardedQueryResult {
+  CycleCount count;
+  ShardState served_by = ShardState::kHealthy;
 };
 
 /// Per-shard slice of ShardedEngine::Stats().
@@ -85,6 +123,9 @@ struct ShardInfo {
   /// Edges owned here (source owned) whose target lives on another shard.
   uint64_t cross_shard_edges = 0;
   BackendStats backend;
+  ShardState state = ShardState::kHealthy;
+  /// Why the shard was quarantined (empty when healthy).
+  std::string fault;
 };
 
 /// The sharded serving tier: the vertex space is partitioned across K
@@ -172,8 +213,13 @@ class ShardedEngine {
   /// individually checksummed). False if the backend cannot save.
   bool SaveTo(std::string& bytes) const;
 
-  /// SCCnt(v), routed to the owning shard.
+  /// SCCnt(v), routed to the owning shard. A degraded owner answers via
+  /// the BFS fallback; a quarantined owner answers empty — use
+  /// QueryWithStatus to tell the difference.
   CycleCount Query(Vertex v);
+
+  /// As Query, also reporting the serving state of the owning shard.
+  ShardedQueryResult QueryWithStatus(Vertex v);
 
   /// Batched SCCnt, positionally aligned with `vertices`; the batch is
   /// split by owner and the per-shard sub-batches run concurrently.
@@ -206,6 +252,15 @@ class ShardedEngine {
   /// vector does not match the shard count.
   [[nodiscard]] bool WaitForEpochs(const std::vector<uint64_t>& epochs);
 
+  /// Deadline form: one shared deadline across all K waits (not per-shard
+  /// — the slow path is one stuck shard, and K stacked timeouts would wait
+  /// K times longer than asked). kTimeout as soon as the deadline passes
+  /// with any shard unresolved; otherwise kRolledBack if any shard rolled
+  /// its batch back (also returned for a size-mismatched vector), else
+  /// kLanded.
+  [[nodiscard]] WaitStatus WaitForEpochs(const std::vector<uint64_t>& epochs,
+                                         std::chrono::milliseconds timeout);
+
   /// Blocks until every update admitted so far has resolved on every shard
   /// — the coarse read-your-writes barrier of the async mode.
   void Drain();
@@ -227,6 +282,30 @@ class ShardedEngine {
   Engine& shard(uint32_t s) { return *shards_[s]; }
   const Engine& shard(uint32_t s) const { return *shards_[s]; }
 
+  // --- Degraded-mode serving (see ShardedEngineOptions::tolerate_faults).
+
+  /// Health of shard `s` (undefined for s >= num_shards()).
+  ShardState shard_state(uint32_t s) const { return shard_state_[s]; }
+  /// Why shard `s` was quarantined; empty when healthy.
+  const std::string& shard_fault(uint32_t s) const { return shard_fault_[s]; }
+  /// True when any shard is not serving from its index.
+  bool degraded() const;
+
+  /// Installs the graph quarantined shards fall back to: their owned
+  /// vertices switch from empty placeholder answers (kQuarantined) to
+  /// exact BFS answers (kDegraded). The graph must be the one the bundle
+  /// was built from for the answers to match the lost index.
+  void SetFallbackGraph(DiGraph graph);
+
+  /// Re-restores shard `s` (typically quarantined) from the bundle at
+  /// `path` — the online repair path after the file is fixed or replaced.
+  /// Only shard `s`'s payload must verify; the bundle must carry the same
+  /// shard count and vertex domain as the running deployment. On success
+  /// the shard is swapped in and marked healthy. Same exclusive-access
+  /// contract as LoadFrom: quiesce readers first.
+  bool ReloadShard(uint32_t s, const std::string& path,
+                   std::string* error = nullptr);
+
  private:
   /// Runs body(s) for every shard on the router pool and waits.
   void ForEachShard(const std::function<void(uint32_t)>& body);
@@ -245,9 +324,22 @@ class ShardedEngine {
   std::function<bool(Vertex)> OwnershipPredicate(uint32_t s, uint32_t shards,
                                                  Vertex n) const;
   /// Restores all shards through `load`, recreating engines to match
-  /// `num_shards` (the shared tail of LoadFrom / LoadFromFile).
+  /// `num_shards` (the shared tail of LoadFrom / LoadFromFile). A shard
+  /// whose payload already failed verification (`parse_faults[s]`
+  /// non-empty) or whose `load` fails is quarantined when
+  /// `tolerate_faults` is set; otherwise it fails the whole adoption with
+  /// `*error` naming the shard.
   bool AdoptShards(size_t num_shards, Vertex num_vertices,
-                   const std::function<bool(Engine&, uint32_t)>& load);
+                   const std::function<bool(Engine&, uint32_t)>& load,
+                   const std::vector<std::string>* parse_faults,
+                   std::string* error);
+  /// Exact BFS answer (or empty placeholder) for a vertex owned by a
+  /// non-healthy shard.
+  CycleCount DegradedAnswer(Vertex v) const;
+  /// BatchQuery routed through shard `s`'s serving state.
+  std::vector<CycleCount> ShardAnswers(uint32_t s,
+                                       const std::vector<Vertex>& vertices);
+  bool AllHealthy() const;
 
   ShardedEngineOptions options_;
   // Router pool: one task per shard fan-out. Behind a pointer so LoadFrom
@@ -257,6 +349,12 @@ class ShardedEngine {
   Vertex num_vertices_ = 0;
   std::vector<std::vector<Vertex>> owned_;  // owned_[s]: sorted owned ids
   std::vector<ShardInfo> shard_info_;
+  // Degraded-mode state, always sized to shards_ (all-healthy outside
+  // tolerant loads). Written only by the exclusive-access entry points
+  // (Build / LoadFrom / ReloadShard / SetFallbackGraph).
+  std::vector<ShardState> shard_state_;
+  std::vector<std::string> shard_fault_;
+  std::shared_ptr<const DiGraph> fallback_graph_;
 };
 
 }  // namespace csc

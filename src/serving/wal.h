@@ -1,0 +1,119 @@
+#ifndef CSC_SERVING_WAL_H_
+#define CSC_SERVING_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dynamic/edge_update.h"
+#include "graph/digraph.h"
+
+namespace csc {
+
+/// The engine's write-ahead log: admitted update batches are appended and
+/// fsync'd as checksummed records *before* the engine acknowledges them, so
+/// a crash between acknowledgment and the snapshot swap loses nothing —
+/// Engine::RecoverFromFile replays the log and converges to the exact state
+/// an uncrashed engine would serve.
+///
+/// File layout:
+///
+///   bytes 0..7   magic "CSCWAL01"
+///   records      u32 size | u32 CRC-32C of body | body (size bytes)
+///
+/// Record bodies (all integers little-endian):
+///
+///   checkpoint   u8 kCheckpoint | u32 num_vertices | u64 num_edges |
+///                num_edges x (u32 from, u32 to)
+///                — the full retained graph at checkpoint time; always the
+///                first record (written by Engine::Build / Checkpoint)
+///   batch        u8 kBatch | u64 epoch | u32 count |
+///                count x (u8 kind, u32 from, u32 to)
+///                — one admitted batch's net-effective ops, admission order
+///   rollback     u8 kRollback | u64 first | u64 last
+///                — epochs [first, last] were rolled back after their batch
+///                records were written (a rebuild failed); replay skips them
+///
+/// Recovery reads records in order and stops at the first invalid one
+/// (short header, short body, or CRC mismatch): a crash mid-append leaves a
+/// torn tail, and everything before it is exactly the acknowledged history.
+/// A batch whose record is torn was never acknowledged — clients saw no
+/// return — so dropping it is correct; a batch whose record is durable but
+/// whose rollback record was lost replays and may now land (at-least-once
+/// on the batch in flight, never a lost acknowledged one).
+///
+/// Fault surfaces (util/failpoint.h): wal.open, wal.append (supports
+/// short-write and abort — the torn-tail and crash cases), wal.fsync,
+/// wal.checkpoint.
+
+enum class WalRecordType : uint8_t {
+  kCheckpoint = 1,
+  kBatch = 2,
+  kRollback = 3,
+};
+
+/// One decoded record. Fields beyond `type` are meaningful per type (see
+/// the layout above).
+struct WalRecord {
+  WalRecordType type = WalRecordType::kBatch;
+  /// kBatch: the admitted epoch. kRollback: first rolled-back epoch.
+  uint64_t epoch = 0;
+  /// kRollback: last rolled-back epoch (inclusive).
+  uint64_t epoch_last = 0;
+  /// kBatch: the admitted ops.
+  std::vector<EdgeUpdate> updates;
+  /// kCheckpoint: the base graph.
+  Vertex num_vertices = 0;
+  std::vector<Edge> edges;
+};
+
+/// Append handle over one WAL file. Not internally synchronized — the
+/// engine serializes all access under its update lock.
+class Wal {
+ public:
+  /// Atomically replaces `path` with a fresh log holding one checkpoint
+  /// record for `graph` and opens it for appending. This is the checkpoint
+  /// truncation: every batch record of the previous log generation is
+  /// discarded in one atomic rename (the old log stays intact on failure).
+  /// nullptr with `*error` set (when non-null) on failure.
+  static std::unique_ptr<Wal> CreateFresh(const std::string& path,
+                                          const DiGraph& graph,
+                                          std::string* error = nullptr);
+
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Appends one batch record and fsyncs. The record is durable when this
+  /// returns true — only then may the engine acknowledge the epoch.
+  bool AppendBatch(uint64_t epoch, const std::vector<EdgeUpdate>& updates,
+                   std::string* error = nullptr);
+
+  /// Appends a rollback record covering epochs [first, last] and fsyncs.
+  bool AppendRollback(uint64_t first, uint64_t last,
+                      std::string* error = nullptr);
+
+  /// Reads every valid record of the log at `path`, stopping cleanly at the
+  /// first torn/corrupt one (see the recovery contract above). A missing
+  /// file yields an empty record list and true. False with `*error` set
+  /// (when non-null) only on a foreign file (bad magic) or a read error —
+  /// cases where silently treating the log as empty could clobber data that
+  /// was never ours.
+  static bool ReadAll(const std::string& path, std::vector<WalRecord>* records,
+                      std::string* error = nullptr);
+
+ private:
+  Wal(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+  bool AppendRecord(const std::string& body, std::string* error);
+
+  std::string path_;
+  int fd_ = -1;
+};
+
+}  // namespace csc
+
+#endif  // CSC_SERVING_WAL_H_

@@ -13,6 +13,21 @@ std::optional<std::string> ReadFileToString(const std::string& path);
 /// I/O failure.
 bool WriteStringToFile(const std::string& path, const std::string& contents);
 
+/// Crash-safe replacement for WriteStringToFile: writes to a temp file in
+/// the same directory, fsyncs it, renames it over `path`, and fsyncs the
+/// directory. After a crash at any point, `path` holds either the old
+/// contents in full or the new contents in full — never a torn mix. On
+/// failure returns false, sets `*error` (when non-null) to a message naming
+/// the failing path and step, and leaves `path` untouched (the temp file is
+/// unlinked). Fault surfaces: failpoints atomic_write.open / .write /
+/// .fsync / .rename.
+bool WriteFileAtomic(const std::string& path, const std::string& contents,
+                     std::string* error = nullptr);
+
+/// Flushes a file's data and metadata to stable storage by path. Used after
+/// appending to an already-open-by-path file; returns false on failure.
+bool SyncFile(const std::string& path, std::string* error = nullptr);
+
 /// "1.23 KB" / "4.56 MB" style rendering used by bench reporters.
 std::string HumanBytes(uint64_t bytes);
 

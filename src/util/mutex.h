@@ -1,6 +1,7 @@
 #ifndef CSC_UTIL_MUTEX_H_
 #define CSC_UTIL_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -122,6 +123,15 @@ class CondVar {
   /// return. As with std::condition_variable, spurious wakeups happen —
   /// always wait in a condition loop.
   void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  /// Like Wait, but gives up after `timeout`. Returns false on timeout, true
+  /// on notification or spurious wakeup — either way the mutex is re-held,
+  /// and the caller's condition loop must re-check its predicate (a timed
+  /// wait can return true without the condition holding, and false even
+  /// though the condition became true just before the deadline).
+  bool WaitFor(MutexLock& lock, std::chrono::milliseconds timeout) {
+    return cv_.wait_for(lock.lock_, timeout) == std::cv_status::no_timeout;
+  }
 
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }

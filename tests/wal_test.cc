@@ -1,0 +1,173 @@
+#include "serving/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/env.h"
+#include "util/failpoint.h"
+#include "tests/test_util.h"
+
+namespace csc {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::vector<EdgeUpdate> SomeBatch() {
+  return {EdgeUpdate::Insert(1, 2), EdgeUpdate::Remove(3, 4),
+          EdgeUpdate::Insert(5, 6)};
+}
+
+class WalTest : public testing::Test {
+ protected:
+  void TearDown() override {
+    Failpoints::Instance().ClearAll();
+    std::remove(path_.c_str());
+  }
+  std::string path_ = TempPath("wal_test.wal");
+};
+
+TEST_F(WalTest, CreateFreshThenReadAllYieldsCheckpoint) {
+  DiGraph graph = Figure2Graph();
+  auto wal = Wal::CreateFresh(path_, graph);
+  ASSERT_NE(wal, nullptr);
+  std::vector<WalRecord> records;
+  ASSERT_TRUE(Wal::ReadAll(path_, &records));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].type, WalRecordType::kCheckpoint);
+  EXPECT_EQ(records[0].num_vertices, graph.num_vertices());
+  EXPECT_EQ(records[0].edges.size(), graph.num_edges());
+  // The checkpoint graph reconstructs the original exactly.
+  DiGraph back = DiGraph::FromEdges(records[0].num_vertices, records[0].edges);
+  EXPECT_EQ(back.num_edges(), graph.num_edges());
+}
+
+TEST_F(WalTest, BatchAndRollbackRoundTrip) {
+  auto wal = Wal::CreateFresh(path_, Figure2Graph());
+  ASSERT_NE(wal, nullptr);
+  std::string error;
+  ASSERT_TRUE(wal->AppendBatch(1, SomeBatch(), &error)) << error;
+  ASSERT_TRUE(wal->AppendBatch(2, {EdgeUpdate::Insert(7, 8)}, &error));
+  ASSERT_TRUE(wal->AppendRollback(2, 2, &error)) << error;
+  std::vector<WalRecord> records;
+  ASSERT_TRUE(Wal::ReadAll(path_, &records, &error)) << error;
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[1].type, WalRecordType::kBatch);
+  EXPECT_EQ(records[1].epoch, 1u);
+  ASSERT_EQ(records[1].updates.size(), 3u);
+  EXPECT_EQ(records[1].updates[0].edge.from, 1u);
+  EXPECT_EQ(records[1].updates[1].kind, UpdateKind::kRemove);
+  EXPECT_EQ(records[3].type, WalRecordType::kRollback);
+  EXPECT_EQ(records[3].epoch, 2u);
+  EXPECT_EQ(records[3].epoch_last, 2u);
+}
+
+TEST_F(WalTest, CreateFreshTruncatesPriorLog) {
+  auto wal = Wal::CreateFresh(path_, Figure2Graph());
+  ASSERT_NE(wal, nullptr);
+  ASSERT_TRUE(wal->AppendBatch(1, SomeBatch(), nullptr));
+  wal.reset();
+  auto fresh = Wal::CreateFresh(path_, Figure2Graph());
+  ASSERT_NE(fresh, nullptr);
+  std::vector<WalRecord> records;
+  ASSERT_TRUE(Wal::ReadAll(path_, &records));
+  ASSERT_EQ(records.size(), 1u);  // the old batch is gone
+  EXPECT_EQ(records[0].type, WalRecordType::kCheckpoint);
+}
+
+TEST_F(WalTest, MissingFileReadsEmpty) {
+  std::vector<WalRecord> records;
+  std::string error;
+  EXPECT_TRUE(Wal::ReadAll(TempPath("wal_never_written.wal"), &records,
+                           &error));
+  EXPECT_TRUE(records.empty());
+}
+
+TEST_F(WalTest, BadMagicFails) {
+  ASSERT_TRUE(WriteStringToFile(path_, "NOTAWAL0 trailing bytes"));
+  std::vector<WalRecord> records;
+  std::string error;
+  EXPECT_FALSE(Wal::ReadAll(path_, &records, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(WalTest, TornTailIsTolerated) {
+  auto wal = Wal::CreateFresh(path_, Figure2Graph());
+  ASSERT_NE(wal, nullptr);
+  ASSERT_TRUE(wal->AppendBatch(1, SomeBatch(), nullptr));
+  ASSERT_TRUE(wal->AppendBatch(2, SomeBatch(), nullptr));
+  wal.reset();
+  // Chop bytes off the tail: the torn final record must be dropped and
+  // everything before it must survive — exactly the crash-mid-append shape.
+  std::string bytes = ReadFileToString(path_).value();
+  for (size_t cut = 1; cut <= 9; cut += 4) {
+    ASSERT_TRUE(WriteStringToFile(path_, bytes.substr(0, bytes.size() - cut)));
+    std::vector<WalRecord> records;
+    std::string error;
+    ASSERT_TRUE(Wal::ReadAll(path_, &records, &error)) << error;
+    ASSERT_EQ(records.size(), 2u) << "cut=" << cut;
+    EXPECT_EQ(records[1].epoch, 1u);
+  }
+}
+
+TEST_F(WalTest, CorruptTailRecordIsDropped) {
+  auto wal = Wal::CreateFresh(path_, Figure2Graph());
+  ASSERT_NE(wal, nullptr);
+  ASSERT_TRUE(wal->AppendBatch(1, SomeBatch(), nullptr));
+  wal.reset();
+  // Flip a byte inside the final record's body: its CRC fails, reading
+  // stops there, and the checkpoint before it still parses.
+  std::string bytes = ReadFileToString(path_).value();
+  bytes[bytes.size() - 2] ^= 0x40;
+  ASSERT_TRUE(WriteStringToFile(path_, bytes));
+  std::vector<WalRecord> records;
+  ASSERT_TRUE(Wal::ReadAll(path_, &records));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].type, WalRecordType::kCheckpoint);
+}
+
+TEST_F(WalTest, ShortWriteFailpointFailsAppend) {
+  auto wal = Wal::CreateFresh(path_, Figure2Graph());
+  ASSERT_NE(wal, nullptr);
+  FailpointAction action;
+  action.mode = FailpointMode::kShortWrite;
+  action.keep_bytes = 4;
+  Failpoints::Instance().Set("wal.append", action);
+  std::string error;
+  EXPECT_FALSE(wal->AppendBatch(1, SomeBatch(), &error));
+  EXPECT_FALSE(error.empty());
+  // The torn append is invisible to recovery: the tail fails its CRC.
+  std::vector<WalRecord> records;
+  ASSERT_TRUE(Wal::ReadAll(path_, &records));
+  ASSERT_EQ(records.size(), 1u);
+}
+
+TEST_F(WalTest, FsyncFailpointFailsAppend) {
+  auto wal = Wal::CreateFresh(path_, Figure2Graph());
+  ASSERT_NE(wal, nullptr);
+  FailpointAction action;
+  action.mode = FailpointMode::kError;
+  Failpoints::Instance().Set("wal.fsync", action);
+  EXPECT_FALSE(wal->AppendBatch(1, SomeBatch(), nullptr));
+}
+
+TEST_F(WalTest, CheckpointAndOpenFailpointsFailCreateFresh) {
+  for (const char* site : {"wal.checkpoint", "wal.open"}) {
+    FailpointAction action;
+    action.mode = FailpointMode::kError;
+    Failpoints::Instance().Set(site, action);
+    std::string error;
+    EXPECT_EQ(Wal::CreateFresh(path_, Figure2Graph(), &error), nullptr)
+        << site;
+    EXPECT_FALSE(error.empty()) << site;
+    Failpoints::Instance().ClearAll();
+  }
+}
+
+}  // namespace
+}  // namespace csc

@@ -27,6 +27,12 @@ Enforces cross-file conventions the compiler cannot see:
                           src/ (outside the macro's own definition): the
                           analysis stays load-bearing instead of opted out
                           of one function at a time.
+  6. failpoint-coverage   Every failpoint site registered in src/ via
+                          CSC_FAILPOINT("name") / CSC_FAILPOINT_SHORT_WRITE(
+                          "name", ...) is exercised somewhere under tests/
+                          (named in a test source). An unexercised failpoint
+                          is dead fault-injection surface nobody has proven
+                          recoverable.
 
 Run:  python3 tools/lint_invariants.py [--repo PATH]
 Exit: 0 clean, 1 violations (listed on stderr), 2 internal error.
@@ -148,6 +154,35 @@ def check_guarded_mutexes(repo: pathlib.Path, errors: list):
                     f"lint:allow-unguarded-mutex(reason)")
 
 
+# CSC_FAILPOINT("name") / CSC_FAILPOINT_SHORT_WRITE("name", out).
+FAILPOINT_SITE_RE = re.compile(
+    r'CSC_FAILPOINT(?:_SHORT_WRITE)?\(\s*"([^"]+)"')
+
+
+def check_failpoint_coverage(repo: pathlib.Path, errors: list):
+    sites = {}  # name -> first registration location
+    for path in iter_source(repo, "src"):
+        if path.name in ("failpoint.h", "failpoint.cc"):
+            continue  # the registry's own definition/self-tests
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            for name in FAILPOINT_SITE_RE.findall(strip_line_comment(line)):
+                sites.setdefault(name, f"{path}:{lineno}")
+
+    covered = set()
+    for path in iter_source(repo, "tests"):
+        text = path.read_text()
+        for name in sites:
+            if f'"{name}"' in text:
+                covered.add(name)
+
+    for name, where in sorted(sites.items()):
+        if name not in covered:
+            errors.append(
+                f"{where}: failpoint \"{name}\" is never exercised by any "
+                f"test under tests/ — arm it in a fault test (or the "
+                f"crash-torture matrix) so its failure path stays proven")
+
+
 ESCAPE_HATCH_BUDGET = 3
 
 
@@ -182,6 +217,7 @@ def main() -> int:
     check_raw_primitives(repo, errors)
     check_guarded_mutexes(repo, errors)
     check_escape_hatch_budget(repo, errors)
+    check_failpoint_coverage(repo, errors)
 
     if errors:
         print(f"lint_invariants: {len(errors)} violation(s)", file=sys.stderr)
