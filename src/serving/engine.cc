@@ -140,6 +140,10 @@ std::shared_ptr<CycleIndex> Engine::snapshot() const {
 }
 
 bool Engine::Build(const DiGraph& graph) {
+  return BuildImpl(graph, /*staged_wal=*/false);
+}
+
+bool Engine::BuildImpl(const DiGraph& graph, bool staged_wal) {
   // A queued async rebuild captures the pre-Build graph; let it resolve
   // before the graph and snapshot are replaced under it.
   Drain();
@@ -195,13 +199,18 @@ bool Engine::Build(const DiGraph& graph) {
   // index is the new baseline, so the log is atomically replaced with one
   // checkpoint record of the (reserve-extended) build graph. Created before
   // any engine state mutates — a failed WAL means a failed Build with the
-  // previous snapshot (and previous log, if any) untouched.
+  // previous snapshot (and previous log, if any) untouched. During recovery
+  // the generation is only *staged* (appends go to a side file): the
+  // crash-time log must survive until every durable batch has been replayed
+  // and the new generation is finalized, or a crash mid-replay would lose
+  // the acknowledged batches that existed only in the old log.
   std::unique_ptr<Wal> fresh_wal;
   const bool want_wal = !options_.wal_path.empty();
   if (want_wal) {
     DiGraph retained = graph;
     retained.AddVertices(options_.build.reserve_vertices);
-    fresh_wal = Wal::CreateFresh(options_.wal_path, retained);
+    fresh_wal = staged_wal ? Wal::CreateStaged(options_.wal_path, retained)
+                           : Wal::CreateFresh(options_.wal_path, retained);
     if (!fresh_wal) return false;
   }
   {
@@ -558,6 +567,15 @@ void Engine::RebuildEpochTask() {
     // backlog).
     if (resolved_epoch_ >= submitted_epoch_) return;
     target = submitted_epoch_;
+    if (unlanded_.empty()) {
+      // Every outstanding epoch failed at admission (a WAL append that
+      // could not become durable): each one's graph mutations were already
+      // undone and the epoch marked failed — there is nothing to land,
+      // just resolve the range so waiters wake with the rollback report.
+      resolved_epoch_ = target;
+      epoch_cv_.NotifyAll();
+      return;
+    }
     if (repair_active_) {
       // Repair path: coalesce every unlanded batch's forward ops into one
       // shadow maintenance pass and land it as a patch (or a derived
@@ -570,9 +588,11 @@ void Engine::RebuildEpochTask() {
       }
       bool shadow_touched = false;
       if (LandRepairRetryingLocked(ops, &shadow_touched)) {
+        // Epochs in (back().epoch, target] are append-failed ones that
+        // never entered the backlog — resolved here, but never landed.
+        landed_epoch_ = unlanded_.back().epoch;
         unlanded_.clear();  // the pass covered every unlanded batch
         resolved_epoch_ = target;
-        landed_epoch_ = target;
       } else {
         for (auto it = unlanded_.rbegin(); it != unlanded_.rend(); ++it) {
           ApplyUndoLocked(it->undo);
@@ -604,11 +624,14 @@ void Engine::RebuildEpochTask() {
   if (next) {
     if (retries > 0) ++repair_stats_.retry_successes;
     Swap(std::move(next));
+    // landed_epoch_ tracks the newest batch the swap actually covered —
+    // epochs <= target absent from the backlog failed at admission and
+    // resolve without ever landing.
     while (!unlanded_.empty() && unlanded_.front().epoch <= target) {
+      landed_epoch_ = unlanded_.front().epoch;
       unlanded_.pop_front();
     }
     resolved_epoch_ = target;
-    landed_epoch_ = target;
   } else {
     // Rollback: the failed rebuild covered the state up to `target`, and
     // any batch admitted after the graph copy was validated on top of that
@@ -740,8 +763,20 @@ size_t Engine::ApplyUpdates(const std::vector<EdgeUpdate>& updates,
   if (wal_ && !wal_->AppendBatch(admitted, SuccessfulOps(updates, success))) {
     ApplyUndoLocked(InverseOps(updates, success));
     MarkFailedLocked(admitted, admitted);
-    resolved_epoch_ = admitted;
-    epoch_cv_.NotifyAll();
+    if (resolved_epoch_ + 1 == admitted) {
+      // No earlier epoch in flight: this one resolves on the spot.
+      resolved_epoch_ = admitted;
+      epoch_cv_.NotifyAll();
+    } else {
+      // Earlier admitted epochs are still unresolved (async mode). Jumping
+      // resolved_epoch_ straight to `admitted` would make their queued
+      // rebuild task no-op, stranding their batches in unlanded_ while
+      // WaitForEpoch reports them landed. Resolve through the worker
+      // instead — a fresh task is queued because an in-flight one may have
+      // read submitted_epoch_ before this admission and would stop short.
+      if (!rebuild_worker_) rebuild_worker_ = std::make_unique<SerialWorker>();
+      rebuild_worker_->Submit([this] { RebuildEpochTask(); });
+    }
     if (epoch) *epoch = admitted;
     if (verdicts) verdicts->assign(updates.size(), UpdateVerdict::kRejected);
     return 0;
@@ -887,8 +922,9 @@ bool Engine::Checkpoint(const std::string& index_path, std::string* error) {
   std::unique_ptr<Wal> fresh = Wal::CreateFresh(options_.wal_path, graph_,
                                                 error);
   if (!fresh) {
-    // The atomic replace failed before the rename: the previous log
-    // generation is intact and still open — keep appending to it.
+    // CreateFresh renames last, so any failure — open, write, fsync, or
+    // the rename itself — leaves the previous log generation intact on
+    // disk with the current handle still appending to it.
     return false;
   }
   wal_ = std::move(fresh);
@@ -929,9 +965,15 @@ bool Engine::RecoverFromFile(const std::string& index_path,
   // original Build added; zero the option for the base rebuild so the
   // vertex space does not grow by another reserve, and restore it after
   // (later explicit Builds keep their configured reserve).
+  //
+  // The build opens the new log generation *staged* (appends go to a side
+  // file; the crash-time log at wal_path is untouched): a crash anywhere
+  // during the replay below just re-runs this recovery against the
+  // complete pre-crash log instead of finding a checkpoint-only log whose
+  // acknowledged batches are gone.
   const Vertex saved_reserve = options_.build.reserve_vertices;
   options_.build.reserve_vertices = 0;
-  const bool built = Build(base);
+  const bool built = BuildImpl(base, /*staged_wal=*/true);
   options_.build.reserve_vertices = saved_reserve;
   if (!built) {
     if (error) {
@@ -943,7 +985,7 @@ bool Engine::RecoverFromFile(const std::string& index_path,
   // Replay each surviving batch through the ordinary update path — the
   // recovered trajectory is the acknowledged trajectory, so the final
   // index is bit-identical to the uncrashed engine's (and each replayed
-  // batch re-appends to the fresh log Build just opened, re-establishing
+  // batch re-appends to the staged log Build just opened, re-establishing
   // the WAL as checkpoint + surviving batches).
   for (size_t i = 1; i < records.size(); ++i) {
     const WalRecord& record = records[i];
@@ -956,8 +998,20 @@ bool Engine::RecoverFromFile(const std::string& index_path,
         *error = "recovery failed replaying a logged batch (wal epoch " +
                  std::to_string(record.epoch) + ")";
       }
+      // The staged generation is abandoned (its side file dies with the
+      // handle); disable the WAL rather than keep acknowledging against a
+      // log that will never be published.
+      MutexLock lock(update_mu_);
+      wal_.reset();
       return false;
     }
+  }
+  // Publish the replayed generation: only now may the crash-time log be
+  // replaced — the recovered state is fully durable in the staged file.
+  MutexLock lock(update_mu_);
+  if (wal_ && !wal_->Finalize(error)) {
+    wal_.reset();
+    return false;
   }
   return true;
 }

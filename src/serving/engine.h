@@ -406,6 +406,13 @@ class Engine {
   };
 
   std::shared_ptr<CycleIndex> MakeFresh() const;
+  /// Build's body. `staged_wal` makes the fresh log generation a *staged*
+  /// one (Wal::CreateStaged): the on-disk log at wal_path is not replaced
+  /// until someone finalizes the handle. Recovery builds this way so a
+  /// crash during replay still finds the complete pre-crash log; ordinary
+  /// Build passes false and the new generation publishes immediately.
+  bool BuildImpl(const DiGraph& graph, bool staged_wal)
+      CSC_EXCLUDES(update_mu_, swap_mu_);
   void Swap(std::shared_ptr<CycleIndex> next) CSC_EXCLUDES(swap_mu_);
   void AdoptLoaded(std::shared_ptr<CycleIndex> next)
       CSC_EXCLUDES(update_mu_, swap_mu_);

@@ -91,6 +91,10 @@ bool DecodeBody(const uint8_t* p, size_t size, WalRecord* out) {
       if (size < 1 + 4 + 8) return false;
       out->num_vertices = ReadU32(p + 1);
       uint64_t m = ReadU64(p + 5);
+      // Bound the count by the bytes actually present before multiplying:
+      // a corrupt (or crafted) m near 2^61 would wrap m * 8 right past the
+      // exact-size check and then blow up reserve / walk out of bounds.
+      if (m > (size - 13) / 8) return false;
       if (size != 1 + 4 + 8 + m * 8) return false;
       out->edges.reserve(m);
       const uint8_t* q = p + 13;
@@ -103,6 +107,9 @@ bool DecodeBody(const uint8_t* p, size_t size, WalRecord* out) {
       if (size < 1 + 8 + 4) return false;
       out->epoch = ReadU64(p + 1);
       uint32_t count = ReadU32(p + 9);
+      // Same overflow guard as the checkpoint arm (count * 9 can wrap a
+      // 32-bit size_t).
+      if (count > (size - 13) / 9) return false;
       if (size != 1 + 8 + 4 + static_cast<size_t>(count) * 9) return false;
       out->updates.reserve(count);
       const uint8_t* q = p + 13;
@@ -150,44 +157,127 @@ bool WalWriteAll(int fd, const char* data, size_t size, std::string* error) {
   return true;
 }
 
+bool WalSyncFd(int fd, const std::string& path, std::string* error) {
+  if (CSC_FAILPOINT("wal.fsync")) {
+    if (error != nullptr) *error = "wal fsync failed: injected fault";
+    return false;
+  }
+  if (::fsync(fd) != 0) {
+    if (error != nullptr) {
+      *error = "wal fsync failed for '" + path + "': " + std::strerror(errno);
+    }
+    return false;
+  }
+  return true;
+}
+
+// Fsyncs the directory containing `path` so a completed rename is durable.
+// Best-effort: some filesystems refuse O_RDONLY on directories.
+void WalSyncParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = (slash == std::string::npos) ? std::string(".")
+                                                 : path.substr(0, slash + 1);
+  int fd = ::open(dir.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
 #endif  // !defined(_WIN32)
 
 }  // namespace
 
-std::unique_ptr<Wal> Wal::CreateFresh(const std::string& path,
-                                      const DiGraph& graph,
-                                      std::string* error) {
+std::unique_ptr<Wal> Wal::Create(const std::string& path, bool staged,
+                                 const DiGraph& graph, std::string* error) {
   if (CSC_FAILPOINT("wal.checkpoint")) {
     if (error != nullptr) *error = "wal checkpoint failed: injected fault";
     return nullptr;
   }
-  std::string contents(kWalMagic, sizeof(kWalMagic));
-  contents += FrameRecord(EncodeCheckpoint(graph));
-  if (!WriteFileAtomic(path, contents, error)) return nullptr;
 #if defined(_WIN32)
+  (void)path;
+  (void)staged;
+  (void)graph;
   if (error != nullptr) *error = "wal unsupported on this platform";
   return nullptr;
 #else
+  // Open the side file and keep that fd for all later appends; the rename
+  // onto `path` comes last (Finalize). Ordered this way no failure can
+  // leave the published log pointing at a different inode than the append
+  // handle — the failure mode where acknowledged batches land in an
+  // unreachable orphan while the on-disk log is checkpoint-only.
+  const std::string side = path + ".next";
   errno = 0;
   int fd = -1;
   if (CSC_FAILPOINT("wal.open")) {
     errno = EACCES;
   } else {
-    fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+    fd = ::open(side.c_str(),
+                O_WRONLY | O_CREAT | O_TRUNC | O_APPEND | O_CLOEXEC, 0644);
   }
   if (fd < 0) {
     if (error != nullptr) {
-      *error = "wal open failed for '" + path + "': " + std::strerror(errno);
+      *error = "wal open failed for '" + side + "': " + std::strerror(errno);
     }
     return nullptr;
   }
-  return std::unique_ptr<Wal>(new Wal(path, fd));
+  std::string contents(kWalMagic, sizeof(kWalMagic));
+  contents += FrameRecord(EncodeCheckpoint(graph));
+  if (!WalWriteAll(fd, contents.data(), contents.size(), error) ||
+      !WalSyncFd(fd, side, error)) {
+    ::close(fd);
+    ::unlink(side.c_str());
+    return nullptr;
+  }
+  std::unique_ptr<Wal> wal(new Wal(path, side, fd, contents.size()));
+  if (!staged && !wal->Finalize(error)) return nullptr;
+  return wal;
+#endif
+}
+
+std::unique_ptr<Wal> Wal::CreateFresh(const std::string& path,
+                                      const DiGraph& graph,
+                                      std::string* error) {
+  return Create(path, /*staged=*/false, graph, error);
+}
+
+std::unique_ptr<Wal> Wal::CreateStaged(const std::string& path,
+                                       const DiGraph& graph,
+                                       std::string* error) {
+  return Create(path, /*staged=*/true, graph, error);
+}
+
+bool Wal::Finalize(std::string* error) {
+  if (staged_path_.empty()) return true;
+#if defined(_WIN32)
+  if (error != nullptr) *error = "wal unsupported on this platform";
+  return false;
+#else
+  errno = 0;
+  bool renamed = false;
+  if (CSC_FAILPOINT("wal.finalize")) {
+    errno = EIO;
+  } else {
+    renamed = ::rename(staged_path_.c_str(), path_.c_str()) == 0;
+  }
+  if (!renamed) {
+    if (error != nullptr) {
+      *error = "wal finalize rename failed for '" + path_ +
+               "': " + std::strerror(errno);
+    }
+    return false;
+  }
+  WalSyncParentDir(path_);
+  staged_path_.clear();
+  return true;
 #endif
 }
 
 Wal::~Wal() {
 #if !defined(_WIN32)
   if (fd_ >= 0) ::close(fd_);
+  // An abandoned staged generation (e.g. a failed recovery): the published
+  // log was never replaced, so the side file is dead weight.
+  if (!staged_path_.empty()) ::unlink(staged_path_.c_str());
 #endif
 }
 
@@ -197,19 +287,30 @@ bool Wal::AppendRecord(const std::string& body, std::string* error) {
   if (error != nullptr) *error = "wal unsupported on this platform";
   return false;
 #else
-  const std::string framed = FrameRecord(body);
-  if (!WalWriteAll(fd_, framed.data(), framed.size(), error)) return false;
-  if (CSC_FAILPOINT("wal.fsync")) {
-    if (error != nullptr) *error = "wal fsync failed: injected fault";
-    return false;
-  }
-  if (::fsync(fd_) != 0) {
+  if (broken_) {
     if (error != nullptr) {
-      *error = "wal fsync failed for '" + path_ + "': " + std::strerror(errno);
+      *error = "wal '" + path_ + "' has an untruncatable torn tail";
     }
     return false;
   }
-  return true;
+  const std::string framed = FrameRecord(body);
+  const std::string& file = staged_path_.empty() ? path_ : staged_path_;
+  if (WalWriteAll(fd_, framed.data(), framed.size(), error) &&
+      WalSyncFd(fd_, file, error)) {
+    synced_size_ += framed.size();
+    return true;
+  }
+  // The failed append may have left a torn record, and unlike a torn tail
+  // at crash time it would sit *in front of* any later successful append —
+  // recovery stops at the first unreadable record, so those later
+  // acknowledged records would be lost. Cut the log back to its last
+  // durable size; if that fails too, no later record can be trusted to be
+  // readable, so poison the handle.
+  if (::ftruncate(fd_, static_cast<off_t>(synced_size_)) != 0 ||
+      ::fsync(fd_) != 0) {
+    broken_ = true;
+  }
+  return false;
 #endif
 }
 

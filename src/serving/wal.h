@@ -45,7 +45,7 @@ namespace csc {
 ///
 /// Fault surfaces (util/failpoint.h): wal.open, wal.append (supports
 /// short-write and abort — the torn-tail and crash cases), wal.fsync,
-/// wal.checkpoint.
+/// wal.checkpoint, wal.finalize (the staged-generation publish rename).
 
 enum class WalRecordType : uint8_t {
   kCheckpoint = 1,
@@ -70,16 +70,44 @@ struct WalRecord {
 
 /// Append handle over one WAL file. Not internally synchronized — the
 /// engine serializes all access under its update lock.
+///
+/// Both creation paths build the new generation in a side file
+/// (`path + ".next"`) and keep appending through the fd opened on that side
+/// file; the rename onto `path` is the last step, so no failure — open,
+/// write, fsync, or rename — can ever leave the on-disk log ahead of the
+/// handle the engine is acknowledging against. CreateFresh renames
+/// immediately (the checkpoint-truncation shape); CreateStaged defers the
+/// rename to an explicit Finalize(), which is what recovery uses: the
+/// crash-time log survives untouched until the replayed generation —
+/// checkpoint plus every replayed batch — is complete and durable.
 class Wal {
  public:
   /// Atomically replaces `path` with a fresh log holding one checkpoint
   /// record for `graph` and opens it for appending. This is the checkpoint
   /// truncation: every batch record of the previous log generation is
-  /// discarded in one atomic rename (the old log stays intact on failure).
-  /// nullptr with `*error` set (when non-null) on failure.
+  /// discarded in one atomic rename (the old log stays intact on failure —
+  /// any failure, since the rename is the final step). nullptr with
+  /// `*error` set (when non-null) on failure.
   static std::unique_ptr<Wal> CreateFresh(const std::string& path,
                                           const DiGraph& graph,
                                           std::string* error = nullptr);
+
+  /// As CreateFresh, but the new generation stays in the side file — the
+  /// log at `path` is not replaced — until Finalize(). Appends (and their
+  /// fsyncs) land in the side file. A crash or abandonment before Finalize
+  /// leaves the previous on-disk log exactly as it was.
+  static std::unique_ptr<Wal> CreateStaged(const std::string& path,
+                                           const DiGraph& graph,
+                                           std::string* error = nullptr);
+
+  /// Publishes a staged generation: renames the side file onto `path` and
+  /// fsyncs the directory. Idempotent once it succeeds (and a no-op for a
+  /// CreateFresh handle). False with `*error` set on failure — the previous
+  /// on-disk log is then still intact and this handle is still staged.
+  bool Finalize(std::string* error = nullptr);
+
+  /// True while the handle appends to the unpublished side file.
+  bool staged() const { return !staged_path_.empty(); }
 
   ~Wal();
   Wal(const Wal&) = delete;
@@ -88,7 +116,11 @@ class Wal {
   const std::string& path() const { return path_; }
 
   /// Appends one batch record and fsyncs. The record is durable when this
-  /// returns true — only then may the engine acknowledge the epoch.
+  /// returns true — only then may the engine acknowledge the epoch. On
+  /// failure the log is truncated back to its last durable size, so a torn
+  /// record never sits in front of later successful appends (recovery stops
+  /// reading at the first torn record); if even the truncation fails the
+  /// handle goes permanently broken and every later append fails fast.
   bool AppendBatch(uint64_t epoch, const std::vector<EdgeUpdate>& updates,
                    std::string* error = nullptr);
 
@@ -106,12 +138,27 @@ class Wal {
                       std::string* error = nullptr);
 
  private:
-  Wal(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+  Wal(std::string path, std::string staged_path, int fd, uint64_t synced_size)
+      : path_(std::move(path)),
+        staged_path_(std::move(staged_path)),
+        fd_(fd),
+        synced_size_(synced_size) {}
+
+  static std::unique_ptr<Wal> Create(const std::string& path, bool staged,
+                                     const DiGraph& graph, std::string* error);
 
   bool AppendRecord(const std::string& body, std::string* error);
 
   std::string path_;
+  /// The side file the fd writes to while staged; empty once finalized.
+  std::string staged_path_;
   int fd_ = -1;
+  /// Bytes known durable (fsync'd) in the log — the truncation target when
+  /// an append fails partway.
+  uint64_t synced_size_ = 0;
+  /// Set when a failed append could not be truncated away: the log has an
+  /// unreadable tail, so no further record may be acknowledged through it.
+  bool broken_ = false;
 };
 
 }  // namespace csc

@@ -19,6 +19,13 @@
 //      acknowledgment (acks are recorded in a side file, fsync'd line by
 //      line, so the ack record is itself crash-consistent).
 //
+// A second phase then targets recovery itself: after a clean workload run,
+// a child is killed at each recovery-path failpoint (base rebuild, replay
+// appends into the staged log generation, the publishing rename) and a
+// clean re-recovery must still match the oracle — the window where a
+// recovery that truncated the log before finishing its replay would lose
+// acknowledged batches.
+//
 // The parent never constructs an Engine (fork would duplicate its thread
 // pool mid-state); all engine work happens in freshly forked children.
 //
@@ -44,6 +51,7 @@ int main() {
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -51,6 +59,7 @@ int main() {
 #include "graph/generators.h"
 #include "serving/engine.h"
 #include "serving/wal.h"
+#include "util/env.h"
 #include "util/failpoint.h"
 
 namespace csc {
@@ -98,13 +107,16 @@ bool AppendAckLine(const std::string& path, const std::string& line) {
 }
 
 // The crasher body: run the workload to completion (the armed abort kills
-// the process somewhere in the middle). Exit 0 = the site never fired.
+// the process somewhere in the middle; an empty site runs clean). Exit 0 =
+// the site never fired.
 int RunCrasher(const Paths& paths, const std::string& site,
                uint32_t countdown) {
-  FailpointAction action;
-  action.mode = FailpointMode::kAbort;
-  action.countdown = countdown;
-  Failpoints::Instance().Set(site, action);
+  if (!site.empty()) {
+    FailpointAction action;
+    action.mode = FailpointMode::kAbort;
+    action.countdown = countdown;
+    Failpoints::Instance().Set(site, action);
+  }
 
   Engine engine(WorkloadOptions(paths));
   if (!engine.Build(WorkloadGraph())) return 2;
@@ -126,6 +138,69 @@ int RunCrasher(const Paths& paths, const std::string& site,
       }
     }
   }
+  return 0;
+}
+
+// Builds the replay oracle from `records` (checkpoint base graph +
+// surviving batches minus rolled-back epochs, applied through a WAL-less
+// engine), recovers an Engine from disk, and requires the serializations to
+// match byte-for-byte. `records.front()` must be a checkpoint record.
+int OracleVsRecovery(const Paths& paths, const std::vector<WalRecord>& records,
+                     const std::string& scenario) {
+  auto fail = [&scenario](const std::string& why) {
+    std::fprintf(stderr, "FAIL [%s]: %s\n", scenario.c_str(), why.c_str());
+    return 1;
+  };
+  DiGraph base =
+      DiGraph::FromEdges(records.front().num_vertices, records.front().edges);
+  std::vector<std::pair<uint64_t, uint64_t>> rolled_back;
+  for (const WalRecord& record : records) {
+    if (record.type == WalRecordType::kRollback) {
+      rolled_back.emplace_back(record.epoch, record.epoch_last);
+    }
+  }
+  EngineOptions oracle_options;
+  oracle_options.backend = "frozen";
+  Engine oracle(oracle_options);
+  if (!oracle.Build(base)) return fail("oracle build failed");
+  for (const WalRecord& record : records) {
+    if (record.type != WalRecordType::kBatch) continue;
+    bool skip = false;
+    for (const auto& [first, last] : rolled_back) {
+      if (record.epoch >= first && record.epoch <= last) skip = true;
+    }
+    if (skip) continue;
+    oracle.ApplyUpdates(record.updates);
+  }
+
+  Engine recovered(WorkloadOptions(paths));
+  std::string error;
+  if (!recovered.RecoverFromFile(paths.index, &error)) {
+    return fail("recovery failed: " + error);
+  }
+  std::string oracle_bytes, recovered_bytes;
+  if (!oracle.SaveTo(oracle_bytes) || !recovered.SaveTo(recovered_bytes)) {
+    return fail("serialization failed");
+  }
+  if (oracle_bytes != recovered_bytes) {
+    return fail("recovered state differs from the replay oracle");
+  }
+  return 0;
+}
+
+// The recovery-crasher body: arm the site and recover from whatever the
+// clean workload run left on disk — the abort kills the process mid-replay
+// (or mid-publish), exactly the window where a naive recovery would have
+// already truncated the log it is still replaying.
+int RunRecoveryCrasher(const Paths& paths, const std::string& site,
+                       uint32_t countdown) {
+  FailpointAction action;
+  action.mode = FailpointMode::kAbort;
+  action.countdown = countdown;
+  Failpoints::Instance().Set(site, action);
+  Engine engine(WorkloadOptions(paths));
+  std::string error;
+  (void)engine.RecoverFromFile(paths.index, &error);
   return 0;
 }
 
@@ -214,8 +289,8 @@ int RunOracleAndVerify(const Paths& paths, const std::string& scenario) {
     }
   }
 
-  // 3. The replay oracle: checkpoint base graph + surviving batches minus
-  // rolled-back epochs, applied through a WAL-less engine.
+  // 3 + 4. Oracle replay and byte-for-byte comparison (shared with the
+  // recovery-crash verifier below).
   if (!checkpointed) {
     // The crash predates any complete log (e.g. wal.checkpoint abort in
     // Build): with nothing acknowledged there is nothing to verify.
@@ -224,41 +299,36 @@ int RunOracleAndVerify(const Paths& paths, const std::string& scenario) {
     }
     return 0;
   }
-  DiGraph base =
-      DiGraph::FromEdges(records.front().num_vertices, records.front().edges);
-  std::vector<std::pair<uint64_t, uint64_t>> rolled_back;
-  for (const WalRecord& record : records) {
-    if (record.type == WalRecordType::kRollback) {
-      rolled_back.emplace_back(record.epoch, record.epoch_last);
-    }
-  }
-  EngineOptions oracle_options;
-  oracle_options.backend = "frozen";
-  Engine oracle(oracle_options);
-  if (!oracle.Build(base)) return fail("oracle build failed");
-  for (const WalRecord& record : records) {
-    if (record.type != WalRecordType::kBatch) continue;
-    bool skip = false;
-    for (const auto& [first, last] : rolled_back) {
-      if (record.epoch >= first && record.epoch <= last) skip = true;
-    }
-    if (skip) continue;
-    oracle.ApplyUpdates(record.updates);
-  }
+  return OracleVsRecovery(paths, records, scenario);
+}
 
-  // 4. Recover and compare serializations byte-for-byte.
-  Engine recovered(WorkloadOptions(paths));
-  if (!recovered.RecoverFromFile(paths.index, &error)) {
-    return fail("recovery failed: " + error);
+// The recovery-crash verifier body. The oracle comes from the log as it
+// stood BEFORE the crashed recovery ran (the parent snapshots it): that is
+// the acknowledged history, and it must survive no matter where recovery
+// died. The actual recovery then runs against whatever the crash left —
+// the pre-crash generation when the staged replacement never published,
+// the replayed generation when it did; both must reproduce the oracle
+// byte-for-byte. A recovery that truncated the log before finishing its
+// replay fails here: the post-crash log can no longer rebuild the oracle's
+// state. (Ack-epoch checks don't apply: recovery renumbers epochs.)
+int RunRecoveryCrashVerify(const Paths& paths,
+                           const std::string& precrash_wal,
+                           const std::string& scenario) {
+  auto fail = [&scenario](const std::string& why) {
+    std::fprintf(stderr, "FAIL [%s]: %s\n", scenario.c_str(), why.c_str());
+    return 1;
+  };
+  std::vector<WalRecord> records;
+  std::string error;
+  if (!Wal::ReadAll(precrash_wal, &records, &error)) {
+    return fail("pre-crash WAL snapshot unreadable: " + error);
   }
-  std::string oracle_bytes, recovered_bytes;
-  if (!oracle.SaveTo(oracle_bytes) || !recovered.SaveTo(recovered_bytes)) {
-    return fail("serialization failed");
+  if (records.empty() || records.front().type != WalRecordType::kCheckpoint) {
+    // The clean workload run checkpointed; an empty snapshot means the
+    // parent's copy step failed, not a durability bug.
+    return fail("pre-crash WAL snapshot has no checkpoint");
   }
-  if (oracle_bytes != recovered_bytes) {
-    return fail("recovered state differs from the replay oracle");
-  }
-  return 0;
+  return OracleVsRecovery(paths, records, scenario);
 }
 
 int RunParent(const std::string& dir) {
@@ -331,13 +401,100 @@ int RunParent(const std::string& dir) {
     ::unlink(paths.wal.c_str());
     ::unlink(paths.acks.c_str());
   }
+
+  // Phase 2: crash *inside recovery*. A clean workload run leaves an index
+  // file plus a WAL holding post-checkpoint batches; a child is then killed
+  // at each recovery-path failpoint — while the base graph rebuilds, while
+  // batches replay into the staged log generation, and at the publishing
+  // rename itself. The acknowledged state must survive every one of those
+  // windows: a clean second recovery has to match the oracle built from
+  // whichever log generation the crash left published.
+  const std::vector<Scenario> recovery_scenarios = {
+      {"wal.open", 1},     {"wal.append", 1},     {"wal.append", 3},
+      {"wal.fsync", 2},    {"wal.finalize", 1},   {"engine.rebuild", 1},
+  };
+  for (const Scenario& scenario : recovery_scenarios) {
+    Paths paths;
+    std::string prefix = dir + "/recover." + scenario.site + "." +
+                         std::to_string(scenario.countdown);
+    paths.index = prefix + ".idx";
+    paths.wal = prefix + ".wal";
+    paths.acks = prefix + ".acks";
+    ::unlink(paths.index.c_str());
+    ::unlink(paths.wal.c_str());
+    ::unlink(paths.acks.c_str());
+    std::string name = std::string("recover/") + scenario.site + "@" +
+                       std::to_string(scenario.countdown);
+
+    std::fflush(stdout);
+    std::fflush(stderr);
+    pid_t workload = ::fork();
+    if (workload == 0) {
+      ::_exit(RunCrasher(paths, /*site=*/"", /*countdown=*/0));
+    }
+    int status = 0;
+    ::waitpid(workload, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "FAIL [%s]: clean workload run failed (%d)\n",
+                   name.c_str(), status);
+      ++failures;
+      continue;
+    }
+
+    // Snapshot the acknowledged history before recovery can touch the log:
+    // the verifier's oracle must come from this copy, or a recovery that
+    // destroys log records would be graded against its own damage.
+    const std::string precrash_wal = paths.wal + ".precrash";
+    {
+      std::optional<std::string> bytes = ReadFileToString(paths.wal);
+      if (!bytes.has_value() ||
+          !WriteStringToFile(precrash_wal, bytes.value())) {
+        std::fprintf(stderr, "FAIL [%s]: could not snapshot the WAL\n",
+                     name.c_str());
+        ++failures;
+        continue;
+      }
+    }
+
+    pid_t crasher = ::fork();
+    if (crasher == 0) {
+      ::_exit(RunRecoveryCrasher(paths, scenario.site, scenario.countdown));
+    }
+    ::waitpid(crasher, &status, 0);
+    bool crashed = WIFEXITED(status) && WEXITSTATUS(status) == 134;
+    bool survived = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    if (!crashed && !survived) {
+      std::fprintf(stderr, "FAIL [%s]: recoverer exited abnormally (%d)\n",
+                   name.c_str(), status);
+      ++failures;
+      continue;
+    }
+    if (crashed) ++crashes;
+
+    pid_t verifier = ::fork();
+    if (verifier == 0) {
+      ::_exit(RunRecoveryCrashVerify(paths, precrash_wal, name));
+    }
+    ::waitpid(verifier, &status, 0);
+    bool verified = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    std::printf("%-28s %s -> %s\n", name.c_str(),
+                crashed ? "crashed " : "survived",
+                verified ? "recovered" : "FAILED");
+    if (!verified) ++failures;
+
+    ::unlink(paths.index.c_str());
+    ::unlink(paths.wal.c_str());
+    ::unlink(paths.acks.c_str());
+    ::unlink(precrash_wal.c_str());
+  }
+
   if (crashes == 0) {
     std::fprintf(stderr,
                  "FAIL: no scenario crashed — the failpoints never fired\n");
     return 1;
   }
   std::printf("crash_torture: %zu scenarios, %d crashes, %d failures\n",
-              scenarios.size(), crashes, failures);
+              scenarios.size() + recovery_scenarios.size(), crashes, failures);
   return failures == 0 ? 0 : 1;
 }
 

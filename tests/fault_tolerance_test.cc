@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "csc/index_io.h"
@@ -251,6 +252,89 @@ TEST_F(FaultToleranceTest, ExhaustedRetriesRollBack) {
   EXPECT_EQ(doomed.repair_stats().retries, 1u);
   EXPECT_EQ(doomed.repair_stats().retry_successes, 0u);
   EXPECT_FALSE(doomed.WaitForEpoch(epoch));  // rolled back
+}
+
+TEST_F(FaultToleranceTest, AsyncAppendFailureDoesNotSkipPendingEpochs) {
+  // Regression: with earlier epochs still in flight, a failed WAL append
+  // used to jump resolved_epoch_ straight to the failed epoch — WaitForEpoch
+  // reported the in-flight epochs landed while their batches rotted in the
+  // unlanded queue forever.
+  DiGraph graph = Figure2Graph();
+  EngineOptions options;
+  options.backend = "frozen";
+  options.wal_path = wal_path_;
+  options.async_updates = true;
+  Engine engine(options);
+  ASSERT_TRUE(engine.Build(graph));
+  // Wedge the async worker so epoch A is admitted but unlanded when epoch
+  // B's append fails.
+  FailpointAction delay;
+  delay.mode = FailpointMode::kDelay;
+  delay.delay_ms = 200;
+  Failpoints::Instance().Set("engine.async_rebuild", delay);
+  uint64_t epoch_a = 0;
+  engine.ApplyUpdates({EdgeUpdate::Insert(7, 6)}, nullptr, &epoch_a);
+  Arm("wal.append", FailpointMode::kError);
+  uint64_t epoch_b = 0;
+  std::vector<UpdateVerdict> verdicts;
+  EXPECT_EQ(engine.ApplyUpdates({EdgeUpdate::Insert(6, 0)}, &verdicts,
+                                &epoch_b),
+            0u);
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_EQ(verdicts[0], UpdateVerdict::kRejected);
+  ASSERT_GT(epoch_b, epoch_a);
+  // A still lands (true), B stays rejected (false) — not the other way
+  // around, and neither wait hangs.
+  EXPECT_TRUE(engine.WaitForEpoch(epoch_a));
+  EXPECT_FALSE(engine.WaitForEpoch(epoch_b));
+  Engine oracle(EngineOptions{.backend = "frozen"});
+  ASSERT_TRUE(oracle.Build(graph));
+  oracle.ApplyUpdates({EdgeUpdate::Insert(7, 6)});
+  EXPECT_EQ(engine.QueryAll(), oracle.QueryAll());
+}
+
+TEST_F(FaultToleranceTest, RecoveryFailurePreservesCrashTimeLog) {
+  // Regression: recovery used to CreateFresh (checkpoint-truncate) the log
+  // *before* replaying — a crash or failure mid-replay had already thrown
+  // away every acknowledged batch record. Recovery now stages the new
+  // generation and publishes it only after replay succeeds, so a failed
+  // recovery leaves the crash-time log byte-identical and retryable.
+  DiGraph graph = Figure2Graph();
+  EngineOptions options;
+  options.backend = "frozen";
+  options.wal_path = wal_path_;
+  {
+    Engine victim(options);
+    ASSERT_TRUE(victim.Build(graph));
+    for (const auto& batch : SomeBatches()) {
+      victim.ApplyUpdates(batch);
+    }
+  }
+  std::string crash_time_log = ReadFileToString(wal_path_).value();
+  // countdown 2 skips past the staged checkpoint write/fsync and fires on
+  // the first replayed batch; finalize is evaluated exactly once, at the
+  // end-of-replay publish.
+  const std::pair<const char*, uint32_t> sites[] = {
+      {"wal.append", 2}, {"wal.fsync", 2}, {"wal.finalize", 1}};
+  for (const auto& [site, countdown] : sites) {
+    Arm(site, FailpointMode::kError, countdown);
+    Engine failed(options);
+    std::string error;
+    EXPECT_FALSE(failed.RecoverFromFile(index_path_, &error)) << site;
+    EXPECT_FALSE(error.empty()) << site;
+    Failpoints::Instance().ClearAll();
+    EXPECT_EQ(ReadFileToString(wal_path_).value(), crash_time_log) << site;
+  }
+  // The untouched log still recovers cleanly afterwards.
+  Engine recovered(options);
+  std::string error;
+  ASSERT_TRUE(recovered.RecoverFromFile(index_path_, &error)) << error;
+  Engine oracle(EngineOptions{.backend = "frozen"});
+  ASSERT_TRUE(oracle.Build(graph));
+  for (const auto& batch : SomeBatches()) {
+    oracle.ApplyUpdates(batch);
+  }
+  EXPECT_EQ(Serialized(recovered), Serialized(oracle));
 }
 
 TEST_F(FaultToleranceTest, WaitForEpochDeadlineTimesOut) {

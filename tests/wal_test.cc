@@ -2,11 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "graph/digraph.h"
+#include "util/checksum.h"
 #include "util/env.h"
 #include "util/failpoint.h"
 #include "tests/test_util.h"
@@ -28,6 +31,7 @@ class WalTest : public testing::Test {
   void TearDown() override {
     Failpoints::Instance().ClearAll();
     std::remove(path_.c_str());
+    std::remove((path_ + ".next").c_str());
   }
   std::string path_ = TempPath("wal_test.wal");
 };
@@ -167,6 +171,148 @@ TEST_F(WalTest, CheckpointAndOpenFailpointsFailCreateFresh) {
     EXPECT_FALSE(error.empty()) << site;
     Failpoints::Instance().ClearAll();
   }
+}
+
+TEST_F(WalTest, FailedCreateFreshLeavesPriorLogIntact) {
+  // Regression: CreateFresh used to rename the new generation into place
+  // and only then open it — a failed open left the on-disk log
+  // checkpoint-only while the engine kept appending acknowledged batches
+  // into the renamed-over orphan inode. With the rename last, any failure
+  // leaves the previous generation exactly as it was.
+  auto wal = Wal::CreateFresh(path_, Figure2Graph());
+  ASSERT_NE(wal, nullptr);
+  ASSERT_TRUE(wal->AppendBatch(1, SomeBatch(), nullptr));
+  std::string before = ReadFileToString(path_).value();
+  for (const char* site : {"wal.open", "wal.fsync", "wal.finalize"}) {
+    FailpointAction action;
+    action.mode = FailpointMode::kError;
+    Failpoints::Instance().Set(site, action);
+    std::string error;
+    EXPECT_EQ(Wal::CreateFresh(path_, Figure2Graph(), &error), nullptr)
+        << site;
+    EXPECT_EQ(ReadFileToString(path_).value(), before) << site;
+    Failpoints::Instance().ClearAll();
+    // The surviving handle still appends to the on-disk log, not an orphan.
+    ASSERT_TRUE(wal->AppendBatch(2, SomeBatch(), &error)) << site << error;
+    std::vector<WalRecord> records;
+    ASSERT_TRUE(Wal::ReadAll(path_, &records));
+    EXPECT_EQ(records.back().epoch, 2u) << site;
+    before = ReadFileToString(path_).value();
+  }
+}
+
+TEST_F(WalTest, StagedGenerationPublishesOnlyOnFinalize) {
+  auto wal = Wal::CreateFresh(path_, Figure2Graph());
+  ASSERT_NE(wal, nullptr);
+  ASSERT_TRUE(wal->AppendBatch(1, SomeBatch(), nullptr));
+  std::string old_generation = ReadFileToString(path_).value();
+  wal.reset();
+  // Stage a new generation and append into it: the published log must not
+  // move until Finalize — this is what keeps the crash-time log alive
+  // through a recovery replay.
+  std::string error;
+  auto staged = Wal::CreateStaged(path_, Figure2Graph(), &error);
+  ASSERT_NE(staged, nullptr) << error;
+  EXPECT_TRUE(staged->staged());
+  ASSERT_TRUE(staged->AppendBatch(1, {EdgeUpdate::Insert(7, 6)}, &error));
+  EXPECT_EQ(ReadFileToString(path_).value(), old_generation);
+  ASSERT_TRUE(staged->Finalize(&error)) << error;
+  EXPECT_FALSE(staged->staged());
+  std::vector<WalRecord> records;
+  ASSERT_TRUE(Wal::ReadAll(path_, &records));
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].type, WalRecordType::kBatch);
+  ASSERT_EQ(records[1].updates.size(), 1u);
+  EXPECT_EQ(records[1].updates[0].edge.from, 7u);
+}
+
+TEST_F(WalTest, AbandonedStagedGenerationKeepsOldLogAndCleansUp) {
+  auto wal = Wal::CreateFresh(path_, Figure2Graph());
+  ASSERT_NE(wal, nullptr);
+  ASSERT_TRUE(wal->AppendBatch(1, SomeBatch(), nullptr));
+  std::string old_generation = ReadFileToString(path_).value();
+  wal.reset();
+  {
+    auto staged = Wal::CreateStaged(path_, Figure2Graph());
+    ASSERT_NE(staged, nullptr);
+    ASSERT_TRUE(staged->AppendBatch(1, SomeBatch(), nullptr));
+    // A failed publish keeps the handle staged and the old log intact.
+    FailpointAction action;
+    action.mode = FailpointMode::kError;
+    Failpoints::Instance().Set("wal.finalize", action);
+    std::string error;
+    EXPECT_FALSE(staged->Finalize(&error));
+    EXPECT_TRUE(staged->staged());
+    EXPECT_FALSE(error.empty());
+    EXPECT_EQ(ReadFileToString(path_).value(), old_generation);
+  }
+  // Destruction of the never-published handle removes its side file.
+  EXPECT_EQ(ReadFileToString(path_ + ".next"), std::nullopt);
+  EXPECT_EQ(ReadFileToString(path_).value(), old_generation);
+}
+
+TEST_F(WalTest, FailedAppendDoesNotHideLaterRecords) {
+  // Regression: a torn append used to stay in the file, and because ReadAll
+  // stops at the first unreadable record, every later *successful* append
+  // was unreachable at recovery — lost acknowledged batches. The failed
+  // append must truncate back to the last durable size.
+  auto wal = Wal::CreateFresh(path_, Figure2Graph());
+  ASSERT_NE(wal, nullptr);
+  FailpointAction action;
+  action.mode = FailpointMode::kShortWrite;
+  action.keep_bytes = 6;
+  Failpoints::Instance().Set("wal.append", action);
+  EXPECT_FALSE(wal->AppendBatch(1, SomeBatch(), nullptr));
+  Failpoints::Instance().ClearAll();
+  std::string error;
+  ASSERT_TRUE(wal->AppendBatch(2, {EdgeUpdate::Insert(7, 6)}, &error)) << error;
+  std::vector<WalRecord> records;
+  ASSERT_TRUE(Wal::ReadAll(path_, &records, &error)) << error;
+  ASSERT_EQ(records.size(), 2u);  // checkpoint + the epoch-2 batch
+  EXPECT_EQ(records[1].type, WalRecordType::kBatch);
+  EXPECT_EQ(records[1].epoch, 2u);
+}
+
+TEST_F(WalTest, OverflowingRecordCountsAreRejected) {
+  // A corrupt-but-CRC-valid checkpoint record claiming ~2^61 edges: the
+  // exact-size check `size == 13 + m * 8` wraps to true while the body
+  // holds no edge at all — decode must reject on the bounded count instead
+  // of reserving 2^61 entries or walking off the body.
+  auto craft = [this](std::string body) {
+    std::string file("CSCWAL01", 8);
+    std::string frame;
+    for (int i = 0; i < 4; ++i) {
+      frame.push_back(static_cast<char>(body.size() >> (8 * i)));
+    }
+    uint32_t crc = Crc32c(body.data(), body.size());
+    for (int i = 0; i < 4; ++i) {
+      frame.push_back(static_cast<char>(crc >> (8 * i)));
+    }
+    file += frame + body;
+    ASSERT_TRUE(WriteStringToFile(path_, file));
+  };
+  std::string checkpoint;
+  checkpoint.push_back(static_cast<char>(WalRecordType::kCheckpoint));
+  for (int i = 0; i < 4; ++i) checkpoint.push_back(2);  // num_vertices
+  uint64_t m = uint64_t{1} << 61;                       // m * 8 wraps to 0
+  for (int i = 0; i < 8; ++i) {
+    checkpoint.push_back(static_cast<char>(m >> (8 * i)));
+  }
+  craft(checkpoint);
+  std::vector<WalRecord> records;
+  std::string error;
+  ASSERT_TRUE(Wal::ReadAll(path_, &records, &error)) << error;
+  EXPECT_TRUE(records.empty());  // rejected as torn/corrupt, no crash
+
+  // Same shape for a batch record: count * 9 wrapping a 32-bit size_t.
+  std::string batch;
+  batch.push_back(static_cast<char>(WalRecordType::kBatch));
+  for (int i = 0; i < 8; ++i) batch.push_back(1);  // epoch
+  for (int i = 0; i < 4; ++i) batch.push_back(static_cast<char>(0xFF));
+  craft(batch);
+  records.clear();
+  ASSERT_TRUE(Wal::ReadAll(path_, &records, &error)) << error;
+  EXPECT_TRUE(records.empty());
 }
 
 }  // namespace
