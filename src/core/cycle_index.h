@@ -8,6 +8,7 @@
 
 #include "graph/digraph.h"
 #include "util/common.h"
+#include "util/lifetime_annotations.h"
 
 namespace csc {
 
@@ -87,7 +88,7 @@ class CycleIndex {
   virtual ~CycleIndex() = default;
 
   /// The registry name this backend was created under ("csc", "frozen", ...).
-  virtual const std::string& name() const = 0;
+  virtual const std::string& name() const CSC_LIFETIME_BOUND = 0;
 
   /// (Re)builds the index from `graph`. Invalidates previous contents.
   virtual void Build(const DiGraph& graph, const BuildOptions& options) = 0;
@@ -126,7 +127,9 @@ class CycleIndex {
   /// retaining `keep_alive` for as long as the index references the buffer.
   /// The flat arena backends serve the mapping zero-copy (label payloads
   /// stay in the file pages, shared across any number of loads); the base
-  /// implementation falls back to a copying LoadFrom.
+  /// implementation falls back to a copying LoadFrom. `data` is
+  /// deliberately not CSC_LIFETIME_BOUND — retaining `keep_alive` makes the
+  /// loaded index self-keeping (util/lifetime_annotations.h).
   virtual bool LoadView(const uint8_t* data, size_t size,
                         std::shared_ptr<const void> keep_alive);
 

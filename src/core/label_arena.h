@@ -13,6 +13,7 @@
 #include "labeling/label_set.h"
 #include "util/common.h"
 #include "util/label_entry.h"
+#include "util/lifetime_annotations.h"
 
 namespace csc {
 
@@ -70,7 +71,7 @@ class LabelArena {
   /// The raw payload: packed entry words or varint bytes, wherever they
   /// live. Never null for a built arena; may be unaligned when viewing a
   /// mapping.
-  const uint8_t* payload_data() const {
+  const uint8_t* payload_data() const CSC_LIFETIME_BOUND {
     if (view_payload_ != nullptr) return view_payload_;
     return packed() ? reinterpret_cast<const uint8_t*>(entries_.data())
                     : bytes_.data();
@@ -85,13 +86,15 @@ class LabelArena {
 
   /// Start of run `v`'s packed payload, 8 bytes per entry (packed encoding
   /// only; decode through LoadPackedEntry or RunCursor).
-  const uint8_t* PackedRunBegin(Vertex v) const {
+  const uint8_t* PackedRunBegin(Vertex v) const CSC_LIFETIME_BOUND {
     return payload_data() + offsets_[v] * sizeof(LabelEntry);
   }
 
   /// A decoding cursor over one vertex's run, valid for either encoding.
   /// Usage: `for (Cursor c = arena.RunCursor(v); c.Next();) use(c.rank()...)`.
-  class Cursor {
+  /// A view type: it reads the arena's payload in place, so the arena (and,
+  /// for a view-backed arena, its mapping) must outlive the cursor.
+  class CSC_VIEW_TYPE Cursor {
    public:
     bool Next();
     Rank rank() const { return rank_; }
@@ -114,7 +117,7 @@ class LabelArena {
     Dist dist_ = 0;
     Count count_ = 0;
   };
-  Cursor RunCursor(Vertex v) const;
+  Cursor RunCursor(Vertex v) const CSC_LIFETIME_BOUND;
 
   /// Decodes run `v` back into a LabelSet (round-trip testing, expansion).
   LabelSet DecodeRun(Vertex v) const;
@@ -210,7 +213,9 @@ class LabelArena {
   /// full varint-stream walk for kVarint, which also counts entries), so a
   /// truncated or corrupt mapping is rejected the same way. `keep_alive` is
   /// retained for the life of the arena and every copy of it; pass the
-  /// mapping handle.
+  /// mapping handle. `data` is deliberately not CSC_LIFETIME_BOUND: the
+  /// keep-alive handle makes the result self-keeping (contract rule — see
+  /// util/lifetime_annotations.h).
   static std::optional<LabelArena> ParseView(
       const uint8_t* data, size_t size, size_t& pos,
       std::shared_ptr<const void> keep_alive);

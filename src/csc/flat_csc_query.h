@@ -10,6 +10,7 @@
 #include "core/label_arena.h"
 #include "csc/compact_index.h"
 #include "util/common.h"
+#include "util/lifetime_annotations.h"
 
 namespace csc {
 namespace flat {
@@ -58,6 +59,8 @@ std::optional<FlatParts> DeserializeFlat(const char magic[4],
 /// mapping): the arenas become zero-copy views into `[data, data + size)`
 /// kept alive by `keep_alive`; only the couple-rank vector (4 bytes/vertex)
 /// is materialized — with one bulk memcpy and a single validation pass.
+/// `data` is deliberately not CSC_LIFETIME_BOUND — the keep-alive handle
+/// makes the returned parts self-keeping (util/lifetime_annotations.h).
 std::optional<FlatParts> DeserializeFlatView(
     const char magic[4], const uint8_t* data, size_t size,
     std::shared_ptr<const void> keep_alive);

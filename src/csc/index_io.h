@@ -10,6 +10,7 @@
 
 #include "core/cycle_index.h"
 #include "csc/compact_index.h"
+#include "util/lifetime_annotations.h"
 
 namespace csc {
 
@@ -91,7 +92,7 @@ struct BackendLoadResult {
 /// shard at once, so it cannot pinpoint which shard is rotten. Never serve
 /// a payload without *some* checksum over it.
 [[nodiscard]] std::optional<std::pair<const uint8_t*, size_t>> VerifyEnvelope(
-    const uint8_t* data, size_t size, std::string* error,
+    const uint8_t* data CSC_LIFETIME_BOUND, size_t size, std::string* error,
     bool verify_crc = true);
 
 // --- Zero-copy loading: serve a frozen index straight from a mapping. ---
@@ -107,7 +108,11 @@ struct BackendLoadResult {
 /// On platforms without mmap (or when mapping fails) the file is read into
 /// a heap buffer instead; the zero-copy view API is unchanged, only
 /// `mapped()` reports the difference.
-class IndexFile {
+///
+/// An owner type: every arena view, payload span, and ShardedPayloadView
+/// carved out of it dangles once the mapping is destroyed — hold the
+/// shared_ptr handle (or thread it through as a keep_alive) instead.
+class CSC_OWNER_TYPE IndexFile {
  public:
   /// Maps (or reads) and verifies `path`; nullptr with `error` set (when
   /// non-null) on I/O or verification failure. `verify_crc = false` checks
@@ -123,7 +128,7 @@ class IndexFile {
 
   /// The verified payload (the CycleIndex::SaveTo serialization, or a
   /// multi-shard bundle), inside the mapping.
-  const uint8_t* payload() const { return payload_; }
+  const uint8_t* payload() const CSC_LIFETIME_BOUND { return payload_; }
   size_t payload_size() const { return payload_size_; }
 
   /// True when backed by a real file mapping, false on the heap fallback.
@@ -200,7 +205,9 @@ struct ShardedPayload {
 
 /// A parsed multi-shard bundle whose per-shard payloads are spans into the
 /// parsed buffer (no copies) — the mmap serving path's view of a bundle.
-struct ShardedPayloadView {
+/// A view type: the parsed buffer (for a mapping, the IndexFile) must
+/// outlive it.
+struct CSC_VIEW_TYPE ShardedPayloadView {
   std::vector<std::pair<const uint8_t*, size_t>> shards;
   Vertex num_vertices = 0;
   ShardedBundleInfo info;
@@ -233,10 +240,9 @@ std::string WrapShardedPayload(const std::vector<std::string>& shard_payloads,
 /// As ParseShardedPayload, but the shard payloads stay in
 /// `[data, data + size)` — the buffer must outlive the returned view (for a
 /// mapping, hold the IndexFile). Same lenient mode via `shard_errors`.
-[[nodiscard]] std::optional<ShardedPayloadView> ParseShardedPayloadView(const uint8_t* data,
-                                                          size_t size,
-                                                          std::string* error,
-                                                          std::vector<std::string>* shard_errors = nullptr);
+[[nodiscard]] std::optional<ShardedPayloadView> ParseShardedPayloadView(
+    const uint8_t* data CSC_LIFETIME_BOUND, size_t size, std::string* error,
+    std::vector<std::string>* shard_errors = nullptr);
 
 }  // namespace csc
 

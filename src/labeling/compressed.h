@@ -11,6 +11,7 @@
 #include "core/label_arena.h"
 #include "csc/compact_index.h"
 #include "util/common.h"
+#include "util/lifetime_annotations.h"
 
 namespace csc {
 
@@ -66,8 +67,8 @@ class CompressedIndex {
   }
 
   /// The underlying varint arenas.
-  const LabelArena& in_arena() const { return in_; }
-  const LabelArena& out_arena() const { return out_; }
+  const LabelArena& in_arena() const CSC_LIFETIME_BOUND { return in_; }
+  const LabelArena& out_arena() const CSC_LIFETIME_BOUND { return out_; }
 
   /// Binary serialization (magic + arenas + couple-rank map; fixed-width
   /// fields native-endian, matching the CompactIndex wire format).
@@ -77,7 +78,8 @@ class CompressedIndex {
   /// As Deserialize, but zero-copy over an externally owned buffer (a
   /// verified file mapping): the varint streams stay in `[data, data+size)`,
   /// kept alive by `keep_alive`; only offsets and the couple-rank map are
-  /// materialized.
+  /// materialized. `data` is deliberately not CSC_LIFETIME_BOUND — the
+  /// keep-alive handle makes the result self-keeping.
   static std::optional<CompressedIndex> FromView(
       const uint8_t* data, size_t size,
       std::shared_ptr<const void> keep_alive);

@@ -15,6 +15,7 @@
 #include "dynamic/update_stats.h"
 #include "graph/digraph.h"
 #include "graph/ordering.h"
+#include "util/lifetime_annotations.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
@@ -221,7 +222,9 @@ class Engine {
   /// snapshot under swap_mu_ like any reader; the pre-annotation version
   /// read `active_` unlocked, which the thread safety analysis rejects.)
   bool valid() const { return snapshot() != nullptr; }
-  const std::string& backend_name() const { return options_.backend; }
+  const std::string& backend_name() const CSC_LIFETIME_BOUND {
+    return options_.backend;
+  }
 
   /// Builds the active index from `graph` (synchronous; drains any pending
   /// asynchronous rebuilds first). For static backends the graph is
@@ -252,7 +255,9 @@ class Engine {
   /// span, retaining `keep_alive` while any snapshot references it —
   /// zero-copy for arena-backed backends. The sharded tier uses this to
   /// point K shard engines at one shared mapping; LoadFromFile is the
-  /// single-file convenience over it.
+  /// single-file convenience over it. `data` is deliberately not
+  /// CSC_LIFETIME_BOUND — retaining `keep_alive` makes every snapshot
+  /// self-keeping (util/lifetime_annotations.h).
   bool LoadView(const uint8_t* data, size_t size,
                 std::shared_ptr<const void> keep_alive);
 
@@ -381,7 +386,7 @@ class Engine {
                        std::string* error = nullptr)
       CSC_EXCLUDES(update_mu_, swap_mu_);
 
-  ThreadPool& pool() { return pool_; }
+  ThreadPool& pool() CSC_LIFETIME_BOUND { return pool_; }
 
   /// Replaces the slicing predicate (see EngineOptions::slice_keep). Takes
   /// effect on the next Build / load / rebuild; call from the single-writer

@@ -12,6 +12,7 @@
 #include "csc/screening.h"
 #include "dynamic/edge_update.h"
 #include "serving/engine.h"
+#include "util/lifetime_annotations.h"
 #include "util/thread_pool.h"
 
 namespace csc {
@@ -174,7 +175,9 @@ class ShardedEngine {
   uint32_t num_shards() const {
     return static_cast<uint32_t>(shards_.size());
   }
-  const std::string& backend_name() const { return options_.backend; }
+  const std::string& backend_name() const CSC_LIFETIME_BOUND {
+    return options_.backend;
+  }
 
   /// The shard owning vertex `v` (undefined for v >= num_vertices()).
   uint32_t ShardOf(Vertex v) const;
@@ -279,15 +282,19 @@ class ShardedEngine {
   RepairStats RepairStatsTotal() const;
 
   /// Direct access to one shard's Engine (tests, per-shard reporting).
-  Engine& shard(uint32_t s) { return *shards_[s]; }
-  const Engine& shard(uint32_t s) const { return *shards_[s]; }
+  Engine& shard(uint32_t s) CSC_LIFETIME_BOUND { return *shards_[s]; }
+  const Engine& shard(uint32_t s) const CSC_LIFETIME_BOUND {
+    return *shards_[s];
+  }
 
   // --- Degraded-mode serving (see ShardedEngineOptions::tolerate_faults).
 
   /// Health of shard `s` (undefined for s >= num_shards()).
   ShardState shard_state(uint32_t s) const { return shard_state_[s]; }
   /// Why shard `s` was quarantined; empty when healthy.
-  const std::string& shard_fault(uint32_t s) const { return shard_fault_[s]; }
+  const std::string& shard_fault(uint32_t s) const CSC_LIFETIME_BOUND {
+    return shard_fault_[s];
+  }
   /// True when any shard is not serving from its index.
   bool degraded() const;
 

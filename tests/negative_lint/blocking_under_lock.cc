@@ -1,0 +1,48 @@
+// Negative fixture for tools/check_contracts.py rule 3
+// (blocking-under-lock): durable I/O reachable while a reader-facing lock
+// (swap_mu_ / query_mu_) is held — directly, and through a same-TU helper
+// (the transitive half of the rule). Never compiled — consumed by
+// `check_contracts.py --selftest`.
+//
+// expect-violation: blocking-under-lock
+
+#include <string>
+
+namespace csc {
+
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex& mu);
+};
+struct ReaderMutexLock {
+  explicit ReaderMutexLock(Mutex& mu);
+};
+struct Wal {
+  void AppendBatch(const std::string& record);
+};
+
+class BadEngine {
+ public:
+  // BAD: WAL fsync-backed append directly inside the swap critical
+  // section — every reader swap stalls behind disk latency.
+  void Swap(const std::string& record) {
+    MutexLock lock(swap_mu_);
+    wal_->AppendBatch(record);
+  }
+
+  // BAD (transitive): the query read-section calls a helper that blocks.
+  int Query(int fd) {
+    ReaderMutexLock lock(query_mu_);
+    FlushSideChannel(fd);
+    return 0;
+  }
+
+ private:
+  void FlushSideChannel(int fd) { fsync(fd); }
+
+  Mutex swap_mu_;
+  Mutex query_mu_;
+  Wal* wal_ = nullptr;
+};
+
+}  // namespace csc

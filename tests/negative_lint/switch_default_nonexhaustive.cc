@@ -1,0 +1,26 @@
+// Negative fixture for tools/check_contracts.py rule 4
+// (exhaustive-switch): a switch over a serving-tier outcome enum that both
+// misses enumerators and hides behind a `default:` — adding a new state
+// (exactly how PR 8 grew ShardState) would fall into the default silently.
+// Never compiled — consumed by `check_contracts.py --selftest`.
+//
+// expect-violation: exhaustive-switch
+
+namespace csc {
+
+enum class UpdateVerdict { kRejected, kApplied, kNoGraph };
+
+// BAD: kNoGraph is unhandled and the default swallows it.
+// contracts:allow-view-return(returns string literals with static storage duration)
+inline const char* VerdictName(UpdateVerdict v) {
+  switch (v) {
+    case UpdateVerdict::kRejected:
+      return "rejected";
+    case UpdateVerdict::kApplied:
+      return "applied";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace csc

@@ -1,0 +1,33 @@
+// Negative fixture for tools/check_contracts.py rule 1 (view-return):
+// functions returning view types without CSC_LIFETIME_BOUND. Never compiled
+// — consumed by `check_contracts.py --selftest`, whose meta-test fails if
+// this fixture stops making the rule fire.
+//
+// expect-violation: view-return
+
+#include <cstddef>
+#include <cstdint>
+
+namespace csc {
+
+struct CSC_VIEW_TYPE LocalView {
+  const uint8_t* p = nullptr;
+  size_t n = 0;
+};
+
+class PayloadHolder {
+ public:
+  // BAD: returns a raw pointer into this object's storage with no
+  // CSC_LIFETIME_BOUND — Clang cannot warn when a caller binds it past a
+  // temporary PayloadHolder.
+  const uint8_t* payload_data() const { return data_; }
+
+  // BAD: returns a CSC_VIEW_TYPE-tagged type, again unannotated.
+  LocalView window() const { return LocalView{data_, size_}; }
+
+ private:
+  const uint8_t* data_ = nullptr;  // contracts:allow-view-member(fixture: rule-1 subject, keep-alive is rule 2's concern)
+  size_t size_ = 0;
+};
+
+}  // namespace csc

@@ -33,6 +33,15 @@ Enforces cross-file conventions the compiler cannot see:
                           (named in a test source). An unexercised failpoint
                           is dead fault-injection surface nobody has proven
                           recoverable.
+  7. test-registration    Every test source actually runs: a top-level
+                          tests/*.cc either matches the *_test.cc gtest glob
+                          or is explicitly registered in tests/CMakeLists.txt
+                          with a waiver naming why it cannot live in the
+                          gtest binary (lint:allow-outside-gtest-glob(reason)),
+                          and every fixture under tests/negative_compile/ and
+                          tests/negative_lint/ is named in
+                          tests/CMakeLists.txt — an unregistered fixture is a
+                          gate nobody runs.
 
 Run:  python3 tools/lint_invariants.py [--repo PATH]
 Exit: 0 clean, 1 violations (listed on stderr), 2 internal error.
@@ -200,6 +209,36 @@ def check_escape_hatch_budget(repo: pathlib.Path, errors: list):
             f"(budget {ESCAPE_HATCH_BUDGET}): " + ", ".join(uses))
 
 
+def check_test_registration(repo: pathlib.Path, errors: list):
+    cmake = repo / "tests" / "CMakeLists.txt"
+    cmake_text = cmake.read_text()
+    # Top-level test sources: the gtest glob picks up *_test.cc; anything
+    # else must be explicitly registered AND carry a waiver explaining why
+    # it cannot run inside the gtest binary.
+    for path in sorted((repo / "tests").glob("*.cc")):
+        if path.name.endswith("_test.cc"):
+            continue
+        if path.name not in cmake_text:
+            errors.append(
+                f"{path}: not picked up by the *_test.cc gtest glob and "
+                f"never registered in {cmake} — this test never runs")
+        elif "lint:allow-outside-gtest-glob" not in cmake_text.split(
+                path.name)[0].rsplit("\n\n", 1)[-1]:
+            errors.append(
+                f"{path}: registered outside the gtest glob without a "
+                f"waiver — add lint:allow-outside-gtest-glob(reason) above "
+                f"its registration in {cmake}")
+    # Negative fixtures are only meaningful when some CTest consumes them.
+    for subdir in ("negative_compile", "negative_lint"):
+        for path in sorted((repo / "tests" / subdir).glob("*.cc")):
+            if path.name not in cmake_text:
+                errors.append(
+                    f"{path}: fixture is not referenced by {cmake} — "
+                    f"register it (negative-compile CTest or the "
+                    f"check_contracts self-test) so the gate it proves "
+                    f"actually runs")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--repo", default=".",
@@ -218,6 +257,7 @@ def main() -> int:
     check_guarded_mutexes(repo, errors)
     check_escape_hatch_budget(repo, errors)
     check_failpoint_coverage(repo, errors)
+    check_test_registration(repo, errors)
 
     if errors:
         print(f"lint_invariants: {len(errors)} violation(s)", file=sys.stderr)
