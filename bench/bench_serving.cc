@@ -37,6 +37,14 @@
 // latency (admit + drain per one-edge batch) — the headline speedup of the
 // repair pipeline. Rows go into BENCH_serving.json so CI tracks both the
 // admission speedup and the repair speedup.
+//
+// An overload section sweeps offered write load x backlog cap on the
+// frozen backend (async updates): each cell floods single-edge toggle
+// batches against the cap with a deadline'd probe query between batches,
+// reporting the shed rate (fraction rejected with kOverloaded) and the
+// p50/p99 probe latency under pressure — also into BENCH_serving.json.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -79,6 +87,15 @@ double MeanQueryMicros(const std::vector<Vertex>& vertices,
   // Keep the compiler from eliding the query loop.
   if (sink == 0xdeadbeef) std::printf("!");
   return timer.ElapsedMicros() / static_cast<double>(rounds * vertices.size());
+}
+
+// Nearest-rank percentile of an unsorted latency sample (p in [0, 100]).
+double PercentileMillis(std::vector<double> sample, double p) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  size_t rank = static_cast<size_t>((p / 100.0) * sample.size());
+  if (rank >= sample.size()) rank = sample.size() - 1;
+  return sample[rank];
 }
 
 // Load-to-first-query milliseconds through `load`, or -1 on failure.
@@ -138,6 +155,11 @@ int main(int argc, char** argv) {
       "repair",
       {"Graph", "Backend", "rebuild-uq", "repair-uq", "speedup", "patched",
        "derived"});
+  TableReporter overload_table(
+      "Overload matrix: offered write load x backlog cap -> shed rate and "
+      "deadline'd query latency under pressure (frozen backend)",
+      {"Graph", "offered", "cap", "shed-rate", "q-p50(ms)", "q-p99(ms)",
+       "peak-backlog"});
   JsonBenchReporter json("serving");
   const std::vector<uint32_t> shard_counts = {1, 2, 4, 8};
   // The persistable serving forms with a load path (cold-start section).
@@ -443,6 +465,85 @@ int main(int argc, char** argv) {
           .Field("repair_patches", patched)
           .Field("repair_derived", derived);
     }
+    // Overload matrix: a single-edge toggle flood at several offered loads
+    // against several backlog caps, with a deadline'd probe query between
+    // every offered batch. Reported per cell: the shed rate (fraction of
+    // offered batches rejected with kOverloaded — the admission gate doing
+    // its job) and the p50/p99 of the probe's query latency under that
+    // write pressure (the snapshot-swap read path should keep both flat
+    // regardless of the backlog behind it).
+    {
+      std::vector<Edge> overload_edges = SampleNewEdges(graph, 1, 9);
+      Rng probe_rng(4242);
+      std::vector<Vertex> probes;
+      for (int i = 0; i < 64; ++i) {
+        probes.push_back(
+            static_cast<Vertex>(probe_rng.NextBounded(graph.num_vertices())));
+      }
+      for (size_t offered : {size_t{32}, size_t{128}}) {
+        for (uint64_t cap : {uint64_t{2}, uint64_t{8}}) {
+          if (overload_edges.empty()) break;
+          const Edge toggle = overload_edges.front();
+          EngineOptions overload_options;
+          overload_options.backend = "frozen";
+          overload_options.async_updates = true;
+          overload_options.admission.max_pending_batches = cap;
+          Engine engine(overload_options);
+          if (!engine.Build(graph)) continue;
+          uint64_t shed = 0;
+          bool present = false;
+          std::vector<double> query_ms;
+          query_ms.reserve(offered);
+          for (size_t i = 0; i < offered; ++i) {
+            std::vector<EdgeUpdate> batch = {
+                present ? EdgeUpdate::Remove(toggle.from, toggle.to)
+                        : EdgeUpdate::Insert(toggle.from, toggle.to)};
+            std::vector<UpdateVerdict> verdicts;
+            engine.ApplyUpdates(batch, &verdicts);
+            if (!verdicts.empty() &&
+                verdicts[0] == UpdateVerdict::kApplied) {
+              present = !present;
+            } else {
+              ++shed;
+            }
+            QueryOptions budget;
+            budget.deadline =
+                Deadline::After(std::chrono::milliseconds(50));
+            Timer probe_timer;
+            QueryResult answer =
+                engine.Query(probes[i % probes.size()], budget);
+            query_ms.push_back(probe_timer.ElapsedMillis());
+            if (answer.count.count == 0xdeadbeef) std::printf("!");
+          }
+          engine.Drain();
+          AdmissionStats admission = engine.admission_stats();
+          double shed_rate =
+              offered > 0 ? static_cast<double>(shed) /
+                                static_cast<double>(offered)
+                          : 0.0;
+          double p50 = PercentileMillis(query_ms, 50);
+          double p99 = PercentileMillis(query_ms, 99);
+          overload_table.AddRow(
+              {spec.name, std::to_string(offered), std::to_string(cap),
+               TableReporter::FormatDouble(shed_rate, 3),
+               TableReporter::FormatDouble(p50, 4),
+               TableReporter::FormatDouble(p99, 4),
+               std::to_string(admission.peak_pending_batches)});
+          json.BeginRow()
+              .Field("dataset", spec.name)
+              .Field("backend", std::string("frozen"))
+              .Field("mode", std::string("overload"))
+              .Field("offered_batches", static_cast<uint64_t>(offered))
+              .Field("backlog_cap", cap)
+              .Field("shed_rate", shed_rate)
+              .Field("shed_batches", admission.shed_batches)
+              .Field("query_p50_ms", p50)
+              .Field("query_p99_ms", p99)
+              .Field("query_timeouts", admission.query_timeouts)
+              .Field("peak_pending_batches", admission.peak_pending_batches);
+        }
+      }
+    }
     std::printf("[serving] %s done\n", spec.name.c_str());
   }
 
@@ -453,6 +554,7 @@ int main(int argc, char** argv) {
   shard_table.Print();
   churn_table.Print();
   single_edge_table.Print();
+  overload_table.Print();
   size_table.WriteCsv(bench::CsvPath("serving_sizes"));
   latency_table.WriteCsv(bench::CsvPath("serving_latency"));
   sweep_table.WriteCsv(bench::CsvPath("serving_sweep"));
@@ -460,6 +562,7 @@ int main(int argc, char** argv) {
   shard_table.WriteCsv(bench::CsvPath("serving_sharded"));
   churn_table.WriteCsv(bench::CsvPath("serving_churn"));
   single_edge_table.WriteCsv(bench::CsvPath("serving_churn_single_edge"));
+  overload_table.WriteCsv(bench::CsvPath("serving_overload"));
   json.Write("BENCH_serving.json");
   return 0;
 }

@@ -77,7 +77,8 @@ int Usage() {
       "  csc_cli graphstats <graph.edges>\n"
       "  csc_cli casestudy <graph.edges> <vertex> <out.dot>\n"
       "  csc_cli [--backend NAME] [--shards N] [--async-updates] [--repair] "
-      "[--retries N] churn <graph.edges> <rounds> <batch_edges> [<index.out>]\n"
+      "[--retries N] [--max-pending N] churn <graph.edges> <rounds> "
+      "<batch_edges> [<index.out>]\n"
       "--shards N builds/serves through the sharded engine (N per-shard\n"
       "backends; multi-shard index files are auto-detected on load)\n"
       "--build-threads T constructs labelings with the rank-batched\n"
@@ -93,6 +94,10 @@ int Usage() {
       "--retries N retries transient rebuild/patch failures up to N total\n"
       "attempts with bounded exponential backoff before rolling the batch\n"
       "back (default 1 = no retry); counters print after churn\n"
+      "--max-pending N caps the per-shard async rebuild backlog at N\n"
+      "batches: churn batches past the cap shed with kOverloaded instead\n"
+      "of growing the queue (0 = uncapped); admission counters print\n"
+      "after churn\n"
       "churn's optional <index.out> persists the post-churn index for\n"
       "byte-comparison against a from-scratch build\n"
       "backends: ");
@@ -572,6 +577,28 @@ int CmdScreen(const std::string& backend_name, uint32_t shards,
   return 0;
 }
 
+const char* BreakerStateName(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+void PrintAdmissionCounters(const AdmissionStats& admission) {
+  std::printf("admission ctr   : shed_batches=%llu blocked=%llu "
+              "query_timeouts=%llu drains=%llu peak_pending=%llu\n",
+              static_cast<unsigned long long>(admission.shed_batches),
+              static_cast<unsigned long long>(admission.blocked_admissions),
+              static_cast<unsigned long long>(admission.query_timeouts),
+              static_cast<unsigned long long>(admission.drains),
+              static_cast<unsigned long long>(admission.peak_pending_batches));
+}
+
 int CmdStats(const std::string& backend_name, uint32_t shards,
              bool use_mmap, unsigned build_threads, const std::string& path) {
   auto serving =
@@ -594,6 +621,15 @@ int CmdStats(const std::string& backend_name, uint32_t shards,
                   static_cast<unsigned long long>(info.backend.label_entries),
                   HumanBytes(info.backend.memory_bytes).c_str());
     }
+    PrintAdmissionCounters(engine.AdmissionStatsTotal());
+    DegradedStats degraded = engine.degraded_stats();
+    std::printf("fallback breaker: %s (%llu transitions, %llu fallback "
+                "queries, %llu shed, %llu timeouts)\n",
+                BreakerStateName(degraded.breaker_state),
+                static_cast<unsigned long long>(degraded.breaker_transitions),
+                static_cast<unsigned long long>(degraded.fallback_queries),
+                static_cast<unsigned long long>(degraded.fallback_shed),
+                static_cast<unsigned long long>(degraded.fallback_timeouts));
     return 0;
   }
   BackendStats stats = serving->single->Stats();
@@ -622,6 +658,8 @@ int CmdStats(const std::string& backend_name, uint32_t shards,
                 static_cast<unsigned long long>(stats.patch_hubs_repaired),
                 HumanBytes(stats.patch_label_bytes).c_str());
   }
+  // Admission counters live on the serving engines; a bare single index has
+  // no admission gate to report (see the sharded branch above and churn).
   return 0;
 }
 
@@ -631,8 +669,8 @@ int CmdStats(const std::string& backend_name, uint32_t shards,
 // snapshot swaps.
 int CmdChurn(const std::string& backend_name, uint32_t shards,
              bool async_updates, bool repair, uint32_t retries,
-             unsigned build_threads, const std::string& graph_path,
-             size_t rounds, size_t batch_edges,
+             uint64_t max_pending, unsigned build_threads,
+             const std::string& graph_path, size_t rounds, size_t batch_edges,
              const std::string& index_out) {
   auto graph = LoadEdgeListFile(graph_path);
   if (!graph) {
@@ -646,6 +684,7 @@ int CmdChurn(const std::string& backend_name, uint32_t shards,
   options.build_threads = build_threads;
   options.repair.enabled = repair;
   options.retry.max_attempts = std::max(1u, retries);
+  options.admission.max_pending_batches = max_pending;
   ShardedEngine engine(options);
   if (!engine.valid()) {
     std::fprintf(stderr, "unknown backend '%s'\n", backend_name.c_str());
@@ -708,6 +747,21 @@ int CmdChurn(const std::string& backend_name, uint32_t shards,
                 static_cast<unsigned long long>(repair_stats.retry_successes),
                 std::max(1u, retries));
   }
+  AdmissionStats admission = engine.AdmissionStatsTotal();
+  std::printf("admission   : %llu batches shed, %llu blocked, %llu query "
+              "timeouts (peak backlog %llu batches%s)\n",
+              static_cast<unsigned long long>(admission.shed_batches),
+              static_cast<unsigned long long>(admission.blocked_admissions),
+              static_cast<unsigned long long>(admission.query_timeouts),
+              static_cast<unsigned long long>(admission.peak_pending_batches),
+              max_pending > 0 ? ", capped" : "");
+  DegradedStats degraded = engine.degraded_stats();
+  if (degraded.breaker_transitions > 0 ||
+      degraded.breaker_state != CircuitBreaker::State::kClosed) {
+    std::printf("breaker     : %s after %llu transitions\n",
+                BreakerStateName(degraded.breaker_state),
+                static_cast<unsigned long long>(degraded.breaker_transitions));
+  }
   GirthInfo info = engine.Girth();
   if (info.girth == kInfDist) {
     std::printf("final girth : acyclic\n");
@@ -743,6 +797,7 @@ int main(int argc, char** argv) {
   bool async_updates = false;
   bool repair = false;
   uint32_t retries = 1;
+  uint64_t max_pending = 0;
   unsigned build_threads = 0;
   std::vector<char*> args;
   for (int i = 1; i < argc; ++i) {
@@ -777,6 +832,11 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--retries=", 0) == 0) {
       retries = static_cast<uint32_t>(
           std::strtoul(arg.c_str() + 10, nullptr, 10));
+    } else if (arg == "--max-pending") {
+      if (i + 1 >= argc) return Usage();
+      max_pending = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg.rfind("--max-pending=", 0) == 0) {
+      max_pending = std::strtoull(arg.c_str() + 14, nullptr, 10);
     } else {
       args.push_back(argv[i]);
     }
@@ -806,7 +866,8 @@ int main(int argc, char** argv) {
   }
   if (cmd == "churn" && (n == 4 || n == 5)) {
     return CmdChurn(backend, shards, async_updates, repair, retries,
-                    build_threads, args[1], std::strtoul(args[2], nullptr, 10),
+                    max_pending, build_threads, args[1],
+                    std::strtoul(args[2], nullptr, 10),
                     std::strtoul(args[3], nullptr, 10),
                     n == 5 ? args[4] : std::string());
   }

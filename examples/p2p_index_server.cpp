@@ -13,10 +13,20 @@
 // static-backend rebuilds land off-thread), and Drain() is the
 // read-your-writes barrier before the post-churn query.
 //
+// Overload protection: --max-pending caps the per-shard async backlog
+// (excess churn batches shed with kOverloaded instead of growing the
+// queue), --deadline-ms budgets every monitoring query and the post-churn
+// drain (a blown budget is a typed timeout, never a hang), and the exit
+// report prints the shed/timeout/drain counters.
+//
 //   $ ./p2p_index_server [num_hosts] [backend] [shards]
+//                        [--max-pending=N] [--deadline-ms=MS]
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "dynamic/edge_update.h"
@@ -52,7 +62,32 @@ double AvgHops(const DiGraph& g, Vertex host) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Vertex num_hosts = argc > 1 ? static_cast<Vertex>(std::atoi(argv[1])) : 3000;
+  uint64_t max_pending = 0;   // 0 = uncapped backlog
+  int64_t deadline_ms = 0;    // 0 = unbounded query budget
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--max-pending=", 0) == 0) {
+      max_pending = std::strtoull(arg.c_str() + 14, nullptr, 10);
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      deadline_ms = std::strtoll(arg.c_str() + 14, nullptr, 10);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  // Every read below runs under this budget; unbounded when no flag given.
+  auto budget = [&] {
+    QueryOptions query_options;
+    if (deadline_ms > 0) {
+      query_options.deadline =
+          Deadline::After(std::chrono::milliseconds(deadline_ms));
+    }
+    return query_options;
+  };
+
+  Vertex num_hosts = positional.size() > 0
+                         ? static_cast<Vertex>(std::atoi(positional[0].c_str()))
+                         : 3000;
   // Gnutella-like overlay: small-world interactions with shortcuts.
   DiGraph network = GenerateSmallWorld(num_hosts, 3, 0.25, 6);
   std::printf("p2p overlay: %u hosts, %llu interactions\n",
@@ -60,12 +95,16 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(network.num_edges()));
 
   ShardedEngineOptions options;
-  if (argc > 2) options.backend = argv[2];
+  if (positional.size() > 1) options.backend = positional[1];
   options.num_shards =
-      argc > 3 ? static_cast<uint32_t>(std::atoi(argv[3])) : 2;
+      positional.size() > 2 ? static_cast<uint32_t>(std::atoi(positional[2].c_str()))
+                            : 2;
   // Churn must never stall the monitoring loop: admit updates and let the
-  // per-shard rebuild workers land static-index swaps asynchronously.
+  // per-shard rebuild workers land static-index swaps asynchronously —
+  // bounded by --max-pending, past which churn batches shed instead of
+  // queueing without limit.
   options.async_updates = true;
+  options.admission.max_pending_batches = max_pending;
   ShardedEngine engine(options);
   if (!engine.valid()) {
     std::fprintf(stderr, "unknown backend '%s'\n", options.backend.c_str());
@@ -88,12 +127,19 @@ int main(int argc, char** argv) {
 
   // Candidate 1: the host with the most shortest file-sharing cycles — the
   // paper's index-server criterion (failure tolerance needs many disjoint
-  // feedback routes; ties broken toward shorter routes). One batched sweep.
-  std::vector<CycleCount> answers = engine.QueryAll();
+  // feedback routes; ties broken toward shorter routes). One batched sweep
+  // under the query budget: a blown deadline yields the best host over the
+  // answered prefix, reported as partial instead of stalling monitoring.
+  BatchQueryResult sweep = engine.QueryAll(budget());
+  if (sweep.status == QueryStatus::kTimeout) {
+    std::printf("sweep deadline blew: %zu/%u hosts answered (partial pick)\n",
+                sweep.completed, network.num_vertices());
+  }
   Vertex best_cycle_host = 0;
   CycleCount best_cc;
   for (Vertex v = 0; v < network.num_vertices(); ++v) {
-    const CycleCount& cc = answers[v];
+    if (!sweep.answered[v]) continue;
+    const CycleCount& cc = sweep.counts[v];
     if (cc.count == 0) continue;
     bool better = cc.count > best_cc.count ||
                   (cc.count == best_cc.count && cc.length < best_cc.length);
@@ -132,14 +178,43 @@ int main(int argc, char** argv) {
     size_t applied =
         engine.ApplyUpdates({EdgeUpdate::Remove(best_cycle_host, peer)});
     // The monitoring query needs read-your-writes: drain the async rebuild
-    // pipeline so the answer reflects the churned link.
-    engine.Drain();
-    CycleCount after = engine.Query(best_cycle_host);
-    std::printf(
-        "\nafter link %u->%u churned away (%zu update applied, pipeline "
-        "drained): SCCnt(%u) = %llu (len %u)\n",
-        best_cycle_host, peer, applied, best_cycle_host,
-        static_cast<unsigned long long>(after.count), after.length);
+    // pipeline so the answer reflects the churned link. Under a budget the
+    // drain itself is deadline'd — a wedged rebuild surfaces as a typed
+    // timeout here instead of hanging the monitor.
+    WaitStatus drained =
+        deadline_ms > 0
+            ? engine.Drain(std::chrono::milliseconds(deadline_ms))
+            : (engine.Drain(), WaitStatus::kLanded);
+    if (drained == WaitStatus::kTimeout) {
+      std::printf("\ndrain deadline blew after churn; answer may be stale\n");
+    }
+    ShardedQueryResult after =
+        engine.QueryWithStatus(best_cycle_host, budget());
+    if (after.status != QueryStatus::kOk) {
+      std::printf(
+          "\npost-churn query %s for host %u (typed, not a silent stale "
+          "answer)\n",
+          after.status == QueryStatus::kTimeout ? "timed out" : "was shed",
+          best_cycle_host);
+    } else {
+      std::printf(
+          "\nafter link %u->%u churned away (%zu update applied, pipeline "
+          "drained): SCCnt(%u) = %llu (len %u)\n",
+          best_cycle_host, peer, applied, best_cycle_host,
+          static_cast<unsigned long long>(after.count.count),
+          after.count.length);
+    }
   }
+
+  // Exit report: what overload protection actually did this run.
+  AdmissionStats admission = engine.AdmissionStatsTotal();
+  std::printf(
+      "\noverload counters: shed_batches=%llu blocked_admissions=%llu "
+      "query_timeouts=%llu drains=%llu peak_pending_batches=%llu\n",
+      static_cast<unsigned long long>(admission.shed_batches),
+      static_cast<unsigned long long>(admission.blocked_admissions),
+      static_cast<unsigned long long>(admission.query_timeouts),
+      static_cast<unsigned long long>(admission.drains),
+      static_cast<unsigned long long>(admission.peak_pending_batches));
   return 0;
 }

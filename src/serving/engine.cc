@@ -235,6 +235,7 @@ bool Engine::BuildImpl(const DiGraph& graph, bool staged_wal) {
     dirty_.Reset();
     snapshot_sliced_ = sliced;
     repair_stats_ = RepairStats{};
+    serving_ = true;  // Health: kStarting -> kHealthy
   }
   Swap(std::move(next));
   return true;
@@ -264,6 +265,7 @@ void Engine::AdoptLoaded(std::shared_ptr<CycleIndex> next) {
     shadow_.reset();
     snapshot_sliced_ = false;
     repair_stats_ = RepairStats{};
+    serving_ = true;  // Health: kStarting -> kHealthy
   }
   Swap(std::move(next));
 }
@@ -592,6 +594,7 @@ void Engine::RebuildEpochTask() {
         // never entered the backlog — resolved here, but never landed.
         landed_epoch_ = unlanded_.back().epoch;
         unlanded_.clear();  // the pass covered every unlanded batch
+        pending_ops_ = 0;
         resolved_epoch_ = target;
       } else {
         for (auto it = unlanded_.rbegin(); it != unlanded_.rend(); ++it) {
@@ -603,6 +606,7 @@ void Engine::RebuildEpochTask() {
         // batches (at-least-once); with it, replay skips them exactly.
         if (wal_) (void)wal_->AppendRollback(first_failed, target);
         unlanded_.clear();
+        pending_ops_ = 0;
         resolved_epoch_ = target;
         if (shadow_touched) RestoreShadowLocked();
       }
@@ -629,6 +633,7 @@ void Engine::RebuildEpochTask() {
     // resolve without ever landing.
     while (!unlanded_.empty() && unlanded_.front().epoch <= target) {
       landed_epoch_ = unlanded_.front().epoch;
+      pending_ops_ -= unlanded_.front().undo.size();
       unlanded_.pop_front();
     }
     resolved_epoch_ = target;
@@ -645,6 +650,7 @@ void Engine::RebuildEpochTask() {
     MarkFailedLocked(first_failed, submitted_epoch_);
     if (wal_) (void)wal_->AppendRollback(first_failed, submitted_epoch_);
     unlanded_.clear();
+    pending_ops_ = 0;
     resolved_epoch_ = submitted_epoch_;
   }
   epoch_cv_.NotifyAll();
@@ -653,7 +659,29 @@ void Engine::RebuildEpochTask() {
 size_t Engine::ApplyUpdates(const std::vector<EdgeUpdate>& updates,
                             std::vector<UpdateVerdict>* verdicts,
                             uint64_t* epoch) {
+  // Unbounded deadline: an uncapped engine behaves exactly as before; a
+  // capped one blocks indefinitely (block_on_full) or sheds immediately.
+  return ApplyUpdates(updates, Deadline(), verdicts, epoch);
+}
+
+size_t Engine::ApplyUpdates(const std::vector<EdgeUpdate>& updates,
+                            const Deadline& deadline,
+                            std::vector<UpdateVerdict>* verdicts,
+                            uint64_t* epoch) {
   if (verdicts) verdicts->assign(updates.size(), UpdateVerdict::kRejected);
+  {
+    // Draining: writes are shed at the door on every path (dynamic and
+    // static alike) so the admitted backlog can land and quiesce.
+    MutexLock lock(update_mu_);
+    if (draining_) {
+      ++shed_batches_;
+      if (verdicts) {
+        verdicts->assign(updates.size(), UpdateVerdict::kOverloaded);
+      }
+      if (epoch) *epoch = landed_epoch_;
+      return 0;
+    }
+  }
   std::shared_ptr<CycleIndex> index = snapshot();
   // Trivially-resolved paths hand out the newest *landed* epoch: it is
   // already resolved and never a rolled-back one, so WaitForEpoch on it
@@ -737,6 +765,35 @@ size_t Engine::ApplyUpdates(const std::vector<EdgeUpdate>& updates,
     if (epoch) *epoch = landed_epoch_;
     return 0;
   }
+  if (options_.async_updates) {
+    // Admission gate: refuse (or block, with block_on_full) before anything
+    // is examined or mutated, so a shed batch leaves zero trace. The
+    // failpoint's error action is a deterministic shed; its delay action
+    // stalls the admission decision itself.
+    bool shed = CSC_FAILPOINT("admission.delay");
+    bool waited = false;
+    while (!shed && BacklogFullLocked(updates.size())) {
+      if (!options_.admission.block_on_full || deadline.expired()) {
+        shed = true;
+        break;
+      }
+      waited = true;
+      if (deadline.unbounded()) {
+        epoch_cv_.Wait(lock);
+      } else {
+        (void)epoch_cv_.WaitFor(lock, deadline.remaining());
+      }
+    }
+    if (shed) {
+      ++shed_batches_;
+      if (verdicts) {
+        verdicts->assign(updates.size(), UpdateVerdict::kOverloaded);
+      }
+      if (epoch) *epoch = landed_epoch_;
+      return 0;
+    }
+    if (waited) ++blocked_admissions_;
+  }
   std::vector<char> success(updates.size(), 0);
   for (size_t i = 0; i < updates.size(); ++i) {
     const EdgeUpdate& update = updates[i];
@@ -789,6 +846,10 @@ size_t Engine::ApplyUpdates(const std::vector<EdgeUpdate>& updates,
     unlanded_.push_back({admitted, InverseOps(updates, success),
                          repair_active_ ? SuccessfulOps(updates, success)
                                         : std::vector<EdgeUpdate>{}});
+    pending_ops_ += unlanded_.back().undo.size();
+    peak_pending_batches_ =
+        std::max<uint64_t>(peak_pending_batches_, unlanded_.size());
+    peak_pending_ops_ = std::max(peak_pending_ops_, pending_ops_);
     if (!rebuild_worker_) rebuild_worker_ = std::make_unique<SerialWorker>();
     rebuild_worker_->Submit([this] { RebuildEpochTask(); });
     return net;
@@ -860,6 +921,110 @@ void Engine::Drain() {
   while (resolved_epoch_ < submitted_epoch_) epoch_cv_.Wait(lock);
 }
 
+WaitStatus Engine::Drain(std::chrono::milliseconds timeout) {
+  const Deadline deadline = Deadline::After(timeout);
+  MutexLock lock(update_mu_);
+  while (resolved_epoch_ < submitted_epoch_) {
+    if (deadline.expired()) return WaitStatus::kTimeout;
+    (void)epoch_cv_.WaitFor(lock, deadline.remaining());
+  }
+  // kLanded here means "every admitted epoch resolved", not "every batch
+  // succeeded" — individual rollbacks are reported per-epoch by
+  // WaitForEpoch. A drain itself never reports kRolledBack.
+  return WaitStatus::kLanded;
+}
+
+bool Engine::AdmitProbe(size_t ops, const Deadline& deadline) {
+  MutexLock lock(update_mu_);
+  if (draining_) {
+    ++shed_batches_;
+    return false;
+  }
+  if (!options_.async_updates) return true;
+  bool waited = false;
+  while (BacklogFullLocked(ops)) {
+    if (!options_.admission.block_on_full || deadline.expired()) {
+      ++shed_batches_;
+      return false;
+    }
+    waited = true;
+    if (deadline.unbounded()) {
+      epoch_cv_.Wait(lock);
+    } else {
+      (void)epoch_cv_.WaitFor(lock, deadline.remaining());
+    }
+  }
+  if (waited) ++blocked_admissions_;
+  return true;
+}
+
+bool Engine::BacklogFullLocked(size_t incoming_ops) const {
+  const AdmissionOptions& cap = options_.admission;
+  if (cap.max_pending_batches != 0 &&
+      unlanded_.size() >= cap.max_pending_batches) {
+    return true;
+  }
+  // Ops cap only bites against a non-empty backlog: a single batch larger
+  // than the cap must still admit once the backlog empties, or it would
+  // shed forever.
+  if (cap.max_pending_ops != 0 && !unlanded_.empty() &&
+      pending_ops_ + incoming_ops > cap.max_pending_ops) {
+    return true;
+  }
+  return false;
+}
+
+HealthState Engine::Health() const {
+  MutexLock lock(update_mu_);
+  if (draining_) return HealthState::kDraining;
+  if (!serving_) return HealthState::kStarting;
+  // kDegraded is a sharded-tier notion (quarantine, BFS fallback); a
+  // single engine is either keeping up or it is not.
+  if (options_.async_updates && BacklogFullLocked(0)) {
+    return HealthState::kOverloaded;
+  }
+  return HealthState::kHealthy;
+}
+
+bool Engine::BeginDrain() {
+  MutexLock lock(update_mu_);
+  if (draining_) return false;
+  draining_ = true;
+  ++drains_;
+  return true;
+}
+
+void Engine::FinishDrain() {
+  // Land whatever was admitted before the drain began...
+  Drain();
+  {
+    // ...and quiesce: taking query_mu_ exclusively once guarantees every
+    // query that started before the drain has finished before we reopen.
+    WriterMutexLock lock(query_mu_);
+  }
+  MutexLock lock(update_mu_);
+  draining_ = false;
+}
+
+bool Engine::draining() const {
+  MutexLock lock(update_mu_);
+  return draining_;
+}
+
+AdmissionStats Engine::admission_stats() const {
+  MutexLock lock(update_mu_);
+  AdmissionStats stats;
+  stats.pending_batches = unlanded_.size();
+  stats.pending_ops = pending_ops_;
+  stats.peak_pending_batches = peak_pending_batches_;
+  stats.peak_pending_ops = peak_pending_ops_;
+  stats.shed_batches = shed_batches_;
+  stats.blocked_admissions = blocked_admissions_;
+  stats.query_timeouts = query_timeouts_.load(std::memory_order_relaxed);
+  stats.drains = drains_;
+  return stats;
+}
+
 uint64_t Engine::resolved_epoch() const {
   MutexLock lock(update_mu_);
   return resolved_epoch_;
@@ -882,7 +1047,13 @@ BackendStats Engine::Stats() const {
 
 RepairStats Engine::repair_stats() const {
   MutexLock lock(update_mu_);
-  return repair_stats_;
+  // Admission counters live outside repair_stats_ because Build/AdoptLoaded
+  // reset repair_stats_ per index generation, while shed/blocked span the
+  // engine's lifetime. Stitch them in here.
+  RepairStats stats = repair_stats_;
+  stats.shed_batches = shed_batches_;
+  stats.blocked_admissions = blocked_admissions_;
+  return stats;
 }
 
 bool Engine::repair_active() const {

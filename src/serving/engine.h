@@ -1,6 +1,7 @@
 #ifndef CSC_SERVING_ENGINE_H_
 #define CSC_SERVING_ENGINE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
@@ -11,10 +12,12 @@
 #include <vector>
 
 #include "core/cycle_index.h"
+#include "csc/girth.h"
 #include "dynamic/edge_update.h"
 #include "dynamic/update_stats.h"
 #include "graph/digraph.h"
 #include "graph/ordering.h"
+#include "serving/admission.h"
 #include "util/lifetime_annotations.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -22,9 +25,8 @@
 
 namespace csc {
 
-struct GirthInfo;  // csc/girth.h
-class CscIndex;    // csc/csc_index.h
-class Wal;         // serving/wal.h
+class CscIndex;  // csc/csc_index.h
+class Wal;       // serving/wal.h
 
 /// Incremental label repair for the static-backend update path (the
 /// alternative to rebuild-and-swap). When enabled, Build additionally
@@ -61,6 +63,10 @@ struct RepairOptions {
 /// the bounded-backoff re-attempts of failed rebuilds and patches
 /// (EngineOptions::retry) — nonzero retry_successes means batches that
 /// would have rolled back under max_attempts=1 landed on a later attempt.
+/// `shed_batches` / `blocked_admissions` are the write-side overload
+/// counters (EngineOptions::admission): batches refused with kOverloaded
+/// (backlog cap or draining) and admissions that blocked on a full backlog
+/// before eventually succeeding.
 struct RepairStats {
   uint64_t patches = 0;
   uint64_t rebuilds = 0;
@@ -68,6 +74,8 @@ struct RepairStats {
   uint64_t label_bytes = 0;
   uint64_t retries = 0;
   uint64_t retry_successes = 0;
+  uint64_t shed_batches = 0;
+  uint64_t blocked_admissions = 0;
 
   void Accumulate(const RepairStats& other) {
     patches += other.patches;
@@ -76,6 +84,8 @@ struct RepairStats {
     label_bytes += other.label_bytes;
     retries += other.retries;
     retry_successes += other.retry_successes;
+    shed_batches += other.shed_batches;
+    blocked_admissions += other.blocked_admissions;
   }
 };
 
@@ -130,6 +140,13 @@ struct EngineOptions {
   /// Bounded-backoff retry of transient rebuild/patch failures before the
   /// rollback protocol fires; see RetryOptions.
   RetryOptions retry;
+  /// Write-side backpressure (serving/admission.h): caps the async update
+  /// backlog by pending batches / pending ops. A batch over the cap is shed
+  /// with UpdateVerdict::kOverloaded, or blocks up to the caller's deadline
+  /// when admission.block_on_full is set. Defaults (all zero) preserve the
+  /// historical unbounded-backlog behavior. Synchronous engines are never
+  /// capped (their backlog is always empty).
+  AdmissionOptions admission;
   /// When non-empty, Build opens a write-ahead log at this path (see
   /// serving/wal.h): every admitted batch is appended + fsync'd before it
   /// is acknowledged, Checkpoint() snapshots + truncates it, and
@@ -169,6 +186,12 @@ enum class [[nodiscard]] UpdateVerdict : uint8_t {
   /// kRejected so callers can tell "invalid update" from "engine cannot
   /// update at all right now".
   kNoGraph,
+  /// Shed by admission control: the async backlog was at its configured cap
+  /// (EngineOptions::admission) — or the engine was draining — and the
+  /// batch was refused before anything was examined or mutated. Uniform
+  /// across the batch (a shed batch gets no per-update analysis). Retry
+  /// after backing off, or use admission.block_on_full with a deadline.
+  kOverloaded,
 };
 
 /// Outcome of the deadline overloads of Engine::WaitForEpoch /
@@ -184,6 +207,37 @@ enum class [[nodiscard]] WaitStatus : uint8_t {
   /// async worker is wedged behind a slow rebuild). The batch may yet land
   /// or roll back; wait again or consult resolved_epoch().
   kTimeout,
+};
+
+/// Outcome of a deadline'd single query (Engine::Query(v, QueryOptions)).
+/// On kTimeout the count is the zero value — the budget expired before the
+/// lookup ran.
+struct QueryResult {
+  CycleCount count;
+  QueryStatus status = QueryStatus::kOk;
+};
+
+/// Outcome of a deadline'd batched query. The scan proceeds in chunks,
+/// checking the budget between chunks; on kTimeout `counts` holds the
+/// answers computed so far and `answered[i]` says which positions are
+/// valid (`completed` counts them). A full answer has status kOk and
+/// completed == counts.size(). The sharded tier can also report kShed:
+/// degraded-shard positions refused by the fallback breaker/gate stay
+/// unanswered while the scan continues.
+struct BatchQueryResult {
+  std::vector<CycleCount> counts;
+  std::vector<char> answered;  ///< positionally aligned validity mask
+  size_t completed = 0;        ///< number of answered positions
+  QueryStatus status = QueryStatus::kOk;
+};
+
+/// Outcome of a deadline'd girth scan: the exact girth over the `scanned`
+/// vertices answered before the budget ran out. kOk means the whole vertex
+/// space was scanned and `info` equals the budget-free Girth().
+struct GirthResult {
+  GirthInfo info;
+  Vertex scanned = 0;
+  QueryStatus status = QueryStatus::kOk;
 };
 
 /// The serving facade: owns one CycleIndex backend chosen by name, fans
@@ -276,6 +330,33 @@ class Engine {
 
   GirthInfo Girth();
 
+  // --- Deadline'd query overloads (serving/admission.h QueryOptions). The
+  // budget is checked cooperatively at chunk boundaries — never inside a
+  // lock section — so an expired deadline yields a typed partial result
+  // (QueryStatus::kTimeout with the work completed so far), not a hang and
+  // not a silent truncation. With the default (unbounded) options the
+  // answers are identical to the budget-free API. Defined in
+  // serving/engine_deadline.cc.
+
+  /// SCCnt(v) under a budget. kTimeout when the deadline expired before
+  /// the lookup ran (single lookups are not interruptible mid-flight).
+  QueryResult Query(Vertex v, const QueryOptions& options);
+
+  /// Batched SCCnt under a budget: scans `vertices` in chunks (parallel
+  /// across the pool when the backend allows, like the budget-free
+  /// overload), checking the deadline between chunks. See BatchQueryResult
+  /// for the partial-result contract.
+  BatchQueryResult BatchQuery(const std::vector<Vertex>& vertices,
+                              const QueryOptions& options);
+
+  /// Every vertex [0, n) under a budget.
+  BatchQueryResult QueryAll(const QueryOptions& options);
+
+  /// Girth under a budget: an all-vertex shortest-cycle sweep merged into
+  /// GirthInfo, so a timeout still yields the exact girth over the scanned
+  /// prefix (GirthResult::scanned).
+  GirthResult Girth(const QueryOptions& options);
+
   /// Applies a batch of edge updates; returns the batch's net-applied count
   /// (rejected no-ops are skipped, and updates on the same edge collapse to
   /// their net effect — an insert/remove pair inside one batch cancels and
@@ -310,6 +391,29 @@ class Engine {
                       std::vector<UpdateVerdict>* verdicts = nullptr,
                       uint64_t* epoch = nullptr);
 
+  /// ApplyUpdates under a writer budget. Admission control
+  /// (EngineOptions::admission) runs before anything is examined: a batch
+  /// that would push the async backlog past its cap — or arrives while the
+  /// engine is draining — is shed with every verdict kOverloaded, return 0,
+  /// and `*epoch` set to the newest landed epoch. With
+  /// admission.block_on_full the writer instead blocks until the worker
+  /// lands enough backlog or `deadline` expires (shedding then). The
+  /// 3-argument overload above forwards here with an unbounded deadline,
+  /// so an uncapped engine behaves exactly as before.
+  size_t ApplyUpdates(const std::vector<EdgeUpdate>& updates,
+                      const Deadline& deadline,
+                      std::vector<UpdateVerdict>* verdicts = nullptr,
+                      uint64_t* epoch = nullptr);
+
+  /// Would a batch of `ops` net updates be admitted right now? Blocks under
+  /// the same block_on_full/deadline policy as ApplyUpdates and counts
+  /// shed/blocked the same way — the sharded tier probes every shard with
+  /// this before fanning a batch out, so replicas admit or shed as one.
+  /// A true return is a guarantee only under the single-writer contract
+  /// (the backlog can only shrink between the probe and the apply).
+  bool AdmitProbe(size_t ops, const Deadline& deadline)
+      CSC_EXCLUDES(update_mu_);
+
   /// Blocks until `epoch` (an ApplyUpdates token) has resolved. True when
   /// the batch's effect is visible to queries; false when its rebuild
   /// failed and the batch was rolled back (the snapshot still answers for
@@ -328,6 +432,43 @@ class Engine {
   /// Blocks until every update admitted so far has resolved (landed or
   /// rolled back) — the coarse read-your-writes barrier.
   void Drain() CSC_EXCLUDES(update_mu_);
+
+  /// As Drain(), but gives up after `timeout`: kLanded when every admitted
+  /// epoch has resolved (landed or rolled back — resolution, not success,
+  /// is what Drain waits for; per-epoch outcomes come from WaitForEpoch),
+  /// kTimeout when the backlog had not fully resolved in time. Never
+  /// kRolledBack.
+  [[nodiscard]] WaitStatus Drain(std::chrono::milliseconds timeout)
+      CSC_EXCLUDES(update_mu_);
+
+  // --- Lifecycle / health (serving/admission.h HealthState). ---
+
+  /// Coarse serving health: kStarting until a Build/Load commits,
+  /// kDraining between BeginDrain and FinishDrain, kOverloaded while the
+  /// async backlog sits at its admission cap, else kHealthy. A single
+  /// Engine never reports kDegraded — that state belongs to the sharded
+  /// tier, which owns quarantine.
+  HealthState Health() const CSC_EXCLUDES(update_mu_);
+
+  /// Starts a graceful drain: new writes are shed with kOverloaded (reads
+  /// keep serving) while the already-admitted backlog lands. False if a
+  /// drain was already in progress. Typical handoff:
+  ///   BeginDrain(); Drain(budget); FinishDrain();
+  bool BeginDrain() CSC_EXCLUDES(update_mu_);
+
+  /// Completes a drain: waits for the admitted backlog to resolve, takes
+  /// one exclusive pass over the query lock so every query that began
+  /// before the drain has returned (quiesce), then re-opens writes.
+  void FinishDrain() CSC_EXCLUDES(update_mu_, query_mu_);
+
+  /// True between BeginDrain and FinishDrain.
+  bool draining() const CSC_EXCLUDES(update_mu_);
+
+  /// Point-in-time admission/overload counters (backlog gauges and peaks,
+  /// shed/blocked writes, deadline'd-query timeouts, drains). Unlike
+  /// repair_stats(), the shed/blocked/timeout counters survive Build — they
+  /// describe the engine's lifetime, not the current index generation.
+  AdmissionStats admission_stats() const CSC_EXCLUDES(update_mu_);
 
   /// The newest epoch whose outcome is visible to queries. Epochs are
   /// engine-local and monotonically increasing from 0.
@@ -453,6 +594,11 @@ class Engine {
   void MarkFailedLocked(uint64_t first, uint64_t last)
       CSC_REQUIRES(update_mu_);
   bool IsFailedLocked(uint64_t epoch) const CSC_REQUIRES(update_mu_);
+  /// Is the async backlog at (or past) an admission cap for a batch of
+  /// `incoming_ops` net updates? Always false with the default (uncapped)
+  /// AdmissionOptions. The ops cap is only enforced against a non-empty
+  /// backlog so an oversized single batch still admits eventually.
+  bool BacklogFullLocked(size_t incoming_ops) const CSC_REQUIRES(update_mu_);
   /// Repair pipeline: replays `ops` onto the shadow and lands the result on
   /// the snapshot — a bounded label patch when the damage fits the budgets,
   /// a full snapshot derived from the shadow's labeling otherwise (one
@@ -506,6 +652,23 @@ class Engine {
       CSC_GUARDED_BY(update_mu_);
   // Ascending epoch order.
   std::deque<PendingBatch> unlanded_ CSC_GUARDED_BY(update_mu_);
+  // --- Admission / lifecycle state (EngineOptions::admission), guarded by
+  // update_mu_ with the backlog it meters. pending_ops_ tracks the total
+  // net ops across unlanded_ (a batch's undo size); blocked admissions wait
+  // on epoch_cv_, woken by the worker's landing NotifyAll.
+  uint64_t pending_ops_ CSC_GUARDED_BY(update_mu_) = 0;
+  uint64_t peak_pending_batches_ CSC_GUARDED_BY(update_mu_) = 0;
+  uint64_t peak_pending_ops_ CSC_GUARDED_BY(update_mu_) = 0;
+  uint64_t shed_batches_ CSC_GUARDED_BY(update_mu_) = 0;
+  uint64_t blocked_admissions_ CSC_GUARDED_BY(update_mu_) = 0;
+  uint64_t drains_ CSC_GUARDED_BY(update_mu_) = 0;
+  // True once a Build/Load commits a serving snapshot (Health kStarting
+  // until then); true between BeginDrain and FinishDrain.
+  bool serving_ CSC_GUARDED_BY(update_mu_) = false;
+  bool draining_ CSC_GUARDED_BY(update_mu_) = false;
+  // Deadline'd queries that returned kTimeout. An atomic, not update_mu_
+  // state: the read path must never touch the writer lock.
+  std::atomic<uint64_t> query_timeouts_{0};
   // --- Incremental repair state (EngineOptions::repair), guarded by
   // update_mu_ like the retained graph it mirrors. The shadow is the
   // maintenance-authoritative CscIndex: batches mutate it via the §V

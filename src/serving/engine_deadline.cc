@@ -1,0 +1,138 @@
+/// Deadline'd query overloads for Engine (see serving/engine.h). These live
+/// in their own translation unit on purpose: they carry the
+/// "engine.query_deadline" failpoint, and keeping that out of engine.cc
+/// keeps the budget-free query paths (which run index scans under
+/// query_mu_ sections) free of blocking-call names for the contract
+/// checker's per-TU closure.
+///
+/// Budget protocol: the deadline is checked cooperatively at chunk
+/// boundaries, never inside a lock section, so an expired budget is
+/// observed between chunks and the partial result returned describes
+/// exactly the prefix of work that completed (`answered` mask +
+/// `completed` count). A timeout is always typed (QueryStatus::kTimeout) —
+/// never a silent short answer.
+
+#include <algorithm>
+
+#include "csc/girth.h"
+#include "serving/engine.h"
+#include "util/failpoint.h"
+#include "util/thread_pool.h"
+
+namespace csc {
+
+namespace {
+
+/// One shared deadline probe: the failpoint's error action makes "budget
+/// exhausted" deterministic for tests; otherwise it is a real clock check.
+bool BudgetExhausted(const Deadline& deadline) {
+  if (CSC_FAILPOINT("engine.query_deadline")) return true;
+  return deadline.expired();
+}
+
+}  // namespace
+
+QueryResult Engine::Query(Vertex v, const QueryOptions& options) {
+  std::shared_ptr<CycleIndex> index = snapshot();
+  if (!index) return {};
+  if (BudgetExhausted(options.deadline)) {
+    query_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    return {CycleCount{}, QueryStatus::kTimeout};
+  }
+  if (index->thread_safe_queries()) {
+    ReaderMutexLock lock(query_mu_);
+    return {index->CountShortestCycles(v), QueryStatus::kOk};
+  }
+  WriterMutexLock lock(query_mu_);
+  return {index->CountShortestCycles(v), QueryStatus::kOk};
+}
+
+BatchQueryResult Engine::BatchQuery(const std::vector<Vertex>& vertices,
+                                    const QueryOptions& options) {
+  BatchQueryResult result;
+  result.counts.assign(vertices.size(), CycleCount{});
+  result.answered.assign(vertices.size(), 0);
+  std::shared_ptr<CycleIndex> index = snapshot();
+  if (!index) {
+    // Matches the budget-free overload: no index answers every vertex with
+    // an empty count — a complete (if vacuous) answer, not a timeout.
+    std::fill(result.answered.begin(), result.answered.end(), char{1});
+    result.completed = vertices.size();
+    return result;
+  }
+  const bool parallel = index->thread_safe_queries() &&
+                        pool_.num_threads() > 1 &&
+                        vertices.size() > options_.batch_grain;
+  // Chunk boundaries are where the budget is checked; a parallel super-chunk
+  // keeps every pool thread busy between checks so the deadline costs no
+  // fan-out efficiency.
+  const size_t stride = std::max<size_t>(
+      1, parallel ? options_.batch_grain * pool_.num_threads()
+                  : options_.batch_grain);
+  size_t begin = 0;
+  while (begin < vertices.size()) {
+    if (BudgetExhausted(options.deadline)) {
+      query_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      result.completed = begin;
+      result.status = QueryStatus::kTimeout;
+      return result;
+    }
+    const size_t end = std::min(vertices.size(), begin + stride);
+    if (parallel) {
+      ReaderMutexLock lock(query_mu_);
+      ParallelFor(pool_, begin, end, options_.batch_grain,
+                  [&](size_t lo, size_t hi) {
+                    for (size_t i = lo; i < hi; ++i) {
+                      result.counts[i] = index->CountShortestCycles(vertices[i]);
+                    }
+                  });
+    } else if (index->thread_safe_queries()) {
+      ReaderMutexLock lock(query_mu_);
+      for (size_t i = begin; i < end; ++i) {
+        result.counts[i] = index->CountShortestCycles(vertices[i]);
+      }
+    } else {
+      WriterMutexLock lock(query_mu_);
+      for (size_t i = begin; i < end; ++i) {
+        result.counts[i] = index->CountShortestCycles(vertices[i]);
+      }
+    }
+    for (size_t i = begin; i < end; ++i) result.answered[i] = 1;
+    begin = end;
+  }
+  result.completed = vertices.size();
+  return result;
+}
+
+BatchQueryResult Engine::QueryAll(const QueryOptions& options) {
+  const Vertex n = num_vertices();
+  std::vector<Vertex> vertices(n);
+  for (Vertex v = 0; v < n; ++v) vertices[v] = v;
+  return BatchQuery(vertices, options);
+}
+
+GirthResult Engine::Girth(const QueryOptions& options) {
+  // Girth under a budget is a deadline'd full sweep with the same merge the
+  // sharded tier uses: scan vertices in order, fold each answered count
+  // into the running minimum. A timeout reports how far the sweep got
+  // (`scanned`) with the min over that prefix — on a complete sweep this is
+  // exactly the backend's own Girth() answer.
+  GirthResult result;
+  BatchQueryResult sweep = QueryAll(options);
+  result.status = sweep.status;
+  result.scanned = static_cast<Vertex>(sweep.completed);
+  for (size_t v = 0; v < sweep.completed; ++v) {
+    const CycleCount& count = sweep.counts[v];
+    if (count.count == 0) continue;
+    if (count.length < result.info.girth) {
+      result.info.girth = count.length;
+      result.info.num_girth_vertices = 1;
+      result.info.example_vertex = static_cast<Vertex>(v);
+    } else if (count.length == result.info.girth) {
+      ++result.info.num_girth_vertices;
+    }
+  }
+  return result;
+}
+
+}  // namespace csc

@@ -12,12 +12,15 @@
 // locked state lives inside the per-shard Engines, each annotated for
 // Clang's thread safety analysis (serving/engine.h). The router layer only
 // holds immutable-after-construction structure — `shards_`, the routing
-// options, and `pool_` — and the single-writer entry points that DO replace
-// that structure (Build, AdoptShards resizing the pool) are serialized by
-// the same external single-writer contract the shard engines document.
-// Cross-shard fan-outs go through ParallelFor's per-call barrier, never a
-// shared queue, so reader sweeps from several threads share the pool
-// without a pool-global Wait racing them.
+// options, and `pool_` — plus the internally-synchronized admission
+// primitives metering the degraded path (`fallback_breaker_`,
+// `fallback_gate_`; serving/admission.h documents their locking). The
+// single-writer entry points that DO replace router structure (Build,
+// AdoptShards resizing the pool) are serialized by the same external
+// single-writer contract the shard engines document. Cross-shard fan-outs
+// go through ParallelFor's per-call barrier, never a shared queue, so
+// reader sweeps from several threads share the pool without a pool-global
+// Wait racing them.
 
 namespace csc {
 
@@ -28,8 +31,29 @@ uint32_t ContiguousRangeShard(Vertex v, uint32_t num_shards,
   return std::min(v / per_shard, num_shards - 1);
 }
 
+namespace {
+
+/// Worst-of-two merge for fan-out statuses: a timeout anywhere outranks a
+/// shed anywhere outranks ok (a caller seeing kTimeout knows the answer is
+/// a partial; kShed means complete except for metered-away vertices).
+QueryStatus MergeStatus(QueryStatus a, QueryStatus b) {
+  if (a == QueryStatus::kTimeout || b == QueryStatus::kTimeout) {
+    return QueryStatus::kTimeout;
+  }
+  if (a == QueryStatus::kShed || b == QueryStatus::kShed) {
+    return QueryStatus::kShed;
+  }
+  return QueryStatus::kOk;
+}
+
+}  // namespace
+
 ShardedEngine::ShardedEngine(ShardedEngineOptions options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)),
+      fallback_breaker_(options_.degraded.breaker),
+      fallback_gate_(
+          AdmissionQueueOptions{options_.degraded.max_concurrent_fallbacks,
+                                0}) {
   if (options_.num_shards == 0) options_.num_shards = 1;
   pool_ = std::make_unique<ThreadPool>(options_.num_threads != 0
                                            ? options_.num_threads
@@ -58,6 +82,7 @@ EngineOptions ShardedEngine::ShardEngineOptions(uint32_t num_shards) const {
   shard_options.async_updates = options_.async_updates;
   shard_options.repair = options_.repair;
   shard_options.retry = options_.retry;
+  shard_options.admission = options_.admission;
   return shard_options;
 }
 
@@ -352,6 +377,20 @@ ShardedQueryResult ShardedEngine::QueryWithStatus(Vertex v) {
   return {DegradedAnswer(v), shard_state_[s]};
 }
 
+ShardedQueryResult ShardedEngine::QueryWithStatus(Vertex v,
+                                                  const QueryOptions& options) {
+  if (num_vertices_ == 0 || v >= num_vertices_) return {};
+  uint32_t s = ShardOf(v);
+  if (shard_state_[s] == ShardState::kHealthy) {
+    QueryResult answer = shards_[s]->Query(v, options);
+    return {answer.count, ShardState::kHealthy, answer.status};
+  }
+  ShardedQueryResult result;
+  result.served_by = shard_state_[s];
+  result.count = MeteredDegradedAnswer(v, options.deadline, &result.status);
+  return result;
+}
+
 bool ShardedEngine::AllHealthy() const {
   return std::all_of(shard_state_.begin(), shard_state_.end(),
                      [](ShardState s) { return s == ShardState::kHealthy; });
@@ -379,6 +418,80 @@ std::vector<CycleCount> ShardedEngine::ShardAnswers(
     answers[k] = DegradedAnswer(vertices[k]);
   }
   return answers;
+}
+
+CycleCount ShardedEngine::MeteredDegradedAnswer(Vertex v,
+                                                const Deadline& deadline,
+                                                QueryStatus* status) {
+  fallback_queries_.fetch_add(1, std::memory_order_relaxed);
+  if (deadline.expired()) {
+    // A deadline missed before the BFS even starts is the load signal the
+    // breaker exists for: enough of these and degraded serving flips from
+    // slow-but-exact to shed-and-cheap.
+    fallback_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    fallback_breaker_.RecordFailure();
+    *status = QueryStatus::kTimeout;
+    return {};
+  }
+  if (!fallback_breaker_.Allow()) {
+    // Breaker-open sheds are the breaker working, not new evidence of
+    // failure — no RecordFailure, or an open breaker could never close.
+    fallback_shed_.fetch_add(1, std::memory_order_relaxed);
+    *status = QueryStatus::kShed;
+    return {};
+  }
+  if (!fallback_gate_.TryAcquire(1)) {
+    fallback_shed_.fetch_add(1, std::memory_order_relaxed);
+    fallback_breaker_.RecordFailure();
+    *status = QueryStatus::kShed;
+    return {};
+  }
+  CycleCount answer = DegradedAnswer(v);
+  fallback_gate_.Release(1);
+  if (deadline.expired()) {
+    // The BFS finished late: the answer is exact, so return it, but type
+    // the result and feed the breaker — sustained overruns should trip it.
+    fallback_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    fallback_breaker_.RecordFailure();
+    *status = QueryStatus::kTimeout;
+    return answer;
+  }
+  fallback_breaker_.RecordSuccess();
+  *status = QueryStatus::kOk;
+  return answer;
+}
+
+BatchQueryResult ShardedEngine::ShardAnswersDeadlined(
+    uint32_t s, const std::vector<Vertex>& vertices,
+    const QueryOptions& options) {
+  if (shard_state_[s] == ShardState::kHealthy) {
+    return shards_[s]->BatchQuery(vertices, options);
+  }
+  BatchQueryResult result;
+  result.counts.assign(vertices.size(), CycleCount{});
+  result.answered.assign(vertices.size(), 0);
+  for (size_t k = 0; k < vertices.size(); ++k) {
+    QueryStatus status = QueryStatus::kOk;
+    CycleCount answer = MeteredDegradedAnswer(vertices[k], options.deadline,
+                                              &status);
+    if (status == QueryStatus::kTimeout) {
+      // Out of budget: stop the sweep here. The late answer (if any) is
+      // dropped rather than reported — a timeout result describes only
+      // work completed in budget.
+      result.status = QueryStatus::kTimeout;
+      return result;
+    }
+    if (status == QueryStatus::kShed) {
+      // Metered away, but the budget still stands: keep sweeping. The
+      // vertex stays unanswered and the batch reports kShed.
+      result.status = MergeStatus(result.status, QueryStatus::kShed);
+      continue;
+    }
+    result.counts[k] = answer;
+    result.answered[k] = 1;
+    ++result.completed;
+  }
+  return result;
 }
 
 void ShardedEngine::SetFallbackGraph(DiGraph graph) {
@@ -541,7 +654,120 @@ std::vector<ScreeningHit> ShardedEngine::Screen(Dist max_cycle_length,
   return merged;
 }
 
+BatchQueryResult ShardedEngine::BatchQuery(const std::vector<Vertex>& vertices,
+                                           const QueryOptions& options) {
+  BatchQueryResult result;
+  result.counts.assign(vertices.size(), CycleCount{});
+  result.answered.assign(vertices.size(), 0);
+  if (shards_.empty() || num_vertices_ == 0) {
+    // Matches the budget-free overload: everything answers empty — a
+    // complete (if vacuous) answer.
+    std::fill(result.answered.begin(), result.answered.end(), char{1});
+    result.completed = vertices.size();
+    return result;
+  }
+  std::vector<std::vector<size_t>> positions(num_shards());
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    if (vertices[i] < num_vertices_) {
+      positions[ShardOf(vertices[i])].push_back(i);
+    } else {
+      // Out-of-range vertices keep the empty answer and cost no budget.
+      result.answered[i] = 1;
+      ++result.completed;
+    }
+  }
+  // Each shard checks the same absolute deadline; local[] keeps the
+  // fan-out race-free (disjoint writes, merged on the calling thread).
+  std::vector<BatchQueryResult> local(num_shards());
+  ForEachShard([&](uint32_t s) {
+    if (positions[s].empty()) return;
+    std::vector<Vertex> sub;
+    sub.reserve(positions[s].size());
+    for (size_t i : positions[s]) sub.push_back(vertices[i]);
+    local[s] = ShardAnswersDeadlined(s, sub, options);
+  });
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    for (size_t k = 0; k < local[s].answered.size(); ++k) {
+      if (!local[s].answered[k]) continue;
+      result.counts[positions[s][k]] = local[s].counts[k];
+      result.answered[positions[s][k]] = 1;
+      ++result.completed;
+    }
+    result.status = MergeStatus(result.status, local[s].status);
+  }
+  return result;
+}
+
+BatchQueryResult ShardedEngine::QueryAll(const QueryOptions& options) {
+  BatchQueryResult result;
+  result.counts.assign(num_vertices_, CycleCount{});
+  result.answered.assign(num_vertices_, 0);
+  std::vector<BatchQueryResult> local(num_shards());
+  ForEachShard([&](uint32_t s) {
+    local[s] = ShardAnswersDeadlined(s, owned_[s], options);
+  });
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    for (size_t k = 0; k < local[s].answered.size(); ++k) {
+      if (!local[s].answered[k]) continue;
+      result.counts[owned_[s][k]] = local[s].counts[k];
+      result.answered[owned_[s][k]] = 1;
+      ++result.completed;
+    }
+    result.status = MergeStatus(result.status, local[s].status);
+  }
+  return result;
+}
+
+GirthResult ShardedEngine::Girth(const QueryOptions& options) {
+  // The same exact merge as the budget-free Girth, folded over only the
+  // vertices the deadline'd sweep answered: on kOk the sweep was complete
+  // and the fold reproduces Girth() exactly (min length, count of
+  // minimum-achieving vertices, lowest example id).
+  GirthResult result;
+  BatchQueryResult sweep = QueryAll(options);
+  result.status = sweep.status;
+  for (size_t v = 0; v < sweep.answered.size(); ++v) {
+    if (!sweep.answered[v]) continue;
+    ++result.scanned;
+    const CycleCount& answer = sweep.counts[v];
+    if (answer.count == 0) continue;
+    if (answer.length < result.info.girth) {
+      result.info.girth = answer.length;
+      result.info.num_girth_vertices = 1;
+      result.info.example_vertex = static_cast<Vertex>(v);
+    } else if (answer.length == result.info.girth) {
+      ++result.info.num_girth_vertices;
+    }
+  }
+  return result;
+}
+
+ScreenResult ShardedEngine::Screen(Dist max_cycle_length, size_t top_k,
+                                   const QueryOptions& options) {
+  // Survivors among the vertices answered in budget, ranked and truncated
+  // exactly like the budget-free sweep (which this reproduces on kOk).
+  ScreenResult result;
+  BatchQueryResult sweep = QueryAll(options);
+  result.status = sweep.status;
+  for (size_t v = 0; v < sweep.answered.size(); ++v) {
+    if (!sweep.answered[v]) continue;
+    ++result.scanned;
+    const CycleCount& answer = sweep.counts[v];
+    if (answer.count == 0 || answer.length > max_cycle_length) continue;
+    result.hits.push_back({static_cast<Vertex>(v), answer});
+  }
+  std::sort(result.hits.begin(), result.hits.end(), ScreeningHitBefore);
+  if (result.hits.size() > top_k) result.hits.resize(top_k);
+  return result;
+}
+
 size_t ShardedEngine::ApplyUpdates(const std::vector<EdgeUpdate>& updates,
+                                   std::vector<uint64_t>* epochs) {
+  return ApplyUpdates(updates, Deadline(), epochs);
+}
+
+size_t ShardedEngine::ApplyUpdates(const std::vector<EdgeUpdate>& updates,
+                                   const Deadline& deadline,
                                    std::vector<uint64_t>* epochs) {
   if (shards_.empty()) return 0;
   // Degraded deployments are read-only: a quarantined shard cannot observe
@@ -551,6 +777,17 @@ size_t ShardedEngine::ApplyUpdates(const std::vector<EdgeUpdate>& updates,
   if (!AllHealthy()) {
     if (epochs) epochs->assign(num_shards(), 0);
     return 0;
+  }
+  // All-or-nothing admission: probe every shard (sharing one deadline)
+  // before any shard mutates. A probe's admit cannot be invalidated before
+  // the fan-out below — there is exactly one writer (the documented
+  // contract) and backlogs only shrink without it — so either every shard
+  // takes the batch or none does, and the K replicas never diverge.
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    if (!shards_[s]->AdmitProbe(updates.size(), deadline)) {
+      if (epochs) epochs->assign(num_shards(), 0);
+      return 0;
+    }
   }
   // Every shard holds the full closure, so every shard applies the full
   // ordered batch (deterministic backends keep the replicas identical).
@@ -608,6 +845,86 @@ WaitStatus ShardedEngine::WaitForEpochs(const std::vector<uint64_t>& epochs,
 
 void ShardedEngine::Drain() {
   for (const auto& shard : shards_) shard->Drain();
+}
+
+WaitStatus ShardedEngine::Drain(std::chrono::milliseconds timeout) {
+  // One shared deadline across the K sequential waits, mirroring
+  // WaitForEpochs: the caller's bound holds however many shards lag.
+  const Deadline deadline = Deadline::After(timeout);
+  for (const auto& shard : shards_) {
+    if (shard->Drain(deadline.remaining()) == WaitStatus::kTimeout) {
+      return WaitStatus::kTimeout;
+    }
+  }
+  return WaitStatus::kLanded;
+}
+
+HealthState ShardedEngine::Health() const {
+  bool starting = false;
+  bool draining = false;
+  bool overloaded = false;
+  for (const auto& shard : shards_) {
+    switch (shard->Health()) {
+      case HealthState::kStarting:
+        starting = true;
+        break;
+      case HealthState::kHealthy:
+        break;
+      case HealthState::kDegraded:
+        // A single Engine never reports kDegraded (degradation is a
+        // router-level notion, computed below from shard_state_).
+        break;
+      case HealthState::kDraining:
+        draining = true;
+        break;
+      case HealthState::kOverloaded:
+        overloaded = true;
+        break;
+    }
+  }
+  const bool degraded =
+      !AllHealthy() ||
+      fallback_breaker_.state() != CircuitBreaker::State::kClosed;
+  // Severity order: an operator acts on the most urgent condition first.
+  // kDegraded outranks kStarting so a deployment serving around a
+  // quarantined shard (whose empty engine reports kStarting) shows up as
+  // degraded, not booting.
+  if (draining) return HealthState::kDraining;
+  if (overloaded) return HealthState::kOverloaded;
+  if (degraded) return HealthState::kDegraded;
+  if (starting) return HealthState::kStarting;
+  return HealthState::kHealthy;
+}
+
+bool ShardedEngine::BeginDrain() {
+  bool any = false;
+  for (const auto& shard : shards_) {
+    if (shard->BeginDrain()) any = true;
+  }
+  return any;
+}
+
+void ShardedEngine::FinishDrain() {
+  for (const auto& shard : shards_) shard->FinishDrain();
+}
+
+AdmissionStats ShardedEngine::AdmissionStatsTotal() const {
+  AdmissionStats total;
+  for (const auto& shard : shards_) {
+    total.Accumulate(shard->admission_stats());
+  }
+  return total;
+}
+
+DegradedStats ShardedEngine::degraded_stats() const {
+  DegradedStats stats;
+  stats.fallback_queries = fallback_queries_.load(std::memory_order_relaxed);
+  stats.fallback_shed = fallback_shed_.load(std::memory_order_relaxed);
+  stats.fallback_timeouts =
+      fallback_timeouts_.load(std::memory_order_relaxed);
+  stats.breaker_transitions = fallback_breaker_.transitions();
+  stats.breaker_state = fallback_breaker_.state();
+  return stats;
 }
 
 uint64_t ShardedEngine::MemoryBytes() const {

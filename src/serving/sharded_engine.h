@@ -1,6 +1,7 @@
 #ifndef CSC_SERVING_SHARDED_ENGINE_H_
 #define CSC_SERVING_SHARDED_ENGINE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -11,6 +12,7 @@
 #include "core/cycle_index.h"
 #include "csc/screening.h"
 #include "dynamic/edge_update.h"
+#include "serving/admission.h"
 #include "serving/engine.h"
 #include "util/lifetime_annotations.h"
 #include "util/thread_pool.h"
@@ -31,6 +33,21 @@ using ShardFn =
 /// vertex order).
 uint32_t ContiguousRangeShard(Vertex v, uint32_t num_shards,
                               Vertex num_vertices);
+
+/// Metering for the exact-BFS fallback serving quarantined shards (see
+/// ShardedEngineOptions::tolerate_faults): the fallback is an amplifier —
+/// one degraded shard turns cheap label joins into whole-graph BFS — so it
+/// sits behind a circuit breaker plus a concurrency gate, and sheds
+/// (QueryStatus::kShed) instead of melting the box.
+struct DegradedServingOptions {
+  /// Max BFS fallback answers in flight at once; 0 = unmetered. A query
+  /// that finds the gate full is shed (and counts a breaker failure).
+  uint32_t max_concurrent_fallbacks = 0;
+  /// Breaker over the fallback path: deadline misses and gate rejections
+  /// count as failures; once open, degraded queries shed cheaply until a
+  /// cooldown probe succeeds.
+  CircuitBreakerOptions breaker;
+};
 
 struct ShardedEngineOptions {
   /// Registry name of the backend every shard serves.
@@ -81,6 +98,13 @@ struct ShardedEngineOptions {
   /// before the batch rolls back. Counters surface through
   /// RepairStatsTotal().
   RetryOptions retry;
+  /// Forwarded to every shard Engine (EngineOptions::admission): caps each
+  /// shard's async update backlog. Admission across the K-shard fan-out is
+  /// all-or-nothing — one full shard sheds the whole batch — so the
+  /// deployment never ends up with a batch applied on some shards only.
+  AdmissionOptions admission;
+  /// Metering for the BFS fallback on quarantined shards.
+  DegradedServingOptions degraded;
   /// Tolerate per-shard faults at load (LoadFrom / LoadFromFile /
   /// LoadFromMapping): a shard whose payload fails its CRC or does not
   /// restore is *quarantined* — the load succeeds, the healthy shards
@@ -112,6 +136,28 @@ enum class ShardState : uint8_t {
 struct ShardedQueryResult {
   CycleCount count;
   ShardState served_by = ShardState::kHealthy;
+  /// kOk unless the deadline'd overload timed out (kTimeout) or the
+  /// degraded-path breaker/gate refused the work (kShed). The budget-free
+  /// overload always reports kOk.
+  QueryStatus status = QueryStatus::kOk;
+};
+
+/// Deadline'd screening sweep outcome: the ranked survivor set over the
+/// vertices the sweep answered before the budget ran out (`scanned` of
+/// num_vertices()), with the usual typed status.
+struct ScreenResult {
+  std::vector<ScreeningHit> hits;
+  Vertex scanned = 0;
+  QueryStatus status = QueryStatus::kOk;
+};
+
+/// Degraded-path metering counters (see DegradedServingOptions).
+struct DegradedStats {
+  uint64_t fallback_queries = 0;   ///< queries routed to the BFS fallback
+  uint64_t fallback_shed = 0;      ///< refused by the breaker or the gate
+  uint64_t fallback_timeouts = 0;  ///< fallback answers past their deadline
+  uint64_t breaker_transitions = 0;
+  CircuitBreaker::State breaker_state = CircuitBreaker::State::kClosed;
 };
 
 /// Per-shard slice of ShardedEngine::Stats().
@@ -224,6 +270,11 @@ class ShardedEngine {
   /// As Query, also reporting the serving state of the owning shard.
   ShardedQueryResult QueryWithStatus(Vertex v);
 
+  /// Deadline'd routed query. A healthy owner answers within the budget or
+  /// reports kTimeout; a degraded owner's BFS fallback is metered — breaker
+  /// open or gate full reports kShed with an empty count.
+  ShardedQueryResult QueryWithStatus(Vertex v, const QueryOptions& options);
+
   /// Batched SCCnt, positionally aligned with `vertices`; the batch is
   /// split by owner and the per-shard sub-batches run concurrently.
   std::vector<CycleCount> BatchQuery(const std::vector<Vertex>& vertices);
@@ -239,6 +290,30 @@ class ShardedEngine {
   /// length asc, vertex asc), and truncated to `top_k`.
   std::vector<ScreeningHit> Screen(Dist max_cycle_length, size_t top_k);
 
+  // --- Deadline'd sweeps. One caller deadline is shared across the K-shard
+  // fan-out (each shard checks the same absolute budget, the way
+  // WaitForEpochs shares one timeout): the caller's bound holds no matter
+  // how many shards are slow. Partial results carry per-vertex `answered`
+  // masks — unlike the single-Engine overloads the answered set need not be
+  // a prefix, because shards sweep their owned ranges concurrently.
+
+  /// Deadline'd BatchQuery; `answered[i]` marks positions answered in
+  /// budget, `completed` counts them.
+  BatchQueryResult BatchQuery(const std::vector<Vertex>& vertices,
+                              const QueryOptions& options);
+
+  /// Deadline'd full sweep over [0, num_vertices()).
+  BatchQueryResult QueryAll(const QueryOptions& options);
+
+  /// Deadline'd girth: the exact merge over every vertex answered in
+  /// budget (`scanned` of num_vertices()); kOk means the sweep completed
+  /// and `info` equals the budget-free Girth() answer.
+  GirthResult Girth(const QueryOptions& options);
+
+  /// Deadline'd screening sweep (see ScreenResult).
+  ScreenResult Screen(Dist max_cycle_length, size_t top_k,
+                      const QueryOptions& options);
+
   /// Applies the batch on every shard (concurrently); returns the batch's
   /// net-applied count according to each update's owning shard. With
   /// `async_updates` the call returns once every shard has validated the
@@ -247,6 +322,15 @@ class ShardedEngine {
   /// num_shards() with each shard's epoch token for this batch; pass it to
   /// WaitForEpochs (or call Drain) for read-your-writes.
   size_t ApplyUpdates(const std::vector<EdgeUpdate>& updates,
+                      std::vector<uint64_t>* epochs = nullptr);
+
+  /// Deadline'd form with all-or-nothing admission: every shard is probed
+  /// (blocking up to the shared deadline when admission.block_on_full is
+  /// set) before any shard mutates — a batch shed by one shard is shed by
+  /// all of them, returning 0 with `epochs` zeroed, so the K replicas never
+  /// diverge on which batches they observed.
+  size_t ApplyUpdates(const std::vector<EdgeUpdate>& updates,
+                      const Deadline& deadline,
                       std::vector<uint64_t>* epochs = nullptr);
 
   /// Blocks until every shard has resolved its epoch from one ApplyUpdates
@@ -267,6 +351,33 @@ class ShardedEngine {
   /// Blocks until every update admitted so far has resolved on every shard
   /// — the coarse read-your-writes barrier of the async mode.
   void Drain();
+
+  /// Deadline'd drain: one shared budget across the K sequential waits.
+  /// kTimeout as soon as the budget passes with any shard unresolved.
+  [[nodiscard]] WaitStatus Drain(std::chrono::milliseconds timeout);
+
+  /// Deployment health, merged across shards: kDraining if any shard is
+  /// draining, else kOverloaded if any shard's backlog is at its cap, else
+  /// kDegraded if any shard is quarantined/degraded or the fallback
+  /// breaker is not closed, else kStarting if any shard has no committed
+  /// index yet, else kHealthy.
+  HealthState Health() const;
+
+  /// Starts a graceful drain on every shard: new writes shed with
+  /// kOverloaded while the already-admitted backlog lands. False if a
+  /// drain was already in progress on every shard.
+  bool BeginDrain();
+
+  /// Lands the admitted backlog, quiesces in-flight queries on every
+  /// shard, and reopens writes (see Engine::FinishDrain).
+  void FinishDrain();
+
+  /// Admission/overload counters summed across shards (summed peaks are an
+  /// upper bound — per-shard peaks need not coincide in time).
+  AdmissionStats AdmissionStatsTotal() const;
+
+  /// Degraded-path (BFS fallback) metering counters.
+  DegradedStats degraded_stats() const;
 
   Vertex num_vertices() const { return num_vertices_; }
 
@@ -343,9 +454,21 @@ class ShardedEngine {
   /// Exact BFS answer (or empty placeholder) for a vertex owned by a
   /// non-healthy shard.
   CycleCount DegradedAnswer(Vertex v) const;
+  /// DegradedAnswer behind the breaker, the concurrency gate, and the
+  /// caller's deadline; `*status` reports how the vertex was served. On
+  /// kShed the count is empty; on kTimeout the count is whatever the BFS
+  /// produced before the budget was noticed (exact if non-empty).
+  CycleCount MeteredDegradedAnswer(Vertex v, const Deadline& deadline,
+                                   QueryStatus* status);
   /// BatchQuery routed through shard `s`'s serving state.
   std::vector<CycleCount> ShardAnswers(uint32_t s,
                                        const std::vector<Vertex>& vertices);
+  /// Deadline'd ShardAnswers: a healthy shard sweeps with the budget; a
+  /// degraded one meters vertex by vertex — shed vertices stay unanswered
+  /// (the sweep continues), a timeout stops the sweep.
+  BatchQueryResult ShardAnswersDeadlined(uint32_t s,
+                                         const std::vector<Vertex>& vertices,
+                                         const QueryOptions& options);
   bool AllHealthy() const;
 
   ShardedEngineOptions options_;
@@ -362,6 +485,14 @@ class ShardedEngine {
   std::vector<ShardState> shard_state_;
   std::vector<std::string> shard_fault_;
   std::shared_ptr<const DiGraph> fallback_graph_;
+  // Degraded-path metering. Internally synchronized (serving/admission.h),
+  // so reader sweeps on several threads meter through them without any
+  // router-level lock; the atomics are plain counters.
+  CircuitBreaker fallback_breaker_;
+  AdmissionQueue fallback_gate_;
+  std::atomic<uint64_t> fallback_queries_{0};
+  std::atomic<uint64_t> fallback_shed_{0};
+  std::atomic<uint64_t> fallback_timeouts_{0};
 };
 
 }  // namespace csc

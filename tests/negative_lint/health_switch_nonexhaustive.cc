@@ -1,0 +1,30 @@
+// Negative fixture for tools/check_contracts.py rule 4
+// (exhaustive-switch) over the PR 10 health enum: a switch over HealthState
+// that misses kDraining/kOverloaded and hides behind a `default:` — exactly
+// the silent fallthrough that would let a new lifecycle state serve as
+// "healthy". Never compiled — consumed by `check_contracts.py --selftest`.
+//
+// expect-violation: exhaustive-switch
+
+namespace csc {
+
+enum class HealthState { kStarting, kHealthy, kDegraded, kDraining,
+                         kOverloaded };
+
+// BAD: kDraining and kOverloaded are unhandled and the default swallows
+// them.
+// contracts:allow-view-return(returns string literals with static storage duration)
+inline const char* HealthName(HealthState state) {
+  switch (state) {
+    case HealthState::kStarting:
+      return "starting";
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kDegraded:
+      return "degraded";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace csc

@@ -39,10 +39,11 @@ stock compiler analysis cannot see:
                             closure within the same translation unit.
                             Waiver: // contracts:allow-blocking-under-lock(reason)
   4. exhaustive-switch      Every `switch` over UpdateVerdict, WaitStatus,
-                            or ShardState names every enumerator and has
-                            no `default:` — adding an enum value must
-                            break the build/lint, not fall into a silent
-                            default. Waiver:
+                            ShardState, HealthState, or QueryStatus names
+                            every enumerator and has no `default:` —
+                            adding an enum value must break the
+                            build/lint, not fall into a silent default.
+                            Waiver:
                             // contracts:allow-nonexhaustive-switch(reason)
 
   (meta) waiver-budget      The combined number of lint:allow-* and
@@ -94,7 +95,8 @@ REQUIRES_LOCK_RE = re.compile(
 
 # Enums whose switches must be exhaustive (serving-tier outcome enums: a
 # silently defaulted new state is exactly how degraded serving regresses).
-TARGET_ENUMS = ("UpdateVerdict", "WaitStatus", "ShardState")
+TARGET_ENUMS = ("UpdateVerdict", "WaitStatus", "ShardState", "HealthState",
+                "QueryStatus")
 
 SUBMIT_CALL_RE = re.compile(r"\bSubmit\s*\(\s*\[([^\]]*)\]")
 
